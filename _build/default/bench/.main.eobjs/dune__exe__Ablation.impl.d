@@ -1,0 +1,1 @@
+bench/ablation.ml: Adaptive Array Distributions Float Histogram Hypergeometric List Mope_attack Mope_core Mope_db Mope_stats Rng Scheduler Util

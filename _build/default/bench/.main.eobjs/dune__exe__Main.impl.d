@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Arg Figures List Micro Printf Theorems Unix Util

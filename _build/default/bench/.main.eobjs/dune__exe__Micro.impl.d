@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance Lazy List Measure Mope_core Mope_crypto Mope_db Mope_ope Mope_stats Staged String Test Time Toolkit Util

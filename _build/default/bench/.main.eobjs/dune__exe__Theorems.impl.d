@@ -1,0 +1,1 @@
+bench/theorems.ml: Int List Mope_attack Mope_core Mope_stats Periodic_shift Scheduler Util Wow Wow_baseline

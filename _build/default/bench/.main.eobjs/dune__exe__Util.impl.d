@@ -1,0 +1,1 @@
+bench/util.ml: Array Float Int Printf String Unix

@@ -1,0 +1,69 @@
+(* Benchmark harness entry point.
+
+   `dune exec bench/main.exe` regenerates every data figure of the paper plus
+   the empirical theorem checks and the DESIGN.md ablations.
+
+   Options:
+     --figure N     run only figure N (1-3, 5-16)
+     --theorems     run only the theorem checks
+     --micro        run only the bechamel micro-benchmarks
+     --ablation     run only the ablations
+     --full         larger workloads (slower, tighter estimates)
+     --list         list available experiments *)
+
+let figures : (int * (Figures.scale -> unit)) list =
+  [ (1, Figures.fig1); (2, Figures.fig2); (3, Figures.fig3); (5, Figures.fig5);
+    (6, Figures.fig6); (7, Figures.fig7); (8, Figures.fig8); (9, Figures.fig9);
+    (10, Figures.fig10); (11, Figures.fig11); (12, Figures.fig12);
+    (13, Figures.fig13); (14, Figures.fig14); (15, Figures.fig15);
+    (16, Figures.fig16) ]
+
+let () =
+  let figure = ref 0 in
+  let theorems_only = ref false in
+  let micro_only = ref false in
+  let ablation_only = ref false in
+  let full = ref false in
+  let list_only = ref false in
+  let spec =
+    [ ("--figure", Arg.Set_int figure, "N  run only figure N");
+      ("--theorems", Arg.Set theorems_only, " run only the theorem checks");
+      ("--micro", Arg.Set micro_only, " run only the micro-benchmarks");
+      ("--ablation", Arg.Set ablation_only, " run only the ablations");
+      ("--full", Arg.Set full, " larger workloads");
+      ("--list", Arg.Set list_only, " list experiments") ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench/main.exe [--figure N | --theorems | --micro | --ablation] [--full]";
+  let scale = if !full then Figures.full_scale else Figures.quick_scale in
+  if !list_only then begin
+    List.iter (fun (n, _) -> Printf.printf "figure %d\n" n) figures;
+    print_endline "theorems";
+    print_endline "micro";
+    print_endline "ablation"
+  end
+  else if !figure <> 0 then begin
+    match List.assoc_opt !figure figures with
+    | Some f -> f scale
+    | None ->
+      Printf.eprintf "no such figure: %d\n" !figure;
+      exit 1
+  end
+  else if !theorems_only then Theorems.all scale.Figures.trials
+  else if !micro_only then Micro.run ()
+  else if !ablation_only then Ablation.all ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Printf.printf
+      "MOPE reproduction benchmark harness (%s scale)\n\
+       Regenerating every data figure of 'Modular Order-Preserving \
+       Encryption, Revisited' (SIGMOD'15).\n"
+      (if !full then "full" else "quick");
+    List.iter (fun (_, f) -> f scale) figures;
+    Theorems.all scale.Figures.trials;
+    Ablation.all ();
+    Micro.run ();
+    Printf.printf "\ntotal harness time: %s\n"
+      (Util.pp_seconds (Unix.gettimeofday () -. t0))
+  end

@@ -1,0 +1,116 @@
+(* Bechamel micro-benchmarks of the building blocks: one Test.make per
+   primitive, all run from the single bench executable. *)
+
+open Bechamel
+open Toolkit
+
+let ope_uncached =
+  lazy (Mope_ope.Ope.create ~cache:false ~key:"bench" ~domain:2557 ~range:40912 ())
+
+let ope_cached = lazy (Mope_ope.Ope.create ~key:"bench" ~domain:2557 ~range:40912 ())
+
+let mope = lazy (Mope_ope.Mope.create ~key:"bench" ~domain:2557 ~range:40912 ())
+
+let scheduler =
+  lazy
+    (let q = Mope_stats.Distributions.zipf ~size:2500 ~s:1.0 in
+     Mope_core.Scheduler.create ~m:2500 ~k:10 ~mode:(Mope_core.Scheduler.Periodic 50) ~q)
+
+let btree =
+  lazy
+    (let t = Mope_db.Btree.create () in
+     let rng = Mope_stats.Rng.create 3L in
+     for i = 0 to 99_999 do
+       Mope_db.Btree.insert t ~key:(Mope_stats.Rng.int rng 1_000_000) ~value:i
+     done;
+     t)
+
+let tests =
+  let counter = ref 0 in
+  let next modulus =
+    incr counter;
+    !counter mod modulus
+  in
+  [ Test.make ~name:"sha256/1KiB"
+      (Staged.stage (fun () -> ignore (Mope_crypto.Sha256.digest (String.make 1024 'x'))));
+    Test.make ~name:"hmac/64B"
+      (Staged.stage (fun () ->
+           ignore (Mope_crypto.Hmac.mac ~key:"key" "0123456789abcdef0123456789abcdef")));
+    Test.make ~name:"hgd/exact-sample"
+      (Staged.stage (fun () ->
+           let u = float_of_int (next 997) /. 997.0 in
+           ignore
+             (Mope_stats.Hypergeometric.sample ~population:40912 ~successes:2557
+                ~draws:20456 ~u)));
+    Test.make ~name:"ope/encrypt-uncached"
+      (Staged.stage (fun () ->
+           ignore (Mope_ope.Ope.encrypt (Lazy.force ope_uncached) (next 2557))));
+    Test.make ~name:"ope/encrypt-cached"
+      (Staged.stage (fun () ->
+           ignore (Mope_ope.Ope.encrypt (Lazy.force ope_cached) (next 2557))));
+    Test.make ~name:"mope/decrypt-cached"
+      (Staged.stage (fun () ->
+           let m = Lazy.force mope in
+           ignore (Mope_ope.Mope.decrypt m (Mope_ope.Mope.encrypt m (next 2557)))));
+    Test.make ~name:"fpe/det-encrypt"
+      (Staged.stage (fun () ->
+           ignore
+             (Mope_crypto.Feistel.fpe_encrypt ~key:"bench" ~domain:(1 lsl 40)
+                (next 100_000))));
+    Test.make ~name:"scheduler/fake-burst"
+      (let rng = Mope_stats.Rng.create 9L in
+       Staged.stage (fun () ->
+           ignore (Mope_core.Scheduler.schedule (Lazy.force scheduler) rng ~real:0)));
+    Test.make ~name:"btree/insert"
+      (let rng = Mope_stats.Rng.create 11L in
+       Staged.stage (fun () ->
+           Mope_db.Btree.insert (Lazy.force btree)
+             ~key:(Mope_stats.Rng.int rng 1_000_000) ~value:0));
+    Test.make ~name:"btree/range-100"
+      (let rng = Mope_stats.Rng.create 13L in
+       Staged.stage (fun () ->
+           let lo = Mope_stats.Rng.int rng 999_000 in
+           ignore (Mope_db.Btree.range_list (Lazy.force btree) ~lo ~hi:(lo + 1000))));
+    Test.make ~name:"sql/parse-q6"
+      (Staged.stage (fun () ->
+           ignore
+             (Mope_db.Sql_parser.parse
+                "SELECT sum(l_extendedprice * l_discount) FROM lineitem WHERE \
+                 l_shipdate >= DATE '1994-01-01' AND l_shipdate <= DATE \
+                 '1994-12-31' AND l_discount BETWEEN 0.05 AND 0.07 AND \
+                 l_quantity < 24"))) ]
+
+(* Force setup and fill the memo tables outside the measurement window. *)
+let prewarm () =
+  let cached = Lazy.force ope_cached in
+  for m = 0 to 2556 do
+    ignore (Mope_ope.Ope.encrypt cached m)
+  done;
+  let mo = Lazy.force mope in
+  for m = 0 to 2556 do
+    ignore (Mope_ope.Mope.decrypt mo (Mope_ope.Mope.encrypt mo m))
+  done;
+  ignore (Lazy.force ope_uncached);
+  ignore (Lazy.force scheduler);
+  ignore (Lazy.force btree)
+
+let run () =
+  Util.section "Micro-benchmarks (bechamel; ns per run, OLS on monotonic clock)";
+  prewarm ();
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Util.row "%-24s %12.1f ns/op\n" name est
+          | Some _ | None -> Util.row "%-24s %12s\n" name "(no estimate)")
+        ols)
+    tests

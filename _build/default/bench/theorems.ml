@@ -1,0 +1,85 @@
+(* Empirical checks of the §7 security theorems (the paper's analysis has no
+   numbered tables; these rows are the quantitative counterpart of
+   Theorems 3, 4 and 5 plus the Fig.-1 baseline). *)
+
+open Mope_core
+open Mope_attack
+open Util
+
+let config trials = { Wow.default with Wow.trials }
+
+let theorem3 trials =
+  section "Theorem 3: WOW*-L of MOPE+QueryU — location is perfectly hidden";
+  let cfg = config trials in
+  row "M=%d n=%d w=%d q=%d k=%d, %d trials, ML location adversary\n" cfg.Wow.m
+    cfg.Wow.n cfg.Wow.w cfg.Wow.q cfg.Wow.k trials;
+  let naive = Wow.location_success cfg Wow.Naive in
+  let uniform = Wow.location_success cfg (Wow.Mixed Scheduler.Uniform) in
+  row "%-24s %10s %10s\n" "mode" "success" "bound";
+  row "%-24s %10.3f %10s\n" "naive MOPE" naive "(none)";
+  row "%-24s %10.3f %10.3f\n" "MOPE + QueryU" uniform
+    (Wow.location_bound cfg (Wow.Mixed Scheduler.Uniform));
+  row "%-24s %10.3f\n" "random-guess baseline" (Wow.random_guess cfg)
+
+let theorem4 trials =
+  section "Theorem 4: WOW*-D — distances leak under every mode";
+  let cfg = config trials in
+  let naive = Wow.distance_success cfg Wow.Naive in
+  let uniform = Wow.distance_success cfg (Wow.Mixed Scheduler.Uniform) in
+  row "%-24s %10s\n" "mode" "success";
+  row "%-24s %10.3f\n" "naive MOPE" naive;
+  row "%-24s %10.3f\n" "MOPE + QueryU" uniform;
+  row "%-24s %10.3f\n" "random-guess baseline" (Wow.random_guess cfg);
+  row "Theorem-4 upper bound 8w/sqrt(M-qk-1): %.3f\n" (Wow.distance_bound cfg)
+
+let theorem5 trials =
+  section "Theorem 5: QueryP leaks exactly the offset's low-order bits";
+  let m = 100 and k = 5 and rho = 20 in
+  let q = Mope_stats.Distributions.zipf ~size:m ~s:1.2 in
+  let out =
+    Periodic_shift.run ~m ~k ~rho ~n_queries:400 ~trials ~seed:7L ~q
+  in
+  row "M=%d rho=%d, ML shift-recovery adversary over %d trials\n" m rho trials;
+  row "recovers j mod rho:   %.2f   (log2 rho = %.1f low bits leak)\n"
+    out.Periodic_shift.class_success
+    (log (float_of_int rho) /. log 2.0);
+  row "recovers j exactly:   %.2f   (rho/M = %.2f: high bits stay hidden)\n"
+    out.Periodic_shift.full_success
+    (float_of_int rho /. float_of_int m);
+  let cfg = config trials in
+  let p_success = Wow.location_success cfg (Wow.Mixed (Scheduler.Periodic 10)) in
+  row "WOW*-L under QueryP[10]: %.3f (Theorem-5 bound rho*w/M = %.3f)\n" p_success
+    (Wow.location_bound cfg (Wow.Mixed (Scheduler.Periodic 10)))
+
+let theorems12 trials =
+  section "Theorems 1-2 baseline: what the encrypted database alone leaks";
+  let cfg = { Wow_baseline.default with Wow_baseline.trials } in
+  let rows = Wow_baseline.run cfg in
+  row "(no query oracle; rank-inversion location adversary, scale distance adversary)\n";
+  row "%-8s %12s %12s\n" "scheme" "location" "distance";
+  List.iter
+    (fun r ->
+      row "%-8s %12.3f %12.3f\n" r.Wow_baseline.scheme r.Wow_baseline.location
+        r.Wow_baseline.distance)
+    rows;
+  row "random-guess location baseline: %.3f\n"
+    (Wow_baseline.location_random_guess cfg);
+  row "Theorem 1: MOPE location collapses to w/M; Theorem 2: distance leaks\n";
+  row "under both schemes — matching the rows above.\n"
+
+let sorting trials =
+  section "Dense-column sorting attack (the paper's motivating leak, sec. 1)";
+  let out = Mope_attack.Sorting_attack.experiment ~m:400 ~trials:(Int.max 5 (trials / 6)) ~seed:21L in
+  row "column covering its whole domain (M=400, e.g. a date column):\n";
+  row "%-8s %24s\n" "scheme" "plaintexts recovered";
+  row "%-8s %23.1f%%\n" "OPE" (100.0 *. out.Mope_attack.Sorting_attack.ope_recovery);
+  row "%-8s %23.1f%%\n" "MOPE" (100.0 *. out.Mope_attack.Sorting_attack.mope_recovery);
+  row "(sorting distinct ciphertexts decrypts a dense OPE column outright;\n";
+  row " the modular offset leaves M equally likely rotations)\n"
+
+let all trials =
+  sorting trials;
+  theorems12 trials;
+  theorem3 trials;
+  theorem4 trials;
+  theorem5 trials

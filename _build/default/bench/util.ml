@@ -1,0 +1,43 @@
+(* Shared output helpers for the benchmark harness. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let row fmt = Printf.printf fmt
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let pp_seconds s =
+  if s < 1.0 then Printf.sprintf "%.0f ms" (1000.0 *. s)
+  else if s < 120.0 then Printf.sprintf "%.2f s" s
+  else Printf.sprintf "%.1f min" (s /. 60.0)
+
+let period_label = function
+  | None -> "n/a"
+  | Some rho -> string_of_int rho
+
+(* A coarse ASCII sparkline of an array of non-negative counts. *)
+let sparkline ?(width = 64) values =
+  let n = Array.length values in
+  if n = 0 then ""
+  else begin
+    let bucket = Array.make width 0.0 in
+    Array.iteri
+      (fun i v -> bucket.(i * width / n) <- bucket.(i * width / n) +. v)
+      values;
+    let top = Array.fold_left Float.max 0.0 bucket in
+    let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+    String.init width (fun i ->
+        if top <= 0.0 then ' '
+        else begin
+          let level =
+            int_of_float (Float.round (bucket.(i) /. top *. 7.0))
+          in
+          glyphs.(Int.max 0 (Int.min 7 level))
+        end)
+  end

@@ -1,0 +1,294 @@
+(* Command-line interface to the MOPE library.
+
+   Subcommands:
+     encrypt    encrypt integers under (M)OPE and print the ciphertexts
+     decrypt    invert ciphertexts
+     ranges     show the ciphertext scan ranges for a plaintext interval
+     schedule   show a QueryU/QueryP execution schedule for a query
+     demo       run the end-to-end encrypted TPC-H demo
+     attack     mount the gap attack on naive vs protected query streams *)
+
+open Cmdliner
+open Mope_ope
+open Mope_core
+open Mope_stats
+
+let key_arg =
+  let doc = "Secret key (any string; a real deployment uses random bytes)." in
+  Arg.(value & opt string "demo-key" & info [ "key" ] ~docv:"KEY" ~doc)
+
+let domain_arg =
+  let doc = "Plaintext domain size M (plaintexts are 0..M-1)." in
+  Arg.(value & opt int 1000 & info [ "domain"; "m" ] ~docv:"M" ~doc)
+
+let make_mope ~key ~domain =
+  Mope.create ~key ~domain ~range:(Ope.recommended_range domain) ()
+
+let values_arg =
+  let doc = "Values to process." in
+  Arg.(non_empty & pos_all int [] & info [] ~docv:"VALUE" ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let encrypt_cmd =
+  let run key domain values =
+    let mope = make_mope ~key ~domain in
+    Printf.printf "MOPE over [0, %d) -> [0, %d), secret offset hidden in key\n"
+      domain (Mope.range mope);
+    List.iter
+      (fun v ->
+        if v < 0 || v >= domain then Printf.printf "%d: out of domain\n" v
+        else Printf.printf "%d -> %d\n" v (Mope.encrypt mope v))
+      values
+  in
+  let doc = "Encrypt integers under MOPE." in
+  Cmd.v (Cmd.info "encrypt" ~doc)
+    Term.(const run $ key_arg $ domain_arg $ values_arg)
+
+let decrypt_cmd =
+  let run key domain values =
+    let mope = make_mope ~key ~domain in
+    List.iter
+      (fun c ->
+        match Mope.decrypt mope c with
+        | v -> Printf.printf "%d -> %d\n" c v
+        | exception Ope.Not_a_ciphertext _ ->
+          Printf.printf "%d: not a valid ciphertext\n" c
+        | exception Invalid_argument _ ->
+          Printf.printf "%d: outside the ciphertext space\n" c)
+      values
+  in
+  let doc = "Decrypt MOPE ciphertexts." in
+  Cmd.v (Cmd.info "decrypt" ~doc)
+    Term.(const run $ key_arg $ domain_arg $ values_arg)
+
+let ranges_cmd =
+  let lo =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"LO" ~doc:"Range start.")
+  in
+  let hi =
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"HI" ~doc:"Range end (inclusive).")
+  in
+  let run key domain lo hi =
+    let mope = make_mope ~key ~domain in
+    let segments = Mope.ciphertext_segments mope ~lo ~hi in
+    Printf.printf
+      "plaintext [%d, %d] -> %d ciphertext segment(s) the server scans:\n" lo hi
+      (List.length segments);
+    List.iter (fun (a, b) -> Printf.printf "  [%d, %d]\n" a b) segments
+  in
+  let doc = "Show the ciphertext scan ranges for a plaintext interval." in
+  Cmd.v (Cmd.info "ranges" ~doc)
+    Term.(const run $ key_arg $ domain_arg $ lo $ hi)
+
+let schedule_cmd =
+  let rho =
+    let doc = "Period for QueryP (omit for QueryU)." in
+    Arg.(value & opt (some int) None & info [ "rho" ] ~docv:"RHO" ~doc)
+  in
+  let k_arg =
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Fixed query length.")
+  in
+  let start =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"START" ~doc:"Query start.")
+  in
+  let run domain rho k start =
+    (* A skewed example client distribution. *)
+    let q = Distributions.zipf ~size:domain ~s:1.0 in
+    let mode =
+      match rho with None -> Scheduler.Uniform | Some r -> Scheduler.Periodic r
+    in
+    let scheduler = Scheduler.create ~m:domain ~k ~mode ~q in
+    Printf.printf "alpha = %.4f; expected fakes per real = %.2f\n"
+      (Scheduler.alpha scheduler)
+      (Scheduler.expected_fakes_per_real scheduler);
+    let rng = Rng.create (Int64.of_float (Unix.gettimeofday () *. 1000.0)) in
+    let burst = Scheduler.schedule scheduler rng ~real:start in
+    Printf.printf "one execution burst (last start is the real query):\n  %s\n"
+      (String.concat " " (List.map string_of_int burst))
+  in
+  let doc = "Show a QueryU/QueryP execution schedule for a query start." in
+  Cmd.v (Cmd.info "schedule" ~doc)
+    Term.(const run $ domain_arg $ rho $ k_arg $ start)
+
+let demo_cmd =
+  let run () =
+    let open Mope_workload in
+    let open Mope_system in
+    print_endline "Loading TPC-H at SF 0.002 and building the encrypted twin...";
+    let tb = Testbed.load ~sf:0.002 ~seed:1L () in
+    let proxy = Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho:(Some 92) () in
+    let rng = Rng.create 2L in
+    let inst = Tpch_queries.random_instance rng Tpch_queries.Q6 in
+    Printf.printf "client SQL:\n  %s\n" inst.Tpch_queries.sql;
+    let plain = Testbed.run_plain tb inst in
+    let encrypted = Testbed.run_encrypted proxy inst in
+    let show r =
+      String.concat " | "
+        (List.map
+           (fun row ->
+             String.concat ","
+               (Array.to_list (Array.map Mope_db.Value.to_string row)))
+           r.Mope_db.Exec.rows)
+    in
+    Printf.printf "plaintext result:  %s\n" (show plain);
+    Printf.printf "via encrypted DB:  %s\n" (show encrypted);
+    let c = Mope_system.Proxy.counters proxy in
+    Printf.printf
+      "proxy issued %d server requests (%d fake queries mixed in), fetched %d rows, kept %d\n"
+      c.Proxy.server_requests c.Proxy.fake_queries c.Proxy.rows_fetched
+      c.Proxy.rows_delivered
+  in
+  let doc = "End-to-end encrypted TPC-H demo (Q6 through the proxy)." in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ const ())
+
+let attack_cmd =
+  let run domain =
+    let m = domain and k = Int.max 2 (domain / 10) in
+    Printf.printf "gap attack, M=%d k=%d, 30 fresh keys, 400 queries each:\n" m k;
+    let naive =
+      Mope_attack.Gap_attack.success_rate ~m ~k ~n_queries:400 ~trials:30 ~seed:1L
+        ~fake_mix:None
+    in
+    Printf.printf "  naive MOPE:    offset recovered in %.0f%% of trials\n"
+      (100.0 *. naive);
+    let q =
+      let pmf = Array.init m (fun i -> if i <= m - k then 1.0 else 0.0) in
+      let total = Array.fold_left ( +. ) 0.0 pmf in
+      Mope_stats.Histogram.of_pmf (Array.map (fun p -> p /. total) pmf)
+    in
+    let scheduler = Scheduler.create ~m ~k ~mode:Scheduler.Uniform ~q in
+    let mixed =
+      Mope_attack.Gap_attack.success_rate ~m ~k ~n_queries:400 ~trials:30 ~seed:1L
+        ~fake_mix:(Some scheduler)
+    in
+    Printf.printf "  MOPE + QueryU: offset recovered in %.0f%% of trials\n"
+      (100.0 *. mixed)
+  in
+  let doc = "Mount the gap attack on naive vs QueryU-protected query streams." in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const run $ domain_arg)
+
+
+(* ------------------------------------------------------------------ *)
+(* sql: a small shell over the embedded engine *)
+
+let render_table (result : Mope_db.Exec.result) =
+  let open Mope_db in
+  let cells =
+    result.Exec.columns
+    :: List.map
+         (fun row -> Array.to_list (Array.map Value.to_string row))
+         result.Exec.rows
+  in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i cell ->
+            let current = try List.nth acc i with _ -> 0 in
+            Int.max current (String.length cell))
+          row)
+      (List.map String.length result.Exec.columns)
+      cells
+  in
+  let line row =
+    String.concat " | "
+      (List.mapi
+         (fun i cell ->
+           let w = List.nth widths i in
+           cell ^ String.make (w - String.length cell) ' ')
+         row)
+  in
+  print_endline (line result.Exec.columns);
+  print_endline (String.concat "-+-" (List.map (fun w -> String.make w '-') widths));
+  List.iter
+    (fun row -> print_endline (line (Array.to_list (Array.map Value.to_string row))))
+    result.Exec.rows;
+  Printf.printf "(%d rows)\n" (List.length result.Exec.rows)
+
+let run_sql_statement db stmt =
+  let open Mope_db in
+  match Database.execute db stmt with
+  | Database.Rows result -> render_table result
+  | Database.Affected n -> Printf.printf "OK, %d rows affected\n" n
+  | exception Sql_parser.Parse_error msg -> Printf.printf "parse error: %s\n" msg
+  | exception Sql_lexer.Lex_error (msg, pos) ->
+    Printf.printf "lex error at %d: %s\n" pos msg
+  | exception Exec.Exec_error msg -> Printf.printf "error: %s\n" msg
+  | exception Eval.Eval_error msg -> Printf.printf "error: %s\n" msg
+  | exception Invalid_argument msg -> Printf.printf "error: %s\n" msg
+
+let sql_cmd =
+  let db_path =
+    let doc = "Database file (created/updated with \\save; loaded if present)." in
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"PATH" ~doc)
+  in
+  let statements =
+    let doc = "Statement(s) to execute non-interactively." in
+    Arg.(value & opt_all string [] & info [ "e" ] ~docv:"SQL" ~doc)
+  in
+  let run db_path statements =
+    let open Mope_db in
+    let db =
+      match db_path with
+      | Some path when Sys.file_exists path ->
+        Printf.printf "loaded %s\n" path;
+        Storage.load ~path
+      | Some _ | None -> Database.create ()
+    in
+    let save () =
+      match db_path with
+      | Some path ->
+        Storage.save db ~path;
+        Printf.printf "saved %s\n" path
+      | None -> print_endline "no --db path given"
+    in
+    if statements <> [] then begin
+      List.iter (run_sql_statement db) statements;
+      if db_path <> None then save ()
+    end
+    else begin
+      print_endline
+        "mope sql shell — end statements with ';'. Commands: \\d (tables), \
+         \\save, \\q.";
+      let buffer = Buffer.create 256 in
+      let rec loop () =
+        print_string (if Buffer.length buffer = 0 then "mope> " else "  ... ");
+        match read_line () with
+        | exception End_of_file -> print_newline ()
+        | "\\q" -> ()
+        | "\\d" ->
+          List.iter
+            (fun name ->
+              let t = Database.table_exn db name in
+              Printf.printf "%s (%d rows) %s\n" name (Table.length t)
+                (Format.asprintf "%a" Schema.pp (Table.schema t)))
+            (Database.tables db);
+          loop ()
+        | "\\save" ->
+          save ();
+          loop ()
+        | line ->
+          Buffer.add_string buffer line;
+          Buffer.add_char buffer ' ';
+          let text = Buffer.contents buffer in
+          if String.contains line ';' then begin
+            Buffer.clear buffer;
+            run_sql_statement db (String.trim text)
+          end;
+          loop ()
+      in
+      loop ()
+    end
+  in
+  let doc = "Interactive SQL shell over the embedded engine (with --db persistence)." in
+  Cmd.v (Cmd.info "sql" ~doc) Term.(const run $ db_path $ statements)
+
+let () =
+  let doc = "Modular order-preserving encryption (SIGMOD'15 reproduction)." in
+  let info = Cmd.info "mope" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ encrypt_cmd; decrypt_cmd; ranges_cmd; schedule_cmd; demo_cmd;
+            attack_cmd; sql_cmd ]))

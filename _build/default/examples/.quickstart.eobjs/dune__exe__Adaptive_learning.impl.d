@@ -1,0 +1,1 @@
+examples/adaptive_learning.ml: Adaptive Datasets List Mope_core Mope_stats Mope_workload Printf Query_gen Query_model Queue Rng Scheduler

@@ -1,0 +1,1 @@
+examples/gap_attack_demo.ml: Array Float Gap_attack Histogram Int List Make_queries Modular Mope Mope_attack Mope_core Mope_ope Mope_stats Ope Printf Query_model Rng Scheduler String

@@ -1,0 +1,1 @@
+examples/outsourcing_lifecycle.ml: Array Buffer Database Date Encrypted_db Exec Filename Key_rotation List Mope_core Mope_db Mope_stats Mope_system Printf Proxy Storage String Sys Table Value

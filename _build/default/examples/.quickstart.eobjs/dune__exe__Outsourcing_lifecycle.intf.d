@@ -1,0 +1,1 @@
+examples/outsourcing_lifecycle.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Distributions List Mope Mope_core Mope_ope Mope_stats Ope Printf Rng Scheduler String

@@ -1,0 +1,1 @@
+examples/tpch_scenario.ml: Array Database Encrypted_db Exec List Mope_db Mope_stats Mope_system Mope_workload Printf Proxy String Table Testbed Tpch Tpch_queries Value

@@ -1,0 +1,1 @@
+lib/attack/frequency.ml: Distributions Feistel Float Hashtbl Histogram Int List Mope_crypto Mope_stats Option Printf Rng

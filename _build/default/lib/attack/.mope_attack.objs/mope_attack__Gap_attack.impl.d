@@ -1,0 +1,1 @@
+lib/attack/gap_attack.ml: Array Int List Make_queries Mope Mope_core Mope_ope Mope_stats Ope Printf Query_model Rng

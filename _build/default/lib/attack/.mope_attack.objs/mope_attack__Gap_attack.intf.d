@@ -1,0 +1,1 @@
+lib/attack/gap_attack.mli: Mope_core Mope_ope

@@ -1,0 +1,1 @@
+lib/attack/periodic_shift.ml: Array Float Histogram List Modular Mope_core Mope_ope Mope_stats Rng Scheduler

@@ -1,0 +1,1 @@
+lib/attack/periodic_shift.mli: Mope_stats

@@ -1,0 +1,1 @@
+lib/attack/sorting_attack.ml: Fun Int List Mope Mope_ope Mope_stats Ope Printf Rng

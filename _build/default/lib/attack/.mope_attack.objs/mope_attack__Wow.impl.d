@@ -1,0 +1,1 @@
+lib/attack/wow.ml: Array Float Fun Gap_attack Histogram Int Int64 List Make_queries Modular Mope Mope_core Mope_ope Mope_stats Ope Printf Query_model Rng Scheduler

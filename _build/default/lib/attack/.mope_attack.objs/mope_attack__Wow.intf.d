@@ -1,0 +1,1 @@
+lib/attack/wow.mli: Mope_core

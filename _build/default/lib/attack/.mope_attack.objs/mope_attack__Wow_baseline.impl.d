@@ -1,0 +1,1 @@
+lib/attack/wow_baseline.ml: Array Float Fun Int Modular Mope Mope_ope Mope_stats Ope Printf Rng

@@ -1,0 +1,1 @@
+lib/attack/wow_baseline.mli:

@@ -1,0 +1,74 @@
+open Mope_stats
+open Mope_crypto
+
+let attack ~ciphertexts ~known_frequencies =
+  let observed = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace observed c
+        (1 + Option.value ~default:0 (Hashtbl.find_opt observed c)))
+    ciphertexts;
+  let by_observed =
+    Hashtbl.fold (fun c count acc -> (c, count) :: acc) observed []
+    (* Sort by frequency, breaking ties by value for determinism. *)
+    |> List.sort (fun (c1, n1) (c2, n2) ->
+           match Int.compare n2 n1 with 0 -> Int.compare c1 c2 | c -> c)
+  in
+  let by_known =
+    List.sort
+      (fun (p1, f1) (p2, f2) ->
+        match Float.compare f2 f1 with 0 -> Int.compare p1 p2 | c -> c)
+      known_frequencies
+  in
+  let rec zip acc cs ps =
+    match (cs, ps) with
+    | (c, _) :: cs, (p, _) :: ps -> zip ((c, p) :: acc) cs ps
+    | _, [] | [], _ -> List.rev acc
+  in
+  zip [] by_observed by_known
+
+type outcome = {
+  recovered : float;
+  distinct_recovered : float;
+}
+
+let experiment ~domain ~zipf_s ~n_rows ~trials ~seed =
+  let rng = Rng.create seed in
+  let dist =
+    if zipf_s <= 0.0 then Histogram.uniform domain
+    else Distributions.zipf ~size:domain ~s:zipf_s
+  in
+  let known_frequencies =
+    List.init domain (fun p -> (p, Histogram.prob dist p))
+  in
+  let total_occ = ref 0 and hit_occ = ref 0 in
+  let total_distinct = ref 0 and hit_distinct = ref 0 in
+  for trial = 1 to trials do
+    let key = Printf.sprintf "freq-%d-%Ld" trial seed in
+    let plaintexts =
+      List.init n_rows (fun _ -> Histogram.sample dist ~u:(Rng.float rng))
+    in
+    let enc p = Feistel.fpe_encrypt ~key ~domain p in
+    let ciphertexts = List.map enc plaintexts in
+    let guesses = attack ~ciphertexts ~known_frequencies in
+    let counts = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        Hashtbl.replace counts c
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+      ciphertexts;
+    List.iter
+      (fun (c, guess) ->
+        let occurrences = Option.value ~default:0 (Hashtbl.find_opt counts c) in
+        let correct = Feistel.fpe_decrypt ~key ~domain c = guess in
+        total_occ := !total_occ + occurrences;
+        total_distinct := !total_distinct + 1;
+        if correct then begin
+          hit_occ := !hit_occ + occurrences;
+          hit_distinct := !hit_distinct + 1
+        end)
+      guesses
+  done;
+  { recovered = float_of_int !hit_occ /. float_of_int (Int.max 1 !total_occ);
+    distinct_recovered =
+      float_of_int !hit_distinct /. float_of_int (Int.max 1 !total_distinct) }

@@ -1,0 +1,60 @@
+open Mope_stats
+open Mope_ope
+open Mope_core
+
+type guess = {
+  arc_lo : int;
+  arc_len : int;
+  next_start : int;
+}
+
+let largest_empty_arc ~n points =
+  if points = [] then invalid_arg "Gap_attack.largest_empty_arc: no observations";
+  let sorted = List.sort_uniq Int.compare points in
+  let arr = Array.of_list sorted in
+  let count = Array.length arr in
+  (* Circular gaps between consecutive observed points. *)
+  let best = ref (arr.(0) + 1, 0, arr.(0)) in
+  for i = 0 to count - 1 do
+    let here = arr.(i) in
+    let next = if i = count - 1 then arr.(0) + n else arr.(i + 1) in
+    let gap = next - here - 1 in
+    let _, best_gap, _ = !best in
+    if gap > best_gap then best := ((here + 1) mod n, gap, next mod n)
+  done;
+  let arc_lo, arc_len, next_start = !best in
+  { arc_lo; arc_len; next_start }
+
+let observed_starts stream =
+  List.map (fun q -> q.Make_queries.c_lo) stream
+
+let run ~mope ~stream =
+  let guess = largest_empty_arc ~n:(Mope.range mope) (observed_starts stream) in
+  let success = guess.next_start = Mope.encrypt mope 0 in
+  (guess, success)
+
+let success_rate ~m ~k ~n_queries ~trials ~seed ~fake_mix =
+  if k > m then invalid_arg "Gap_attack.success_rate: k > m";
+  let rng = Rng.create seed in
+  let wins = ref 0 in
+  for trial = 1 to trials do
+    let key = Printf.sprintf "gap-trial-%d-%Ld" trial seed in
+    let mope =
+      Mope.create_with_offset ~key ~domain:m ~range:(Ope.recommended_range m)
+        ~offset:(Rng.int rng m) ()
+    in
+    (* Valid non-wrapping length-k client queries start in [0, m-k]. *)
+    let queries =
+      List.init n_queries (fun _ ->
+          let lo = Rng.int rng (m - k + 1) in
+          Query_model.make ~m ~lo ~hi:(lo + k - 1))
+    in
+    let stream =
+      match fake_mix with
+      | None -> Make_queries.run_naive ~mope ~k ~queries
+      | Some scheduler -> Make_queries.run ~mope ~scheduler ~rng ~queries
+    in
+    let _, success = run ~mope ~stream:(Make_queries.strip stream) in
+    if success then incr wins
+  done;
+  float_of_int !wins /. float_of_int trials

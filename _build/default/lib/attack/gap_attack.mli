@@ -1,0 +1,41 @@
+(** The gap attack on naive MOPE range queries (paper §1, §3, Fig. 1).
+
+    Valid (non-wrapping) client queries never start inside the shifted arc
+    just below the secret offset, so the ciphertexts of observed query
+    starts leave a persistent empty arc in the ciphertext space. The
+    adversary finds the largest empty arc and bets that the ciphertext
+    immediately after it encrypts plaintext 0 — which pins down the offset.
+
+    Mixing in fake queries (QueryU) makes the perceived start distribution
+    uniform over the whole space, erasing the arc. *)
+
+type guess = {
+  arc_lo : int;       (** first ciphertext of the largest empty arc *)
+  arc_len : int;      (** its length (circular, in ciphertext units) *)
+  next_start : int;   (** first {e observed} start after the arc — the bet *)
+}
+
+val largest_empty_arc : n:int -> int list -> guess
+(** Largest circular arc of [\[0, n)] containing none of the observed
+    points. Raises [Invalid_argument] on an empty observation list. *)
+
+val observed_starts : Mope_core.Make_queries.encrypted_query list -> int list
+(** The query-start ciphertexts the server sees. *)
+
+val run :
+  mope:Mope_ope.Mope.t ->
+  stream:Mope_core.Make_queries.encrypted_query list ->
+  guess * bool
+(** Mount the attack on an observed stream; the boolean reports whether the
+    bet is correct ([next_start] really encrypts plaintext 0 — evaluated
+    with the secret key, which only the experiment harness holds). *)
+
+val success_rate :
+  m:int -> k:int -> n_queries:int -> trials:int -> seed:int64 ->
+  fake_mix:Mope_core.Scheduler.t option ->
+  float
+(** Fraction of [trials] (fresh key and offset each) in which the attack
+    pins the offset exactly. [fake_mix = None] mounts it on naive query
+    streams; [Some scheduler] routes the same client queries through the
+    scheduler first. Client queries are drawn uniformly from the valid
+    (non-wrapping) length-[k] queries, as in Fig. 1. *)

@@ -1,0 +1,49 @@
+open Mope_stats
+open Mope_ope
+open Mope_core
+
+type outcome = {
+  class_success : float;
+  full_success : float;
+}
+
+let run ~m ~k ~rho ~n_queries ~trials ~seed ~q =
+  if m mod rho <> 0 then invalid_arg "Periodic_shift.run: rho must divide m";
+  let scheduler = Scheduler.create ~m ~k ~mode:(Scheduler.Periodic rho) ~q in
+  let target = Scheduler.perceived scheduler in
+  let rng = Rng.create seed in
+  let class_wins = ref 0 and full_wins = ref 0 in
+  for _ = 1 to trials do
+    let offset = Rng.int rng m in
+    (* Observed (shifted) starts: real + fake, all shifted by the offset. *)
+    let observed = ref [] in
+    for _ = 1 to n_queries do
+      let real = Histogram.sample q ~u:(Rng.float rng) in
+      List.iter
+        (fun start -> observed := Modular.add ~m start offset :: !observed)
+        (Scheduler.schedule scheduler rng ~real)
+    done;
+    (* Maximum likelihood over all m candidate shifts: the log-likelihood of
+       the observations under target shifted by j. Count observations per
+       position first so each candidate costs O(#distinct positions). *)
+    let counts = Array.make m 0 in
+    List.iter (fun x -> counts.(x) <- counts.(x) + 1) !observed;
+    let best_j = ref 0 and best_ll = ref neg_infinity in
+    for j = 0 to m - 1 do
+      let ll = ref 0.0 in
+      for x = 0 to m - 1 do
+        if counts.(x) > 0 then begin
+          let p = Histogram.prob target (Modular.sub ~m x j) in
+          ll := !ll +. (float_of_int counts.(x) *. log (Float.max p 1e-300))
+        end
+      done;
+      if !ll > !best_ll then begin
+        best_ll := !ll;
+        best_j := j
+      end
+    done;
+    if !best_j mod rho = offset mod rho then incr class_wins;
+    if !best_j = offset then incr full_wins
+  done;
+  { class_success = float_of_int !class_wins /. float_of_int trials;
+    full_success = float_of_int !full_wins /. float_of_int trials }

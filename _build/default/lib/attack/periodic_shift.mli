@@ -1,0 +1,22 @@
+(** Recovery of the secret offset's low-order information under QueryP
+    (paper §3.2 discussion and Theorem 5).
+
+    The perceived start distribution under QueryP is a ρ-periodic target
+    shifted by the secret offset j, so a maximum-likelihood adversary who
+    knows the client distribution can recover [j mod ρ] — but nothing more:
+    all M/ρ offsets within the congruence class induce identical perceived
+    distributions. The two success rates below demonstrate both halves. *)
+
+type outcome = {
+  class_success : float;  (** Pr\[ ĵ ≡ j (mod ρ) \] — approaches 1 with samples *)
+  full_success : float;   (** Pr\[ ĵ = j \] — stays ≈ ρ/M *)
+}
+
+val run :
+  m:int -> k:int -> rho:int -> n_queries:int -> trials:int -> seed:int64 ->
+  q:Mope_stats.Histogram.t ->
+  outcome
+(** Each trial draws a fresh offset, routes [n_queries] client queries
+    (starts ~ [q]) through QueryP\[ρ\], hands the adversary the {e shifted
+    plaintext starts} (the strongest, OPE-inverting adversary), and lets it
+    pick the maximum-likelihood shift. [rho] must divide [m]. *)

@@ -1,0 +1,44 @@
+open Mope_stats
+open Mope_ope
+
+let attack ~m ~ciphertexts =
+  let distinct = List.sort_uniq Int.compare ciphertexts in
+  List.mapi (fun i c -> (c, i mod m)) distinct
+
+type outcome = {
+  ope_recovery : float;
+  mope_recovery : float;
+}
+
+let recovery ~decrypt ~m guesses =
+  let correct =
+    List.fold_left
+      (fun acc (c, guess) -> if decrypt c = guess then acc + 1 else acc)
+      0 guesses
+  in
+  float_of_int correct /. float_of_int m
+
+let experiment ~m ~trials ~seed =
+  let rng = Rng.create seed in
+  let dense = List.init m Fun.id in
+  let ope_total = ref 0.0 and mope_total = ref 0.0 in
+  for trial = 1 to trials do
+    let key = Printf.sprintf "sorting-%d-%Ld" trial seed in
+    (* Plain OPE = MOPE with offset 0; MOPE draws a random secret offset. *)
+    let ope =
+      Mope.create_with_offset ~key ~domain:m ~range:(Ope.recommended_range m)
+        ~offset:0 ()
+    in
+    let mope =
+      Mope.create_with_offset ~key:(key ^ "-m") ~domain:m
+        ~range:(Ope.recommended_range m) ~offset:(Rng.int rng m) ()
+    in
+    let run scheme decrypt =
+      let ciphertexts = List.map (Mope.encrypt scheme) dense in
+      recovery ~decrypt ~m (attack ~m ~ciphertexts)
+    in
+    ope_total := !ope_total +. run ope (Mope.decrypt ope);
+    mope_total := !mope_total +. run mope (Mope.decrypt mope)
+  done;
+  { ope_recovery = !ope_total /. float_of_int trials;
+    mope_recovery = !mope_total /. float_of_int trials }

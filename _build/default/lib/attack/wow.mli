@@ -1,0 +1,50 @@
+(** Empirical window one-wayness experiments with queries (paper §7.2,
+    Fig. 17): WOW*-L (location) and WOW*-D (distance).
+
+    Each trial samples a fresh key/offset, a random database of [n] distinct
+    plaintexts, encrypts it, lets a concrete adversary watch [q] encrypted
+    client queries (naive, or routed through a scheduler), and challenges it
+    to window the location of a random database plaintext (WOW*-L) or the
+    distance between two (WOW*-D). The adversaries are the natural
+    maximum-likelihood strategies:
+
+    - location: gap-attack the query stream for an offset estimate, then
+      invert the challenge ciphertext's rank among the database ciphertexts;
+    - distance: scale the ciphertext-space distance by M/N.
+
+    Theorems 3–5 bound any adversary; these give concrete lower evidence
+    that the bounds are tight where the paper says they are (naive MOPE
+    location ≈ certain; QueryU location ≈ w/M; distance leaks everywhere). *)
+
+type mode =
+  | Naive                               (** no fake queries *)
+  | Mixed of Mope_core.Scheduler.mode   (** QueryU / QueryP\[ρ\] *)
+
+type config = {
+  m : int;           (** plaintext domain size M *)
+  n : int;           (** database size *)
+  w : int;           (** window size (the guess covers w+1 values) *)
+  q : int;           (** client queries observed *)
+  k : int;           (** fixed query length *)
+  trials : int;
+  seed : int64;
+}
+
+val default : config
+(** M=1000, n=60, w=20, q=50, k=10, 300 trials. *)
+
+val location_success : config -> mode -> float
+(** Empirical WOW*-L success rate of the concrete adversary. *)
+
+val distance_success : config -> mode -> float
+(** Empirical WOW*-D success rate. *)
+
+val location_bound : config -> mode -> float
+(** The §7 theorem bound for the mode (w/M for QueryU — Theorem 3;
+    ρw/M for QueryP — Theorem 5; 1 for naive, where no theorem protects). *)
+
+val distance_bound : config -> float
+(** Theorem 4's [8w/√(M − qk − 1)] (capped at 1). *)
+
+val random_guess : config -> float
+(** The no-information baseline [(w+1)/M]. *)

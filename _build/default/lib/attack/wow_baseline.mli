@@ -1,0 +1,34 @@
+(** Query-free window one-wayness — the §7.1 baseline (Theorems 1–2).
+
+    Before queries enter the picture, the paper recalls what the encrypted
+    database alone reveals: basic OPE leaks roughly the upper half of each
+    plaintext's bits (location) {e and} of each pairwise distance; MOPE's
+    random offset erases the location leak entirely (Theorem 1 — the w/M of
+    semantic security) while distances still leak (Theorem 2). These
+    experiments measure concrete rank-inversion adversaries against both
+    schemes with {e no query oracle}, quantifying the gap the paper's query
+    algorithms must then preserve. *)
+
+type config = {
+  m : int;        (** plaintext domain size *)
+  n : int;        (** database size *)
+  w : int;        (** window size *)
+  trials : int;
+  seed : int64;
+}
+
+val default : config
+(** M=1000, n=60, w=20, 300 trials. *)
+
+type row = {
+  scheme : string;       (** "OPE" or "MOPE" *)
+  location : float;      (** empirical WOW-L success of the rank adversary *)
+  distance : float;      (** empirical WOW-D success of the scale adversary *)
+}
+
+val run : config -> row list
+(** The two rows (OPE, MOPE). Expected shape: OPE location ≫ w/M while MOPE
+    location ≈ w/M; both distances ≫ nw/M. *)
+
+val location_random_guess : config -> float
+(** (w+1)/M. *)

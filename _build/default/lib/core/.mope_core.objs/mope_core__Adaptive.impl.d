@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Completion Distributions Histogram List Mope_stats Rng Scheduler

@@ -1,0 +1,1 @@
+lib/core/completion.ml: Array Float Histogram Mope_stats

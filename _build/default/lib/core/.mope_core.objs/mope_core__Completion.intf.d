@@ -1,0 +1,1 @@
+lib/core/completion.mli: Mope_stats

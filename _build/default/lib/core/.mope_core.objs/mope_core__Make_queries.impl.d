@@ -1,0 +1,1 @@
+lib/core/make_queries.ml: List Modular Mope Mope_ope Query_model Scheduler

@@ -1,0 +1,1 @@
+lib/core/make_queries.mli: Mope_ope Mope_stats Query_model Scheduler

@@ -1,0 +1,1 @@
+lib/core/pacer.ml: Float List Queue

@@ -1,0 +1,1 @@
+lib/core/query_model.ml: Int List Modular Mope_ope

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Completion Distributions Histogram List Mope_stats Rng

@@ -1,0 +1,138 @@
+open Mope_stats
+
+type mode = Uniform | Periodic of int
+
+type event = Fake of int | Real of int | Replay of int
+
+type t = {
+  m : int;
+  k : int;
+  mode : mode;
+  counts : int array;              (* buffer as a histogram over starts *)
+  mutable total : int;             (* buffer size, with multiplicity *)
+  pending : int array;             (* client instances awaiting execution *)
+  mutable pending_total : int;
+  mutable cached_est : Histogram.t option;  (* invalidated by [observe] *)
+  mutable cached_mix : Completion.t option; (* invalidated by [observe] *)
+  mutable snapshot : (int * Histogram.t) option; (* (total at snapshot, estimate) *)
+  mutable last_stability : float option;   (* TV between consecutive snapshots *)
+}
+
+let create ~m ~k ~mode =
+  if m <= 0 then invalid_arg "Adaptive.create: m";
+  if k < 1 || k > m then invalid_arg "Adaptive.create: k";
+  (match mode with
+  | Periodic rho when rho < 1 || m mod rho <> 0 ->
+    invalid_arg "Adaptive.create: rho must divide m"
+  | Periodic _ | Uniform -> ());
+  { m; k; mode;
+    counts = Array.make m 0;
+    total = 0;
+    pending = Array.make m 0;
+    pending_total = 0;
+    cached_est = None;
+    cached_mix = None;
+    snapshot = None;
+    last_stability = None }
+
+let observe t start =
+  if start < 0 || start >= t.m then invalid_arg "Adaptive.observe: start";
+  t.counts.(start) <- t.counts.(start) + 1;
+  t.total <- t.total + 1;
+  t.pending.(start) <- t.pending.(start) + 1;
+  t.pending_total <- t.pending_total + 1;
+  t.cached_est <- None;
+  t.cached_mix <- None
+
+let pending t = t.pending_total
+
+let estimate t =
+  if t.total = 0 then invalid_arg "Adaptive.estimate: empty buffer";
+  match t.cached_est with
+  | Some h -> h
+  | None ->
+    let h = Histogram.of_counts t.counts in
+    t.cached_est <- Some h;
+    h
+
+let mix t =
+  match t.cached_mix with
+  | Some m -> m
+  | None ->
+    let q = estimate t in
+    let m =
+      match t.mode with
+      | Uniform -> Completion.uniform q
+      | Periodic rho -> Completion.periodic q ~rho
+    in
+    t.cached_mix <- Some m;
+    m
+
+let alpha t = if t.total = 0 then 1.0 else (mix t).Completion.alpha
+
+(* Uniform sample from the buffer with replacement = a draw from the
+   count-weighted histogram estimate. *)
+let sample_buffer t rng = Histogram.sample (estimate t) ~u:(Rng.float rng)
+
+let step t rng =
+  if t.total = 0 then None
+  else begin
+    let { Completion.alpha; completion } = mix t in
+    let heads = Distributions.sample_bernoulli rng ~p:alpha in
+    match (heads, completion) with
+    | false, Some c -> Some (Fake (Histogram.sample c ~u:(Rng.float rng)))
+    | false, None | true, _ ->
+      let start = sample_buffer t rng in
+      if t.pending.(start) > 0 then begin
+        t.pending.(start) <- t.pending.(start) - 1;
+        t.pending_total <- t.pending_total - 1;
+        Some (Real start)
+      end
+      else Some (Replay start)
+  end
+
+let run_until_served t rng ~max_steps =
+  let rec loop acc steps =
+    if steps >= max_steps || pending t = 0 then List.rev acc
+    else
+      match step t rng with
+      | None -> List.rev acc
+      | Some ev -> loop (ev :: acc) (steps + 1)
+  in
+  loop [] 0
+
+let buffer_size t = t.total
+
+(* ------------------------------------------------------------------ *)
+(* Crossover (paper §4 future work): declare the distribution "learned"
+   when consecutive estimate snapshots stop moving, then freeze into the
+   static scheduler. *)
+
+let stability t ~window =
+  if window <= 0 then invalid_arg "Adaptive.stability: window";
+  if t.total = 0 then None
+  else begin
+    (match t.snapshot with
+    | None -> t.snapshot <- Some (t.total, estimate t)
+    | Some (at, previous) ->
+      if t.total - at >= window then begin
+        let current = estimate t in
+        t.last_stability <- Some (Histogram.total_variation previous current);
+        t.snapshot <- Some (t.total, current)
+      end);
+    t.last_stability
+  end
+
+let crossover_ready t ~window ~epsilon =
+  match stability t ~window with
+  | Some tv -> tv <= epsilon
+  | None -> false
+
+let freeze t =
+  if t.total = 0 then invalid_arg "Adaptive.freeze: empty buffer";
+  let mode =
+    match t.mode with
+    | Uniform -> Scheduler.Uniform
+    | Periodic rho -> Scheduler.Periodic rho
+  in
+  Scheduler.create ~m:t.m ~k:t.k ~mode ~q:(estimate t)

@@ -1,0 +1,68 @@
+(** Learning the query distribution online (paper §4).
+
+    [AdaptiveQueryU]/[AdaptiveQueryP]: the proxy keeps a buffer of the
+    (transformed) query starts seen so far and uses it as the running
+    estimate of the client distribution. Each step flips the coin with the
+    {e current} estimate's α; heads executes a uniformly random buffer
+    element (with replacement — this is what makes each executed query
+    exactly target-distributed), tails executes a fake from the current
+    completion. Security is unaffected by the learning; only efficiency
+    improves as the estimate converges (§7). *)
+
+type mode = Uniform | Periodic of int
+
+type event =
+  | Fake of int
+    (** A fake start drawn from the current completion estimate. *)
+  | Real of int
+    (** A buffer sample serving a still-pending client query instance —
+        a "unique real query" in the paper's Fig. 16 accounting. *)
+  | Replay of int
+    (** A buffer re-sample of a start with no pending instance (sampling is
+        with replacement); the paper counts these as fake work. *)
+
+type t
+
+val create : m:int -> k:int -> mode:mode -> t
+
+val observe : t -> int -> unit
+(** Add one transformed real query start to the buffer (the paper's
+    [buffer.add(q)]); it becomes a pending instance awaiting execution. *)
+
+val pending : t -> int
+(** Client query instances observed but not yet served. *)
+
+val step : t -> Mope_stats.Rng.t -> event option
+(** Execute one query; [None] when the buffer is still empty. *)
+
+val run_until_served : t -> Mope_stats.Rng.t -> max_steps:int -> event list
+(** Step until every observed start has been executed at least once (or
+    [max_steps] is hit); returns the executed events in order. *)
+
+val buffer_size : t -> int
+
+val estimate : t -> Mope_stats.Histogram.t
+(** The current histogram estimate of the client distribution.
+    Raises [Invalid_argument] while the buffer is empty. *)
+
+val alpha : t -> float
+(** Current coin bias (1 while the buffer is empty). *)
+
+(** {2 Crossover}
+
+    The paper leaves "determining a cross-over point" — when to declare the
+    distribution learned and switch to the static algorithm — as future
+    work; these implement the natural rule: freeze once consecutive
+    estimate snapshots stop moving in total variation. *)
+
+val stability : t -> window:int -> float option
+(** Total-variation distance between the current estimate and the snapshot
+    taken at least [window] observations earlier; [None] until two
+    snapshots exist. Snapshots advance lazily as this is polled. *)
+
+val crossover_ready : t -> window:int -> epsilon:float -> bool
+(** Whether the last snapshot-to-snapshot movement was at most [epsilon]. *)
+
+val freeze : t -> Scheduler.t
+(** The static QueryU/QueryP scheduler for the learned estimate — what the
+    proxy switches to at the crossover. Raises on an empty buffer. *)

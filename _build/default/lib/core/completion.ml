@@ -1,0 +1,45 @@
+open Mope_stats
+
+type t = {
+  alpha : float;
+  completion : Histogram.t option;
+}
+
+(* A target is described by giving each element its per-element target cap:
+   [cap i] is μ for uniform, η_{i mod ρ} for ρ-periodic. The completion mass
+   at i is cap(i) − Q(i) ≥ 0, and α = 1 / Σ_i cap(i). *)
+let of_caps q cap =
+  let m = Histogram.size q in
+  let total_cap = ref 0.0 in
+  for i = 0 to m - 1 do
+    total_cap := !total_cap +. cap i
+  done;
+  let alpha = 1.0 /. !total_cap in
+  (* Residual fake mass; within 1 ulp of (1/α − 1). *)
+  let residual = !total_cap -. 1.0 in
+  if residual <= 1e-12 then { alpha = 1.0; completion = None }
+  else begin
+    let pmf =
+      Array.init m (fun i -> Float.max 0.0 (cap i -. Histogram.prob q i) /. residual)
+    in
+    (* Normalize away accumulated rounding before the mass check. *)
+    let total = Array.fold_left ( +. ) 0.0 pmf in
+    let pmf = Array.map (fun p -> p /. total) pmf in
+    { alpha; completion = Some (Histogram.of_pmf pmf) }
+  end
+
+let uniform q =
+  let mu = Histogram.max_prob q in
+  of_caps q (fun _ -> mu)
+
+let periodic q ~rho =
+  let eta, _mean = Histogram.periodic_eta q ~rho in
+  of_caps q (fun i -> eta.(i mod rho))
+
+let expected_fakes_per_real t =
+  if t.alpha >= 1.0 then 0.0 else (1.0 -. t.alpha) /. t.alpha
+
+let perceived q t =
+  match t.completion with
+  | None -> q
+  | Some c -> Histogram.mix t.alpha q c

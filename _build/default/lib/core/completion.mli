@@ -1,0 +1,34 @@
+(** Completion distributions (paper §3.1–3.2).
+
+    Given the client query distribution [Q] over fixed-length query starts,
+    the proxy mixes real queries (with probability [α]) and fake queries
+    drawn from a completion distribution [Q̄] so the server-perceived mix
+    [α·Q + (1−α)·Q̄] equals a target that carries no information about the
+    secret offset: the uniform distribution ({!uniform}), or a ρ-periodic
+    one ({!periodic}) trading the offset's low-order bits for efficiency. *)
+
+type t = {
+  alpha : float;
+  (** The Bern(α) coin bias: probability that the next executed query is the
+      real one. [1/(μ_Q·M)] for uniform, [1/(η̄_Q·M)] for ρ-periodic. *)
+  completion : Mope_stats.Histogram.t option;
+  (** The fake-query distribution [Q̄]; [None] iff [alpha ≥ 1] (the client
+      distribution already equals the target — no fakes ever needed). *)
+}
+
+val uniform : Mope_stats.Histogram.t -> t
+(** Completion towards the uniform target:
+    [Q̄(i) = (μ_Q − Q(i)) / (μ_Q·M − 1)], [α = 1/(μ_Q·M)]. *)
+
+val periodic : Mope_stats.Histogram.t -> rho:int -> t
+(** ρ-periodic completion: with [η_j = max_{i ≡ j (ρ)} Q(i)] and [η̄] their
+    mean, [Q̄ρ(i) = (η_{i mod ρ} − Q(i)) / (η̄·M − 1)], [α = 1/(η̄·M)].
+    [rho] must divide the domain size. [rho = 1] coincides with {!uniform}'s
+    target; [rho = M] forwards every query unchanged ([α = 1]). *)
+
+val expected_fakes_per_real : t -> float
+(** [(1 − α)/α]: mean number of fake queries per real query. *)
+
+val perceived : Mope_stats.Histogram.t -> t -> Mope_stats.Histogram.t
+(** The server-side mix [α·Q + (1−α)·Q̄] — uniform (resp. ρ-periodic) by
+    construction; exposed so tests and Fig. 2–3 can verify it. *)

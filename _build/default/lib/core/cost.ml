@@ -1,0 +1,39 @@
+type t = {
+  mutable real_queries : int;
+  mutable transformed_queries : int;
+  mutable fake_queries : int;
+  mutable real_records : int;
+  mutable fake_records : int;
+  mutable excess_records : int;
+}
+
+let create () =
+  { real_queries = 0; transformed_queries = 0; fake_queries = 0;
+    real_records = 0; fake_records = 0; excess_records = 0 }
+
+let add acc t =
+  acc.real_queries <- acc.real_queries + t.real_queries;
+  acc.transformed_queries <- acc.transformed_queries + t.transformed_queries;
+  acc.fake_queries <- acc.fake_queries + t.fake_queries;
+  acc.real_records <- acc.real_records + t.real_records;
+  acc.fake_records <- acc.fake_records + t.fake_records;
+  acc.excess_records <- acc.excess_records + t.excess_records
+
+let bandwidth t =
+  if t.real_records = 0 then 0.0
+  else
+    float_of_int (t.fake_records + t.excess_records) /. float_of_int t.real_records
+
+let bandwidth_paper_estimate ~k ~real_sizes ~fake_records =
+  let real_total = List.fold_left ( + ) 0 real_sizes in
+  if real_total = 0 then 0.0
+  else begin
+    let excess = List.fold_left (fun acc s -> acc + (s mod k)) 0 real_sizes in
+    float_of_int (fake_records + excess) /. float_of_int real_total
+  end
+
+let requests t =
+  if t.real_queries = 0 then 0.0
+  else
+    float_of_int (t.transformed_queries + t.fake_queries)
+    /. float_of_int t.real_queries

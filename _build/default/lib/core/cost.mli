@@ -1,0 +1,32 @@
+(** The two cost functions of the paper's evaluation (§6).
+
+    [Bandwidth] charges the records moved beyond what the raw queries need:
+    fake-query records plus the overshoot that the τ_k transformation adds,
+    normalized by the real queries' record volume. [Requests] charges the
+    relative blow-up in the number of server round-trips. *)
+
+type t = {
+  mutable real_queries : int;        (** |R|: original client queries *)
+  mutable transformed_queries : int; (** |T|: fixed-length pieces of R *)
+  mutable fake_queries : int;        (** |F| *)
+  mutable real_records : int;        (** Σ_{q∈R} |q| *)
+  mutable fake_records : int;        (** Σ_{q∈F} |q| *)
+  mutable excess_records : int;      (** records fetched by τ_k(q) beyond q *)
+}
+
+val create : unit -> t
+
+val add : t -> t -> unit
+(** Accumulate the second tally into the first. *)
+
+val bandwidth : t -> float
+(** [(fake_records + excess_records) / real_records]. The paper's formula
+    estimates the excess term as [Σ_{q∈R} (|q| mod k)]; we measure the actual
+    overshoot (identical for uniform per-value record density). Returns 0
+    when no real records were fetched. *)
+
+val bandwidth_paper_estimate : k:int -> real_sizes:int list -> fake_records:int -> float
+(** The literal §6 estimator [(Σ_F |q| + Σ_R (|q| mod k)) / Σ_R |q|]. *)
+
+val requests : t -> float
+(** [(|T| + |F|) / |R|]; 0 when no real queries ran. *)

@@ -1,0 +1,45 @@
+open Mope_ope
+
+type encrypted_query = { c_lo : int; c_hi : int }
+
+type labelled =
+  | Real_piece of encrypted_query
+  | Fake_piece of encrypted_query
+
+let encrypt_start ~mope ~k start =
+  let m = Mope.domain mope in
+  let lo = Modular.normalize ~m start in
+  let hi = Modular.add ~m lo (k - 1) in
+  let c_lo, c_hi = Mope.encrypt_range mope ~lo ~hi in
+  { c_lo; c_hi }
+
+let run ~mope ~scheduler ~rng ~queries =
+  let m = Mope.domain mope and k = Scheduler.k scheduler in
+  if m <> Scheduler.m scheduler then invalid_arg "Make_queries.run: domain mismatch";
+  List.concat_map
+    (fun query ->
+      let pieces = Query_model.transform ~m ~k query in
+      List.concat_map
+        (fun real ->
+          let executed = Scheduler.schedule scheduler rng ~real in
+          (* [schedule] places the real start last; label by position so a
+             fake that coincidentally equals [real] stays labelled fake. *)
+          let last = List.length executed - 1 in
+          List.mapi
+            (fun i start ->
+              let eq = encrypt_start ~mope ~k start in
+              if i = last then Real_piece eq else Fake_piece eq)
+            executed)
+        pieces)
+    queries
+
+let run_naive ~mope ~k ~queries =
+  let m = Mope.domain mope in
+  List.concat_map
+    (fun query ->
+      Query_model.transform ~m ~k query
+      |> List.map (fun start -> Real_piece (encrypt_start ~mope ~k start)))
+    queries
+
+let strip labelled =
+  List.map (function Real_piece q | Fake_piece q -> q) labelled

@@ -1,0 +1,32 @@
+(** The [MakeQueries] algorithm of the security model (paper §7.2): turn an
+    un-encrypted client query sequence into the encrypted query sequence an
+    adversary observes, with the real encrypted queries embedded among the
+    fakes according to a scheduler. *)
+
+type encrypted_query = { c_lo : int; c_hi : int }
+(** A ciphertext interval as the server sees it; [c_hi < c_lo] wraps. *)
+
+type labelled =
+  | Real_piece of encrypted_query   (** a τ_k piece of a client query *)
+  | Fake_piece of encrypted_query
+
+val encrypt_start : mope:Mope_ope.Mope.t -> k:int -> int -> encrypted_query
+(** Encrypt the fixed-length-[k] query starting at a plaintext position
+    into its ciphertext endpoint pair. *)
+
+val run :
+  mope:Mope_ope.Mope.t ->
+  scheduler:Scheduler.t ->
+  rng:Mope_stats.Rng.t ->
+  queries:Query_model.t list ->
+  labelled list
+(** Full pipeline: τ_k-transform each client query, interleave fakes per the
+    scheduler, encrypt every executed start. The adversary in the WOW*
+    experiments sees this stream with the labels removed. *)
+
+val run_naive :
+  mope:Mope_ope.Mope.t -> k:int -> queries:Query_model.t list -> labelled list
+(** No fakes at all — the vulnerable baseline the gap attack exploits. *)
+
+val strip : labelled list -> encrypted_query list
+(** Drop the real/fake labels (the adversary's view). *)

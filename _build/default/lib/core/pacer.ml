@@ -1,0 +1,55 @@
+type event = {
+  time : float;
+  start : int;
+  queued_real : bool;
+}
+
+type t = {
+  interval : float;
+  queue : (float * int) Queue.t; (* (arrival time, start) *)
+  mutable clock : float;         (* time of the next tick *)
+  mutable last_arrival : float;
+}
+
+let create ~interval =
+  if interval <= 0.0 then invalid_arg "Pacer.create: interval";
+  { interval; queue = Queue.create (); clock = 0.0; last_arrival = neg_infinity }
+
+let enqueue t ~time start =
+  if time < t.last_arrival then invalid_arg "Pacer.enqueue: time went backwards";
+  t.last_arrival <- time;
+  Queue.add (time, start) t.queue
+
+let run_until t ~until ~idle_fake =
+  let events = ref [] in
+  while t.clock <= until do
+    let event =
+      (* Release the oldest query that has already arrived; the departure
+         schedule itself never depends on whether anything was waiting. *)
+      match Queue.peek_opt t.queue with
+      | Some (arrival, start) when arrival <= t.clock ->
+        ignore (Queue.pop t.queue);
+        { time = t.clock; start; queued_real = true }
+      | Some _ | None -> { time = t.clock; start = idle_fake (); queued_real = false }
+    in
+    events := event :: !events;
+    t.clock <- t.clock +. t.interval
+  done;
+  List.rev !events
+
+let queue_depth t = Queue.length t.queue
+
+let latency_stats events ~enqueued =
+  let released = List.filter (fun e -> e.queued_real) events in
+  let latencies =
+    List.map2
+      (fun e (arrival, _) -> e.time -. arrival)
+      (List.filteri (fun i _ -> i < List.length enqueued) released)
+      (List.filteri (fun i _ -> i < List.length released) enqueued)
+  in
+  match latencies with
+  | [] -> (0.0, 0.0)
+  | _ ->
+    let total = List.fold_left ( +. ) 0.0 latencies in
+    ( total /. float_of_int (List.length latencies),
+      List.fold_left Float.max 0.0 latencies )

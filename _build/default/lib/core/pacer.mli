@@ -1,0 +1,38 @@
+(** Fixed-interval query release (paper §5).
+
+    Mixing fake queries hides {e which} queries are real only if arrival
+    timing doesn't give them away: if fakes are emitted in bursts around
+    each real query, the server can cluster by time. The paper has the
+    proxy "issue queries to the server at fixed regular time intervals"
+    (as in PHANTOM's ORAM deployment [25]). This module simulates that
+    policy deterministically: queries enter a FIFO as they are produced,
+    and one query leaves at every tick — a fake drawn on demand when the
+    queue is empty, so the departure process carries no information at all
+    about client activity. *)
+
+type event = {
+  time : float;        (** departure time (multiples of the interval) *)
+  start : int;         (** the query start released *)
+  queued_real : bool;  (** whether it came from the queue (vs drawn on idle) *)
+}
+
+type t
+
+val create : interval:float -> t
+(** A pacer releasing one query every [interval] seconds (simulated). *)
+
+val enqueue : t -> time:float -> int -> unit
+(** A query (real or scheduler-produced fake) becomes ready at [time].
+    Times must be non-decreasing across calls. *)
+
+val run_until : t -> until:float -> idle_fake:(unit -> int) -> event list
+(** Advance the clock to [until], releasing one query per tick: the oldest
+    queued one if any, otherwise a fresh idle fake from [idle_fake].
+    Returns the departures in order and consumes the released entries. *)
+
+val queue_depth : t -> int
+(** Queries enqueued but not yet released. *)
+
+val latency_stats : event list -> enqueued:(float * int) list -> float * float
+(** [(mean, max)] release latency (departure − arrival) of the enqueued
+    queries that appear in the event list, matched in FIFO order. *)

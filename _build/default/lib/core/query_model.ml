@@ -1,0 +1,43 @@
+open Mope_ope
+
+type t = { lo : int; hi : int }
+
+let make ~m ~lo ~hi =
+  { lo = Modular.normalize ~m lo; hi = Modular.normalize ~m hi }
+
+let of_center ~m ~center ~len =
+  if len < 1 then invalid_arg "Query_model.of_center: len";
+  if len > m then invalid_arg "Query_model.of_center: len exceeds domain";
+  let lo = Modular.sub ~m center (len / 2) in
+  let hi = Modular.add ~m lo (len - 1) in
+  { lo; hi }
+
+let length ~m t = Modular.interval_length ~m ~lo:t.lo ~hi:t.hi
+
+let transform ~m ~k t =
+  if k < 1 then invalid_arg "Query_model.transform: k";
+  let len = length ~m t in
+  let pieces = if len <= k then 1 else (len + k - 1) / k in
+  List.init pieces (fun i -> Modular.add ~m t.lo (i * k))
+
+let coverage ~m ~k start =
+  let start = Modular.normalize ~m start in
+  if k >= m then { lo = 0; hi = m - 1 }
+  else { lo = start; hi = Modular.add ~m start (k - 1) }
+
+let covered ~m ~k ~starts t =
+  let in_some_piece x =
+    List.exists
+      (fun s ->
+        let piece = coverage ~m ~k s in
+        Modular.mem ~m ~lo:piece.lo ~hi:piece.hi x)
+      starts
+  in
+  let len = length ~m t in
+  let rec check i = i >= len || (in_some_piece (Modular.add ~m t.lo i) && check (i + 1)) in
+  check 0
+
+let overshoot ~m ~k t =
+  let len = length ~m t in
+  let pieces = if len <= k then 1 else (len + k - 1) / k in
+  Int.min m (pieces * k) - Int.min len (Int.min m (pieces * k))

@@ -1,0 +1,36 @@
+(** Range queries and the fixed-length transformation τ_k (paper §3.1).
+
+    A user query is an inclusive interval over the plaintext domain [\[0, m)]
+    (wrap-around allowed, as MOPE supports it). To keep the query histogram
+    O(M) instead of O(M²), every query is decomposed into queries of one
+    fixed length [k], each identified by its start position alone. *)
+
+type t = { lo : int; hi : int }
+(** Inclusive interval on [\[0, m)]; [hi < lo] wraps. *)
+
+val make : m:int -> lo:int -> hi:int -> t
+(** Normalize endpoints into the domain. *)
+
+val of_center : m:int -> center:int -> len:int -> t
+(** Query of [len ≥ 1] values centred (left-biased) on [center] — how the
+    paper§6 workload generator turns a sampled centre and length into a
+    range. *)
+
+val length : m:int -> t -> int
+(** Number of domain values covered. *)
+
+val transform : m:int -> k:int -> t -> int list
+(** τ_k: start positions of the fixed-length-[k] queries covering [t].
+    A query shorter than [k] becomes the single start [t.lo]; a longer one
+    is chopped into [⌈len/k⌉] consecutive length-[k] queries starting at
+    [t.lo] (the last one overshooting). The union always covers [t]. *)
+
+val coverage : m:int -> k:int -> int -> t
+(** The interval covered by a fixed query starting at a position. *)
+
+val covered : m:int -> k:int -> starts:int list -> t -> bool
+(** Whether the union of fixed queries covers every point of [t]. *)
+
+val overshoot : m:int -> k:int -> t -> int
+(** Number of domain values returned by τ_k(t) beyond those of [t]
+    (the Bandwidth numerator's transformation-excess term, in value space). *)

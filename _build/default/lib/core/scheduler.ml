@@ -1,0 +1,59 @@
+open Mope_stats
+
+type mode = Uniform | Periodic of int
+
+type t = {
+  m : int;
+  k : int;
+  mode : mode;
+  q : Histogram.t;
+  mix : Completion.t;
+}
+
+let create ~m ~k ~mode ~q =
+  if m <= 0 then invalid_arg "Scheduler.create: m";
+  if k < 1 || k > m then invalid_arg "Scheduler.create: k must be in [1, m]";
+  if Histogram.size q <> m then invalid_arg "Scheduler.create: q size mismatch";
+  let mix =
+    match mode with
+    | Uniform -> Completion.uniform q
+    | Periodic rho ->
+      if rho < 1 || m mod rho <> 0 then
+        invalid_arg "Scheduler.create: rho must divide m";
+      Completion.periodic q ~rho
+  in
+  { m; k; mode; q; mix }
+
+let m t = t.m
+let k t = t.k
+let mode t = t.mode
+let alpha t = t.mix.Completion.alpha
+let expected_fakes_per_real t = Completion.expected_fakes_per_real t.mix
+let completion t = t.mix.Completion.completion
+let perceived t = Completion.perceived t.q t.mix
+
+let sample_fake t rng =
+  match t.mix.Completion.completion with
+  | None -> None
+  | Some c -> Some (Histogram.sample c ~u:(Rng.float rng))
+
+let schedule t rng ~real =
+  match t.mix.Completion.completion with
+  | None -> [ real ]
+  | Some c ->
+    let fakes = Distributions.sample_geometric rng ~p:t.mix.Completion.alpha in
+    let starts =
+      List.init fakes (fun _ -> Histogram.sample c ~u:(Rng.float rng))
+    in
+    starts @ [ real ]
+
+let schedule_bernoulli t rng ~real =
+  match t.mix.Completion.completion with
+  | None -> [ real ]
+  | Some c ->
+    let rec loop acc =
+      if Distributions.sample_bernoulli rng ~p:t.mix.Completion.alpha then
+        List.rev (real :: acc)
+      else loop (Histogram.sample c ~u:(Rng.float rng) :: acc)
+    in
+    loop []

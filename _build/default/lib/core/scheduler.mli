@@ -1,0 +1,50 @@
+(** The query execution algorithms QueryU and QueryP (paper §3.1–3.2, §5).
+
+    A scheduler holds the client's (known a-priori) distribution over
+    fixed-length query starts and its completion; for each incoming real
+    query start it decides the interleaving of fake starts and the real one.
+    Two equivalent drivers are provided: the paper's literal Bernoulli loop
+    and the geometric shortcut of §5 (draw the number of fakes directly from
+    [Geom(α)]); both induce the same perceived distribution. *)
+
+type mode =
+  | Uniform                (** QueryU: perceived distribution is uniform. *)
+  | Periodic of int        (** QueryP\[ρ\]: perceived distribution is ρ-periodic. *)
+
+type t
+
+val create : m:int -> k:int -> mode:mode -> q:Mope_stats.Histogram.t -> t
+(** [create ~m ~k ~mode ~q] for a domain of size [m], fixed query length
+    [k], and start distribution [q] (size [m]). For [Periodic rho], [rho]
+    must divide [m]. *)
+
+val m : t -> int
+val k : t -> int
+val mode : t -> mode
+
+val alpha : t -> float
+(** The real-query coin bias α. *)
+
+val expected_fakes_per_real : t -> float
+
+val completion : t -> Mope_stats.Histogram.t option
+(** The fake-start distribution; [None] when no fakes are needed. *)
+
+val perceived : t -> Mope_stats.Histogram.t
+(** The server-perceived start distribution. *)
+
+val schedule : t -> Mope_stats.Rng.t -> real:int -> int list
+(** Geometric driver: a permuted-order burst of fake starts plus the real
+    start [real] in its Bernoulli position — the list of start positions to
+    execute, in order. Exactly one element is [real] (the last one: each
+    fake precedes the real query it covers, as in [Geom(α)] failures before
+    the first success). *)
+
+val schedule_bernoulli : t -> Mope_stats.Rng.t -> real:int -> int list
+(** The paper's literal Algorithm QueryU/QueryP loop: repeatedly flip
+    [Bern(α)]; tails draw a fake from the completion, heads executes [real]
+    and stops. Distributionally identical to {!schedule}. *)
+
+val sample_fake : t -> Mope_stats.Rng.t -> int option
+(** One fake start from the completion distribution ([None] if no fakes are
+    ever needed). *)

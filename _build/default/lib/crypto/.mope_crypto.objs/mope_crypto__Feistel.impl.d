@@ -1,0 +1,1 @@
+lib/crypto/feistel.ml: Buffer Char Hmac Int64 Printf String

@@ -1,0 +1,36 @@
+(** Deterministic random bit generator (HMAC-DRBG, NIST SP 800-90A style).
+
+    The OPE scheme of Boldyreva et al. samples a random order-preserving
+    function {e lazily}: each encryption walks a binary search tree over the
+    ciphertext range and must re-derive exactly the same "random" choices at
+    every node it revisits, across calls. We realise those choices as an
+    HMAC-DRBG instantiated from the secret key and an unambiguous encoding of
+    the tree node; the stream is a pure function of [(key, context)]. *)
+
+type t
+(** A deterministic byte-stream generator. Mutable: draws advance the state. *)
+
+val create : key:string -> context:string -> t
+(** [create ~key ~context] instantiates the generator. Equal [key]/[context]
+    pairs always produce identical streams. *)
+
+val derive : key:string -> parts:string list -> t
+(** [derive ~key ~parts] builds the context from length-prefixed [parts], so
+    that distinct part lists can never collide (["ab";"c"] vs ["a";"bc"]). *)
+
+val bytes : t -> int -> string
+(** Draw [n] pseudo-random bytes. *)
+
+val bits : t -> int -> int
+(** [bits t n] draws [n] pseudo-random bits as a non-negative [int];
+    [0 <= n <= 62]. *)
+
+val uniform : t -> int -> int
+(** [uniform t n] draws a uniform integer in [\[0, n)] without modulo bias
+    (rejection sampling). [n] must be positive. *)
+
+val uniform64 : t -> int64 -> int64
+(** Uniform draw in [\[0, n)] for 64-bit bounds; [n > 0]. *)
+
+val float53 : t -> float
+(** A uniform float in [\[0, 1)] with 53 bits of precision. *)

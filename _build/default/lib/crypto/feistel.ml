@@ -1,0 +1,118 @@
+type key = string
+
+let rounds = 10
+
+(* Round function: the low 32 bits of HMAC(key, round || half). *)
+let round_fn ~key r half =
+  let msg = Printf.sprintf "feistel:%d:%08Lx" r half in
+  let tag = Hmac.mac ~key msg in
+  let word = ref 0L in
+  for i = 0 to 3 do
+    word := Int64.logor (Int64.shift_left !word 8) (Int64.of_int (Char.code tag.[i]))
+  done;
+  !word
+
+let mask32 = 0xFFFFFFFFL
+
+let split x =
+  (Int64.shift_right_logical x 32, Int64.logand x mask32)
+
+let join left right =
+  Int64.logor (Int64.shift_left left 32) (Int64.logand right mask32)
+
+let permute ~key x =
+  let left = ref (fst (split x)) and right = ref (snd (split x)) in
+  for r = 0 to rounds - 1 do
+    let f = round_fn ~key r !right in
+    let new_right = Int64.logand (Int64.logxor !left f) mask32 in
+    left := !right;
+    right := new_right
+  done;
+  join !left !right
+
+let unpermute ~key x =
+  let left = ref (fst (split x)) and right = ref (snd (split x)) in
+  for r = rounds - 1 downto 0 do
+    let f = round_fn ~key r !left in
+    let new_left = Int64.logand (Int64.logxor !right f) mask32 in
+    right := !left;
+    left := new_left
+  done;
+  join !left !right
+
+(* Width (in bits) of the smallest even-width block covering [domain]:
+   cycle walking then revisits the domain within an expected < 4 steps. *)
+let block_bits domain =
+  let rec go b = if b >= 62 || 1 lsl b >= domain then b else go (b + 1) in
+  let b = go 2 in
+  if b land 1 = 1 then b + 1 else b
+
+(* One direction of a small balanced Feistel over [half] bits per side. *)
+let small_round ~key ~half r side =
+  let msg = Printf.sprintf "fpe:%d:%d:%x" half r side in
+  let tag = Hmac.mac ~key msg in
+  let word = ref 0 in
+  for i = 0 to 3 do
+    word := (!word lsl 8) lor Char.code tag.[i]
+  done;
+  !word land ((1 lsl half) - 1)
+
+let small_permute ~key ~bits x =
+  let half = bits / 2 in
+  let mask = (1 lsl half) - 1 in
+  let left = ref (x lsr half) and right = ref (x land mask) in
+  for r = 0 to rounds - 1 do
+    let f = small_round ~key ~half r !right in
+    let new_right = (!left lxor f) land mask in
+    left := !right;
+    right := new_right
+  done;
+  (!left lsl half) lor !right
+
+let small_unpermute ~key ~bits x =
+  let half = bits / 2 in
+  let mask = (1 lsl half) - 1 in
+  let left = ref (x lsr half) and right = ref (x land mask) in
+  for r = rounds - 1 downto 0 do
+    let f = small_round ~key ~half r !left in
+    let new_left = (!right lxor f) land mask in
+    right := !left;
+    left := new_left
+  done;
+  (!left lsl half) lor !right
+
+let fpe_encrypt ~key ~domain x =
+  if domain <= 0 then invalid_arg "Feistel.fpe_encrypt: domain";
+  if x < 0 || x >= domain then invalid_arg "Feistel.fpe_encrypt: out of domain";
+  let bits = block_bits domain in
+  let rec walk v =
+    let v' = small_permute ~key ~bits v in
+    if v' < domain then v' else walk v'
+  in
+  walk x
+
+let fpe_decrypt ~key ~domain x =
+  if domain <= 0 then invalid_arg "Feistel.fpe_decrypt: domain";
+  if x < 0 || x >= domain then invalid_arg "Feistel.fpe_decrypt: out of domain";
+  let bits = block_bits domain in
+  let rec walk v =
+    let v' = small_unpermute ~key ~bits v in
+    if v' < domain then v' else walk v'
+  in
+  walk x
+
+let keystream ~key ~nonce len =
+  let out = Buffer.create len in
+  let counter = ref 0 in
+  while Buffer.length out < len do
+    let block = Hmac.mac ~key (Printf.sprintf "rnd:%s:%d" nonce !counter) in
+    Buffer.add_string out block;
+    incr counter
+  done;
+  Buffer.sub out 0 len
+
+let rnd_encrypt ~key ~nonce plaintext =
+  let ks = keystream ~key ~nonce (String.length plaintext) in
+  String.mapi (fun i c -> Char.chr (Char.code c lxor Char.code ks.[i])) plaintext
+
+let rnd_decrypt = rnd_encrypt

@@ -1,0 +1,32 @@
+(** A balanced Feistel pseudo-random permutation over 64-bit blocks, with a
+    format-preserving variant over arbitrary integer domains (cycle walking).
+
+    The system prototype encrypts non-range-queried columns the way
+    CryptDB-style deployments do: deterministically (DET) when equality
+    predicates are needed, randomized (RND) otherwise. Both modes are built
+    here from the HMAC round function. *)
+
+type key = string
+
+val permute : key:key -> int64 -> int64
+(** [permute ~key x] applies a 10-round balanced Feistel network to the
+    64-bit block [x]. A bijection on the whole [int64] range. *)
+
+val unpermute : key:key -> int64 -> int64
+(** Inverse of {!permute} under the same key. *)
+
+val fpe_encrypt : key:key -> domain:int -> int -> int
+(** [fpe_encrypt ~key ~domain x] is a pseudo-random permutation of
+    [\[0, domain)], obtained from {!permute} by cycle walking.
+    Requires [0 <= x < domain]. Deterministic: suitable for DET columns. *)
+
+val fpe_decrypt : key:key -> domain:int -> int -> int
+(** Inverse of {!fpe_encrypt}. *)
+
+val rnd_encrypt : key:key -> nonce:string -> string -> string
+(** Randomized (per-nonce) string encryption: an HMAC-keystream XOR with the
+    nonce prepended conceptually by the caller. Same [key]/[nonce]/plaintext
+    round-trips through {!rnd_decrypt}. *)
+
+val rnd_decrypt : key:key -> nonce:string -> string -> string
+(** Inverse of {!rnd_encrypt} (XOR keystream is an involution). *)

@@ -1,0 +1,9 @@
+(** HMAC-SHA256 (RFC 2104 / FIPS 198-1). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key].
+    Keys of any length are accepted (hashed down when longer than the
+    64-byte block size, zero-padded when shorter). *)
+
+val mac_hex : key:string -> string -> string
+(** Hexadecimal rendering of {!mac}. *)

@@ -1,0 +1,29 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    This is the only hash used in the repository: it seeds the deterministic
+    coin streams that drive the lazily-sampled OPE scheme (see {!Drbg}) and
+    the round function of the Feistel PRP (see {!Feistel}). *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val feed : ctx -> string -> unit
+(** [feed ctx s] absorbs the bytes of [s]. *)
+
+val feed_bytes : ctx -> bytes -> pos:int -> len:int -> unit
+(** Absorb a slice of a byte buffer. *)
+
+val finalize : ctx -> string
+(** Produce the 32-byte digest. The context must not be reused. *)
+
+val digest : string -> string
+(** One-shot hash of a string; returns the 32-byte raw digest. *)
+
+val hex : string -> string
+(** Lowercase hexadecimal rendering of a raw digest (or any string). *)
+
+val digest_hex : string -> string
+(** [digest_hex s = hex (digest s)]. *)

@@ -1,0 +1,1 @@
+lib/db/btree.ml: Array List

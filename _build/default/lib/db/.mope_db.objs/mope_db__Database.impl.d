@@ -1,0 +1,1 @@
+lib/db/database.ml: Array Eval Exec Fun Hashtbl List Schema Sql_ast Sql_parser Table Value

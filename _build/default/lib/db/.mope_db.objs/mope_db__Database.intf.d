@@ -1,0 +1,1 @@
+lib/db/database.mli: Exec Schema Sql_ast Table Value

@@ -1,0 +1,1 @@
+lib/db/date.ml: Int Printf String

@@ -1,0 +1,1 @@
+lib/db/eval.ml: Array Hashtbl List Printf Sql_ast Value

@@ -1,0 +1,1 @@
+lib/db/eval.mli: Sql_ast Value

@@ -1,0 +1,1 @@
+lib/db/exec.ml: Array Btree Eval Hashtbl List Option Printf Ranges Schema Sql_ast Table Value

@@ -1,0 +1,1 @@
+lib/db/exec.mli: Sql_ast Table Value

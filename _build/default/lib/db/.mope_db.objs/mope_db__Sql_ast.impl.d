@@ -1,0 +1,1 @@
+lib/db/sql_ast.ml: Buffer Date List Printf String Value

@@ -1,0 +1,1 @@
+lib/db/sql_ast.mli: Value

@@ -1,0 +1,1 @@
+lib/db/sql_lexer.ml: Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/db/sql_parser.ml: Array Date List Option Printf Sql_ast Sql_lexer String Value

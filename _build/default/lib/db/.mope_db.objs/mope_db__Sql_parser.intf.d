@@ -1,0 +1,1 @@
+lib/db/sql_parser.mli: Sql_ast

@@ -1,0 +1,1 @@
+lib/db/storage.ml: Array Buffer Char Database Int64 List Printf Schema String Sys Table Value

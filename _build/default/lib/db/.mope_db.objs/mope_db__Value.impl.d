@@ -1,0 +1,1 @@
+lib/db/value.ml: Bool Date Float Format Int Printf String

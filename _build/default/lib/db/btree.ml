@@ -1,0 +1,247 @@
+(* A straightforward array-per-node B+-tree. Nodes copy their key arrays on
+   insert; with max_keys = 64 this keeps constants small and the code free of
+   in-place shifting bugs. *)
+
+let max_keys = 64
+
+type leaf = {
+  mutable lkeys : int array;
+  mutable lvals : int array;
+  mutable next : leaf option;
+}
+
+type node =
+  | Leaf of leaf
+  | Internal of internal
+
+and internal = {
+  mutable ikeys : int array;    (* separators; children.(i) < ikeys.(i) <= children.(i+1) (duplicates may straddle) *)
+  mutable children : node array;
+}
+
+type t = {
+  mutable root : node;
+  mutable size : int;
+}
+
+let create () = { root = Leaf { lkeys = [||]; lvals = [||]; next = None }; size = 0 }
+
+let count t = t.size
+
+(* Number of elements of [arr] strictly below [key] (lower bound). *)
+let lower_bound arr key =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) < key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Number of elements of [arr] at most [key] (upper bound). *)
+let upper_bound arr key =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) <= key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert arr pos x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 pos;
+  Array.blit arr pos out (pos + 1) (n - pos);
+  out
+
+let array_remove arr pos =
+  let n = Array.length arr in
+  let out = Array.make (n - 1) 0 in
+  Array.blit arr 0 out 0 pos;
+  Array.blit arr (pos + 1) out pos (n - 1 - pos);
+  out
+
+(* Insert into the subtree; if the node split, return the separator key and
+   the new right sibling to hang in the parent. *)
+let rec insert_node node key value =
+  match node with
+  | Leaf leaf ->
+    let pos = upper_bound leaf.lkeys key in
+    leaf.lkeys <- array_insert leaf.lkeys pos key;
+    leaf.lvals <- array_insert leaf.lvals pos value;
+    if Array.length leaf.lkeys <= max_keys then None
+    else begin
+      let n = Array.length leaf.lkeys in
+      let mid = n / 2 in
+      let right =
+        { lkeys = Array.sub leaf.lkeys mid (n - mid);
+          lvals = Array.sub leaf.lvals mid (n - mid);
+          next = leaf.next }
+      in
+      leaf.lkeys <- Array.sub leaf.lkeys 0 mid;
+      leaf.lvals <- Array.sub leaf.lvals 0 mid;
+      leaf.next <- Some right;
+      Some (right.lkeys.(0), Leaf right)
+    end
+  | Internal node ->
+    let child = upper_bound node.ikeys key in
+    (match insert_node node.children.(child) key value with
+    | None -> None
+    | Some (sep, right) ->
+      node.ikeys <- array_insert node.ikeys child sep;
+      node.children <- array_insert node.children (child + 1) right;
+      if Array.length node.ikeys <= max_keys then None
+      else begin
+        let n = Array.length node.ikeys in
+        let mid = n / 2 in
+        let sep_up = node.ikeys.(mid) in
+        let right =
+          { ikeys = Array.sub node.ikeys (mid + 1) (n - mid - 1);
+            children = Array.sub node.children (mid + 1) (n - mid) }
+        in
+        node.ikeys <- Array.sub node.ikeys 0 mid;
+        node.children <- Array.sub node.children 0 (mid + 1);
+        Some (sep_up, Internal right)
+      end)
+
+let insert t ~key ~value =
+  (match insert_node t.root key value with
+  | None -> ()
+  | Some (sep, right) ->
+    t.root <- Internal { ikeys = [| sep |]; children = [| t.root; right |] });
+  t.size <- t.size + 1
+
+(* Leftmost leaf whose subtree may contain [key] (duplicates equal to a
+   separator can live in the left child after a split, hence lower_bound). *)
+let rec descend node key =
+  match node with
+  | Leaf leaf -> leaf
+  | Internal n -> descend n.children.(lower_bound n.ikeys key) key
+
+let rec leftmost = function
+  | Leaf leaf -> leaf
+  | Internal n -> leftmost n.children.(0)
+
+let rec rightmost = function
+  | Leaf leaf -> leaf
+  | Internal n -> rightmost n.children.(Array.length n.children - 1)
+
+let range_fold t ~lo ~hi ~init ~f =
+  if lo > hi then init
+  else begin
+    let rec walk leaf acc =
+      let n = Array.length leaf.lkeys in
+      let start = lower_bound leaf.lkeys lo in
+      let rec scan i acc =
+        if i >= n then
+          match leaf.next with
+          | Some next when n = 0 || leaf.lkeys.(n - 1) <= hi -> walk next acc
+          | Some _ | None -> acc
+        else begin
+          let k = leaf.lkeys.(i) in
+          if k > hi then acc else scan (i + 1) (f acc k leaf.lvals.(i))
+        end
+      in
+      scan start acc
+    in
+    walk (descend t.root lo) init
+  end
+
+let range_list t ~lo ~hi =
+  List.rev (range_fold t ~lo ~hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+let find_all t key =
+  List.rev (range_fold t ~lo:key ~hi:key ~init:[] ~f:(fun acc _ v -> v :: acc))
+
+let mem t key = range_fold t ~lo:key ~hi:key ~init:false ~f:(fun _ _ _ -> true)
+
+let min_key t =
+  let leaf = leftmost t.root in
+  (* Non-rebalanced deletes can leave empty leaves; hop forward past them. *)
+  let rec first leaf =
+    if Array.length leaf.lkeys > 0 then Some leaf.lkeys.(0)
+    else match leaf.next with Some next -> first next | None -> None
+  in
+  first leaf
+
+let max_key t =
+  if t.size = 0 then None
+  else begin
+    let leaf = rightmost t.root in
+    let n = Array.length leaf.lkeys in
+    if n > 0 then Some leaf.lkeys.(n - 1)
+    else begin
+      (* Rare post-delete case: scan the whole chain. *)
+      let best = ref None in
+      let rec walk leaf =
+        let n = Array.length leaf.lkeys in
+        if n > 0 then best := Some leaf.lkeys.(n - 1);
+        match leaf.next with Some next -> walk next | None -> ()
+      in
+      walk (leftmost t.root);
+      !best
+    end
+  end
+
+let delete t ~key ~value =
+  let leaf_start = descend t.root key in
+  let rec try_leaf leaf =
+    let n = Array.length leaf.lkeys in
+    let rec find i =
+      if i >= n || leaf.lkeys.(i) > key then None
+      else if leaf.lkeys.(i) = key && leaf.lvals.(i) = value then Some i
+      else find (i + 1)
+    in
+    match find (lower_bound leaf.lkeys key) with
+    | Some i ->
+      leaf.lkeys <- array_remove leaf.lkeys i;
+      leaf.lvals <- array_remove leaf.lvals i;
+      t.size <- t.size - 1;
+      true
+    | None ->
+      (match leaf.next with
+      | Some next when n = 0 || leaf.lkeys.(n - 1) <= key -> try_leaf next
+      | Some _ | None -> false)
+  in
+  try_leaf leaf_start
+
+let height t =
+  let rec go = function Leaf _ -> 1 | Internal n -> 1 + go n.children.(0) in
+  go t.root
+
+let check_invariants t =
+  let fail msg = failwith ("Btree.check_invariants: " ^ msg) in
+  let rec check node ~is_root =
+    match node with
+    | Leaf leaf ->
+      let n = Array.length leaf.lkeys in
+      if Array.length leaf.lvals <> n then fail "leaf arity";
+      for i = 1 to n - 1 do
+        if leaf.lkeys.(i - 1) > leaf.lkeys.(i) then fail "leaf order"
+      done;
+      if n > max_keys then fail "leaf overflow"
+    | Internal node ->
+      let n = Array.length node.ikeys in
+      if Array.length node.children <> n + 1 then fail "internal fan-out";
+      if n = 0 then fail "empty internal node";
+      if n > max_keys then fail "internal overflow";
+      if (not is_root) && n < 1 then fail "internal underflow";
+      for i = 1 to n - 1 do
+        if node.ikeys.(i - 1) > node.ikeys.(i) then fail "separator order"
+      done;
+      Array.iter (fun c -> check c ~is_root:false) node.children
+  in
+  check t.root ~is_root:true;
+  (* The leaf chain must enumerate keys in non-decreasing order and cover
+     exactly [size] entries. *)
+  let seen = ref 0 and last = ref min_int in
+  let rec walk leaf =
+    Array.iter
+      (fun k ->
+        if k < !last then fail "leaf chain order";
+        last := k;
+        incr seen)
+      leaf.lkeys;
+    match leaf.next with Some next -> walk next | None -> ()
+  in
+  walk (leftmost t.root);
+  if !seen <> t.size then fail "size mismatch"

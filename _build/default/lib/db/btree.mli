@@ -1,0 +1,46 @@
+(** B+-tree multi-map from integer keys to integer payloads (row ids).
+
+    The index structure the server builds over the MOPE-encrypted column —
+    ciphertexts are plain integers, so an ordinary comparison-based index
+    works on them unmodified, which is the whole point of (M)OPE. Leaves are
+    chained for ordered range scans; duplicate keys are supported (several
+    rows may share an encrypted value only if the plaintext column has
+    duplicates — the OPE function itself is injective).
+
+    Deletion removes an entry in place without rebalancing (leaves may go
+    under-full); the workloads here are bulk-load-then-query, and lookups
+    remain correct regardless. *)
+
+type t
+
+val create : unit -> t
+
+val count : t -> int
+(** Number of stored entries. *)
+
+val insert : t -> key:int -> value:int -> unit
+
+val delete : t -> key:int -> value:int -> bool
+(** Remove one matching (key, value) entry; [false] if absent. *)
+
+val find_all : t -> int -> int list
+(** All payloads stored under exactly this key, in insertion-scan order. *)
+
+val mem : t -> int -> bool
+
+val min_key : t -> int option
+val max_key : t -> int option
+
+val range_fold : t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+(** [range_fold t ~lo ~hi ~init ~f] folds [f acc key value] over all entries
+    with [lo ≤ key ≤ hi], in non-decreasing key order. *)
+
+val range_list : t -> lo:int -> hi:int -> (int * int) list
+(** Materialized {!range_fold}. *)
+
+val height : t -> int
+(** Tree height (1 = a single leaf); exposed for tests. *)
+
+val check_invariants : t -> unit
+(** Assert key ordering, fan-out bounds and leaf-chain consistency; raises
+    [Failure] on violation. Test hook. *)

@@ -1,0 +1,178 @@
+type t = {
+  catalog : (string, Table.t) Hashtbl.t;
+  stats : Exec.stats;
+}
+
+let create () = { catalog = Hashtbl.create 8; stats = Exec.create_stats () }
+
+let create_table t ~name ~schema =
+  if Hashtbl.mem t.catalog name then
+    invalid_arg ("Database.create_table: table exists: " ^ name);
+  let table = Table.create ~name ~schema in
+  Hashtbl.replace t.catalog name table;
+  table
+
+let table t name = Hashtbl.find_opt t.catalog name
+
+let table_exn t name =
+  match table t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg ("Database: unknown table " ^ name)
+
+let tables t = Hashtbl.fold (fun name _ acc -> name :: acc) t.catalog [] |> List.sort compare
+
+let insert t ~table row = Table.insert (table_exn t table) row
+
+let create_index t ~table ~column = Table.create_index (table_exn t table) column
+
+let drop_table t name =
+  if not (Hashtbl.mem t.catalog name) then
+    invalid_arg ("Database.drop_table: unknown table " ^ name);
+  Hashtbl.remove t.catalog name
+
+let query_ast t select =
+  Exec.run ~catalog:(Hashtbl.find_opt t.catalog) ~stats:t.stats select
+
+let query t sql = query_ast t (Sql_parser.parse sql)
+
+(* ------------------------------------------------------------------ *)
+(* DML / DDL statements *)
+
+type outcome =
+  | Rows of Exec.result
+  | Affected of int
+
+(* Evaluate a constant expression (INSERT values, SET right-hand sides with
+   no column references). *)
+let const_env =
+  { Eval.resolve =
+      (fun (_, name) ->
+        raise (Eval.Eval_error ("column reference not allowed here: " ^ name))) }
+
+let subquery_runner t select =
+  List.map
+    (fun row ->
+      if Array.length row <> 1 then
+        raise (Exec.Exec_error "IN subquery must return one column");
+      row.(0))
+    (query_ast t select).Exec.rows
+
+(* Coerce a value into a column type where SQL would (Int literal into a
+   FLOAT column, Int into DATE). *)
+let coerce ty value =
+  match (ty, value) with
+  | Value.TFloat, Value.Int i -> Value.Float (float_of_int i)
+  | Value.TDate, Value.Int i -> Value.Date i
+  | _ -> value
+
+let table_env table =
+  let schema = Table.schema table in
+  { Eval.resolve =
+      (fun (qualifier, name) ->
+        (match qualifier with
+        | Some q when q <> Table.name table ->
+          raise (Eval.Eval_error ("unknown table alias " ^ q))
+        | Some _ | None -> ());
+        match Schema.find schema name with
+        | Some _ -> Schema.index_of schema name
+        | None -> raise (Eval.Eval_error ("unknown column " ^ name))) }
+
+let matching_ids t table where =
+  match where with
+  | None ->
+    let ids = ref [] in
+    Table.iter table (fun id _ -> ids := id :: !ids);
+    List.rev !ids
+  | Some w ->
+    let f = Eval.compile ~subquery:(subquery_runner t) (table_env table) w in
+    let ids = ref [] in
+    Table.iter table (fun id row -> if Eval.truthy (f row) then ids := id :: !ids);
+    List.rev !ids
+
+let execute_statement t stmt =
+  match stmt with
+  | Sql_ast.Select_stmt select -> Rows (query_ast t select)
+  | Sql_ast.Create_table_stmt { table; columns } ->
+    let schema =
+      Schema.make (List.map (fun (name, ty) -> { Schema.name; ty }) columns)
+    in
+    ignore (create_table t ~name:table ~schema);
+    Affected 0
+  | Sql_ast.Create_index_stmt { table; column } ->
+    create_index t ~table ~column;
+    Affected 0
+  | Sql_ast.Drop_table_stmt name ->
+    drop_table t name;
+    Affected 0
+  | Sql_ast.Insert_stmt { table; columns; rows } ->
+    let tbl = table_exn t table in
+    let schema = Table.schema tbl in
+    let arity = Schema.arity schema in
+    let positions =
+      match columns with
+      | None -> List.init arity Fun.id
+      | Some cs ->
+        List.map
+          (fun c ->
+            match Schema.find schema c with
+            | Some _ -> Schema.index_of schema c
+            | None -> invalid_arg ("Database.execute: unknown column " ^ c))
+          cs
+    in
+    List.iter
+      (fun exprs ->
+        if List.length exprs <> List.length positions then
+          invalid_arg "Database.execute: VALUES arity mismatch";
+        let row = Array.make arity Value.Null in
+        List.iter2
+          (fun pos expr ->
+            let value =
+              (Eval.compile ~subquery:(subquery_runner t) const_env expr) [||]
+            in
+            row.(pos) <- coerce (Schema.column_at schema pos).Schema.ty value)
+          positions exprs;
+        ignore (Table.insert tbl row))
+      rows;
+    Affected (List.length rows)
+  | Sql_ast.Delete_stmt { table; where } ->
+    let tbl = table_exn t table in
+    let ids = matching_ids t tbl where in
+    List.iter (fun id -> ignore (Table.delete tbl id)) ids;
+    Affected (List.length ids)
+  | Sql_ast.Update_stmt { table; assignments; where } ->
+    let tbl = table_exn t table in
+    let schema = Table.schema tbl in
+    let env = table_env tbl in
+    let compiled =
+      List.map
+        (fun (column, expr) ->
+          match Schema.find schema column with
+          | None -> invalid_arg ("Database.execute: unknown column " ^ column)
+          | Some c ->
+            ( Schema.index_of schema column,
+              c.Schema.ty,
+              Eval.compile ~subquery:(subquery_runner t) env expr ))
+        assignments
+    in
+    let ids = matching_ids t tbl where in
+    (* Materialize updates first: assignment right-hand sides must see the
+       pre-update row values even if the WHERE matched them. *)
+    let updates =
+      List.map
+        (fun id ->
+          let row = Array.copy (Table.get tbl id) in
+          List.iter (fun (pos, ty, f) -> row.(pos) <- coerce ty (f (Table.get tbl id))) compiled;
+          (id, row))
+        ids
+    in
+    List.iter (fun (id, row) -> Table.update tbl id row) updates;
+    Affected (List.length ids)
+
+let execute t sql = execute_statement t (Sql_parser.parse_statement sql)
+
+let explain t sql =
+  Exec.explain ~catalog:(Hashtbl.find_opt t.catalog) (Sql_parser.parse sql)
+
+let stats t = t.stats
+
+let reset_stats t = Exec.reset_stats t.stats

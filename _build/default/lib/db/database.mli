@@ -1,0 +1,49 @@
+(** Top-level database handle: catalog + SQL entry points + statistics
+    counters.
+
+    Stands in for the unmodified PostgreSQL server of the paper's prototype:
+    the proxy connects here, issues ordinary SQL (over encrypted columns it
+    cannot interpret), and benefits from whatever the planner does —
+    including multi-range index scans for the batched fake/real queries. *)
+
+type t
+
+val create : unit -> t
+
+val create_table : t -> name:string -> schema:Schema.t -> Table.t
+(** Raises [Invalid_argument] if the name is taken. *)
+
+val table : t -> string -> Table.t option
+
+val table_exn : t -> string -> Table.t
+
+val tables : t -> string list
+
+val insert : t -> table:string -> Value.t array -> int
+
+val create_index : t -> table:string -> column:string -> unit
+
+val drop_table : t -> string -> unit
+
+val query : t -> string -> Exec.result
+(** Parse, plan and execute one SELECT statement. *)
+
+val query_ast : t -> Sql_ast.select -> Exec.result
+
+type outcome =
+  | Rows of Exec.result   (** SELECT *)
+  | Affected of int       (** rows inserted/deleted/updated (0 for DDL) *)
+
+val execute : t -> string -> outcome
+(** Execute any supported statement: SELECT, INSERT … VALUES, CREATE TABLE,
+    CREATE INDEX, DELETE, UPDATE, DROP TABLE. DML row selection uses a
+    sequential scan; SELECT goes through the full planner. *)
+
+val execute_statement : t -> Sql_ast.statement -> outcome
+
+val explain : t -> string -> Exec.plan_info
+
+val stats : t -> Exec.stats
+(** Live counters (cumulative); see {!reset_stats}. *)
+
+val reset_stats : t -> unit

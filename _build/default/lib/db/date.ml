@@ -1,0 +1,59 @@
+type t = int
+
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap y then 29 else 28
+  | _ -> invalid_arg "Date.days_in_month"
+
+(* Howard Hinnant's civil-from-days / days-from-civil algorithms. *)
+let of_ymd y m d =
+  if m < 1 || m > 12 then invalid_arg "Date.of_ymd: month";
+  if d < 1 || d > days_in_month y m then invalid_arg "Date.of_ymd: day";
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let to_ymd z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Date.of_string: %S" s) in
+  if String.length s <> 10 || s.[4] <> '-' || s.[7] <> '-' then fail ();
+  let int_of at len =
+    let sub = String.sub s at len in
+    match int_of_string_opt sub with Some v -> v | None -> fail ()
+  in
+  of_ymd (int_of 0 4) (int_of 5 2) (int_of 8 2)
+
+let to_string t =
+  let y, m, d = to_ymd t in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let add_days t n = t + n
+
+let add_months t n =
+  let y, m, d = to_ymd t in
+  let months = (y * 12) + (m - 1) + n in
+  let y' = if months >= 0 then months / 12 else (months - 11) / 12 in
+  let m' = months - (y' * 12) + 1 in
+  let d' = Int.min d (days_in_month y' m') in
+  of_ymd y' m' d'
+
+let add_years t n = add_months t (12 * n)

@@ -1,0 +1,32 @@
+(** Calendar dates as days since 1970-01-01 (proleptic Gregorian).
+
+    The TPC-H experiments encrypt a date attribute whose effective domain is
+    the days of 1992-01-01 … 1998-12-31; the MOPE plaintext space is the
+    day-offset within that window. *)
+
+type t = int
+(** Days since the civil epoch 1970-01-01; may be negative. *)
+
+val of_ymd : int -> int -> int -> t
+(** [of_ymd year month day]; validates the calendar date. *)
+
+val to_ymd : t -> int * int * int
+
+val of_string : string -> t
+(** Parse ["YYYY-MM-DD"]. Raises [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+(** Render as ["YYYY-MM-DD"]. *)
+
+val add_days : t -> int -> t
+
+val add_months : t -> int -> t
+(** Calendar-month addition, clamping the day-of-month (Jan 31 + 1 month =
+    Feb 28/29), matching SQL interval semantics. *)
+
+val add_years : t -> int -> t
+
+val is_leap : int -> bool
+
+val days_in_month : int -> int -> int
+(** [days_in_month year month]. *)

@@ -1,0 +1,125 @@
+open Sql_ast
+
+exception Eval_error of string
+
+type env = { resolve : string option * string -> int }
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Eval_error msg)) fmt
+
+let truthy = function Value.Bool b -> b | _ -> false
+
+let arith op a b =
+  let open Value in
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> begin
+    match op with
+    | Add -> Int (x + y)
+    | Sub -> Int (x - y)
+    | Mul -> Int (x * y)
+    | Div ->
+      if y = 0 then Null else Float (float_of_int x /. float_of_int y)
+  end
+  | Date d, Int n -> begin
+    match op with
+    | Add -> Date (d + n)
+    | Sub -> Date (d - n)
+    | Mul | Div -> error "cannot %s a date" (match op with Mul -> "multiply" | _ -> "divide")
+  end
+  | Int n, Date d when op = Add -> Date (d + n)
+  | Date d1, Date d2 when op = Sub -> Int (d1 - d2)
+  | (Int _ | Float _ | Bool _), (Int _ | Float _ | Bool _) -> begin
+    let x = to_float a and y = to_float b in
+    match op with
+    | Add -> Float (x +. y)
+    | Sub -> Float (x -. y)
+    | Mul -> Float (x *. y)
+    | Div -> if y = 0.0 then Null else Float (x /. y)
+  end
+  | _ ->
+    error "type error in arithmetic: %s %s" (Value.to_string a) (Value.to_string b)
+
+let compare_values op a b =
+  if Value.is_null a || Value.is_null b then Value.Bool false
+  else begin
+    let c = Value.compare a b in
+    let r =
+      match op with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+    in
+    Value.Bool r
+  end
+
+let rec compile ~subquery env expr =
+  match expr with
+  | Lit v -> fun _ -> v
+  | Col (q, name) ->
+    let offset = env.resolve (q, name) in
+    fun row -> row.(offset)
+  | Binop (op, a, b) ->
+    let fa = compile ~subquery env a and fb = compile ~subquery env b in
+    fun row -> arith op (fa row) (fb row)
+  | Cmp (op, a, b) ->
+    let fa = compile ~subquery env a and fb = compile ~subquery env b in
+    fun row -> compare_values op (fa row) (fb row)
+  | And (a, b) ->
+    let fa = compile ~subquery env a and fb = compile ~subquery env b in
+    fun row -> Value.Bool (truthy (fa row) && truthy (fb row))
+  | Or (a, b) ->
+    let fa = compile ~subquery env a and fb = compile ~subquery env b in
+    fun row -> Value.Bool (truthy (fa row) || truthy (fb row))
+  | Not a ->
+    let fa = compile ~subquery env a in
+    fun row -> Value.Bool (not (truthy (fa row)))
+  | Between (e, lo, hi) ->
+    let fe = compile ~subquery env e in
+    let flo = compile ~subquery env lo and fhi = compile ~subquery env hi in
+    fun row ->
+      let v = fe row in
+      Value.Bool
+        (truthy (compare_values Ge v (flo row)) && truthy (compare_values Le v (fhi row)))
+  | In_list (e, es) ->
+    let fe = compile ~subquery env e in
+    let fs = List.map (compile ~subquery env) es in
+    fun row ->
+      let v = fe row in
+      Value.Bool
+        ((not (Value.is_null v))
+        && List.exists (fun f -> truthy (compare_values Eq v (f row))) fs)
+  | In_select (e, select) ->
+    let fe = compile ~subquery env e in
+    (* Uncorrelated: materialize once at compile time into a hash set. *)
+    let members = Hashtbl.create 1024 in
+    List.iter (fun v -> Hashtbl.replace members v ()) (subquery select);
+    fun row ->
+      let v = fe row in
+      Value.Bool ((not (Value.is_null v)) && Hashtbl.mem members v)
+  | Like (e, pattern) ->
+    let fe = compile ~subquery env e in
+    fun row -> Value.Bool (Value.like (fe row) ~pattern)
+  | Case (arms, else_) ->
+    let arms =
+      List.map
+        (fun (c, v) -> (compile ~subquery env c, compile ~subquery env v))
+        arms
+    in
+    let felse =
+      match else_ with
+      | Some e -> compile ~subquery env e
+      | None -> fun _ -> Value.Null
+    in
+    fun row ->
+      let rec try_arms = function
+        | [] -> felse row
+        | (fc, fv) :: rest -> if truthy (fc row) then fv row else try_arms rest
+      in
+      try_arms arms
+  | Is_null e ->
+    let fe = compile ~subquery env e in
+    fun row -> Value.Bool (Value.is_null (fe row))
+  | Agg _ -> error "aggregate used outside an aggregate context"

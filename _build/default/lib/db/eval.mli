@@ -1,0 +1,27 @@
+(** Compilation of SQL expressions to closures over runtime rows. *)
+
+exception Eval_error of string
+
+type env = {
+  resolve : string option * string -> int;
+  (** Map an (optionally qualified) column reference to an offset in the
+      runtime row; must raise {!Eval_error} for unknown/ambiguous names. *)
+}
+
+val compile :
+  subquery:(Sql_ast.select -> Value.t list) ->
+  env ->
+  Sql_ast.expr ->
+  Value.t array -> Value.t
+(** [compile ~subquery env e] resolves names and materializes uncorrelated
+    [IN (SELECT …)] subqueries once (via [subquery]), returning a closure to
+    evaluate per row. [Agg] nodes raise {!Eval_error} — the executor
+    substitutes them before compiling aggregate projections.
+
+    Semantics: arithmetic promotes Int→Float as needed ([/] always yields
+    Float); [Date ± Int] shifts by days; any [Null] operand nullifies
+    arithmetic; comparisons and predicates involving [Null] are [false]
+    (two-valued logic — documented deviation from SQL's three-valued). *)
+
+val truthy : Value.t -> bool
+(** [Bool true] is true; everything else (including [Null]) is false. *)

@@ -1,0 +1,47 @@
+(** Planner and executor.
+
+    Planning is deliberately PostgreSQL-shaped where the paper depends on it:
+    sargable predicates (comparisons, BETWEEN, and OR-trees of ranges on one
+    column — the proxy's batched multi-range queries) become B+-tree
+    index scans with merged disjoint intervals; equality predicates across
+    tables become hash joins; everything else falls back to filtered
+    sequential scans and nested loops. Uncorrelated [IN (SELECT …)]
+    subqueries are materialized once into hash sets (how we express TPC-H
+    Q4's semi-join). *)
+
+exception Exec_error of string
+
+type stats = {
+  mutable queries : int;       (** statements executed (excluding subqueries) *)
+  mutable seq_scans : int;
+  mutable index_scans : int;   (** index-scan operators *)
+  mutable index_ranges : int;  (** disjoint intervals walked by index scans *)
+  mutable rows_scanned : int;  (** rows touched before filtering *)
+  mutable rows_returned : int; (** rows in final results *)
+}
+
+val create_stats : unit -> stats
+val reset_stats : stats -> unit
+
+type result = {
+  columns : string list;
+  rows : Value.t array list;
+}
+
+type plan_info = {
+  access_paths : string list;
+  (** One human-readable line per FROM item, e.g.
+      ["lineitem: index scan on l_shipdate (2 ranges)"]. *)
+}
+
+val run :
+  catalog:(string -> Table.t option) ->
+  stats:stats ->
+  Sql_ast.select ->
+  result
+
+val explain :
+  catalog:(string -> Table.t option) ->
+  Sql_ast.select ->
+  plan_info
+(** Describe the chosen access paths without executing. *)

@@ -1,0 +1,42 @@
+type t = (int * int) list
+
+let empty = []
+
+let full = [ (min_int, max_int) ]
+
+let singleton ~lo ~hi = if lo > hi then [] else [ (lo, hi) ]
+
+let normalize intervals =
+  let sorted =
+    List.filter (fun (lo, hi) -> lo <= hi) intervals
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  (* Merge a sorted list; adjacency ((_,3),(4,_)) merges too. *)
+  let rec merge = function
+    | (lo1, hi1) :: (lo2, hi2) :: rest ->
+      if lo2 <= hi1 || (hi1 < max_int && lo2 = hi1 + 1) then
+        merge ((lo1, Int.max hi1 hi2) :: rest)
+      else (lo1, hi1) :: merge ((lo2, hi2) :: rest)
+    | short -> short
+  in
+  merge sorted
+
+let union a b = normalize (a @ b)
+
+let intersect a b =
+  let out = ref [] in
+  List.iter
+    (fun (lo1, hi1) ->
+      List.iter
+        (fun (lo2, hi2) ->
+          let lo = Int.max lo1 lo2 and hi = Int.min hi1 hi2 in
+          if lo <= hi then out := (lo, hi) :: !out)
+        b)
+    a;
+  normalize !out
+
+let mem t x = List.exists (fun (lo, hi) -> lo <= x && x <= hi) t
+
+let cardinal t = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo + 1)) 0 t
+
+let intervals t = t

@@ -1,0 +1,32 @@
+(** Finite unions of inclusive integer intervals.
+
+    The planner normalizes sargable predicates into these sets: a BETWEEN is
+    one interval, the proxy's OR-of-ranges rewrite is a union, and several
+    conjuncts on the same column intersect. Merging overlapping intervals
+    before scanning is exactly the multiple-query optimization of paper §5.1
+    — batched fake and real ranges share one index walk each and are never
+    fetched twice. *)
+
+type t = (int * int) list
+(** Normal form: sorted by lower bound, pairwise disjoint, non-adjacent
+    ([(1,3); (4,9)] normalizes to [(1,9)]), each [lo ≤ hi]. *)
+
+val empty : t
+val full : t
+(** The whole [int] line (modulo infinities clamped to min/max_int). *)
+
+val singleton : lo:int -> hi:int -> t
+(** Empty when [lo > hi]. *)
+
+val normalize : (int * int) list -> t
+(** Sort, drop empties, merge overlapping/adjacent intervals. *)
+
+val union : t -> t -> t
+val intersect : t -> t -> t
+
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+(** Total number of integers covered (assumes no overflow). *)
+
+val intervals : t -> (int * int) list

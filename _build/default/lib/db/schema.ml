@@ -1,0 +1,50 @@
+type column = { name : string; ty : Value.ty }
+
+type t = {
+  cols : column array;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let make cols =
+  let arr = Array.of_list cols in
+  let by_name = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i c ->
+      if Hashtbl.mem by_name c.name then
+        invalid_arg ("Schema.make: duplicate column " ^ c.name);
+      Hashtbl.add by_name c.name i)
+    arr;
+  { cols = arr; by_name }
+
+let columns t = Array.to_list t.cols
+
+let arity t = Array.length t.cols
+
+let index_of t name = Hashtbl.find t.by_name name
+
+let find t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> Some t.cols.(i)
+  | None -> None
+
+let column_at t i = t.cols.(i)
+
+let check_row t row =
+  Array.length row = arity t
+  && begin
+    let ok = ref true in
+    Array.iteri
+      (fun i v ->
+        match Value.type_of v with
+        | None -> ()
+        | Some ty -> if ty <> t.cols.(i).ty then ok := false)
+      row;
+    !ok
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun c -> c.name ^ " " ^ Value.ty_to_string c.ty)
+          (columns t)))

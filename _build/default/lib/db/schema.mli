@@ -1,0 +1,24 @@
+(** Table schemas: ordered, named, typed columns. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t
+
+val make : column list -> t
+(** Duplicate column names are rejected. *)
+
+val columns : t -> column list
+
+val arity : t -> int
+
+val index_of : t -> string -> int
+(** Position of a column by name; raises [Not_found]. *)
+
+val find : t -> string -> column option
+
+val column_at : t -> int -> column
+
+val check_row : t -> Value.t array -> bool
+(** Arity matches and every non-null value has the declared type. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,111 @@
+type token =
+  | IDENT of string
+  | KEYWORD of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | SYMBOL of string
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "ORDER"; "LIMIT"; "AS";
+    "AND"; "OR"; "NOT"; "BETWEEN"; "IN"; "LIKE"; "CASE"; "WHEN"; "THEN";
+    "ELSE"; "END"; "NULL"; "TRUE"; "FALSE"; "DATE"; "ASC"; "DESC";
+    "COUNT"; "SUM"; "AVG"; "MIN"; "MAX";
+    "INSERT"; "INTO"; "VALUES"; "CREATE"; "TABLE"; "INDEX"; "ON"; "DELETE";
+    "UPDATE"; "SET"; "DROP"; "IS"; "DISTINCT"; "HAVING"; "JOIN"; "INNER";
+    "INT"; "INTEGER"; "FLOAT"; "REAL"; "TEXT"; "VARCHAR"; "BOOL"; "BOOLEAN" ]
+
+let keyword_set =
+  let table = Hashtbl.create 37 in
+  List.iter (fun k -> Hashtbl.replace table k ()) keywords;
+  table
+
+let is_keyword word = Hashtbl.mem keyword_set word
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let pos = ref 0 in
+  let peek offset = if !pos + offset < n then Some input.[!pos + offset] else None in
+  while !pos < n do
+    let c = input.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char input.[!pos] do incr pos done;
+      let word = String.sub input start (!pos - start) in
+      let upper = String.uppercase_ascii word in
+      if is_keyword upper then emit (KEYWORD upper)
+      else emit (IDENT (String.lowercase_ascii word))
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit input.[!pos] do incr pos done;
+      let is_float = ref false in
+      if !pos < n && input.[!pos] = '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+      then begin
+        is_float := true;
+        incr pos;
+        while !pos < n && is_digit input.[!pos] do incr pos done
+      end;
+      if !pos < n && (input.[!pos] = 'e' || input.[!pos] = 'E') then begin
+        is_float := true;
+        incr pos;
+        if !pos < n && (input.[!pos] = '+' || input.[!pos] = '-') then incr pos;
+        if !pos >= n || not (is_digit input.[!pos]) then
+          raise (Lex_error ("malformed exponent", !pos));
+        while !pos < n && is_digit input.[!pos] do incr pos done
+      end;
+      let text = String.sub input start (!pos - start) in
+      if !is_float then emit (FLOAT (float_of_string text))
+      else emit (INT (int_of_string text))
+    end
+    else if c = '\'' then begin
+      (* String literal; '' escapes a quote. *)
+      let buf = Buffer.create 16 in
+      let start = !pos in
+      incr pos;
+      let closed = ref false in
+      while not !closed do
+        if !pos >= n then raise (Lex_error ("unterminated string", start));
+        let ch = input.[!pos] in
+        if ch = '\'' then
+          if peek 1 = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2
+          end
+          else begin
+            closed := true;
+            incr pos
+          end
+        else begin
+          Buffer.add_char buf ch;
+          incr pos
+        end
+      done;
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub input !pos 2 else "" in
+      match two with
+      | "<=" | ">=" | "<>" | "!=" ->
+        emit (SYMBOL (if two = "!=" then "<>" else two));
+        pos := !pos + 2
+      | _ ->
+        (match c with
+        | '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '=' | '<' | '>' ->
+          emit (SYMBOL (String.make 1 c));
+          incr pos
+        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !pos)))
+    end
+  done;
+  emit EOF;
+  List.rev !tokens

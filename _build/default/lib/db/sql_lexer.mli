@@ -1,0 +1,19 @@
+(** Hand-written lexer for the SQL subset. *)
+
+type token =
+  | IDENT of string      (** lower-cased identifier or non-reserved word *)
+  | KEYWORD of string    (** upper-cased reserved word, e.g. "SELECT" *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string     (** contents of a ['...'] literal, quotes removed *)
+  | SYMBOL of string     (** one of ( ) , . * + - / = <> != < <= > >= *)
+  | EOF
+
+exception Lex_error of string * int
+(** Message and byte offset. *)
+
+val tokenize : string -> token list
+(** Lex a full statement; always ends with [EOF]. Raises {!Lex_error}. *)
+
+val is_keyword : string -> bool
+(** Whether an upper-cased word is reserved. *)

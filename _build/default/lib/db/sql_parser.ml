@@ -1,0 +1,491 @@
+open Sql_ast
+open Sql_lexer
+
+exception Parse_error of string
+
+type state = {
+  tokens : token array;
+  mutable pos : int;
+}
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KEYWORD s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | SYMBOL s -> Printf.sprintf "%S" s
+  | EOF -> "end of input"
+
+let fail st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (at %s, token %d)" msg
+          (token_to_string st.tokens.(st.pos))
+          st.pos))
+
+let peek st = st.tokens.(st.pos)
+
+let advance st = st.pos <- st.pos + 1
+
+let accept_keyword st kw =
+  match peek st with
+  | KEYWORD k when k = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_keyword st kw =
+  if not (accept_keyword st kw) then fail st (Printf.sprintf "expected %s" kw)
+
+let accept_symbol st sym =
+  match peek st with
+  | SYMBOL s when s = sym ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_symbol st sym =
+  if not (accept_symbol st sym) then fail st (Printf.sprintf "expected %S" sym)
+
+let expect_ident st =
+  match peek st with
+  | IDENT name ->
+    advance st;
+    name
+  | _ -> fail st "expected identifier"
+
+let agg_of_keyword = function
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | "AVG" -> Some Avg
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | _ -> None
+
+let rec parse_select st =
+  expect_keyword st "SELECT";
+  let distinct = accept_keyword st "DISTINCT" in
+  let projections = parse_projections st in
+  expect_keyword st "FROM";
+  let from, join_conjuncts = parse_from_items st in
+  let where = if accept_keyword st "WHERE" then Some (parse_expr_state st) else None in
+  (* [a JOIN b ON p] desugars to comma-join plus a WHERE conjunct; the
+     planner turns equality conjuncts into hash joins either way. *)
+  let where =
+    match (join_conjuncts, where) with
+    | [], w -> w
+    | js, None -> Some (and_of_list js)
+    | js, Some w -> Some (and_of_list (js @ [ w ]))
+  in
+  let group_by =
+    if accept_keyword st "GROUP" then begin
+      expect_keyword st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let having = if accept_keyword st "HAVING" then Some (parse_expr_state st) else None in
+  let order_by =
+    if accept_keyword st "ORDER" then begin
+      expect_keyword st "BY";
+      parse_order_list st
+    end
+    else []
+  in
+  let limit =
+    if accept_keyword st "LIMIT" then begin
+      match peek st with
+      | INT n ->
+        advance st;
+        Some n
+      | _ -> fail st "expected integer after LIMIT"
+    end
+    else None
+  in
+  { distinct; projections; from; where; group_by; having; order_by; limit }
+
+and parse_projections st =
+  let rec loop acc =
+    let proj =
+      if accept_symbol st "*" then Star
+      else begin
+        let e = parse_expr_state st in
+        let alias =
+          if accept_keyword st "AS" then Some (expect_ident st)
+          else
+            match peek st with
+            | IDENT name ->
+              advance st;
+              Some name
+            | _ -> None
+        in
+        Proj (e, alias)
+      end
+    in
+    let acc = proj :: acc in
+    if accept_symbol st "," then loop acc else List.rev acc
+  in
+  loop []
+
+and parse_from_items st =
+  let parse_one () =
+    let table = expect_ident st in
+    let alias =
+      match peek st with
+      | IDENT name ->
+        advance st;
+        Some name
+      | _ -> if accept_keyword st "AS" then Some (expect_ident st) else None
+    in
+    { table; alias }
+  in
+  let conjuncts = ref [] in
+  let rec joins item =
+    let inner = accept_keyword st "INNER" in
+    if inner || peek st = KEYWORD "JOIN" then begin
+      expect_keyword st "JOIN";
+      let right = parse_one () in
+      expect_keyword st "ON";
+      conjuncts := parse_expr_state st :: !conjuncts;
+      joins (item @ [ right ])
+    end
+    else item
+  in
+  let rec loop acc =
+    let group = joins [ parse_one () ] in
+    let acc = List.rev_append group acc in
+    if accept_symbol st "," then loop acc else List.rev acc
+  in
+  let items = loop [] in
+  (items, List.rev !conjuncts)
+
+and parse_expr_list st =
+  let rec loop acc =
+    let e = parse_expr_state st in
+    let acc = e :: acc in
+    if accept_symbol st "," then loop acc else List.rev acc
+  in
+  loop []
+
+and parse_order_list st =
+  let rec loop acc =
+    let e = parse_expr_state st in
+    let dir =
+      if accept_keyword st "DESC" then Desc
+      else begin
+        ignore (accept_keyword st "ASC");
+        Asc
+      end
+    in
+    let acc = (e, dir) :: acc in
+    if accept_symbol st "," then loop acc else List.rev acc
+  in
+  loop []
+
+and parse_expr_state st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept_keyword st "OR" then Or (lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_keyword st "AND" then And (lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept_keyword st "NOT" then Not (parse_not st) else parse_predicate st
+
+and parse_predicate st =
+  let lhs = parse_additive st in
+  let negated = accept_keyword st "NOT" in
+  let wrap e = if negated then Not e else e in
+  match peek st with
+  | SYMBOL ("=" | "<>" | "<" | "<=" | ">" | ">=") when not negated ->
+    let op =
+      match peek st with
+      | SYMBOL "=" -> Eq
+      | SYMBOL "<>" -> Ne
+      | SYMBOL "<" -> Lt
+      | SYMBOL "<=" -> Le
+      | SYMBOL ">" -> Gt
+      | SYMBOL ">=" -> Ge
+      | _ -> assert false
+    in
+    advance st;
+    Cmp (op, lhs, parse_additive st)
+  | KEYWORD "BETWEEN" ->
+    advance st;
+    let lo = parse_additive st in
+    expect_keyword st "AND";
+    let hi = parse_additive st in
+    wrap (Between (lhs, lo, hi))
+  | KEYWORD "IN" ->
+    advance st;
+    expect_symbol st "(";
+    let e =
+      if peek st = KEYWORD "SELECT" then begin
+        let sub = parse_select st in
+        In_select (lhs, sub)
+      end
+      else In_list (lhs, parse_expr_list st)
+    in
+    expect_symbol st ")";
+    wrap e
+  | KEYWORD "LIKE" ->
+    advance st;
+    (match peek st with
+    | STRING pat ->
+      advance st;
+      wrap (Like (lhs, pat))
+    | _ -> fail st "expected string pattern after LIKE")
+  | KEYWORD "IS" when not negated ->
+    advance st;
+    let negated_null = accept_keyword st "NOT" in
+    expect_keyword st "NULL";
+    if negated_null then Not (Is_null lhs) else Is_null lhs
+  | _ ->
+    if negated then fail st "expected BETWEEN, IN or LIKE after NOT";
+    lhs
+
+and parse_additive st =
+  let rec loop lhs =
+    if accept_symbol st "+" then loop (Binop (Add, lhs, parse_multiplicative st))
+    else if accept_symbol st "-" then loop (Binop (Sub, lhs, parse_multiplicative st))
+    else lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    if accept_symbol st "*" then loop (Binop (Mul, lhs, parse_unary st))
+    else if accept_symbol st "/" then loop (Binop (Div, lhs, parse_unary st))
+    else lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if accept_symbol st "-" then begin
+    match parse_unary st with
+    | Lit (Value.Int i) -> Lit (Value.Int (-i))
+    | Lit (Value.Float f) -> Lit (Value.Float (-.f))
+    | e -> Binop (Sub, Lit (Value.Int 0), e)
+  end
+  else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | INT i ->
+    advance st;
+    Lit (Value.Int i)
+  | FLOAT f ->
+    advance st;
+    Lit (Value.Float f)
+  | STRING s ->
+    advance st;
+    Lit (Value.Str s)
+  | KEYWORD "NULL" ->
+    advance st;
+    Lit Value.Null
+  | KEYWORD "TRUE" ->
+    advance st;
+    Lit (Value.Bool true)
+  | KEYWORD "FALSE" ->
+    advance st;
+    Lit (Value.Bool false)
+  | KEYWORD "DATE" ->
+    advance st;
+    (match peek st with
+    | STRING s ->
+      advance st;
+      (try Lit (Value.Date (Date.of_string s))
+       with Invalid_argument msg -> fail st msg)
+    | _ -> fail st "expected 'YYYY-MM-DD' after DATE")
+  | KEYWORD "CASE" ->
+    advance st;
+    parse_case st
+  | KEYWORD kw when agg_of_keyword kw <> None ->
+    let kind = Option.get (agg_of_keyword kw) in
+    advance st;
+    expect_symbol st "(";
+    let arg =
+      if accept_symbol st "*" then None else Some (parse_expr_state st)
+    in
+    expect_symbol st ")";
+    (match (kind, arg) with
+    | Count, _ | _, Some _ -> Agg (kind, arg)
+    | _, None -> fail st "only count(*) may take *")
+  | IDENT name ->
+    advance st;
+    if accept_symbol st "." then begin
+      let col = expect_ident st in
+      Col (Some name, col)
+    end
+    else Col (None, name)
+  | SYMBOL "(" ->
+    advance st;
+    let e = parse_expr_state st in
+    expect_symbol st ")";
+    e
+  | _ -> fail st "expected expression"
+
+and parse_case st =
+  let rec arms acc =
+    if accept_keyword st "WHEN" then begin
+      let cond = parse_expr_state st in
+      expect_keyword st "THEN";
+      let value = parse_expr_state st in
+      arms ((cond, value) :: acc)
+    end
+    else List.rev acc
+  in
+  let arms = arms [] in
+  if arms = [] then fail st "CASE requires at least one WHEN arm";
+  let else_ = if accept_keyword st "ELSE" then Some (parse_expr_state st) else None in
+  expect_keyword st "END";
+  Case (arms, else_)
+
+(* ------------------------------------------------------------------ *)
+(* Statements beyond SELECT *)
+
+let parse_type st =
+  match peek st with
+  | KEYWORD ("INT" | "INTEGER") ->
+    advance st;
+    Value.TInt
+  | KEYWORD ("FLOAT" | "REAL") ->
+    advance st;
+    Value.TFloat
+  | KEYWORD ("TEXT" | "VARCHAR") ->
+    advance st;
+    (* Accept an optional VARCHAR(n); the length is not enforced. *)
+    if accept_symbol st "(" then begin
+      (match peek st with
+      | INT _ -> advance st
+      | _ -> fail st "expected length after VARCHAR(");
+      expect_symbol st ")"
+    end;
+    Value.TStr
+  | KEYWORD ("BOOL" | "BOOLEAN") ->
+    advance st;
+    Value.TBool
+  | KEYWORD "DATE" ->
+    advance st;
+    Value.TDate
+  | _ -> fail st "expected a column type"
+
+let parse_create st =
+  expect_keyword st "CREATE";
+  if accept_keyword st "TABLE" then begin
+    let table = expect_ident st in
+    expect_symbol st "(";
+    let rec columns acc =
+      let name = expect_ident st in
+      let ty = parse_type st in
+      let acc = (name, ty) :: acc in
+      if accept_symbol st "," then columns acc else List.rev acc
+    in
+    let columns = columns [] in
+    expect_symbol st ")";
+    Create_table_stmt { table; columns }
+  end
+  else if accept_keyword st "INDEX" then begin
+    expect_keyword st "ON";
+    let table = expect_ident st in
+    expect_symbol st "(";
+    let column = expect_ident st in
+    expect_symbol st ")";
+    Create_index_stmt { table; column }
+  end
+  else fail st "expected TABLE or INDEX after CREATE"
+
+let parse_insert st =
+  expect_keyword st "INSERT";
+  expect_keyword st "INTO";
+  let table = expect_ident st in
+  let columns =
+    if accept_symbol st "(" then begin
+      let rec cols acc =
+        let c = expect_ident st in
+        let acc = c :: acc in
+        if accept_symbol st "," then cols acc else List.rev acc
+      in
+      let cs = cols [] in
+      expect_symbol st ")";
+      Some cs
+    end
+    else None
+  in
+  expect_keyword st "VALUES";
+  let rec rows acc =
+    expect_symbol st "(";
+    let row = parse_expr_list st in
+    expect_symbol st ")";
+    let acc = row :: acc in
+    if accept_symbol st "," then rows acc else List.rev acc
+  in
+  Insert_stmt { table; columns; rows = rows [] }
+
+let parse_delete st =
+  expect_keyword st "DELETE";
+  expect_keyword st "FROM";
+  let table = expect_ident st in
+  let where = if accept_keyword st "WHERE" then Some (parse_expr_state st) else None in
+  Delete_stmt { table; where }
+
+let parse_update st =
+  expect_keyword st "UPDATE";
+  let table = expect_ident st in
+  expect_keyword st "SET";
+  let rec assignments acc =
+    let column = expect_ident st in
+    expect_symbol st "=";
+    let value = parse_expr_state st in
+    let acc = (column, value) :: acc in
+    if accept_symbol st "," then assignments acc else List.rev acc
+  in
+  let assignments = assignments [] in
+  let where = if accept_keyword st "WHERE" then Some (parse_expr_state st) else None in
+  Update_stmt { table; assignments; where }
+
+let parse_drop st =
+  expect_keyword st "DROP";
+  expect_keyword st "TABLE";
+  Drop_table_stmt (expect_ident st)
+
+let parse_statement_state st =
+  match peek st with
+  | KEYWORD "SELECT" -> Select_stmt (parse_select st)
+  | KEYWORD "INSERT" -> parse_insert st
+  | KEYWORD "CREATE" -> parse_create st
+  | KEYWORD "DELETE" -> parse_delete st
+  | KEYWORD "UPDATE" -> parse_update st
+  | KEYWORD "DROP" -> parse_drop st
+  | _ -> fail st "expected SELECT, INSERT, CREATE, DELETE, UPDATE or DROP"
+
+let strip_semicolon input =
+  let trimmed = String.trim input in
+  if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';' then
+    String.sub trimmed 0 (String.length trimmed - 1)
+  else trimmed
+
+let make_state input =
+  { tokens = Array.of_list (Sql_lexer.tokenize (strip_semicolon input)); pos = 0 }
+
+let parse input =
+  let st = make_state input in
+  let select = parse_select st in
+  if peek st <> EOF then fail st "trailing input after statement";
+  select
+
+let parse_expr input =
+  let st = make_state input in
+  let e = parse_expr_state st in
+  if peek st <> EOF then fail st "trailing input after expression";
+  e
+
+let parse_statement input =
+  let st = make_state input in
+  let stmt = parse_statement_state st in
+  if peek st <> EOF then fail st "trailing input after statement";
+  stmt

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the SQL subset (see {!Sql_ast}). *)
+
+exception Parse_error of string
+(** Raised with a human-readable message on malformed input. *)
+
+val parse : string -> Sql_ast.select
+(** Parse one SELECT statement (an optional trailing [;] is accepted). *)
+
+val parse_expr : string -> Sql_ast.expr
+(** Parse a standalone expression — handy for tests and for building
+    predicates programmatically. *)
+
+val parse_statement : string -> Sql_ast.statement
+(** Parse any supported statement: SELECT, INSERT … VALUES, CREATE TABLE,
+    CREATE INDEX, DELETE, UPDATE, DROP TABLE. *)

@@ -1,0 +1,200 @@
+exception Corrupt of string
+
+let magic = "MOPEDB\x01\n"
+
+(* ------------------------------------------------------------------ *)
+(* Primitive encoders *)
+
+let put_int64 buf v =
+  for byte = 0 to 7 do
+    let shift = 8 * (7 - byte) in
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xFFL)))
+  done
+
+let put_int buf v = put_int64 buf (Int64.of_int v)
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let ty_tag = function
+  | Value.TBool -> 0
+  | Value.TInt -> 1
+  | Value.TFloat -> 2
+  | Value.TStr -> 3
+  | Value.TDate -> 4
+
+let ty_of_tag = function
+  | 0 -> Value.TBool
+  | 1 -> Value.TInt
+  | 2 -> Value.TFloat
+  | 3 -> Value.TStr
+  | 4 -> Value.TDate
+  | n -> raise (Corrupt (Printf.sprintf "unknown type tag %d" n))
+
+let put_value buf = function
+  | Value.Null -> Buffer.add_char buf '\x00'
+  | Value.Bool b ->
+    Buffer.add_char buf '\x01';
+    Buffer.add_char buf (if b then '\x01' else '\x00')
+  | Value.Int i ->
+    Buffer.add_char buf '\x02';
+    put_int buf i
+  | Value.Float f ->
+    Buffer.add_char buf '\x03';
+    put_int64 buf (Int64.bits_of_float f)
+  | Value.Str s ->
+    Buffer.add_char buf '\x04';
+    put_string buf s
+  | Value.Date d ->
+    Buffer.add_char buf '\x05';
+    put_int buf d
+
+(* ------------------------------------------------------------------ *)
+(* Primitive decoders over a cursor *)
+
+type cursor = { data : string; mutable pos : int }
+
+let need cur n =
+  if cur.pos + n > String.length cur.data then raise (Corrupt "truncated input")
+
+let get_byte cur =
+  need cur 1;
+  let b = Char.code cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  b
+
+let get_int64 cur =
+  need cur 8;
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_byte cur))
+  done;
+  !v
+
+let get_int cur =
+  let v = get_int64 cur in
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then raise (Corrupt "integer out of range");
+  i
+
+(* Non-negative integers: sizes, counts, tags. *)
+let get_nat cur =
+  let v = get_int cur in
+  if v < 0 then raise (Corrupt "negative size");
+  v
+
+let get_string cur =
+  let len = get_nat cur in
+  need cur len;
+  let s = String.sub cur.data cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let get_value cur =
+  match get_byte cur with
+  | 0 -> Value.Null
+  | 1 -> Value.Bool (get_byte cur = 1)
+  | 2 -> Value.Int (get_int cur)
+  | 3 -> Value.Float (Int64.float_of_bits (get_int64 cur))
+  | 4 -> Value.Str (get_string cur)
+  | 5 -> Value.Date (get_int cur)
+  | n -> raise (Corrupt (Printf.sprintf "unknown value tag %d" n))
+
+(* ------------------------------------------------------------------ *)
+
+let save_string db =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  let names = Database.tables db in
+  put_int buf (List.length names);
+  List.iter
+    (fun name ->
+      let table = Database.table_exn db name in
+      let schema = Table.schema table in
+      put_string buf name;
+      let columns = Schema.columns schema in
+      put_int buf (List.length columns);
+      List.iter
+        (fun c ->
+          put_string buf c.Schema.name;
+          put_int buf (ty_tag c.Schema.ty))
+        columns;
+      put_int buf (Table.length table);
+      Table.iter table (fun _ row -> Array.iter (put_value buf) row);
+      let indexed =
+        List.map
+          (fun col -> (Schema.column_at schema col).Schema.name)
+          (Table.indexed_columns table)
+        |> List.sort compare
+      in
+      put_int buf (List.length indexed);
+      List.iter (put_string buf) indexed)
+    names;
+  Buffer.contents buf
+
+let load_string data =
+  let cur = { data; pos = 0 } in
+  need cur (String.length magic);
+  if String.sub data 0 (String.length magic) <> magic then
+    raise (Corrupt "bad magic header");
+  cur.pos <- String.length magic;
+  let db = Database.create () in
+  let n_tables = get_nat cur in
+  for _ = 1 to n_tables do
+    let name = get_string cur in
+    let n_cols = get_nat cur in
+    if n_cols <= 0 then raise (Corrupt "table with no columns");
+    let columns =
+      List.init n_cols (fun _ ->
+          let col_name = get_string cur in
+          let ty = ty_of_tag (get_nat cur) in
+          { Schema.name = col_name; ty })
+    in
+    let schema =
+      try Schema.make columns
+      with Invalid_argument msg -> raise (Corrupt msg)
+    in
+    let table =
+      try Database.create_table db ~name ~schema
+      with Invalid_argument msg -> raise (Corrupt msg)
+    in
+    let n_rows = get_nat cur in
+    for _ = 1 to n_rows do
+      (* Explicit loop: Array.init's evaluation order is unspecified. *)
+      let row = Array.make n_cols Value.Null in
+      for i = 0 to n_cols - 1 do
+        row.(i) <- get_value cur
+      done;
+      match Table.insert table row with
+      | _ -> ()
+      | exception Invalid_argument msg -> raise (Corrupt msg)
+    done;
+    let n_indexes = get_nat cur in
+    for _ = 1 to n_indexes do
+      let column = get_string cur in
+      match Table.create_index table column with
+      | () -> ()
+      | exception Invalid_argument msg -> raise (Corrupt msg)
+    done
+  done;
+  if cur.pos <> String.length data then raise (Corrupt "trailing bytes");
+  db
+
+let save db ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try output_string oc (save_string db)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let load ~path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  load_string data

@@ -1,0 +1,21 @@
+(** On-disk persistence for a {!Database.t}.
+
+    A versioned, self-describing binary format (no [Marshal], so files are
+    stable across compiler versions): header magic, then each table's name,
+    schema, live rows and indexed columns. Indexes are rebuilt on load;
+    tombstoned rows are compacted away, so row ids are not stable across a
+    save/load cycle (documented — nothing in the engine exposes ids). *)
+
+exception Corrupt of string
+(** Raised by {!load} on malformed input, with a human-readable reason. *)
+
+val save : Database.t -> path:string -> unit
+(** Write the whole database atomically (temp file + rename). *)
+
+val load : path:string -> Database.t
+(** Read a database written by {!save}; rebuilds all indexes. *)
+
+val save_string : Database.t -> string
+(** The serialized bytes (used by {!save} and the tests). *)
+
+val load_string : string -> Database.t

@@ -1,0 +1,124 @@
+type t = {
+  name : string;
+  schema : Schema.t;
+  mutable rows : Value.t array array; (* doubling array; [||] sentinel slots *)
+  mutable nrows : int;                (* slots used, including tombstones *)
+  mutable live : int;                 (* rows not deleted *)
+  mutable deleted : Bytes.t;          (* tombstone bitmap, 1 byte per slot *)
+  indexes : (int, Btree.t) Hashtbl.t;
+}
+
+let create ~name ~schema =
+  { name; schema;
+    rows = Array.make 16 [||];
+    nrows = 0;
+    live = 0;
+    deleted = Bytes.make 16 '\x00';
+    indexes = Hashtbl.create 4 }
+
+let name t = t.name
+let schema t = t.schema
+let length t = t.live
+
+let is_deleted t id = Bytes.get t.deleted id = '\x01'
+
+let ensure_capacity t =
+  if t.nrows = Array.length t.rows then begin
+    let bigger = Array.make (2 * Array.length t.rows) [||] in
+    Array.blit t.rows 0 bigger 0 t.nrows;
+    t.rows <- bigger;
+    let bigger_deleted = Bytes.make (2 * Bytes.length t.deleted) '\x00' in
+    Bytes.blit t.deleted 0 bigger_deleted 0 t.nrows;
+    t.deleted <- bigger_deleted
+  end
+
+let index_key v =
+  match v with
+  | Value.Int i -> Some i
+  | Value.Date d -> Some d
+  | Value.Null | Value.Bool _ | Value.Float _ | Value.Str _ -> None
+
+let index_insert t row id =
+  Hashtbl.iter
+    (fun col btree ->
+      match index_key row.(col) with
+      | Some key -> Btree.insert btree ~key ~value:id
+      | None -> ())
+    t.indexes
+
+let index_remove t row id =
+  Hashtbl.iter
+    (fun col btree ->
+      match index_key row.(col) with
+      | Some key -> ignore (Btree.delete btree ~key ~value:id)
+      | None -> ())
+    t.indexes
+
+let insert t row =
+  if not (Schema.check_row t.schema row) then
+    invalid_arg (Printf.sprintf "Table.insert(%s): row does not match schema" t.name);
+  ensure_capacity t;
+  let id = t.nrows in
+  t.rows.(id) <- row;
+  t.nrows <- t.nrows + 1;
+  t.live <- t.live + 1;
+  index_insert t row id;
+  id
+
+let get t id =
+  if id < 0 || id >= t.nrows then invalid_arg "Table.get: row id out of bounds";
+  if is_deleted t id then invalid_arg "Table.get: row was deleted";
+  t.rows.(id)
+
+let iter t f =
+  for id = 0 to t.nrows - 1 do
+    if not (is_deleted t id) then f id t.rows.(id)
+  done
+
+let delete t id =
+  if id < 0 || id >= t.nrows then invalid_arg "Table.delete: row id out of bounds";
+  if is_deleted t id then false
+  else begin
+    index_remove t t.rows.(id) id;
+    Bytes.set t.deleted id '\x01';
+    t.live <- t.live - 1;
+    (* Drop the payload so the memory can be reclaimed. *)
+    t.rows.(id) <- [||];
+    true
+  end
+
+let update t id row =
+  if id < 0 || id >= t.nrows then invalid_arg "Table.update: row id out of bounds";
+  if is_deleted t id then invalid_arg "Table.update: row was deleted";
+  if not (Schema.check_row t.schema row) then
+    invalid_arg (Printf.sprintf "Table.update(%s): row does not match schema" t.name);
+  index_remove t t.rows.(id) id;
+  t.rows.(id) <- row;
+  index_insert t row id
+
+let create_index t column =
+  let col =
+    match Schema.find t.schema column with
+    | Some _ -> Schema.index_of t.schema column
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Table.create_index(%s): unknown column %s" t.name column)
+  in
+  (match (Schema.column_at t.schema col).Schema.ty with
+  | Value.TInt | Value.TDate -> ()
+  | Value.TBool | Value.TFloat | Value.TStr ->
+    invalid_arg
+      (Printf.sprintf "Table.create_index(%s.%s): only INT and DATE columns"
+         t.name column));
+  if not (Hashtbl.mem t.indexes col) then begin
+    let btree = Btree.create () in
+    iter t (fun id row ->
+        match index_key row.(col) with
+        | Some key -> Btree.insert btree ~key ~value:id
+        | None -> ());
+    Hashtbl.replace t.indexes col btree
+  end
+
+let index_on t col = Hashtbl.find_opt t.indexes col
+
+let indexed_columns t = Hashtbl.fold (fun col _ acc -> col :: acc) t.indexes []

@@ -1,0 +1,42 @@
+(** In-memory row store with optional B+-tree indexes on integer-ordered
+    columns (INT and DATE — and therefore also MOPE ciphertext columns,
+    which are plain INTs to the server). *)
+
+type t
+
+val create : name:string -> schema:Schema.t -> t
+
+val name : t -> string
+val schema : t -> Schema.t
+
+val length : t -> int
+(** Number of live (non-deleted) rows. *)
+
+val insert : t -> Value.t array -> int
+(** Append a row (validated against the schema), updating all indexes;
+    returns the row id. Raises [Invalid_argument] on schema mismatch. *)
+
+val get : t -> int -> Value.t array
+(** Row by id. Raises [Invalid_argument] for out-of-bounds or deleted ids. *)
+
+val iter : t -> (int -> Value.t array -> unit) -> unit
+(** Iterate live rows in id order. *)
+
+val delete : t -> int -> bool
+(** Tombstone a row by id, removing its index entries; [false] if already
+    deleted. Row ids are never reused. *)
+
+val update : t -> int -> Value.t array -> unit
+(** Replace a live row in place, maintaining all indexes. Raises on schema
+    mismatch or deleted/out-of-bounds ids. *)
+
+val is_deleted : t -> int -> bool
+
+val create_index : t -> string -> unit
+(** Build a B+-tree over an existing INT or DATE column (no-op if one
+    already exists). Nulls are skipped. *)
+
+val index_on : t -> int -> Btree.t option
+(** Index over the column at a position, if any. *)
+
+val indexed_columns : t -> int list

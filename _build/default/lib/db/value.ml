@@ -1,0 +1,87 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of Date.t
+
+type ty = TBool | TInt | TFloat | TStr | TDate
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some TBool
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Str _ -> Some TStr
+  | Date _ -> Some TDate
+
+let ty_to_string = function
+  | TBool -> "bool"
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TStr -> "string"
+  | TDate -> "date"
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+  | Date _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Bool x, Bool y -> Bool.compare x y
+  | Str x, Str y -> String.compare x y
+  | Date x, Date y -> Int.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Date d -> Date.to_string d
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let is_null = function Null -> true | _ -> false
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Bool b -> if b then 1.0 else 0.0
+  | (Null | Str _ | Date _) as v ->
+    invalid_arg ("Value.to_float: " ^ to_string v)
+
+let to_int = function
+  | Int i -> i
+  | Date d -> d
+  | (Null | Bool _ | Float _ | Str _) as v ->
+    invalid_arg ("Value.to_int: " ^ to_string v)
+
+(* LIKE matcher: % = any run, _ = one char. Classic two-pointer algorithm
+   with backtracking to the last %. *)
+let like_match text pattern =
+  let n = String.length text and m = String.length pattern in
+  let rec go ti pi star_p star_t =
+    if ti = n && pi = m then true
+    else if pi < m && pattern.[pi] = '%' then go ti (pi + 1) (pi + 1) ti
+    else if ti < n && pi < m && (pattern.[pi] = '_' || pattern.[pi] = text.[ti]) then
+      go (ti + 1) (pi + 1) star_p star_t
+    else if star_p >= 0 && star_t < n then go (star_t + 1) star_p star_p (star_t + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)
+
+let like v ~pattern =
+  match v with Str s -> like_match s pattern | _ -> false

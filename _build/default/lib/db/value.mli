@@ -1,0 +1,42 @@
+(** Runtime values of the relational engine. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of Date.t
+
+type ty = TBool | TInt | TFloat | TStr | TDate
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val ty_to_string : ty -> string
+
+val compare : t -> t -> int
+(** SQL-flavoured ordering: numerics compare across [Int]/[Float]; [Null]
+    sorts first; distinct non-comparable types order by a fixed type rank
+    (only relevant for sorting heterogeneous columns, which well-typed plans
+    never produce). *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Display rendering (dates as YYYY-MM-DD, strings unquoted). *)
+
+val pp : Format.formatter -> t -> unit
+
+val is_null : t -> bool
+
+val to_float : t -> float
+(** Numeric coercion of [Int]/[Float]/[Bool]; raises [Invalid_argument]
+    otherwise. *)
+
+val to_int : t -> int
+(** [Int]/[Date] payload; raises otherwise. *)
+
+val like : t -> pattern:string -> bool
+(** SQL [LIKE]: [%] matches any run, [_] any single character. [false] for
+    non-strings. *)

@@ -1,0 +1,1 @@
+lib/ope/modular.ml: Int

@@ -1,0 +1,1 @@
+lib/ope/mope.ml: Drbg Hmac List Modular Mope_crypto Ope

@@ -1,0 +1,1 @@
+lib/ope/ope.ml: Array Drbg Hashtbl Hypergeometric Mope_crypto Mope_stats

@@ -1,0 +1,1 @@
+lib/ope/ope.mli:

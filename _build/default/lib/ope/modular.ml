@@ -1,0 +1,31 @@
+let check_m m = if m <= 0 then invalid_arg "Modular: m must be positive"
+
+let normalize ~m x =
+  check_m m;
+  let r = x mod m in
+  if r < 0 then r + m else r
+
+let add ~m a b = normalize ~m (normalize ~m a + normalize ~m b)
+
+let sub ~m a b = normalize ~m (normalize ~m a - normalize ~m b)
+
+let interval_length ~m ~lo ~hi =
+  check_m m;
+  let lo = normalize ~m lo and hi = normalize ~m hi in
+  if lo <= hi then hi - lo + 1 else m - lo + hi + 1
+
+let mem ~m ~lo ~hi x =
+  check_m m;
+  let lo = normalize ~m lo and hi = normalize ~m hi and x = normalize ~m x in
+  if lo <= hi then lo <= x && x <= hi else x >= lo || x <= hi
+
+let segments ~m ~lo ~hi =
+  check_m m;
+  let lo = normalize ~m lo and hi = normalize ~m hi in
+  if lo <= hi then [ (lo, hi) ] else [ (lo, m - 1); (0, hi) ]
+
+let forward_distance ~m a b = sub ~m b a
+
+let distance ~m a b =
+  let d = forward_distance ~m a b in
+  Int.min d (m - d)

@@ -1,0 +1,34 @@
+(** Arithmetic on the cyclic domain [\[0, m)].
+
+    MOPE range queries may "wrap around" the space (paper §3): an interval
+    [(lo, hi)] with [hi < lo] denotes [\[lo, m) ∪ [0, hi\]]. These helpers give
+    wrap-aware membership, lengths, distances and segment decomposition, and
+    are shared by the query algorithms, the proxy, the database rewrites and
+    the attacks. All intervals here are {e inclusive} on both ends. *)
+
+val normalize : m:int -> int -> int
+(** Reduce any integer into [\[0, m)] (handles negatives). *)
+
+val add : m:int -> int -> int -> int
+(** Modular addition into [\[0, m)]. *)
+
+val sub : m:int -> int -> int -> int
+(** Modular subtraction into [\[0, m)]. *)
+
+val interval_length : m:int -> lo:int -> hi:int -> int
+(** Number of elements of the inclusive modular interval [(lo, hi)];
+    [m] when [lo = add hi 1] would make it the full circle — by convention an
+    interval never denotes the empty set, and [lo = hi] has length 1. *)
+
+val mem : m:int -> lo:int -> hi:int -> int -> bool
+(** Wrap-aware membership of a point in the inclusive interval. *)
+
+val segments : m:int -> lo:int -> hi:int -> (int * int) list
+(** Decompose into one or two non-wrapping inclusive segments:
+    [\[(lo,hi)\]] when [lo ≤ hi], else [\[(lo, m−1); (0, hi)\]]. *)
+
+val distance : m:int -> int -> int -> int
+(** Circular distance [min(|a−b|, m−|a−b|)]. *)
+
+val forward_distance : m:int -> int -> int -> int
+(** Steps from [a] forward (increasing, wrapping) to reach [b]. *)

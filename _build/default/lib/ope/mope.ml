@@ -1,0 +1,40 @@
+open Mope_crypto
+
+type t = {
+  ope : Ope.t;
+  offset : int;
+  m : int;
+}
+
+let derive_subkey key label = Hmac.mac ~key ("mope:" ^ label)
+
+let create_with_offset ?cache ~key ~domain ~range ~offset () =
+  if offset < 0 || offset >= domain then invalid_arg "Mope.create_with_offset: offset";
+  let ope_key = derive_subkey key "ope-subkey" in
+  { ope = Ope.create ?cache ~key:ope_key ~domain ~range (); offset; m = domain }
+
+let create ?cache ~key ~domain ~range () =
+  let coins = Drbg.create ~key:(derive_subkey key "offset") ~context:"j" in
+  let offset = Drbg.uniform coins domain in
+  create_with_offset ?cache ~key ~domain ~range ~offset ()
+
+let domain t = t.m
+let range t = Ope.range t.ope
+let offset t = t.offset
+
+let encrypt t m =
+  if m < 0 || m >= t.m then invalid_arg "Mope.encrypt: plaintext out of domain";
+  Ope.encrypt t.ope (Modular.add ~m:t.m m t.offset)
+
+let decrypt t c = Modular.sub ~m:t.m (Ope.decrypt t.ope c) t.offset
+
+let encrypt_range t ~lo ~hi =
+  (encrypt t (Modular.normalize ~m:t.m lo), encrypt t (Modular.normalize ~m:t.m hi))
+
+let ciphertext_segments t ~lo ~hi =
+  let shifted_lo = Modular.add ~m:t.m lo t.offset
+  and shifted_hi = Modular.add ~m:t.m hi t.offset in
+  (* Decompose the shifted plaintext interval, then encrypt each segment's
+     endpoints: within a non-wrapping segment OPE preserves plain order. *)
+  Modular.segments ~m:t.m ~lo:shifted_lo ~hi:shifted_hi
+  |> List.map (fun (a, b) -> (Ope.encrypt t.ope a, Ope.encrypt t.ope b))

@@ -1,0 +1,39 @@
+(** Modular order-preserving encryption (paper §2.2).
+
+    [MOPE.encrypt m = OPE.encrypt ((m + j) mod M)] where the secret offset
+    [j ∈ [0, M)] is part of the key. Ciphertexts preserve the {e modular}
+    order of plaintexts; range queries may wrap around the ciphertext space
+    and the scheme supports them natively ({!encrypt_range}). *)
+
+type t
+
+val create : ?cache:bool -> key:string -> domain:int -> range:int -> unit -> t
+(** Derive both the OPE key and the secret offset pseudorandomly from [key].
+    Same parameter constraints as {!Ope.create}. *)
+
+val create_with_offset :
+  ?cache:bool -> key:string -> domain:int -> range:int -> offset:int -> unit -> t
+(** Fix the offset explicitly (used by experiments that sweep it). *)
+
+val domain : t -> int
+val range : t -> int
+
+val offset : t -> int
+(** The secret displacement [j]. Exposed for experiments and tests only — a
+    deployment would keep it inside the proxy. *)
+
+val encrypt : t -> int -> int
+(** [encrypt t m] for [m ∈ [0, domain)]. *)
+
+val decrypt : t -> int -> int
+(** Inverse on the image; raises {!Ope.Not_a_ciphertext} elsewhere. *)
+
+val encrypt_range : t -> lo:int -> hi:int -> int * int
+(** [encrypt_range t ~lo ~hi] encrypts the inclusive (possibly wrapping)
+    plaintext interval into its pair of ciphertext endpoints [(cL, cR)].
+    When the shifted interval wraps the domain, [cR < cL] and the server
+    must interpret the ciphertext interval modularly (paper §3). *)
+
+val ciphertext_segments : t -> lo:int -> hi:int -> (int * int) list
+(** The one or two non-wrapping inclusive ciphertext segments covering the
+    plaintext interval — directly usable as B-tree scan bounds. *)

@@ -1,0 +1,97 @@
+open Mope_crypto
+open Mope_stats
+
+type t = {
+  key : string;
+  domain : int;
+  range : int;
+  cache : int array option; (* plaintext -> ciphertext, -1 = not yet computed *)
+  dec_cache : (int, int) Hashtbl.t option; (* ciphertext -> plaintext memo *)
+}
+
+exception Not_a_ciphertext of int
+
+let cache_limit = 1 lsl 22
+
+let recommended_range domain = 16 * domain
+
+let create ?(cache = true) ~key ~domain ~range () =
+  if domain < 1 then invalid_arg "Ope.create: domain must be >= 1";
+  if range < domain then invalid_arg "Ope.create: range must be >= domain";
+  let use_cache = cache && domain <= cache_limit in
+  { key; domain; range;
+    cache = (if use_cache then Some (Array.make domain (-1)) else None);
+    dec_cache = (if use_cache then Some (Hashtbl.create 1024) else None) }
+
+let domain t = t.domain
+let range t = t.range
+
+(* Deterministic coins for a node of the lazy binary-search tree. A node is
+   identified by its domain interval [dlo, dhi) and range interval [rlo, rhi);
+   [tag] separates interior gap draws from leaf placement draws. *)
+let node_coins t tag dlo dhi rlo rhi =
+  Drbg.derive ~key:t.key
+    ~parts:[ tag; string_of_int dlo; string_of_int dhi;
+             string_of_int rlo; string_of_int rhi ]
+
+(* Number of the [dhi-dlo] plaintext points of this node that map into the
+   lower range half [rlo, rlo+half): an exact hypergeometric draw with coins
+   bound to the node, hence identical on every revisit. *)
+let gap_draw t dlo dhi rlo rhi half =
+  let coins = node_coins t "hgd" dlo dhi rlo rhi in
+  let u = Drbg.float53 coins in
+  Hypergeometric.sample
+    ~population:(rhi - rlo) ~successes:(dhi - dlo) ~draws:half ~u
+
+let leaf_ciphertext t dlo dhi rlo rhi =
+  let coins = node_coins t "val" dlo dhi rlo rhi in
+  rlo + Drbg.uniform coins (rhi - rlo)
+
+let rec encrypt_walk t dlo dhi rlo rhi m =
+  if dhi - dlo = 1 then leaf_ciphertext t dlo dhi rlo rhi
+  else begin
+    let half = (rhi - rlo) / 2 in
+    let x = gap_draw t dlo dhi rlo rhi half in
+    if m < dlo + x then encrypt_walk t dlo (dlo + x) rlo (rlo + half) m
+    else encrypt_walk t (dlo + x) dhi (rlo + half) rhi m
+  end
+
+let encrypt t m =
+  if m < 0 || m >= t.domain then invalid_arg "Ope.encrypt: plaintext out of domain";
+  match t.cache with
+  | None -> encrypt_walk t 0 t.domain 0 t.range m
+  | Some cache ->
+    if cache.(m) >= 0 then cache.(m)
+    else begin
+      let c = encrypt_walk t 0 t.domain 0 t.range m in
+      cache.(m) <- c;
+      c
+    end
+
+let rec decrypt_walk t dlo dhi rlo rhi c =
+  if dhi - dlo = 1 then
+    if leaf_ciphertext t dlo dhi rlo rhi = c then dlo else raise (Not_a_ciphertext c)
+  else begin
+    let half = (rhi - rlo) / 2 in
+    let x = gap_draw t dlo dhi rlo rhi half in
+    if c < rlo + half then begin
+      if x = 0 then raise (Not_a_ciphertext c);
+      decrypt_walk t dlo (dlo + x) rlo (rlo + half) c
+    end
+    else begin
+      if x = dhi - dlo then raise (Not_a_ciphertext c);
+      decrypt_walk t (dlo + x) dhi (rlo + half) rhi c
+    end
+  end
+
+let decrypt t c =
+  if c < 0 || c >= t.range then invalid_arg "Ope.decrypt: ciphertext out of range";
+  match t.dec_cache with
+  | None -> decrypt_walk t 0 t.domain 0 t.range c
+  | Some memo ->
+    (match Hashtbl.find_opt memo c with
+    | Some m -> m
+    | None ->
+      let m = decrypt_walk t 0 t.domain 0 t.range c in
+      Hashtbl.replace memo c m;
+      m)

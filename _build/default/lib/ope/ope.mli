@@ -1,0 +1,41 @@
+(** Order-preserving encryption (Boldyreva–Chenette–Lee–O'Neill, EUROCRYPT'09).
+
+    A POPF-secure OPE scheme with plaintext space [\[0, domain)] and
+    ciphertext space [\[0, range)]. The scheme lazily samples a random
+    order-preserving function: encryption binary-searches the ciphertext
+    range, and at each visited node draws — with coins derived
+    deterministically from the key and the node — an exact hypergeometric
+    variate deciding how many plaintext points map below the node's midpoint.
+    Two encryptions that revisit a node re-derive the same coins, so the
+    scheme is a well-defined deterministic function of (key, plaintext).
+
+    Complexity: O(log range) tree levels per call, each with one HMAC-DRBG
+    instantiation and one exact HGD draw. A plaintext→ciphertext memo table
+    (enabled for domains up to 2²²) makes bulk encryption of a column
+    amortized O(1) after first touch. *)
+
+type t
+
+exception Not_a_ciphertext of int
+(** Raised by {!decrypt} on a value of the ciphertext space that no plaintext
+    maps to (the function is injective, not surjective). *)
+
+val create : ?cache:bool -> key:string -> domain:int -> range:int -> unit -> t
+(** [create ~key ~domain ~range ()] fixes the scheme parameters.
+    Requires [1 ≤ domain ≤ range]. The paper's security bounds assume
+    [range ≥ 8·domain] (Theorems 1–2) — use {!recommended_range}.
+    [cache] (default [true]) memoizes plaintext→ciphertext pairs when
+    [domain ≤ 2²²]. *)
+
+val recommended_range : int -> int
+(** [16 × domain], satisfying the [N ≥ 16M] hypothesis of Theorem 4. *)
+
+val domain : t -> int
+val range : t -> int
+
+val encrypt : t -> int -> int
+(** [encrypt t m] for [m ∈ [0, domain)]. Strictly increasing in [m]. *)
+
+val decrypt : t -> int -> int
+(** Exact inverse of {!encrypt} on its image; raises {!Not_a_ciphertext}
+    elsewhere, and [Invalid_argument] outside [\[0, range)]. *)

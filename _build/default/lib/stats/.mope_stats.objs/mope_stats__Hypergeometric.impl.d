@@ -1,0 +1,1 @@
+lib/stats/hypergeometric.ml: Int Special

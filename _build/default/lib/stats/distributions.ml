@@ -1,0 +1,30 @@
+let zipf_pmf ~size ~s =
+  if size <= 0 then invalid_arg "Distributions.zipf_pmf";
+  let raw = Array.init size (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  Array.map (fun w -> w /. total) raw
+
+let zipf ~size ~s = Histogram.of_pmf (zipf_pmf ~size ~s)
+
+let normal_quantile ~mean ~sigma u =
+  mean +. (sigma *. Special.inverse_normal_cdf u)
+
+let sample_normal rng ~mean ~sigma =
+  (* Clamp away from the poles where the quantile approximation diverges. *)
+  let u = Float.max 1e-12 (Float.min (1.0 -. 1e-12) (Rng.float rng)) in
+  normal_quantile ~mean ~sigma u
+
+let bernoulli ~u ~p = u < p
+
+let geometric ~u ~p =
+  if p >= 1.0 then 0
+  else if p <= 0.0 then invalid_arg "Distributions.geometric: p must be positive"
+  else begin
+    (* Inversion: smallest k with 1 − (1−p)^(k+1) > u. *)
+    let k = Float.to_int (Float.floor (log1p (-.u) /. log1p (-.p))) in
+    Int.max 0 k
+  end
+
+let sample_bernoulli rng ~p = bernoulli ~u:(Rng.float rng) ~p
+
+let sample_geometric rng ~p = geometric ~u:(Rng.float rng) ~p

@@ -1,0 +1,27 @@
+(** Parametric distributions used by the paper's workloads and algorithms. *)
+
+val zipf_pmf : size:int -> s:float -> float array
+(** Zipf pmf on [\[0, size)] with exponent [s]: [p(i) ∝ 1/(i+1)^s]. *)
+
+val zipf : size:int -> s:float -> Histogram.t
+(** {!zipf_pmf} as a {!Histogram.t}. *)
+
+val normal_quantile : mean:float -> sigma:float -> float -> float
+(** [normal_quantile ~mean ~sigma u] maps a uniform [u ∈ (0,1)] to an
+    N(mean, sigma²) draw by inversion (deterministic in [u]). *)
+
+val sample_normal : Rng.t -> mean:float -> sigma:float -> float
+(** Draw from N(mean, sigma²) using {!Rng}. *)
+
+val bernoulli : u:float -> p:float -> bool
+(** [bernoulli ~u ~p] is [u < p] — heads with probability [p] for uniform
+    [u]. This is the paper's [Bern(α)] coin. *)
+
+val geometric : u:float -> p:float -> int
+(** Number of failures before the first success of a [Bern(p)] coin, by
+    inversion: the count of fake queries to issue before the real one
+    (paper §5). Returns 0 when [p ≥ 1]. *)
+
+val sample_bernoulli : Rng.t -> p:float -> bool
+
+val sample_geometric : Rng.t -> p:float -> int

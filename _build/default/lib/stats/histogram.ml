@@ -1,0 +1,95 @@
+type t = {
+  pmf : float array;
+  cdf : float array;   (* cdf.(i) = sum of pmf.(0..i) ; cdf.(size-1) = 1. *)
+}
+
+let size t = Array.length t.pmf
+
+let build pmf =
+  let n = Array.length pmf in
+  if n = 0 then invalid_arg "Histogram: empty domain";
+  let total = Array.fold_left ( +. ) 0.0 pmf in
+  if total <= 0.0 then invalid_arg "Histogram: zero total mass";
+  let pmf = Array.map (fun p -> p /. total) pmf in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. pmf.(i);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { pmf; cdf }
+
+let of_counts counts =
+  Array.iter (fun c -> if c < 0 then invalid_arg "Histogram.of_counts: negative") counts;
+  build (Array.map float_of_int counts)
+
+let of_pmf pmf =
+  Array.iter (fun p -> if p < 0.0 || Float.is_nan p then invalid_arg "Histogram.of_pmf") pmf;
+  let total = Array.fold_left ( +. ) 0.0 pmf in
+  if Float.abs (total -. 1.0) > 1e-9 then invalid_arg "Histogram.of_pmf: mass not 1";
+  build pmf
+
+let uniform n =
+  if n <= 0 then invalid_arg "Histogram.uniform";
+  build (Array.make n 1.0)
+
+let point ~size i =
+  if i < 0 || i >= size then invalid_arg "Histogram.point";
+  let pmf = Array.make size 0.0 in
+  pmf.(i) <- 1.0;
+  build pmf
+
+let prob t i = t.pmf.(i)
+
+let pmf t = Array.copy t.pmf
+
+let max_prob t = Array.fold_left Float.max 0.0 t.pmf
+
+let argmax t =
+  let best = ref 0 in
+  Array.iteri (fun i p -> if p > t.pmf.(!best) then best := i) t.pmf;
+  !best
+
+let periodic_eta t ~rho =
+  let m = size t in
+  if rho <= 0 || m mod rho <> 0 then invalid_arg "Histogram.periodic_eta: rho must divide size";
+  let eta = Array.make rho 0.0 in
+  Array.iteri (fun i p -> if p > eta.(i mod rho) then eta.(i mod rho) <- p) t.pmf;
+  let mean = Array.fold_left ( +. ) 0.0 eta /. float_of_int rho in
+  (eta, mean)
+
+let sample t ~u =
+  if u < 0.0 || u >= 1.0 then invalid_arg "Histogram.sample: u out of [0,1)";
+  (* Smallest i with cdf.(i) > u. *)
+  let lo = ref 0 and hi = ref (size t - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let mix a d d' =
+  if a < 0.0 || a > 1.0 then invalid_arg "Histogram.mix";
+  if size d <> size d' then invalid_arg "Histogram.mix: size mismatch";
+  build (Array.init (size d) (fun i -> (a *. d.pmf.(i)) +. ((1.0 -. a) *. d'.pmf.(i))))
+
+let total_variation d d' =
+  if size d <> size d' then invalid_arg "Histogram.total_variation: size mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun i p -> acc := !acc +. Float.abs (p -. d'.pmf.(i))) d.pmf;
+  0.5 *. !acc
+
+let is_periodic t ~rho ~eps =
+  let m = size t in
+  if rho <= 0 || m mod rho <> 0 then invalid_arg "Histogram.is_periodic";
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    if Float.abs (t.pmf.(i) -. t.pmf.((i + rho) mod m)) > eps then ok := false
+  done;
+  !ok
+
+let shift t j =
+  let m = size t in
+  let j = ((j mod m) + m) mod m in
+  build (Array.init m (fun i -> t.pmf.(((i - j) mod m + m) mod m)))

@@ -1,0 +1,59 @@
+(** Discrete probability distributions over a finite domain [\[0, size)].
+
+    This is the representation the paper uses for the client query
+    distribution (a histogram over query start positions, §3.1), for the
+    completion distributions, and for the perceived server-side mix. Sampling
+    is by inversion over the precomputed CDF ([13] in the paper). *)
+
+type t
+
+val size : t -> int
+(** Domain size [M]. *)
+
+val of_counts : int array -> t
+(** Normalize raw counts into a distribution. At least one count must be
+    positive; negatives are rejected. *)
+
+val of_pmf : float array -> t
+(** Build from an explicit pmf. Entries must be non-negative and sum to
+    within [1e-9] of 1 (they are re-normalized exactly). *)
+
+val uniform : int -> t
+(** The uniform distribution on [\[0, size)]. *)
+
+val point : size:int -> int -> t
+(** Unit mass at one element. *)
+
+val prob : t -> int -> float
+(** [prob t i] is the probability of element [i]. *)
+
+val pmf : t -> float array
+(** Copy of the pmf. *)
+
+val max_prob : t -> float
+(** [μ_D = max_i D(i)] (paper §3.1). *)
+
+val argmax : t -> int
+(** Smallest index attaining {!max_prob}. *)
+
+val periodic_eta : t -> rho:int -> float array * float
+(** [periodic_eta t ~rho] returns [(η, η̄)] where [η.(j) = max_{i ≡ j (ρ)} D(i)]
+    and [η̄] is their mean (paper §3.2). [rho] must divide [size t]. *)
+
+val sample : t -> u:float -> int
+(** Inversion sampling: map a uniform [u ∈ [0,1)] to an element by binary
+    search over the CDF. Deterministic in [u]. *)
+
+val mix : float -> t -> t -> t
+(** [mix a d d'] is the convex combination [a·d + (1−a)·d']; [0 ≤ a ≤ 1]. *)
+
+val total_variation : t -> t -> float
+(** Total-variation distance [½ Σ |p − q|], used by tests and experiments to
+    check the perceived distribution against uniform / periodic targets. *)
+
+val is_periodic : t -> rho:int -> eps:float -> bool
+(** Whether [D(x) = D(x + ρ mod size)] for all [x], up to [eps]. *)
+
+val shift : t -> int -> t
+(** [shift t j] moves mass from [i] to [(i + j) mod size] — the distribution
+    of [x + j mod M] when [x ~ t]. *)

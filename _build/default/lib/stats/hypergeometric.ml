@@ -1,0 +1,97 @@
+let validate ~population ~successes ~draws =
+  if population < 0 || successes < 0 || draws < 0
+     || successes > population || draws > population then
+    invalid_arg "Hypergeometric: invalid parameters"
+
+let support ~population ~successes ~draws =
+  validate ~population ~successes ~draws;
+  (Int.max 0 (draws - (population - successes)), Int.min draws successes)
+
+let log_pmf ~population ~successes ~draws k =
+  let lo, hi = support ~population ~successes ~draws in
+  if k < lo || k > hi then neg_infinity
+  else
+    Special.ln_choose successes k
+    +. Special.ln_choose (population - successes) (draws - k)
+    -. Special.ln_choose population draws
+
+let mean ~population ~successes ~draws =
+  validate ~population ~successes ~draws;
+  if population = 0 then 0.0
+  else float_of_int draws *. float_of_int successes /. float_of_int population
+
+let mode ~population ~successes ~draws =
+  let lo, hi = support ~population ~successes ~draws in
+  let raw =
+    (draws + 1) * (successes + 1) / (population + 2)
+  in
+  Int.max lo (Int.min hi raw)
+
+(* p(k+1)/p(k) for the hypergeometric pmf. *)
+let ratio_up ~population ~successes ~draws k =
+  float_of_int ((successes - k) * (draws - k))
+  /. float_of_int ((k + 1) * (population - successes - draws + k + 1))
+
+let sample ~population ~successes ~draws ~u =
+  if u < 0.0 || u >= 1.0 then invalid_arg "Hypergeometric.sample: u";
+  let lo, hi = support ~population ~successes ~draws in
+  if lo = hi then lo
+  else begin
+    let m = mode ~population ~successes ~draws in
+    let p_mode = exp (log_pmf ~population ~successes ~draws m) in
+    (* Centre-out enumeration: mode, mode+1, mode−1, mode+2, …  Each value is
+       assigned exactly its pmf mass, so the induced distribution is exact. *)
+    let acc = ref p_mode in
+    if u < !acc then m
+    else begin
+      let k_up = ref m and p_up = ref p_mode in      (* last emitted above *)
+      let k_down = ref m and p_down = ref p_mode in  (* last emitted below *)
+      let result = ref None in
+      while !result = None do
+        let can_up = !k_up < hi and can_down = !k_down > lo in
+        if not can_up && not can_down then
+          (* Floating-point undershoot after exhausting the support: return
+             the boundary with the larger remaining tail mass. *)
+          result := Some (if !p_up >= !p_down then !k_up else !k_down)
+        else begin
+          if can_up then begin
+            p_up := !p_up *. ratio_up ~population ~successes ~draws !k_up;
+            incr k_up;
+            acc := !acc +. !p_up;
+            if u < !acc && !result = None then result := Some !k_up
+          end;
+          if can_down && !result = None then begin
+            p_down :=
+              !p_down /. ratio_up ~population ~successes ~draws (!k_down - 1);
+            decr k_down;
+            acc := !acc +. !p_down;
+            if u < !acc then result := Some !k_down
+          end
+        end
+      done;
+      match !result with Some k -> k | None -> assert false
+    end
+  end
+
+let sample_binomial_approx ~population ~successes ~draws ~u =
+  if u < 0.0 || u >= 1.0 then invalid_arg "Hypergeometric.sample_binomial_approx: u";
+  let lo, hi = support ~population ~successes ~draws in
+  if lo = hi || population = 0 then lo
+  else begin
+    let p = float_of_int successes /. float_of_int population in
+    (* Plain left-to-right inversion of Binom(draws, p), then clamp. *)
+    let log_p = log p and log_q = log (1.0 -. p) in
+    let log_pmf k =
+      Special.ln_choose draws k
+      +. (float_of_int k *. log_p)
+      +. (float_of_int (draws - k) *. log_q)
+    in
+    let rec walk k acc =
+      if k > draws then draws
+      else begin
+        let acc = acc +. exp (log_pmf k) in
+        if u < acc then k else walk (k + 1) acc
+      end
+    in
+    Int.max lo (Int.min hi (walk 0 0.0))
+  end

@@ -1,0 +1,38 @@
+(** Exact hypergeometric sampling.
+
+    The BCLO order-preserving encryption scheme walks a binary search tree
+    over the ciphertext range; at each node it must sample how many of the
+    [successes] plaintext points fall into the lower half of the range — a
+    hypergeometric draw with deterministic coins. We sample {e exactly} by
+    inversion: the pmf is enumerated centre-out from the mode with
+    multiplicative recurrences (the pmf at the mode comes from log-binomials),
+    so the expected work is O(std. deviation) rather than O(support).
+
+    Parameters follow the urn convention: [population] balls of which
+    [successes] are marked; [draws] balls are drawn without replacement; the
+    sample is how many drawn balls are marked. *)
+
+val support : population:int -> successes:int -> draws:int -> int * int
+(** Inclusive [(lo, hi)] support bounds:
+    [lo = max 0 (draws − (population − successes))], [hi = min draws successes]. *)
+
+val log_pmf : population:int -> successes:int -> draws:int -> int -> float
+(** Natural log of the pmf at a point ([neg_infinity] outside the support). *)
+
+val mean : population:int -> successes:int -> draws:int -> float
+(** [draws · successes / population]. *)
+
+val mode : population:int -> successes:int -> draws:int -> int
+(** The (clamped) mode [⌊(draws+1)(successes+1)/(population+2)⌋]. *)
+
+val sample : population:int -> successes:int -> draws:int -> u:float -> int
+(** [sample ~population ~successes ~draws ~u] maps one uniform [u ∈ [0,1)] to
+    an exact hypergeometric variate. Deterministic in [u]: identical coins
+    give identical samples, which is what makes lazily-sampled OPE
+    self-consistent across encryptions. *)
+
+val sample_binomial_approx :
+  population:int -> successes:int -> draws:int -> u:float -> int
+(** The binomial approximation [Binom(draws, successes/population)] clamped to
+    the hypergeometric support — kept only as an ablation baseline; never used
+    by the OPE scheme. *)

@@ -1,0 +1,41 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (int64 t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  (* 63-bit rejection sampling to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int n64) in
+  let rec draw () =
+    let x = Int64.logand (int64 t) Int64.max_int in
+    if Int64.compare x limit < 0 then Int64.to_int (Int64.rem x n64) else draw ()
+  in
+  draw ()
+
+let float t =
+  let bits53 = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits53 /. 9007199254740992.0
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,30 @@
+(** Splitmix64: a fast, seedable, non-cryptographic generator.
+
+    Used for workload synthesis (datasets, query streams, TPC-H rows) where
+    reproducibility across runs matters but cryptographic strength does not.
+    Everything security-relevant draws from {!Mope_crypto.Drbg} instead. *)
+
+type t
+
+val create : int64 -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy at the current state. *)
+
+val split : t -> t
+(** Derive a statistically independent child generator (advances [t]). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]; [n > 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

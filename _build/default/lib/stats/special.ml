@@ -1,0 +1,85 @@
+(* Lanczos approximation with g = 7, n = 9 coefficients. *)
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec ln_gamma x =
+  if x <= 0.0 then invalid_arg "Special.ln_gamma: requires x > 0";
+  if x < 0.5 then
+    (* Reflection: Γ(x)Γ(1−x) = π / sin(πx). *)
+    log (Float.pi /. sin (Float.pi *. x)) -. ln_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let a = ref lanczos.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+  end
+
+let factorial_table =
+  let table = Array.make 64 0.0 in
+  let acc = ref 0.0 in
+  for n = 1 to 63 do
+    acc := !acc +. log (float_of_int n);
+    table.(n) <- !acc
+  done;
+  table
+
+let ln_factorial n =
+  if n < 0 then invalid_arg "Special.ln_factorial";
+  if n < 64 then factorial_table.(n) else ln_gamma (float_of_int n +. 1.0)
+
+let ln_choose n k =
+  if k < 0 || k > n then neg_infinity
+  else ln_factorial n -. ln_factorial k -. ln_factorial (n - k)
+
+let erf x =
+  (* Abramowitz & Stegun 7.1.26. *)
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let y =
+    1.0
+    -. (((((1.061405429 *. t -. 1.453152027) *. t) +. 1.421413741) *. t
+         -. 0.284496736) *. t +. 0.254829592)
+       *. t *. exp (-.x *. x)
+  in
+  sign *. y
+
+let normal_cdf ~mean ~sigma x =
+  0.5 *. (1.0 +. erf ((x -. mean) /. (sigma *. sqrt 2.0)))
+
+(* Acklam's inverse normal CDF approximation. *)
+let inverse_normal_cdf p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Special.inverse_normal_cdf";
+  let a = [| -3.969683028665376e+01; 2.209460984245205e+02;
+             -2.759285104469687e+02; 1.383577518672690e+02;
+             -3.066479806614716e+01; 2.506628277459239e+00 |] in
+  let b = [| -5.447609879822406e+01; 1.615858368580409e+02;
+             -1.556989798598866e+02; 6.680131188771972e+01;
+             -1.328068155288572e+01 |] in
+  let c = [| -7.784894002430293e-03; -3.223964580411365e-01;
+             -2.400758277161838e+00; -2.549732539343734e+00;
+             4.374664141464968e+00; 2.938163982698783e+00 |] in
+  let d = [| 7.784695709041462e-03; 3.224671290700398e-01;
+             2.445134137142996e+00; 3.754408661907416e+00 |] in
+  let p_low = 0.02425 in
+  if p < p_low then begin
+    let q = sqrt (-2.0 *. log p) in
+    (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end
+  else if p <= 1.0 -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5)) *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+  end
+  else begin
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+       /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0))
+  end

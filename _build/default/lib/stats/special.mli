@@ -1,0 +1,23 @@
+(** Special functions needed by the samplers: log-gamma, log-binomial,
+    error function, and the inverse normal CDF. All implemented in-tree
+    (no external numeric dependencies are available). *)
+
+val ln_gamma : float -> float
+(** Natural log of the Gamma function for [x > 0] (Lanczos approximation,
+    |relative error| < 1e-13 over the range used here). *)
+
+val ln_factorial : int -> float
+(** [ln n!], exact-table below 64, Lanczos above. *)
+
+val ln_choose : int -> int -> float
+(** [ln (n choose k)]; [neg_infinity] outside [0 ≤ k ≤ n]. *)
+
+val erf : float -> float
+(** Error function (Abramowitz–Stegun 7.1.26 with refinement; |err| < 1.5e-7). *)
+
+val normal_cdf : mean:float -> sigma:float -> float -> float
+(** CDF of N(mean, sigma²). *)
+
+val inverse_normal_cdf : float -> float
+(** Quantile function of the standard normal for [p ∈ (0,1)]
+    (Acklam's rational approximation, |relative err| < 1.2e-9). *)

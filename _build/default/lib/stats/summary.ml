@@ -1,0 +1,66 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = Float.to_int (Float.floor rank) in
+  let hi = Int.min (n - 1) (lo + 1) in
+  let frac = rank -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.0
+
+let chi_square ~observed ~expected =
+  if Array.length observed <> Array.length expected then
+    invalid_arg "Summary.chi_square: length mismatch";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i o ->
+      let e = expected.(i) in
+      if e > 0.0 then begin
+        let d = float_of_int o -. e in
+        acc := !acc +. (d *. d /. e)
+      end)
+    observed;
+  !acc
+
+let chi_square_uniform observed =
+  let n = Array.length observed in
+  if n = 0 then invalid_arg "Summary.chi_square_uniform: empty";
+  let total = Array.fold_left ( + ) 0 observed in
+  let expected = Array.make n (float_of_int total /. float_of_int n) in
+  chi_square ~observed ~expected
+
+let ks_statistic ~observed ~expected =
+  let n = Array.length observed in
+  if n = 0 || Array.length expected <> n then
+    invalid_arg "Summary.ks_statistic: length mismatch";
+  let total_obs = float_of_int (Array.fold_left ( + ) 0 observed) in
+  let total_exp = Array.fold_left ( +. ) 0.0 expected in
+  if total_obs <= 0.0 || total_exp <= 0.0 then
+    invalid_arg "Summary.ks_statistic: empty mass";
+  let gap = ref 0.0 and cum_obs = ref 0.0 and cum_exp = ref 0.0 in
+  for i = 0 to n - 1 do
+    cum_obs := !cum_obs +. (float_of_int observed.(i) /. total_obs);
+    cum_exp := !cum_exp +. (expected.(i) /. total_exp);
+    gap := Float.max !gap (Float.abs (!cum_obs -. !cum_exp))
+  done;
+  !gap

@@ -1,0 +1,28 @@
+(** Descriptive statistics used by the experiment harness and tests. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on empty input. *)
+
+val variance : float array -> float
+(** Population variance; 0 when fewer than two samples. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p ∈ [0,100]], linear interpolation on a sorted
+    copy. Raises on empty input. *)
+
+val median : float array -> float
+
+val chi_square_uniform : int array -> float
+(** χ² statistic of observed counts against the uniform expectation —
+    used to test flatness of the perceived query distribution (Fig. 2). *)
+
+val chi_square : observed:int array -> expected:float array -> float
+(** χ² against an arbitrary expected-count vector (Fig. 3 periodicity). *)
+
+val ks_statistic : observed:int array -> expected:float array -> float
+(** Kolmogorov–Smirnov statistic: the max absolute gap between the empirical
+    CDF of [observed] counts and the CDF of the [expected] pmf (which is
+    normalized internally). A sharper flatness test than χ² for the
+    perceived-distribution experiments. *)

@@ -1,0 +1,1 @@
+lib/system/encrypted_db.ml: Array Database Date Feistel Hashtbl Hmac List Mope Mope_crypto Mope_db Mope_ope Ope Printf Schema Table Value

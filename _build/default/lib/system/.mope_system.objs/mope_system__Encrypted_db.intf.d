@@ -1,0 +1,1 @@
+lib/system/encrypted_db.mli: Mope_db Mope_ope

@@ -1,0 +1,1 @@
+lib/system/key_rotation.ml: Database Encrypted_db List Mope Mope_db Mope_ope Table

@@ -1,0 +1,1 @@
+lib/system/key_rotation.mli: Encrypted_db

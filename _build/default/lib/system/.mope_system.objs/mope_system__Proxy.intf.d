@@ -1,0 +1,1 @@
+lib/system/proxy.mli: Date Encrypted_db Exec Mope_core Mope_db

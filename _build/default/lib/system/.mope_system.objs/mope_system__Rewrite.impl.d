@@ -1,0 +1,1 @@
+lib/system/rewrite.ml: List Mope_db Sql_ast Value

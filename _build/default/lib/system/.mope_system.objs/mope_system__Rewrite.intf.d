@@ -1,0 +1,1 @@
+lib/system/rewrite.mli: Mope_db Sql_ast

@@ -1,0 +1,1 @@
+lib/system/testbed.ml: Database Encrypted_db List Mope_core Mope_db Mope_workload Proxy Scheduler Tpch Tpch_queries

@@ -1,0 +1,1 @@
+lib/system/testbed.mli: Encrypted_db Mope_db Mope_workload Proxy Tpch Tpch_queries

@@ -1,0 +1,191 @@
+open Mope_crypto
+open Mope_ope
+open Mope_db
+
+type column_encryption =
+  | Mope_date
+  | Mope_int of { lo : int; hi : int }
+  | Det_int
+
+type spec = {
+  table : string;
+  encrypted_columns : (string * column_encryption) list;
+  index_columns : string list;
+}
+
+type t = {
+  server : Database.t;
+  mope : Mope.t;                 (* shared scheme for all date columns *)
+  int_schemes : (string * string, Mope.t) Hashtbl.t;
+      (* per-column schemes for Mope_int columns, keyed by (table, column) *)
+  master_key : string;
+  det_key : string;
+  window_lo : Date.t;
+  date_domain : int;
+  plain_schemas : (string, Schema.t) Hashtbl.t;
+  encryptions : (string * string, column_encryption) Hashtbl.t;
+  specs : spec list;
+}
+
+(* DET join keys cycle-walk a 40-bit Feistel block; plenty for TPC-H keys. *)
+let det_domain = 1 lsl 40
+
+let encrypt_int t v =
+  if v < 0 || v >= det_domain then invalid_arg "Encrypted_db.encrypt_int: out of range";
+  Feistel.fpe_encrypt ~key:t.det_key ~domain:det_domain v
+
+let decrypt_int t v = Feistel.fpe_decrypt ~key:t.det_key ~domain:det_domain v
+
+let encrypt_date t day =
+  if day < t.window_lo || day >= t.window_lo + t.date_domain then
+    invalid_arg "Encrypted_db.encrypt_date: date outside window";
+  Mope.encrypt t.mope (day - t.window_lo)
+
+let decrypt_date t c = t.window_lo + Mope.decrypt t.mope c
+
+let plain_segments t ~lo ~hi = Mope.ciphertext_segments t.mope ~lo ~hi
+
+let date_segments t ~lo ~hi =
+  plain_segments t ~lo:(lo - t.window_lo) ~hi:(hi - t.window_lo)
+
+let encrypted_schema plain_schema encrypted_columns =
+  Schema.make
+    (List.map
+       (fun c ->
+         match List.assoc_opt c.Schema.name encrypted_columns with
+         | Some (Mope_date | Mope_int _ | Det_int) -> { c with Schema.ty = Value.TInt }
+         | None -> c)
+       (Schema.columns plain_schema))
+
+(* The per-column MOPE scheme for a Mope_int column (created on demand while
+   building the twin, looked up afterwards). *)
+let int_scheme t ~table ~column ~lo ~hi =
+  match Hashtbl.find_opt t.int_schemes (table, column) with
+  | Some scheme -> scheme
+  | None ->
+    if hi < lo then invalid_arg "Encrypted_db: Mope_int with hi < lo";
+    let domain = hi - lo + 1 in
+    let key = Hmac.mac ~key:t.master_key (Printf.sprintf "int:%s.%s" table column) in
+    let scheme =
+      Mope.create ~key ~domain ~range:(Ope.recommended_range domain) ()
+    in
+    Hashtbl.replace t.int_schemes (table, column) scheme;
+    scheme
+
+let encrypt_value t ~table ~column encryption value =
+  match (encryption, value) with
+  | _, Value.Null -> Value.Null
+  | Mope_date, Value.Date d -> Value.Int (encrypt_date t d)
+  | Mope_int { lo; hi }, Value.Int v ->
+    if v < lo || v > hi then
+      invalid_arg
+        (Printf.sprintf "Encrypted_db: %s.%s value %d outside [%d, %d]" table
+           column v lo hi);
+    Value.Int (Mope.encrypt (int_scheme t ~table ~column ~lo ~hi) (v - lo))
+  | Det_int, Value.Int v -> Value.Int (encrypt_int t v)
+  | Mope_date, _ -> invalid_arg "Encrypted_db: Mope_date on a non-date value"
+  | Mope_int _, _ -> invalid_arg "Encrypted_db: Mope_int on a non-int value"
+  | Det_int, _ -> invalid_arg "Encrypted_db: Det_int on a non-int value"
+
+let decrypt_value t ~table ~column encryption value =
+  match (encryption, value) with
+  | _, Value.Null -> Value.Null
+  | Mope_date, Value.Int c -> Value.Date (decrypt_date t c)
+  | Mope_int { lo; hi }, Value.Int c ->
+    Value.Int (lo + Mope.decrypt (int_scheme t ~table ~column ~lo ~hi) c)
+  | Det_int, Value.Int c -> Value.Int (decrypt_int t c)
+  | (Mope_date | Mope_int _ | Det_int), _ ->
+    invalid_arg "Encrypted_db: unexpected ciphertext shape"
+
+let create ~key ~window_lo ~date_domain ?ope_range ~plain ~specs () =
+  let range =
+    match ope_range with Some r -> r | None -> Ope.recommended_range date_domain
+  in
+  let t =
+    { server = Database.create ();
+      mope = Mope.create ~key:(Hmac.mac ~key "mope") ~domain:date_domain ~range ();
+      int_schemes = Hashtbl.create 4;
+      master_key = key;
+      det_key = Hmac.mac ~key "det";
+      window_lo;
+      date_domain;
+      plain_schemas = Hashtbl.create 8;
+      encryptions = Hashtbl.create 16;
+      specs }
+  in
+  List.iter
+    (fun spec ->
+      let source = Database.table_exn plain spec.table in
+      let plain_schema = Table.schema source in
+      Hashtbl.replace t.plain_schemas spec.table plain_schema;
+      List.iter
+        (fun (col, enc) ->
+          (match Schema.find plain_schema col with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Encrypted_db.create: no column %s.%s" spec.table col)
+          | Some _ -> ());
+          Hashtbl.replace t.encryptions (spec.table, col) enc)
+        spec.encrypted_columns;
+      let enc_schema = encrypted_schema plain_schema spec.encrypted_columns in
+      let dest = Database.create_table t.server ~name:spec.table ~schema:enc_schema in
+      let positions =
+        List.map
+          (fun (col, enc) -> (Schema.index_of plain_schema col, enc))
+          spec.encrypted_columns
+      in
+      let names =
+        List.map
+          (fun (col, _) -> (Schema.index_of plain_schema col, col))
+          spec.encrypted_columns
+      in
+      Table.iter source (fun _ row ->
+          let out = Array.copy row in
+          List.iter2
+            (fun (pos, enc) (_, col) ->
+              out.(pos) <- encrypt_value t ~table:spec.table ~column:col enc row.(pos))
+            positions names;
+          ignore (Table.insert dest out));
+      List.iter (fun col -> Table.create_index dest col) spec.index_columns)
+    specs;
+  t
+
+let server t = t.server
+
+let mope t = t.mope
+
+let window_lo t = t.window_lo
+
+let date_domain t = t.date_domain
+
+let specs t = t.specs
+
+let plain_schema t table =
+  match Hashtbl.find_opt t.plain_schemas table with
+  | Some s -> s
+  | None -> invalid_arg ("Encrypted_db.plain_schema: unknown table " ^ table)
+
+let encryption_of t ~table ~column = Hashtbl.find_opt t.encryptions (table, column)
+
+let decrypt_row t ~table row =
+  let schema = plain_schema t table in
+  Array.mapi
+    (fun i v ->
+      let col = (Schema.column_at schema i).Schema.name in
+      match Hashtbl.find_opt t.encryptions (table, col) with
+      | Some enc -> decrypt_value t ~table ~column:col enc v
+      | None -> v)
+    row
+
+let int_segments t ~table ~column ~lo ~hi =
+  match Hashtbl.find_opt t.encryptions (table, column) with
+  | Some (Mope_int { lo = base; hi = top }) ->
+    if lo < base || hi > top || hi < lo then
+      invalid_arg "Encrypted_db.int_segments: range outside the column window";
+    Mope.ciphertext_segments
+      (int_scheme t ~table ~column ~lo:base ~hi:top)
+      ~lo:(lo - base) ~hi:(hi - base)
+  | Some (Mope_date | Det_int) | None ->
+    invalid_arg
+      (Printf.sprintf "Encrypted_db.int_segments: %s.%s is not a Mope_int column"
+         table column)

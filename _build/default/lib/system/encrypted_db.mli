@@ -1,0 +1,82 @@
+(** Construction of the outsourced (encrypted) database (paper §5, Fig. 4).
+
+    The data owner walks each plaintext table and produces its encrypted
+    twin on the server: MOPE for the range-queried date attribute(s), a
+    deterministic PRP (DET) for join keys, everything else carried through
+    unchanged — a stand-in for the remaining CryptDB onions, which the
+    paper's measurements never exercise. The server only ever sees integer
+    ciphertexts in the sensitive columns and indexes them like any other
+    integers. *)
+
+type column_encryption =
+  | Mope_date
+      (** DATE column → INT MOPE ciphertext over the (shared) date window *)
+  | Mope_int of { lo : int; hi : int }
+      (** INT column with values in [\[lo, hi\]] → INT MOPE ciphertext under a
+          per-column scheme (own key and secret offset) *)
+  | Det_int     (** INT column → INT PRP ciphertext (equality-preserving) *)
+
+type spec = {
+  table : string;
+  encrypted_columns : (string * column_encryption) list;
+  index_columns : string list;  (** indexes to build on the encrypted twin *)
+}
+
+type t
+
+val create :
+  key:string ->
+  window_lo:Mope_db.Date.t ->
+  date_domain:int ->
+  ?ope_range:int ->
+  plain:Mope_db.Database.t ->
+  specs:spec list ->
+  unit ->
+  t
+(** Encrypt every table named in [specs] into a fresh server database.
+    [ope_range] defaults to [Ope.recommended_range date_domain]. *)
+
+val server : t -> Mope_db.Database.t
+(** The untrusted server's database (encrypted twins only). *)
+
+val mope : t -> Mope_ope.Mope.t
+(** The MOPE scheme shared by all date columns. *)
+
+val window_lo : t -> Mope_db.Date.t
+val date_domain : t -> int
+
+val specs : t -> spec list
+(** The column specs this database was built with (used by key rotation). *)
+
+val plain_schema : t -> string -> Mope_db.Schema.t
+(** Plaintext schema of an encrypted table (the proxy's view). *)
+
+val encryption_of : t -> table:string -> column:string -> column_encryption option
+
+val encrypt_date : t -> Mope_db.Date.t -> int
+(** Date → MOPE ciphertext. Raises outside the window. *)
+
+val decrypt_date : t -> int -> Mope_db.Date.t
+
+val date_segments : t -> lo:Mope_db.Date.t -> hi:Mope_db.Date.t -> (int * int) list
+(** Ciphertext scan segments covering an inclusive plaintext date range
+    (two segments when the secret offset wraps it). *)
+
+val int_segments :
+  t -> table:string -> column:string -> lo:int -> hi:int -> (int * int) list
+(** Same, for a [Mope_int] column's own scheme; the range must lie inside
+    the column's declared window. *)
+
+val plain_segments : t -> lo:int -> hi:int -> (int * int) list
+(** Same, for a range given directly in MOPE plaintext space (used for
+    fake queries, whose starts live there). *)
+
+val encrypt_int : t -> int -> int
+(** DET encryption of a join key. *)
+
+val decrypt_int : t -> int -> int
+
+val decrypt_row :
+  t -> table:string -> Mope_db.Value.t array -> Mope_db.Value.t array
+(** Decrypt one fetched row of an encrypted table back to its plaintext
+    schema (dates and DET ints restored, other columns passed through). *)

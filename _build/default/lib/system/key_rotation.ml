@@ -1,0 +1,42 @@
+open Mope_ope
+open Mope_db
+
+type report = {
+  tables : int;
+  rows : int;
+  old_offset : int;
+  new_offset : int;
+}
+
+let rotate ~enc ~new_key =
+  (* The proxy decrypts every row under the old key into a transient
+     plaintext staging database, then encrypts it under the fresh key. The
+     staging copy lives only inside the trusted proxy, exactly like the
+     original data-owner upload (paper Fig. 4). *)
+  let staging = Database.create () in
+  let rows = ref 0 in
+  List.iter
+    (fun spec ->
+      let table = spec.Encrypted_db.table in
+      let source = Database.table_exn (Encrypted_db.server enc) table in
+      let dest =
+        Database.create_table staging ~name:table
+          ~schema:(Encrypted_db.plain_schema enc table)
+      in
+      Table.iter source (fun _ row ->
+          incr rows;
+          ignore (Table.insert dest (Encrypted_db.decrypt_row enc ~table row))))
+    (Encrypted_db.specs enc);
+  let rotated =
+    Encrypted_db.create ~key:new_key ~window_lo:(Encrypted_db.window_lo enc)
+      ~date_domain:(Encrypted_db.date_domain enc) ~plain:staging
+      ~specs:(Encrypted_db.specs enc) ()
+  in
+  ( rotated,
+    { tables = List.length (Encrypted_db.specs enc);
+      rows = !rows;
+      old_offset = Mope.offset (Encrypted_db.mope enc);
+      new_offset = Mope.offset (Encrypted_db.mope rotated) } )
+
+let offsets_differ a b =
+  Mope.offset (Encrypted_db.mope a) <> Mope.offset (Encrypted_db.mope b)

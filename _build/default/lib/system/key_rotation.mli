@@ -1,0 +1,27 @@
+(** Periodic re-encryption of the outsourced data (paper §9).
+
+    MOPE's advantage over basic OPE holds only under ciphertext-only
+    attacks: a leaked plaintext–ciphertext pair re-orients the space. The
+    paper suggests "re-encrypting portions of the data at regular
+    intervals" as a mitigation; this module implements it. The trusted
+    proxy streams each encrypted table, decrypts rows under the old key and
+    re-encrypts them under a fresh one (new OPE function {e and} new secret
+    offset), producing a replacement server database. Any previously
+    exposed pair is useless against the rotated ciphertexts. *)
+
+type report = {
+  tables : int;
+  rows : int;           (** rows re-encrypted *)
+  old_offset : int;
+  new_offset : int;
+}
+
+val rotate : enc:Encrypted_db.t -> new_key:string -> Encrypted_db.t * report
+(** Build the re-encrypted twin under [new_key] (same window, domain and
+    column specs; indexes rebuilt). The old handle stays valid so the proxy
+    can cut over atomically. Distinctness of the freshly derived offset is
+    probabilistic (1 − 1/M for a random key), as in the paper. *)
+
+val offsets_differ : Encrypted_db.t -> Encrypted_db.t -> bool
+(** Whether two handles use different secret offsets (what rotation is
+    meant to refresh; true with probability 1 − 1/M for random keys). *)

@@ -1,0 +1,260 @@
+open Mope_stats
+open Mope_ope
+open Mope_core
+open Mope_db
+
+let log_src = Logs.Src.create "mope.proxy" ~doc:"Trusted proxy"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type counters = {
+  mutable client_queries : int;
+  mutable real_pieces : int;
+  mutable fake_queries : int;
+  mutable server_requests : int;
+  mutable rows_fetched : int;
+  mutable rows_delivered : int;
+}
+
+type mode =
+  | Static of Scheduler.t
+  | Learning of Adaptive.t
+
+type t = {
+  enc : Encrypted_db.t;
+  mode : mode;
+  k : int;
+  batch_size : int;
+  rng : Rng.t;
+  counters : counters;
+}
+
+let make ~enc ~mode ~k ~batch_size ~seed =
+  if batch_size < 1 then invalid_arg "Proxy.create: batch_size";
+  { enc; mode; k; batch_size;
+    rng = Rng.create seed;
+    counters =
+      { client_queries = 0; real_pieces = 0; fake_queries = 0;
+        server_requests = 0; rows_fetched = 0; rows_delivered = 0 } }
+
+let create ~enc ~scheduler ?(batch_size = 1) ~seed () =
+  if Scheduler.m scheduler <> Encrypted_db.date_domain enc then
+    invalid_arg "Proxy.create: scheduler domain <> encrypted date domain";
+  make ~enc ~mode:(Static scheduler) ~k:(Scheduler.k scheduler) ~batch_size ~seed
+
+let create_adaptive ~enc ~k ?rho ?(batch_size = 1) ~seed () =
+  let m = Encrypted_db.date_domain enc in
+  let amode =
+    match rho with
+    | None -> Adaptive.Uniform
+    | Some rho -> Adaptive.Periodic rho
+  in
+  make ~enc ~mode:(Learning (Adaptive.create ~m ~k ~mode:amode)) ~k ~batch_size ~seed
+
+let adaptive_state t =
+  match t.mode with Learning a -> Some a | Static _ -> None
+
+let counters t = t.counters
+
+let reset_counters t =
+  let c = t.counters in
+  c.client_queries <- 0;
+  c.real_pieces <- 0;
+  c.fake_queries <- 0;
+  c.server_requests <- 0;
+  c.rows_fetched <- 0;
+  c.rows_delivered <- 0
+
+(* Split a list into chunks of [size], preserving order. *)
+let chunks size items =
+  let rec go acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+      if n = size then go (List.rev current :: acc) [ x ] 1 rest
+      else go acc (x :: current) (n + 1) rest
+  in
+  go [] [] 0 items
+
+(* The combined plaintext schema of the fetch result (FROM-order concat). *)
+let combined_schema enc from =
+  Schema.make
+    (List.concat_map
+       (fun { Sql_ast.table; _ } ->
+         Schema.columns (Encrypted_db.plain_schema enc table))
+       from)
+
+let decrypt_combined enc from row =
+  let out = Array.copy row in
+  let offset = ref 0 in
+  List.iter
+    (fun { Sql_ast.table; _ } ->
+      let schema = Encrypted_db.plain_schema enc table in
+      let arity = Schema.arity schema in
+      let slice = Array.sub row !offset arity in
+      let plain = Encrypted_db.decrypt_row enc ~table slice in
+      Array.blit plain 0 out !offset arity;
+      offset := !offset + arity)
+    from;
+  out
+
+(* Conjuncts containing IN (SELECT …) were fully enforced by the server over
+   encrypted data (DET equality); the referenced tables are not available to
+   the proxy's local re-evaluation, so drop them there. *)
+let rec contains_subquery = function
+  | Sql_ast.In_select _ -> true
+  | Sql_ast.Lit _ | Sql_ast.Col _ | Sql_ast.Agg (_, None) -> false
+  | Sql_ast.Binop (_, a, b) | Sql_ast.Cmp (_, a, b)
+  | Sql_ast.And (a, b) | Sql_ast.Or (a, b) ->
+    contains_subquery a || contains_subquery b
+  | Sql_ast.Not e | Sql_ast.Like (e, _) | Sql_ast.Is_null e
+  | Sql_ast.Agg (_, Some e) ->
+    contains_subquery e
+  | Sql_ast.Between (e, lo, hi) ->
+    contains_subquery e || contains_subquery lo || contains_subquery hi
+  | Sql_ast.In_list (e, es) ->
+    contains_subquery e || List.exists contains_subquery es
+  | Sql_ast.Case (arms, else_) ->
+    List.exists (fun (c, v) -> contains_subquery c || contains_subquery v) arms
+    || (match else_ with Some e -> contains_subquery e | None -> false)
+
+let local_statement ast =
+  let where =
+    match ast.Sql_ast.where with
+    | None -> None
+    | Some w -> begin
+      match List.filter (fun c -> not (contains_subquery c)) (Sql_ast.conjuncts w) with
+      | [] -> None
+      | kept -> Some (Sql_ast.and_of_list kept)
+    end
+  in
+  { ast with
+    Sql_ast.from = [ { Sql_ast.table = "__fetched"; alias = None } ];
+    where }
+
+(* The executed start sequence for one client query: (start, Some piece_idx)
+   for a real tau_k piece, (start, None) for a fake. *)
+let plan_executions t pieces =
+  match t.mode with
+  | Static scheduler ->
+    List.concat
+      (List.mapi
+         (fun piece_idx real ->
+           let burst = Scheduler.schedule scheduler t.rng ~real in
+           let n = List.length burst in
+           t.counters.fake_queries <- t.counters.fake_queries + (n - 1);
+           List.mapi
+             (fun i start -> (start, if i = n - 1 then Some piece_idx else None))
+             burst)
+         pieces)
+  | Learning adaptive ->
+    (* AdaptiveQueryU/P: buffer the pieces, then keep stepping until every
+       one has been served by a buffer hit. With a synchronous client, all
+       earlier pending instances were already served, so Real events belong
+       to this query. *)
+    List.iter (Adaptive.observe adaptive) pieces;
+    let awaiting = Hashtbl.create 8 in
+    List.iteri (fun idx start -> Hashtbl.replace awaiting start idx) pieces;
+    let out = ref [] and served = ref 0 in
+    let n_pieces = List.length pieces in
+    while !served < n_pieces do
+      match Adaptive.step adaptive t.rng with
+      | Some (Adaptive.Real start) -> begin
+        match Hashtbl.find_opt awaiting start with
+        | Some idx ->
+          Hashtbl.remove awaiting start;
+          incr served;
+          out := (start, Some idx) :: !out
+        | None ->
+          (* A pending instance of some earlier, abandoned query: execute it
+             as cover traffic. *)
+          t.counters.fake_queries <- t.counters.fake_queries + 1;
+          out := (start, None) :: !out
+      end
+      | Some (Adaptive.Fake start | Adaptive.Replay start) ->
+        t.counters.fake_queries <- t.counters.fake_queries + 1;
+        out := (start, None) :: !out
+      | None -> served := n_pieces (* unreachable: the buffer is non-empty *)
+    done;
+    List.rev !out
+
+let execute t ~sql ~date_column ~date_lo ~date_hi =
+  let ast = Sql_parser.parse sql in
+  let enc = t.enc in
+  let m = Encrypted_db.date_domain enc in
+  let k = t.k in
+  let window_lo = Encrypted_db.window_lo enc in
+  let range =
+    Query_model.make ~m ~lo:(date_lo - window_lo) ~hi:(date_hi - window_lo)
+  in
+  let pieces = Query_model.transform ~m ~k range in
+  t.counters.client_queries <- t.counters.client_queries + 1;
+  t.counters.real_pieces <- t.counters.real_pieces + List.length pieces;
+  let executed = plan_executions t pieces in
+  let piece_index_of plain =
+    Modular.forward_distance ~m range.Query_model.lo plain / k
+  in
+  let accepted = ref [] in
+  let process_batch batch =
+    let segments =
+      List.concat_map
+        (fun (start, _) ->
+          let coverage = Query_model.coverage ~m ~k start in
+          Encrypted_db.plain_segments enc ~lo:coverage.Query_model.lo
+            ~hi:coverage.Query_model.hi)
+        batch
+    in
+    let replacement = Rewrite.cipher_ranges_expr ~column:date_column ~segments in
+    let fetch_ast =
+      Rewrite.to_fetch (Rewrite.replace_date_predicates ast ~column:date_column ~replacement)
+    in
+    let result = Database.query_ast (Encrypted_db.server enc) fetch_ast in
+    t.counters.server_requests <- t.counters.server_requests + 1;
+    t.counters.rows_fetched <- t.counters.rows_fetched + List.length result.Exec.rows;
+    Log.debug (fun m ->
+        m "batch of %d starts -> %d segments, %d rows" (List.length batch)
+          (List.length segments)
+          (List.length result.Exec.rows));
+    (* Which τ_k pieces does this batch answer? *)
+    let real_pieces =
+      List.filter_map (fun (_, label) -> label) batch
+    in
+    if real_pieces <> [] then begin
+      (* Locate the (encrypted) date column in the combined row. *)
+      let offset = ref 0 and date_offset = ref (-1) in
+      List.iter
+        (fun { Sql_ast.table; _ } ->
+          let schema = Encrypted_db.plain_schema enc table in
+          (match Schema.find schema date_column with
+          | Some _ -> date_offset := !offset + Schema.index_of schema date_column
+          | None -> ());
+          offset := !offset + Schema.arity schema)
+        ast.Sql_ast.from;
+      if !date_offset < 0 then
+        invalid_arg ("Proxy.execute: date column not found: " ^ date_column);
+      List.iter
+        (fun row ->
+          match row.(!date_offset) with
+          | Value.Int c ->
+            let plain = Mope.decrypt (Encrypted_db.mope enc) c in
+            if
+              Modular.mem ~m ~lo:range.Query_model.lo ~hi:range.Query_model.hi plain
+              && List.mem (piece_index_of plain) real_pieces
+            then accepted := decrypt_combined enc ast.Sql_ast.from row :: !accepted
+          | _ -> ())
+        result.Exec.rows
+    end
+  in
+  List.iter process_batch (chunks t.batch_size executed);
+  t.counters.rows_delivered <- t.counters.rows_delivered + List.length !accepted;
+  Log.info (fun m ->
+      m "client query [%s, %s]: %d pieces, %d executed starts, %d rows kept"
+        (Date.to_string date_lo) (Date.to_string date_hi) (List.length pieces)
+        (List.length executed) (List.length !accepted));
+  (* Local re-evaluation of the client's original statement. *)
+  let local = Database.create () in
+  let fetched =
+    Database.create_table local ~name:"__fetched"
+      ~schema:(combined_schema enc ast.Sql_ast.from)
+  in
+  List.iter (fun row -> ignore (Table.insert fetched row)) (List.rev !accepted);
+  Database.query_ast local (local_statement ast)

@@ -1,0 +1,77 @@
+(** The trusted proxy (paper §5, Fig. 4).
+
+    Sits between clients and the untrusted server. For each client SQL query
+    with a range predicate on the MOPE-encrypted date attribute it:
+
+    + transforms the range into fixed-length-k pieces (τ_k),
+    + interleaves fake queries per the configured scheduler (QueryU/QueryP),
+    + rewrites each executed query's date predicate into ciphertext ranges
+      and sends a row-fetch to the server — optionally {e batching} many
+      queries into one disjunctive statement (§5.1), which the server's
+      planner collapses into one merged multi-range index scan,
+    + decrypts the returned rows, drops fake results and τ_k overshoot, and
+    + re-evaluates the client's original statement (aggregates, GROUP BY,
+      ORDER BY) locally over the surviving plaintext rows.
+
+    Release timing is a deployment concern: a real deployment drains the
+    executed-query stream through {!Mope_core.Pacer} so departures happen at
+    fixed intervals regardless of client activity (paper §5). *)
+
+open Mope_db
+
+type counters = {
+  mutable client_queries : int;
+  mutable real_pieces : int;     (** τ_k pieces of real queries executed *)
+  mutable fake_queries : int;
+  mutable server_requests : int; (** statements actually sent (after batching) *)
+  mutable rows_fetched : int;    (** encrypted rows returned by the server *)
+  mutable rows_delivered : int;  (** rows surviving the proxy's exact filter *)
+}
+
+type t
+
+val create :
+  enc:Encrypted_db.t ->
+  scheduler:Mope_core.Scheduler.t ->
+  ?batch_size:int ->
+  seed:int64 ->
+  unit ->
+  t
+(** A proxy with the client distribution known a priori (QueryU / QueryP).
+    [batch_size] (default 1) = number of executed query starts combined into
+    one server statement. The scheduler's domain must equal the encrypted
+    database's date domain. *)
+
+val create_adaptive :
+  enc:Encrypted_db.t ->
+  k:int ->
+  ?rho:int ->
+  ?batch_size:int ->
+  seed:int64 ->
+  unit ->
+  t
+(** A proxy that learns the client distribution online (AdaptiveQueryU, or
+    AdaptiveQueryP when [rho] is given): each client query's τ_k pieces
+    enter the buffer, and queries are executed until every piece has been
+    served by a buffer hit — exactly §4's loop. Early queries cost many
+    fakes; the rate converges as the buffer grows. *)
+
+val adaptive_state : t -> Mope_core.Adaptive.t option
+(** The learner (for inspecting α, buffer size, crossover readiness);
+    [None] for a static proxy. *)
+
+val counters : t -> counters
+
+val reset_counters : t -> unit
+
+val execute :
+  t ->
+  sql:string ->
+  date_column:string ->
+  date_lo:Date.t ->
+  date_hi:Date.t ->
+  Exec.result
+(** Run one client statement whose date-range predicate on [date_column]
+    spans [\[date_lo, date_hi\]] (both dates inside the encryption window).
+    Returns exactly what the plaintext database would return for [sql]
+    (up to row order within equal sort keys). *)

@@ -1,0 +1,49 @@
+open Mope_db
+open Sql_ast
+
+let rec references_column expr ~column =
+  match expr with
+  | Lit _ -> false
+  | Col (_, name) -> name = column
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+    references_column a ~column || references_column b ~column
+  | Not e | Like (e, _) | Is_null e -> references_column e ~column
+  | Between (e, lo, hi) ->
+    references_column e ~column || references_column lo ~column
+    || references_column hi ~column
+  | In_list (e, es) ->
+    references_column e ~column || List.exists (references_column ~column) es
+  | In_select (e, _) -> references_column e ~column
+  | Case (arms, else_) ->
+    List.exists
+      (fun (c, v) -> references_column c ~column || references_column v ~column)
+      arms
+    || (match else_ with Some e -> references_column e ~column | None -> false)
+  | Agg (_, Some e) -> references_column e ~column
+  | Agg (_, None) -> false
+
+let cipher_ranges_expr ~column ~segments =
+  if segments = [] then invalid_arg "Rewrite.cipher_ranges_expr: no segments";
+  or_of_list
+    (List.map
+       (fun (a, b) ->
+         Between (Col (None, column), Lit (Value.Int a), Lit (Value.Int b)))
+       segments)
+
+let replace_date_predicates select ~column ~replacement =
+  let kept =
+    match select.where with
+    | None -> []
+    | Some w ->
+      List.filter
+        (fun conjunct -> not (references_column conjunct ~column))
+        (conjuncts w)
+  in
+  { select with where = Some (and_of_list (replacement :: kept)) }
+
+let to_fetch select =
+  { select with
+    projections = [ Star ];
+    group_by = [];
+    order_by = [];
+    limit = None }

@@ -1,0 +1,21 @@
+(** SQL rewriting performed by the proxy: replace the predicates on the
+    MOPE-encrypted date column with ciphertext-range predicates, and strip
+    the statement down to a row-fetch the untrusted server can execute. *)
+
+open Mope_db
+
+val references_column : Sql_ast.expr -> column:string -> bool
+(** Whether any (possibly qualified) column reference in the expression has
+    this base name. *)
+
+val cipher_ranges_expr : column:string -> segments:(int * int) list -> Sql_ast.expr
+(** [column BETWEEN a AND b OR …] over all the segments. Raises on []. *)
+
+val replace_date_predicates :
+  Sql_ast.select -> column:string -> replacement:Sql_ast.expr -> Sql_ast.select
+(** Drop every WHERE conjunct referencing [column] and conjoin
+    [replacement] instead. *)
+
+val to_fetch : Sql_ast.select -> Sql_ast.select
+(** Strip projections/grouping/ordering down to [SELECT * FROM … WHERE …]:
+    the server returns raw (encrypted) rows; the proxy post-processes. *)

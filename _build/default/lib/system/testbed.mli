@@ -1,0 +1,44 @@
+(** End-to-end TPC-H testbed: plaintext database, encrypted twin, proxy.
+
+    Assembles the full Fig.-4 pipeline for the §6.3–6.4 experiments. The
+    MOPE date domain is padded to a multiple of ρ when the periodic
+    algorithm is used (the extra "phantom days" past 1998-12-31 hold no
+    records; fake queries may land there and simply return nothing). *)
+
+open Mope_workload
+
+type t
+
+val load : ?sf:float -> ?seed:int64 -> unit -> t
+(** Generate the plaintext TPC-H database (default SF 0.01, seed 7). *)
+
+val plain : t -> Mope_db.Database.t
+
+val sizes : t -> Tpch.sizes
+
+val run_plain : t -> Tpch_queries.instance -> Mope_db.Exec.result
+(** The unencrypted baseline: execute the instance directly. *)
+
+val encrypted_for : t -> rho:int option -> Encrypted_db.t
+(** Build (and cache) the encrypted twin whose date domain is padded for
+    [rho] ([None] = no padding, QueryU). Encrypts [l_shipdate] and
+    [o_orderdate] with MOPE, the order/part keys with DET, and indexes the
+    encrypted date and key columns. *)
+
+val proxy :
+  t ->
+  template:Tpch_queries.template ->
+  rho:int option ->
+  ?batch_size:int ->
+  ?seed:int64 ->
+  unit ->
+  Proxy.t
+(** A proxy configured for one query template: k = the template's fixed
+    length, Q = the template's (known) start distribution, QueryU when
+    [rho = None] and QueryP\[ρ\] otherwise. *)
+
+val run_encrypted : Proxy.t -> Tpch_queries.instance -> Mope_db.Exec.result
+(** Execute one instance through the proxy. *)
+
+val padded_domain : rho:int option -> int
+(** The MOPE plaintext-space size used for a given period. *)

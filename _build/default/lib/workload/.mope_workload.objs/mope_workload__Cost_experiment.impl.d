@@ -1,0 +1,1 @@
+lib/workload/cost_experiment.ml: Array Cost Datasets Histogram Int List Mope_core Mope_ope Mope_stats Query_gen Query_model Rng Scheduler

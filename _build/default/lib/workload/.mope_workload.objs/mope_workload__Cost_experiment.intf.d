@@ -1,0 +1,1 @@
+lib/workload/cost_experiment.mli: Datasets Mope_core

@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Array Distributions Histogram List Mope_stats Printf Rng

@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Array Distributions Float Histogram Int List Mope_core Mope_stats Query_model Rng Special

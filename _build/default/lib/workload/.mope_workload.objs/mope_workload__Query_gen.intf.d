@@ -1,0 +1,1 @@
+lib/workload/query_gen.mli: Mope_core Mope_stats

@@ -1,0 +1,1 @@
+lib/workload/tpch.ml: Array Database Date Int Mope_db Mope_stats Printf Rng Schema Table Value

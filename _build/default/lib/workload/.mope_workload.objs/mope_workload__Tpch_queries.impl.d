@@ -1,0 +1,1 @@
+lib/workload/tpch_queries.ml: Array Date Fun Histogram List Mope_db Mope_stats Printf Rng Tpch

@@ -1,0 +1,1 @@
+lib/workload/tpch_queries.mli: Mope_db Mope_stats

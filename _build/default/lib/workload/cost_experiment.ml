@@ -1,0 +1,102 @@
+open Mope_stats
+open Mope_core
+
+type config = {
+  k : int;
+  sigma : float;
+  mode : Scheduler.mode;
+  n_queries : int;
+  n_records : int;
+  q_samples : int;
+  seed : int64;
+}
+
+let default =
+  { k = 10; sigma = 10.0; mode = Scheduler.Uniform; n_queries = 2000;
+    n_records = 100_000; q_samples = 200_000; seed = 42L }
+
+type outcome = {
+  tally : Cost.t;
+  bandwidth : float;
+  requests : float;
+  alpha : float;
+  expected_fakes : float;
+}
+
+(* Per-value record counts of the synthetic table, plus prefix sums so that
+   |q| for any (wrapping) interval is O(1). *)
+let build_records rng data n_records =
+  let m = Histogram.size data in
+  let counts = Array.make m 0 in
+  for _ = 1 to n_records do
+    let v = Histogram.sample data ~u:(Rng.float rng) in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let prefix = Array.make (m + 1) 0 in
+  for i = 0 to m - 1 do
+    prefix.(i + 1) <- prefix.(i) + counts.(i)
+  done;
+  prefix
+
+let records_in prefix ~m ~lo ~hi =
+  let seg (a, b) = prefix.(b + 1) - prefix.(a) in
+  Mope_ope.Modular.segments ~m ~lo ~hi |> List.fold_left (fun acc s -> acc + seg s) 0
+
+let run ~data config =
+  let data =
+    match config.mode with
+    | Scheduler.Periodic rho -> Datasets.pad_to_multiple data ~rho
+    | Scheduler.Uniform -> data
+  in
+  let m = data.Datasets.domain in
+  let k = Int.min config.k m in
+  let dist = data.Datasets.distribution in
+  let rng = Rng.create config.seed in
+  let records = build_records (Rng.split rng) dist config.n_records in
+  let q =
+    Query_gen.start_distribution (Rng.split rng) ~data:dist ~sigma:config.sigma ~k
+      ~samples:config.q_samples
+  in
+  let scheduler = Scheduler.create ~m ~k ~mode:config.mode ~q in
+  let tally = Cost.create () in
+  let query_rng = Rng.split rng and sched_rng = Rng.split rng in
+  for _ = 1 to config.n_queries do
+    let query = Query_gen.sample_query query_rng ~data:dist ~sigma:config.sigma in
+    let pieces = Query_model.transform ~m ~k query in
+    let n_pieces = List.length pieces in
+    tally.Cost.real_queries <- tally.Cost.real_queries + 1;
+    tally.Cost.transformed_queries <- tally.Cost.transformed_queries + n_pieces;
+    let query_records =
+      records_in records ~m ~lo:query.Query_model.lo ~hi:query.Query_model.hi
+    in
+    tally.Cost.real_records <- tally.Cost.real_records + query_records;
+    (* Records fetched by the transformed pieces beyond the query itself:
+       the union of the pieces covers [lo, lo + n_pieces*k - 1]. *)
+    let covered_len = Int.min m (n_pieces * k) in
+    let covered_hi = Mope_ope.Modular.add ~m query.Query_model.lo (covered_len - 1) in
+    let covered_records =
+      records_in records ~m ~lo:query.Query_model.lo ~hi:covered_hi
+    in
+    tally.Cost.excess_records <- tally.Cost.excess_records + (covered_records - query_records);
+    (* Fake queries per piece. *)
+    List.iter
+      (fun piece_start ->
+        let burst = Scheduler.schedule scheduler sched_rng ~real:piece_start in
+        let fakes = List.length burst - 1 in
+        tally.Cost.fake_queries <- tally.Cost.fake_queries + fakes;
+        List.iteri
+          (fun i start ->
+            if i < fakes then begin
+              let piece = Query_model.coverage ~m ~k start in
+              tally.Cost.fake_records <-
+                tally.Cost.fake_records
+                + records_in records ~m ~lo:piece.Query_model.lo ~hi:piece.Query_model.hi
+            end)
+          burst)
+      pieces
+  done;
+  { tally;
+    bandwidth = Cost.bandwidth tally;
+    requests = Cost.requests tally;
+    alpha = Scheduler.alpha scheduler;
+    expected_fakes = Scheduler.expected_fakes_per_real scheduler }

@@ -1,0 +1,31 @@
+(** Driver for the Bandwidth/Requests cost experiments (paper Figs. 5–12).
+
+    Simulates the proxy pipeline without the SQL backend: a synthetic table
+    of records drawn from the dataset distribution supplies per-value record
+    counts, the scheduler interleaves fake queries, and the cost tallies
+    count records and requests exactly as §6 defines. *)
+
+type config = {
+  k : int;                       (** fixed transformed query length *)
+  sigma : float;                 (** query length scale *)
+  mode : Mope_core.Scheduler.mode;
+  n_queries : int;               (** real client queries to simulate *)
+  n_records : int;               (** synthetic table size *)
+  q_samples : int;               (** Monte-Carlo samples for estimating Q *)
+  seed : int64;
+}
+
+val default : config
+(** k=10, σ=10, Uniform mode, 2000 queries, 100k records, 200k samples. *)
+
+type outcome = {
+  tally : Mope_core.Cost.t;
+  bandwidth : float;
+  requests : float;
+  alpha : float;                 (** the scheduler's coin bias *)
+  expected_fakes : float;        (** (1−α)/α *)
+}
+
+val run : data:Datasets.t -> config -> outcome
+(** The dataset is padded automatically when a periodic mode's ρ does not
+    divide its domain. *)

@@ -1,0 +1,131 @@
+open Mope_stats
+
+type t = {
+  name : string;
+  domain : int;
+  distribution : Histogram.t;
+  description : string;
+}
+
+let uniform () =
+  let domain = 10000 in
+  { name = "uniform";
+    domain;
+    distribution = Histogram.uniform domain;
+    description = "Every record equally likely; domain 10000 (paper Appendix B)." }
+
+let zipf () =
+  let domain = 10000 in
+  { name = "zipf";
+    domain;
+    distribution = Distributions.zipf ~size:domain ~s:1.0;
+    description = "Power-law access pattern, exponent 1.0, domain 10000." }
+
+(* A census-like age pyramid on ages 17..90: counts climb briefly to a
+   20s–40s plateau, then decay roughly exponentially towards 90, with age
+   heaping on round ages (self-reported census ages pile up on multiples of
+   5 and 10). The heaping is what gives the ρ-periodic algorithm its paper-
+   reported gains on this dataset: round-age spikes concentrate the class
+   maxima in a few congruence classes. *)
+let adult () =
+  let lo = 17 and hi = 90 in
+  let domain = hi - lo + 1 in
+  let weight i =
+    let age = lo + i in
+    let base =
+      if age <= 22 then 0.4 +. (0.12 *. float_of_int (age - 17))
+      else if age <= 45 then 1.0
+      else exp (-0.055 *. float_of_int (age - 45))
+    in
+    let heaping =
+      if age mod 10 = 0 then 2.4 else if age mod 5 = 0 then 1.8 else 1.0
+    in
+    base *. heaping
+  in
+  let pmf = Array.init domain weight in
+  let total = Array.fold_left ( +. ) 0.0 pmf in
+  { name = "adult";
+    domain;
+    distribution = Histogram.of_pmf (Array.map (fun w -> w /. total) pmf);
+    description =
+      "Synthetic stand-in for UCI Adult ages 17-90: plateau through 20s-40s, \
+       exponential decay after 45, age heaping on round ages." }
+
+(* Covertype elevations 1859..3858 m: bimodal mixture, dominant mass around
+   2900-3250 m (spruce/fir zones) with a secondary bump near 2350 m. *)
+let covertype () =
+  let lo = 1859 and hi = 3858 in
+  let domain = hi - lo + 1 in
+  let gaussian mean sigma x =
+    let z = (x -. mean) /. sigma in
+    exp (-0.5 *. z *. z) /. sigma
+  in
+  let weight i =
+    let elevation = float_of_int (lo + i) in
+    (0.72 *. gaussian 3050.0 220.0 elevation)
+    +. (0.23 *. gaussian 2350.0 160.0 elevation)
+    +. (0.05 *. gaussian 2750.0 400.0 elevation)
+  in
+  let pmf = Array.init domain weight in
+  let total = Array.fold_left ( +. ) 0.0 pmf in
+  { name = "covertype";
+    domain;
+    distribution = Histogram.of_pmf (Array.map (fun w -> w /. total) pmf);
+    description =
+      "Synthetic stand-in for UCI Covertype elevation 1859-3858 m: mixture of \
+       normals, dominant mode ~3050 m, secondary ~2350 m." }
+
+(* California road-network longitudes binned to 10000 cells: a handful of
+   dense urban clusters (Bay Area, LA basin, San Diego, Sacramento, ...)
+   over a sparse rural background. Cluster positions/weights are fixed so
+   the dataset is reproducible. *)
+let sanfran () =
+  let domain = 10000 in
+  let clusters =
+    (* (centre bin, width in bins, weight) *)
+    [ (1200, 60.0, 0.22); (1450, 90.0, 0.10); (2600, 40.0, 0.07);
+      (4100, 120.0, 0.16); (4350, 70.0, 0.09); (6100, 55.0, 0.12);
+      (7300, 35.0, 0.06); (8200, 90.0, 0.08); (9100, 45.0, 0.05) ]
+  in
+  let background = 0.05 in
+  let gaussian mean sigma x =
+    let z = (x -. mean) /. sigma in
+    exp (-0.5 *. z *. z) /. sigma
+  in
+  let weight i =
+    let x = float_of_int i in
+    List.fold_left
+      (fun acc (c, w, mass) -> acc +. (mass *. gaussian (float_of_int c) w x))
+      (background /. float_of_int domain)
+      clusters
+  in
+  (* Road-node bins are rough at fine scale (street grids): modulate each
+     bin by a fixed pseudo-random factor so per-congruence-class maxima
+     differ — the texture the ρ-periodic algorithm exploits (paper §6.1.2). *)
+  let rough = Rng.create 424242L in
+  let pmf =
+    Array.init domain (fun i -> weight i *. (0.35 +. (1.3 *. Rng.float rough)))
+  in
+  let total = Array.fold_left ( +. ) 0.0 pmf in
+  { name = "sanfrancisco";
+    domain;
+    distribution = Histogram.of_pmf (Array.map (fun w -> w /. total) pmf);
+    description =
+      "Synthetic stand-in for California road-network longitudes binned to \
+       10000 cells: fixed urban clusters over a sparse background." }
+
+let all () = [ uniform (); zipf (); adult (); covertype (); sanfran () ]
+
+let pad_to_multiple t ~rho =
+  if rho <= 0 then invalid_arg "Datasets.pad_to_multiple: rho";
+  if t.domain mod rho = 0 then t
+  else begin
+    let padded = ((t.domain / rho) + 1) * rho in
+    let pmf = Histogram.pmf t.distribution in
+    let extended = Array.make padded 0.0 in
+    Array.blit pmf 0 extended 0 t.domain;
+    { t with
+      domain = padded;
+      distribution = Histogram.of_pmf extended;
+      description = t.description ^ Printf.sprintf " (padded %d -> %d for rho=%d)" t.domain padded rho }
+  end

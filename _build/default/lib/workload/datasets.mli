@@ -1,0 +1,43 @@
+(** The five value distributions of the paper's evaluation (§6 + Appendix B).
+
+    Each dataset induces the distribution of query {e centres}: "a user is
+    more interested in querying records that are densely represented in the
+    dataset". The real datasets (Adult, Covertype, SanFran) are not shipped
+    here; we synthesize distributions matching their published shapes — what
+    the experiments consume is only the skew/multimodality of the histogram,
+    never record contents (see DESIGN.md, substitutions). *)
+
+type t = {
+  name : string;
+  domain : int;            (** M: effective domain size *)
+  distribution : Mope_stats.Histogram.t;
+  description : string;    (** provenance / synthesis note *)
+}
+
+val uniform : unit -> t
+(** Every value equally likely; M = 10000. *)
+
+val zipf : unit -> t
+(** Power-law access (exponent 1.0); M = 10000. *)
+
+val adult : unit -> t
+(** Age attribute of the UCI Adult census dataset, ages 17–90 (M = 74):
+    a plateau through the 20s–40s decaying towards 90, matching the
+    published age histogram's shape. *)
+
+val covertype : unit -> t
+(** Elevation attribute of UCI Covertype, 1859–3858 m (M = 2000):
+    a mixture of normals with the main mass near 2900–3250 m. *)
+
+val sanfran : unit -> t
+(** Longitudes of California road network nodes binned to 10000 cells
+    (M = 10000): a few dense urban clusters over a sparse background. *)
+
+val all : unit -> t list
+(** The five datasets in paper order. *)
+
+val pad_to_multiple : t -> rho:int -> t
+(** Extend the domain with zero-probability values so that [rho] divides M
+    (the periodic algorithm requires it; the paper's Adult runs with ρ = 5,
+    10 imply the same padding). Fake queries may land in the pad — they
+    simply return no records. *)

@@ -1,0 +1,71 @@
+open Mope_stats
+open Mope_core
+
+type config = {
+  sigma : float;
+  n_queries : int;
+}
+
+let sample_length rng ~sigma ~m =
+  let raw = Distributions.sample_normal rng ~mean:0.0 ~sigma in
+  let len = int_of_float (Float.round (Float.abs raw)) in
+  Int.max 1 (Int.min m len)
+
+let sample_query rng ~data ~sigma =
+  let m = Histogram.size data in
+  let position = Histogram.sample data ~u:(Rng.float rng) in
+  let len = sample_length rng ~sigma ~m in
+  Query_model.make ~m ~lo:position ~hi:(position + len - 1)
+
+let generate rng ~data config =
+  List.init config.n_queries (fun _ -> sample_query rng ~data ~sigma:config.sigma)
+
+let start_distribution rng ~data ~sigma ~k ~samples =
+  let m = Histogram.size data in
+  let counts = Array.make m 0 in
+  for _ = 1 to samples do
+    let q = sample_query rng ~data ~sigma in
+    List.iter
+      (fun s -> counts.(s) <- counts.(s) + 1)
+      (Query_model.transform ~m ~k q)
+  done;
+  Histogram.of_counts counts
+
+(* pmf of the clamped length max(1, min(m, round |N(0,σ)|)). *)
+let length_pmf ~sigma ~m =
+  let cap = Int.min m (Int.max 1 (int_of_float (Float.ceil (6.0 *. sigma)))) in
+  let phi x = Special.normal_cdf ~mean:0.0 ~sigma x in
+  (* P(round |N| = l) = Φ(l+0.5) − Φ(l−0.5) counted on both tails. *)
+  let raw =
+    Array.init (cap + 1) (fun l ->
+        if l = 0 then 0.0
+        else begin
+          let lf = float_of_int l in
+          2.0 *. (phi (lf +. 0.5) -. phi (lf -. 0.5))
+        end)
+  in
+  (* Mass for round = 0 folds into length 1 (the max-1 clamp); the tail
+     beyond cap folds into cap (the min-m clamp, approximately). *)
+  raw.(1) <- raw.(1) +. (2.0 *. (phi 0.5 -. phi 0.0));
+  raw.(cap) <- raw.(cap) +. (2.0 *. (1.0 -. phi (float_of_int cap +. 0.5)));
+  raw
+
+let start_distribution_exact ~data ~sigma ~k =
+  let m = Histogram.size data in
+  let lengths = length_pmf ~sigma ~m in
+  let weights = Array.make m 0.0 in
+  for position = 0 to m - 1 do
+    let pc = Histogram.prob data position in
+    if pc > 0.0 then
+      for len = 1 to Array.length lengths - 1 do
+        let pl = lengths.(len) in
+        if pl > 0.0 then begin
+          let q = Query_model.make ~m ~lo:position ~hi:(position + len - 1) in
+          List.iter
+            (fun s -> weights.(s) <- weights.(s) +. (pc *. pl))
+            (Query_model.transform ~m ~k q)
+        end
+      done
+  done;
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  Histogram.of_pmf (Array.map (fun w -> w /. total) weights)

@@ -1,0 +1,36 @@
+(** Client query workload simulation (paper §6, "Query distributions").
+
+    A query's start position is drawn from the dataset's value distribution
+    (users query where the data is dense; the data distribution "determines
+    the position of each query") and its length from |N(0, σ²)| (clamped to
+    [\[1, M\]]), combining into a range query on the domain. *)
+
+type config = {
+  sigma : float;       (** length scale of |N(0,σ²)| *)
+  n_queries : int;
+}
+
+val sample_length : Mope_stats.Rng.t -> sigma:float -> m:int -> int
+(** One query length: [max 1 (round |N(0,σ²)|)], capped at [m]. *)
+
+val sample_query :
+  Mope_stats.Rng.t -> data:Mope_stats.Histogram.t -> sigma:float ->
+  Mope_core.Query_model.t
+(** One range query: start ~ data distribution, length ~ |N(0,σ²)|. *)
+
+val generate :
+  Mope_stats.Rng.t -> data:Mope_stats.Histogram.t -> config ->
+  Mope_core.Query_model.t list
+
+val start_distribution :
+  Mope_stats.Rng.t -> data:Mope_stats.Histogram.t -> sigma:float -> k:int ->
+  samples:int -> Mope_stats.Histogram.t
+(** Monte-Carlo estimate of the induced distribution over τ_k-transformed
+    query {e starts} — the [Q] the scheduler assumes known a priori. *)
+
+val start_distribution_exact :
+  data:Mope_stats.Histogram.t -> sigma:float -> k:int ->
+  Mope_stats.Histogram.t
+(** Exact computation by enumerating (centre, length) pairs with the
+    discretized |N(0,σ²)| length pmf (truncated at 6σ). O(M · σ · σ/k);
+    used by tests and the smaller experiments. *)

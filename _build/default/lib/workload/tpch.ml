@@ -1,0 +1,130 @@
+open Mope_stats
+open Mope_db
+
+let window_lo = Date.of_ymd 1992 1 1
+let window_hi = Date.of_ymd 1998 12 31
+let date_domain = window_hi - window_lo + 1
+
+let day_to_plain day =
+  if day < window_lo || day > window_hi then
+    invalid_arg "Tpch.day_to_plain: date outside the 1992-1998 window";
+  day - window_lo
+
+let plain_to_day plain =
+  if plain < 0 || plain >= date_domain then invalid_arg "Tpch.plain_to_day";
+  plain + window_lo
+
+type sizes = { orders : int; lineitems : int; parts : int }
+
+let col name ty = { Schema.name; ty }
+
+let lineitem_schema =
+  Schema.make
+    [ col "l_orderkey" Value.TInt;
+      col "l_partkey" Value.TInt;
+      col "l_quantity" Value.TInt;
+      col "l_extendedprice" Value.TFloat;
+      col "l_discount" Value.TFloat;
+      col "l_tax" Value.TFloat;
+      col "l_shipdate" Value.TDate;
+      col "l_commitdate" Value.TDate;
+      col "l_receiptdate" Value.TDate;
+      col "l_shipmode" Value.TStr;
+      col "l_returnflag" Value.TStr;
+      col "l_linestatus" Value.TStr ]
+
+let orders_schema =
+  Schema.make
+    [ col "o_orderkey" Value.TInt;
+      col "o_custkey" Value.TInt;
+      col "o_orderdate" Value.TDate;
+      col "o_orderpriority" Value.TStr;
+      col "o_totalprice" Value.TFloat ]
+
+let part_schema =
+  Schema.make
+    [ col "p_partkey" Value.TInt;
+      col "p_type" Value.TStr;
+      col "p_retailprice" Value.TFloat ]
+
+let priorities =
+  [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+
+let type_syllable_1 =
+  [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+
+let type_syllable_2 =
+  [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+
+let type_syllable_3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let pick rng arr = arr.(Rng.int rng (Array.length arr))
+
+(* Order dates span 1992-01-01 .. 1998-08-02 per the TPC-H spec, so derived
+   ship/receipt dates stay inside the window. *)
+let order_date_hi = Date.of_ymd 1998 8 2
+
+let load db ~sf ~seed =
+  if sf <= 0.0 then invalid_arg "Tpch.load: sf must be positive";
+  let rng = Rng.create seed in
+  let n_orders = Int.max 1 (int_of_float (1_500_000.0 *. sf)) in
+  let n_parts = Int.max 1 (int_of_float (200_000.0 *. sf)) in
+  let part = Database.create_table db ~name:"part" ~schema:part_schema in
+  let orders = Database.create_table db ~name:"orders" ~schema:orders_schema in
+  let lineitem = Database.create_table db ~name:"lineitem" ~schema:lineitem_schema in
+  (* PART *)
+  for key = 1 to n_parts do
+    let p_type =
+      Printf.sprintf "%s %s %s" (pick rng type_syllable_1) (pick rng type_syllable_2)
+        (pick rng type_syllable_3)
+    in
+    let retail = 900.0 +. (Rng.float rng *. 1100.0) in
+    ignore
+      (Table.insert part [| Value.Int key; Value.Str p_type; Value.Float retail |])
+  done;
+  (* ORDERS + LINEITEM *)
+  let order_span = order_date_hi - window_lo + 1 in
+  let n_lineitems = ref 0 in
+  for okey = 1 to n_orders do
+    let o_date = window_lo + Rng.int rng order_span in
+    let priority = pick rng priorities in
+    let lines = 1 + Rng.int rng 7 in
+    let total = ref 0.0 in
+    for _ = 1 to lines do
+      let partkey = 1 + Rng.int rng n_parts in
+      let quantity = 1 + Rng.int rng 50 in
+      let retail =
+        match Table.get part (partkey - 1) with
+        | [| _; _; Value.Float r |] -> r
+        | _ -> 1000.0
+      in
+      let extended = float_of_int quantity *. retail in
+      let discount = float_of_int (Rng.int rng 11) /. 100.0 in
+      let tax = float_of_int (Rng.int rng 9) /. 100.0 in
+      let ship = o_date + 1 + Rng.int rng 121 in
+      let commit = o_date + 30 + Rng.int rng 61 in
+      let receipt = ship + 1 + Rng.int rng 30 in
+      total := !total +. (extended *. (1.0 -. discount));
+      ignore
+        (Table.insert lineitem
+           [| Value.Int okey; Value.Int partkey; Value.Int quantity;
+              Value.Float extended; Value.Float discount; Value.Float tax;
+              Value.Date ship; Value.Date commit; Value.Date receipt;
+              Value.Str (pick rng ship_modes);
+              Value.Str (if Rng.int rng 2 = 0 then "N" else "R");
+              (* 'F'inished before the spec's currentdate, 'O'pen after. *)
+              Value.Str (if ship > Date.of_ymd 1995 6 17 then "O" else "F") |]);
+      incr n_lineitems
+    done;
+    ignore
+      (Table.insert orders
+         [| Value.Int okey; Value.Int (1 + Rng.int rng (Int.max 1 (n_orders / 10)));
+            Value.Date o_date; Value.Str priority; Value.Float !total |])
+  done;
+  Table.create_index lineitem "l_shipdate";
+  Table.create_index orders "o_orderdate";
+  Table.create_index orders "o_orderkey";
+  Table.create_index part "p_partkey";
+  { orders = n_orders; lineitems = !n_lineitems; parts = n_parts }

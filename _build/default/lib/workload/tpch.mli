@@ -1,0 +1,33 @@
+(** TPC-H-like data generator (substrate for paper §6.3).
+
+    Generates the LINEITEM / ORDERS / PART subset the paper's queries touch,
+    with per-column distributions following the TPC-H specification closely
+    enough for query selectivities to match (dates uniform over the spec
+    windows, discounts 0.00–0.10, quantities 1–50, PROMO part types ≈ 1/6).
+    Scale factor 1.0 corresponds to 1.5M orders / ~6M lineitems / 200k parts;
+    the experiments run at a smaller SF since all reported quantities are
+    ratios (see DESIGN.md). *)
+
+val window_lo : Mope_db.Date.t
+(** 1992-01-01 — first day of the MOPE plaintext window. *)
+
+val window_hi : Mope_db.Date.t
+(** 1998-12-31 — last day. *)
+
+val date_domain : int
+(** Size of the MOPE plaintext space: days in the window (2557). *)
+
+val day_to_plain : Mope_db.Date.t -> int
+(** Map a date into the MOPE plaintext space [\[0, date_domain)]. *)
+
+val plain_to_day : int -> Mope_db.Date.t
+
+type sizes = { orders : int; lineitems : int; parts : int }
+
+val load : Mope_db.Database.t -> sf:float -> seed:int64 -> sizes
+(** Create and populate the three tables, then build B+-tree indexes on
+    [l_shipdate], [o_orderdate], [o_orderkey] and [p_partkey]. *)
+
+val lineitem_schema : Mope_db.Schema.t
+val orders_schema : Mope_db.Schema.t
+val part_schema : Mope_db.Schema.t

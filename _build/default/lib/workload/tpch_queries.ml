@@ -1,0 +1,99 @@
+open Mope_stats
+open Mope_db
+
+type template = Q4 | Q6 | Q14
+
+type instance = {
+  template : template;
+  date_lo : Date.t;
+  date_hi : Date.t;
+  sql : string;
+}
+
+let template_name = function Q4 -> "Q4" | Q6 -> "Q6" | Q14 -> "Q14"
+
+let date_column = function Q4 -> "o_orderdate" | Q6 | Q14 -> "l_shipdate"
+
+let fixed_length = function Q6 -> 366 | Q14 -> 31 | Q4 -> 92
+
+let start_domain template =
+  let starts =
+    match template with
+    | Q6 -> List.init 5 (fun i -> Date.of_ymd (1993 + i) 1 1)
+    | Q14 ->
+      List.concat_map
+        (fun y -> List.init 12 (fun m -> Date.of_ymd (1993 + y) (m + 1) 1))
+        (List.init 5 Fun.id)
+    | Q4 ->
+      List.concat_map
+        (fun y -> List.init 4 (fun q -> Date.of_ymd (1993 + y) ((3 * q) + 1) 1))
+        (List.init 5 Fun.id)
+  in
+  List.map Tpch.day_to_plain starts
+
+let start_distribution ?(domain = Tpch.date_domain) template =
+  if domain < Tpch.date_domain then
+    invalid_arg "Tpch_queries.start_distribution: domain too small";
+  let counts = Array.make domain 0 in
+  List.iter (fun s -> counts.(s) <- counts.(s) + 1) (start_domain template);
+  Histogram.of_counts counts
+
+let q6_sql ~d1 ~d2 ~discount ~quantity =
+  Printf.sprintf
+    "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem WHERE \
+     l_shipdate >= DATE '%s' AND l_shipdate <= DATE '%s' AND l_discount \
+     BETWEEN %.2f AND %.2f AND l_quantity < %d"
+    (Date.to_string d1) (Date.to_string d2) (discount -. 0.01) (discount +. 0.01)
+    quantity
+
+let q14_sql ~d1 ~d2 =
+  Printf.sprintf
+    "SELECT 100.0 * sum(CASE WHEN p_type LIKE 'PROMO%%' THEN l_extendedprice * \
+     (1 - l_discount) ELSE 0.0 END) / sum(l_extendedprice * (1 - l_discount)) \
+     AS promo_revenue FROM lineitem, part WHERE l_partkey = p_partkey AND \
+     l_shipdate >= DATE '%s' AND l_shipdate <= DATE '%s'"
+    (Date.to_string d1) (Date.to_string d2)
+
+let q4_sql ~d1 ~d2 =
+  Printf.sprintf
+    "SELECT o_orderpriority, count(*) AS order_count FROM orders WHERE \
+     o_orderdate >= DATE '%s' AND o_orderdate <= DATE '%s' AND o_orderkey IN \
+     (SELECT l_orderkey FROM lineitem WHERE l_commitdate < l_receiptdate) \
+     GROUP BY o_orderpriority ORDER BY o_orderpriority"
+    (Date.to_string d1) (Date.to_string d2)
+
+let random_instance rng template =
+  match template with
+  | Q6 ->
+    let year = 1993 + Rng.int rng 5 in
+    let d1 = Date.of_ymd year 1 1 in
+    let d2 = Date.add_years d1 1 - 1 in
+    let discount = 0.02 +. (float_of_int (Rng.int rng 8) /. 100.0) in
+    let quantity = 24 + Rng.int rng 2 in
+    { template; date_lo = d1; date_hi = d2; sql = q6_sql ~d1 ~d2 ~discount ~quantity }
+  | Q14 ->
+    let year = 1993 + Rng.int rng 5 and month = 1 + Rng.int rng 12 in
+    let d1 = Date.of_ymd year month 1 in
+    let d2 = Date.add_months d1 1 - 1 in
+    { template; date_lo = d1; date_hi = d2; sql = q14_sql ~d1 ~d2 }
+  | Q4 ->
+    let year = 1993 + Rng.int rng 5 and quarter = Rng.int rng 4 in
+    let d1 = Date.of_ymd year ((3 * quarter) + 1) 1 in
+    let d2 = Date.add_months d1 3 - 1 in
+    { template; date_lo = d1; date_hi = d2; sql = q4_sql ~d1 ~d2 }
+
+(* TPC-H Q1: the pricing summary report. The paper excludes it from the
+   proxy experiments (its range covers almost the whole table) but the
+   template is provided for completeness and engine validation; the date
+   literal is precomputed so the predicate stays sargable. *)
+let q1_sql =
+  let cutoff = Date.add_days (Date.of_ymd 1998 12 1) (-90) in
+  Printf.sprintf
+    "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, \
+     sum(l_extendedprice) AS sum_base_price, sum(l_extendedprice * (1 - \
+     l_discount)) AS sum_disc_price, sum(l_extendedprice * (1 - l_discount) * \
+     (1 + l_tax)) AS sum_charge, avg(l_quantity) AS avg_qty, \
+     avg(l_extendedprice) AS avg_price, avg(l_discount) AS avg_disc, count(*) \
+     AS count_order FROM lineitem WHERE l_shipdate <= DATE '%s' GROUP BY \
+     l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus"
+    (Date.to_string cutoff)

@@ -1,0 +1,44 @@
+(** The TPC-H range-query templates the paper evaluates: Q4, Q6 and Q14
+    (§6.3). Q1 is excluded there (it touches almost the whole table) and
+    here too. Each instance carries the plaintext SQL plus the date range
+    the proxy must rewrite. *)
+
+type template = Q4 | Q6 | Q14
+
+type instance = {
+  template : template;
+  date_lo : Mope_db.Date.t;   (** inclusive start of the range predicate *)
+  date_hi : Mope_db.Date.t;   (** inclusive end *)
+  sql : string;               (** full plaintext SQL *)
+}
+
+val template_name : template -> string
+
+val date_column : template -> string
+(** The MOPE-encrypted attribute each template ranges over:
+    [l_shipdate] for Q6/Q14, [o_orderdate] for Q4. *)
+
+val fixed_length : template -> int
+(** The fixed transformed query length k the paper uses: the template's
+    interval in days — 1 year (366) for Q6, 1 month (31) for Q14, 3 months
+    (92) for Q4. *)
+
+val start_domain : template -> int list
+(** The possible query start days (as MOPE plaintexts) the template can
+    draw: Jan 1 of 1993–1997 for Q6, the first of each month 1993–1997 for
+    Q14 and of each quarter for Q4 — the known-a-priori Q of §6.3. *)
+
+val start_distribution : ?domain:int -> template -> Mope_stats.Histogram.t
+(** Uniform over {!start_domain}, as a histogram over the date domain —
+    or over a padded domain [≥ Tpch.date_domain] when the periodic
+    algorithm requires ρ to divide it. *)
+
+val random_instance : Mope_stats.Rng.t -> template -> instance
+(** Draw template parameters per the TPC-H spec (dates restricted to the
+    1993–1997 window the paper uses). *)
+
+val q1_sql : string
+(** TPC-H Q1 (pricing summary report) against the plaintext schema. The
+    paper excludes Q1 from the encrypted-execution experiments because its
+    range retrieves almost the whole table; it is provided for engine
+    validation and completeness. *)

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Array Distributions Frequency Gap_attack Histogram Mope_attack Mope_core Mope_stats Periodic_shift Printf Scheduler Sorting_attack Wow Wow_baseline

@@ -1,0 +1,1 @@
+test/test_core.ml: Adaptive Alcotest Array Completion Cost Gen Histogram Int List Make_queries Mope_core Mope_ope Mope_stats Pacer Printf QCheck QCheck_alcotest Query_model Rng Scheduler Summary

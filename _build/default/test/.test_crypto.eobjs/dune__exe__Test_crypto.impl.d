@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Char Drbg Feistel Float Hmac Int Int64 List Mope_crypto Mope_stats Printf QCheck QCheck_alcotest Sha256 String

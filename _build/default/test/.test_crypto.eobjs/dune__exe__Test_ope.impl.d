@@ -1,0 +1,1 @@
+test/test_ope.ml: Alcotest Fun Hashtbl Int List Modular Mope Mope_ope Ope Printf QCheck QCheck_alcotest

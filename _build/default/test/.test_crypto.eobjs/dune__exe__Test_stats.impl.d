@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Distributions Float Fun Gen Histogram Hypergeometric Int Int64 List Mope_stats Printf QCheck QCheck_alcotest Rng Special Summary

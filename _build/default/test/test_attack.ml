@@ -1,0 +1,260 @@
+(* Tests for lib/attack: the gap attack (and its neutralization by QueryU),
+   the empirical WOW* experiments against the §7 bounds, and the periodic
+   shift-recovery attack. *)
+
+open Mope_stats
+open Mope_core
+open Mope_attack
+
+(* ------------------------------------------------------------------ *)
+(* largest_empty_arc *)
+
+let test_arc_simple () =
+  let g = Gap_attack.largest_empty_arc ~n:10 [ 0; 1; 2; 7 ] in
+  (* gaps: after 2 -> 3..6 (len 4); after 7 -> 8..9 (len 2, wraps to 0) *)
+  Alcotest.(check int) "arc starts at 3" 3 g.Gap_attack.arc_lo;
+  Alcotest.(check int) "length 4" 4 g.Gap_attack.arc_len;
+  Alcotest.(check int) "next observed" 7 g.Gap_attack.next_start
+
+let test_arc_wrapping () =
+  let g = Gap_attack.largest_empty_arc ~n:10 [ 4; 5 ] in
+  (* Biggest arc wraps: 6..3 (len 8), next observed 4. *)
+  Alcotest.(check int) "arc lo" 6 g.Gap_attack.arc_lo;
+  Alcotest.(check int) "len" 8 g.Gap_attack.arc_len;
+  Alcotest.(check int) "next" 4 g.Gap_attack.next_start
+
+let test_arc_single_point () =
+  let g = Gap_attack.largest_empty_arc ~n:100 [ 42 ] in
+  Alcotest.(check int) "everything but the point" 99 g.Gap_attack.arc_len;
+  Alcotest.(check int) "next" 42 g.Gap_attack.next_start
+
+let test_arc_duplicates_ignored () =
+  let a = Gap_attack.largest_empty_arc ~n:50 [ 3; 3; 3; 20 ] in
+  let b = Gap_attack.largest_empty_arc ~n:50 [ 3; 20 ] in
+  Alcotest.(check bool) "duplicates don't matter" true (a = b)
+
+let test_arc_empty_raises () =
+  Alcotest.check_raises "no observations"
+    (Invalid_argument "Gap_attack.largest_empty_arc: no observations") (fun () ->
+      ignore (Gap_attack.largest_empty_arc ~n:10 []))
+
+(* ------------------------------------------------------------------ *)
+(* Gap attack success rates (the Fig. 1 story) *)
+
+let valid_uniform ~m ~k =
+  let pmf = Array.init m (fun i -> if i <= m - k then 1.0 else 0.0) in
+  let total = Array.fold_left ( +. ) 0.0 pmf in
+  Histogram.of_pmf (Array.map (fun p -> p /. total) pmf)
+
+let test_gap_attack_on_naive () =
+  let rate =
+    Gap_attack.success_rate ~m:100 ~k:10 ~n_queries:400 ~trials:30 ~seed:1L
+      ~fake_mix:None
+  in
+  Alcotest.(check bool) (Printf.sprintf "naive rate %.2f" rate) true (rate > 0.7)
+
+let test_gap_attack_neutralized_by_queryu () =
+  let sched =
+    Scheduler.create ~m:100 ~k:10 ~mode:Scheduler.Uniform ~q:(valid_uniform ~m:100 ~k:10)
+  in
+  let rate =
+    Gap_attack.success_rate ~m:100 ~k:10 ~n_queries:400 ~trials:30 ~seed:1L
+      ~fake_mix:(Some sched)
+  in
+  Alcotest.(check bool) (Printf.sprintf "mixed rate %.2f" rate) true (rate < 0.15)
+
+let test_gap_attack_more_queries_help () =
+  let few =
+    Gap_attack.success_rate ~m:200 ~k:10 ~n_queries:30 ~trials:30 ~seed:2L ~fake_mix:None
+  in
+  let many =
+    Gap_attack.success_rate ~m:200 ~k:10 ~n_queries:2000 ~trials:30 ~seed:2L ~fake_mix:None
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "few %.2f <= many %.2f" few many)
+    true (few <= many +. 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* WOW experiments *)
+
+let cfg = { Wow.default with Wow.trials = 120 }
+
+let test_wow_location_naive_leaks () =
+  let naive = Wow.location_success cfg Wow.Naive in
+  let baseline = Wow.random_guess cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "naive %.3f >> random %.3f" naive baseline)
+    true
+    (naive > 3.0 *. baseline)
+
+let test_wow_location_queryu_at_bound () =
+  let success = Wow.location_success cfg (Wow.Mixed Scheduler.Uniform) in
+  let bound = Wow.location_bound cfg (Wow.Mixed Scheduler.Uniform) in
+  (* Theorem 3: within sampling noise of w/M. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "QueryU %.3f ~ bound %.3f" success bound)
+    true
+    (success < (3.0 *. bound) +. 0.02)
+
+let test_wow_location_queryp_within_bound () =
+  let success = Wow.location_success cfg (Wow.Mixed (Scheduler.Periodic 10)) in
+  let bound = Wow.location_bound cfg (Wow.Mixed (Scheduler.Periodic 10)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "QueryP %.3f <= bound %.3f" success bound)
+    true (success <= bound +. 0.05)
+
+let test_wow_distance_leaks_everywhere () =
+  let naive = Wow.distance_success cfg Wow.Naive in
+  let mixed = Wow.distance_success cfg (Wow.Mixed Scheduler.Uniform) in
+  let baseline = Wow.random_guess cfg in
+  Alcotest.(check bool) "naive distance leaks" true (naive > 5.0 *. baseline);
+  Alcotest.(check bool) "QueryU does not hide distance" true (mixed > 5.0 *. baseline);
+  let bound = Wow.distance_bound cfg in
+  Alcotest.(check bool) "within Theorem 4 bound" true
+    (naive <= bound && mixed <= bound)
+
+let test_wow_bounds_shape () =
+  Alcotest.(check (float 1e-12)) "uniform bound" 0.02
+    (Wow.location_bound cfg (Wow.Mixed Scheduler.Uniform));
+  Alcotest.(check (float 1e-12)) "periodic bound" 0.2
+    (Wow.location_bound cfg (Wow.Mixed (Scheduler.Periodic 10)));
+  Alcotest.(check (float 1e-12)) "naive bound" 1.0 (Wow.location_bound cfg Wow.Naive);
+  Alcotest.(check bool) "distance bound in (0,1]" true
+    (Wow.distance_bound cfg > 0.0 && Wow.distance_bound cfg <= 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Periodic shift recovery *)
+
+let test_periodic_shift_recovers_class () =
+  let out =
+    Periodic_shift.run ~m:100 ~k:5 ~rho:20 ~n_queries:400 ~trials:30 ~seed:7L
+      ~q:(Distributions.zipf ~size:100 ~s:1.2)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "class success %.2f" out.Periodic_shift.class_success)
+    true
+    (out.Periodic_shift.class_success > 0.9);
+  (* Full recovery must stay near rho/m = 0.2. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "full success %.2f" out.Periodic_shift.full_success)
+    true
+    (out.Periodic_shift.full_success < 0.45)
+
+let test_periodic_shift_validates_rho () =
+  Alcotest.check_raises "rho must divide m"
+    (Invalid_argument "Periodic_shift.run: rho must divide m") (fun () ->
+      ignore
+        (Periodic_shift.run ~m:100 ~k:5 ~rho:30 ~n_queries:10 ~trials:1 ~seed:1L
+           ~q:(Histogram.uniform 100)))
+
+
+(* ------------------------------------------------------------------ *)
+(* Theorems 1-2 baseline (query-free) *)
+
+let test_baseline_rows () =
+  let cfg = { Wow_baseline.default with Wow_baseline.trials = 120 } in
+  match Wow_baseline.run cfg with
+  | [ ope; mope ] ->
+    let chance = Wow_baseline.location_random_guess cfg in
+    Alcotest.(check string) "first row" "OPE" ope.Wow_baseline.scheme;
+    Alcotest.(check bool)
+      (Printf.sprintf "OPE location %.3f leaks" ope.Wow_baseline.location)
+      true
+      (ope.Wow_baseline.location > 3.0 *. chance);
+    Alcotest.(check bool)
+      (Printf.sprintf "MOPE location %.3f hidden" mope.Wow_baseline.location)
+      true
+      (mope.Wow_baseline.location < 2.0 *. chance);
+    Alcotest.(check bool) "distance leaks under both" true
+      (ope.Wow_baseline.distance > 5.0 *. chance
+      && mope.Wow_baseline.distance > 5.0 *. chance)
+  | _ -> Alcotest.fail "expected two rows"
+
+(* ------------------------------------------------------------------ *)
+(* Frequency analysis on DET columns *)
+
+let test_frequency_attack_matching () =
+  (* Deterministic matching on a hand-built case. *)
+  let guesses =
+    Frequency.attack
+      ~ciphertexts:[ 7; 7; 7; 3; 3; 9 ]
+      ~known_frequencies:[ (0, 0.5); (1, 0.3); (2, 0.2) ]
+  in
+  Alcotest.(check (list (pair int int))) "rank matching"
+    [ (7, 0); (3, 1); (9, 2) ] guesses
+
+let test_frequency_attack_skewed_column () =
+  let out =
+    Frequency.experiment ~domain:100 ~zipf_s:1.3 ~n_rows:3000 ~trials:10 ~seed:4L
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "skewed column recovered %.2f" out.Frequency.recovered)
+    true
+    (out.Frequency.recovered > 0.5)
+
+let test_frequency_attack_uniform_column () =
+  let out =
+    Frequency.experiment ~domain:1000 ~zipf_s:0.0 ~n_rows:2000 ~trials:10 ~seed:5L
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "uniform column only %.3f of distinct values" out.Frequency.distinct_recovered)
+    true
+    (out.Frequency.distinct_recovered < 0.05)
+
+
+(* ------------------------------------------------------------------ *)
+(* Sorting attack on dense columns *)
+
+let test_sorting_attack_pairs () =
+  let guesses = Sorting_attack.attack ~m:4 ~ciphertexts:[ 90; 5; 5; 42; 17 ] in
+  Alcotest.(check (list (pair int int))) "rank pairing"
+    [ (5, 0); (17, 1); (42, 2); (90, 3) ] guesses
+
+let test_sorting_attack_experiment () =
+  let out = Sorting_attack.experiment ~m:150 ~trials:5 ~seed:3L in
+  Alcotest.(check (float 1e-9)) "OPE falls completely" 1.0
+    out.Sorting_attack.ope_recovery;
+  Alcotest.(check bool)
+    (Printf.sprintf "MOPE resists (%.4f)" out.Sorting_attack.mope_recovery)
+    true
+    (out.Sorting_attack.mope_recovery < 0.05)
+
+let () =
+  Alcotest.run "attack"
+    [ ( "largest_empty_arc",
+        [ Alcotest.test_case "simple" `Quick test_arc_simple;
+          Alcotest.test_case "wrapping" `Quick test_arc_wrapping;
+          Alcotest.test_case "single point" `Quick test_arc_single_point;
+          Alcotest.test_case "duplicates" `Quick test_arc_duplicates_ignored;
+          Alcotest.test_case "empty raises" `Quick test_arc_empty_raises ] );
+      ( "gap_attack",
+        [ Alcotest.test_case "succeeds on naive MOPE" `Slow test_gap_attack_on_naive;
+          Alcotest.test_case "neutralized by QueryU" `Slow
+            test_gap_attack_neutralized_by_queryu;
+          Alcotest.test_case "improves with queries" `Slow
+            test_gap_attack_more_queries_help ] );
+      ( "wow",
+        [ Alcotest.test_case "naive location leaks" `Slow test_wow_location_naive_leaks;
+          Alcotest.test_case "QueryU location at Thm 3 bound" `Slow
+            test_wow_location_queryu_at_bound;
+          Alcotest.test_case "QueryP location within Thm 5 bound" `Slow
+            test_wow_location_queryp_within_bound;
+          Alcotest.test_case "distance leaks everywhere (Thm 4)" `Slow
+            test_wow_distance_leaks_everywhere;
+          Alcotest.test_case "bound formulas" `Quick test_wow_bounds_shape ] );
+      ( "sorting",
+        [ Alcotest.test_case "rank pairing" `Quick test_sorting_attack_pairs;
+          Alcotest.test_case "dense column experiment" `Slow
+            test_sorting_attack_experiment ] );
+      ( "wow_baseline",
+        [ Alcotest.test_case "Theorems 1-2 shape" `Slow test_baseline_rows ] );
+      ( "frequency",
+        [ Alcotest.test_case "rank matching" `Quick test_frequency_attack_matching;
+          Alcotest.test_case "skewed DET column falls" `Slow
+            test_frequency_attack_skewed_column;
+          Alcotest.test_case "uniform DET column resists" `Slow
+            test_frequency_attack_uniform_column ] );
+      ( "periodic_shift",
+        [ Alcotest.test_case "recovers offset class only" `Slow
+            test_periodic_shift_recovers_class;
+          Alcotest.test_case "validates rho" `Quick test_periodic_shift_validates_rho ] ) ]

@@ -1,0 +1,548 @@
+(* Tests for lib/core: τ_k transformation, completion distributions, the
+   QueryU/QueryP schedulers, the adaptive variants, cost functions and
+   MakeQueries. *)
+
+open Mope_stats
+open Mope_core
+
+(* ------------------------------------------------------------------ *)
+(* Query_model *)
+
+let test_of_center () =
+  let q = Query_model.of_center ~m:100 ~center:50 ~len:5 in
+  Alcotest.(check int) "lo" 48 q.Query_model.lo;
+  Alcotest.(check int) "hi" 52 q.Query_model.hi;
+  let q = Query_model.of_center ~m:100 ~center:1 ~len:6 in
+  Alcotest.(check int) "wrap lo" 98 q.Query_model.lo;
+  Alcotest.(check int) "wrap hi" 3 q.Query_model.hi;
+  Alcotest.(check int) "wrap len" 6 (Query_model.length ~m:100 q)
+
+let test_transform_small_query () =
+  let q = Query_model.make ~m:100 ~lo:10 ~hi:12 in
+  Alcotest.(check (list int)) "single piece" [ 10 ] (Query_model.transform ~m:100 ~k:10 q)
+
+let test_transform_exact_multiple () =
+  let q = Query_model.make ~m:100 ~lo:10 ~hi:29 in
+  Alcotest.(check (list int)) "two pieces" [ 10; 20 ]
+    (Query_model.transform ~m:100 ~k:10 q)
+
+let test_transform_with_remainder () =
+  let q = Query_model.make ~m:100 ~lo:10 ~hi:30 in
+  Alcotest.(check (list int)) "three pieces" [ 10; 20; 30 ]
+    (Query_model.transform ~m:100 ~k:10 q)
+
+let test_transform_wrapping () =
+  let q = Query_model.make ~m:100 ~lo:95 ~hi:5 in
+  Alcotest.(check (list int)) "wrap pieces" [ 95; 5 ]
+    (Query_model.transform ~m:100 ~k:10 q)
+
+let test_transform_covers =
+  QCheck.Test.make ~name:"transformed pieces cover the query" ~count:500
+    QCheck.(quad (int_range 1 80) (int_range 1 30) int int)
+    (fun (m, k, lo, hi) ->
+      QCheck.assume (k <= m);
+      let q = Query_model.make ~m ~lo ~hi in
+      let starts = Query_model.transform ~m ~k q in
+      Query_model.covered ~m ~k ~starts q)
+
+let test_transform_piece_count =
+  QCheck.Test.make ~name:"piece count is ceil(len/k)" ~count:500
+    QCheck.(quad (int_range 1 80) (int_range 1 30) int int)
+    (fun (m, k, lo, hi) ->
+      QCheck.assume (k <= m);
+      let q = Query_model.make ~m ~lo ~hi in
+      let len = Query_model.length ~m q in
+      let expected = if len <= k then 1 else (len + k - 1) / k in
+      List.length (Query_model.transform ~m ~k q) = expected)
+
+let test_coverage_full_domain () =
+  let c = Query_model.coverage ~m:10 ~k:15 3 in
+  Alcotest.(check int) "lo" 0 c.Query_model.lo;
+  Alcotest.(check int) "hi" 9 c.Query_model.hi
+
+let test_overshoot () =
+  let q = Query_model.make ~m:100 ~lo:10 ~hi:30 in
+  (* 21 values, 3 pieces of 10 -> 30 covered -> 9 excess *)
+  Alcotest.(check int) "overshoot" 9 (Query_model.overshoot ~m:100 ~k:10 q);
+  let q2 = Query_model.make ~m:100 ~lo:10 ~hi:29 in
+  Alcotest.(check int) "no overshoot" 0 (Query_model.overshoot ~m:100 ~k:10 q2)
+
+(* ------------------------------------------------------------------ *)
+(* Completion *)
+
+let skewed =
+  Histogram.of_pmf [| 0.4; 0.1; 0.1; 0.1; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05 |]
+
+let test_completion_uniform_identity () =
+  (* alpha*Q + (1-alpha)*Q-bar must be uniform. *)
+  let c = Completion.uniform skewed in
+  let perceived = Completion.perceived skewed c in
+  let tv = Histogram.total_variation perceived (Histogram.uniform 10) in
+  Alcotest.(check (float 1e-9)) "tv to uniform" 0.0 tv
+
+let test_completion_uniform_alpha () =
+  let c = Completion.uniform skewed in
+  (* mu = 0.4, M = 10 -> alpha = 1/4 *)
+  Alcotest.(check (float 1e-12)) "alpha" 0.25 c.Completion.alpha;
+  Alcotest.(check (float 1e-9)) "fakes" 3.0 (Completion.expected_fakes_per_real c)
+
+let test_completion_uniform_q_no_fakes () =
+  let c = Completion.uniform (Histogram.uniform 16) in
+  Alcotest.(check (float 1e-12)) "alpha 1" 1.0 c.Completion.alpha;
+  Alcotest.(check bool) "no completion" true (c.Completion.completion = None)
+
+let test_completion_periodic_identity =
+  QCheck.Test.make ~name:"periodic completion yields rho-periodic mix" ~count:200
+    QCheck.(pair (int_range 1 4) (list_of_size (Gen.return 12) (int_range 0 20)))
+    (fun (rho_idx, counts) ->
+      QCheck.assume (List.exists (fun c -> c > 0) counts);
+      let rho = List.nth [ 1; 2; 3; 4 ] (rho_idx - 1) in
+      let q = Histogram.of_counts (Array.of_list counts) in
+      let c = Completion.periodic q ~rho in
+      let perceived = Completion.perceived q c in
+      Histogram.is_periodic perceived ~rho ~eps:1e-9)
+
+let test_completion_periodic_rho1_is_uniform () =
+  let u = Completion.uniform skewed and p = Completion.periodic skewed ~rho:1 in
+  Alcotest.(check (float 1e-12)) "same alpha" u.Completion.alpha p.Completion.alpha;
+  let pu = Completion.perceived skewed u and pp = Completion.perceived skewed p in
+  Alcotest.(check (float 1e-9)) "same mix" 0.0 (Histogram.total_variation pu pp)
+
+let test_completion_periodic_rho_m_no_fakes () =
+  let c = Completion.periodic skewed ~rho:10 in
+  Alcotest.(check (float 1e-12)) "alpha 1" 1.0 c.Completion.alpha;
+  Alcotest.(check bool) "no fakes" true (c.Completion.completion = None)
+
+let test_completion_alpha_ordering =
+  QCheck.Test.make ~name:"larger rho never decreases alpha" ~count:100
+    QCheck.(list_of_size (Gen.return 12) (int_range 0 20))
+    (fun counts ->
+      QCheck.assume (List.exists (fun c -> c > 0) counts);
+      let q = Histogram.of_counts (Array.of_list counts) in
+      let a1 = (Completion.periodic q ~rho:1).Completion.alpha in
+      let a2 = (Completion.periodic q ~rho:2).Completion.alpha in
+      let a6 = (Completion.periodic q ~rho:6).Completion.alpha in
+      a1 <= a2 +. 1e-12 && a2 <= a6 +. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let test_scheduler_real_is_last () =
+  let s = Scheduler.create ~m:10 ~k:2 ~mode:Scheduler.Uniform ~q:skewed in
+  let rng = Rng.create 1L in
+  for _ = 1 to 200 do
+    let burst = Scheduler.schedule s rng ~real:7 in
+    match List.rev burst with
+    | last :: _ -> Alcotest.(check int) "real last" 7 last
+    | [] -> Alcotest.fail "empty burst"
+  done
+
+let test_scheduler_perceived_uniform_empirically () =
+  (* Simulate many scheduled bursts; the union of all executed starts must be
+     uniform. *)
+  let s = Scheduler.create ~m:10 ~k:2 ~mode:Scheduler.Uniform ~q:skewed in
+  let rng = Rng.create 2L in
+  let counts = Array.make 10 0 in
+  let total = ref 0 in
+  for _ = 1 to 30000 do
+    let real = Histogram.sample skewed ~u:(Rng.float rng) in
+    List.iter
+      (fun start ->
+        counts.(start) <- counts.(start) + 1;
+        incr total)
+      (Scheduler.schedule s rng ~real)
+  done;
+  let chi = Summary.chi_square_uniform counts in
+  (* 9 dof, p=0.001 critical 27.88; allow margin for the sampling noise. *)
+  Alcotest.(check bool) (Printf.sprintf "chi=%f" chi) true (chi < 35.0)
+
+let test_scheduler_periodic_perceived_empirically () =
+  let m = 12 and rho = 3 in
+  let q = Histogram.of_pmf [| 0.3; 0.1; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05; 0.1; 0.1 |] in
+  let s = Scheduler.create ~m ~k:2 ~mode:(Scheduler.Periodic rho) ~q in
+  let rng = Rng.create 3L in
+  let counts = Array.make m 0 in
+  for _ = 1 to 60000 do
+    let real = Histogram.sample q ~u:(Rng.float rng) in
+    List.iter
+      (fun start -> counts.(start) <- counts.(start) + 1)
+      (Scheduler.schedule s rng ~real)
+  done;
+  (* Empirical distribution must be close to the periodic target. *)
+  let total = Array.fold_left ( + ) 0 counts in
+  let empirical =
+    Histogram.of_pmf
+      (Array.map (fun c -> float_of_int c /. float_of_int total) counts)
+  in
+  let target = Scheduler.perceived s in
+  let tv = Histogram.total_variation empirical target in
+  Alcotest.(check bool) (Printf.sprintf "tv=%f" tv) true (tv < 0.02);
+  Alcotest.(check bool) "target is periodic" true
+    (Histogram.is_periodic target ~rho ~eps:1e-9)
+
+let test_scheduler_bernoulli_matches_geometric () =
+  (* Both drivers must produce the same fake-count distribution. *)
+  let s = Scheduler.create ~m:10 ~k:2 ~mode:Scheduler.Uniform ~q:skewed in
+  let rng1 = Rng.create 4L and rng2 = Rng.create 5L in
+  let mean driver rng =
+    let total = ref 0 in
+    for _ = 1 to 20000 do
+      total := !total + (List.length (driver s rng ~real:0) - 1)
+    done;
+    float_of_int !total /. 20000.0
+  in
+  let g = mean Scheduler.schedule rng1 in
+  let b = mean Scheduler.schedule_bernoulli rng2 in
+  Alcotest.(check (float 0.12)) "same mean fakes" g b;
+  Alcotest.(check (float 0.12)) "matches (1-a)/a" (Scheduler.expected_fakes_per_real s) g
+
+let test_scheduler_fakes_from_completion_support () =
+  (* Fake starts must only land where the completion distribution has mass. *)
+  let s = Scheduler.create ~m:10 ~k:2 ~mode:Scheduler.Uniform ~q:skewed in
+  let completion =
+    match Scheduler.completion s with Some c -> c | None -> Alcotest.fail "no completion"
+  in
+  let rng = Rng.create 6L in
+  for _ = 1 to 2000 do
+    match Scheduler.sample_fake s rng with
+    | Some f ->
+      if Histogram.prob completion f <= 0.0 then Alcotest.fail "fake outside support"
+    | None -> Alcotest.fail "expected fakes"
+  done
+
+let test_scheduler_validation () =
+  Alcotest.check_raises "k > m" (Invalid_argument "Scheduler.create: k must be in [1, m]")
+    (fun () ->
+      ignore (Scheduler.create ~m:10 ~k:11 ~mode:Scheduler.Uniform ~q:skewed));
+  Alcotest.check_raises "rho does not divide m"
+    (Invalid_argument "Scheduler.create: rho must divide m") (fun () ->
+      ignore (Scheduler.create ~m:10 ~k:2 ~mode:(Scheduler.Periodic 3) ~q:skewed))
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive *)
+
+let test_adaptive_first_query_mostly_fakes () =
+  (* After one observation mu=1 so alpha=1/m: fakes dominate. *)
+  let a = Adaptive.create ~m:50 ~k:5 ~mode:Adaptive.Uniform in
+  Adaptive.observe a 7;
+  Alcotest.(check (float 1e-9)) "alpha = 1/m" 0.02 (Adaptive.alpha a);
+  let rng = Rng.create 7L in
+  let fakes = ref 0 and total = 2000 in
+  for _ = 1 to total do
+    match Adaptive.step a rng with
+    | Some (Adaptive.Fake _) -> incr fakes
+    | Some (Adaptive.Real _ | Adaptive.Replay _) | None -> ()
+  done;
+  Alcotest.(check bool) "mostly fakes" true (!fakes > total * 9 / 10)
+
+let test_adaptive_serves_all_pending () =
+  let a = Adaptive.create ~m:30 ~k:3 ~mode:Adaptive.Uniform in
+  let rng = Rng.create 8L in
+  List.iter (Adaptive.observe a) [ 1; 5; 9; 9; 20 ];
+  Alcotest.(check int) "pending" 5 (Adaptive.pending a);
+  let events = Adaptive.run_until_served a rng ~max_steps:100000 in
+  Alcotest.(check int) "all served" 0 (Adaptive.pending a);
+  let reals =
+    List.filter_map (function Adaptive.Real s -> Some s | _ -> None) events
+  in
+  Alcotest.(check (list int)) "every instance served" [ 1; 5; 9; 9; 20 ]
+    (List.sort Int.compare reals)
+
+let test_adaptive_replay_counted () =
+  let a = Adaptive.create ~m:10 ~k:2 ~mode:Adaptive.Uniform in
+  let rng = Rng.create 9L in
+  Adaptive.observe a 3;
+  Adaptive.observe a 3;
+  let events = Adaptive.run_until_served a rng ~max_steps:100000 in
+  let reals = List.length (List.filter (function Adaptive.Real _ -> true | _ -> false) events) in
+  Alcotest.(check int) "both instances real" 2 reals;
+  (* Further buffer hits on 3 are replays, not reals. *)
+  let rec poke tries =
+    if tries = 0 then ()
+    else
+      match Adaptive.step a rng with
+      | Some (Adaptive.Real _) -> Alcotest.fail "no pending instance left"
+      | Some (Adaptive.Fake _ | Adaptive.Replay _) | None -> poke (tries - 1)
+  in
+  poke 200
+
+let test_adaptive_alpha_improves () =
+  (* As the buffer fills with a uniform stream, alpha must rise towards 1. *)
+  let m = 20 in
+  let a = Adaptive.create ~m ~k:2 ~mode:Adaptive.Uniform in
+  let rng = Rng.create 10L in
+  Adaptive.observe a 0;
+  let early = Adaptive.alpha a in
+  for _ = 1 to 2000 do
+    Adaptive.observe a (Rng.int rng m)
+  done;
+  let late = Adaptive.alpha a in
+  Alcotest.(check bool)
+    (Printf.sprintf "alpha rose %f -> %f" early late)
+    true (late > 0.5 && early < 0.1)
+
+let test_adaptive_estimate_matches_buffer () =
+  let a = Adaptive.create ~m:4 ~k:1 ~mode:Adaptive.Uniform in
+  List.iter (Adaptive.observe a) [ 0; 0; 1; 3 ];
+  let est = Adaptive.estimate a in
+  Alcotest.(check (float 1e-12)) "p0" 0.5 (Histogram.prob est 0);
+  Alcotest.(check (float 1e-12)) "p1" 0.25 (Histogram.prob est 1);
+  Alcotest.(check (float 1e-12)) "p2" 0.0 (Histogram.prob est 2)
+
+let test_adaptive_periodic_mode () =
+  let a = Adaptive.create ~m:12 ~k:2 ~mode:(Adaptive.Periodic 3) in
+  let rng = Rng.create 11L in
+  List.iter (Adaptive.observe a) [ 0; 3; 6; 9 ];
+  (* All buffered starts are congruent to 0 mod 3: a periodic target needs no
+     fakes for a distribution already concentrated on one class pattern...
+     it still may; just check stepping works and serves everything. *)
+  let _ = Adaptive.run_until_served a rng ~max_steps:100000 in
+  Alcotest.(check int) "served" 0 (Adaptive.pending a)
+
+let test_adaptive_empty_buffer () =
+  let a = Adaptive.create ~m:10 ~k:2 ~mode:Adaptive.Uniform in
+  let rng = Rng.create 12L in
+  Alcotest.(check bool) "no step on empty buffer" true (Adaptive.step a rng = None);
+  Alcotest.(check (float 1e-12)) "alpha 1 on empty" 1.0 (Adaptive.alpha a)
+
+(* ------------------------------------------------------------------ *)
+(* Cost *)
+
+let test_cost_bandwidth_requests () =
+  let t = Cost.create () in
+  t.Cost.real_queries <- 10;
+  t.Cost.transformed_queries <- 25;
+  t.Cost.fake_queries <- 75;
+  t.Cost.real_records <- 1000;
+  t.Cost.fake_records <- 3000;
+  t.Cost.excess_records <- 500;
+  Alcotest.(check (float 1e-12)) "bandwidth" 3.5 (Cost.bandwidth t);
+  Alcotest.(check (float 1e-12)) "requests" 10.0 (Cost.requests t)
+
+let test_cost_empty () =
+  let t = Cost.create () in
+  Alcotest.(check (float 1e-12)) "bandwidth 0" 0.0 (Cost.bandwidth t);
+  Alcotest.(check (float 1e-12)) "requests 0" 0.0 (Cost.requests t)
+
+let test_cost_add () =
+  let a = Cost.create () and b = Cost.create () in
+  a.Cost.real_queries <- 1;
+  b.Cost.real_queries <- 2;
+  b.Cost.fake_records <- 7;
+  Cost.add a b;
+  Alcotest.(check int) "queries" 3 a.Cost.real_queries;
+  Alcotest.(check int) "records" 7 a.Cost.fake_records
+
+let test_cost_paper_estimate () =
+  let v = Cost.bandwidth_paper_estimate ~k:10 ~real_sizes:[ 23; 40 ] ~fake_records:100 in
+  (* excess = 3 + 0 = 3; total = 63 *)
+  Alcotest.(check (float 1e-9)) "paper formula" (103.0 /. 63.0) v
+
+(* ------------------------------------------------------------------ *)
+(* Make_queries *)
+
+let test_make_queries_labels () =
+  let mope = Mope_ope.Mope.create ~key:"mq" ~domain:50 ~range:800 () in
+  let q = Histogram.of_counts (Array.init 50 (fun i -> if i < 40 then 1 else 0)) in
+  let s = Scheduler.create ~m:50 ~k:5 ~mode:Scheduler.Uniform ~q in
+  let rng = Rng.create 13L in
+  let queries = [ Query_model.make ~m:50 ~lo:3 ~hi:17 ] in
+  let labelled = Make_queries.run ~mope ~scheduler:s ~rng ~queries in
+  let reals =
+    List.length (List.filter (function Make_queries.Real_piece _ -> true | _ -> false) labelled)
+  in
+  (* 15 values, k=5 -> exactly 3 real pieces. *)
+  Alcotest.(check int) "real pieces" 3 reals;
+  Alcotest.(check bool) "stream at least as long" true (List.length labelled >= 3)
+
+let test_make_queries_naive_no_fakes () =
+  let mope = Mope_ope.Mope.create ~key:"mq2" ~domain:50 ~range:800 () in
+  let queries =
+    [ Query_model.make ~m:50 ~lo:0 ~hi:9; Query_model.make ~m:50 ~lo:10 ~hi:14 ]
+  in
+  let labelled = Make_queries.run_naive ~mope ~k:5 ~queries in
+  Alcotest.(check int) "3 pieces" 3 (List.length labelled);
+  Alcotest.(check bool) "all real" true
+    (List.for_all (function Make_queries.Real_piece _ -> true | _ -> false) labelled)
+
+let test_make_queries_encrypt_start_consistent () =
+  let mope = Mope_ope.Mope.create ~key:"mq3" ~domain:50 ~range:800 () in
+  let eq = Make_queries.encrypt_start ~mope ~k:5 10 in
+  Alcotest.(check int) "c_lo is Enc(10)" (Mope_ope.Mope.encrypt mope 10) eq.Make_queries.c_lo;
+  Alcotest.(check int) "c_hi is Enc(14)" (Mope_ope.Mope.encrypt mope 14) eq.Make_queries.c_hi
+
+
+(* ------------------------------------------------------------------ *)
+(* Crossover (paper §4 future work) *)
+
+let test_crossover_stabilizes () =
+  let m = 50 in
+  let a = Adaptive.create ~m ~k:5 ~mode:Adaptive.Uniform in
+  let q = Histogram.of_pmf (Array.init m (fun i -> if i < 10 then 0.1 else 0.0)) in
+  let rng = Rng.create 21L in
+  Alcotest.(check bool) "not ready when empty" false
+    (Adaptive.crossover_ready a ~window:100 ~epsilon:0.05);
+  (* Stream a stationary distribution; snapshots must converge. *)
+  for _ = 1 to 5000 do
+    Adaptive.observe a (Histogram.sample q ~u:(Rng.float rng))
+  done;
+  let tv1 =
+    match Adaptive.stability a ~window:100 with
+    | Some _ | None -> Adaptive.stability a ~window:100
+  in
+  ignore tv1;
+  (* Poll until two snapshots exist, adding more data between polls. *)
+  for _ = 1 to 2000 do
+    Adaptive.observe a (Histogram.sample q ~u:(Rng.float rng));
+    ignore (Adaptive.stability a ~window:500)
+  done;
+  (match Adaptive.stability a ~window:500 with
+  | Some tv ->
+    Alcotest.(check bool) (Printf.sprintf "tv small (%f)" tv) true (tv < 0.05)
+  | None -> Alcotest.fail "expected a stability estimate");
+  Alcotest.(check bool) "crossover ready" true
+    (Adaptive.crossover_ready a ~window:500 ~epsilon:0.05)
+
+let test_crossover_freeze_matches_static () =
+  let m = 20 in
+  let a = Adaptive.create ~m ~k:2 ~mode:Adaptive.Uniform in
+  List.iter (Adaptive.observe a) [ 0; 0; 0; 5; 5; 7 ];
+  let frozen = Adaptive.freeze a in
+  let static =
+    Scheduler.create ~m ~k:2 ~mode:Scheduler.Uniform
+      ~q:(Histogram.of_counts
+            (Array.init m (fun i ->
+                 match i with 0 -> 3 | 5 -> 2 | 7 -> 1 | _ -> 0)))
+  in
+  Alcotest.(check (float 1e-12)) "same alpha" (Scheduler.alpha static)
+    (Scheduler.alpha frozen);
+  Alcotest.(check (float 1e-9)) "same perceived" 0.0
+    (Histogram.total_variation (Scheduler.perceived static) (Scheduler.perceived frozen))
+
+let test_crossover_freeze_empty_raises () =
+  let a = Adaptive.create ~m:10 ~k:2 ~mode:Adaptive.Uniform in
+  Alcotest.check_raises "freeze empty" (Invalid_argument "Adaptive.freeze: empty buffer")
+    (fun () -> ignore (Adaptive.freeze a))
+
+
+(* ------------------------------------------------------------------ *)
+(* Pacer (paper §5 fixed-interval release) *)
+
+let test_pacer_fixed_departures () =
+  let p = Pacer.create ~interval:1.0 in
+  (* Bursty arrivals. *)
+  List.iter (fun (t, s) -> Pacer.enqueue p ~time:t s)
+    [ (0.1, 10); (0.2, 11); (0.3, 12); (5.0, 13) ];
+  let events = Pacer.run_until p ~until:8.0 ~idle_fake:(fun () -> 99) in
+  (* One departure per tick, exactly. *)
+  Alcotest.(check int) "9 ticks" 9 (List.length events);
+  List.iteri
+    (fun i e ->
+      Alcotest.(check (float 1e-9)) "equally spaced" (float_of_int i)
+        e.Pacer.time)
+    events;
+  (* The departure times carry no information: identical whether or not the
+     client was active. *)
+  let p2 = Pacer.create ~interval:1.0 in
+  let quiet = Pacer.run_until p2 ~until:8.0 ~idle_fake:(fun () -> 99) in
+  Alcotest.(check (list (float 1e-9))) "same schedule when idle"
+    (List.map (fun e -> e.Pacer.time) events)
+    (List.map (fun e -> e.Pacer.time) quiet)
+
+let test_pacer_fifo_and_idle_fakes () =
+  let p = Pacer.create ~interval:1.0 in
+  List.iter (fun (t, s) -> Pacer.enqueue p ~time:t s) [ (0.0, 1); (0.0, 2) ];
+  let events = Pacer.run_until p ~until:3.0 ~idle_fake:(fun () -> 0) in
+  let starts = List.map (fun e -> e.Pacer.start) events in
+  Alcotest.(check (list int)) "fifo then idle fakes" [ 1; 2; 0; 0 ] starts;
+  Alcotest.(check int) "queue drained" 0 (Pacer.queue_depth p);
+  let flags = List.map (fun e -> e.Pacer.queued_real) events in
+  Alcotest.(check (list bool)) "real flags" [ true; true; false; false ] flags
+
+let test_pacer_latency () =
+  let p = Pacer.create ~interval:2.0 in
+  let enqueued = [ (0.5, 7); (0.6, 8) ] in
+  List.iter (fun (t, s) -> Pacer.enqueue p ~time:t s) enqueued;
+  let events = Pacer.run_until p ~until:6.0 ~idle_fake:(fun () -> 0) in
+  (* departures at t=2 and t=4 (tick 0 precedes the arrivals). *)
+  let mean, max = Pacer.latency_stats events ~enqueued in
+  Alcotest.(check (float 1e-9)) "mean latency" ((1.5 +. 3.4) /. 2.0) mean;
+  Alcotest.(check (float 1e-9)) "max latency" 3.4 max
+
+let test_pacer_validation () =
+  Alcotest.check_raises "bad interval" (Invalid_argument "Pacer.create: interval")
+    (fun () -> ignore (Pacer.create ~interval:0.0));
+  let p = Pacer.create ~interval:1.0 in
+  Pacer.enqueue p ~time:5.0 1;
+  Alcotest.check_raises "time reversal"
+    (Invalid_argument "Pacer.enqueue: time went backwards") (fun () ->
+      Pacer.enqueue p ~time:4.0 2)
+
+let () =
+  Alcotest.run "core"
+    [ ( "query_model",
+        [ Alcotest.test_case "of_center" `Quick test_of_center;
+          Alcotest.test_case "transform small" `Quick test_transform_small_query;
+          Alcotest.test_case "transform exact" `Quick test_transform_exact_multiple;
+          Alcotest.test_case "transform remainder" `Quick test_transform_with_remainder;
+          Alcotest.test_case "transform wrap" `Quick test_transform_wrapping;
+          QCheck_alcotest.to_alcotest test_transform_covers;
+          QCheck_alcotest.to_alcotest test_transform_piece_count;
+          Alcotest.test_case "coverage caps at domain" `Quick test_coverage_full_domain;
+          Alcotest.test_case "overshoot" `Quick test_overshoot ] );
+      ( "completion",
+        [ Alcotest.test_case "uniform identity" `Quick test_completion_uniform_identity;
+          Alcotest.test_case "uniform alpha" `Quick test_completion_uniform_alpha;
+          Alcotest.test_case "uniform Q needs no fakes" `Quick
+            test_completion_uniform_q_no_fakes;
+          QCheck_alcotest.to_alcotest test_completion_periodic_identity;
+          Alcotest.test_case "rho=1 equals uniform" `Quick
+            test_completion_periodic_rho1_is_uniform;
+          Alcotest.test_case "rho=M forwards everything" `Quick
+            test_completion_periodic_rho_m_no_fakes;
+          QCheck_alcotest.to_alcotest test_completion_alpha_ordering ] );
+      ( "scheduler",
+        [ Alcotest.test_case "real query last" `Quick test_scheduler_real_is_last;
+          Alcotest.test_case "perceived uniform" `Slow
+            test_scheduler_perceived_uniform_empirically;
+          Alcotest.test_case "perceived periodic" `Slow
+            test_scheduler_periodic_perceived_empirically;
+          Alcotest.test_case "bernoulli = geometric" `Slow
+            test_scheduler_bernoulli_matches_geometric;
+          Alcotest.test_case "fakes within completion support" `Quick
+            test_scheduler_fakes_from_completion_support;
+          Alcotest.test_case "validation" `Quick test_scheduler_validation ] );
+      ( "adaptive",
+        [ Alcotest.test_case "first query mostly fakes" `Quick
+            test_adaptive_first_query_mostly_fakes;
+          Alcotest.test_case "serves all pending" `Quick test_adaptive_serves_all_pending;
+          Alcotest.test_case "replay not double-counted" `Quick
+            test_adaptive_replay_counted;
+          Alcotest.test_case "alpha improves with samples" `Quick
+            test_adaptive_alpha_improves;
+          Alcotest.test_case "estimate matches buffer" `Quick
+            test_adaptive_estimate_matches_buffer;
+          Alcotest.test_case "periodic mode" `Quick test_adaptive_periodic_mode;
+          Alcotest.test_case "empty buffer" `Quick test_adaptive_empty_buffer ] );
+      ( "crossover",
+        [ Alcotest.test_case "stabilizes on stationary stream" `Quick
+            test_crossover_stabilizes;
+          Alcotest.test_case "freeze matches static scheduler" `Quick
+            test_crossover_freeze_matches_static;
+          Alcotest.test_case "freeze on empty raises" `Quick
+            test_crossover_freeze_empty_raises ] );
+      ( "pacer",
+        [ Alcotest.test_case "fixed departures" `Quick test_pacer_fixed_departures;
+          Alcotest.test_case "fifo + idle fakes" `Quick test_pacer_fifo_and_idle_fakes;
+          Alcotest.test_case "latency stats" `Quick test_pacer_latency;
+          Alcotest.test_case "validation" `Quick test_pacer_validation ] );
+      ( "cost",
+        [ Alcotest.test_case "bandwidth & requests" `Quick test_cost_bandwidth_requests;
+          Alcotest.test_case "empty tallies" `Quick test_cost_empty;
+          Alcotest.test_case "add" `Quick test_cost_add;
+          Alcotest.test_case "paper estimator" `Quick test_cost_paper_estimate ] );
+      ( "make_queries",
+        [ Alcotest.test_case "labels" `Quick test_make_queries_labels;
+          Alcotest.test_case "naive has no fakes" `Quick test_make_queries_naive_no_fakes;
+          Alcotest.test_case "encrypt_start endpoints" `Quick
+            test_make_queries_encrypt_start_consistent ] ) ]

@@ -1,0 +1,240 @@
+(* Tests for lib/crypto: SHA-256/HMAC against published vectors, DRBG
+   determinism and uniformity, Feistel/FPE bijectivity. *)
+
+open Mope_crypto
+
+let check_eq t msg a b = Alcotest.check t msg a b
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256: FIPS 180-4 / NIST CAVP vectors *)
+
+let sha_vectors =
+  [ ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+    ("a", "ca978112ca1bbdcafac231b39a23dc4da786eff8147c4e72b9807785afee48bb") ]
+
+let test_sha_vectors () =
+  List.iter
+    (fun (input, expected) ->
+      check_eq Alcotest.string ("sha256 of " ^ String.escaped input) expected
+        (Sha256.digest_hex input))
+    sha_vectors
+
+let test_sha_million_a () =
+  check_eq Alcotest.string "million 'a'"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest_hex (String.make 1_000_000 'a'))
+
+let test_sha_incremental_matches_oneshot () =
+  (* Feeding in odd-sized chunks must match a one-shot digest. *)
+  let data = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  let chunked sizes =
+    let ctx = Sha256.init () in
+    let pos = ref 0 in
+    List.iter
+      (fun len ->
+        let len = Int.min len (String.length data - !pos) in
+        Sha256.feed ctx (String.sub data !pos len);
+        pos := !pos + len)
+      sizes;
+    Sha256.feed ctx (String.sub data !pos (String.length data - !pos));
+    Sha256.hex (Sha256.finalize ctx)
+  in
+  let oneshot = Sha256.digest_hex data in
+  check_eq Alcotest.string "chunks of 1" oneshot (chunked (List.init 1000 (fun _ -> 1)));
+  check_eq Alcotest.string "chunks of 63" oneshot (chunked [ 63; 63; 63; 63 ]);
+  check_eq Alcotest.string "chunks of 64" oneshot (chunked [ 64; 64; 64 ]);
+  check_eq Alcotest.string "chunks of 65" oneshot (chunked [ 65; 65; 65 ]);
+  check_eq Alcotest.string "big then small" oneshot (chunked [ 900; 1; 1 ])
+
+let test_sha_length_boundary () =
+  (* Messages straddling the 55/56/64-byte padding boundaries. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      let reference = Sha256.digest s in
+      let ctx = Sha256.init () in
+      String.iter (fun c -> Sha256.feed ctx (String.make 1 c)) s;
+      check_eq Alcotest.string
+        (Printf.sprintf "len %d" n)
+        (Sha256.hex reference)
+        (Sha256.hex (Sha256.finalize ctx)))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
+
+(* ------------------------------------------------------------------ *)
+(* HMAC-SHA256: RFC 4231 vectors *)
+
+let test_hmac_rfc4231 () =
+  let vectors =
+    [ ( String.make 20 '\x0b',
+        "Hi There",
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7" );
+      ( "Jefe",
+        "what do ya want for nothing?",
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843" );
+      ( String.make 20 '\xaa',
+        String.make 50 '\xdd',
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe" );
+      ( String.init 25 (fun i -> Char.chr (i + 1)),
+        String.make 50 '\xcd',
+        "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b" );
+      ( String.make 131 '\xaa',
+        "Test Using Larger Than Block-Size Key - Hash Key First",
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54" ) ]
+  in
+  List.iter
+    (fun (key, msg, expected) ->
+      check_eq Alcotest.string "rfc4231" expected (Hmac.mac_hex ~key msg))
+    vectors
+
+let test_hmac_key_lengths () =
+  (* Same data, key shorter / equal / longer than the 64-byte block. *)
+  let tags =
+    List.map (fun n -> Hmac.mac_hex ~key:(String.make n 'k') "data") [ 1; 64; 65; 200 ]
+  in
+  let distinct = List.sort_uniq compare tags in
+  check_eq Alcotest.int "distinct tags" (List.length tags) (List.length distinct)
+
+(* ------------------------------------------------------------------ *)
+(* DRBG *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.create ~key:"k" ~context:"ctx" in
+  let b = Drbg.create ~key:"k" ~context:"ctx" in
+  check_eq Alcotest.string "same stream" (Drbg.bytes a 256) (Drbg.bytes b 256)
+
+let test_drbg_context_separation () =
+  let a = Drbg.create ~key:"k" ~context:"ctx1" in
+  let b = Drbg.create ~key:"k" ~context:"ctx2" in
+  let c = Drbg.create ~key:"k2" ~context:"ctx1" in
+  let sa = Drbg.bytes a 32 and sb = Drbg.bytes b 32 and sc = Drbg.bytes c 32 in
+  Alcotest.(check bool) "ctx differs" true (sa <> sb);
+  Alcotest.(check bool) "key differs" true (sa <> sc)
+
+let test_drbg_derive_unambiguous () =
+  let a = Drbg.derive ~key:"k" ~parts:[ "ab"; "c" ] in
+  let b = Drbg.derive ~key:"k" ~parts:[ "a"; "bc" ] in
+  Alcotest.(check bool) "length-prefixing separates parts" true
+    (Drbg.bytes a 32 <> Drbg.bytes b 32)
+
+let test_drbg_uniform_range () =
+  let t = Drbg.create ~key:"k" ~context:"uniform" in
+  for _ = 1 to 5000 do
+    let x = Drbg.uniform t 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "uniform out of range"
+  done
+
+let test_drbg_uniform_unbiased () =
+  (* Chi-square over a non-power-of-two modulus. *)
+  let t = Drbg.create ~key:"k" ~context:"chi" in
+  let counts = Array.make 10 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    let x = Drbg.uniform t 10 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let chi = Mope_stats.Summary.chi_square_uniform counts in
+  (* 9 dof: p=0.001 critical value is 27.88. *)
+  Alcotest.(check bool) (Printf.sprintf "chi=%f" chi) true (chi < 27.88)
+
+let test_drbg_float53_range () =
+  let t = Drbg.create ~key:"k" ~context:"floats" in
+  let sum = ref 0.0 in
+  for _ = 1 to 10000 do
+    let f = Drbg.float53 t in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float53 out of range";
+    sum := !sum +. f
+  done;
+  let mean = !sum /. 10000.0 in
+  Alcotest.(check bool) (Printf.sprintf "mean=%f" mean) true
+    (Float.abs (mean -. 0.5) < 0.02)
+
+let test_drbg_uniform64 () =
+  let t = Drbg.create ~key:"k" ~context:"u64" in
+  for _ = 1 to 1000 do
+    let x = Drbg.uniform64 t 1_000_000_007L in
+    if Int64.compare x 0L < 0 || Int64.compare x 1_000_000_007L >= 0 then
+      Alcotest.fail "uniform64 out of range"
+  done
+
+let test_drbg_invalid_args () =
+  let t = Drbg.create ~key:"k" ~context:"x" in
+  Alcotest.check_raises "uniform 0" (Invalid_argument "Drbg.uniform")
+    (fun () -> ignore (Drbg.uniform t 0));
+  Alcotest.check_raises "bits 63" (Invalid_argument "Drbg.bits")
+    (fun () -> ignore (Drbg.bits t 63))
+
+(* ------------------------------------------------------------------ *)
+(* Feistel / FPE *)
+
+let test_feistel_bijection =
+  QCheck.Test.make ~name:"feistel permute/unpermute roundtrip" ~count:500
+    QCheck.int64 (fun x ->
+      Feistel.unpermute ~key:"k" (Feistel.permute ~key:"k" x) = x)
+
+let test_fpe_roundtrip =
+  QCheck.Test.make ~name:"fpe encrypt/decrypt roundtrip" ~count:300
+    QCheck.(pair (int_range 1 5000) (int_range 0 4999))
+    (fun (domain, x) ->
+      QCheck.assume (x < domain);
+      Feistel.fpe_decrypt ~key:"k" ~domain (Feistel.fpe_encrypt ~key:"k" ~domain x) = x)
+
+let test_fpe_is_permutation () =
+  (* Over a small domain, the image must be exactly the domain. *)
+  List.iter
+    (fun domain ->
+      let image =
+        List.init domain (fun x -> Feistel.fpe_encrypt ~key:"perm" ~domain x)
+      in
+      let sorted = List.sort_uniq Int.compare image in
+      check_eq Alcotest.int
+        (Printf.sprintf "image size for %d" domain)
+        domain (List.length sorted);
+      Alcotest.(check bool) "in range" true
+        (List.for_all (fun c -> c >= 0 && c < domain) image))
+    [ 1; 2; 3; 10; 97; 256; 1000 ]
+
+let test_fpe_key_separation () =
+  let e k = List.init 50 (fun x -> Feistel.fpe_encrypt ~key:k ~domain:50 x) in
+  Alcotest.(check bool) "different keys permute differently" true (e "a" <> e "b")
+
+let test_rnd_roundtrip () =
+  let key = "rnd-key" and nonce = "n-42" in
+  let plaintext = "the quick brown fox \x00\x01\xff jumps" in
+  let ct = Feistel.rnd_encrypt ~key ~nonce plaintext in
+  Alcotest.(check bool) "ciphertext differs" true (ct <> plaintext);
+  check_eq Alcotest.string "roundtrip" plaintext (Feistel.rnd_decrypt ~key ~nonce ct);
+  let ct2 = Feistel.rnd_encrypt ~key ~nonce:"n-43" plaintext in
+  Alcotest.(check bool) "nonce separation" true (ct <> ct2)
+
+let () =
+  Alcotest.run "crypto"
+    [ ( "sha256",
+        [ Alcotest.test_case "NIST vectors" `Quick test_sha_vectors;
+          Alcotest.test_case "million a" `Slow test_sha_million_a;
+          Alcotest.test_case "incremental = one-shot" `Quick
+            test_sha_incremental_matches_oneshot;
+          Alcotest.test_case "padding boundaries" `Quick test_sha_length_boundary ] );
+      ( "hmac",
+        [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "key length handling" `Quick test_hmac_key_lengths ] );
+      ( "drbg",
+        [ Alcotest.test_case "deterministic" `Quick test_drbg_deterministic;
+          Alcotest.test_case "context separation" `Quick test_drbg_context_separation;
+          Alcotest.test_case "derive unambiguous" `Quick test_drbg_derive_unambiguous;
+          Alcotest.test_case "uniform range" `Quick test_drbg_uniform_range;
+          Alcotest.test_case "uniform unbiased" `Quick test_drbg_uniform_unbiased;
+          Alcotest.test_case "float53" `Quick test_drbg_float53_range;
+          Alcotest.test_case "uniform64" `Quick test_drbg_uniform64;
+          Alcotest.test_case "invalid args" `Quick test_drbg_invalid_args ] );
+      ( "feistel",
+        [ QCheck_alcotest.to_alcotest test_feistel_bijection;
+          QCheck_alcotest.to_alcotest test_fpe_roundtrip;
+          Alcotest.test_case "small-domain permutation" `Quick test_fpe_is_permutation;
+          Alcotest.test_case "key separation" `Quick test_fpe_key_separation;
+          Alcotest.test_case "rnd mode roundtrip" `Quick test_rnd_roundtrip ] ) ]

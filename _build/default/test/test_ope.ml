@@ -1,0 +1,291 @@
+(* Tests for lib/ope: modular-interval helpers, the BCLO OPE scheme, and the
+   MOPE transform. *)
+
+open Mope_ope
+
+(* ------------------------------------------------------------------ *)
+(* Modular *)
+
+let test_modular_normalize () =
+  Alcotest.(check int) "neg" 7 (Modular.normalize ~m:10 (-3));
+  Alcotest.(check int) "big" 3 (Modular.normalize ~m:10 23);
+  Alcotest.(check int) "zero" 0 (Modular.normalize ~m:10 0);
+  Alcotest.check_raises "m=0" (Invalid_argument "Modular: m must be positive")
+    (fun () -> ignore (Modular.normalize ~m:0 1))
+
+let test_modular_interval_length () =
+  Alcotest.(check int) "plain" 5 (Modular.interval_length ~m:10 ~lo:2 ~hi:6);
+  Alcotest.(check int) "wrap" 4 (Modular.interval_length ~m:10 ~lo:8 ~hi:1);
+  Alcotest.(check int) "single" 1 (Modular.interval_length ~m:10 ~lo:4 ~hi:4);
+  Alcotest.(check int) "full circle" 10 (Modular.interval_length ~m:10 ~lo:3 ~hi:2)
+
+let test_modular_mem_matches_segments =
+  QCheck.Test.make ~name:"mem agrees with segment decomposition" ~count:1000
+    QCheck.(quad (int_range 1 50) int int int)
+    (fun (m, lo, hi, x) ->
+      let segs = Modular.segments ~m ~lo ~hi in
+      let x' = Modular.normalize ~m x in
+      let in_segs = List.exists (fun (a, b) -> a <= x' && x' <= b) segs in
+      Modular.mem ~m ~lo ~hi x = in_segs)
+
+let test_modular_segments_cover_length =
+  QCheck.Test.make ~name:"segments cover exactly interval_length points" ~count:500
+    QCheck.(triple (int_range 1 60) int int)
+    (fun (m, lo, hi) ->
+      let segs = Modular.segments ~m ~lo ~hi in
+      let covered = List.fold_left (fun acc (a, b) -> acc + (b - a + 1)) 0 segs in
+      covered = Modular.interval_length ~m ~lo ~hi)
+
+let test_modular_add_sub_inverse =
+  QCheck.Test.make ~name:"sub undoes add" ~count:500
+    QCheck.(triple (int_range 1 100) int int)
+    (fun (m, a, b) ->
+      let a' = Modular.normalize ~m a in
+      Modular.sub ~m (Modular.add ~m a' b) b = a')
+
+let test_modular_distance () =
+  Alcotest.(check int) "short way" 2 (Modular.distance ~m:10 1 9);
+  Alcotest.(check int) "same" 0 (Modular.distance ~m:10 4 4);
+  Alcotest.(check int) "half" 5 (Modular.distance ~m:10 0 5);
+  Alcotest.(check int) "forward" 8 (Modular.forward_distance ~m:10 3 1)
+
+(* ------------------------------------------------------------------ *)
+(* OPE *)
+
+let small_ope = Ope.create ~key:"test-key" ~domain:200 ~range:3200 ()
+
+let test_ope_strictly_increasing () =
+  let prev = ref (-1) in
+  for m = 0 to 199 do
+    let c = Ope.encrypt small_ope m in
+    if c <= !prev then Alcotest.fail (Printf.sprintf "not increasing at %d" m);
+    prev := c
+  done
+
+let test_ope_roundtrip () =
+  for m = 0 to 199 do
+    Alcotest.(check int) "dec(enc(m))" m (Ope.decrypt small_ope (Ope.encrypt small_ope m))
+  done
+
+let test_ope_ciphertext_range () =
+  for m = 0 to 199 do
+    let c = Ope.encrypt small_ope m in
+    if c < 0 || c >= 3200 then Alcotest.fail "ciphertext out of range"
+  done
+
+let test_ope_invalid_ciphertexts_raise () =
+  (* Every non-image point must raise Not_a_ciphertext. *)
+  let image = Hashtbl.create 256 in
+  for m = 0 to 199 do
+    Hashtbl.replace image (Ope.encrypt small_ope m) m
+  done;
+  let invalid_checked = ref 0 in
+  for c = 0 to 3199 do
+    match Hashtbl.find_opt image c with
+    | Some m -> Alcotest.(check int) "image decrypts" m (Ope.decrypt small_ope c)
+    | None ->
+      incr invalid_checked;
+      (match Ope.decrypt small_ope c with
+      | _ -> Alcotest.fail (Printf.sprintf "ciphertext %d should be invalid" c)
+      | exception Ope.Not_a_ciphertext _ -> ())
+  done;
+  Alcotest.(check int) "invalid count" (3200 - 200) !invalid_checked
+
+let test_ope_deterministic_across_instances () =
+  let a = Ope.create ~key:"same" ~domain:100 ~range:1600 () in
+  let b = Ope.create ~cache:false ~key:"same" ~domain:100 ~range:1600 () in
+  for m = 0 to 99 do
+    Alcotest.(check int) "same function" (Ope.encrypt a m) (Ope.encrypt b m)
+  done
+
+let test_ope_key_separation () =
+  let a = Ope.create ~key:"key-a" ~domain:100 ~range:1600 () in
+  let b = Ope.create ~key:"key-b" ~domain:100 ~range:1600 () in
+  let same = ref 0 in
+  for m = 0 to 99 do
+    if Ope.encrypt a m = Ope.encrypt b m then incr same
+  done;
+  Alcotest.(check bool) "functions differ" true (!same < 30)
+
+let test_ope_order_random_pairs =
+  let ope = Ope.create ~key:"qc" ~domain:5000 ~range:80000 () in
+  QCheck.Test.make ~name:"order preserved on random pairs" ~count:300
+    QCheck.(pair (int_range 0 4999) (int_range 0 4999))
+    (fun (a, b) ->
+      let ca = Ope.encrypt ope a and cb = Ope.encrypt ope b in
+      Int.compare a b = Int.compare ca cb)
+
+let test_ope_out_of_domain () =
+  Alcotest.check_raises "encrypt -1"
+    (Invalid_argument "Ope.encrypt: plaintext out of domain") (fun () ->
+      ignore (Ope.encrypt small_ope (-1)));
+  Alcotest.check_raises "encrypt 200"
+    (Invalid_argument "Ope.encrypt: plaintext out of domain") (fun () ->
+      ignore (Ope.encrypt small_ope 200));
+  Alcotest.check_raises "decrypt out of range"
+    (Invalid_argument "Ope.decrypt: ciphertext out of range") (fun () ->
+      ignore (Ope.decrypt small_ope 3200))
+
+let test_ope_create_validation () =
+  Alcotest.check_raises "range < domain"
+    (Invalid_argument "Ope.create: range must be >= domain") (fun () ->
+      ignore (Ope.create ~key:"k" ~domain:10 ~range:9 ()));
+  Alcotest.check_raises "empty domain"
+    (Invalid_argument "Ope.create: domain must be >= 1") (fun () ->
+      ignore (Ope.create ~key:"k" ~domain:0 ~range:16 ()))
+
+let test_ope_tight_range () =
+  (* range = domain forces the identity function. *)
+  let ope = Ope.create ~key:"tight" ~domain:50 ~range:50 () in
+  for m = 0 to 49 do
+    Alcotest.(check int) "identity" m (Ope.encrypt ope m)
+  done
+
+let test_ope_domain_one () =
+  let ope = Ope.create ~key:"one" ~domain:1 ~range:16 () in
+  let c = Ope.encrypt ope 0 in
+  Alcotest.(check int) "roundtrip" 0 (Ope.decrypt ope c)
+
+(* ------------------------------------------------------------------ *)
+(* MOPE *)
+
+let test_mope_roundtrip =
+  QCheck.Test.make ~name:"mope dec(enc(m)) = m" ~count:300
+    QCheck.(pair (int_range 0 499) small_int)
+    (fun (m, seed) ->
+      let key = "mope-" ^ string_of_int (seed mod 5) in
+      let t = Mope.create ~key ~domain:500 ~range:8000 () in
+      Mope.decrypt t (Mope.encrypt t m) = m)
+
+let test_mope_offset_derivation_deterministic () =
+  let a = Mope.create ~key:"det" ~domain:100 ~range:1600 () in
+  let b = Mope.create ~key:"det" ~domain:100 ~range:1600 () in
+  Alcotest.(check int) "same offset" (Mope.offset a) (Mope.offset b)
+
+let test_mope_preserves_modular_order () =
+  (* MOPE(x) = OPE(x + j): the ciphertext order equals the order of the
+     shifted plaintexts. *)
+  let t = Mope.create_with_offset ~key:"mo" ~domain:100 ~range:1600 ~offset:37 () in
+  for x = 0 to 99 do
+    for y = x + 1 to 99 do
+      let sx = (x + 37) mod 100 and sy = (y + 37) mod 100 in
+      let cx = Mope.encrypt t x and cy = Mope.encrypt t y in
+      if Int.compare cx cy <> Int.compare sx sy then
+        Alcotest.fail (Printf.sprintf "modular order broken at (%d, %d)" x y)
+    done
+  done
+
+let test_mope_offset_zero_is_ope () =
+  let mope = Mope.create_with_offset ~key:"z" ~domain:100 ~range:1600 ~offset:0 () in
+  let prev = ref (-1) in
+  for m = 0 to 99 do
+    let c = Mope.encrypt mope m in
+    Alcotest.(check bool) "increasing" true (c > !prev);
+    prev := c
+  done
+
+let test_mope_segments_cover_range =
+  QCheck.Test.make ~name:"ciphertext segments classify all plaintexts" ~count:60
+    QCheck.(triple (int_range 0 79) (int_range 0 79) (int_range 0 79))
+    (fun (lo, hi, offset) ->
+      let m = 80 in
+      let t = Mope.create_with_offset ~key:"seg" ~domain:m ~range:1280 ~offset () in
+      let segs = Mope.ciphertext_segments t ~lo ~hi in
+      (* A plaintext is in the interval iff its ciphertext is in a segment. *)
+      List.for_all
+        (fun x ->
+          let c = Mope.encrypt t x in
+          let in_seg = List.exists (fun (a, b) -> a <= c && c <= b) segs in
+          Modular.mem ~m ~lo ~hi x = in_seg)
+        (List.init m Fun.id))
+
+let test_mope_encrypt_range_wrap () =
+  let t = Mope.create_with_offset ~key:"wrap" ~domain:100 ~range:1600 ~offset:95 () in
+  (* Plaintext interval [2, 8] shifts to [97, 3]: wraps, so cR < cL. *)
+  let c_lo, c_hi = Mope.encrypt_range t ~lo:2 ~hi:8 in
+  Alcotest.(check bool) "wrapped" true (c_hi < c_lo);
+  let segs = Mope.ciphertext_segments t ~lo:2 ~hi:8 in
+  Alcotest.(check int) "two segments" 2 (List.length segs)
+
+let test_mope_invalid_offset () =
+  Alcotest.check_raises "offset out of range"
+    (Invalid_argument "Mope.create_with_offset: offset") (fun () ->
+      ignore (Mope.create_with_offset ~key:"k" ~domain:10 ~range:160 ~offset:10 ()))
+
+
+let test_ope_cache_equivalence =
+  QCheck.Test.make ~name:"cached and uncached schemes agree" ~count:40
+    QCheck.(pair (int_range 1 300) (int_range 0 299))
+    (fun (domain, m) ->
+      QCheck.assume (m < domain);
+      let range = Ope.recommended_range domain in
+      let cached = Ope.create ~key:"cache-eq" ~domain ~range () in
+      let uncached = Ope.create ~cache:false ~key:"cache-eq" ~domain ~range () in
+      Ope.encrypt cached m = Ope.encrypt uncached m
+      && Ope.decrypt cached (Ope.encrypt cached m) = m)
+
+let test_ope_decrypt_cache_consistent () =
+  (* The decrypt memo must agree with a fresh uncached walk. *)
+  let domain = 150 in
+  let a = Ope.create ~key:"dc" ~domain ~range:(16 * domain) () in
+  let b = Ope.create ~cache:false ~key:"dc" ~domain ~range:(16 * domain) () in
+  for m = 0 to domain - 1 do
+    let c = Ope.encrypt a m in
+    Alcotest.(check int) "memo decrypt" (Ope.decrypt b c) (Ope.decrypt a c);
+    (* twice: hits the memo the second time *)
+    Alcotest.(check int) "memo decrypt again" m (Ope.decrypt a c)
+  done
+
+let test_mope_segments_at_most_two =
+  QCheck.Test.make ~name:"ciphertext_segments yields 1 or 2 ordered segments" ~count:200
+    QCheck.(quad (int_range 2 60) (int_range 0 59) (int_range 0 59) (int_range 0 59))
+    (fun (m, lo, hi, offset) ->
+      QCheck.assume (lo < m && hi < m && offset < m);
+      let t = Mope.create_with_offset ~key:"seg2" ~domain:m ~range:(16 * m) ~offset () in
+      let segs = Mope.ciphertext_segments t ~lo ~hi in
+      let n = List.length segs in
+      (n = 1 || n = 2)
+      && List.for_all (fun (a, b) -> a <= b) segs)
+
+let test_recommended_range () =
+  Alcotest.(check int) "16x" 1600 (Ope.recommended_range 100);
+  (* satisfies the Theorem-4 hypothesis N >= 16M *)
+  Alcotest.(check bool) "hypothesis" true (Ope.recommended_range 123 >= 16 * 123)
+
+let () =
+  Alcotest.run "ope"
+    [ ( "modular",
+        [ Alcotest.test_case "normalize" `Quick test_modular_normalize;
+          Alcotest.test_case "interval length" `Quick test_modular_interval_length;
+          QCheck_alcotest.to_alcotest test_modular_mem_matches_segments;
+          QCheck_alcotest.to_alcotest test_modular_segments_cover_length;
+          QCheck_alcotest.to_alcotest test_modular_add_sub_inverse;
+          Alcotest.test_case "distance" `Quick test_modular_distance ] );
+      ( "ope",
+        [ Alcotest.test_case "strictly increasing" `Quick test_ope_strictly_increasing;
+          Alcotest.test_case "roundtrip" `Quick test_ope_roundtrip;
+          Alcotest.test_case "ciphertext range" `Quick test_ope_ciphertext_range;
+          Alcotest.test_case "invalid ciphertexts raise" `Quick
+            test_ope_invalid_ciphertexts_raise;
+          Alcotest.test_case "deterministic across instances" `Quick
+            test_ope_deterministic_across_instances;
+          Alcotest.test_case "key separation" `Quick test_ope_key_separation;
+          QCheck_alcotest.to_alcotest test_ope_order_random_pairs;
+          Alcotest.test_case "out-of-domain errors" `Quick test_ope_out_of_domain;
+          Alcotest.test_case "create validation" `Quick test_ope_create_validation;
+          Alcotest.test_case "tight range = identity" `Quick test_ope_tight_range;
+          Alcotest.test_case "domain of one" `Quick test_ope_domain_one ] );
+      ( "mope",
+        [ QCheck_alcotest.to_alcotest test_mope_roundtrip;
+          Alcotest.test_case "offset derivation" `Quick
+            test_mope_offset_derivation_deterministic;
+          Alcotest.test_case "modular order" `Slow test_mope_preserves_modular_order;
+          Alcotest.test_case "offset 0 = plain OPE" `Quick test_mope_offset_zero_is_ope;
+          QCheck_alcotest.to_alcotest test_mope_segments_cover_range;
+          Alcotest.test_case "wrapping range" `Quick test_mope_encrypt_range_wrap;
+          Alcotest.test_case "invalid offset" `Quick test_mope_invalid_offset;
+          QCheck_alcotest.to_alcotest test_ope_cache_equivalence;
+          Alcotest.test_case "decrypt memo consistent" `Quick
+            test_ope_decrypt_cache_consistent;
+          QCheck_alcotest.to_alcotest test_mope_segments_at_most_two;
+          Alcotest.test_case "recommended range" `Quick test_recommended_range ] ) ]

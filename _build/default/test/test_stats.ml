@@ -1,0 +1,420 @@
+(* Tests for lib/stats: RNG, histograms, special functions, distributions,
+   the exact hypergeometric sampler, and summary statistics. *)
+
+open Mope_stats
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_int_range =
+  QCheck.Test.make ~name:"rng int in range" ~count:500
+    QCheck.(pair (int_range 1 1_000_000) small_int)
+    (fun (n, seed) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let x = Rng.int rng n in
+      x >= 0 && x < n)
+
+let test_rng_uniformity () =
+  let rng = Rng.create 7L in
+  let counts = Array.make 16 0 in
+  for _ = 1 to 32000 do
+    let x = Rng.int rng 16 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let chi = Summary.chi_square_uniform counts in
+  (* 15 dof, p=0.001 critical 37.70 *)
+  Alcotest.(check bool) (Printf.sprintf "chi=%f" chi) true (chi < 37.70)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 3L in
+  let arr = Array.init 100 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_rng_float_range () =
+  let rng = Rng.create 11L in
+  for _ = 1 to 10000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_histogram_of_counts () =
+  let h = Histogram.of_counts [| 1; 3; 0; 4 |] in
+  Alcotest.(check int) "size" 4 (Histogram.size h);
+  Alcotest.(check (float 1e-12)) "p0" 0.125 (Histogram.prob h 0);
+  Alcotest.(check (float 1e-12)) "p1" 0.375 (Histogram.prob h 1);
+  Alcotest.(check (float 1e-12)) "p2" 0.0 (Histogram.prob h 2);
+  Alcotest.(check (float 1e-12)) "max" 0.5 (Histogram.max_prob h);
+  Alcotest.(check int) "argmax" 3 (Histogram.argmax h)
+
+let test_histogram_rejects_bad_input () =
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Histogram.of_counts: negative") (fun () ->
+      ignore (Histogram.of_counts [| 1; -1 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Histogram: empty domain")
+    (fun () -> ignore (Histogram.of_counts [||]));
+  Alcotest.check_raises "zero mass" (Invalid_argument "Histogram: zero total mass")
+    (fun () -> ignore (Histogram.of_counts [| 0; 0 |]));
+  Alcotest.check_raises "mass not 1" (Invalid_argument "Histogram.of_pmf: mass not 1")
+    (fun () -> ignore (Histogram.of_pmf [| 0.4; 0.4 |]))
+
+let test_histogram_sample_inversion () =
+  (* For pmf (0.25, 0.5, 0.25): cdf = (0.25, 0.75, 1.0). *)
+  let h = Histogram.of_pmf [| 0.25; 0.5; 0.25 |] in
+  Alcotest.(check int) "u=0" 0 (Histogram.sample h ~u:0.0);
+  Alcotest.(check int) "u just below .25" 0 (Histogram.sample h ~u:0.2499);
+  Alcotest.(check int) "u=.25" 1 (Histogram.sample h ~u:0.25);
+  Alcotest.(check int) "u=.5" 1 (Histogram.sample h ~u:0.5);
+  Alcotest.(check int) "u=.75" 2 (Histogram.sample h ~u:0.75);
+  Alcotest.(check int) "u->1" 2 (Histogram.sample h ~u:0.999999)
+
+let test_histogram_sample_skips_zero_mass =
+  QCheck.Test.make ~name:"sample never returns zero-mass element" ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 2 20) (int_range 0 5)) (float_range 0.0 0.999))
+    (fun (counts, u) ->
+      QCheck.assume (List.exists (fun c -> c > 0) counts);
+      let h = Histogram.of_counts (Array.of_list counts) in
+      Histogram.prob h (Histogram.sample h ~u) > 0.0)
+
+let test_histogram_empirical_matches_pmf () =
+  let h = Histogram.of_pmf [| 0.1; 0.2; 0.3; 0.4 |] in
+  let rng = Rng.create 5L in
+  let counts = Array.make 4 0 in
+  let n = 40000 in
+  for _ = 1 to n do
+    let i = Histogram.sample h ~u:(Rng.float rng) in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let freq = float_of_int c /. float_of_int n in
+      Alcotest.(check (float 0.01))
+        (Printf.sprintf "freq %d" i)
+        (Histogram.prob h i) freq)
+    counts
+
+let test_histogram_mix () =
+  let a = Histogram.of_pmf [| 1.0; 0.0 |] and b = Histogram.of_pmf [| 0.0; 1.0 |] in
+  let m = Histogram.mix 0.25 a b in
+  Alcotest.(check (float 1e-12)) "mix0" 0.25 (Histogram.prob m 0);
+  Alcotest.(check (float 1e-12)) "mix1" 0.75 (Histogram.prob m 1)
+
+let test_histogram_total_variation () =
+  let a = Histogram.of_pmf [| 1.0; 0.0 |] and b = Histogram.of_pmf [| 0.0; 1.0 |] in
+  Alcotest.(check (float 1e-12)) "disjoint" 1.0 (Histogram.total_variation a b);
+  Alcotest.(check (float 1e-12)) "self" 0.0 (Histogram.total_variation a a)
+
+let test_histogram_periodic_eta () =
+  let h = Histogram.of_pmf [| 0.1; 0.2; 0.05; 0.15; 0.3; 0.2 |] in
+  let eta, mean = Histogram.periodic_eta h ~rho:2 in
+  (* classes mod 2: evens {0.1,0.05,0.3} max 0.3; odds {0.2,0.15,0.2} max 0.2 *)
+  Alcotest.(check (float 1e-12)) "eta0" 0.3 eta.(0);
+  Alcotest.(check (float 1e-12)) "eta1" 0.2 eta.(1);
+  Alcotest.(check (float 1e-12)) "mean" 0.25 mean
+
+let test_histogram_shift =
+  QCheck.Test.make ~name:"shift moves mass correctly" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 12) (int_range 0 9)) int)
+    (fun (counts, j) ->
+      QCheck.assume (List.exists (fun c -> c > 0) counts);
+      let h = Histogram.of_counts (Array.of_list counts) in
+      let m = Histogram.size h in
+      let s = Histogram.shift h j in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        let expected = Histogram.prob h (((i - j) mod m + m) mod m) in
+        if Float.abs (Histogram.prob s i -. expected) > 1e-12 then ok := false
+      done;
+      !ok)
+
+let test_histogram_is_periodic () =
+  let p = Histogram.of_pmf [| 0.2; 0.3; 0.2; 0.3 |] in
+  Alcotest.(check bool) "periodic rho=2" true (Histogram.is_periodic p ~rho:2 ~eps:1e-12);
+  let np = Histogram.of_pmf [| 0.2; 0.3; 0.25; 0.25 |] in
+  Alcotest.(check bool) "not periodic" false (Histogram.is_periodic np ~rho:2 ~eps:1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Special functions *)
+
+let test_ln_gamma_known () =
+  (* Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π *)
+  Alcotest.(check (float 1e-10)) "G(1)" 0.0 (Special.ln_gamma 1.0);
+  Alcotest.(check (float 1e-10)) "G(2)" 0.0 (Special.ln_gamma 2.0);
+  Alcotest.(check (float 1e-9)) "G(5)" (log 24.0) (Special.ln_gamma 5.0);
+  Alcotest.(check (float 1e-9)) "G(0.5)" (0.5 *. log Float.pi) (Special.ln_gamma 0.5)
+
+let test_ln_factorial_consistent =
+  QCheck.Test.make ~name:"ln_factorial = ln_gamma(n+1)" ~count:100
+    QCheck.(int_range 0 500)
+    (fun n ->
+      Float.abs (Special.ln_factorial n -. Special.ln_gamma (float_of_int n +. 1.0))
+      < 1e-8 *. Float.max 1.0 (Special.ln_factorial n))
+
+let test_ln_choose () =
+  Alcotest.(check (float 1e-9)) "C(5,2)" (log 10.0) (Special.ln_choose 5 2);
+  Alcotest.(check (float 1e-6)) "C(50,25)" (log 126410606437752.0)
+    (Special.ln_choose 50 25);
+  Alcotest.(check (float 0.0)) "out of range" neg_infinity (Special.ln_choose 5 6)
+
+let test_erf_known () =
+  Alcotest.(check (float 1e-6)) "erf 0" 0.0 (Special.erf 0.0);
+  Alcotest.(check (float 1e-4)) "erf 1" 0.8427007 (Special.erf 1.0);
+  Alcotest.(check (float 1e-4)) "erf -1" (-0.8427007) (Special.erf (-1.0));
+  Alcotest.(check (float 1e-5)) "erf 3" 0.9999779 (Special.erf 3.0)
+
+let test_inverse_normal_roundtrip =
+  QCheck.Test.make ~name:"normal_cdf (inverse_normal_cdf p) = p" ~count:200
+    QCheck.(float_range 0.001 0.999)
+    (fun p ->
+      let x = Special.inverse_normal_cdf p in
+      Float.abs (Special.normal_cdf ~mean:0.0 ~sigma:1.0 x -. p) < 1e-4)
+
+(* ------------------------------------------------------------------ *)
+(* Distributions *)
+
+let test_zipf_normalized () =
+  let pmf = Distributions.zipf_pmf ~size:1000 ~s:1.0 in
+  let total = Array.fold_left ( +. ) 0.0 pmf in
+  Alcotest.(check (float 1e-9)) "mass 1" 1.0 total;
+  Alcotest.(check bool) "monotone decreasing" true
+    (Array.for_all Fun.id (Array.init 999 (fun i -> pmf.(i) >= pmf.(i + 1))))
+
+let test_geometric_inversion () =
+  (* Empirical mean of Geom(p) (failures before success) is (1-p)/p. *)
+  let rng = Rng.create 17L in
+  let p = 0.2 in
+  let n = 20000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Distributions.sample_geometric rng ~p
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check (float 0.15)) "mean" ((1.0 -. p) /. p) mean
+
+let test_geometric_edge_cases () =
+  Alcotest.(check int) "p=1 gives 0" 0 (Distributions.geometric ~u:0.5 ~p:1.0);
+  Alcotest.(check int) "u=0 gives 0" 0 (Distributions.geometric ~u:0.0 ~p:0.3);
+  Alcotest.check_raises "p=0 invalid"
+    (Invalid_argument "Distributions.geometric: p must be positive") (fun () ->
+      ignore (Distributions.geometric ~u:0.5 ~p:0.0))
+
+let test_geometric_matches_bernoulli_loop () =
+  (* The closed form must agree with counting tails of the Bernoulli coin in
+     distribution: compare empirical pmfs. *)
+  let p = 0.35 and n = 30000 in
+  let rng1 = Rng.create 5L and rng2 = Rng.create 99L in
+  let direct = Array.make 30 0 and loop = Array.make 30 0 in
+  for _ = 1 to n do
+    let g = Distributions.sample_geometric rng1 ~p in
+    if g < 30 then direct.(g) <- direct.(g) + 1;
+    let rec count acc =
+      if Distributions.sample_bernoulli rng2 ~p then acc else count (acc + 1)
+    in
+    let l = count 0 in
+    if l < 30 then loop.(l) <- loop.(l) + 1
+  done;
+  for i = 0 to 6 do
+    let fd = float_of_int direct.(i) /. float_of_int n in
+    let fl = float_of_int loop.(i) /. float_of_int n in
+    Alcotest.(check (float 0.015)) (Printf.sprintf "pmf at %d" i) fl fd
+  done
+
+let test_normal_sampling_moments () =
+  let rng = Rng.create 23L in
+  let n = 30000 in
+  let xs = Array.init n (fun _ -> Distributions.sample_normal rng ~mean:5.0 ~sigma:2.0) in
+  Alcotest.(check (float 0.07)) "mean" 5.0 (Summary.mean xs);
+  Alcotest.(check (float 0.1)) "stddev" 2.0 (Summary.stddev xs)
+
+(* ------------------------------------------------------------------ *)
+(* Hypergeometric *)
+
+let hg_params =
+  QCheck.Gen.(
+    int_range 1 300 >>= fun population ->
+    int_range 0 population >>= fun successes ->
+    int_range 0 population >>= fun draws ->
+    return (population, successes, draws))
+
+let arbitrary_hg =
+  QCheck.make hg_params ~print:(fun (n, k, d) -> Printf.sprintf "N=%d K=%d n=%d" n k d)
+
+let test_hg_support =
+  QCheck.Test.make ~name:"sample within support" ~count:1000
+    (QCheck.pair arbitrary_hg (QCheck.float_range 0.0 0.9999))
+    (fun ((population, successes, draws), u) ->
+      let lo, hi = Hypergeometric.support ~population ~successes ~draws in
+      let x = Hypergeometric.sample ~population ~successes ~draws ~u in
+      x >= lo && x <= hi)
+
+let test_hg_deterministic =
+  QCheck.Test.make ~name:"same u gives same sample" ~count:300
+    (QCheck.pair arbitrary_hg (QCheck.float_range 0.0 0.9999))
+    (fun ((population, successes, draws), u) ->
+      Hypergeometric.sample ~population ~successes ~draws ~u
+      = Hypergeometric.sample ~population ~successes ~draws ~u)
+
+let test_hg_degenerate () =
+  Alcotest.(check int) "draws=0" 0
+    (Hypergeometric.sample ~population:10 ~successes:5 ~draws:0 ~u:0.7);
+  Alcotest.(check int) "successes=0" 0
+    (Hypergeometric.sample ~population:10 ~successes:0 ~draws:5 ~u:0.7);
+  Alcotest.(check int) "all successes" 5
+    (Hypergeometric.sample ~population:10 ~successes:10 ~draws:5 ~u:0.7);
+  Alcotest.(check int) "draw everything" 4
+    (Hypergeometric.sample ~population:10 ~successes:4 ~draws:10 ~u:0.7)
+
+let test_hg_pmf_sums_to_one =
+  QCheck.Test.make ~name:"pmf sums to 1 over support" ~count:100 arbitrary_hg
+    (fun (population, successes, draws) ->
+      let lo, hi = Hypergeometric.support ~population ~successes ~draws in
+      let total = ref 0.0 in
+      for k = lo to hi do
+        total := !total +. exp (Hypergeometric.log_pmf ~population ~successes ~draws k)
+      done;
+      Float.abs (!total -. 1.0) < 1e-6)
+
+let test_hg_empirical_mean () =
+  let population = 1000 and successes = 300 and draws = 200 in
+  let rng = Rng.create 31L in
+  let n = 5000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum :=
+      !sum
+      + Hypergeometric.sample ~population ~successes ~draws ~u:(Rng.float rng)
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  let expected = Hypergeometric.mean ~population ~successes ~draws in
+  Alcotest.(check (float 0.5)) "mean" expected mean
+
+let test_hg_exact_distribution () =
+  (* Small case: empirical frequencies vs exact pmf. *)
+  let population = 20 and successes = 8 and draws = 10 in
+  let rng = Rng.create 37L in
+  let n = 60000 in
+  let counts = Array.make (draws + 1) 0 in
+  for _ = 1 to n do
+    let x = Hypergeometric.sample ~population ~successes ~draws ~u:(Rng.float rng) in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let lo, hi = Hypergeometric.support ~population ~successes ~draws in
+  for k = lo to hi do
+    let expected = exp (Hypergeometric.log_pmf ~population ~successes ~draws k) in
+    let freq = float_of_int counts.(k) /. float_of_int n in
+    Alcotest.(check (float 0.012)) (Printf.sprintf "pmf %d" k) expected freq
+  done
+
+let test_hg_binomial_approx_support =
+  QCheck.Test.make ~name:"binomial approximation stays in support" ~count:300
+    (QCheck.pair arbitrary_hg (QCheck.float_range 0.0 0.9999))
+    (fun ((population, successes, draws), u) ->
+      let lo, hi = Hypergeometric.support ~population ~successes ~draws in
+      let x = Hypergeometric.sample_binomial_approx ~population ~successes ~draws ~u in
+      x >= lo && x <= hi)
+
+let test_hg_invalid () =
+  Alcotest.check_raises "successes > population"
+    (Invalid_argument "Hypergeometric: invalid parameters") (fun () ->
+      ignore (Hypergeometric.support ~population:5 ~successes:6 ~draws:1))
+
+(* ------------------------------------------------------------------ *)
+(* Summary *)
+
+let test_summary_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-12)) "mean" 2.5 (Summary.mean xs);
+  Alcotest.(check (float 1e-12)) "variance" 1.25 (Summary.variance xs);
+  Alcotest.(check (float 1e-12)) "median" 2.5 (Summary.median xs);
+  Alcotest.(check (float 1e-12)) "p0" 1.0 (Summary.percentile xs 0.0);
+  Alcotest.(check (float 1e-12)) "p100" 4.0 (Summary.percentile xs 100.0);
+  Alcotest.(check (float 1e-12)) "empty mean" 0.0 (Summary.mean [||])
+
+let test_summary_chi_square () =
+  Alcotest.(check (float 1e-12)) "uniform zero" 0.0
+    (Summary.chi_square_uniform [| 5; 5; 5; 5 |]);
+  let chi = Summary.chi_square ~observed:[| 10; 0 |] ~expected:[| 5.0; 5.0 |] in
+  Alcotest.(check (float 1e-12)) "skew" 10.0 chi
+
+
+let test_ks_statistic () =
+  Alcotest.(check (float 1e-12)) "perfect match" 0.0
+    (Summary.ks_statistic ~observed:[| 10; 10; 10 |] ~expected:[| 1.0; 1.0; 1.0 |]);
+  let ks =
+    Summary.ks_statistic ~observed:[| 30; 0; 0 |] ~expected:[| 1.0; 1.0; 1.0 |]
+  in
+  (* All mass first: CDF gap peaks at 1 - 1/3. *)
+  Alcotest.(check (float 1e-9)) "concentrated" (2.0 /. 3.0) ks;
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Summary.ks_statistic: length mismatch") (fun () ->
+      ignore (Summary.ks_statistic ~observed:[| 1 |] ~expected:[| 1.0; 1.0 |]))
+
+let test_ks_uniform_sampling () =
+  let rng = Rng.create 3L in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 20000 do
+    let i = Rng.int rng 50 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let ks = Summary.ks_statistic ~observed:counts ~expected:(Array.make 50 1.0) in
+  (* ~1.63/sqrt(20000) = 0.0115 at p=0.01. *)
+  Alcotest.(check bool) (Printf.sprintf "ks=%f" ks) true (ks < 0.015)
+
+let () =
+  Alcotest.run "stats"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          QCheck_alcotest.to_alcotest test_rng_int_range;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "float range" `Quick test_rng_float_range ] );
+      ( "histogram",
+        [ Alcotest.test_case "of_counts" `Quick test_histogram_of_counts;
+          Alcotest.test_case "rejects bad input" `Quick test_histogram_rejects_bad_input;
+          Alcotest.test_case "sample inversion" `Quick test_histogram_sample_inversion;
+          QCheck_alcotest.to_alcotest test_histogram_sample_skips_zero_mass;
+          Alcotest.test_case "empirical matches pmf" `Quick
+            test_histogram_empirical_matches_pmf;
+          Alcotest.test_case "mix" `Quick test_histogram_mix;
+          Alcotest.test_case "total variation" `Quick test_histogram_total_variation;
+          Alcotest.test_case "periodic eta" `Quick test_histogram_periodic_eta;
+          QCheck_alcotest.to_alcotest test_histogram_shift;
+          Alcotest.test_case "is_periodic" `Quick test_histogram_is_periodic ] );
+      ( "special",
+        [ Alcotest.test_case "ln_gamma known values" `Quick test_ln_gamma_known;
+          QCheck_alcotest.to_alcotest test_ln_factorial_consistent;
+          Alcotest.test_case "ln_choose" `Quick test_ln_choose;
+          Alcotest.test_case "erf" `Quick test_erf_known;
+          QCheck_alcotest.to_alcotest test_inverse_normal_roundtrip ] );
+      ( "distributions",
+        [ Alcotest.test_case "zipf" `Quick test_zipf_normalized;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_inversion;
+          Alcotest.test_case "geometric edges" `Quick test_geometric_edge_cases;
+          Alcotest.test_case "geometric = bernoulli loop" `Quick
+            test_geometric_matches_bernoulli_loop;
+          Alcotest.test_case "normal moments" `Quick test_normal_sampling_moments ] );
+      ( "hypergeometric",
+        [ QCheck_alcotest.to_alcotest test_hg_support;
+          QCheck_alcotest.to_alcotest test_hg_deterministic;
+          Alcotest.test_case "degenerate cases" `Quick test_hg_degenerate;
+          QCheck_alcotest.to_alcotest test_hg_pmf_sums_to_one;
+          Alcotest.test_case "empirical mean" `Quick test_hg_empirical_mean;
+          Alcotest.test_case "exact distribution" `Slow test_hg_exact_distribution;
+          QCheck_alcotest.to_alcotest test_hg_binomial_approx_support;
+          Alcotest.test_case "invalid params" `Quick test_hg_invalid ] );
+      ( "summary",
+        [ Alcotest.test_case "basics" `Quick test_summary_basic;
+          Alcotest.test_case "chi-square" `Quick test_summary_chi_square;
+          Alcotest.test_case "ks statistic" `Quick test_ks_statistic;
+          Alcotest.test_case "ks on uniform sampling" `Quick test_ks_uniform_sampling ] ) ]

@@ -1,0 +1,347 @@
+(* Tests for lib/workload: datasets, query generation, the cost-experiment
+   driver, and the TPC-H generator/templates. *)
+
+open Mope_stats
+open Mope_workload
+
+(* ------------------------------------------------------------------ *)
+(* Datasets *)
+
+let test_dataset_shapes () =
+  List.iter
+    (fun d ->
+      Alcotest.(check int)
+        (d.Datasets.name ^ " histogram size")
+        d.Datasets.domain
+        (Histogram.size d.Datasets.distribution);
+      let pmf = Histogram.pmf d.Datasets.distribution in
+      let total = Array.fold_left ( +. ) 0.0 pmf in
+      Alcotest.(check (float 1e-9)) (d.Datasets.name ^ " mass") 1.0 total)
+    (Datasets.all ())
+
+let test_dataset_domains () =
+  Alcotest.(check int) "uniform" 10000 (Datasets.uniform ()).Datasets.domain;
+  Alcotest.(check int) "zipf" 10000 (Datasets.zipf ()).Datasets.domain;
+  Alcotest.(check int) "adult" 74 (Datasets.adult ()).Datasets.domain;
+  Alcotest.(check int) "covertype" 2000 (Datasets.covertype ()).Datasets.domain;
+  Alcotest.(check int) "sanfran" 10000 (Datasets.sanfran ()).Datasets.domain
+
+let test_dataset_skew () =
+  (* Zipf/SanFran must be visibly non-uniform; Uniform must be flat. *)
+  let tv d = Histogram.total_variation d.Datasets.distribution (Histogram.uniform d.Datasets.domain) in
+  Alcotest.(check (float 1e-9)) "uniform flat" 0.0 (tv (Datasets.uniform ()));
+  Alcotest.(check bool) "zipf skewed" true (tv (Datasets.zipf ()) > 0.3);
+  Alcotest.(check bool) "sanfran skewed" true (tv (Datasets.sanfran ()) > 0.3)
+
+let test_dataset_padding () =
+  let adult = Datasets.adult () in
+  let padded = Datasets.pad_to_multiple adult ~rho:10 in
+  Alcotest.(check int) "padded to 80" 80 padded.Datasets.domain;
+  Alcotest.(check (float 1e-12)) "pad has no mass" 0.0
+    (Histogram.prob padded.Datasets.distribution 79);
+  (* Mass preserved on the original domain. *)
+  Alcotest.(check (float 1e-9)) "original mass kept"
+    (Histogram.prob adult.Datasets.distribution 0)
+    (Histogram.prob padded.Datasets.distribution 0);
+  let nop = Datasets.pad_to_multiple adult ~rho:2 in
+  Alcotest.(check int) "74 already divisible by 2" 74 nop.Datasets.domain
+
+(* ------------------------------------------------------------------ *)
+(* Query_gen *)
+
+let test_query_lengths_valid =
+  QCheck.Test.make ~name:"generated query lengths in [1, m]" ~count:500
+    QCheck.(pair (int_range 1 30) small_int)
+    (fun (sigma, seed) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let len = Query_gen.sample_length rng ~sigma:(float_of_int sigma) ~m:100 in
+      len >= 1 && len <= 100)
+
+let test_query_centers_follow_data () =
+  (* With a point-mass data distribution, all queries start there. *)
+  let data = Histogram.point ~size:100 42 in
+  let rng = Rng.create 5L in
+  for _ = 1 to 100 do
+    let q = Query_gen.sample_query rng ~data ~sigma:4.0 in
+    Alcotest.(check int) "start" 42 q.Mope_core.Query_model.lo
+  done
+
+let test_start_distribution_mc_vs_exact () =
+  let data = Distributions.zipf ~size:200 ~s:1.0 in
+  let exact = Query_gen.start_distribution_exact ~data ~sigma:5.0 ~k:10 in
+  let rng = Rng.create 6L in
+  let mc = Query_gen.start_distribution rng ~data ~sigma:5.0 ~k:10 ~samples:120_000 in
+  let tv = Histogram.total_variation exact mc in
+  Alcotest.(check bool) (Printf.sprintf "tv=%f" tv) true (tv < 0.03)
+
+let test_generate_count () =
+  let data = Histogram.uniform 50 in
+  let rng = Rng.create 7L in
+  let qs = Query_gen.generate rng ~data { Query_gen.sigma = 5.0; n_queries = 37 } in
+  Alcotest.(check int) "count" 37 (List.length qs)
+
+(* ------------------------------------------------------------------ *)
+(* Cost_experiment *)
+
+let test_cost_experiment_uniform_mode_sane () =
+  let data = Datasets.adult () in
+  let config =
+    { Cost_experiment.default with
+      Cost_experiment.n_queries = 300;
+      n_records = 20_000;
+      q_samples = 50_000;
+      k = 10;
+      sigma = 5.0 }
+  in
+  let out = Cost_experiment.run ~data config in
+  Alcotest.(check bool) "bandwidth positive" true (out.Cost_experiment.bandwidth > 0.0);
+  Alcotest.(check bool) "requests >= 1" true (out.Cost_experiment.requests >= 1.0);
+  Alcotest.(check bool) "alpha in (0,1]" true
+    (out.Cost_experiment.alpha > 0.0 && out.Cost_experiment.alpha <= 1.0);
+  (* Empirical fake/real ratio should be near (1-alpha)/alpha. *)
+  let t = out.Cost_experiment.tally in
+  let empirical =
+    float_of_int t.Mope_core.Cost.fake_queries
+    /. float_of_int t.Mope_core.Cost.transformed_queries
+  in
+  let expected = out.Cost_experiment.expected_fakes in
+  Alcotest.(check bool)
+    (Printf.sprintf "fakes %.2f vs expected %.2f" empirical expected)
+    true
+    (Float.abs (empirical -. expected) /. Float.max 1.0 expected < 0.25)
+
+let test_cost_experiment_periodic_cheaper () =
+  let data = Datasets.sanfran () in
+  let base =
+    { Cost_experiment.default with
+      Cost_experiment.n_queries = 200;
+      n_records = 20_000;
+      q_samples = 50_000;
+      sigma = 10.0 }
+  in
+  let uniform = Cost_experiment.run ~data base in
+  let periodic =
+    Cost_experiment.run ~data { base with Cost_experiment.mode = Mope_core.Scheduler.Periodic 100 }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "periodic requests %.1f < uniform %.1f"
+       periodic.Cost_experiment.requests uniform.Cost_experiment.requests)
+    true
+    (periodic.Cost_experiment.requests < uniform.Cost_experiment.requests)
+
+(* ------------------------------------------------------------------ *)
+(* Tpch *)
+
+let tpch_db = lazy (
+  let db = Mope_db.Database.create () in
+  let sizes = Tpch.load db ~sf:0.001 ~seed:3L in
+  (db, sizes))
+
+let test_tpch_sizes () =
+  let _, sizes = Lazy.force tpch_db in
+  Alcotest.(check int) "orders" 1500 sizes.Tpch.orders;
+  Alcotest.(check int) "parts" 200 sizes.Tpch.parts;
+  Alcotest.(check bool) "lineitems 1..7 per order" true
+    (sizes.Tpch.lineitems >= 1500 && sizes.Tpch.lineitems <= 10500)
+
+let test_tpch_dates_in_window () =
+  let db, _ = Lazy.force tpch_db in
+  let r =
+    Mope_db.Database.query db "SELECT min(l_shipdate), max(l_shipdate) FROM lineitem"
+  in
+  match r.Mope_db.Exec.rows with
+  | [ [| Mope_db.Value.Date lo; Mope_db.Value.Date hi |] ] ->
+    Alcotest.(check bool) "min in window" true (lo >= Tpch.window_lo);
+    Alcotest.(check bool) "max in window" true (hi <= Tpch.window_hi)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_tpch_receipt_after_ship () =
+  let db, _ = Lazy.force tpch_db in
+  let r =
+    Mope_db.Database.query db "SELECT count(*) FROM lineitem WHERE l_receiptdate <= l_shipdate"
+  in
+  match r.Mope_db.Exec.rows with
+  | [ [| Mope_db.Value.Int 0 |] ] -> ()
+  | _ -> Alcotest.fail "receipt date must be after ship date"
+
+let test_tpch_domain_mapping () =
+  Alcotest.(check int) "domain size" 2557 Tpch.date_domain;
+  Alcotest.(check int) "lo maps to 0" 0 (Tpch.day_to_plain Tpch.window_lo);
+  Alcotest.(check int) "hi maps to M-1" 2556 (Tpch.day_to_plain Tpch.window_hi);
+  Alcotest.(check int) "roundtrip" Tpch.window_hi (Tpch.plain_to_day 2556);
+  Alcotest.check_raises "outside window"
+    (Invalid_argument "Tpch.day_to_plain: date outside the 1992-1998 window")
+    (fun () -> ignore (Tpch.day_to_plain (Tpch.window_hi + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Tpch_queries *)
+
+let test_templates_parse_and_run () =
+  let db, _ = Lazy.force tpch_db in
+  let rng = Rng.create 9L in
+  List.iter
+    (fun template ->
+      let inst = Tpch_queries.random_instance rng template in
+      (* Every generated statement must parse and execute. *)
+      let r = Mope_db.Database.query db inst.Tpch_queries.sql in
+      Alcotest.(check bool)
+        (Tpch_queries.template_name template ^ " returns rows or empty")
+        true
+        (List.length r.Mope_db.Exec.rows >= 0))
+    [ Tpch_queries.Q4; Tpch_queries.Q6; Tpch_queries.Q14 ]
+
+let test_template_date_ranges () =
+  let rng = Rng.create 10L in
+  for _ = 1 to 50 do
+    let q6 = Tpch_queries.random_instance rng Tpch_queries.Q6 in
+    let len = q6.Tpch_queries.date_hi - q6.Tpch_queries.date_lo + 1 in
+    Alcotest.(check bool) "Q6 is one year" true (len = 365 || len = 366);
+    let q14 = Tpch_queries.random_instance rng Tpch_queries.Q14 in
+    let len = q14.Tpch_queries.date_hi - q14.Tpch_queries.date_lo + 1 in
+    Alcotest.(check bool) "Q14 is one month" true (len >= 28 && len <= 31);
+    let q4 = Tpch_queries.random_instance rng Tpch_queries.Q4 in
+    let len = q4.Tpch_queries.date_hi - q4.Tpch_queries.date_lo + 1 in
+    Alcotest.(check bool) "Q4 is one quarter" true (len >= 90 && len <= 92)
+  done
+
+let test_template_start_domains () =
+  Alcotest.(check int) "Q6 starts" 5 (List.length (Tpch_queries.start_domain Tpch_queries.Q6));
+  Alcotest.(check int) "Q14 starts" 60 (List.length (Tpch_queries.start_domain Tpch_queries.Q14));
+  Alcotest.(check int) "Q4 starts" 20 (List.length (Tpch_queries.start_domain Tpch_queries.Q4))
+
+let test_template_start_distribution_padded () =
+  let h = Tpch_queries.start_distribution ~domain:2580 Tpch_queries.Q14 in
+  Alcotest.(check int) "padded size" 2580 (Histogram.size h);
+  Alcotest.(check (float 1e-12)) "uniform over 60 starts" (1.0 /. 60.0)
+    (Histogram.max_prob h)
+
+let test_template_lengths_cover_ranges () =
+  (* fixed_length k >= every instance's range length, so one piece suffices. *)
+  let rng = Rng.create 11L in
+  List.iter
+    (fun template ->
+      let k = Tpch_queries.fixed_length template in
+      for _ = 1 to 30 do
+        let inst = Tpch_queries.random_instance rng template in
+        let len = inst.Tpch_queries.date_hi - inst.Tpch_queries.date_lo + 1 in
+        Alcotest.(check bool) "k covers instance" true (len <= k)
+      done)
+    [ Tpch_queries.Q4; Tpch_queries.Q6; Tpch_queries.Q14 ]
+
+
+let test_cost_experiment_deterministic () =
+  let data = Datasets.adult () in
+  let config =
+    { Cost_experiment.default with
+      Cost_experiment.n_queries = 100; n_records = 5000; q_samples = 10_000 }
+  in
+  let a = Cost_experiment.run ~data config and b = Cost_experiment.run ~data config in
+  Alcotest.(check (float 0.0)) "same bandwidth" a.Cost_experiment.bandwidth
+    b.Cost_experiment.bandwidth;
+  Alcotest.(check (float 0.0)) "same requests" a.Cost_experiment.requests
+    b.Cost_experiment.requests
+
+let test_q6_selectivity () =
+  (* One year of l_shipdate covers roughly 1/7 of the 1992-1998+121d span. *)
+  let db, sizes = Lazy.force tpch_db in
+  let r =
+    Mope_db.Database.query db
+      "SELECT count(*) FROM lineitem WHERE l_shipdate >= DATE '1994-01-01' AND \
+       l_shipdate <= DATE '1994-12-31'"
+  in
+  match r.Mope_db.Exec.rows with
+  | [ [| Mope_db.Value.Int n |] ] ->
+    let frac = float_of_int n /. float_of_int sizes.Tpch.lineitems in
+    Alcotest.(check bool) (Printf.sprintf "fraction %.3f" frac) true
+      (frac > 0.10 && frac < 0.20)
+  | _ -> Alcotest.fail "shape"
+
+let test_tpch_deterministic () =
+  let db2 = Mope_db.Database.create () in
+  let sizes2 = Tpch.load db2 ~sf:0.001 ~seed:3L in
+  let _, sizes = Lazy.force tpch_db in
+  Alcotest.(check int) "same lineitem count" sizes.Tpch.lineitems sizes2.Tpch.lineitems;
+  let q = "SELECT sum(l_quantity) FROM lineitem" in
+  let db, _ = Lazy.force tpch_db in
+  Alcotest.(check bool) "same content" true
+    ((Mope_db.Database.query db q).Mope_db.Exec.rows
+    = (Mope_db.Database.query db2 q).Mope_db.Exec.rows)
+
+
+let test_q1_runs_and_is_consistent () =
+  let db, _ = Lazy.force tpch_db in
+  let r = Mope_db.Database.query db Tpch_queries.q1_sql in
+  Alcotest.(check bool) "at most 4 groups" true
+    (List.length r.Mope_db.Exec.rows >= 1 && List.length r.Mope_db.Exec.rows <= 4);
+  (* The group counts must partition the filtered rows. *)
+  let total_from_groups =
+    List.fold_left
+      (fun acc row ->
+        match row.(9) with Mope_db.Value.Int n -> acc + n | _ -> acc)
+      0 r.Mope_db.Exec.rows
+  in
+  let filtered =
+    match
+      (Mope_db.Database.query db
+         "SELECT count(*) FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'")
+        .Mope_db.Exec.rows
+    with
+    | [ [| Mope_db.Value.Int n |] ] -> n
+    | _ -> Alcotest.fail "shape"
+  in
+  Alcotest.(check int) "groups partition rows" filtered total_from_groups;
+  (* avg = sum / count within each group. *)
+  List.iter
+    (fun row ->
+      match (row.(2), row.(6), row.(9)) with
+      | Mope_db.Value.Int sum_qty, Mope_db.Value.Float avg_qty, Mope_db.Value.Int n ->
+        Alcotest.(check (float 1e-6)) "avg consistency"
+          (float_of_int sum_qty /. float_of_int n)
+          avg_qty
+      | _ -> Alcotest.fail "row shape")
+    r.Mope_db.Exec.rows
+
+let test_linestatus_values () =
+  let db, _ = Lazy.force tpch_db in
+  let r =
+    Mope_db.Database.query db "SELECT DISTINCT l_linestatus FROM lineitem ORDER BY l_linestatus"
+  in
+  let vals =
+    List.map (function [| Mope_db.Value.Str s |] -> s | _ -> "?") r.Mope_db.Exec.rows
+  in
+  Alcotest.(check (list string)) "F and O" [ "F"; "O" ] vals
+
+let () =
+  Alcotest.run "workload"
+    [ ( "datasets",
+        [ Alcotest.test_case "shapes" `Quick test_dataset_shapes;
+          Alcotest.test_case "domains" `Quick test_dataset_domains;
+          Alcotest.test_case "skew" `Quick test_dataset_skew;
+          Alcotest.test_case "padding" `Quick test_dataset_padding ] );
+      ( "query_gen",
+        [ QCheck_alcotest.to_alcotest test_query_lengths_valid;
+          Alcotest.test_case "starts follow data" `Quick test_query_centers_follow_data;
+          Alcotest.test_case "MC matches exact" `Slow test_start_distribution_mc_vs_exact;
+          Alcotest.test_case "generate count" `Quick test_generate_count ] );
+      ( "cost_experiment",
+        [ Alcotest.test_case "uniform mode sane" `Slow test_cost_experiment_uniform_mode_sane;
+          Alcotest.test_case "periodic cheaper" `Slow test_cost_experiment_periodic_cheaper;
+          Alcotest.test_case "deterministic" `Quick test_cost_experiment_deterministic ] );
+      ( "tpch",
+        [ Alcotest.test_case "sizes" `Quick test_tpch_sizes;
+          Alcotest.test_case "dates in window" `Quick test_tpch_dates_in_window;
+          Alcotest.test_case "receipt after ship" `Quick test_tpch_receipt_after_ship;
+          Alcotest.test_case "domain mapping" `Quick test_tpch_domain_mapping;
+          Alcotest.test_case "Q6 selectivity" `Quick test_q6_selectivity;
+          Alcotest.test_case "generator deterministic" `Quick test_tpch_deterministic ] );
+      ( "tpch_queries",
+        [ Alcotest.test_case "templates run" `Quick test_templates_parse_and_run;
+          Alcotest.test_case "date ranges" `Quick test_template_date_ranges;
+          Alcotest.test_case "start domains" `Quick test_template_start_domains;
+          Alcotest.test_case "padded start distribution" `Quick
+            test_template_start_distribution_padded;
+          Alcotest.test_case "k covers instances" `Quick
+            test_template_lengths_cover_ranges;
+          Alcotest.test_case "Q1 runs and is consistent" `Quick
+            test_q1_runs_and_is_consistent;
+          Alcotest.test_case "linestatus values" `Quick test_linestatus_values ] ) ]
