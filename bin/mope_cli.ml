@@ -6,7 +6,10 @@
      ranges     show the ciphertext scan ranges for a plaintext interval
      schedule   show a QueryU/QueryP execution schedule for a query
      demo       run the end-to-end encrypted TPC-H demo
-     attack     mount the gap attack on naive vs protected query streams *)
+     attack     mount the gap attack on naive vs protected query streams
+     serve      run the trusted proxy as a TCP service over the testbed
+     save       generate the TPC-H database and persist it to disk
+     load       inspect a database file written by save / sql --db *)
 
 open Cmdliner
 open Mope_ope
@@ -284,6 +287,165 @@ let sql_cmd =
   let doc = "Interactive SQL shell over the embedded engine (with --db persistence)." in
   Cmd.v (Cmd.info "sql" ~doc) Term.(const run $ db_path $ statements)
 
+(* ------------------------------------------------------------------ *)
+(* save / load: persist the TPC-H testbed with Mope_db.Storage *)
+
+let path_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc:"Database file.")
+
+let sf_arg =
+  let doc = "TPC-H scale factor." in
+  Arg.(value & opt float 0.01 & info [ "sf" ] ~docv:"SF" ~doc)
+
+let seed_arg =
+  let doc = "Data-generation seed." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let save_cmd =
+  let run sf seed path =
+    let open Mope_system in
+    Printf.printf "generating TPC-H at SF %g (seed %d)...\n%!" sf seed;
+    let tb = Testbed.load ~sf ~seed:(Int64.of_int seed) () in
+    let sizes = Testbed.sizes tb in
+    Mope_db.Storage.save (Testbed.plain tb) ~path;
+    Printf.printf "saved %s (%d lineitems, %d orders, %d parts)\n" path
+      sizes.Mope_workload.Tpch.lineitems sizes.Mope_workload.Tpch.orders
+      sizes.Mope_workload.Tpch.parts
+  in
+  let doc = "Generate the plaintext TPC-H database and save it to disk." in
+  Cmd.v (Cmd.info "save" ~doc) Term.(const run $ sf_arg $ seed_arg $ path_arg)
+
+let load_cmd =
+  let run path =
+    let open Mope_db in
+    let db =
+      try Storage.load ~path
+      with Storage.Corrupt msg ->
+        Printf.eprintf "%s: corrupt database: %s\n" path msg;
+        exit 1
+    in
+    Printf.printf "%s:\n" path;
+    List.iter
+      (fun name ->
+        let t = Database.table_exn db name in
+        Printf.printf "  %s (%d rows) %s\n" name (Table.length t)
+          (Format.asprintf "%a" Schema.pp (Table.schema t)))
+      (Database.tables db)
+  in
+  let doc = "Load a database file written by $(b,save) and list its tables." in
+  Cmd.v (Cmd.info "load" ~doc) Term.(const run $ path_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve: the networked trusted proxy *)
+
+let serve_cmd =
+  let port_arg =
+    let doc = "TCP port to listen on (0 picks an ephemeral port)." in
+    Arg.(value & opt int 7070 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Bind address." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let db_arg =
+    let doc =
+      "Serve the database stored at $(docv) (written by $(b,save)) instead of \
+       generating a fresh TPC-H instance."
+    in
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"PATH" ~doc)
+  in
+  let rho_arg =
+    let doc = "Period for QueryP fake-query scheduling (omit for QueryU)." in
+    Arg.(value & opt (some int) None & info [ "rho" ] ~docv:"RHO" ~doc)
+  in
+  let batch_arg =
+    let doc = "Executed queries combined into one server statement (§5.1)." in
+    Arg.(value & opt int 25 & info [ "batch-size" ] ~docv:"N" ~doc)
+  in
+  let max_conn_arg =
+    let doc = "Live-connection cap; beyond it the accept loop backpressures." in
+    Arg.(value & opt int 64 & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Per-connection read/write timeout in seconds (0 = none)." in
+    Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run port host db sf seed rho batch_size max_connections timeout =
+    let open Mope_system in
+    let open Mope_net in
+    let tb =
+      match db with
+      | Some path ->
+        Printf.printf "loading %s...\n%!" path;
+        (try Testbed.of_plain (Mope_db.Storage.load ~path) with
+        | Mope_db.Storage.Corrupt msg ->
+          Printf.eprintf "%s: corrupt database: %s\n" path msg;
+          exit 1
+        | Invalid_argument msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 1)
+      | None ->
+        Printf.printf "generating TPC-H at SF %g (seed %d)...\n%!" sf seed;
+        Testbed.load ~sf ~seed:(Int64.of_int seed) ()
+    in
+    let open Mope_workload in
+    (* One proxy per MOPE-encrypted date column: l_shipdate takes Q6/Q14
+       traffic, o_orderdate takes Q4. Service serializes per column. *)
+    let proxies =
+      [ ( Tpch_queries.date_column Tpch_queries.Q6,
+          Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho ~batch_size
+            ~seed:(Int64.of_int seed) () );
+        ( Tpch_queries.date_column Tpch_queries.Q4,
+          Testbed.proxy tb ~template:Tpch_queries.Q4 ~rho ~batch_size
+            ~seed:(Int64.of_int seed) () ) ]
+    in
+    let service = Service.create ~proxies () in
+    let config =
+      { Server.default_config with
+        host; port; max_connections;
+        read_timeout = timeout; write_timeout = timeout }
+    in
+    let server =
+      try Server.start ~config ~handler:(Service.handler service) ()
+      with Mope_error.Error e ->
+        Printf.eprintf "%s\n" (Mope_error.to_string e);
+        exit 1
+    in
+    Printf.printf
+      "mope proxy listening on %s:%d (columns: %s; %s, batch %d)\n%!" host
+      (Server.port server)
+      (String.concat ", " (List.map fst proxies))
+      (match rho with None -> "QueryU" | Some r -> Printf.sprintf "QueryP[%d]" r)
+      batch_size;
+    let stop = Atomic.make false in
+    let request_stop _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    while not (Atomic.get stop) do
+      Thread.delay 0.2
+    done;
+    print_endline "shutting down...";
+    Server.shutdown server;
+    let s = Server.stats server in
+    let c = Service.counters service in
+    Printf.printf
+      "served %d request(s) over %d connection(s), %d error(s); avg latency \
+       %.1f ms, max %.1f ms\n"
+      s.Server.requests s.Server.connections_accepted s.Server.errors
+      (if s.Server.requests = 0 then 0.0
+       else 1000.0 *. s.Server.total_latency /. float_of_int s.Server.requests)
+      (1000.0 *. s.Server.max_latency);
+    Printf.printf
+      "proxy counters: %d client queries -> %d server requests (%d fakes), \
+       %d rows fetched, %d delivered\n"
+      c.Wire.client_queries c.Wire.server_requests c.Wire.fake_queries
+      c.Wire.rows_fetched c.Wire.rows_delivered
+  in
+  let doc = "Run the trusted proxy as a concurrent TCP service (Fig. 4)." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ port_arg $ host_arg $ db_arg $ sf_arg $ seed_arg
+          $ rho_arg $ batch_arg $ max_conn_arg $ timeout_arg)
+
 let () =
   let doc = "Modular order-preserving encryption (SIGMOD'15 reproduction)." in
   let info = Cmd.info "mope" ~version:"1.0.0" ~doc in
@@ -291,4 +453,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ encrypt_cmd; decrypt_cmd; ranges_cmd; schedule_cmd; demo_cmd;
-            attack_cmd; sql_cmd ]))
+            attack_cmd; sql_cmd; serve_cmd; save_cmd; load_cmd ]))

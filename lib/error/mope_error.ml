@@ -1,0 +1,37 @@
+type t = {
+  msg : string;
+  query : string option;
+  cause : exn option;
+}
+
+exception Error of t
+
+let create ?query ?cause msg = { msg; query; cause }
+
+let raise_error ?query ?cause msg = raise (Error (create ?query ?cause msg))
+
+let failwithf ?query ?cause fmt =
+  Printf.ksprintf (fun msg -> raise_error ?query ?cause msg) fmt
+
+let to_string { msg; query; cause } =
+  let b = Buffer.create 64 in
+  Buffer.add_string b msg;
+  (match query with
+  | Some q -> Buffer.add_string b (Printf.sprintf " [query: %s]" q)
+  | None -> ());
+  (match cause with
+  | Some e -> Buffer.add_string b (Printf.sprintf " (cause: %s)" (Printexc.to_string e))
+  | None -> ());
+  Buffer.contents b
+
+let wrap ?query ~msg f =
+  try f () with
+  | Error e ->
+    let query = match e.query with Some _ -> e.query | None -> query in
+    raise (Error { e with query })
+  | e -> raise_error ?query ~cause:e msg
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Mope_error.Error: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,31 @@
+(** Structured errors for the MOPE system.
+
+    Library code raises {!Error} instead of bare [Failure _] so callers get
+    the failing query and the underlying exception alongside the message
+    (the [Mssql_error] idiom). The payload is plain data: callers can match
+    on it, log it, or ship it over the wire. *)
+
+type t = {
+  msg : string;           (** what went wrong, human-readable *)
+  query : string option;  (** the client SQL being served, when there is one *)
+  cause : exn option;     (** the underlying exception, when re-raised *)
+}
+
+exception Error of t
+
+val create : ?query:string -> ?cause:exn -> string -> t
+
+val raise_error : ?query:string -> ?cause:exn -> string -> 'a
+(** Raise {!Error} with the given context. *)
+
+val failwithf :
+  ?query:string -> ?cause:exn -> ('a, unit, string, 'b) format4 -> 'a
+(** [failwithf fmt …] raises {!Error} with a formatted message. *)
+
+val to_string : t -> string
+(** One line: message, then [ [query: …]] and [ (cause: …)] when present. *)
+
+val wrap : ?query:string -> msg:string -> (unit -> 'a) -> 'a
+(** [wrap ~msg f] runs [f ()]; any exception is re-raised as {!Error} with
+    [f]'s exception as [cause]. An {!Error} raised by [f] passes through,
+    gaining [query] if it had none. *)

@@ -1,0 +1,112 @@
+type t = {
+  fd : Unix.file_descr;
+  host : string;
+  port : int;
+  timeout : float;
+  mutable closed : bool;
+}
+
+let transient = function
+  | Unix.Unix_error
+      ( ( ECONNREFUSED | ECONNRESET | ECONNABORTED | ETIMEDOUT | EAGAIN
+        | EWOULDBLOCK | EHOSTUNREACH | ENETUNREACH | EINTR | EPIPE ),
+        _, _ ) ->
+    true
+  | _ -> false
+
+let connect ?(host = "127.0.0.1") ~port ?(timeout = 10.0) ?(retries = 3)
+    ?(backoff = 0.05) () =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> Mope_error.failwithf "Client.connect: invalid address %s" host
+  in
+  let attempt_once () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    try
+      if timeout > 0.0 then begin
+        (* SO_SNDTIMEO also bounds connect(2) on Linux. *)
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+      end;
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  let rec attempt n delay =
+    match attempt_once () with
+    | fd -> fd
+    | exception e when transient e && n < retries ->
+      Thread.delay delay;
+      attempt (n + 1) (delay *. 2.0)
+    | exception e ->
+      Mope_error.failwithf ~cause:e
+        "Client.connect: %s:%d unreachable after %d attempt%s" host port (n + 1)
+        (if n = 0 then "" else "s")
+  in
+  let fd = attempt 0 backoff in
+  { fd; host; port; timeout; closed = false }
+
+let is_closed t = t.closed
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_client ?host ~port ?timeout ?retries ?backoff f =
+  let t = connect ?host ~port ?timeout ?retries ?backoff () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* One request/response exchange. [query] is the SQL context attached to
+   any error raised. *)
+let rpc t ?query request =
+  if t.closed then
+    Mope_error.failwithf ?query "Client: connection to %s:%d is closed" t.host t.port;
+  try
+    Wire.write_frame t.fd (Wire.encode_request request);
+    Wire.decode_response (Wire.read_frame t.fd)
+  with
+  | Wire.Protocol_error msg ->
+    close t;
+    Mope_error.failwithf ?query "Client: malformed frame from %s:%d: %s" t.host
+      t.port msg
+  | End_of_file ->
+    close t;
+    Mope_error.failwithf ?query "Client: %s:%d closed the connection" t.host t.port
+  | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) as e ->
+    (* The stream lost a frame boundary: this connection is unusable. *)
+    close t;
+    Mope_error.failwithf ?query ~cause:e
+      "Client: request to %s:%d timed out after %.3gs" t.host t.port t.timeout
+  | Unix.Unix_error _ as e ->
+    close t;
+    Mope_error.failwithf ?query ~cause:e "Client: I/O error talking to %s:%d"
+      t.host t.port
+
+let check_error ?query = function
+  | Wire.Error { code; message; query = server_query } ->
+    let query = match server_query with Some _ -> server_query | None -> query in
+    Mope_error.raise_error ?query
+      (Printf.sprintf "server error (%s): %s" (Wire.error_code_to_string code)
+         message)
+  | resp -> resp
+
+let ping t =
+  match check_error (rpc t Wire.Ping) with
+  | Wire.Pong -> ()
+  | _ -> Mope_error.raise_error "Client.ping: unexpected response"
+
+let query t ~sql ~date_column ~date_lo ~date_hi =
+  let request = Wire.Query { sql; date_column; date_lo; date_hi } in
+  match check_error ~query:sql (rpc t ~query:sql request) with
+  | Wire.Rows result -> result
+  | _ -> Mope_error.raise_error ~query:sql "Client.query: unexpected response"
+
+let counters t =
+  match check_error (rpc t Wire.Get_counters) with
+  | Wire.Counters c -> c
+  | _ -> Mope_error.raise_error "Client.counters: unexpected response"

@@ -1,0 +1,60 @@
+(** Client driver for the networked proxy.
+
+    A blocking, single-connection client (the driver-library shape of
+    [ocaml-mssql] / [bs-mysql-driver]): connect once, issue queries, close.
+    All failures — transport, timeout, protocol violations, and server-side
+    [Wire.Error] responses — surface as {!Mope_error.Error} carrying the
+    SQL being served and the underlying exception, never as bare [Failure]
+    or raw [Unix.Unix_error].
+
+    A [t] is not thread-safe: requests interleave frames on one socket, so
+    share a client across threads only behind a lock (or open one per
+    thread — the server is happy to oblige). *)
+
+open Mope_db
+
+type t
+
+val connect :
+  ?host:string ->
+  port:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  unit ->
+  t
+(** Connect, retrying transient failures (connection refused/reset, network
+    or host unreachable, timeout) up to [retries] extra times with
+    exponential backoff. [host] defaults to ["127.0.0.1"]; [timeout]
+    (default 10 s, 0 = none) bounds every socket operation including the
+    connect itself; [backoff] (default 0.05 s) is the first retry delay and
+    doubles per attempt. Raises {!Mope_error.Error} once attempts are
+    exhausted or on a non-transient failure. *)
+
+val close : t -> unit
+(** Idempotent. Subsequent calls on the client raise {!Mope_error.Error}. *)
+
+val is_closed : t -> bool
+
+val with_client :
+  ?host:string -> port:int -> ?timeout:float -> ?retries:int ->
+  ?backoff:float -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exception). *)
+
+val ping : t -> unit
+(** Round-trip a [Ping] frame. *)
+
+val query :
+  t ->
+  sql:string ->
+  date_column:string ->
+  date_lo:Date.t ->
+  date_hi:Date.t ->
+  Exec.result
+(** Execute one client statement through the remote proxy — the wire twin
+    of {!Mope_system.Proxy.execute}. A server-side [Wire.Error] response is
+    raised as {!Mope_error.Error} with the server's message, error code and
+    query context. *)
+
+val counters : t -> Wire.counters
+(** The server's aggregate proxy counters. *)

@@ -1,0 +1,223 @@
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  max_connections : int;
+  read_timeout : float;
+  write_timeout : float;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 0;
+    backlog = 16;
+    max_connections = 64;
+    read_timeout = 30.0;
+    write_timeout = 30.0 }
+
+type stats = {
+  mutable connections_accepted : int;
+  mutable requests : int;
+  mutable errors : int;
+  mutable total_latency : float;
+  mutable max_latency : float;
+}
+
+type t = {
+  config : config;
+  handler : Wire.request -> Wire.response;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stats : stats;
+  lock : Mutex.t;
+  state_changed : Condition.t;  (* slot freed, connection drained, or stopping *)
+  mutable active : Unix.file_descr list;  (* live connection sockets *)
+  mutable workers : Thread.t list;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let port t = t.bound_port
+
+let active_connections t = locked t (fun () -> List.length t.active)
+
+let stats t =
+  locked t (fun () ->
+      { connections_accepted = t.stats.connections_accepted;
+        requests = t.stats.requests;
+        errors = t.stats.errors;
+        total_latency = t.stats.total_latency;
+        max_latency = t.stats.max_latency })
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection loop *)
+
+let set_timeouts config fd =
+  if config.read_timeout > 0.0 then
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO config.read_timeout;
+  if config.write_timeout > 0.0 then
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO config.write_timeout
+
+let record_request t ~started ~is_error =
+  let elapsed = Unix.gettimeofday () -. started in
+  locked t (fun () ->
+      t.stats.requests <- t.stats.requests + 1;
+      if is_error then t.stats.errors <- t.stats.errors + 1;
+      t.stats.total_latency <- t.stats.total_latency +. elapsed;
+      if elapsed > t.stats.max_latency then t.stats.max_latency <- elapsed)
+
+let respond t fd ~started response =
+  let is_error = match response with Wire.Error _ -> true | _ -> false in
+  record_request t ~started ~is_error;
+  Wire.write_frame fd (Wire.encode_response response)
+
+(* Serve one client until it disconnects, times out, or desynchronizes. *)
+let connection_loop t fd =
+  let bad_frame msg =
+    Wire.Error { code = Wire.Bad_frame; message = msg; query = None }
+  in
+  let rec loop () =
+    match Wire.read_frame fd with
+    | exception End_of_file -> ()
+    | exception Wire.Protocol_error msg ->
+      (* The length prefix itself was bad: answer, then drop the link. *)
+      respond t fd ~started:(Unix.gettimeofday ()) (bad_frame msg)
+    | payload ->
+      let started = Unix.gettimeofday () in
+      (match Wire.decode_request payload with
+      | exception Wire.Protocol_error msg ->
+        (* Framing held but the payload is garbage; the next frame boundary
+           is still trustworthy, so keep the connection. *)
+        respond t fd ~started (bad_frame msg);
+        loop ()
+      | request ->
+        let response =
+          try t.handler request with
+          | Mope_error.Error e ->
+            Wire.Error
+              { code = Wire.Exec_failed; message = e.Mope_error.msg;
+                query = e.Mope_error.query }
+          | exn ->
+            Wire.Error
+              { code = Wire.Internal; message = Printexc.to_string exn;
+                query = None }
+        in
+        respond t fd ~started response;
+        loop ())
+  in
+  (try loop () with
+  | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT | ECONNRESET | EPIPE | EBADF), _, _) ->
+    (* Read/write timeout, peer drop, or shutdown under our feet. *)
+    ()
+  | Wire.Protocol_error _ | End_of_file -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let self = Thread.id (Thread.self ()) in
+  locked t (fun () ->
+      t.active <- List.filter (fun fd' -> fd' != fd) t.active;
+      t.workers <- List.filter (fun th -> Thread.id th <> self) t.workers;
+      Condition.broadcast t.state_changed)
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop with backpressure *)
+
+let accept_loop t =
+  let rec go () =
+    (* Backpressure: hold accepting while at the connection cap, so new
+       clients queue in the kernel backlog instead of spawning threads. *)
+    let stop =
+      locked t (fun () ->
+          while
+            List.length t.active >= t.config.max_connections && not t.stopping
+          do
+            Condition.wait t.state_changed t.lock
+          done;
+          t.stopping)
+    in
+    if not stop then
+      match Unix.accept ~cloexec:true t.listen_fd with
+      | exception Unix.Unix_error ((EBADF | EINVAL), _, _) ->
+        () (* listener closed by shutdown *)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        go () (* listener poll timeout: recheck the stop flag *)
+      | exception Unix.Unix_error (_, _, _) -> go ()
+      | fd, _peer ->
+        set_timeouts t.config fd;
+        let worker = Thread.create (connection_loop t) fd in
+        locked t (fun () ->
+            t.stats.connections_accepted <- t.stats.connections_accepted + 1;
+            t.active <- fd :: t.active;
+            t.workers <- worker :: t.workers);
+        go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+
+let start ?(config = default_config) ~handler () =
+  (* Without this, a client disconnecting mid-response kills the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr =
+    try Unix.inet_addr_of_string config.host
+    with Failure _ ->
+      Mope_error.failwithf "Server.start: invalid bind address %s" config.host
+  in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     (* accept(2) honours SO_RCVTIMEO, so the accept thread wakes up
+        periodically to notice a shutdown even if closing the listener
+        fails to interrupt it. *)
+     Unix.setsockopt_float listen_fd Unix.SO_RCVTIMEO 0.2;
+     Unix.bind listen_fd (Unix.ADDR_INET (addr, config.port));
+     Unix.listen listen_fd config.backlog
+   with Unix.Unix_error _ as e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     Mope_error.failwithf ~cause:e "Server.start: cannot listen on %s:%d"
+       config.host config.port);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let t =
+    { config; handler; listen_fd; bound_port;
+      stats =
+        { connections_accepted = 0; requests = 0; errors = 0;
+          total_latency = 0.0; max_latency = 0.0 };
+      lock = Mutex.create ();
+      state_changed = Condition.create ();
+      active = [];
+      workers = [];
+      stopping = false;
+      accept_thread = None }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let shutdown t =
+  let already =
+    locked t (fun () ->
+        let was = t.stopping in
+        t.stopping <- true;
+        Condition.broadcast t.state_changed;
+        was)
+  in
+  if not already then begin
+    (* Unblock the accept thread: shutdown(2) pops it out of accept(2) on
+       Linux; the listener's SO_RCVTIMEO poll is the portable fallback. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* Unblock connection threads parked in read(2). *)
+    let live = locked t (fun () -> t.active) in
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      live;
+    let workers = locked t (fun () -> t.workers) in
+    List.iter Thread.join workers;
+    locked t (fun () -> t.workers <- [])
+  end

@@ -1,0 +1,57 @@
+(** Concurrent TCP front-end for the trusted proxy.
+
+    A thread-per-connection server over [Unix] sockets: one accept thread
+    plus one thread per live client, suiting the paper's deployment shape
+    (few long-lived client connections funnelling many queries through the
+    proxy). The accept loop applies backpressure — when
+    [max_connections] clients are live it stops accepting and lets the
+    kernel backlog absorb the burst — and a graceful {!shutdown} stops
+    accepting, unblocks in-flight readers, and waits for every connection
+    thread to drain.
+
+    The server is transport only: a [handler] turns each decoded
+    {!Wire.request} into a {!Wire.response}. Handler exceptions become
+    structured [Wire.Error] responses, never crashes; malformed frames get
+    a [Bad_frame] error reply and the connection is closed (the stream
+    offset can no longer be trusted). The handler runs on connection
+    threads concurrently — it must do its own locking (see
+    {!Service}). *)
+
+type config = {
+  host : string;           (** bind address, default ["127.0.0.1"] *)
+  port : int;              (** 0 picks an ephemeral port (see {!port}) *)
+  backlog : int;           (** listen(2) backlog, default 16 *)
+  max_connections : int;   (** live-connection cap, default 64 *)
+  read_timeout : float;    (** per-read seconds, 0 = no timeout *)
+  write_timeout : float;   (** per-write seconds, 0 = no timeout *)
+}
+
+val default_config : config
+
+(** Aggregate request metrics, updated under the server's lock. *)
+type stats = {
+  mutable connections_accepted : int;
+  mutable requests : int;         (** frames decoded and answered *)
+  mutable errors : int;           (** responses that were [Wire.Error] *)
+  mutable total_latency : float;  (** seconds summed over requests *)
+  mutable max_latency : float;    (** slowest single request, seconds *)
+}
+
+type t
+
+val start : ?config:config -> handler:(Wire.request -> Wire.response) -> unit -> t
+(** Bind, listen, and spawn the accept thread. Raises
+    {!Mope_error.Error} if the address cannot be bound. Ignores [SIGPIPE]
+    process-wide so peer disconnects surface as [EPIPE]. *)
+
+val port : t -> int
+(** The actual bound port (useful with [config.port = 0]). *)
+
+val stats : t -> stats
+(** A snapshot copy; safe to read while the server runs. *)
+
+val active_connections : t -> int
+
+val shutdown : t -> unit
+(** Graceful stop: close the listener, shut down live connection sockets
+    (unblocking their readers), and join every thread. Idempotent. *)

@@ -1,0 +1,56 @@
+open Mope_system
+
+type t = { proxies : (string * (Mutex.t * Proxy.t)) list }
+
+let create ~proxies () =
+  if proxies = [] then invalid_arg "Service.create: no proxies";
+  let columns = List.map fst proxies in
+  if List.length (List.sort_uniq compare columns) <> List.length columns then
+    invalid_arg "Service.create: duplicate date column";
+  { proxies = List.map (fun (col, p) -> (col, (Mutex.create (), p))) proxies }
+
+let counters t =
+  List.fold_left
+    (fun acc (_, (lock, proxy)) ->
+      Mutex.lock lock;
+      let c = Proxy.counters proxy in
+      let snap =
+        { Wire.client_queries = acc.Wire.client_queries + c.Proxy.client_queries;
+          real_pieces = acc.Wire.real_pieces + c.Proxy.real_pieces;
+          fake_queries = acc.Wire.fake_queries + c.Proxy.fake_queries;
+          server_requests = acc.Wire.server_requests + c.Proxy.server_requests;
+          rows_fetched = acc.Wire.rows_fetched + c.Proxy.rows_fetched;
+          rows_delivered = acc.Wire.rows_delivered + c.Proxy.rows_delivered }
+      in
+      Mutex.unlock lock;
+      snap)
+    { Wire.client_queries = 0; real_pieces = 0; fake_queries = 0;
+      server_requests = 0; rows_fetched = 0; rows_delivered = 0 }
+    t.proxies
+
+let handler t = function
+  | Wire.Ping -> Wire.Pong
+  | Wire.Get_counters -> Wire.Counters (counters t)
+  | Wire.Query { sql; date_column; date_lo; date_hi } -> begin
+    match List.assoc_opt date_column t.proxies with
+    | None ->
+      Wire.Error
+        { code = Wire.Unsupported;
+          message = "no proxy serves date column " ^ date_column;
+          query = Some sql }
+    | Some (lock, proxy) ->
+      Mutex.lock lock;
+      let outcome =
+        match Proxy.execute proxy ~sql ~date_column ~date_lo ~date_hi with
+        | result -> Ok result
+        | exception e -> Error e
+      in
+      Mutex.unlock lock;
+      (match outcome with
+      | Ok result -> Wire.Rows result
+      | Error e ->
+        Wire.Error
+          { code = Wire.Exec_failed;
+            message = Printexc.to_string e;
+            query = Some sql })
+  end

@@ -1,0 +1,27 @@
+(** Request handler bridging the wire protocol to the proxy pipeline.
+
+    A service owns one {!Mope_system.Proxy.t} per served date column
+    (e.g. [l_shipdate] and [o_orderdate] for the TPC-H testbed) and
+    dispatches each [Wire.Query] to the proxy for its column.
+    {!Mope_system.Proxy.t} is single-threaded (mutable counters, one RNG,
+    one adaptive learner), so each proxy sits behind its own mutex —
+    queries on different columns run concurrently, queries on the same
+    column serialize. *)
+
+open Mope_system
+
+type t
+
+val create : proxies:(string * Proxy.t) list -> unit -> t
+(** [create ~proxies] with [proxies] mapping a date-column name to the
+    proxy serving it. Raises [Invalid_argument] on an empty or duplicated
+    mapping. *)
+
+val handler : t -> Wire.request -> Wire.response
+(** [Ping] → [Pong]; [Get_counters] → the field-wise sum over all proxies;
+    [Query] → [Rows] via {!Proxy.execute}, or a structured [Wire.Error]
+    ([Unsupported] for an unknown date column, [Exec_failed] with the query
+    attached when the pipeline raises). *)
+
+val counters : t -> Wire.counters
+(** The same aggregate [Get_counters] reports, for in-process callers. *)

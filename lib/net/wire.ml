@@ -1,0 +1,324 @@
+open Mope_db
+
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
+
+let version = 1
+
+let max_frame = 16 * 1024 * 1024
+
+type counters = {
+  client_queries : int;
+  real_pieces : int;
+  fake_queries : int;
+  server_requests : int;
+  rows_fetched : int;
+  rows_delivered : int;
+}
+
+type request =
+  | Ping
+  | Query of {
+      sql : string;
+      date_column : string;
+      date_lo : Date.t;
+      date_hi : Date.t;
+    }
+  | Get_counters
+
+type error_code = Bad_frame | Unsupported | Exec_failed | Overloaded | Internal
+
+type response =
+  | Pong
+  | Rows of Exec.result
+  | Counters of counters
+  | Error of { code : error_code; message : string; query : string option }
+
+let error_code_to_string = function
+  | Bad_frame -> "bad-frame"
+  | Unsupported -> "unsupported"
+  | Exec_failed -> "exec-failed"
+  | Overloaded -> "overloaded"
+  | Internal -> "internal"
+
+(* ------------------------------------------------------------------ *)
+(* Primitive encoders (big-endian, same conventions as Storage). *)
+
+let put_int64 buf v =
+  for byte = 0 to 7 do
+    let shift = 8 * (7 - byte) in
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xFFL)))
+  done
+
+let put_int buf v = put_int64 buf (Int64.of_int v)
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_string_opt buf = function
+  | None -> Buffer.add_char buf '\x00'
+  | Some s ->
+    Buffer.add_char buf '\x01';
+    put_string buf s
+
+let put_value buf = function
+  | Value.Null -> Buffer.add_char buf '\x00'
+  | Value.Bool b ->
+    Buffer.add_char buf '\x01';
+    Buffer.add_char buf (if b then '\x01' else '\x00')
+  | Value.Int i ->
+    Buffer.add_char buf '\x02';
+    put_int buf i
+  | Value.Float f ->
+    Buffer.add_char buf '\x03';
+    put_int64 buf (Int64.bits_of_float f)
+  | Value.Str s ->
+    Buffer.add_char buf '\x04';
+    put_string buf s
+  | Value.Date d ->
+    Buffer.add_char buf '\x05';
+    put_int buf d
+
+(* ------------------------------------------------------------------ *)
+(* Primitive decoders over a cursor. *)
+
+type cursor = { data : string; mutable pos : int }
+
+let need cur n =
+  if cur.pos + n > String.length cur.data then fail "truncated payload"
+
+let get_byte cur =
+  need cur 1;
+  let b = Char.code cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  b
+
+let get_int64 cur =
+  need cur 8;
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_byte cur))
+  done;
+  !v
+
+let get_int cur =
+  let v = get_int64 cur in
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then fail "integer out of range";
+  i
+
+let get_nat cur =
+  let v = get_int cur in
+  if v < 0 then fail "negative size";
+  v
+
+let get_string cur =
+  let len = get_nat cur in
+  need cur len;
+  let s = String.sub cur.data cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let get_string_opt cur =
+  match get_byte cur with
+  | 0 -> None
+  | 1 -> Some (get_string cur)
+  | n -> fail "bad option tag %d" n
+
+let get_value cur =
+  match get_byte cur with
+  | 0 -> Value.Null
+  | 1 -> Value.Bool (get_byte cur = 1)
+  | 2 -> Value.Int (get_int cur)
+  | 3 -> Value.Float (Int64.float_of_bits (get_int64 cur))
+  | 4 -> Value.Str (get_string cur)
+  | 5 -> Value.Date (get_int cur)
+  | n -> fail "unknown value tag %d" n
+
+(* ------------------------------------------------------------------ *)
+(* Message tags. Requests live below 0x80, responses at or above it. *)
+
+let tag_ping = 0x01
+let tag_query = 0x02
+let tag_get_counters = 0x03
+let tag_pong = 0x81
+let tag_rows = 0x82
+let tag_counters = 0x83
+let tag_error = 0xBF
+
+let error_code_tag = function
+  | Bad_frame -> 1
+  | Unsupported -> 2
+  | Exec_failed -> 3
+  | Overloaded -> 4
+  | Internal -> 5
+
+let error_code_of_tag = function
+  | 1 -> Bad_frame
+  | 2 -> Unsupported
+  | 3 -> Exec_failed
+  | 4 -> Overloaded
+  | 5 -> Internal
+  | n -> fail "unknown error code %d" n
+
+let payload tag body =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr tag);
+  body buf;
+  Buffer.contents buf
+
+let open_payload data =
+  let cur = { data; pos = 0 } in
+  let v = get_byte cur in
+  if v <> version then fail "unsupported protocol version %d (expected %d)" v version;
+  let tag = get_byte cur in
+  (tag, cur)
+
+let close_payload cur =
+  if cur.pos <> String.length cur.data then fail "trailing bytes after message"
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+let encode_request = function
+  | Ping -> payload tag_ping (fun _ -> ())
+  | Query { sql; date_column; date_lo; date_hi } ->
+    payload tag_query (fun buf ->
+        put_string buf sql;
+        put_string buf date_column;
+        put_int buf date_lo;
+        put_int buf date_hi)
+  | Get_counters -> payload tag_get_counters (fun _ -> ())
+
+let decode_request data =
+  let tag, cur = open_payload data in
+  let req =
+    if tag = tag_ping then Ping
+    else if tag = tag_query then begin
+      let sql = get_string cur in
+      let date_column = get_string cur in
+      let date_lo = get_int cur in
+      let date_hi = get_int cur in
+      Query { sql; date_column; date_lo; date_hi }
+    end
+    else if tag = tag_get_counters then Get_counters
+    else fail "unknown request tag 0x%02x" tag
+  in
+  close_payload cur;
+  req
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let encode_response = function
+  | Pong -> payload tag_pong (fun _ -> ())
+  | Rows result ->
+    payload tag_rows (fun buf ->
+        put_int buf (List.length result.Exec.columns);
+        List.iter (put_string buf) result.Exec.columns;
+        put_int buf (List.length result.Exec.rows);
+        List.iter
+          (fun row ->
+            put_int buf (Array.length row);
+            Array.iter (put_value buf) row)
+          result.Exec.rows)
+  | Counters c ->
+    payload tag_counters (fun buf ->
+        put_int buf c.client_queries;
+        put_int buf c.real_pieces;
+        put_int buf c.fake_queries;
+        put_int buf c.server_requests;
+        put_int buf c.rows_fetched;
+        put_int buf c.rows_delivered)
+  | Error { code; message; query } ->
+    payload tag_error (fun buf ->
+        Buffer.add_char buf (Char.chr (error_code_tag code));
+        put_string buf message;
+        put_string_opt buf query)
+
+let decode_response data =
+  let tag, cur = open_payload data in
+  let resp =
+    if tag = tag_pong then Pong
+    else if tag = tag_rows then begin
+      let n_cols = get_nat cur in
+      let columns = List.init n_cols (fun _ -> get_string cur) in
+      let n_rows = get_nat cur in
+      let rows =
+        List.init n_rows (fun _ ->
+            let arity = get_nat cur in
+            (* Explicit loop: Array.init's evaluation order is unspecified. *)
+            let row = Array.make arity Value.Null in
+            for i = 0 to arity - 1 do
+              row.(i) <- get_value cur
+            done;
+            row)
+      in
+      Rows { Exec.columns; rows }
+    end
+    else if tag = tag_counters then begin
+      let client_queries = get_int cur in
+      let real_pieces = get_int cur in
+      let fake_queries = get_int cur in
+      let server_requests = get_int cur in
+      let rows_fetched = get_int cur in
+      let rows_delivered = get_int cur in
+      Counters
+        { client_queries; real_pieces; fake_queries; server_requests;
+          rows_fetched; rows_delivered }
+    end
+    else if tag = tag_error then begin
+      let code = error_code_of_tag (get_byte cur) in
+      let message = get_string cur in
+      let query = get_string_opt cur in
+      Error { code; message; query }
+    end
+    else fail "unknown response tag 0x%02x" tag
+  in
+  close_payload cur;
+  resp
+
+(* ------------------------------------------------------------------ *)
+(* Framed socket I/O *)
+
+let rec write_all fd bytes pos len =
+  if len > 0 then
+    match Unix.write fd bytes pos len with
+    | n -> write_all fd bytes (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes pos len
+
+let write_frame fd data =
+  let len = String.length data in
+  if len > max_frame then
+    invalid_arg (Printf.sprintf "Wire.write_frame: payload of %d bytes exceeds max_frame" len);
+  let frame = Bytes.create (4 + len) in
+  Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xFF));
+  Bytes.set frame 1 (Char.chr ((len lsr 16) land 0xFF));
+  Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.set frame 3 (Char.chr (len land 0xFF));
+  Bytes.blit_string data 0 frame 4 len;
+  write_all fd frame 0 (4 + len)
+
+(* Read exactly [len] bytes; [eof_ok] only applies before the first byte. *)
+let read_exact fd len ~eof_ok =
+  let bytes = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    match Unix.read fd bytes !pos (len - !pos) with
+    | 0 -> if !pos = 0 && eof_ok then raise End_of_file else fail "connection closed mid-frame"
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Bytes.unsafe_to_string bytes
+
+let read_frame fd =
+  let header = read_exact fd 4 ~eof_ok:true in
+  let byte i = Char.code header.[i] in
+  let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+  if len < 2 then fail "frame too short (%d bytes)" len;
+  if len > max_frame then fail "frame of %d bytes exceeds max_frame" len;
+  read_exact fd len ~eof_ok:false

@@ -1,0 +1,82 @@
+(** The proxy's wire protocol: versioned, length-prefixed binary frames.
+
+    Every message travels as one frame: a 4-byte big-endian payload length,
+    then the payload. The payload starts with a 1-byte protocol version and
+    a 1-byte message tag; the body is self-describing in the same style as
+    {!Mope_db.Storage} (big-endian fixed-width integers, length-prefixed
+    strings, tagged values — no [Marshal], so frames are stable across
+    compiler versions and languages). See DESIGN.md for the exact layout.
+
+    Decoders never trust the peer: bad versions, unknown tags, truncated
+    bodies, trailing bytes and oversized length prefixes all raise
+    {!Protocol_error} with a reason. *)
+
+open Mope_db
+
+exception Protocol_error of string
+
+val version : int
+(** Current protocol version (1). A decoder rejects frames whose version
+    byte differs — version bumps are breaking by design; additions that
+    only define new tags do not bump it. *)
+
+val max_frame : int
+(** Upper bound on a payload length (16 MiB). A length prefix above this is
+    rejected before any allocation, so a malicious or corrupt header cannot
+    make either side allocate unbounded memory. *)
+
+(** Snapshot of the proxy-side obfuscation counters (see
+    {!Mope_system.Proxy.counters}), immutable for transport. *)
+type counters = {
+  client_queries : int;
+  real_pieces : int;
+  fake_queries : int;
+  server_requests : int;
+  rows_fetched : int;
+  rows_delivered : int;
+}
+
+type request =
+  | Ping
+  | Query of {
+      sql : string;             (** full plaintext SQL *)
+      date_column : string;     (** the MOPE-encrypted attribute ranged over *)
+      date_lo : Date.t;         (** inclusive range start *)
+      date_hi : Date.t;         (** inclusive range end *)
+    }
+  | Get_counters
+
+type error_code =
+  | Bad_frame    (** the peer sent something the codec rejected *)
+  | Unsupported  (** well-formed request the server cannot serve *)
+  | Exec_failed  (** the proxy pipeline raised while executing the query *)
+  | Overloaded   (** the server is shedding load *)
+  | Internal     (** anything else; the message carries the details *)
+
+type response =
+  | Pong
+  | Rows of Exec.result
+  | Counters of counters
+  | Error of { code : error_code; message : string; query : string option }
+
+val error_code_to_string : error_code -> string
+
+(* Codecs: [encode_*] produce a payload (no length prefix); [decode_*]
+   consume one and raise [Protocol_error] on any malformation. *)
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+
+(* Framed I/O over a connected socket. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Length-prefix the payload and write it fully (handles short writes).
+    Raises [Invalid_argument] if the payload exceeds {!max_frame}. *)
+
+val read_frame : Unix.file_descr -> string
+(** Read one frame and return its payload. Raises [End_of_file] on a clean
+    close before any header byte, {!Protocol_error} on a mid-frame close or
+    an out-of-bounds length prefix, and lets [Unix.Unix_error] (e.g. a
+    [SO_RCVTIMEO] timeout surfacing as [EAGAIN]) propagate. *)

@@ -14,6 +14,17 @@ let load ?(sf = 0.01) ?(seed = 7L) () =
   let sizes = Tpch.load plain ~sf ~seed in
   { plain; sizes; key = "testbed-master-key"; encrypted = [] }
 
+let of_plain ?(key = "testbed-master-key") plain =
+  let rows name =
+    match Database.table plain name with
+    | Some t -> Table.length t
+    | None -> invalid_arg (Printf.sprintf "Testbed.of_plain: missing table %s" name)
+  in
+  let sizes =
+    { Tpch.lineitems = rows "lineitem"; orders = rows "orders"; parts = rows "part" }
+  in
+  { plain; sizes; key; encrypted = [] }
+
 let plain t = t.plain
 
 let sizes t = t.sizes

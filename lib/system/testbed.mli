@@ -12,6 +12,13 @@ type t
 val load : ?sf:float -> ?seed:int64 -> unit -> t
 (** Generate the plaintext TPC-H database (default SF 0.01, seed 7). *)
 
+val of_plain : ?key:string -> Mope_db.Database.t -> t
+(** Wrap an existing plaintext TPC-H database (e.g. one reloaded through
+    {!Mope_db.Storage}) as a testbed, so a served database can persist
+    across restarts. Raises [Invalid_argument] if the [lineitem], [orders]
+    or [part] table is missing. [key] is the MOPE/DET master key the
+    encrypted twin will be built under. *)
+
 val plain : t -> Mope_db.Database.t
 
 val sizes : t -> Tpch.sizes

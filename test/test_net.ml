@@ -1,0 +1,372 @@
+(* Tests for lib/net: wire codec robustness, the concurrent TCP server, and
+   the client driver — including the loopback integration path that drives
+   TPC-H query instances through the encrypted proxy pipeline over a real
+   socket and checks the results against the plaintext baseline. *)
+
+open Mope_db
+open Mope_workload
+open Mope_system
+open Mope_net
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let sample_counters =
+  { Wire.client_queries = 3; real_pieces = 5; fake_queries = 7;
+    server_requests = 2; rows_fetched = 1234; rows_delivered = 99 }
+
+let roundtrip_request r = Wire.decode_request (Wire.encode_request r)
+
+let roundtrip_response r = Wire.decode_response (Wire.encode_response r)
+
+let test_request_roundtrip () =
+  Alcotest.(check bool) "ping" true (roundtrip_request Wire.Ping = Wire.Ping);
+  Alcotest.(check bool) "counters" true
+    (roundtrip_request Wire.Get_counters = Wire.Get_counters);
+  let q =
+    Wire.Query
+      { sql = "SELECT sum(l_discount) FROM lineitem WHERE ...";
+        date_column = "l_shipdate";
+        date_lo = Date.of_ymd 1994 1 1;
+        date_hi = Date.of_ymd 1994 12 31 }
+  in
+  Alcotest.(check bool) "query" true (roundtrip_request q = q)
+
+let test_response_roundtrip () =
+  Alcotest.(check bool) "pong" true (roundtrip_response Wire.Pong = Wire.Pong);
+  Alcotest.(check bool) "counters" true
+    (roundtrip_response (Wire.Counters sample_counters)
+    = Wire.Counters sample_counters);
+  (* Rows exercising every value constructor, including the empty row. *)
+  let rows =
+    Wire.Rows
+      { Exec.columns = [ "a"; "b" ];
+        rows =
+          [ [| Value.Null; Value.Bool true |];
+            [| Value.Int (-42); Value.Float 2.5 |];
+            [| Value.Str ""; Value.Str "hello \x00 world" |];
+            [| Value.Date (Date.of_ymd 1997 6 15); Value.Float nan |];
+            [||] ] }
+  in
+  (match roundtrip_response rows, rows with
+  | Wire.Rows got, Wire.Rows want ->
+    Alcotest.(check (list string)) "columns" want.Exec.columns got.Exec.columns;
+    List.iter2
+      (fun w g ->
+        Alcotest.(check (array string)) "row"
+          (Array.map Value.to_string w) (Array.map Value.to_string g))
+      want.Exec.rows got.Exec.rows
+  | _ -> Alcotest.fail "rows shape");
+  let err =
+    Wire.Error
+      { code = Wire.Exec_failed; message = "boom"; query = Some "SELECT 1" }
+  in
+  Alcotest.(check bool) "error" true (roundtrip_response err = err);
+  let err_no_query =
+    Wire.Error { code = Wire.Overloaded; message = "busy"; query = None }
+  in
+  Alcotest.(check bool) "error no query" true
+    (roundtrip_response err_no_query = err_no_query)
+
+let check_protocol_error name (f : unit -> unit) =
+  match f () with
+  | () -> Alcotest.fail (name ^ ": expected Protocol_error")
+  | exception Wire.Protocol_error _ -> ()
+
+let test_decode_malformed () =
+  let ping = Wire.encode_request Wire.Ping in
+  (* Wrong version byte. *)
+  let bad_version = "\x7F" ^ String.sub ping 1 (String.length ping - 1) in
+  check_protocol_error "version" (fun () ->
+      ignore (Wire.decode_request bad_version));
+  (* Unknown tag. *)
+  check_protocol_error "unknown tag" (fun () ->
+      ignore (Wire.decode_request "\x01\x6E"));
+  (* A response tag is not a request. *)
+  check_protocol_error "response as request" (fun () ->
+      ignore (Wire.decode_request (Wire.encode_response Wire.Pong)));
+  (* Truncated body: a Query missing everything after the tag. *)
+  check_protocol_error "truncated" (fun () ->
+      ignore (Wire.decode_request "\x01\x02"));
+  (* Trailing bytes after a complete message. *)
+  check_protocol_error "trailing" (fun () ->
+      ignore (Wire.decode_request (ping ^ "\x00")));
+  (* Negative / insane string length inside the body. *)
+  check_protocol_error "bad length" (fun () ->
+      ignore (Wire.decode_request "\x01\x02\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
+  (* Empty payload. *)
+  check_protocol_error "empty" (fun () -> ignore (Wire.decode_request ""))
+
+(* ------------------------------------------------------------------ *)
+(* Loopback server + client over the encrypted TPC-H pipeline *)
+
+let testbed = lazy (Testbed.load ~sf:0.002 ~seed:21L ())
+
+let result_fingerprint r =
+  List.map (fun row -> Array.to_list (Array.map Value.to_string row)) r.Exec.rows
+
+(* A service with one proxy per date column, as `mope serve` builds it. *)
+let make_service ?batch_size () =
+  let tb = Lazy.force testbed in
+  let proxies =
+    [ ( Tpch_queries.date_column Tpch_queries.Q6,
+        Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho:(Some 92) ?batch_size
+          ~seed:17L () );
+      ( Tpch_queries.date_column Tpch_queries.Q4,
+        Testbed.proxy tb ~template:Tpch_queries.Q4 ~rho:(Some 92) ?batch_size
+          ~seed:19L () ) ]
+  in
+  Service.create ~proxies ()
+
+let with_server ?config handler f =
+  let server = Server.start ?config ~handler () in
+  Fun.protect ~finally:(fun () -> Server.shutdown server) (fun () -> f server)
+
+let test_loopback_tpch () =
+  let tb = Lazy.force testbed in
+  let service = make_service ~batch_size:25 () in
+  with_server (Service.handler service) (fun server ->
+      Client.with_client ~port:(Server.port server) (fun client ->
+          Client.ping client;
+          (* >= 3 instances across both date columns, checked against the
+             plaintext baseline byte for byte. *)
+          let rng = Mope_stats.Rng.create 23L in
+          let instances =
+            [ Tpch_queries.random_instance rng Tpch_queries.Q6;
+              Tpch_queries.random_instance rng Tpch_queries.Q14;
+              Tpch_queries.random_instance rng Tpch_queries.Q4;
+              Tpch_queries.random_instance rng Tpch_queries.Q4 ]
+          in
+          List.iter
+            (fun inst ->
+              let plain = Testbed.run_plain tb inst in
+              let got =
+                Client.query client ~sql:inst.Tpch_queries.sql
+                  ~date_column:
+                    (Tpch_queries.date_column inst.Tpch_queries.template)
+                  ~date_lo:inst.Tpch_queries.date_lo
+                  ~date_hi:inst.Tpch_queries.date_hi
+              in
+              Alcotest.(check (list string))
+                "columns" plain.Exec.columns got.Exec.columns;
+              Alcotest.(check (list (list string)))
+                (Tpch_queries.template_name inst.Tpch_queries.template
+                ^ " over the wire")
+                (result_fingerprint plain) (result_fingerprint got))
+            instances;
+          (* Counters travelled the wire and match the in-process view. *)
+          let c = Client.counters client in
+          Alcotest.(check int) "client queries" (List.length instances)
+            c.Wire.client_queries;
+          Alcotest.(check bool) "rows delivered" true (c.Wire.rows_delivered > 0);
+          Alcotest.(check bool) "counters agree" true
+            (c = Service.counters service));
+      let s = Server.stats server in
+      (* ping + 4 queries + 1 counters fetch *)
+      Alcotest.(check int) "requests" 6 s.Server.requests;
+      Alcotest.(check int) "no errors" 0 s.Server.errors;
+      Alcotest.(check int) "one connection" 1 s.Server.connections_accepted;
+      Alcotest.(check bool) "latency recorded" true (s.Server.total_latency > 0.0));
+  Alcotest.(check bool) "loopback done" true true
+
+let test_unknown_column_is_structured () =
+  let service = make_service () in
+  with_server (Service.handler service) (fun server ->
+      Client.with_client ~port:(Server.port server) (fun client ->
+          match
+            Client.query client ~sql:"SELECT 1" ~date_column:"no_such_column"
+              ~date_lo:(Date.of_ymd 1994 1 1) ~date_hi:(Date.of_ymd 1994 2 1)
+          with
+          | _ -> Alcotest.fail "expected a structured error"
+          | exception Mope_error.Error e ->
+            Alcotest.(check bool) "mentions unsupported" true
+              (contains ~needle:"unsupported" e.Mope_error.msg);
+            Alcotest.(check (option string)) "query attached" (Some "SELECT 1")
+              e.Mope_error.query;
+          (* The connection survives a handler-level error. *)
+          Client.ping client))
+
+(* Raw-socket client: drive malformed frames at the server. *)
+let raw_connect port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  fd
+
+let expect_bad_frame name payload =
+  match Wire.decode_response payload with
+  | Wire.Error { code = Wire.Bad_frame; message; _ } ->
+    Alcotest.(check bool) (name ^ " has reason") true (String.length message > 0)
+  | _ -> Alcotest.fail (name ^ ": expected a Bad_frame error response")
+
+let test_malformed_payload_keeps_connection () =
+  let service = make_service () in
+  with_server (Service.handler service) (fun server ->
+      let fd = raw_connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Framing is intact but the payload has a bogus version byte: the
+             server must answer Bad_frame and keep the connection usable. *)
+          Wire.write_frame fd "\x63\x01";
+          expect_bad_frame "bad version" (Wire.read_frame fd);
+          Wire.write_frame fd (Wire.encode_request Wire.Ping);
+          Alcotest.(check bool) "still serving" true
+            (Wire.decode_response (Wire.read_frame fd) = Wire.Pong)))
+
+let test_bad_length_prefix_closes_connection () =
+  let service = make_service () in
+  with_server (Service.handler service) (fun server ->
+      let fd = raw_connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* A 0-byte frame is below the version+tag minimum: the framing
+             layer itself rejects it, so the server answers and hangs up.
+             (Nothing follows the header — unread bytes at close would turn
+             the server's FIN into an RST under the client's feet.) *)
+          let junk = Bytes.of_string "\x00\x00\x00\x00" in
+          ignore (Unix.write fd junk 0 (Bytes.length junk));
+          expect_bad_frame "short frame" (Wire.read_frame fd);
+          match Wire.read_frame fd with
+          | _ -> Alcotest.fail "expected the server to close the connection"
+          | exception End_of_file -> ()
+          | exception Wire.Protocol_error _ -> ()))
+
+let test_oversized_length_prefix_rejected () =
+  let service = make_service () in
+  with_server (Service.handler service) (fun server ->
+      let fd = raw_connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Claim a 256 MiB payload: rejected before any allocation. *)
+          let junk = Bytes.of_string "\x10\x00\x00\x00" in
+          ignore (Unix.write fd junk 0 (Bytes.length junk));
+          expect_bad_frame "oversized" (Wire.read_frame fd)))
+
+let test_client_timeout_is_structured () =
+  (* A handler that stalls longer than the client is willing to wait. *)
+  let handler = function
+    | Wire.Ping ->
+      Thread.delay 1.5;
+      Wire.Pong
+    | _ -> Wire.Error { code = Wire.Unsupported; message = "no"; query = None }
+  in
+  with_server handler (fun server ->
+      let client = Client.connect ~port:(Server.port server) ~timeout:0.3 () in
+      (match Client.ping client with
+      | () -> Alcotest.fail "expected a timeout"
+      | exception Mope_error.Error e ->
+        Alcotest.(check bool) "mentions timeout" true
+          (contains ~needle:"timed out" e.Mope_error.msg));
+      (* A timed-out connection has lost its frame boundary: it is dead. *)
+      Alcotest.(check bool) "closed after timeout" true (Client.is_closed client))
+
+let test_connect_retries_then_structured_error () =
+  (* Find a port with no listener by binding one and closing it. *)
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  Unix.close fd;
+  match Client.connect ~port ~retries:2 ~backoff:0.01 () with
+  | _ -> Alcotest.fail "expected connection failure"
+  | exception Mope_error.Error e ->
+    Alcotest.(check bool) "attempt count in message" true
+      (contains ~needle:"3 attempts" e.Mope_error.msg);
+    Alcotest.(check bool) "cause preserved" true (e.Mope_error.cause <> None)
+
+let test_use_after_close () =
+  let service = make_service () in
+  with_server (Service.handler service) (fun server ->
+      let client = Client.connect ~port:(Server.port server) () in
+      Client.ping client;
+      Client.close client;
+      Client.close client (* idempotent *);
+      match Client.ping client with
+      | () -> Alcotest.fail "expected an error on a closed client"
+      | exception Mope_error.Error _ -> ())
+
+let test_concurrent_clients () =
+  let service = make_service () in
+  let n_threads = 4 and pings = 5 in
+  with_server (Service.handler service) (fun server ->
+      let port = Server.port server in
+      let failures = Atomic.make 0 in
+      let worker () =
+        try
+          Client.with_client ~port (fun client ->
+              for _ = 1 to pings do
+                Client.ping client
+              done;
+              ignore (Client.counters client))
+        with _ -> Atomic.incr failures
+      in
+      let threads = List.init n_threads (fun _ -> Thread.create worker ()) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "no thread failed" 0 (Atomic.get failures);
+      let s = Server.stats server in
+      Alcotest.(check int) "every request served"
+        (n_threads * (pings + 1)) s.Server.requests;
+      Alcotest.(check int) "every connection accepted" n_threads
+        s.Server.connections_accepted;
+      (* Server-side cleanup of a closed client is asynchronous: wait for
+         the connection threads to notice the EOFs. *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while
+        Server.active_connections server > 0 && Unix.gettimeofday () < deadline
+      do
+        Thread.delay 0.02
+      done;
+      Alcotest.(check int) "connections drained" 0
+        (Server.active_connections server))
+
+let test_shutdown_idempotent_and_rejects_late_clients () =
+  let service = make_service () in
+  let server = Server.start ~handler:(Service.handler service) () in
+  let port = Server.port server in
+  Client.with_client ~port (fun client -> Client.ping client);
+  Server.shutdown server;
+  Server.shutdown server (* idempotent *);
+  match Client.connect ~port ~retries:0 () with
+  | client ->
+    (* The kernel may still complete the handshake on some platforms; the
+       first round-trip must then fail. *)
+    (match Client.ping client with
+    | () -> Alcotest.fail "expected a dead server"
+    | exception Mope_error.Error _ -> ());
+    Client.close client
+  | exception Mope_error.Error _ -> ()
+
+let () =
+  Alcotest.run "net"
+    [ ( "wire",
+        [ Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "malformed payloads rejected" `Quick
+            test_decode_malformed ] );
+      ( "loopback",
+        [ Alcotest.test_case "TPC-H through the encrypted pipeline" `Slow
+            test_loopback_tpch;
+          Alcotest.test_case "unknown column is a structured error" `Quick
+            test_unknown_column_is_structured;
+          Alcotest.test_case "malformed payload keeps the connection" `Quick
+            test_malformed_payload_keeps_connection;
+          Alcotest.test_case "bad length prefix closes the connection" `Quick
+            test_bad_length_prefix_closes_connection;
+          Alcotest.test_case "oversized length prefix rejected" `Quick
+            test_oversized_length_prefix_rejected ] );
+      ( "client",
+        [ Alcotest.test_case "timeout is a structured error" `Quick
+            test_client_timeout_is_structured;
+          Alcotest.test_case "connect retries then structured error" `Quick
+            test_connect_retries_then_structured_error;
+          Alcotest.test_case "use after close" `Quick test_use_after_close ] );
+      ( "server",
+        [ Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+          Alcotest.test_case "shutdown is graceful and idempotent" `Quick
+            test_shutdown_idempotent_and_rejects_late_clients ] ) ]

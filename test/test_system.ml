@@ -212,6 +212,56 @@ let test_proxy_batching_reduces_requests () =
     true
     (batched <= unbatched)
 
+let test_batch_larger_than_pieces () =
+  (* Q14's range is one τ_k piece; a batch_size dwarfing pieces + fakes must
+     degrade to "everything in one statement", not misbehave. *)
+  let tb = Lazy.force testbed in
+  let rng = Mope_stats.Rng.create 47L in
+  let inst = Tpch_queries.random_instance rng Tpch_queries.Q14 in
+  let proxy =
+    Testbed.proxy tb ~template:Tpch_queries.Q14 ~rho:(Some 31) ~batch_size:10_000
+      ~seed:9L ()
+  in
+  let plain = Testbed.run_plain tb inst in
+  let encd = Testbed.run_encrypted proxy inst in
+  Alcotest.(check (list (list string))) "oversized batch still exact"
+    (result_fingerprint plain) (result_fingerprint encd);
+  let c = Proxy.counters proxy in
+  Alcotest.(check int) "single batched statement" 1 c.Proxy.server_requests;
+  Alcotest.(check bool) "covered pieces and fakes" true
+    (c.Proxy.real_pieces + c.Proxy.fake_queries >= 1)
+
+let test_batch_size_invariant_counters () =
+  (* The batch size is a transport knob: it must not change what the client
+     sees — same real pieces, same fakes (same scheduler seed), and exactly
+     the same rows delivered. *)
+  let tb = Lazy.force testbed in
+  let rng = Mope_stats.Rng.create 53L in
+  let instances =
+    [ Tpch_queries.random_instance rng Tpch_queries.Q14;
+      Tpch_queries.random_instance rng Tpch_queries.Q14 ]
+  in
+  let run batch_size =
+    let proxy =
+      Testbed.proxy tb ~template:Tpch_queries.Q14 ~rho:(Some 31) ~batch_size
+        ~seed:11L ()
+    in
+    let results = List.map (Testbed.run_encrypted proxy) instances in
+    (Proxy.counters proxy, results)
+  in
+  let c1, r1 = run 1 and c8, r8 = run 8 in
+  Alcotest.(check int) "client queries" c1.Proxy.client_queries c8.Proxy.client_queries;
+  Alcotest.(check int) "real pieces" c1.Proxy.real_pieces c8.Proxy.real_pieces;
+  Alcotest.(check int) "fake queries" c1.Proxy.fake_queries c8.Proxy.fake_queries;
+  Alcotest.(check int) "rows delivered" c1.Proxy.rows_delivered c8.Proxy.rows_delivered;
+  Alcotest.(check bool) "batched sends fewer statements" true
+    (c8.Proxy.server_requests <= c1.Proxy.server_requests);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check (list (list string))) "identical rows"
+        (result_fingerprint a) (result_fingerprint b))
+    r1 r8
+
 let test_padded_domain () =
   Alcotest.(check int) "no padding" 2557 (Testbed.padded_domain ~rho:None);
   Alcotest.(check int) "rho 92" 2576 (Testbed.padded_domain ~rho:(Some 92));
@@ -577,4 +627,8 @@ let () =
           Alcotest.test_case "counters" `Quick test_proxy_counters;
           Alcotest.test_case "batching reduces requests" `Quick
             test_proxy_batching_reduces_requests;
+          Alcotest.test_case "batch larger than pieces" `Quick
+            test_batch_larger_than_pieces;
+          Alcotest.test_case "batch size invariant counters" `Quick
+            test_batch_size_invariant_counters;
           Alcotest.test_case "padded domains" `Quick test_padded_domain ] ) ]
