@@ -1,0 +1,16 @@
+let () =
+  (* Craft a Query request whose sql length field is max_int *)
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf '\x01';          (* version *)
+  Buffer.add_char buf '\x02';          (* tag_query *)
+  (* 8-byte big-endian max_int *)
+  let v = Int64.of_int max_int in
+  for byte = 0 to 7 do
+    let shift = 8 * (7 - byte) in
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xFFL)))
+  done;
+  let payload = Buffer.contents buf in
+  (match Mope_net.Wire.decode_request payload with
+   | _ -> print_endline "decoded?!"
+   | exception Mope_net.Wire.Protocol_error m -> Printf.printf "Protocol_error: %s\n" m
+   | exception e -> Printf.printf "ESCAPED: %s\n" (Printexc.to_string e))
