@@ -209,11 +209,15 @@ let render_table (result : Mope_db.Exec.result) =
     result.Exec.rows;
   Printf.printf "(%d rows)\n" (List.length result.Exec.rows)
 
-let run_sql_statement db stmt =
+let run_sql_statement ?wal db stmt =
   let open Mope_db in
   match Database.execute db stmt with
   | Database.Rows result -> render_table result
-  | Database.Affected n -> Printf.printf "OK, %d rows affected\n" n
+  | Database.Affected n ->
+    (* Mutation applied: WAL it before acknowledging, so a crash between
+       here and the next checkpoint replays it. *)
+    (match wal with Some log -> Wal.append log stmt | None -> ());
+    Printf.printf "OK, %d rows affected\n" n
   | exception Sql_parser.Parse_error msg -> Printf.printf "parse error: %s\n" msg
   | exception Sql_lexer.Lex_error (msg, pos) ->
     Printf.printf "lex error at %d: %s\n" pos msg
@@ -226,28 +230,59 @@ let sql_cmd =
     let doc = "Database file (created/updated with \\save; loaded if present)." in
     Arg.(value & opt (some string) None & info [ "db" ] ~docv:"PATH" ~doc)
   in
+  let wal_path =
+    let doc =
+      "Write-ahead log: mutations are appended (fsynced) as they execute \
+       and replayed over the $(b,--db) snapshot on startup, so a crashed \
+       session loses nothing; \\save checkpoints and resets the log."
+    in
+    Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"PATH" ~doc)
+  in
   let statements =
     let doc = "Statement(s) to execute non-interactively." in
     Arg.(value & opt_all string [] & info [ "e" ] ~docv:"SQL" ~doc)
   in
-  let run db_path statements =
+  let run db_path wal_path statements =
     let open Mope_db in
     let db =
-      match db_path with
-      | Some path when Sys.file_exists path ->
-        Printf.printf "loaded %s\n" path;
-        Storage.load ~path
-      | Some _ | None -> Database.create ()
+      match wal_path with
+      | Some _ ->
+        let r =
+          try Storage.recover ?snapshot:db_path ?wal:wal_path ()
+          with Storage.Corrupt msg ->
+            Printf.eprintf "recovery failed: %s\n" msg;
+            exit 1
+        in
+        if r.Storage.snapshot_loaded || r.Storage.wal_applied > 0 then
+          Printf.printf "recovered%s%s%s\n"
+            (match db_path with
+            | Some p when r.Storage.snapshot_loaded -> " " ^ p
+            | _ -> " (no snapshot)")
+            (if r.Storage.wal_applied > 0 then
+               Printf.sprintf " + %d wal statement(s)" r.Storage.wal_applied
+             else "")
+            (if r.Storage.wal_torn then " (torn wal tail discarded)" else "");
+        r.Storage.db
+      | None -> (
+        match db_path with
+        | Some path when Sys.file_exists path ->
+          Printf.printf "loaded %s\n" path;
+          Storage.load ~path
+        | Some _ | None -> Database.create ())
     in
+    let wal = Option.map (fun path -> Wal.open_log ~path) wal_path in
     let save () =
-      match db_path with
-      | Some path ->
+      match db_path, wal_path with
+      | Some path, Some wal ->
+        Storage.checkpoint db ~path ~wal;
+        Printf.printf "saved %s (wal reset)\n" path
+      | Some path, None ->
         Storage.save db ~path;
         Printf.printf "saved %s\n" path
-      | None -> print_endline "no --db path given"
+      | None, _ -> print_endline "no --db path given"
     in
     if statements <> [] then begin
-      List.iter (run_sql_statement db) statements;
+      List.iter (run_sql_statement ?wal db) statements;
       if db_path <> None then save ()
     end
     else begin
@@ -277,15 +312,18 @@ let sql_cmd =
           let text = Buffer.contents buffer in
           if String.contains line ';' then begin
             Buffer.clear buffer;
-            run_sql_statement db (String.trim text)
+            run_sql_statement ?wal db (String.trim text)
           end;
           loop ()
       in
       loop ()
     end
   in
-  let doc = "Interactive SQL shell over the embedded engine (with --db persistence)." in
-  Cmd.v (Cmd.info "sql" ~doc) Term.(const run $ db_path $ statements)
+  let doc =
+    "Interactive SQL shell over the embedded engine (with --db persistence \
+     and --wal crash recovery)."
+  in
+  Cmd.v (Cmd.info "sql" ~doc) Term.(const run $ db_path $ wal_path $ statements)
 
 (* ------------------------------------------------------------------ *)
 (* save / load: persist the TPC-H testbed with Mope_db.Storage *)
@@ -354,6 +392,15 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "db" ] ~docv:"PATH" ~doc)
   in
+  let wal_arg =
+    let doc =
+      "Crash recovery: before serving, replay the longest valid prefix of \
+       the write-ahead log at $(docv) over the $(b,--db) snapshot (torn \
+       trailing records are discarded). The recovered state is what a \
+       crashed writer had acknowledged."
+    in
+    Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"PATH" ~doc)
+  in
   let rho_arg =
     let doc = "Period for QueryP fake-query scheduling (omit for QueryU)." in
     Arg.(value & opt (some int) None & info [ "rho" ] ~docv:"RHO" ~doc)
@@ -366,27 +413,49 @@ let serve_cmd =
     let doc = "Live-connection cap; beyond it the accept loop backpressures." in
     Arg.(value & opt int 64 & info [ "max-connections" ] ~docv:"N" ~doc)
   in
+  let max_in_flight_arg =
+    let doc =
+      "In-flight request budget: beyond it requests are shed with a \
+       structured Overloaded error and a retry-after hint (0 = unlimited)."
+    in
+    Arg.(value & opt int 32 & info [ "max-in-flight" ] ~docv:"N" ~doc)
+  in
   let timeout_arg =
     let doc = "Per-connection read/write timeout in seconds (0 = none)." in
     Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
   in
-  let run port host db sf seed rho batch_size max_connections timeout =
+  let run port host db wal sf seed rho batch_size max_connections max_in_flight
+      timeout =
     let open Mope_system in
     let open Mope_net in
     let tb =
-      match db with
-      | Some path ->
-        Printf.printf "loading %s...\n%!" path;
-        (try Testbed.of_plain (Mope_db.Storage.load ~path) with
-        | Mope_db.Storage.Corrupt msg ->
-          Printf.eprintf "%s: corrupt database: %s\n" path msg;
-          exit 1
-        | Invalid_argument msg ->
-          Printf.eprintf "%s: %s\n" path msg;
-          exit 1)
-      | None ->
+      match db, wal with
+      | None, None ->
         Printf.printf "generating TPC-H at SF %g (seed %d)...\n%!" sf seed;
         Testbed.load ~sf ~seed:(Int64.of_int seed) ()
+      | _ -> (
+        (match db with
+        | Some path -> Printf.printf "loading %s...\n%!" path
+        | None -> Printf.printf "recovering from wal only...\n%!");
+        try
+          let r = Mope_db.Storage.recover ?snapshot:db ?wal () in
+          (match wal with
+          | Some _ ->
+            Printf.printf "recovered: snapshot %s, %d wal statement(s)%s\n%!"
+              (if r.Mope_db.Storage.snapshot_loaded then "loaded" else "absent")
+              r.Mope_db.Storage.wal_applied
+              (if r.Mope_db.Storage.wal_torn then
+                 " (torn wal tail discarded)"
+               else "")
+          | None -> ());
+          Testbed.of_plain r.Mope_db.Storage.db
+        with
+        | Mope_db.Storage.Corrupt msg ->
+          Printf.eprintf "corrupt database: %s\n" msg;
+          exit 1
+        | Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1)
     in
     let open Mope_workload in
     (* One proxy per MOPE-encrypted date column: l_shipdate takes Q6/Q14
@@ -402,7 +471,7 @@ let serve_cmd =
     let service = Service.create ~proxies () in
     let config =
       { Server.default_config with
-        host; port; max_connections;
+        host; port; max_connections; max_in_flight;
         read_timeout = timeout; write_timeout = timeout }
     in
     let server =
@@ -429,9 +498,10 @@ let serve_cmd =
     let s = Server.stats server in
     let c = Service.counters service in
     Printf.printf
-      "served %d request(s) over %d connection(s), %d error(s); avg latency \
-       %.1f ms, max %.1f ms\n"
+      "served %d request(s) over %d connection(s), %d error(s), %d shed; \
+       avg latency %.1f ms, max %.1f ms\n"
       s.Server.requests s.Server.connections_accepted s.Server.errors
+      s.Server.shed
       (if s.Server.requests = 0 then 0.0
        else 1000.0 *. s.Server.total_latency /. float_of_int s.Server.requests)
       (1000.0 *. s.Server.max_latency);
@@ -443,8 +513,9 @@ let serve_cmd =
   in
   let doc = "Run the trusted proxy as a concurrent TCP service (Fig. 4)." in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ port_arg $ host_arg $ db_arg $ sf_arg $ seed_arg
-          $ rho_arg $ batch_arg $ max_conn_arg $ timeout_arg)
+    Term.(const run $ port_arg $ host_arg $ db_arg $ wal_arg $ sf_arg
+          $ seed_arg $ rho_arg $ batch_arg $ max_conn_arg $ max_in_flight_arg
+          $ timeout_arg)
 
 let () =
   let doc = "Modular order-preserving encryption (SIGMOD'15 reproduction)." in

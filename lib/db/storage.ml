@@ -1,6 +1,9 @@
 exception Corrupt of string
 
-let magic = "MOPEDB\x01\n"
+(* v1: magic ^ body (no checksum; still readable).
+   v2: magic ^ u64 body length ^ u32 CRC-32(body) ^ body. *)
+let magic_v1 = "MOPEDB\x01\n"
+let magic_v2 = "MOPEDB\x02\n"
 
 (* ------------------------------------------------------------------ *)
 (* Primitive encoders *)
@@ -56,8 +59,10 @@ let put_value buf = function
 
 type cursor = { data : string; mutable pos : int }
 
+(* Overflow-safe: [cur.pos + n] could wrap for a corrupt 62-bit length. *)
 let need cur n =
-  if cur.pos + n > String.length cur.data then raise (Corrupt "truncated input")
+  if n < 0 || n > String.length cur.data - cur.pos then
+    raise (Corrupt "truncated input")
 
 let get_byte cur =
   need cur 1;
@@ -104,9 +109,8 @@ let get_value cur =
 
 (* ------------------------------------------------------------------ *)
 
-let save_string db =
+let body_string db =
   let buf = Buffer.create (1 lsl 16) in
-  Buffer.add_string buf magic;
   let names = Database.tables db in
   put_int buf (List.length names);
   List.iter
@@ -134,12 +138,24 @@ let save_string db =
     names;
   Buffer.contents buf
 
-let load_string data =
-  let cur = { data; pos = 0 } in
-  need cur (String.length magic);
-  if String.sub data 0 (String.length magic) <> magic then
-    raise (Corrupt "bad magic header");
-  cur.pos <- String.length magic;
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let save_string db =
+  let body = body_string db in
+  let buf = Buffer.create (String.length body + 32) in
+  Buffer.add_string buf magic_v2;
+  put_int buf (String.length body);
+  put_u32 buf (Int32.to_int (Crc32.digest body) land 0xFFFFFFFF);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+(* Parse the table payload from [cur.pos] to the end of the data. *)
+let parse_body cur =
+  let data = cur.data in
   let db = Database.create () in
   let n_tables = get_nat cur in
   for _ = 1 to n_tables do
@@ -182,15 +198,71 @@ let load_string data =
   if cur.pos <> String.length data then raise (Corrupt "trailing bytes");
   db
 
+let starts_with prefix data =
+  String.length data >= String.length prefix
+  && String.sub data 0 (String.length prefix) = prefix
+
+let get_u32 cur =
+  need cur 4;
+  let byte i = Char.code cur.data.[cur.pos + i] in
+  let v = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+  cur.pos <- cur.pos + 4;
+  v
+
+let load_string data =
+  (* The parse must end in a database or [Corrupt] — never a stray
+     [Invalid_argument]/[Failure] from a substrate module fed garbage. *)
+  let guarded parse =
+    try parse () with
+    | Corrupt _ as e -> raise e
+    | Invalid_argument msg | Failure msg -> raise (Corrupt msg)
+  in
+  if starts_with magic_v2 data then begin
+    let cur = { data; pos = String.length magic_v2 } in
+    let body_len = get_nat cur in
+    let crc = Int32.of_int (get_u32 cur) in
+    if String.length data - cur.pos <> body_len then
+      raise (Corrupt "body length mismatch");
+    if Crc32.sub data ~pos:cur.pos ~len:body_len <> crc then
+      raise (Corrupt "checksum mismatch");
+    guarded (fun () -> parse_body cur)
+  end
+  else if starts_with magic_v1 data then
+    (* Legacy pre-checksum snapshot: still readable; a re-save upgrades. *)
+    guarded (fun () -> parse_body { data; pos = String.length magic_v1 })
+  else raise (Corrupt "bad magic header")
+
+let rec write_all fd bytes pos len =
+  if len > 0 then
+    match Unix.write fd bytes pos len with
+    | n -> write_all fd bytes (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes pos len
+
+(* Make the directory entry for [path] durable. Best-effort: some
+   filesystems refuse O_RDONLY fsync on directories. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ O_RDONLY; O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let save db ~path =
+  let data = save_string db in
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try output_string oc (save_string db)
+  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
+  (try
+     write_all fd (Bytes.unsafe_of_string data) 0 (String.length data);
+     (* fsync before rename: otherwise the rename can hit the disk before
+        the data does, and a crash leaves a truncated/empty snapshot
+        sitting at the final path. *)
+     Unix.fsync fd
    with e ->
-     close_out_noerr oc;
+     (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  close_out oc;
-  Sys.rename tmp path
+  Unix.close fd;
+  Sys.rename tmp path;
+  fsync_dir path
 
 let load ~path =
   let ic = open_in_bin path in
@@ -198,3 +270,46 @@ let load ~path =
   let data = really_input_string ic len in
   close_in ic;
   load_string data
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: snapshot + longest valid WAL prefix. *)
+
+type recovery = {
+  db : Database.t;
+  snapshot_loaded : bool;
+  wal_applied : int;
+  wal_torn : bool;
+}
+
+let recover ?snapshot ?wal () =
+  let db, snapshot_loaded =
+    match snapshot with
+    | Some path when Sys.file_exists path -> (load ~path, true)
+    | _ -> (Database.create (), false)
+  in
+  match wal with
+  | None -> { db; snapshot_loaded; wal_applied = 0; wal_torn = false }
+  | Some wal_path ->
+    let r =
+      try Wal.replay ~path:wal_path
+      with Wal.Corrupt msg -> raise (Corrupt ("wal: " ^ msg))
+    in
+    List.iteri
+      (fun i statement ->
+        (* A CRC-valid record that will not execute is not a torn tail —
+           the log and the snapshot disagree, and silently skipping it
+           would resurrect a different database than the one that crashed. *)
+        try ignore (Database.execute db statement)
+        with e ->
+          raise
+            (Corrupt
+               (Printf.sprintf "wal: record %d failed to replay: %s" i
+                  (Printexc.to_string e))))
+      r.Wal.statements;
+    { db; snapshot_loaded;
+      wal_applied = List.length r.Wal.statements;
+      wal_torn = r.Wal.torn }
+
+let checkpoint db ~path ~wal =
+  save db ~path;
+  Wal.reset ~path:wal

@@ -1,0 +1,119 @@
+exception Corrupt of string
+
+let magic = "MOPEWAL\x01\n"
+
+(* Sanity cap on one record: rejects garbage lengths in torn tails fast. *)
+let max_record = 64 * 1024 * 1024
+
+type t = { fd : Unix.file_descr; path : string; mutable closed : bool }
+
+let path t = t.path
+
+type replay = { statements : string list; torn : bool; valid_bytes : int }
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let len = in_channel_length ic in
+    let data = really_input_string ic len in
+    close_in ic;
+    Some data
+
+(* [valid_bytes] counts the header; 0 means even the header is torn. *)
+let scan data =
+  let mlen = String.length magic in
+  let n = String.length data in
+  if n < mlen then
+    if data = String.sub magic 0 n then
+      (* A crash during the very first write tore the header itself. *)
+      { statements = []; torn = n > 0; valid_bytes = 0 }
+    else raise (Corrupt "bad wal header")
+  else if String.sub data 0 mlen <> magic then
+    raise (Corrupt "bad wal header")
+  else begin
+    let u32 at =
+      let byte i = Char.code data.[at + i] in
+      (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+    in
+    let rec go pos acc =
+      if n - pos < 8 then (acc, pos)
+      else
+        let len = u32 pos in
+        let crc = Int32.of_int (u32 (pos + 4)) in
+        if len <= 0 || len > max_record || len > n - (pos + 8) then (acc, pos)
+        else
+          let payload = String.sub data (pos + 8) len in
+          if Crc32.digest payload <> crc then (acc, pos)
+          else go (pos + 8 + len) (payload :: acc)
+    in
+    let rev_statements, valid_bytes = go mlen [] in
+    { statements = List.rev rev_statements;
+      torn = valid_bytes < n;
+      valid_bytes }
+  end
+
+let replay ~path =
+  match read_file path with
+  | None -> { statements = []; torn = false; valid_bytes = 0 }
+  | Some data -> scan data
+
+let rec write_all fd bytes pos len =
+  if len > 0 then
+    match Unix.write fd bytes pos len with
+    | n -> write_all fd bytes (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes pos len
+
+let open_log ~path =
+  let r = replay ~path in
+  let fd = Unix.openfile path [ O_RDWR; O_CREAT; O_CLOEXEC ] 0o644 in
+  try
+    if r.valid_bytes < String.length magic then begin
+      (* Fresh file (or a header torn by a first-write crash): start over. *)
+      Unix.ftruncate fd 0;
+      write_all fd (Bytes.of_string magic) 0 (String.length magic)
+    end
+    else if r.torn then
+      (* Drop the torn tail so new records extend the valid prefix. *)
+      Unix.ftruncate fd r.valid_bytes;
+    Unix.fsync fd;
+    ignore (Unix.lseek fd 0 Unix.SEEK_END);
+    { fd; path; closed = false }
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let append ?(sync = true) t statement =
+  if t.closed then invalid_arg "Wal.append: log is closed";
+  let len = String.length statement in
+  if len = 0 || len > max_record then
+    invalid_arg "Wal.append: bad statement length";
+  (* One write(2) per record: a crash can tear this record but cannot
+     interleave it with a neighbour. *)
+  let buf = Bytes.create (8 + len) in
+  let put_u32 at v =
+    Bytes.set buf at (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set buf (at + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set buf (at + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set buf (at + 3) (Char.chr (v land 0xFF))
+  in
+  put_u32 0 len;
+  put_u32 4 (Int32.to_int (Crc32.digest statement) land 0xFFFFFFFF);
+  Bytes.blit_string statement 0 buf 8 len;
+  write_all t.fd buf 0 (8 + len);
+  if sync then Unix.fsync t.fd
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let reset ~path =
+  let fd = Unix.openfile path [ O_RDWR; O_CREAT; O_CLOEXEC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.ftruncate fd 0;
+      write_all fd (Bytes.of_string magic) 0 (String.length magic);
+      Unix.fsync fd)

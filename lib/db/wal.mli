@@ -1,0 +1,53 @@
+(** Append-only write-ahead log of SQL mutations between {!Storage}
+    snapshots.
+
+    The file is a magic header followed by self-delimiting records, each a
+    big-endian [u32] payload length, a [u32] CRC-32 of the payload, then
+    the payload (the SQL statement text). A crash mid-append leaves a
+    {e torn} final record — a partial header, a short payload, or a CRC
+    mismatch — which {!replay} detects and discards: recovery applies the
+    longest valid prefix and never fails on a torn tail. Only a damaged
+    header (wrong magic on a non-empty file) is fatal, because then the
+    file is not a WAL at all.
+
+    Durability: records are written with a single [write(2)] per record
+    (so they survive a killed process as soon as [append] returns) and
+    [fsync]ed by default (so they also survive power loss). *)
+
+exception Corrupt of string
+(** Raised when the file exists but its header is not a WAL header; torn
+    tails never raise. *)
+
+type t
+(** An open log, positioned for appending. *)
+
+val open_log : path:string -> t
+(** Open (creating if absent) and make the log appendable: the header is
+    written if the file is empty, and a torn tail left by a previous crash
+    is truncated away so new records land after the valid prefix. Raises
+    {!Corrupt} if the file exists but is not a WAL. *)
+
+val append : ?sync:bool -> t -> string -> unit
+(** Append one statement. [sync] (default [true]) fsyncs the fd before
+    returning. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val path : t -> string
+
+(** The result of scanning a log: the longest valid record prefix. *)
+type replay = {
+  statements : string list;  (** valid records, oldest first *)
+  torn : bool;  (** a trailing invalid/partial record was discarded *)
+  valid_bytes : int;  (** file offset where the valid prefix ends *)
+}
+
+val replay : path:string -> replay
+(** Scan the log. A missing file replays as empty (no statements, not
+    torn). Raises {!Corrupt} only on a bad header. *)
+
+val reset : path:string -> unit
+(** Truncate the log back to just its header (after a checkpoint has made
+    the records redundant), fsyncing the result. Creates the file if
+    missing. *)

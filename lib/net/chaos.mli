@@ -1,0 +1,40 @@
+(** Deterministic fault injection for the networked proxy.
+
+    [wrap] interposes on a {!Transport.t} and, driven entirely by a
+    {!Mope_stats.Rng} (Splitmix64) seed, injects the failures a proxy
+    meets in production: short reads/writes, artificial latency, abrupt
+    disconnects, and in-flight byte corruption. Equal seeds give equal
+    fault schedules, so every failure scenario a test (or a CI seed
+    matrix) exercises is reproducible from its seed alone.
+
+    Faults are injected per [read]/[write] call, each kind with an
+    independent probability. A disconnect closes the underlying transport
+    and raises [Unix.Unix_error (ECONNRESET, _, _)]; every later operation
+    on the wrapper fails the same way — exactly how a vanished peer looks
+    to the framing layer. Corruption flips one random bit of the data in
+    transit (the caller's buffer is never mutated). *)
+
+type config = {
+  partial_io : float;
+      (** probability a read/write is truncated to a random shorter chunk
+          (at least 1 byte, so progress is still guaranteed) *)
+  delay : float;      (** probability an operation sleeps first *)
+  max_delay : float;  (** upper bound of the uniform injected sleep, seconds *)
+  disconnect : float; (** probability an operation drops the connection *)
+  corrupt : float;    (** probability one bit of the transfer is flipped *)
+}
+
+val none : config
+(** All probabilities zero: [wrap none] is the identity in behaviour. *)
+
+val slow : config
+(** Partial I/O on half the calls plus up to 2 ms latency — degraded but
+    lossless: byte streams still arrive intact and in order. *)
+
+val hostile : config
+(** [slow] plus occasional disconnects and bit flips — the full storm. *)
+
+val wrap : ?config:config -> seed:int64 -> Transport.t -> Transport.t
+(** [wrap ~seed io] with an own generator seeded from [seed]. [config]
+    defaults to {!hostile}. Not thread-safe: wrap each connection with its
+    own wrapper (derive per-connection seeds from a parent seed). *)

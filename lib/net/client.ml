@@ -1,9 +1,21 @@
+open Mope_stats
+
 type t = {
-  fd : Unix.file_descr;
   host : string;
   port : int;
+  addr : Unix.inet_addr;
   timeout : float;
+  connect_retries : int;
+  backoff : float;
+  request_retries : int;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  wrap : Transport.t -> Transport.t;
+  rng : Rng.t;
+  mutable conn : Transport.t option;
   mutable closed : bool;
+  mutable failures : int;     (* consecutive transport failures *)
+  mutable open_until : float; (* 0 = breaker closed; else open/half-open *)
 }
 
 let transient = function
@@ -14,81 +26,206 @@ let transient = function
     true
   | _ -> false
 
+(* Uniform in [0.5·d, 1.5·d): staggers the retries of many clients that
+   all lost the same proxy at the same moment. *)
+let jittered t d = d *. (0.5 +. Rng.float t.rng)
+
+(* ------------------------------------------------------------------ *)
+(* Connecting *)
+
+let dial t =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    if t.timeout > 0.0 then begin
+      (* SO_SNDTIMEO also bounds connect(2) on Linux. *)
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout
+    end;
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    Unix.connect fd (Unix.ADDR_INET (t.addr, t.port));
+    t.wrap (Transport.of_fd fd)
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+(* Dial with jittered exponential backoff over transient failures. *)
+let establish t =
+  let rec attempt n delay =
+    match dial t with
+    | io ->
+      t.conn <- Some io;
+      io
+    | exception e when transient e && n < t.connect_retries ->
+      Thread.delay (jittered t delay);
+      attempt (n + 1) (delay *. 2.0)
+    | exception e ->
+      Mope_error.failwithf ~cause:e
+        "Client.connect: %s:%d unreachable after %d attempt%s" t.host t.port
+        (n + 1)
+        (if n = 0 then "" else "s")
+  in
+  attempt 0 t.backoff
+
+let drop_conn t =
+  match t.conn with
+  | None -> ()
+  | Some io ->
+    t.conn <- None;
+    io.Transport.close ()
+
 let connect ?(host = "127.0.0.1") ~port ?(timeout = 10.0) ?(retries = 3)
-    ?(backoff = 0.05) () =
+    ?(backoff = 0.05) ?(request_retries = 2) ?(breaker_threshold = 5)
+    ?(breaker_cooldown = 5.0) ?seed ?(wrap = Fun.id) () =
   let addr =
     try Unix.inet_addr_of_string host
     with Failure _ -> Mope_error.failwithf "Client.connect: invalid address %s" host
   in
-  let attempt_once () =
-    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-    try
-      if timeout > 0.0 then begin
-        (* SO_SNDTIMEO also bounds connect(2) on Linux. *)
-        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
-        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
-      end;
-      Unix.setsockopt fd Unix.TCP_NODELAY true;
-      Unix.connect fd (Unix.ADDR_INET (addr, port));
-      fd
-    with e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise e
+  let seed =
+    match seed with
+    | Some s -> s
+    | None ->
+      (* Distinct per client so a reconnect stampede spreads out. *)
+      Int64.logxor
+        (Int64.of_float (Unix.gettimeofday () *. 1e6))
+        (Int64.of_int (Unix.getpid ()))
   in
-  let rec attempt n delay =
-    match attempt_once () with
-    | fd -> fd
-    | exception e when transient e && n < retries ->
-      Thread.delay delay;
-      attempt (n + 1) (delay *. 2.0)
-    | exception e ->
-      Mope_error.failwithf ~cause:e
-        "Client.connect: %s:%d unreachable after %d attempt%s" host port (n + 1)
-        (if n = 0 then "" else "s")
+  let t =
+    { host; port; addr; timeout;
+      connect_retries = Int.max 0 retries;
+      backoff;
+      request_retries = Int.max 0 request_retries;
+      breaker_threshold = Int.max 1 breaker_threshold;
+      breaker_cooldown;
+      wrap;
+      rng = Rng.create seed;
+      conn = None;
+      closed = false;
+      failures = 0;
+      open_until = 0.0 }
   in
-  let fd = attempt 0 backoff in
-  { fd; host; port; timeout; closed = false }
+  ignore (establish t);
+  t
 
 let is_closed t = t.closed
+
+let is_connected t = t.conn <> None && not t.closed
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
+    drop_conn t
   end
 
-let with_client ?host ~port ?timeout ?retries ?backoff f =
-  let t = connect ?host ~port ?timeout ?retries ?backoff () in
+let with_client ?host ~port ?timeout ?retries ?backoff ?request_retries
+    ?breaker_threshold ?breaker_cooldown ?seed ?wrap f =
+  let t =
+    connect ?host ~port ?timeout ?retries ?backoff ?request_retries
+      ?breaker_threshold ?breaker_cooldown ?seed ?wrap ()
+  in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker: closed -> open (after [breaker_threshold] consecutive
+   transport failures) -> half-open (cooldown elapsed; one probe) ->
+   closed on success / open again on failure. *)
+
+let breaker_state t =
+  if t.open_until = 0.0 then `Closed
+  else if Unix.gettimeofday () < t.open_until then `Open
+  else `Half_open
+
+let record_success t =
+  t.failures <- 0;
+  t.open_until <- 0.0
+
+let record_failure t =
+  t.failures <- t.failures + 1;
+  if t.failures >= t.breaker_threshold || t.open_until > 0.0 then
+    (* Tripped, or a half-open probe failed: (re)open for a full cooldown. *)
+    t.open_until <- Unix.gettimeofday () +. t.breaker_cooldown
+
+(* All current requests are idempotent reads; a future mutating request
+   must be listed here as unsafe to retry. *)
+let idempotent = function
+  | Wire.Ping | Wire.Query _ | Wire.Get_counters -> true
+
+(* ------------------------------------------------------------------ *)
 (* One request/response exchange. [query] is the SQL context attached to
    any error raised. *)
+
 let rpc t ?query request =
   if t.closed then
-    Mope_error.failwithf ?query "Client: connection to %s:%d is closed" t.host t.port;
-  try
-    Wire.write_frame t.fd (Wire.encode_request request);
-    Wire.decode_response (Wire.read_frame t.fd)
-  with
-  | Wire.Protocol_error msg ->
-    close t;
-    Mope_error.failwithf ?query "Client: malformed frame from %s:%d: %s" t.host
-      t.port msg
-  | End_of_file ->
-    close t;
-    Mope_error.failwithf ?query "Client: %s:%d closed the connection" t.host t.port
-  | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) as e ->
-    (* The stream lost a frame boundary: this connection is unusable. *)
-    close t;
-    Mope_error.failwithf ?query ~cause:e
-      "Client: request to %s:%d timed out after %.3gs" t.host t.port t.timeout
-  | Unix.Unix_error _ as e ->
-    close t;
-    Mope_error.failwithf ?query ~cause:e "Client: I/O error talking to %s:%d"
-      t.host t.port
+    Mope_error.failwithf ?query "Client: connection to %s:%d is closed" t.host
+      t.port;
+  let probing =
+    match breaker_state t with
+    | `Open ->
+      Mope_error.failwithf ?query
+        "Client: circuit breaker open for %s:%d (retry in %.3gs)" t.host t.port
+        (t.open_until -. Unix.gettimeofday ())
+    | `Half_open -> true
+    | `Closed -> false
+  in
+  let max_attempts =
+    (* A half-open probe gets exactly one shot; so does anything that is
+       not idempotent. *)
+    if probing || not (idempotent request) then 1 else 1 + t.request_retries
+  in
+  let fail_transport ?cause n msg =
+    Mope_error.failwithf ?query ?cause "Client: %s (%s:%d, attempt %d)" msg
+      t.host t.port (n + 1)
+  in
+  let rec attempt n delay =
+    let outcome =
+      match
+        let io = match t.conn with Some io -> io | None -> establish t in
+        Wire.write_frame_t io (Wire.encode_request request);
+        Wire.decode_response (Wire.read_frame_t io)
+      with
+      | resp -> Ok resp
+      | exception e ->
+        drop_conn t;
+        record_failure t;
+        Error
+          (match e with
+          | Wire.Protocol_error msg ->
+            fun () -> fail_transport n ("malformed frame: " ^ msg)
+          | End_of_file ->
+            fun () -> fail_transport n "server closed the connection"
+          | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) ->
+            fun () ->
+              fail_transport ~cause:e n
+                (Printf.sprintf "request timed out after %.3gs" t.timeout)
+          | Unix.Unix_error _ ->
+            fun () -> fail_transport ~cause:e n "I/O error"
+          | Mope_error.Error _ -> fun () -> raise e
+          | e -> fun () -> fail_transport ~cause:e n "unexpected failure")
+    in
+    match outcome with
+    | Ok resp -> begin
+      record_success t;
+      (* An [Overloaded] answer is the server shedding load, not a broken
+         transport: honour its retry-after hint, don't count it against
+         the breaker. *)
+      match resp with
+      | Wire.Error { code = Wire.Overloaded; retry_after; _ }
+        when n + 1 < max_attempts ->
+        let d = match retry_after with Some d -> d | None -> delay in
+        Thread.delay (jittered t d);
+        attempt (n + 1) (delay *. 2.0)
+      | resp -> resp
+    end
+    | Error raise_it ->
+      if n + 1 < max_attempts && breaker_state t <> `Open then begin
+        Thread.delay (jittered t delay);
+        attempt (n + 1) (delay *. 2.0)
+      end
+      else raise_it ()
+  in
+  attempt 0 t.backoff
 
 let check_error ?query = function
-  | Wire.Error { code; message; query = server_query } ->
+  | Wire.Error { code; message; query = server_query; retry_after = _ } ->
     let query = match server_query with Some _ -> server_query | None -> query in
     Mope_error.raise_error ?query
       (Printf.sprintf "server error (%s): %s" (Wire.error_code_to_string code)

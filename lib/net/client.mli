@@ -7,6 +7,22 @@
     SQL being served and the underlying exception, never as bare [Failure]
     or raw [Unix.Unix_error].
 
+    The driver is built to ride out a flaky or restarting proxy:
+
+    - a broken connection is dropped and transparently re-established on
+      the next request (dialing retries transient failures with
+      {e jittered} exponential backoff, so a fleet of clients that lost
+      the same proxy does not reconnect in lockstep);
+    - idempotent requests (all current ones: [Ping], [Query],
+      [Get_counters]) are retried up to [request_retries] times with the
+      same jittered backoff; an [Overloaded] answer waits the server's
+      retry-after hint instead;
+    - a circuit breaker counts consecutive transport failures: at
+      [breaker_threshold] it {e opens} and every request fails fast
+      (no dialing, no timeout burn) until [breaker_cooldown] has passed;
+      the next request then {e half-opens} the breaker as a single probe —
+      success closes it, failure re-opens it for another cooldown.
+
     A [t] is not thread-safe: requests interleave frames on one socket, so
     share a client across threads only behind a lock (or open one per
     thread — the server is happy to oblige). *)
@@ -21,28 +37,51 @@ val connect :
   ?timeout:float ->
   ?retries:int ->
   ?backoff:float ->
+  ?request_retries:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown:float ->
+  ?seed:int64 ->
+  ?wrap:(Transport.t -> Transport.t) ->
   unit ->
   t
 (** Connect, retrying transient failures (connection refused/reset, network
-    or host unreachable, timeout) up to [retries] extra times with
+    or host unreachable, timeout) up to [retries] extra times with jittered
     exponential backoff. [host] defaults to ["127.0.0.1"]; [timeout]
     (default 10 s, 0 = none) bounds every socket operation including the
     connect itself; [backoff] (default 0.05 s) is the first retry delay and
-    doubles per attempt. Raises {!Mope_error.Error} once attempts are
+    doubles per attempt, each delay jittered to 0.5–1.5× its nominal value.
+    [request_retries] (default 2) bounds per-request retries of idempotent
+    requests; [breaker_threshold] (default 5) consecutive transport
+    failures open the circuit breaker for [breaker_cooldown] (default 5 s).
+    [seed] fixes the jitter schedule (tests); by default it is derived from
+    the clock and pid so concurrent clients de-synchronize. [wrap]
+    interposes on the byte stream of every connection this client dials
+    (e.g. {!Chaos.wrap}). Raises {!Mope_error.Error} once attempts are
     exhausted or on a non-transient failure. *)
 
 val close : t -> unit
 (** Idempotent. Subsequent calls on the client raise {!Mope_error.Error}. *)
 
 val is_closed : t -> bool
+(** [true] after {!close} — a closed client never reconnects. *)
+
+val is_connected : t -> bool
+(** [true] while a live connection is held. [false] does not mean dead:
+    the next request redials unless the client is closed. *)
+
+val breaker_state : t -> [ `Closed | `Open | `Half_open ]
+(** Current circuit-breaker state; [`Half_open] means the cooldown has
+    elapsed and the next request will probe the server. *)
 
 val with_client :
   ?host:string -> port:int -> ?timeout:float -> ?retries:int ->
-  ?backoff:float -> (t -> 'a) -> 'a
+  ?backoff:float -> ?request_retries:int -> ?breaker_threshold:int ->
+  ?breaker_cooldown:float -> ?seed:int64 ->
+  ?wrap:(Transport.t -> Transport.t) -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exception). *)
 
 val ping : t -> unit
-(** Round-trip a [Ping] frame. *)
+(** Round-trip a [Ping] frame — the wire protocol's health check. *)
 
 val query :
   t ->

@@ -3,8 +3,10 @@ type config = {
   port : int;
   backlog : int;
   max_connections : int;
+  max_in_flight : int;
   read_timeout : float;
   write_timeout : float;
+  wrap : (Transport.t -> Transport.t) option;
 }
 
 let default_config =
@@ -12,13 +14,16 @@ let default_config =
     port = 0;
     backlog = 16;
     max_connections = 64;
+    max_in_flight = 32;
     read_timeout = 30.0;
-    write_timeout = 30.0 }
+    write_timeout = 30.0;
+    wrap = None }
 
 type stats = {
   mutable connections_accepted : int;
   mutable requests : int;
   mutable errors : int;
+  mutable shed : int;
   mutable total_latency : float;
   mutable max_latency : float;
 }
@@ -33,6 +38,7 @@ type t = {
   state_changed : Condition.t;  (* slot freed, connection drained, or stopping *)
   mutable active : Unix.file_descr list;  (* live connection sockets *)
   mutable workers : Thread.t list;
+  mutable in_flight : int;  (* requests currently inside the handler *)
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
 }
@@ -50,8 +56,11 @@ let stats t =
       { connections_accepted = t.stats.connections_accepted;
         requests = t.stats.requests;
         errors = t.stats.errors;
+        shed = t.stats.shed;
         total_latency = t.stats.total_latency;
         max_latency = t.stats.max_latency })
+
+let in_flight t = locked t (fun () -> t.in_flight)
 
 (* ------------------------------------------------------------------ *)
 (* Per-connection loop *)
@@ -70,50 +79,91 @@ let record_request t ~started ~is_error =
       t.stats.total_latency <- t.stats.total_latency +. elapsed;
       if elapsed > t.stats.max_latency then t.stats.max_latency <- elapsed)
 
-let respond t fd ~started response =
+let respond t io ~started response =
   let is_error = match response with Wire.Error _ -> true | _ -> false in
   record_request t ~started ~is_error;
-  Wire.write_frame fd (Wire.encode_response response)
+  Wire.write_frame_t io (Wire.encode_response response)
+
+(* Admission control: reserve an in-flight slot, or shed with a structured
+   [Overloaded] answer carrying a retry-after hint (twice the observed mean
+   latency — long enough for a slot to drain in the common case). *)
+let try_admit t =
+  locked t (fun () ->
+      if t.config.max_in_flight > 0 && t.in_flight >= t.config.max_in_flight
+      then false
+      else begin
+        t.in_flight <- t.in_flight + 1;
+        true
+      end)
+
+let release t = locked t (fun () -> t.in_flight <- t.in_flight - 1)
+
+let shed_response t =
+  locked t (fun () ->
+      t.stats.shed <- t.stats.shed + 1;
+      let avg =
+        if t.stats.requests = 0 then 0.0
+        else t.stats.total_latency /. float_of_int t.stats.requests
+      in
+      Wire.Error
+        { code = Wire.Overloaded;
+          message =
+            Printf.sprintf "server at capacity (%d requests in flight)"
+              t.in_flight;
+          query = None;
+          retry_after = Some (Float.max 0.01 (2.0 *. avg)) })
 
 (* Serve one client until it disconnects, times out, or desynchronizes. *)
 let connection_loop t fd =
+  let io =
+    let base = Transport.of_fd fd in
+    match t.config.wrap with None -> base | Some wrap -> wrap base
+  in
   let bad_frame msg =
-    Wire.Error { code = Wire.Bad_frame; message = msg; query = None }
+    Wire.Error
+      { code = Wire.Bad_frame; message = msg; query = None; retry_after = None }
   in
   let rec loop () =
-    match Wire.read_frame fd with
+    match Wire.read_frame_t io with
     | exception End_of_file -> ()
     | exception Wire.Protocol_error msg ->
       (* The length prefix itself was bad: answer, then drop the link. *)
-      respond t fd ~started:(Unix.gettimeofday ()) (bad_frame msg)
+      respond t io ~started:(Unix.gettimeofday ()) (bad_frame msg)
     | payload ->
       let started = Unix.gettimeofday () in
       (match Wire.decode_request payload with
       | exception Wire.Protocol_error msg ->
         (* Framing held but the payload is garbage; the next frame boundary
            is still trustworthy, so keep the connection. *)
-        respond t fd ~started (bad_frame msg);
+        respond t io ~started (bad_frame msg);
         loop ()
       | request ->
         let response =
-          try t.handler request with
-          | Mope_error.Error e ->
-            Wire.Error
-              { code = Wire.Exec_failed; message = e.Mope_error.msg;
-                query = e.Mope_error.query }
-          | exn ->
-            Wire.Error
-              { code = Wire.Internal; message = Printexc.to_string exn;
-                query = None }
+          if not (try_admit t) then shed_response t
+          else
+            Fun.protect
+              ~finally:(fun () -> release t)
+              (fun () ->
+                try t.handler request with
+                | Mope_error.Error e ->
+                  Wire.Error
+                    { code = Wire.Exec_failed; message = e.Mope_error.msg;
+                      query = e.Mope_error.query; retry_after = None }
+                | exn ->
+                  Wire.Error
+                    { code = Wire.Internal; message = Printexc.to_string exn;
+                      query = None; retry_after = None })
         in
-        respond t fd ~started response;
+        respond t io ~started response;
         loop ())
   in
   (try loop () with
   | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT | ECONNRESET | EPIPE | EBADF), _, _) ->
-    (* Read/write timeout, peer drop, or shutdown under our feet. *)
+    (* Read/write timeout, peer drop, chaos-injected disconnect, or
+       shutdown under our feet. *)
     ()
   | Wire.Protocol_error _ | End_of_file -> ());
+  io.Transport.close ();
   (try Unix.close fd with Unix.Unix_error _ -> ());
   let self = Thread.id (Thread.self ()) in
   locked t (fun () ->
@@ -186,12 +236,13 @@ let start ?(config = default_config) ~handler () =
   let t =
     { config; handler; listen_fd; bound_port;
       stats =
-        { connections_accepted = 0; requests = 0; errors = 0;
+        { connections_accepted = 0; requests = 0; errors = 0; shed = 0;
           total_latency = 0.0; max_latency = 0.0 };
       lock = Mutex.create ();
       state_changed = Condition.create ();
       active = [];
       workers = [];
+      in_flight = 0;
       stopping = false;
       accept_thread = None }
   in

@@ -22,8 +22,16 @@ type config = {
   port : int;              (** 0 picks an ephemeral port (see {!port}) *)
   backlog : int;           (** listen(2) backlog, default 16 *)
   max_connections : int;   (** live-connection cap, default 64 *)
+  max_in_flight : int;
+      (** in-flight request budget, default 32; once this many requests are
+          inside the handler, further requests are shed with a structured
+          [Overloaded] error (carrying a retry-after hint) instead of
+          queueing behind the busy handlers. 0 = unlimited. *)
   read_timeout : float;    (** per-read seconds, 0 = no timeout *)
   write_timeout : float;   (** per-write seconds, 0 = no timeout *)
+  wrap : (Transport.t -> Transport.t) option;
+      (** interpose on every connection's byte stream (e.g. {!Chaos.wrap}
+          for fault-injection tests); [None] = plain socket I/O *)
 }
 
 val default_config : config
@@ -33,6 +41,7 @@ type stats = {
   mutable connections_accepted : int;
   mutable requests : int;         (** frames decoded and answered *)
   mutable errors : int;           (** responses that were [Wire.Error] *)
+  mutable shed : int;             (** requests refused by the load shedder *)
   mutable total_latency : float;  (** seconds summed over requests *)
   mutable max_latency : float;    (** slowest single request, seconds *)
 }
@@ -51,6 +60,9 @@ val stats : t -> stats
 (** A snapshot copy; safe to read while the server runs. *)
 
 val active_connections : t -> int
+
+val in_flight : t -> int
+(** Requests currently inside the handler (bounded by [max_in_flight]). *)
 
 val shutdown : t -> unit
 (** Graceful stop: close the listener, shut down live connection sockets

@@ -37,7 +37,8 @@ let handler t = function
       Wire.Error
         { code = Wire.Unsupported;
           message = "no proxy serves date column " ^ date_column;
-          query = Some sql }
+          query = Some sql;
+          retry_after = None }
     | Some (lock, proxy) ->
       Mutex.lock lock;
       let outcome =
@@ -52,5 +53,6 @@ let handler t = function
         Wire.Error
           { code = Wire.Exec_failed;
             message = Printexc.to_string e;
-            query = Some sql })
+            query = Some sql;
+            retry_after = None })
   end

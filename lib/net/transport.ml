@@ -1,0 +1,28 @@
+type t = {
+  read : bytes -> int -> int -> int;
+  write : bytes -> int -> int -> int;
+  close : unit -> unit;
+}
+
+let of_fd fd =
+  { read = (fun buf pos len -> Unix.read fd buf pos len);
+    write = (fun buf pos len -> Unix.write fd buf pos len);
+    close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) }
+
+let of_strings chunks =
+  let remaining = ref chunks in
+  let rec read buf pos len =
+    match !remaining with
+    | [] -> 0
+    | "" :: rest ->
+      remaining := rest;
+      read buf pos len
+    | chunk :: rest ->
+      let n = Int.min len (String.length chunk) in
+      Bytes.blit_string chunk 0 buf pos n;
+      remaining :=
+        (if n = String.length chunk then rest
+         else String.sub chunk n (String.length chunk - n) :: rest);
+      n
+  in
+  { read; write = (fun _ _ len -> len); close = (fun () -> remaining := []) }

@@ -4,7 +4,7 @@ exception Protocol_error of string
 
 let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
 
-let version = 1
+let version = 2
 
 let max_frame = 16 * 1024 * 1024
 
@@ -33,7 +33,12 @@ type response =
   | Pong
   | Rows of Exec.result
   | Counters of counters
-  | Error of { code : error_code; message : string; query : string option }
+  | Error of {
+      code : error_code;
+      message : string;
+      query : string option;
+      retry_after : float option;
+    }
 
 let error_code_to_string = function
   | Bad_frame -> "bad-frame"
@@ -64,6 +69,12 @@ let put_string_opt buf = function
     Buffer.add_char buf '\x01';
     put_string buf s
 
+let put_float_opt buf = function
+  | None -> Buffer.add_char buf '\x00'
+  | Some f ->
+    Buffer.add_char buf '\x01';
+    put_int64 buf (Int64.bits_of_float f)
+
 let put_value buf = function
   | Value.Null -> Buffer.add_char buf '\x00'
   | Value.Bool b ->
@@ -87,8 +98,9 @@ let put_value buf = function
 
 type cursor = { data : string; mutable pos : int }
 
+(* Overflow-safe: [cur.pos + n] could wrap for a hostile 62-bit length. *)
 let need cur n =
-  if cur.pos + n > String.length cur.data then fail "truncated payload"
+  if n < 0 || n > String.length cur.data - cur.pos then fail "truncated payload"
 
 let get_byte cur =
   need cur 1;
@@ -126,6 +138,12 @@ let get_string_opt cur =
   match get_byte cur with
   | 0 -> None
   | 1 -> Some (get_string cur)
+  | n -> fail "bad option tag %d" n
+
+let get_float_opt cur =
+  match get_byte cur with
+  | 0 -> None
+  | 1 -> Some (Int64.float_of_bits (get_int64 cur))
   | n -> fail "bad option tag %d" n
 
 let get_value cur =
@@ -234,23 +252,35 @@ let encode_response = function
         put_int buf c.server_requests;
         put_int buf c.rows_fetched;
         put_int buf c.rows_delivered)
-  | Error { code; message; query } ->
+  | Error { code; message; query; retry_after } ->
     payload tag_error (fun buf ->
         Buffer.add_char buf (Char.chr (error_code_tag code));
         put_string buf message;
-        put_string_opt buf query)
+        put_string_opt buf query;
+        put_float_opt buf retry_after)
 
 let decode_response data =
   let tag, cur = open_payload data in
   let resp =
+    (* A count must be plausible for the bytes that remain — each column
+       name and each row costs at least an 8-byte length prefix, each value
+       at least its tag byte — or a corrupt count would reach [Array.make]/
+       [List.init] and allocate unboundedly before the payload runs dry. *)
+    let plausible what n per =
+      if n > (String.length cur.data - cur.pos) / per then
+        fail "implausible %s count %d" what n
+    in
     if tag = tag_pong then Pong
     else if tag = tag_rows then begin
       let n_cols = get_nat cur in
+      plausible "column" n_cols 8;
       let columns = List.init n_cols (fun _ -> get_string cur) in
       let n_rows = get_nat cur in
+      plausible "row" n_rows 8;
       let rows =
         List.init n_rows (fun _ ->
             let arity = get_nat cur in
+            plausible "value" arity 1;
             (* Explicit loop: Array.init's evaluation order is unspecified. *)
             let row = Array.make arity Value.Null in
             for i = 0 to arity - 1 do
@@ -275,7 +305,8 @@ let decode_response data =
       let code = error_code_of_tag (get_byte cur) in
       let message = get_string cur in
       let query = get_string_opt cur in
-      Error { code; message; query }
+      let retry_after = get_float_opt cur in
+      Error { code; message; query; retry_after }
     end
     else fail "unknown response tag 0x%02x" tag
   in
@@ -283,42 +314,58 @@ let decode_response data =
   resp
 
 (* ------------------------------------------------------------------ *)
-(* Framed socket I/O *)
+(* Framed I/O over a Transport (short reads/writes handled here). *)
 
-let rec write_all fd bytes pos len =
+let rec write_all (io : Transport.t) bytes pos len =
   if len > 0 then
-    match Unix.write fd bytes pos len with
-    | n -> write_all fd bytes (pos + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes pos len
+    match io.Transport.write bytes pos len with
+    | n -> write_all io bytes (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all io bytes pos len
 
-let write_frame fd data =
+let put_u32_bytes frame at v =
+  Bytes.set frame at (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set frame (at + 1) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set frame (at + 2) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set frame (at + 3) (Char.chr (v land 0xFF))
+
+let write_frame_t io data =
   let len = String.length data in
   if len > max_frame then
     invalid_arg (Printf.sprintf "Wire.write_frame: payload of %d bytes exceeds max_frame" len);
-  let frame = Bytes.create (4 + len) in
-  Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xFF));
-  Bytes.set frame 1 (Char.chr ((len lsr 16) land 0xFF));
-  Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xFF));
-  Bytes.set frame 3 (Char.chr (len land 0xFF));
-  Bytes.blit_string data 0 frame 4 len;
-  write_all fd frame 0 (4 + len)
+  let frame = Bytes.create (8 + len) in
+  put_u32_bytes frame 0 len;
+  (* Payload checksum: a TCP stream is reliable but the chaos model (and
+     real proxies behind middleboxes) is not — a flipped bit inside a
+     string value would otherwise decode cleanly into wrong data. *)
+  put_u32_bytes frame 4 (Int32.to_int (Crc32.digest data) land 0xFFFFFFFF);
+  Bytes.blit_string data 0 frame 8 len;
+  write_all io frame 0 (8 + len)
 
 (* Read exactly [len] bytes; [eof_ok] only applies before the first byte. *)
-let read_exact fd len ~eof_ok =
+let read_exact (io : Transport.t) len ~eof_ok =
   let bytes = Bytes.create len in
   let pos = ref 0 in
   while !pos < len do
-    match Unix.read fd bytes !pos (len - !pos) with
+    match io.Transport.read bytes !pos (len - !pos) with
     | 0 -> if !pos = 0 && eof_ok then raise End_of_file else fail "connection closed mid-frame"
     | n -> pos := !pos + n
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   Bytes.unsafe_to_string bytes
 
-let read_frame fd =
-  let header = read_exact fd 4 ~eof_ok:true in
+let read_frame_t io =
+  let header = read_exact io 8 ~eof_ok:true in
   let byte i = Char.code header.[i] in
-  let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+  let u32 at = (byte at lsl 24) lor (byte (at + 1) lsl 16)
+               lor (byte (at + 2) lsl 8) lor byte (at + 3) in
+  let len = u32 0 in
+  let crc = Int32.of_int (u32 4) in
   if len < 2 then fail "frame too short (%d bytes)" len;
   if len > max_frame then fail "frame of %d bytes exceeds max_frame" len;
-  read_exact fd len ~eof_ok:false
+  let data = read_exact io len ~eof_ok:false in
+  if Crc32.digest data <> crc then fail "frame checksum mismatch";
+  data
+
+let write_frame fd data = write_frame_t (Transport.of_fd fd) data
+
+let read_frame fd = read_frame_t (Transport.of_fd fd)

@@ -1,7 +1,9 @@
 (** The proxy's wire protocol: versioned, length-prefixed binary frames.
 
     Every message travels as one frame: a 4-byte big-endian payload length,
-    then the payload. The payload starts with a 1-byte protocol version and
+    a 4-byte CRC-32 of the payload (so in-flight corruption is detected at
+    the framing layer instead of being decoded into wrong data), then the
+    payload. The payload starts with a 1-byte protocol version and
     a 1-byte message tag; the body is self-describing in the same style as
     {!Mope_db.Storage} (big-endian fixed-width integers, length-prefixed
     strings, tagged values — no [Marshal], so frames are stable across
@@ -16,9 +18,10 @@ open Mope_db
 exception Protocol_error of string
 
 val version : int
-(** Current protocol version (1). A decoder rejects frames whose version
-    byte differs — version bumps are breaking by design; additions that
-    only define new tags do not bump it. *)
+(** Current protocol version (2 — v2 added the [retry_after] field to
+    error responses). A decoder rejects frames whose version byte differs —
+    version bumps are breaking by design; additions that only define new
+    tags do not bump it. *)
 
 val max_frame : int
 (** Upper bound on a payload length (16 MiB). A length prefix above this is
@@ -57,7 +60,14 @@ type response =
   | Pong
   | Rows of Exec.result
   | Counters of counters
-  | Error of { code : error_code; message : string; query : string option }
+  | Error of {
+      code : error_code;
+      message : string;
+      query : string option;
+      retry_after : float option;
+          (** hint: seconds to wait before retrying; set by the server's
+              load shedder on [Overloaded] *)
+    }
 
 val error_code_to_string : error_code -> string
 
@@ -69,14 +79,21 @@ val decode_request : string -> request
 val encode_response : response -> string
 val decode_response : string -> response
 
-(* Framed I/O over a connected socket. *)
+(* Framed I/O over a {!Transport.t} — the seam where {!Chaos} interposes. *)
+
+val write_frame_t : Transport.t -> string -> unit
+(** Prefix the payload with its length and CRC-32 and write it fully
+    (handles short writes). Raises [Invalid_argument] if the payload
+    exceeds {!max_frame}. *)
+
+val read_frame_t : Transport.t -> string
+(** Read one frame and return its payload. Raises [End_of_file] on a clean
+    close before any header byte, {!Protocol_error} on a mid-frame close,
+    an out-of-bounds length prefix or a checksum mismatch, and lets
+    [Unix.Unix_error] (e.g. a [SO_RCVTIMEO] timeout surfacing as [EAGAIN])
+    propagate. *)
+
+(* The same over a connected socket directly. *)
 
 val write_frame : Unix.file_descr -> string -> unit
-(** Length-prefix the payload and write it fully (handles short writes).
-    Raises [Invalid_argument] if the payload exceeds {!max_frame}. *)
-
 val read_frame : Unix.file_descr -> string
-(** Read one frame and return its payload. Raises [End_of_file] on a clean
-    close before any header byte, {!Protocol_error} on a mid-frame close or
-    an out-of-bounds length prefix, and lets [Unix.Unix_error] (e.g. a
-    [SO_RCVTIMEO] timeout surfacing as [EAGAIN]) propagate. *)

@@ -1,7 +1,7 @@
 let () =
   (* Craft a Query request whose sql length field is max_int *)
   let buf = Buffer.create 32 in
-  Buffer.add_char buf '\x01';          (* version *)
+  Buffer.add_char buf '\x02';          (* version *)
   Buffer.add_char buf '\x02';          (* tag_query *)
   (* 8-byte big-endian max_int *)
   let v = Int64.of_int max_int in

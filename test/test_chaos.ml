@@ -1,0 +1,454 @@
+(* Chaos suite: the networked proxy under deterministic fault injection.
+
+   Every fault schedule is driven by a Splitmix64 seed, so a failing run
+   reproduces exactly from its seed. The fixed seeds below always run;
+   setting CHAOS_SEED=<n> (as the CI seed matrix does) adds another.
+
+   The guarantees exercised:
+   - under lossless degradation ([Chaos.slow]) every query succeeds and the
+     delivered rows are byte-identical to the plaintext baseline;
+   - under the full storm ([Chaos.hostile]: disconnects + bit flips) every
+     query either returns the byte-identical result or raises a structured
+     {!Mope_error.Error} — never a bare exception — and the server survives
+     to serve a clean client afterwards;
+   - mutated/truncated byte streams never escape the {!Wire} decoders as
+     anything but {!Wire.Protocol_error};
+   - an overloaded server sheds with a structured [Overloaded] + retry-after
+     answer instead of queueing or crashing;
+   - the client's circuit breaker opens after consecutive transport
+     failures, fails fast while open, half-opens after the cooldown, and
+     closes on a successful probe. *)
+
+open Mope_db
+open Mope_workload
+open Mope_system
+open Mope_net
+
+let seeds =
+  let base = [ 1L; 7L; 42L ] in
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | None | Some "" -> base
+  | Some s ->
+    let extra = Int64.of_string s in
+    if List.mem extra base then base else base @ [ extra ]
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* Each alcotest case runs the whole seed list so `dune runtest` covers the
+   fixed matrix and CI adds its CHAOS_SEED on top. *)
+let for_each_seed f = List.iter f seeds
+
+(* ------------------------------------------------------------------ *)
+(* Shared encrypted-pipeline testbed (same shape as test_net). *)
+
+let testbed = lazy (Testbed.load ~sf:0.002 ~seed:21L ())
+
+let make_service () =
+  let tb = Lazy.force testbed in
+  let proxies =
+    [ ( Tpch_queries.date_column Tpch_queries.Q6,
+        Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho:(Some 92)
+          ~batch_size:25 ~seed:17L () );
+      ( Tpch_queries.date_column Tpch_queries.Q4,
+        Testbed.proxy tb ~template:Tpch_queries.Q4 ~rho:(Some 92)
+          ~batch_size:25 ~seed:19L () ) ]
+  in
+  Service.create ~proxies ()
+
+let result_fingerprint r =
+  List.map (fun row -> Array.to_list (Array.map Value.to_string row)) r.Exec.rows
+
+let query_instances seed =
+  let rng = Mope_stats.Rng.create (Int64.add 100L seed) in
+  [ Tpch_queries.random_instance rng Tpch_queries.Q6;
+    Tpch_queries.random_instance rng Tpch_queries.Q14;
+    Tpch_queries.random_instance rng Tpch_queries.Q4;
+    Tpch_queries.random_instance rng Tpch_queries.Q4 ]
+
+let run_instance client inst =
+  Client.query client ~sql:inst.Tpch_queries.sql
+    ~date_column:(Tpch_queries.date_column inst.Tpch_queries.template)
+    ~date_lo:inst.Tpch_queries.date_lo ~date_hi:inst.Tpch_queries.date_hi
+
+let chaotic_server ~wrap handler f =
+  let server =
+    Server.start
+      ~config:
+        { Server.default_config with
+          read_timeout = 5.0;
+          write_timeout = 5.0;
+          wrap = Some wrap }
+      ~handler ()
+  in
+  Fun.protect ~finally:(fun () -> Server.shutdown server) (fun () -> f server)
+
+(* ------------------------------------------------------------------ *)
+(* Degraded but lossless: every byte still arrives, so every query must
+   succeed with the exact plaintext answer. *)
+
+let test_slow_chaos () =
+  let tb = Lazy.force testbed in
+  let service = make_service () in
+  for_each_seed (fun seed ->
+      chaotic_server
+        ~wrap:(fun io -> Chaos.wrap ~config:Chaos.slow ~seed io)
+        (Service.handler service)
+        (fun server ->
+          Client.with_client ~port:(Server.port server) ~timeout:5.0
+            ~seed
+            ~wrap:(Chaos.wrap ~config:Chaos.slow ~seed:(Int64.add seed 1000L))
+            (fun client ->
+              Client.ping client;
+              List.iter
+                (fun inst ->
+                  let plain = Testbed.run_plain tb inst in
+                  let got = run_instance client inst in
+                  Alcotest.(check (list (list string)))
+                    (Printf.sprintf "seed %Ld: %s lossless under slow chaos"
+                       seed
+                       (Tpch_queries.template_name inst.Tpch_queries.template))
+                    (result_fingerprint plain) (result_fingerprint got))
+                (query_instances seed))))
+
+(* The full storm: disconnects and bit flips. Every query must end in the
+   exact plaintext answer or a structured error; afterwards the server must
+   still serve a clean client perfectly. *)
+
+let test_hostile_chaos () =
+  let tb = Lazy.force testbed in
+  let service = make_service () in
+  for_each_seed (fun seed ->
+      (* Each connection gets its own schedule derived from the parent seed
+         (as Chaos.wrap's docs prescribe), and the storm can be switched
+         off so the post-mortem health check runs over a clean wire. *)
+      let storm = ref true in
+      let conn_counter = Atomic.make 0 in
+      let server_wrap io =
+        if not !storm then io
+        else
+          Chaos.wrap ~config:Chaos.hostile
+            ~seed:
+              (Int64.add seed (Int64.of_int (Atomic.fetch_and_add conn_counter 1)))
+            io
+      in
+      chaotic_server ~wrap:server_wrap (Service.handler service)
+        (fun server ->
+          let port = Server.port server in
+          let delivered = ref 0 and structured = ref 0 in
+          (match
+             Client.connect ~port ~timeout:2.0 ~retries:5 ~backoff:0.01
+               ~request_retries:4 ~breaker_threshold:max_int ~seed
+               ~wrap:(Chaos.wrap ~config:Chaos.hostile
+                        ~seed:(Int64.add seed 1000L))
+               ()
+           with
+          | exception Mope_error.Error _ ->
+            (* The chaos schedule killed every dial: structured, so fine. *)
+            incr structured
+          | client ->
+            Fun.protect
+              ~finally:(fun () -> Client.close client)
+              (fun () ->
+                List.iter
+                  (fun inst ->
+                    match run_instance client inst with
+                    | got ->
+                      incr delivered;
+                      let plain = Testbed.run_plain tb inst in
+                      Alcotest.(check (list (list string)))
+                        (Printf.sprintf
+                           "seed %Ld: delivered rows byte-identical" seed)
+                        (result_fingerprint plain) (result_fingerprint got)
+                    | exception Mope_error.Error _ -> incr structured
+                    | exception e ->
+                      Alcotest.fail
+                        (Printf.sprintf
+                           "seed %Ld: unstructured escape under chaos: %s"
+                           seed (Printexc.to_string e)))
+                  (query_instances seed)));
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %Ld: every query accounted for" seed)
+            true
+            (!delivered + !structured > 0);
+          (* The server survived the storm: over a clean wire a clean
+             client gets exact answers. *)
+          storm := false;
+          Client.with_client ~port (fun clean ->
+              Client.ping clean;
+              let inst = List.hd (query_instances seed) in
+              Alcotest.(check (list (list string)))
+                (Printf.sprintf "seed %Ld: server healthy after the storm"
+                   seed)
+                (result_fingerprint (Testbed.run_plain tb inst))
+                (result_fingerprint (run_instance clean inst)))))
+
+(* ------------------------------------------------------------------ *)
+(* Seeded decoder fuzz: no mutation of a byte stream may escape the Wire
+   decoders as anything but Protocol_error. *)
+
+let fuzz_corpus =
+  [ Wire.encode_request Wire.Ping;
+    Wire.encode_request Wire.Get_counters;
+    Wire.encode_request
+      (Wire.Query
+         { sql = "SELECT sum(l_extendedprice * l_discount) FROM lineitem";
+           date_column = "l_shipdate";
+           date_lo = Date.of_ymd 1994 1 1;
+           date_hi = Date.of_ymd 1994 12 31 });
+    Wire.encode_response Wire.Pong;
+    Wire.encode_response
+      (Wire.Counters
+         { Wire.client_queries = 1; real_pieces = 2; fake_queries = 3;
+           server_requests = 4; rows_fetched = 5; rows_delivered = 6 });
+    Wire.encode_response
+      (Wire.Rows
+         { Exec.columns = [ "a"; "b" ];
+           rows =
+             [ [| Value.Int 1; Value.Str "x" |];
+               [| Value.Null; Value.Float 2.5 |];
+               [| Value.Date (Date.of_ymd 1995 6 1); Value.Bool true |] ] });
+    Wire.encode_response
+      (Wire.Error
+         { code = Wire.Overloaded; message = "busy"; query = Some "SELECT 1";
+           retry_after = Some 0.25 }) ]
+
+let mutate rng s =
+  let s = Bytes.of_string s in
+  let n = Bytes.length s in
+  match Mope_stats.Rng.int rng 5 with
+  | 0 when n > 0 ->
+    (* Truncate. *)
+    Bytes.sub_string s 0 (Mope_stats.Rng.int rng n)
+  | 1 when n > 0 ->
+    (* Flip one bit. *)
+    let i = Mope_stats.Rng.int rng n in
+    Bytes.set s i
+      (Char.chr
+         (Char.code (Bytes.get s i) lxor (1 lsl Mope_stats.Rng.int rng 8)));
+    Bytes.to_string s
+  | 2 when n > 0 ->
+    (* Overwrite a byte with a random one. *)
+    let i = Mope_stats.Rng.int rng n in
+    Bytes.set s i (Char.chr (Mope_stats.Rng.int rng 256));
+    Bytes.to_string s
+  | 3 ->
+    (* Insert a random byte. *)
+    let i = Mope_stats.Rng.int rng (n + 1) in
+    Bytes.to_string s |> fun s ->
+    String.sub s 0 i
+    ^ String.make 1 (Char.chr (Mope_stats.Rng.int rng 256))
+    ^ String.sub s i (n - i)
+  | _ when n > 1 ->
+    (* Delete a byte. *)
+    let i = Mope_stats.Rng.int rng n in
+    Bytes.to_string s |> fun s ->
+    String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+  | _ -> Bytes.to_string s
+
+let test_decoder_fuzz () =
+  for_each_seed (fun seed ->
+      let rng = Mope_stats.Rng.create seed in
+      for round = 1 to 2000 do
+        let base = List.nth fuzz_corpus (Mope_stats.Rng.int rng
+                                           (List.length fuzz_corpus)) in
+        let mutations = 1 + Mope_stats.Rng.int rng 3 in
+        let payload = ref base in
+        for _ = 1 to mutations do
+          payload := mutate rng !payload
+        done;
+        let try_decode name decode =
+          match decode !payload with
+          | (_ : unit) -> ()
+          | exception Wire.Protocol_error _ -> ()
+          | exception e ->
+            Alcotest.fail
+              (Printf.sprintf
+                 "seed %Ld round %d: %s escaped with %s on %S" seed round
+                 name (Printexc.to_string e) !payload)
+        in
+        try_decode "decode_request" (fun s -> ignore (Wire.decode_request s));
+        try_decode "decode_response" (fun s -> ignore (Wire.decode_response s))
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Load shedding: beyond the in-flight budget the server answers a
+   structured Overloaded with a retry-after hint — and recovers once the
+   stuck requests drain. *)
+
+let raw_connect port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  fd
+
+let test_load_shedding () =
+  let gate = Mutex.create () in
+  let released = ref false in
+  let release_cond = Condition.create () in
+  let handler = function
+    | Wire.Ping ->
+      Mutex.lock gate;
+      while not !released do
+        Condition.wait release_cond gate
+      done;
+      Mutex.unlock gate;
+      Wire.Pong
+    | _ ->
+      Wire.Error
+        { code = Wire.Unsupported; message = "test handler"; query = None;
+          retry_after = None }
+  in
+  let server =
+    Server.start
+      ~config:{ Server.default_config with max_in_flight = 2 }
+      ~handler ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock gate;
+      released := true;
+      Condition.broadcast release_cond;
+      Mutex.unlock gate;
+      Server.shutdown server)
+    (fun () ->
+      let port = Server.port server in
+      let conns = List.init 4 (fun _ -> raw_connect port) in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            conns)
+        (fun () ->
+          let ping = Wire.encode_request Wire.Ping in
+          (match conns with
+          | [ c1; c2; c3; c4 ] ->
+            (* Fill the budget: two requests park inside the handler. *)
+            Wire.write_frame c1 ping;
+            Wire.write_frame c2 ping;
+            let deadline = Unix.gettimeofday () +. 5.0 in
+            while Server.in_flight server < 2 && Unix.gettimeofday () < deadline
+            do
+              Thread.delay 0.01
+            done;
+            Alcotest.(check int) "budget full" 2 (Server.in_flight server);
+            (* Requests beyond the budget are shed, not queued. *)
+            List.iter
+              (fun fd ->
+                Wire.write_frame fd ping;
+                match Wire.decode_response (Wire.read_frame fd) with
+                | Wire.Error
+                    { code = Wire.Overloaded; message; retry_after; _ } ->
+                  Alcotest.(check bool) "mentions capacity" true
+                    (contains ~needle:"capacity" message);
+                  (match retry_after with
+                  | Some d ->
+                    Alcotest.(check bool) "positive retry-after hint" true
+                      (d > 0.0)
+                  | None -> Alcotest.fail "Overloaded without a retry_after")
+                | _ -> Alcotest.fail "expected an Overloaded error")
+              [ c3; c4 ];
+            Alcotest.(check int) "both sheds counted" 2
+              (Server.stats server).Server.shed;
+            (* Drain the stuck requests; the parked clients get real
+               answers... *)
+            Mutex.lock gate;
+            released := true;
+            Condition.broadcast release_cond;
+            Mutex.unlock gate;
+            List.iter
+              (fun fd ->
+                Alcotest.(check bool) "parked request served" true
+                  (Wire.decode_response (Wire.read_frame fd) = Wire.Pong))
+              [ c1; c2 ];
+            (* ...and a previously-shed connection is admitted again. *)
+            Wire.write_frame c3 ping;
+            Alcotest.(check bool) "shed client admitted after drain" true
+              (Wire.decode_response (Wire.read_frame c3) = Wire.Pong)
+          | _ -> assert false)))
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker: closed -> open after consecutive transport failures,
+   fail-fast while open, half-open after the cooldown, closed again on a
+   successful probe — all over a real loopback socket. *)
+
+let test_circuit_breaker () =
+  let handler = function
+    | Wire.Ping -> Wire.Pong
+    | _ ->
+      Wire.Error
+        { code = Wire.Unsupported; message = "test handler"; query = None;
+          retry_after = None }
+  in
+  let server = Server.start ~handler () in
+  let port = Server.port server in
+  let client =
+    Client.connect ~port ~timeout:1.0 ~retries:0 ~backoff:0.01
+      ~request_retries:0 ~breaker_threshold:3 ~breaker_cooldown:0.4 ~seed:5L ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      Client.ping client;
+      Alcotest.(check bool) "closed while healthy" true
+        (Client.breaker_state client = `Closed);
+      Server.shutdown server;
+      (* Consecutive transport failures trip the breaker at the threshold. *)
+      for i = 1 to 3 do
+        match Client.ping client with
+        | () -> Alcotest.fail "expected a transport failure"
+        | exception Mope_error.Error _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "state after failure %d" i)
+            true
+            (Client.breaker_state client = if i < 3 then `Closed else `Open)
+      done;
+      (* While open: fail fast, no dialing. *)
+      let t0 = Unix.gettimeofday () in
+      (match Client.ping client with
+      | () -> Alcotest.fail "expected fail-fast"
+      | exception Mope_error.Error e ->
+        Alcotest.(check bool) "names the breaker" true
+          (contains ~needle:"circuit breaker open" e.Mope_error.msg));
+      Alcotest.(check bool) "failed fast" true
+        (Unix.gettimeofday () -. t0 < 0.3);
+      (* Cooldown elapses: half-open; a failed probe re-opens. *)
+      Thread.delay 0.5;
+      Alcotest.(check bool) "half-open after cooldown" true
+        (Client.breaker_state client = `Half_open);
+      (match Client.ping client with
+      | () -> Alcotest.fail "probe should fail against a dead server"
+      | exception Mope_error.Error _ -> ());
+      Alcotest.(check bool) "failed probe re-opens" true
+        (Client.breaker_state client = `Open);
+      (* Server returns; the next half-open probe closes the breaker. *)
+      Thread.delay 0.5;
+      Alcotest.(check bool) "half-open again" true
+        (Client.breaker_state client = `Half_open);
+      let server2 =
+        Server.start ~config:{ Server.default_config with port } ~handler ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.shutdown server2)
+        (fun () ->
+          Client.ping client;
+          Alcotest.(check bool) "closed after successful probe" true
+            (Client.breaker_state client = `Closed);
+          Alcotest.(check bool) "reconnected" true (Client.is_connected client)))
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "wire-fuzz",
+        [ Alcotest.test_case "mutated streams never escape the decoders"
+            `Quick test_decoder_fuzz ] );
+      ( "degradation",
+        [ Alcotest.test_case "load shedding beyond the in-flight budget"
+            `Quick test_load_shedding;
+          Alcotest.test_case "circuit breaker state machine over loopback"
+            `Quick test_circuit_breaker ] );
+      ( "storm",
+        [ Alcotest.test_case "slow chaos is lossless" `Slow test_slow_chaos;
+          Alcotest.test_case "hostile chaos: correct or structured, server survives"
+            `Slow test_hostile_chaos ] ) ]

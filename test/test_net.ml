@@ -64,11 +64,14 @@ let test_response_roundtrip () =
   | _ -> Alcotest.fail "rows shape");
   let err =
     Wire.Error
-      { code = Wire.Exec_failed; message = "boom"; query = Some "SELECT 1" }
+      { code = Wire.Exec_failed; message = "boom"; query = Some "SELECT 1";
+        retry_after = None }
   in
   Alcotest.(check bool) "error" true (roundtrip_response err = err);
   let err_no_query =
-    Wire.Error { code = Wire.Overloaded; message = "busy"; query = None }
+    Wire.Error
+      { code = Wire.Overloaded; message = "busy"; query = None;
+        retry_after = Some 0.25 }
   in
   Alcotest.(check bool) "error no query" true
     (roundtrip_response err_no_query = err_no_query)
@@ -86,19 +89,22 @@ let test_decode_malformed () =
       ignore (Wire.decode_request bad_version));
   (* Unknown tag. *)
   check_protocol_error "unknown tag" (fun () ->
-      ignore (Wire.decode_request "\x01\x6E"));
+      ignore (Wire.decode_request "\x02\x6E"));
   (* A response tag is not a request. *)
   check_protocol_error "response as request" (fun () ->
       ignore (Wire.decode_request (Wire.encode_response Wire.Pong)));
   (* Truncated body: a Query missing everything after the tag. *)
   check_protocol_error "truncated" (fun () ->
-      ignore (Wire.decode_request "\x01\x02"));
+      ignore (Wire.decode_request "\x02\x02"));
   (* Trailing bytes after a complete message. *)
   check_protocol_error "trailing" (fun () ->
       ignore (Wire.decode_request (ping ^ "\x00")));
   (* Negative / insane string length inside the body. *)
   check_protocol_error "bad length" (fun () ->
-      ignore (Wire.decode_request "\x01\x02\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
+      ignore (Wire.decode_request "\x02\x02\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
+  (* A 62-bit length that would overflow a naive bounds check. *)
+  check_protocol_error "overflowing length" (fun () ->
+      ignore (Wire.decode_request "\x02\x02\x3F\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
   (* Empty payload. *)
   check_protocol_error "empty" (fun () -> ignore (Wire.decode_request ""))
 
@@ -228,7 +234,7 @@ let test_bad_length_prefix_closes_connection () =
              layer itself rejects it, so the server answers and hangs up.
              (Nothing follows the header — unread bytes at close would turn
              the server's FIN into an RST under the client's feet.) *)
-          let junk = Bytes.of_string "\x00\x00\x00\x00" in
+          let junk = Bytes.of_string "\x00\x00\x00\x00\x00\x00\x00\x00" in
           ignore (Unix.write fd junk 0 (Bytes.length junk));
           expect_bad_frame "short frame" (Wire.read_frame fd);
           match Wire.read_frame fd with
@@ -243,9 +249,36 @@ let test_oversized_length_prefix_rejected () =
       Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
           (* Claim a 256 MiB payload: rejected before any allocation. *)
-          let junk = Bytes.of_string "\x10\x00\x00\x00" in
+          let junk = Bytes.of_string "\x10\x00\x00\x00\x00\x00\x00\x00" in
           ignore (Unix.write fd junk 0 (Bytes.length junk));
           expect_bad_frame "oversized" (Wire.read_frame fd)))
+
+let test_corrupted_frame_rejected () =
+  let service = make_service () in
+  with_server (Service.handler service) (fun server ->
+      let fd = raw_connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* A correctly framed Ping whose payload was bit-flipped in
+             flight: the header CRC no longer matches, so the server must
+             reject the frame instead of decoding the damaged bytes. *)
+          let payload = Wire.encode_request Wire.Ping in
+          let len = String.length payload in
+          let frame = Bytes.create (8 + len) in
+          let put_u32 at v =
+            Bytes.set frame at (Char.chr ((v lsr 24) land 0xFF));
+            Bytes.set frame (at + 1) (Char.chr ((v lsr 16) land 0xFF));
+            Bytes.set frame (at + 2) (Char.chr ((v lsr 8) land 0xFF));
+            Bytes.set frame (at + 3) (Char.chr (v land 0xFF))
+          in
+          put_u32 0 len;
+          put_u32 4 (Int32.to_int (Crc32.digest payload) land 0xFFFFFFFF);
+          Bytes.blit_string payload 0 frame 8 len;
+          let last = 8 + len - 1 in
+          Bytes.set frame last
+            (Char.chr (Char.code (Bytes.get frame last) lxor 0x01));
+          ignore (Unix.write fd frame 0 (Bytes.length frame));
+          expect_bad_frame "checksum mismatch" (Wire.read_frame fd)))
 
 let test_client_timeout_is_structured () =
   (* A handler that stalls longer than the client is willing to wait. *)
@@ -253,17 +286,26 @@ let test_client_timeout_is_structured () =
     | Wire.Ping ->
       Thread.delay 1.5;
       Wire.Pong
-    | _ -> Wire.Error { code = Wire.Unsupported; message = "no"; query = None }
+    | _ ->
+      Wire.Error
+        { code = Wire.Unsupported; message = "no"; query = None;
+          retry_after = None }
   in
   with_server handler (fun server ->
-      let client = Client.connect ~port:(Server.port server) ~timeout:0.3 () in
+      let client =
+        Client.connect ~port:(Server.port server) ~timeout:0.3
+          ~request_retries:0 ()
+      in
       (match Client.ping client with
       | () -> Alcotest.fail "expected a timeout"
       | exception Mope_error.Error e ->
         Alcotest.(check bool) "mentions timeout" true
           (contains ~needle:"timed out" e.Mope_error.msg));
-      (* A timed-out connection has lost its frame boundary: it is dead. *)
-      Alcotest.(check bool) "closed after timeout" true (Client.is_closed client))
+      (* A timed-out connection has lost its frame boundary: it is dropped —
+         but the client itself stays usable and redials on the next call. *)
+      Alcotest.(check bool) "connection dropped" false (Client.is_connected client);
+      Alcotest.(check bool) "client still open" false (Client.is_closed client);
+      Client.close client)
 
 let test_connect_retries_then_structured_error () =
   (* Find a port with no listener by binding one and closing it. *)
@@ -359,7 +401,9 @@ let () =
           Alcotest.test_case "bad length prefix closes the connection" `Quick
             test_bad_length_prefix_closes_connection;
           Alcotest.test_case "oversized length prefix rejected" `Quick
-            test_oversized_length_prefix_rejected ] );
+            test_oversized_length_prefix_rejected;
+          Alcotest.test_case "corrupted frame rejected" `Quick
+            test_corrupted_frame_rejected ] );
       ( "client",
         [ Alcotest.test_case "timeout is a structured error" `Quick
             test_client_timeout_is_structured;

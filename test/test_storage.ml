@@ -1,0 +1,452 @@
+(* Crash-safety tests for lib/db persistence: CRC-checksummed v2 snapshots,
+   corruption handling (truncations, bit flips, wrong magic — always
+   [Storage.Corrupt], never a raw exception), the append-only WAL with
+   torn-tail tolerance, and [Storage.recover] after a process dies
+   mid-save or mid-append. *)
+
+open Mope_db
+
+let with_tmp f =
+  let path = Filename.temp_file "mope_storage_test" ".bin" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  data
+
+(* A small database: big enough to exercise every value type, small enough
+   that exhaustive byte-level corruption sweeps stay fast. *)
+let small_database () =
+  let db = Database.create () in
+  ignore
+    (Database.execute db
+       "CREATE TABLE t (a INTEGER, b TEXT, c FLOAT, d DATE, e BOOLEAN)");
+  ignore (Database.execute db "CREATE INDEX ON t (a)");
+  for i = 0 to 9 do
+    ignore
+      (Database.execute db
+         (Printf.sprintf
+            "INSERT INTO t VALUES (%d, 'row %d', %d.5, DATE '1997-0%d-01', %s)"
+            (i * 3) i i ((i mod 9) + 1)
+            (if i mod 2 = 0 then "TRUE" else "FALSE")))
+  done;
+  db
+
+let dump db =
+  List.concat_map
+    (fun name ->
+      let r = Database.query db (Printf.sprintf "SELECT * FROM %s" name) in
+      List.map
+        (fun row -> Array.to_list (Array.map Value.to_string row))
+        r.Exec.rows
+      |> List.sort compare)
+    (Database.tables db)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot format *)
+
+let test_v2_roundtrip_and_header () =
+  let db = small_database () in
+  let data = Storage.save_string db in
+  Alcotest.(check string) "v2 magic" "MOPEDB\x02\n" (String.sub data 0 8);
+  let loaded = Storage.load_string data in
+  Alcotest.(check (list (list string))) "contents" (dump db) (dump loaded)
+
+let test_legacy_v1_still_loads () =
+  let db = small_database () in
+  let v2 = Storage.save_string db in
+  (* v2 layout: 8-byte magic, 8-byte length, 4-byte CRC, body. The body is
+     the v1 payload, so a v1 file is magic1 ^ body. *)
+  let body = String.sub v2 20 (String.length v2 - 20) in
+  let v1 = "MOPEDB\x01\n" ^ body in
+  let loaded = Storage.load_string v1 in
+  Alcotest.(check (list (list string))) "v1 contents" (dump db) (dump loaded)
+
+let expect_corrupt label data =
+  match Storage.load_string data with
+  | _ -> Alcotest.fail ("accepted corrupt input: " ^ label)
+  | exception Storage.Corrupt msg ->
+    Alcotest.(check bool) (label ^ " has a reason") true (String.length msg > 0)
+  | exception e ->
+    Alcotest.fail
+      (Printf.sprintf "%s: escaped as %s instead of Storage.Corrupt" label
+         (Printexc.to_string e))
+
+let test_wrong_magic () =
+  expect_corrupt "empty" "";
+  expect_corrupt "not a database" "hello world, definitely not a snapshot";
+  expect_corrupt "half a magic" "MOPE";
+  expect_corrupt "wal magic" "MOPEWAL\x01\n";
+  expect_corrupt "future version" "MOPEDB\x09\n\x00\x00\x00\x00"
+
+(* Every proper prefix of a valid snapshot must be rejected as Corrupt. *)
+let test_truncation_sweep () =
+  let good = Storage.save_string (small_database ()) in
+  for n = 0 to String.length good - 1 do
+    expect_corrupt (Printf.sprintf "truncated to %d" n) (String.sub good 0 n)
+  done
+
+(* CRC-32 detects every single-bit error, so any one-bit flip anywhere —
+   magic, length, checksum or body — must be rejected as Corrupt. *)
+let test_bit_flip_sweep () =
+  let good = Storage.save_string (small_database ()) in
+  let mangled = Bytes.of_string good in
+  for i = 0 to String.length good - 1 do
+    let bit = 1 lsl (i mod 8) in
+    let orig = Bytes.get mangled i in
+    Bytes.set mangled i (Char.chr (Char.code orig lxor bit));
+    expect_corrupt
+      (Printf.sprintf "bit flip at byte %d" i)
+      (Bytes.to_string mangled);
+    Bytes.set mangled i orig
+  done
+
+let test_trailing_garbage () =
+  let good = Storage.save_string (small_database ()) in
+  expect_corrupt "trailing bytes" (good ^ "x")
+
+(* A crash after writing the temp file but before the rename leaves the old
+   snapshot in place plus a stray .tmp; save must replace atomically and
+   clean its temp file on the happy path. *)
+let test_save_atomic () =
+  with_tmp (fun path ->
+      let db1 = small_database () in
+      Storage.save db1 ~path;
+      Alcotest.(check bool) "no stray tmp" false
+        (Sys.file_exists (path ^ ".tmp"));
+      (* Simulate the half-finished save of a crashed writer... *)
+      write_file (path ^ ".tmp") "MOPEDB\x02\n\x00\x00torn";
+      (* ...the snapshot at the final path is still the good one. *)
+      let loaded = Storage.load ~path in
+      Alcotest.(check (list (list string))) "old snapshot intact" (dump db1)
+        (dump loaded);
+      (* And a fresh save replaces both. *)
+      let db2 = Database.create () in
+      ignore (Database.execute db2 "CREATE TABLE only (x INTEGER)");
+      Storage.save db2 ~path;
+      Alcotest.(check (list string)) "replaced" [ "only" ]
+        (Database.tables (Storage.load ~path)))
+
+(* ------------------------------------------------------------------ *)
+(* WAL *)
+
+let sample_statements =
+  [ "CREATE TABLE kv (k INTEGER, v TEXT)";
+    "INSERT INTO kv VALUES (1, 'one')";
+    "INSERT INTO kv VALUES (2, 'two')";
+    "UPDATE kv SET v = 'deux' WHERE k = 2";
+    "INSERT INTO kv VALUES (3, 'three')";
+    "DELETE FROM kv WHERE k = 1" ]
+
+let write_wal path statements =
+  let log = Wal.open_log ~path in
+  List.iter (fun s -> Wal.append ~sync:false log s) statements;
+  Wal.close log
+
+let test_wal_roundtrip () =
+  with_tmp (fun path ->
+      Sys.remove path;
+      write_wal path sample_statements;
+      let r = Wal.replay ~path in
+      Alcotest.(check (list string)) "statements" sample_statements
+        r.Wal.statements;
+      Alcotest.(check bool) "not torn" false r.Wal.torn)
+
+let test_wal_missing_file_is_empty () =
+  with_tmp (fun path ->
+      Sys.remove path;
+      let r = Wal.replay ~path in
+      Alcotest.(check (list string)) "no statements" [] r.Wal.statements;
+      Alcotest.(check bool) "not torn" false r.Wal.torn)
+
+let test_wal_bad_header () =
+  with_tmp (fun path ->
+      write_file path "definitely not a wal, but longer than the header";
+      match Wal.replay ~path with
+      | _ -> Alcotest.fail "accepted a non-WAL file"
+      | exception Wal.Corrupt _ -> ())
+
+(* Kill-mid-append, exhaustively: every possible prefix of a valid log is
+   what some crash instant leaves behind. Replay must never raise, must
+   recover a prefix of the appended statements, and must flag the torn
+   tail exactly when one exists. *)
+let test_wal_truncation_sweep () =
+  with_tmp (fun path ->
+      Sys.remove path;
+      write_wal path sample_statements;
+      let full = read_file path in
+      let is_prefix l =
+        let rec go a b =
+          match a, b with
+          | [], _ -> true
+          | x :: a', y :: b' -> x = y && go a' b'
+          | _ :: _, [] -> false
+        in
+        go l sample_statements
+      in
+      for n = 0 to String.length full do
+        write_file path (String.sub full 0 n);
+        match Wal.replay ~path with
+        | r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "prefix at %d" n)
+            true (is_prefix r.Wal.statements);
+          let complete = n = String.length full in
+          if complete then begin
+            Alcotest.(check (list string)) "full file intact" sample_statements
+              r.Wal.statements;
+            Alcotest.(check bool) "full file not torn" false r.Wal.torn
+          end
+          else
+            Alcotest.(check bool)
+              (Printf.sprintf "torn flagged at %d" n)
+              (n > 0 && n <> r.Wal.valid_bytes)
+              r.Wal.torn
+        | exception e ->
+          Alcotest.fail
+            (Printf.sprintf "replay raised at truncation %d: %s" n
+               (Printexc.to_string e))
+      done)
+
+(* A bit flip inside a record invalidates that record and everything after
+   it (the longest *valid prefix* is what recovery trusts), but never
+   raises. *)
+let test_wal_bit_flip_gives_prefix () =
+  with_tmp (fun path ->
+      Sys.remove path;
+      write_wal path sample_statements;
+      let full = read_file path in
+      let header = String.length "MOPEWAL\x01\n" in
+      let mangled = Bytes.of_string full in
+      for i = header to String.length full - 1 do
+        let orig = Bytes.get mangled i in
+        Bytes.set mangled i (Char.chr (Char.code orig lxor 0x40));
+        write_file path (Bytes.to_string mangled);
+        (match Wal.replay ~path with
+        | r ->
+          let rec is_prefix a b =
+            match a, b with
+            | [], _ -> true
+            | x :: a', y :: b' -> x = y && is_prefix a' b'
+            | _ :: _, [] -> false
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "flip at %d yields a valid prefix" i)
+            true
+            (is_prefix r.Wal.statements sample_statements
+            && List.length r.Wal.statements < List.length sample_statements);
+          Alcotest.(check bool)
+            (Printf.sprintf "flip at %d flagged torn" i)
+            true r.Wal.torn
+        | exception e ->
+          Alcotest.fail
+            (Printf.sprintf "replay raised on flip at %d: %s" i
+               (Printexc.to_string e)));
+        Bytes.set mangled i orig
+      done)
+
+(* open_log after a crash truncates the torn tail so new appends extend
+   the valid prefix instead of hiding behind garbage. *)
+let test_wal_open_repairs_torn_tail () =
+  with_tmp (fun path ->
+      Sys.remove path;
+      write_wal path sample_statements;
+      let full = read_file path in
+      (* Tear the last record in half. *)
+      write_file path (String.sub full 0 (String.length full - 3));
+      let r = Wal.replay ~path in
+      Alcotest.(check bool) "tail torn" true r.Wal.torn;
+      let log = Wal.open_log ~path in
+      Wal.append ~sync:false log "INSERT INTO kv VALUES (9, 'nine')";
+      Wal.close log;
+      let r' = Wal.replay ~path in
+      Alcotest.(check bool) "repaired" false r'.Wal.torn;
+      Alcotest.(check (list string)) "prefix + new record"
+        (List.filteri (fun i _ -> i < List.length sample_statements - 1)
+           sample_statements
+        @ [ "INSERT INTO kv VALUES (9, 'nine')" ])
+        r'.Wal.statements)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery *)
+
+let test_recover_snapshot_plus_wal () =
+  with_tmp (fun snapshot ->
+      with_tmp (fun wal ->
+          Sys.remove wal;
+          let db = small_database () in
+          Storage.save db ~path:snapshot;
+          write_wal wal sample_statements;
+          let r = Storage.recover ~snapshot ~wal () in
+          Alcotest.(check bool) "snapshot loaded" true r.Storage.snapshot_loaded;
+          Alcotest.(check int) "all applied"
+            (List.length sample_statements)
+            r.Storage.wal_applied;
+          Alcotest.(check bool) "not torn" false r.Storage.wal_torn;
+          (* The recovered state is snapshot + statements, exactly. *)
+          let expected = Storage.load ~path:snapshot in
+          List.iter
+            (fun s -> ignore (Database.execute expected s))
+            sample_statements;
+          Alcotest.(check (list (list string))) "state" (dump expected)
+            (dump r.Storage.db)))
+
+let test_recover_discards_torn_tail () =
+  with_tmp (fun snapshot ->
+      with_tmp (fun wal ->
+          Sys.remove wal;
+          let db = small_database () in
+          Storage.save db ~path:snapshot;
+          write_wal wal sample_statements;
+          let full = read_file wal in
+          write_file wal (String.sub full 0 (String.length full - 2));
+          let r = Storage.recover ~snapshot ~wal () in
+          Alcotest.(check bool) "torn reported" true r.Storage.wal_torn;
+          Alcotest.(check int) "prefix applied"
+            (List.length sample_statements - 1)
+            r.Storage.wal_applied))
+
+let test_recover_without_snapshot () =
+  with_tmp (fun wal ->
+      Sys.remove wal;
+      write_wal wal sample_statements;
+      let r = Storage.recover ~snapshot:(wal ^ ".does-not-exist") ~wal () in
+      Alcotest.(check bool) "no snapshot" false r.Storage.snapshot_loaded;
+      let rows = Database.query r.Storage.db "SELECT k FROM kv" in
+      Alcotest.(check int) "wal-only state" 2 (List.length rows.Exec.rows))
+
+let test_checkpoint_resets_wal () =
+  with_tmp (fun snapshot ->
+      with_tmp (fun wal ->
+          Sys.remove snapshot;
+          Sys.remove wal;
+          write_wal wal sample_statements;
+          let r = Storage.recover ~snapshot ~wal () in
+          Storage.checkpoint r.Storage.db ~path:snapshot ~wal;
+          let r' = Storage.recover ~snapshot ~wal () in
+          Alcotest.(check int) "wal empty after checkpoint" 0
+            r'.Storage.wal_applied;
+          Alcotest.(check (list (list string))) "state preserved"
+            (dump r.Storage.db) (dump r'.Storage.db)))
+
+(* The real thing: a child process appends WAL records in a tight loop and
+   is SIGKILLed mid-stream. Replay must recover a clean prefix of what the
+   child wrote — however far it got — and recovery must build a database
+   whose row count matches the count of recovered inserts. *)
+let test_recover_after_sigkill () =
+  with_tmp (fun wal ->
+      Sys.remove wal;
+      (let log = Wal.open_log ~path:wal in
+       Wal.append log "CREATE TABLE kv (k INTEGER, v TEXT)";
+       Wal.close log);
+      match Unix.fork () with
+      | 0 ->
+        (* Child: append forever until killed. [sync:false] keeps the rate
+           high; records survive SIGKILL once write(2) returns. *)
+        let log = Wal.open_log ~path:wal in
+        let i = ref 0 in
+        (try
+           while true do
+             incr i;
+             Wal.append ~sync:false log
+               (Printf.sprintf "INSERT INTO kv VALUES (%d, 'value %d')" !i !i)
+           done
+         with _ -> ());
+        Unix._exit 0
+      | pid ->
+        (* Let it write for a moment, then kill it abruptly. *)
+        Thread.delay 0.15;
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        let r = Wal.replay ~path:wal in
+        let n = List.length r.Wal.statements - 1 in
+        Alcotest.(check bool) "child wrote something" true (n > 0);
+        (* Statements are exactly the expected sequence 1..n. *)
+        List.iteri
+          (fun idx s ->
+            if idx > 0 then
+              Alcotest.(check string)
+                (Printf.sprintf "record %d" idx)
+                (Printf.sprintf "INSERT INTO kv VALUES (%d, 'value %d')" idx
+                   idx)
+                s)
+          r.Wal.statements;
+        let rec_ = Storage.recover ~wal () in
+        Alcotest.(check int) "every recovered insert applied" n
+          (List.length
+             (Database.query rec_.Storage.db "SELECT k FROM kv").Exec.rows))
+
+(* Kill-mid-save: run a child that saves a snapshot over and over and kill
+   it; whatever instant the kill lands at, the snapshot path must hold a
+   loadable database (the old or the new one — never a torn file). *)
+let test_snapshot_survives_sigkill () =
+  with_tmp (fun path ->
+      let db = small_database () in
+      Storage.save db ~path;
+      match Unix.fork () with
+      | 0 ->
+        (try
+           while true do
+             Storage.save db ~path
+           done
+         with _ -> ());
+        Unix._exit 0
+      | pid ->
+        Thread.delay 0.15;
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        let loaded = Storage.load ~path in
+        Alcotest.(check (list (list string))) "snapshot loadable and right"
+          (dump db) (dump loaded))
+
+let () =
+  Alcotest.run "storage"
+    [ ( "snapshot",
+        [ Alcotest.test_case "v2 roundtrip + header" `Quick
+            test_v2_roundtrip_and_header;
+          Alcotest.test_case "legacy v1 still loads" `Quick
+            test_legacy_v1_still_loads;
+          Alcotest.test_case "wrong magic rejected" `Quick test_wrong_magic;
+          Alcotest.test_case "every truncation is Corrupt" `Quick
+            test_truncation_sweep;
+          Alcotest.test_case "every bit flip is Corrupt" `Slow
+            test_bit_flip_sweep;
+          Alcotest.test_case "trailing garbage rejected" `Quick
+            test_trailing_garbage;
+          Alcotest.test_case "atomic save" `Quick test_save_atomic ] );
+      ( "wal",
+        [ Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "missing file is empty" `Quick
+            test_wal_missing_file_is_empty;
+          Alcotest.test_case "bad header rejected" `Quick test_wal_bad_header;
+          Alcotest.test_case "every truncation yields a valid prefix" `Quick
+            test_wal_truncation_sweep;
+          Alcotest.test_case "bit flips yield a valid prefix" `Slow
+            test_wal_bit_flip_gives_prefix;
+          Alcotest.test_case "open repairs a torn tail" `Quick
+            test_wal_open_repairs_torn_tail ] );
+      ( "recovery",
+        [ Alcotest.test_case "snapshot + wal" `Quick
+            test_recover_snapshot_plus_wal;
+          Alcotest.test_case "torn tail discarded" `Quick
+            test_recover_discards_torn_tail;
+          Alcotest.test_case "wal without snapshot" `Quick
+            test_recover_without_snapshot;
+          Alcotest.test_case "checkpoint resets the wal" `Quick
+            test_checkpoint_resets_wal;
+          Alcotest.test_case "kill -9 mid-append" `Quick
+            test_recover_after_sigkill;
+          Alcotest.test_case "kill -9 mid-save" `Quick
+            test_snapshot_survives_sigkill ] ) ]
