@@ -209,7 +209,7 @@ let height t =
   go t.root
 
 let check_invariants t =
-  let fail msg = failwith ("Btree.check_invariants: " ^ msg) in
+  let fail msg = Mope_error.raise_error ("Btree.check_invariants: " ^ msg) in
   let rec check node ~is_root =
     match node with
     | Leaf leaf ->

@@ -506,7 +506,9 @@ and run_select ~catalog ~stats select =
               !current;
             current := List.rev !out;
             placed := !placed @ [ src ]
-          | [] -> assert false)
+          | [] ->
+            Mope_error.raise_error
+              "internal invariant: join order ran out of sources")
       done;
       (* Re-add join predicates as residual checks when sources were joined
          in an order that consumed them, plus any unused join preds. *)
@@ -546,7 +548,13 @@ and run_select ~catalog ~stats select =
     if select.group_by = [] && not has_agg then begin
       (* Plain projection. *)
       let projs =
-        List.map (function Proj (e, _) -> compile_row e | Star -> assert false) projections
+        List.map
+          (function
+            | Proj (e, _) -> compile_row e
+            | Star ->
+              Mope_error.raise_error
+                "internal invariant: Star projection survived expansion")
+          projections
       in
       let order_keys = List.map (fun (e, _) -> e) select.order_by in
       let order_fns = List.map (fun e -> compile_order_key ~columns ~compile_row e) order_keys in
@@ -612,7 +620,11 @@ and run_select ~catalog ~stats select =
           let out =
             Array.of_list
               (List.map
-                 (function Proj (e, _) -> eval_expr e | Star -> assert false)
+                 (function
+                   | Proj (e, _) -> eval_expr e
+                   | Star ->
+                     Mope_error.raise_error
+                       "internal invariant: Star projection survived expansion")
                  projections)
           in
           let keys =

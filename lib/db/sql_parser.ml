@@ -210,7 +210,9 @@ and parse_predicate st =
       | SYMBOL "<=" -> Le
       | SYMBOL ">" -> Gt
       | SYMBOL ">=" -> Ge
-      | _ -> assert false
+      | _ ->
+        Mope_error.raise_error
+          "internal invariant: comparison symbol vanished between peeks"
     in
     advance st;
     Cmp (op, lhs, parse_additive st)

@@ -304,7 +304,7 @@ let recover ?snapshot ?wal () =
           raise
             (Corrupt
                (Printf.sprintf "wal: record %d failed to replay: %s" i
-                  (Printexc.to_string e))))
+                  (Mope_error.describe_exn e))))
       r.Wal.statements;
     { db; snapshot_loaded;
       wal_applied = List.length r.Wal.statements;

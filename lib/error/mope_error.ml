@@ -24,6 +24,10 @@ let to_string { msg; query; cause } =
   | None -> ());
   Buffer.contents b
 
+let describe_exn = function
+  | Error e -> to_string e
+  | e -> Printexc.to_string e
+
 let wrap ?query ~msg f =
   try f () with
   | Error e ->

@@ -25,6 +25,12 @@ val failwithf :
 val to_string : t -> string
 (** One line: message, then [ [query: …]] and [ (cause: …)] when present. *)
 
+val describe_exn : exn -> string
+(** Render any exception for an error response or log line. The single
+    sanctioned use of [Printexc] reachable from serving code (mope-lint's
+    [error-printexc] rule bans direct calls in [lib/net]/[lib/db]), so
+    exception formatting stays in one audited place. *)
+
 val wrap : ?query:string -> msg:string -> (unit -> 'a) -> 'a
 (** [wrap ~msg f] runs [f ()]; any exception is re-raised as {!Error} with
     [f]'s exception as [cause]. An {!Error} raised by [f] passes through,

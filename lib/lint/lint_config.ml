@@ -1,0 +1,82 @@
+let normalize path =
+  let path = String.map (function '\\' -> '/' | c -> c) path in
+  let rec strip p =
+    if String.length p >= 2 && String.sub p 0 2 = "./" then
+      strip (String.sub p 2 (String.length p - 2))
+    else p
+  in
+  strip path
+
+let has_prefix ~prefix path =
+  let path = normalize path in
+  let lp = String.length prefix in
+  String.length path >= lp && String.sub path 0 lp = prefix
+
+let in_lib path = has_prefix ~prefix:"lib/" path
+
+let in_serving path =
+  has_prefix ~prefix:"lib/net/" path || has_prefix ~prefix:"lib/db/" path
+
+let in_crypto_sensitive path =
+  has_prefix ~prefix:"lib/ope/" path || has_prefix ~prefix:"lib/crypto/" path
+
+let in_net path = has_prefix ~prefix:"lib/net/" path
+
+(* Names carrying OPE/MOPE key material or the secret modular offset.
+   Deliberately over-approximate: a byte offset named [offset] flowing into a
+   log line is worth a look even when it is not the MOPE displacement. *)
+let secret_names =
+  [ "key"; "keys"; "secret"; "secret_key"; "master_key"; "old_key"; "new_key";
+    "mope_key"; "ope_key"; "offset"; "secret_offset"; "old_offset";
+    "new_offset"; "plaintext"; "plaintexts" ]
+
+let sink_modules = [ "Printf"; "Format"; "Fmt"; "Logs"; "Wire"; "Storage"; "Wal" ]
+
+let sink_values =
+  [ "print_string"; "print_endline"; "print_int"; "print_float";
+    "print_newline"; "prerr_string"; "prerr_endline"; "prerr_newline";
+    "output_string"; "output_bytes" ]
+
+let generic_exceptions =
+  [ "Failure"; "Not_found"; "Exit"; "End_of_file"; "Match_failure";
+    "Assert_failure"; "Division_by_zero" ]
+
+let rules =
+  [ ("secret-flow",
+     "secret-named value (key / offset / plaintext) reaches a print, log, \
+      wire-encode, or persistence sink");
+    ("banned-random",
+     "Stdlib.Random in lib/ — use Mope_stats.Rng (Splitmix64) or \
+      Mope_crypto.Drbg so every sample is seeded and replayable");
+    ("nondet-hash",
+     "Hashtbl.hash / seeded_hash in lib/ — not stable across OCaml \
+      versions or architectures");
+    ("nondet-time",
+     "Unix.time in lib/ — wall-clock values must not seed or key anything; \
+      use gettimeofday only for latency metrics");
+    ("error-failwith",
+     "failwith in serving code (lib/net, lib/db) — raise Mope_error instead");
+    ("error-exit", "exit in serving code — the server decides process \
+                    lifetime, library code must not");
+    ("error-assert-false",
+     "assert false in serving code — raise Mope_error so the failure \
+      carries context and survives -noassert");
+    ("error-raise-generic",
+     "raising a built-in generic exception (Failure, Not_found, ...) in \
+      serving code — use Mope_error or a declared domain exception");
+    ("error-printexc",
+     "Printexc in serving code — route through Mope_error.describe_exn so \
+      rendering stays in one audited place");
+    ("poly-compare",
+     "polymorphic = / <> / compare in lib/ope or lib/crypto — monomorphic \
+      compares only on ciphertext and key material");
+    ("obj-magic", "Obj.* anywhere — defeats the type system");
+    ("lock-unprotected",
+     "Mutex.lock in lib/net not immediately followed by Fun.protect \
+      ~finally unlock — an exception would leak the lock");
+    ("parse-error", "file does not parse (meta)");
+    ("bad-suppression", "malformed suppression entry (meta)");
+    ("missing-justification",
+     "suppression entry without a written justification (meta)");
+    ("unused-suppression",
+     "suppression entry that matched no finding — stale, delete it (meta)") ]

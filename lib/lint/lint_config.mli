@@ -1,0 +1,42 @@
+(** Repo-specific policy for mope-lint: which directories each rule covers,
+    which identifiers count as secret material, and which calls are sinks.
+
+    Paths are matched on the normalized relative path from the scan root
+    (e.g. ["lib/net/server.ml"]), so the same policy applies no matter where
+    the tool is invoked from. *)
+
+val normalize : string -> string
+(** Collapse ["./"] prefixes and backslashes so path predicates match. *)
+
+val in_lib : string -> bool
+(** Under [lib/] — determinism rules apply here. *)
+
+val in_serving : string -> bool
+(** Under [lib/net/] or [lib/db/] — error-discipline rules apply here. *)
+
+val in_crypto_sensitive : string -> bool
+(** Under [lib/ope/] or [lib/crypto/] — polymorphic-compare rules apply. *)
+
+val in_net : string -> bool
+(** Under [lib/net/] — lock-discipline rules apply here. *)
+
+val secret_names : string list
+(** Identifier / record-field names treated as secret material. An ident or
+    field whose last path component is in this list may not appear inside an
+    argument to a sink. *)
+
+val sink_modules : string list
+(** Module heads whose calls (and constructors / record labels) are sinks:
+    logging, formatting, wire encoding, persistence. *)
+
+val sink_values : string list
+(** Unqualified functions that are sinks ([print_endline], ...). *)
+
+val generic_exceptions : string list
+(** Built-in exception constructors that serving code may not [raise]
+    directly; domain exceptions ([Corrupt], [Protocol_error], ...) and
+    re-raises of caught values stay legal. *)
+
+val rules : (string * string) list
+(** [rule-id, one-line description] for every rule the pass implements,
+    including the meta diagnostics the driver can emit. *)

@@ -1,0 +1,26 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let v ~file ~line ~col ~rule message = { file; line; col; rule; message }
+
+let of_location ~file (loc : Location.t) ~rule message =
+  let p = loc.loc_start in
+  v ~file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) ~rule message
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_string { file; line; col; rule; message } =
+  Printf.sprintf "%s:%d:%d %s %s" file line col rule message

@@ -1,0 +1,22 @@
+(** A single lint finding: location, rule id, human-readable message.
+
+    Rendered as [file:line:col rule-id message] — the format CI greps and
+    the suppression file keys on. *)
+
+type t = {
+  file : string;  (** path relative to the scan root, ['/']-separated *)
+  line : int;     (** 1-based *)
+  col : int;      (** 0-based, as in compiler locations *)
+  rule : string;  (** kebab-case rule id, e.g. ["secret-flow"] *)
+  message : string;
+}
+
+val v : file:string -> line:int -> col:int -> rule:string -> string -> t
+
+val of_location : file:string -> Location.t -> rule:string -> string -> t
+(** Take line/col from the location's start position. *)
+
+val compare : t -> t -> int
+(** Order by file, then line, then column, then rule — the report order. *)
+
+val to_string : t -> string

@@ -1,0 +1,50 @@
+type report = {
+  diagnostics : Lint_diagnostic.t list;
+  files_scanned : int;
+  suppressed : int;
+}
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let skip_dir name =
+  name = "_build" || (String.length name > 0 && name.[0] = '.')
+
+let source_files ~root dirs =
+  let acc = ref [] in
+  let rec walk rel =
+    let full = Filename.concat root rel in
+    match Sys.is_directory full with
+    | true ->
+      Array.iter
+        (fun name ->
+          if not (skip_dir name) then walk (Filename.concat rel name))
+        (Sys.readdir full)
+    | false -> if is_source rel then acc := Lint_config.normalize rel :: !acc
+    | exception Sys_error _ -> ()
+  in
+  List.iter walk dirs;
+  List.sort_uniq String.compare !acc
+
+let run ~root ?suppressions dirs =
+  let files = source_files ~root dirs in
+  let raw =
+    List.concat_map (fun rel -> Lint_rules.check_file ~root rel) files
+  in
+  let diagnostics, suppressed =
+    match suppressions with
+    | None -> (raw, 0)
+    | Some path ->
+      let sup = Lint_suppress.load ~root path in
+      let remaining, unused = Lint_suppress.apply sup raw in
+      let meta =
+        Lint_suppress.diagnostics sup
+        @ Lint_suppress.unused_diagnostics ~file:path unused
+      in
+      (remaining @ meta, List.length raw - List.length remaining)
+  in
+  {
+    diagnostics = List.sort Lint_diagnostic.compare diagnostics;
+    files_scanned = List.length files;
+    suppressed;
+  }

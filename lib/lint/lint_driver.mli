@@ -1,0 +1,22 @@
+(** Walk source directories, lint every [.ml]/[.mli], apply suppressions.
+
+    Deterministic: files are visited in sorted path order and diagnostics come
+    back sorted, so CI output is stable across machines. *)
+
+type report = {
+  diagnostics : Lint_diagnostic.t list;
+      (** findings that survived suppression, plus meta findings (parse
+          errors, bad/unused suppressions), sorted *)
+  files_scanned : int;
+  suppressed : int;  (** findings silenced by a justified suppression *)
+}
+
+val source_files : root:string -> string list -> string list
+(** [source_files ~root dirs] is every [.ml] and [.mli] under the given
+    directories (relative to [root]), as sorted normalized relative paths.
+    [_build], [.git], and hidden directories are skipped. *)
+
+val run : root:string -> ?suppressions:string -> string list -> report
+(** Lint all sources under [dirs]. [suppressions] is a path relative to
+    [root]; when given, matching findings are dropped and stale or malformed
+    entries are reported as findings themselves. *)

@@ -1,0 +1,306 @@
+open Parsetree
+
+type ctx = {
+  file : string;
+  lib : bool;              (* determinism rules *)
+  serving : bool;          (* error-discipline rules: lib/net + lib/db *)
+  crypto : bool;           (* poly-compare rules: lib/ope + lib/crypto *)
+  net : bool;              (* lock-discipline rules *)
+  diags : Lint_diagnostic.t list ref;
+  (* [Mutex.lock] applications sanctioned by an immediately following
+     [Fun.protect ~finally:unlock], keyed by (line, col). *)
+  sanctioned_locks : (int * int, unit) Hashtbl.t;
+}
+
+let emit ctx loc rule message =
+  ctx.diags := Lint_diagnostic.of_location ~file:ctx.file loc ~rule message :: !(ctx.diags)
+
+(* ---------- path helpers ---------- *)
+
+let flatten_longident lid =
+  match Longident.flatten lid with
+  | parts -> Some parts
+  | exception _ -> None (* Lapply — functor application paths are not rules targets *)
+
+let strip_stdlib = function
+  | "Stdlib" :: (_ :: _ as rest) -> rest
+  | parts -> parts
+
+let path_of_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+    (match flatten_longident txt with
+     | Some parts -> Some (strip_stdlib parts)
+     | None -> None)
+  | _ -> None
+
+let is_path e parts = path_of_expr e = Some parts
+
+let rec last = function [] -> None | [ x ] -> Some x | _ :: tl -> last tl
+
+(* Does [pred] hold anywhere in the expression subtree? *)
+let expr_contains pred e0 =
+  let found = ref false in
+  let it =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          if pred e then found := true;
+          if not !found then Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e0;
+  !found
+
+(* Secret-named idents / field accesses in a subtree, with their locations. *)
+let secret_idents e0 =
+  let hits = ref [] in
+  let is_secret name = List.mem name Lint_config.secret_names in
+  let check_lid loc lid =
+    match flatten_longident lid with
+    | Some parts ->
+      (match last parts with
+       | Some name when is_secret name -> hits := (loc, name) :: !hits
+       | _ -> ())
+    | None -> ()
+  in
+  let it =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+           | Pexp_ident { txt; loc } -> check_lid loc txt
+           | Pexp_field (_, { txt; loc }) -> check_lid loc txt
+           | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e0;
+  List.rev !hits
+
+(* ---------- rule predicates ---------- *)
+
+let is_sink_path = function
+  | [ v ] -> List.mem v Lint_config.sink_values
+  | head :: _ :: _ -> List.mem head Lint_config.sink_modules
+  | _ -> false
+
+let is_sink_fn e =
+  match path_of_expr e with Some p -> is_sink_path p | None -> false
+
+(* Operands that make a polymorphic compare obviously harmless: literal
+   scalars and bare constant constructors (None, true, [], ...). *)
+let is_benign_operand e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_char _ | Pconst_float _) -> true
+  | Pexp_construct (_, None) -> true
+  | _ -> false
+
+let is_lock_app e =
+  match e.pexp_desc with
+  | Pexp_apply (fn, _) -> is_path fn [ "Mutex"; "lock" ]
+  | _ -> false
+
+let is_unlock_ident e = is_path e [ "Mutex"; "unlock" ]
+
+(* [Fun.protect ~finally:(fun () -> ... Mutex.unlock ...) body] *)
+let is_protect_with_unlock e =
+  match e.pexp_desc with
+  | Pexp_apply (fn, args) ->
+    is_path fn [ "Fun"; "protect" ]
+    && List.exists
+         (fun (label, arg) ->
+           label = Asttypes.Labelled "finally" && expr_contains is_unlock_ident arg)
+         args
+  | _ -> false
+
+let loc_key (e : expression) =
+  let p = e.pexp_loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+(* ---------- per-node checks ---------- *)
+
+(* Fires on every ident occurrence, including partial applications and
+   functions passed as values. *)
+let check_ident ctx loc parts =
+  (match parts with
+   | "Random" :: _ when ctx.lib ->
+     emit ctx loc "banned-random"
+       "Stdlib.Random is nondeterministic here; draw from Mope_stats.Rng \
+        (Splitmix64) or Mope_crypto.Drbg instead"
+   | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] when ctx.lib ->
+     emit ctx loc "nondet-hash"
+       "Hashtbl.hash is not stable across OCaml versions; derive keys \
+        explicitly"
+   | [ "Unix"; "time" ] when ctx.lib ->
+     emit ctx loc "nondet-time"
+       "wall-clock time must not seed or key anything in lib/"
+   | "Obj" :: _ ->
+     emit ctx loc "obj-magic" "Obj.* defeats the type system; model the data \
+                               instead"
+   | "Printexc" :: _ when ctx.serving ->
+     emit ctx loc "error-printexc"
+       "render exceptions via Mope_error.describe_exn so serving code has \
+        one audited formatter"
+   | [ "failwith" ] when ctx.serving ->
+     emit ctx loc "error-failwith"
+       "serving code raises Mope_error (raise_error / failwithf), not \
+        Failure"
+   | [ "exit" ] when ctx.serving ->
+     emit ctx loc "error-exit" "library code must not decide process lifetime"
+   | _ -> ())
+
+let check_apply ctx e fn args =
+  (* secret-flow: a secret-named value inside any argument of a sink call *)
+  (if is_sink_fn fn then
+     List.iter
+       (fun (_, arg) ->
+         List.iter
+           (fun (loc, name) ->
+             emit ctx loc "secret-flow"
+               (Printf.sprintf
+                  "secret-named value %S flows into sink %s; log a digest or \
+                   redact it"
+                  name
+                  (String.concat "." (Option.value ~default:[] (path_of_expr fn)))))
+           (secret_idents arg))
+       args);
+  (* error-raise-generic: raise (Failure ...) and friends in serving code.
+     [raise e] re-raises and raising declared domain exceptions stay legal. *)
+  (match path_of_expr fn with
+   | Some [ ("raise" | "raise_notrace") ] when ctx.serving ->
+     List.iter
+       (fun (_, arg) ->
+         match arg.pexp_desc with
+         | Pexp_construct ({ txt; _ }, _) ->
+           (match flatten_longident txt with
+            | Some parts ->
+              (match last parts with
+               | Some exn_name when List.mem exn_name Lint_config.generic_exceptions ->
+                 emit ctx arg.pexp_loc "error-raise-generic"
+                   (Printf.sprintf
+                      "raising %s loses context; use Mope_error or a declared \
+                       domain exception"
+                      exn_name)
+               | _ -> ())
+            | None -> ())
+         | _ -> ())
+       args
+   | Some [ ("=" | "<>" | "compare") ] when ctx.crypto ->
+     (* poly-compare: both operands non-literal means the compare is
+        structural over ciphertext/key-shaped data. *)
+     let operands = List.filter_map (fun (l, a) -> if l = Asttypes.Nolabel then Some a else None) args in
+     (match operands with
+      | [ a; b ] when not (is_benign_operand a || is_benign_operand b) ->
+        emit ctx e.pexp_loc "poly-compare"
+          "polymorphic compare on crypto-sensitive values; use a monomorphic \
+           equal/compare (String.equal, Int.equal, ...)"
+      | _ -> ())
+   | _ -> ());
+  (* lock-unprotected: Mutex.lock not sanctioned by a following Fun.protect *)
+  if ctx.net && is_path fn [ "Mutex"; "lock" ]
+     && not (Hashtbl.mem ctx.sanctioned_locks (loc_key e))
+  then
+    emit ctx e.pexp_loc "lock-unprotected"
+      "follow Mutex.lock with Fun.protect ~finally:(fun () -> Mutex.unlock \
+       ...) so exceptions cannot leak the lock"
+
+let check_record ctx fields =
+  (* secret-flow into wire/persistence payloads built as records:
+     { Wire.field = secret; ... } *)
+  let sink_labelled =
+    List.exists
+      (fun (({ txt; _ } : Longident.t Location.loc), _) ->
+        match flatten_longident txt with
+        | Some (head :: _ :: _) -> List.mem head Lint_config.sink_modules
+        | _ -> false)
+      fields
+  in
+  if sink_labelled then
+    List.iter
+      (fun (({ txt; _ } : Longident.t Location.loc), value) ->
+        let label =
+          match flatten_longident txt with
+          | Some parts -> String.concat "." parts
+          | None -> "<field>"
+        in
+        List.iter
+          (fun (loc, name) ->
+            emit ctx loc "secret-flow"
+              (Printf.sprintf
+                 "secret-named value %S stored into sink record field %s" name
+                 label))
+          (secret_idents value))
+      fields
+
+(* ---------- the iterator ---------- *)
+
+let iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  let expr self e =
+    (match e.pexp_desc with
+     | Pexp_ident { txt; loc } ->
+       (match flatten_longident txt with
+        | Some parts -> check_ident ctx loc (strip_stdlib parts)
+        | None -> ())
+     | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+       when ctx.serving ->
+       emit ctx e.pexp_loc "error-assert-false"
+         "unreachable branches in serving code raise Mope_error with an \
+          \"internal invariant\" message"
+     | Pexp_apply (fn, args) -> check_apply ctx e fn args
+     | Pexp_record (fields, _) -> check_record ctx fields
+     | Pexp_sequence (e1, e2)
+       when ctx.net && is_lock_app e1 && is_protect_with_unlock e2 ->
+       (* Parents are visited before children, so the sanction is recorded
+          before [check_apply] sees the lock. *)
+       Hashtbl.replace ctx.sanctioned_locks (loc_key e1) ()
+     | _ -> ());
+    default.expr self e
+  in
+  { default with expr }
+
+let make_ctx file =
+  let file = Lint_config.normalize file in
+  {
+    file;
+    lib = Lint_config.in_lib file;
+    serving = Lint_config.in_serving file;
+    crypto = Lint_config.in_crypto_sensitive file;
+    net = Lint_config.in_net file;
+    diags = ref [];
+    sanctioned_locks = Hashtbl.create 8;
+  }
+
+let check_source ~file contents =
+  let ctx = make_ctx file in
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf ctx.file;
+  (match
+     if Filename.check_suffix ctx.file ".mli" then
+       `Intf (Parse.interface lexbuf)
+     else `Impl (Parse.implementation lexbuf)
+   with
+  | `Impl structure ->
+    let it = iterator ctx in
+    it.structure it structure
+  | `Intf signature ->
+    let it = iterator ctx in
+    it.signature it signature
+  | exception _ ->
+    let p = lexbuf.lex_curr_p in
+    ctx.diags :=
+      [ Lint_diagnostic.v ~file:ctx.file ~line:p.pos_lnum
+          ~col:(p.pos_cnum - p.pos_bol) ~rule:"parse-error"
+          "file does not parse; see dune build for the real error" ]);
+  List.sort_uniq Lint_diagnostic.compare !(ctx.diags)
+
+let check_file ~root rel =
+  let path = Filename.concat root rel in
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check_source ~file:rel contents

@@ -1,0 +1,18 @@
+(** The mope-lint analysis pass proper: parse one source file with
+    compiler-libs and walk the parsetree with {!Ast_iterator}, emitting
+    {!Lint_diagnostic.t}s for every rule violation.
+
+    The pass is purely syntactic — it sees names and shapes, not types — so
+    rules are scoped by path ({!Lint_config}) and written to over-approximate;
+    deliberate exceptions go in the suppression file with a justification. *)
+
+val check_source : file:string -> string -> Lint_diagnostic.t list
+(** [check_source ~file contents] lints one file. [file] is the normalized
+    path relative to the scan root and selects both the parser
+    ([.mli] → interface) and the rule scopes. Unparseable input yields a
+    single [parse-error] diagnostic rather than an exception. Results are
+    sorted with {!Lint_diagnostic.compare}. *)
+
+val check_file : root:string -> string -> Lint_diagnostic.t list
+(** [check_file ~root rel] reads [root ^ "/" ^ rel] and runs
+    {!check_source} with [~file:rel]. *)

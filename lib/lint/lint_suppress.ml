@@ -1,0 +1,111 @@
+type entry = {
+  file : string;
+  line : int;
+  rule : string;
+  justification : string;
+  src_line : int;
+}
+
+type t = { src : string; items : entry list; parse_diags : Lint_diagnostic.t list }
+
+let is_blank s = String.trim s = ""
+let is_comment s =
+  let s = String.trim s in
+  String.length s > 0 && s.[0] = '#'
+
+(* First whitespace run splits "path:line:rule" from the justification. *)
+let split_token line =
+  let n = String.length line in
+  let rec find i = if i >= n then n else if line.[i] = ' ' || line.[i] = '\t' then i else find (i + 1) in
+  let cut = find 0 in
+  (String.sub line 0 cut, String.trim (String.sub line cut (n - cut)))
+
+let parse_line ~file ~src_line raw =
+  let token, justification = split_token (String.trim raw) in
+  match String.split_on_char ':' token with
+  | [ path; line_s; rule ] when path <> "" && rule <> "" -> begin
+    match int_of_string_opt line_s with
+    | Some line when line > 0 ->
+      if justification = "" then
+        Error
+          (Lint_diagnostic.v ~file ~line:src_line ~col:0
+             ~rule:"missing-justification"
+             (Printf.sprintf
+                "suppression for %s:%d:%s has no justification; say why the \
+                 finding is acceptable"
+                path line rule))
+      else
+        Ok { file = Lint_config.normalize path; line; rule; justification; src_line }
+    | _ ->
+      Error
+        (Lint_diagnostic.v ~file ~line:src_line ~col:0 ~rule:"bad-suppression"
+           (Printf.sprintf "bad line number %S; expected path:line:rule-id"
+              line_s))
+  end
+  | _ ->
+    Error
+      (Lint_diagnostic.v ~file ~line:src_line ~col:0 ~rule:"bad-suppression"
+         (Printf.sprintf
+            "cannot parse %S; expected \"path:line:rule-id  justification\""
+            token))
+
+let parse ~file contents =
+  let lines = String.split_on_char '\n' contents in
+  let items = ref [] and parse_diags = ref [] in
+  List.iteri
+    (fun i raw ->
+      if not (is_blank raw || is_comment raw) then
+        match parse_line ~file ~src_line:(i + 1) raw with
+        | Ok e -> items := e :: !items
+        | Error d -> parse_diags := d :: !parse_diags)
+    lines;
+  { src = file; items = List.rev !items; parse_diags = List.rev !parse_diags }
+
+let load ~root path =
+  let full = Filename.concat root path in
+  match open_in_bin full with
+  | ic ->
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse ~file:path contents
+  | exception Sys_error msg ->
+    {
+      src = path;
+      items = [];
+      parse_diags =
+        [ Lint_diagnostic.v ~file:path ~line:1 ~col:0 ~rule:"bad-suppression"
+            ("cannot read suppression file: " ^ msg) ];
+    }
+
+let entries t = t.items
+let diagnostics t = t.parse_diags
+
+let matches (e : entry) (d : Lint_diagnostic.t) =
+  String.equal e.file d.file && e.line = d.line && String.equal e.rule d.rule
+
+let apply t diags =
+  let used = Hashtbl.create 16 in
+  let remaining =
+    List.filter
+      (fun d ->
+        match List.find_opt (fun e -> matches e d) t.items with
+        | Some e ->
+          Hashtbl.replace used e.src_line ();
+          false
+        | None -> true)
+      diags
+  in
+  let unused = List.filter (fun e -> not (Hashtbl.mem used e.src_line)) t.items in
+  (remaining, unused)
+
+let unused_diagnostics ~file unused =
+  List.map
+    (fun e ->
+      Lint_diagnostic.v ~file ~line:e.src_line ~col:0 ~rule:"unused-suppression"
+        (Printf.sprintf
+           "suppression %s:%d:%s matched no finding; delete the stale entry"
+           e.file e.line e.rule))
+    unused

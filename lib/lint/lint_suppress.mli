@@ -1,0 +1,40 @@
+(** The checked-in suppression file.
+
+    One entry per line: [path:line:rule-id  justification]. The justification
+    is mandatory — an entry without one is itself a finding
+    ([missing-justification]), as is a malformed line ([bad-suppression]) or
+    an entry that no longer matches anything ([unused-suppression]); stale
+    suppressions must be deleted, not accumulated. [#] starts a comment. *)
+
+type entry = {
+  file : string;         (** normalized path relative to the scan root *)
+  line : int;            (** source line the finding is on *)
+  rule : string;
+  justification : string;
+  src_line : int;        (** line in the suppression file, for meta diags *)
+}
+
+type t
+
+val parse : file:string -> string -> t
+(** [parse ~file contents] parses suppression-file [contents]; [file] names
+    the suppression file itself in meta diagnostics. Malformed lines become
+    diagnostics (see {!diagnostics}), never exceptions. *)
+
+val load : root:string -> string -> t
+(** Read and {!parse} [root ^ "/" ^ path]. A missing file yields a
+    [bad-suppression] diagnostic. *)
+
+val entries : t -> entry list
+
+val diagnostics : t -> Lint_diagnostic.t list
+(** Parse-time findings: [bad-suppression] and [missing-justification]. *)
+
+val apply : t -> Lint_diagnostic.t list -> Lint_diagnostic.t list * entry list
+(** [apply t diags] is [(remaining, unused)]: [remaining] drops every
+    diagnostic matched by an entry (same file, line and rule); [unused] is
+    the entries that matched nothing. *)
+
+val unused_diagnostics : file:string -> entry list -> Lint_diagnostic.t list
+(** Render [unused] entries from {!apply} as [unused-suppression] findings
+    located in the suppression file. *)

@@ -151,7 +151,7 @@ let connection_loop t fd =
                       query = e.Mope_error.query; retry_after = None }
                 | exn ->
                   Wire.Error
-                    { code = Wire.Internal; message = Printexc.to_string exn;
+                    { code = Wire.Internal; message = Mope_error.describe_exn exn;
                       query = None; retry_after = None })
         in
         respond t io ~started response;

@@ -9,21 +9,20 @@ let create ~proxies () =
     invalid_arg "Service.create: duplicate date column";
   { proxies = List.map (fun (col, p) -> (col, (Mutex.create (), p))) proxies }
 
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let counters t =
   List.fold_left
     (fun acc (_, (lock, proxy)) ->
-      Mutex.lock lock;
-      let c = Proxy.counters proxy in
-      let snap =
-        { Wire.client_queries = acc.Wire.client_queries + c.Proxy.client_queries;
-          real_pieces = acc.Wire.real_pieces + c.Proxy.real_pieces;
-          fake_queries = acc.Wire.fake_queries + c.Proxy.fake_queries;
-          server_requests = acc.Wire.server_requests + c.Proxy.server_requests;
-          rows_fetched = acc.Wire.rows_fetched + c.Proxy.rows_fetched;
-          rows_delivered = acc.Wire.rows_delivered + c.Proxy.rows_delivered }
-      in
-      Mutex.unlock lock;
-      snap)
+      let c = locked lock (fun () -> Proxy.counters proxy) in
+      { Wire.client_queries = acc.Wire.client_queries + c.Proxy.client_queries;
+        real_pieces = acc.Wire.real_pieces + c.Proxy.real_pieces;
+        fake_queries = acc.Wire.fake_queries + c.Proxy.fake_queries;
+        server_requests = acc.Wire.server_requests + c.Proxy.server_requests;
+        rows_fetched = acc.Wire.rows_fetched + c.Proxy.rows_fetched;
+        rows_delivered = acc.Wire.rows_delivered + c.Proxy.rows_delivered })
     { Wire.client_queries = 0; real_pieces = 0; fake_queries = 0;
       server_requests = 0; rows_fetched = 0; rows_delivered = 0 }
     t.proxies
@@ -40,19 +39,18 @@ let handler t = function
           query = Some sql;
           retry_after = None }
     | Some (lock, proxy) ->
-      Mutex.lock lock;
       let outcome =
-        match Proxy.execute proxy ~sql ~date_column ~date_lo ~date_hi with
-        | result -> Ok result
-        | exception e -> Error e
+        locked lock (fun () ->
+            match Proxy.execute proxy ~sql ~date_column ~date_lo ~date_hi with
+            | result -> Ok result
+            | exception e -> Error e)
       in
-      Mutex.unlock lock;
       (match outcome with
       | Ok result -> Wire.Rows result
       | Error e ->
         Wire.Error
           { code = Wire.Exec_failed;
-            message = Printexc.to_string e;
+            message = Mope_error.describe_exn e;
             query = Some sql;
             retry_after = None })
   end

@@ -70,7 +70,8 @@ let encrypt t m =
 
 let rec decrypt_walk t dlo dhi rlo rhi c =
   if dhi - dlo = 1 then
-    if leaf_ciphertext t dlo dhi rlo rhi = c then dlo else raise (Not_a_ciphertext c)
+    if Int.equal (leaf_ciphertext t dlo dhi rlo rhi) c then dlo
+    else raise (Not_a_ciphertext c)
   else begin
     let half = (rhi - rlo) / 2 in
     let x = gap_draw t dlo dhi rlo rhi half in
@@ -79,7 +80,7 @@ let rec decrypt_walk t dlo dhi rlo rhi c =
       decrypt_walk t dlo (dlo + x) rlo (rlo + half) c
     end
     else begin
-      if x = dhi - dlo then raise (Not_a_ciphertext c);
+      if Int.equal x (dhi - dlo) then raise (Not_a_ciphertext c);
       decrypt_walk t (dlo + x) dhi (rlo + half) rhi c
     end
   end

@@ -1,0 +1,329 @@
+(* Fixture tests for mope-lint: for every rule, one source that must trip it
+   and one that must stay clean (including scope checks — the same code that
+   is a finding in lib/ is legal in bench/). Deleting any single rule's
+   implementation makes at least one of these fail. Also covers the
+   suppression file: matching, mandatory justifications, malformed lines,
+   and stale-entry reporting, plus a filesystem round-trip of the driver. *)
+
+open Mope_lint
+
+let rules_of ~file src =
+  List.map (fun d -> d.Lint_diagnostic.rule) (Lint_rules.check_source ~file src)
+
+let check_flags ~file src expected msg =
+  Alcotest.(check (list string)) msg expected (rules_of ~file src)
+
+let check_trips ~file src rule msg =
+  Alcotest.(check bool) msg true (List.mem rule (rules_of ~file src))
+
+let check_clean ~file src msg =
+  check_flags ~file src [] msg
+
+(* ---------- secret-hygiene ---------- *)
+
+let test_secret_flow_violation () =
+  check_flags ~file:"lib/system/leak.ml"
+    "let leak m = Printf.printf \"offset=%d\\n\" (Mope.offset m)"
+    [ "secret-flow" ] "secret accessor into printf";
+  check_trips ~file:"lib/net/leak.ml"
+    "let leak t = Logs.info (fun m -> m \"key %s\" t.master_key)"
+    "secret-flow" "record field into log";
+  check_trips ~file:"lib/net/leak.ml"
+    "let frame k = Wire.encode_request buf k.secret_key" "secret-flow"
+    "secret into wire encoder";
+  check_trips ~file:"lib/db/leak.ml"
+    "let persist key = { Wire.payload = key }" "secret-flow"
+    "secret into sink record field"
+
+let test_secret_flow_clean () =
+  check_clean ~file:"lib/system/fine.ml"
+    "let report n rows = Printf.printf \"served %d queries, %d rows\\n\" n rows"
+    "non-secret printf is clean";
+  check_clean ~file:"lib/system/fine.ml"
+    "let derive t tbl = Hmac.mac ~key:t.master_key tbl"
+    "secret into non-sink call is clean"
+
+(* ---------- determinism ---------- *)
+
+let test_random_violation () =
+  check_flags ~file:"lib/core/sample.ml" "let draw () = Random.int 10"
+    [ "banned-random" ] "Stdlib.Random in lib/";
+  check_trips ~file:"lib/core/sample.ml"
+    "let draw st = Stdlib.Random.State.int st 10" "banned-random"
+    "qualified Stdlib.Random in lib/"
+
+let test_random_clean () =
+  check_clean ~file:"lib/core/sample.ml"
+    "let draw rng = Rng.int rng 10" "seeded Rng in lib/ is clean";
+  check_clean ~file:"bench/sample.ml" "let draw () = Random.int 10"
+    "Random outside lib/ is out of scope"
+
+let test_hash_violation () =
+  check_flags ~file:"lib/db/index.ml" "let h x = Hashtbl.hash x"
+    [ "nondet-hash" ] "Hashtbl.hash in lib/"
+
+let test_hash_clean () =
+  check_clean ~file:"lib/db/index.ml"
+    "let put tbl k v = Hashtbl.replace tbl k v"
+    "ordinary Hashtbl use is clean"
+
+let test_time_violation () =
+  check_flags ~file:"lib/core/seed.ml" "let now () = Unix.time ()"
+    [ "nondet-time" ] "Unix.time in lib/"
+
+let test_time_clean () =
+  check_clean ~file:"lib/net/latency.ml"
+    "let started () = Unix.gettimeofday ()"
+    "gettimeofday latency metrics are clean"
+
+(* ---------- error-discipline ---------- *)
+
+let test_failwith_violation () =
+  check_flags ~file:"lib/db/broken.ml" "let f () = failwith \"boom\""
+    [ "error-failwith" ] "failwith in serving code"
+
+let test_failwith_clean () =
+  check_clean ~file:"lib/db/fine.ml"
+    "let f () = Mope_error.failwithf \"bad page %d\" 7"
+    "Mope_error.failwithf is the sanctioned spelling";
+  check_clean ~file:"lib/core/fine.ml" "let f () = failwith \"boom\""
+    "failwith outside serving scope is out of scope"
+
+let test_exit_violation () =
+  check_flags ~file:"lib/net/broken.ml" "let die () = exit 1"
+    [ "error-exit" ] "exit in serving code"
+
+let test_exit_clean () =
+  check_clean ~file:"bin/cli.ml" "let die () = exit 1"
+    "exit in bin/ is the CLI's business"
+
+let test_assert_false_violation () =
+  check_flags ~file:"lib/db/broken.ml"
+    "let f = function Some x -> x | None -> assert false"
+    [ "error-assert-false" ] "assert false in serving code"
+
+let test_assert_false_clean () =
+  check_clean ~file:"lib/db/fine.ml"
+    "let f n = assert (n >= 0); n + 1"
+    "a real assertion with a condition is clean"
+
+let test_raise_generic_violation () =
+  check_flags ~file:"lib/db/broken.ml" "let f () = raise Not_found"
+    [ "error-raise-generic" ] "raise Not_found in serving code";
+  check_trips ~file:"lib/net/broken.ml"
+    "let f () = raise (Failure \"late\")" "error-raise-generic"
+    "raise (Failure _) in serving code"
+
+let test_raise_generic_clean () =
+  check_clean ~file:"lib/db/fine.ml"
+    "let f () = raise (Corrupt \"bad magic\")"
+    "declared domain exceptions are clean";
+  check_clean ~file:"lib/db/fine.ml"
+    "let f g = try g () with e -> log e; raise e"
+    "re-raising a caught exception is clean"
+
+let test_printexc_violation () =
+  check_flags ~file:"lib/net/broken.ml"
+    "let render e = Printexc.to_string e" [ "error-printexc" ]
+    "Printexc in serving code"
+
+let test_printexc_clean () =
+  check_clean ~file:"lib/net/fine.ml"
+    "let render e = Mope_error.describe_exn e"
+    "describe_exn is the sanctioned formatter"
+
+(* ---------- crypto-correctness ---------- *)
+
+let test_poly_compare_violation () =
+  check_flags ~file:"lib/ope/cmp.ml" "let eq a b = a = b"
+    [ "poly-compare" ] "polymorphic = in lib/ope";
+  check_trips ~file:"lib/crypto/cmp.ml" "let c a b = compare a b"
+    "poly-compare" "polymorphic compare in lib/crypto";
+  check_trips ~file:"lib/crypto/cmp.ml"
+    "let verify tag expected = tag = expected" "poly-compare"
+    "string-shaped digest compare is flagged"
+
+let test_poly_compare_clean () =
+  check_clean ~file:"lib/ope/cmp.ml" "let eq a b = Int.equal a b"
+    "monomorphic equal is clean";
+  check_clean ~file:"lib/ope/cmp.ml" "let zero x = x = 0"
+    "compare against an int literal is clean";
+  check_clean ~file:"lib/db/cmp.ml" "let eq a b = a = b"
+    "poly compare outside crypto scope is out of scope"
+
+let test_obj_magic_violation () =
+  check_flags ~file:"bench/cast.ml" "let f x = Obj.magic x"
+    [ "obj-magic" ] "Obj.magic flagged everywhere, bench included"
+
+let test_obj_magic_clean () =
+  check_clean ~file:"bench/cast.ml" "let f x = ignore x"
+    "no Obj, no finding"
+
+(* ---------- lock-discipline ---------- *)
+
+let test_lock_violation () =
+  check_flags ~file:"lib/net/locks.ml"
+    "let f l work = Mutex.lock l; let r = work () in Mutex.unlock l; r"
+    [ "lock-unprotected" ] "manual unlock leaks on exception"
+
+let test_lock_clean () =
+  check_clean ~file:"lib/net/locks.ml"
+    "let f l work = Mutex.lock l; Fun.protect ~finally:(fun () -> \
+     Mutex.unlock l) work"
+    "lock + Fun.protect ~finally is the sanctioned idiom";
+  check_clean ~file:"lib/db/locks.ml"
+    "let f l work = Mutex.lock l; let r = work () in Mutex.unlock l; r"
+    "lock discipline is scoped to lib/net"
+
+(* ---------- meta: parsing, interfaces ---------- *)
+
+let test_parse_error () =
+  check_flags ~file:"lib/db/bad.ml" "let let let" [ "parse-error" ]
+    "unparseable source is reported, not thrown"
+
+let test_interface_scanned () =
+  check_clean ~file:"lib/db/fine.mli" "val f : int -> int"
+    "interfaces parse with the interface parser"
+
+(* ---------- suppressions ---------- *)
+
+let sup = "mope-lint.suppressions"
+
+let diag ~file ~line ~rule =
+  Lint_diagnostic.v ~file ~line ~col:0 ~rule "msg"
+
+let test_suppress_match () =
+  let t =
+    Lint_suppress.parse ~file:sup
+      "lib/net/wire.ml:350:error-raise-generic  clean EOF is deliberate\n"
+  in
+  Alcotest.(check (list string)) "no parse diags" []
+    (List.map (fun d -> d.Lint_diagnostic.rule) (Lint_suppress.diagnostics t));
+  let remaining, unused =
+    Lint_suppress.apply t
+      [ diag ~file:"lib/net/wire.ml" ~line:350 ~rule:"error-raise-generic";
+        diag ~file:"lib/net/wire.ml" ~line:351 ~rule:"error-raise-generic" ]
+  in
+  Alcotest.(check int) "only the matching finding is dropped" 1
+    (List.length remaining);
+  Alcotest.(check int) "entry was used" 0 (List.length unused)
+
+let test_suppress_missing_justification () =
+  let t = Lint_suppress.parse ~file:sup "lib/net/wire.ml:350:error-exit\n" in
+  Alcotest.(check (list string)) "justification is mandatory"
+    [ "missing-justification" ]
+    (List.map (fun d -> d.Lint_diagnostic.rule) (Lint_suppress.diagnostics t));
+  Alcotest.(check int) "entry is not usable" 0
+    (List.length (Lint_suppress.entries t))
+
+let test_suppress_malformed () =
+  let t = Lint_suppress.parse ~file:sup "not-a-valid-entry because reasons\n" in
+  Alcotest.(check (list string)) "malformed line is a finding"
+    [ "bad-suppression" ]
+    (List.map (fun d -> d.Lint_diagnostic.rule) (Lint_suppress.diagnostics t))
+
+let test_suppress_unused () =
+  let t =
+    Lint_suppress.parse ~file:sup
+      "lib/net/gone.ml:1:error-exit  code was deleted\n"
+  in
+  let remaining, unused = Lint_suppress.apply t [] in
+  Alcotest.(check int) "nothing to report" 0 (List.length remaining);
+  let diags = Lint_suppress.unused_diagnostics ~file:sup unused in
+  Alcotest.(check (list string)) "stale entry becomes a finding"
+    [ "unused-suppression" ]
+    (List.map (fun d -> d.Lint_diagnostic.rule) diags)
+
+(* ---------- driver round-trip on a real directory tree ---------- *)
+
+let with_tree f =
+  let root = Filename.temp_file "mope_lint_tree" "" in
+  Sys.remove root;
+  let rm_rf = Printf.sprintf "rm -rf %s" (Filename.quote root) in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command rm_rf))
+    (fun () ->
+      List.iter
+        (fun d -> Sys.mkdir (Filename.concat root d) 0o755)
+        [ ""; "lib"; "lib/net"; "bench" ]
+      |> ignore;
+      f root)
+
+let write ~root rel contents =
+  let oc = open_out (Filename.concat root rel) in
+  output_string oc contents;
+  close_out oc
+
+let test_driver_end_to_end () =
+  with_tree (fun root ->
+      write ~root "lib/net/bad.ml" "let f () = failwith \"boom\"\n";
+      write ~root "lib/net/good.ml" "let f x = x + 1\n";
+      write ~root "bench/free.ml" "let r () = Random.int 3\n";
+      let r = Lint_driver.run ~root [ "lib"; "bench" ] in
+      Alcotest.(check int) "three files scanned" 3 r.Lint_driver.files_scanned;
+      Alcotest.(check (list string)) "exactly the failwith finding"
+        [ "error-failwith" ]
+        (List.map (fun d -> d.Lint_diagnostic.rule) r.Lint_driver.diagnostics);
+      (* now suppress it, with a justification: clean run *)
+      write ~root "sup.txt"
+        "lib/net/bad.ml:1:error-failwith  fixture: deliberate for the test\n";
+      let r = Lint_driver.run ~root ~suppressions:"sup.txt" [ "lib"; "bench" ] in
+      Alcotest.(check int) "suppressed count" 1 r.Lint_driver.suppressed;
+      Alcotest.(check (list string)) "clean after suppression" []
+        (List.map (fun d -> d.Lint_diagnostic.rule) r.Lint_driver.diagnostics);
+      (* a stale entry fails the run again *)
+      write ~root "sup.txt"
+        "lib/net/bad.ml:1:error-failwith  fixture: deliberate for the test\n\
+         lib/net/gone.ml:9:obj-magic  stale\n";
+      let r = Lint_driver.run ~root ~suppressions:"sup.txt" [ "lib"; "bench" ] in
+      Alcotest.(check (list string)) "stale suppression is a finding"
+        [ "unused-suppression" ]
+        (List.map (fun d -> d.Lint_diagnostic.rule) r.Lint_driver.diagnostics))
+
+let () =
+  Alcotest.run "lint"
+    [ ( "secret-flow",
+        [ Alcotest.test_case "violations" `Quick test_secret_flow_violation;
+          Alcotest.test_case "clean" `Quick test_secret_flow_clean ] );
+      ( "determinism",
+        [ Alcotest.test_case "random violation" `Quick test_random_violation;
+          Alcotest.test_case "random clean" `Quick test_random_clean;
+          Alcotest.test_case "hash violation" `Quick test_hash_violation;
+          Alcotest.test_case "hash clean" `Quick test_hash_clean;
+          Alcotest.test_case "time violation" `Quick test_time_violation;
+          Alcotest.test_case "time clean" `Quick test_time_clean ] );
+      ( "error-discipline",
+        [ Alcotest.test_case "failwith violation" `Quick test_failwith_violation;
+          Alcotest.test_case "failwith clean" `Quick test_failwith_clean;
+          Alcotest.test_case "exit violation" `Quick test_exit_violation;
+          Alcotest.test_case "exit clean" `Quick test_exit_clean;
+          Alcotest.test_case "assert false violation" `Quick
+            test_assert_false_violation;
+          Alcotest.test_case "assert false clean" `Quick test_assert_false_clean;
+          Alcotest.test_case "raise generic violation" `Quick
+            test_raise_generic_violation;
+          Alcotest.test_case "raise generic clean" `Quick
+            test_raise_generic_clean;
+          Alcotest.test_case "printexc violation" `Quick test_printexc_violation;
+          Alcotest.test_case "printexc clean" `Quick test_printexc_clean ] );
+      ( "crypto-correctness",
+        [ Alcotest.test_case "poly-compare violation" `Quick
+            test_poly_compare_violation;
+          Alcotest.test_case "poly-compare clean" `Quick test_poly_compare_clean;
+          Alcotest.test_case "obj-magic violation" `Quick
+            test_obj_magic_violation;
+          Alcotest.test_case "obj-magic clean" `Quick test_obj_magic_clean ] );
+      ( "lock-discipline",
+        [ Alcotest.test_case "violation" `Quick test_lock_violation;
+          Alcotest.test_case "clean" `Quick test_lock_clean ] );
+      ( "meta",
+        [ Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "interface" `Quick test_interface_scanned ] );
+      ( "suppressions",
+        [ Alcotest.test_case "match drops finding" `Quick test_suppress_match;
+          Alcotest.test_case "missing justification" `Quick
+            test_suppress_missing_justification;
+          Alcotest.test_case "malformed line" `Quick test_suppress_malformed;
+          Alcotest.test_case "unused entry" `Quick test_suppress_unused ] );
+      ( "driver",
+        [ Alcotest.test_case "end to end" `Quick test_driver_end_to_end ] ) ]
