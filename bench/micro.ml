@@ -25,6 +25,14 @@ let btree =
      done;
      t)
 
+(* Obs instrumentation cost, both sides of the enabled flag. The bench
+   flips the global flag around each measurement via the enable/disable
+   wrappers below, so the two variants measure what serve (enabled) and a
+   plain library user (disabled) actually pay. *)
+let obs_counter = lazy (Mope_obs.Metrics.counter "bench_obs_total" ())
+
+let obs_histogram = lazy (Mope_obs.Metrics.histogram "bench_obs_seconds" ())
+
 let tests =
   let counter = ref 0 in
   let next modulus =
@@ -78,7 +86,22 @@ let tests =
                 "SELECT sum(l_extendedprice * l_discount) FROM lineitem WHERE \
                  l_shipdate >= DATE '1994-01-01' AND l_shipdate <= DATE \
                  '1994-12-31' AND l_discount BETWEEN 0.05 AND 0.07 AND \
-                 l_quantity < 24"))) ]
+                 l_quantity < 24")));
+    (* Runs while the registry is disabled (the default): the advertised
+       load+branch no-op. *)
+    Test.make ~name:"obs/counter-inc-disabled"
+      (Staged.stage (fun () -> Mope_obs.Metrics.inc (Lazy.force obs_counter))) ]
+
+(* These run with the registry enabled (see [run]): the real serving cost. *)
+let obs_enabled_tests =
+  [ Test.make ~name:"obs/counter-inc-enabled"
+      (Staged.stage (fun () -> Mope_obs.Metrics.inc (Lazy.force obs_counter)));
+    Test.make ~name:"obs/histogram-observe"
+      (let counter = ref 0 in
+       Staged.stage (fun () ->
+           incr counter;
+           Mope_obs.Metrics.observe (Lazy.force obs_histogram)
+             (1e-6 *. float_of_int (!counter mod 1000)))) ]
 
 (* Force setup and fill the memo tables outside the measurement window. *)
 let prewarm () =
@@ -99,18 +122,21 @@ let run () =
   prewarm ();
   let instance = Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] test in
-      let ols =
-        Analyze.all
-          (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
-          instance results
-      in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Util.row "%-24s %12.1f ns/op\n" name est
-          | Some _ | None -> Util.row "%-24s %12s\n" name "(no estimate)")
-        ols)
-    tests
+  let measure test =
+    let results = Benchmark.all cfg [ instance ] test in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+        instance results
+    in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Util.row "%-24s %12.1f ns/op\n" name est
+        | Some _ | None -> Util.row "%-24s %12s\n" name "(no estimate)")
+      ols
+  in
+  List.iter measure tests;
+  Mope_obs.Metrics.set_enabled true;
+  List.iter measure obs_enabled_tests;
+  Mope_obs.Metrics.set_enabled false

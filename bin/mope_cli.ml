@@ -8,6 +8,7 @@
      demo       run the end-to-end encrypted TPC-H demo
      attack     mount the gap attack on naive vs protected query streams
      serve      run the trusted proxy as a TCP service over the testbed
+     stats      scrape a running proxy's metrics and recent traces
      save       generate the TPC-H database and persist it to disk
      load       inspect a database file written by save / sql --db *)
 
@@ -424,10 +425,31 @@ let serve_cmd =
     let doc = "Per-connection read/write timeout in seconds (0 = none)." in
     Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
   in
+  let metrics_dump_arg =
+    let doc =
+      "Write the Prometheus text rendering of the metrics registry to \
+       $(docv) about once a second while serving (and once more at \
+       shutdown). The file is replaced atomically, so a scraper never \
+       reads a half-written exposition."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "metrics-dump" ] ~docv:"PATH" ~doc)
+  in
   let run port host db wal sf seed rho batch_size max_connections max_in_flight
-      timeout =
+      timeout metrics_dump =
     let open Mope_system in
     let open Mope_net in
+    (* Observability is on for the lifetime of the server process: the
+       Stats wire op and the stats subcommand depend on it. *)
+    Mope_obs.Metrics.set_enabled true;
+    Mope_obs.Trace.set_enabled true;
+    let write_metrics_dump path =
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      output_string oc (Mope_obs.Metrics.render_prometheus ());
+      close_out oc;
+      Sys.rename tmp path
+    in
     let tb =
       match db, wal with
       | None, None ->
@@ -490,11 +512,17 @@ let serve_cmd =
     let request_stop _ = Atomic.set stop true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    let ticks = ref 0 in
     while not (Atomic.get stop) do
-      Thread.delay 0.2
+      Thread.delay 0.2;
+      incr ticks;
+      match metrics_dump with
+      | Some path when !ticks mod 5 = 0 -> write_metrics_dump path
+      | Some _ | None -> ()
     done;
     print_endline "shutting down...";
     Server.shutdown server;
+    Option.iter write_metrics_dump metrics_dump;
     let s = Server.stats server in
     let c = Service.counters service in
     Printf.printf
@@ -515,7 +543,50 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ port_arg $ host_arg $ db_arg $ wal_arg $ sf_arg
           $ seed_arg $ rho_arg $ batch_arg $ max_conn_arg $ max_in_flight_arg
-          $ timeout_arg)
+          $ timeout_arg $ metrics_dump_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats: scrape a running proxy *)
+
+let stats_cmd =
+  let port_arg =
+    let doc = "Port the proxy listens on." in
+    Arg.(value & opt int 7070 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Proxy address." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the JSON rendering instead of Prometheus text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let traces_arg =
+    let doc = "Also print the server's recent request traces (span trees)." in
+    Arg.(value & flag & info [ "traces" ] ~doc)
+  in
+  let run host port json traces =
+    let open Mope_net in
+    match Client.with_client ~host ~port Client.stats with
+    | s ->
+      print_string (if json then s.Wire.metrics_json else s.Wire.metrics_text);
+      if traces then begin
+        if s.Wire.traces = [] then print_endline "(no traces recorded)"
+        else
+          List.iter
+            (fun d -> print_string (Mope_obs.Trace.render d))
+            s.Wire.traces
+      end
+    | exception Mope_error.Error e ->
+      Printf.eprintf "%s\n" (Mope_error.to_string e);
+      exit 1
+  in
+  let doc =
+    "Scrape a running proxy's metrics (and optionally its recent traces) \
+     over the Stats wire op."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ host_arg $ port_arg $ json_arg $ traces_arg)
 
 let () =
   let doc = "Modular order-preserving encryption (SIGMOD'15 reproduction)." in
@@ -524,4 +595,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ encrypt_cmd; decrypt_cmd; ranges_cmd; schedule_cmd; demo_cmd;
-            attack_cmd; sql_cmd; serve_cmd; save_cmd; load_cmd ]))
+            attack_cmd; sql_cmd; serve_cmd; stats_cmd; save_cmd; load_cmd ]))

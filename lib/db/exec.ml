@@ -4,6 +4,24 @@ exception Exec_error of string
 
 let error fmt = Printf.ksprintf (fun msg -> raise (Exec_error msg)) fmt
 
+module Metrics = Mope_obs.Metrics
+module Trace = Mope_obs.Trace
+
+(* Registered at module init; all no-ops until Metrics.set_enabled true. *)
+let m_queries =
+  Metrics.counter ~help:"SELECT statements executed" "mope_exec_queries_total"
+    ()
+
+let m_seq_scans =
+  Metrics.counter ~help:"Sequential scans" "mope_exec_seq_scans_total" ()
+
+let m_index_scans =
+  Metrics.counter ~help:"B-tree index scans" "mope_exec_index_scans_total" ()
+
+let m_rows_scanned =
+  Metrics.counter ~help:"Rows touched by scans" "mope_exec_rows_scanned_total"
+    ()
+
 type stats = {
   mutable queries : int;
   mutable seq_scans : int;
@@ -236,32 +254,48 @@ let choose_access source conjuncts =
 (* Scanning and joining *)
 
 let scan_source ~stats source access filter =
-  let keep = match filter with None -> fun _ -> true | Some f -> fun row -> Eval.truthy (f row) in
-  match access with
-  | Seq_scan ->
-    stats.seq_scans <- stats.seq_scans + 1;
-    let out = ref [] in
-    Table.iter source.stable (fun _ row ->
-        stats.rows_scanned <- stats.rows_scanned + 1;
-        if keep row then out := row :: !out);
-    List.rev !out
-  | Index_scan { col; ranges } ->
-    stats.index_scans <- stats.index_scans + 1;
-    stats.index_ranges <- stats.index_ranges + List.length (Ranges.intervals ranges);
-    let btree =
-      match Table.index_on source.stable col with
-      | Some b -> b
-      | None -> error "planner chose a missing index"
-    in
-    let out = ref [] in
-    List.iter
-      (fun (lo, hi) ->
-        Btree.range_fold btree ~lo ~hi ~init:() ~f:(fun () _ id ->
-            stats.rows_scanned <- stats.rows_scanned + 1;
-            let row = Table.get source.stable id in
-            if keep row then out := row :: !out))
-      (Ranges.intervals ranges);
-    List.rev !out
+  Trace.with_span "storage_scan" (fun () ->
+      let keep =
+        match filter with
+        | None -> fun _ -> true
+        | Some f -> fun row -> Eval.truthy (f row)
+      in
+      let before = stats.rows_scanned in
+      let rows =
+        match access with
+        | Seq_scan ->
+          stats.seq_scans <- stats.seq_scans + 1;
+          Metrics.inc m_seq_scans;
+          let out = ref [] in
+          Table.iter source.stable (fun _ row ->
+              stats.rows_scanned <- stats.rows_scanned + 1;
+              if keep row then out := row :: !out);
+          List.rev !out
+        | Index_scan { col; ranges } ->
+          stats.index_scans <- stats.index_scans + 1;
+          stats.index_ranges <-
+            stats.index_ranges + List.length (Ranges.intervals ranges);
+          Metrics.inc m_index_scans;
+          Trace.add_item "btree_ranges" (List.length (Ranges.intervals ranges));
+          let btree =
+            match Table.index_on source.stable col with
+            | Some b -> b
+            | None -> error "planner chose a missing index"
+          in
+          let out = ref [] in
+          List.iter
+            (fun (lo, hi) ->
+              Btree.range_fold btree ~lo ~hi ~init:() ~f:(fun () _ id ->
+                  stats.rows_scanned <- stats.rows_scanned + 1;
+                  let row = Table.get source.stable id in
+                  if keep row then out := row :: !out))
+            (Ranges.intervals ranges);
+          List.rev !out
+      in
+      let scanned = stats.rows_scanned - before in
+      Metrics.inc ~by:scanned m_rows_scanned;
+      Trace.add_item "rows_scanned" scanned;
+      rows)
 
 let concat_rows a b =
   let out = Array.make (Array.length a + Array.length b) Value.Null in
@@ -375,6 +409,7 @@ let expand_projections sources projections =
 
 let rec run ~catalog ~stats select =
   stats.queries <- stats.queries + 1;
+  Metrics.inc m_queries;
   let result = run_select ~catalog ~stats select in
   stats.rows_returned <- stats.rows_returned + List.length result.rows;
   result

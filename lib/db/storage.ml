@@ -1,5 +1,21 @@
 exception Corrupt of string
 
+module Metrics = Mope_obs.Metrics
+module Trace = Mope_obs.Trace
+
+(* Registered at module init; all no-ops until Metrics.set_enabled true. *)
+let m_save_seconds =
+  Metrics.histogram ~help:"Snapshot save latency (serialize + fsync + rename)"
+    "mope_storage_save_seconds" ()
+
+let m_load_seconds =
+  Metrics.histogram ~help:"Snapshot load latency (read + verify + rebuild)"
+    "mope_storage_load_seconds" ()
+
+let m_wal_replayed =
+  Metrics.counter ~help:"WAL records replayed during recovery"
+    "mope_storage_wal_replayed_total" ()
+
 (* v1: magic ^ body (no checksum; still readable).
    v2: magic ^ u64 body length ^ u32 CRC-32(body) ^ body. *)
 let magic_v1 = "MOPEDB\x01\n"
@@ -248,28 +264,34 @@ let fsync_dir path =
     (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let save db ~path =
-  let data = save_string db in
-  let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
-  (try
-     write_all fd (Bytes.unsafe_of_string data) 0 (String.length data);
-     (* fsync before rename: otherwise the rename can hit the disk before
-        the data does, and a crash leaves a truncated/empty snapshot
-        sitting at the final path. *)
-     Unix.fsync fd
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  Unix.close fd;
-  Sys.rename tmp path;
-  fsync_dir path
+  Trace.with_span "snapshot_save" (fun () ->
+      Metrics.time m_save_seconds (fun () ->
+          let data = save_string db in
+          let tmp = path ^ ".tmp" in
+          let fd =
+            Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644
+          in
+          (try
+             write_all fd (Bytes.unsafe_of_string data) 0 (String.length data);
+             (* fsync before rename: otherwise the rename can hit the disk
+                before the data does, and a crash leaves a truncated/empty
+                snapshot sitting at the final path. *)
+             Unix.fsync fd
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise e);
+          Unix.close fd;
+          Sys.rename tmp path;
+          fsync_dir path))
 
 let load ~path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let data = really_input_string ic len in
-  close_in ic;
-  load_string data
+  Trace.with_span "snapshot_load" (fun () ->
+      Metrics.time m_load_seconds (fun () ->
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let data = really_input_string ic len in
+          close_in ic;
+          load_string data))
 
 (* ------------------------------------------------------------------ *)
 (* Crash recovery: snapshot + longest valid WAL prefix. *)
@@ -299,12 +321,13 @@ let recover ?snapshot ?wal () =
         (* A CRC-valid record that will not execute is not a torn tail —
            the log and the snapshot disagree, and silently skipping it
            would resurrect a different database than the one that crashed. *)
-        try ignore (Database.execute db statement)
-        with e ->
-          raise
-            (Corrupt
-               (Printf.sprintf "wal: record %d failed to replay: %s" i
-                  (Mope_error.describe_exn e))))
+        (try ignore (Database.execute db statement)
+         with e ->
+           raise
+             (Corrupt
+                (Printf.sprintf "wal: record %d failed to replay: %s" i
+                   (Mope_error.describe_exn e))));
+        Metrics.inc m_wal_replayed)
       r.Wal.statements;
     { db; snapshot_loaded;
       wal_applied = List.length r.Wal.statements;

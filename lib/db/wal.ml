@@ -1,5 +1,16 @@
 exception Corrupt of string
 
+module Metrics = Mope_obs.Metrics
+module Trace = Mope_obs.Trace
+
+(* Registered at module init; all no-ops until Metrics.set_enabled true. *)
+let m_append_seconds =
+  Metrics.histogram ~help:"WAL append latency (write + optional fsync)"
+    "mope_wal_append_seconds" ()
+
+let m_fsyncs =
+  Metrics.counter ~help:"WAL fsyncs issued by append" "mope_wal_fsync_total" ()
+
 let magic = "MOPEWAL\x01\n"
 
 (* Sanity cap on one record: rejects garbage lengths in torn tails fast. *)
@@ -100,8 +111,13 @@ let append ?(sync = true) t statement =
   put_u32 0 len;
   put_u32 4 (Int32.to_int (Crc32.digest statement) land 0xFFFFFFFF);
   Bytes.blit_string statement 0 buf 8 len;
-  write_all t.fd buf 0 (8 + len);
-  if sync then Unix.fsync t.fd
+  Trace.with_span "wal_append" (fun () ->
+      Metrics.time m_append_seconds (fun () ->
+          write_all t.fd buf 0 (8 + len);
+          if sync then begin
+            Metrics.inc m_fsyncs;
+            Unix.fsync t.fd
+          end))
 
 let close t =
   if not t.closed then begin

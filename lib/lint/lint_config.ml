@@ -30,7 +30,12 @@ let secret_names =
     "mope_key"; "ope_key"; "offset"; "secret_offset"; "old_offset";
     "new_offset"; "plaintext"; "plaintexts" ]
 
-let sink_modules = [ "Printf"; "Format"; "Fmt"; "Logs"; "Wire"; "Storage"; "Wal" ]
+(* Mope_obs and its aliases are sinks: a metric label, counter name, or
+   trace annotation is an exfiltration channel exactly like a log line, so
+   no secret-named value may reach Metrics.* / Trace.* either. *)
+let sink_modules =
+  [ "Printf"; "Format"; "Fmt"; "Logs"; "Wire"; "Storage"; "Wal";
+    "Obs"; "Mope_obs"; "Metrics"; "Trace" ]
 
 let sink_values =
   [ "print_string"; "print_endline"; "print_int"; "print_float";

@@ -1,4 +1,19 @@
 open Mope_stats
+module Metrics = Mope_obs.Metrics
+module Trace = Mope_obs.Trace
+
+(* Registered at module init; all no-ops until Metrics.set_enabled true. *)
+let m_retries =
+  Metrics.counter ~help:"Request retries (transport failures and overload)"
+    "mope_client_retries_total" ()
+
+let m_breaker_opens =
+  Metrics.counter ~help:"Circuit-breaker transitions into open"
+    "mope_client_breaker_open_total" ()
+
+let m_breaker_state =
+  Metrics.gauge ~help:"Circuit breaker: 0 closed, 1 open, 2 half-open"
+    "mope_client_breaker_state" ()
 
 type t = {
   host : string;
@@ -136,34 +151,49 @@ let breaker_state t =
 
 let record_success t =
   t.failures <- 0;
-  t.open_until <- 0.0
+  t.open_until <- 0.0;
+  Metrics.gauge_set m_breaker_state 0
 
 let record_failure t =
   t.failures <- t.failures + 1;
-  if t.failures >= t.breaker_threshold || t.open_until > 0.0 then
+  if t.failures >= t.breaker_threshold || t.open_until > 0.0 then begin
     (* Tripped, or a half-open probe failed: (re)open for a full cooldown. *)
-    t.open_until <- Unix.gettimeofday () +. t.breaker_cooldown
+    if t.open_until = 0.0 then Metrics.inc m_breaker_opens;
+    t.open_until <- Unix.gettimeofday () +. t.breaker_cooldown;
+    Metrics.gauge_set m_breaker_state 1
+  end
 
 (* All current requests are idempotent reads; a future mutating request
    must be listed here as unsafe to retry. *)
 let idempotent = function
-  | Wire.Ping | Wire.Query _ | Wire.Get_counters -> true
+  | Wire.Ping | Wire.Query _ | Wire.Get_counters | Wire.Get_stats -> true
 
 (* ------------------------------------------------------------------ *)
 (* One request/response exchange. [query] is the SQL context attached to
    any error raised. *)
 
-let rpc t ?query request =
+let rpc t ?query ?trace_id request =
   if t.closed then
     Mope_error.failwithf ?query "Client: connection to %s:%d is closed" t.host
       t.port;
+  (* One id for all attempts of this rpc, so server-side traces correlate
+     retries of the same logical request. Minting is gated on tracing being
+     enabled in this process to keep the common path allocation-free. *)
+  let tid =
+    match trace_id with
+    | Some s -> s
+    | None -> if Trace.enabled () then Trace.mint_id t.rng else ""
+  in
   let probing =
     match breaker_state t with
     | `Open ->
+      Metrics.gauge_set m_breaker_state 1;
       Mope_error.failwithf ?query
         "Client: circuit breaker open for %s:%d (retry in %.3gs)" t.host t.port
         (t.open_until -. Unix.gettimeofday ())
-    | `Half_open -> true
+    | `Half_open ->
+      Metrics.gauge_set m_breaker_state 2;
+      true
     | `Closed -> false
   in
   let max_attempts =
@@ -179,7 +209,7 @@ let rpc t ?query request =
     let outcome =
       match
         let io = match t.conn with Some io -> io | None -> establish t in
-        Wire.write_frame_t io (Wire.encode_request request);
+        Wire.write_frame_t io (Wire.encode_request ~trace_id:tid request);
         Wire.decode_response (Wire.read_frame_t io)
       with
       | resp -> Ok resp
@@ -210,6 +240,7 @@ let rpc t ?query request =
       match resp with
       | Wire.Error { code = Wire.Overloaded; retry_after; _ }
         when n + 1 < max_attempts ->
+        Metrics.inc m_retries;
         let d = match retry_after with Some d -> d | None -> delay in
         Thread.delay (jittered t d);
         attempt (n + 1) (delay *. 2.0)
@@ -217,6 +248,7 @@ let rpc t ?query request =
     end
     | Error raise_it ->
       if n + 1 < max_attempts && breaker_state t <> `Open then begin
+        Metrics.inc m_retries;
         Thread.delay (jittered t delay);
         attempt (n + 1) (delay *. 2.0)
       end
@@ -237,9 +269,9 @@ let ping t =
   | Wire.Pong -> ()
   | _ -> Mope_error.raise_error "Client.ping: unexpected response"
 
-let query t ~sql ~date_column ~date_lo ~date_hi =
+let query t ?trace_id ~sql ~date_column ~date_lo ~date_hi () =
   let request = Wire.Query { sql; date_column; date_lo; date_hi } in
-  match check_error ~query:sql (rpc t ~query:sql request) with
+  match check_error ~query:sql (rpc t ~query:sql ?trace_id request) with
   | Wire.Rows result -> result
   | _ -> Mope_error.raise_error ~query:sql "Client.query: unexpected response"
 
@@ -247,3 +279,8 @@ let counters t =
   match check_error (rpc t Wire.Get_counters) with
   | Wire.Counters c -> c
   | _ -> Mope_error.raise_error "Client.counters: unexpected response"
+
+let stats t =
+  match check_error (rpc t Wire.Get_stats) with
+  | Wire.Stats s -> s
+  | _ -> Mope_error.raise_error "Client.stats: unexpected response"

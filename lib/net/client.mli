@@ -85,15 +85,26 @@ val ping : t -> unit
 
 val query :
   t ->
+  ?trace_id:string ->
   sql:string ->
   date_column:string ->
   date_lo:Date.t ->
   date_hi:Date.t ->
+  unit ->
   Exec.result
 (** Execute one client statement through the remote proxy — the wire twin
     of {!Mope_system.Proxy.execute}. A server-side [Wire.Error] response is
     raised as {!Mope_error.Error} with the server's message, error code and
-    query context. *)
+    query context.
+
+    [trace_id] overrides the id sent in the v3 request header; by default
+    one is minted from the client's RNG whenever tracing
+    ({!Mope_obs.Trace}) is enabled in this process, and the empty id
+    (= untraced) is sent otherwise. *)
 
 val counters : t -> Wire.counters
 (** The server's aggregate proxy counters. *)
+
+val stats : t -> Wire.stats
+(** The server's observability snapshot: both metric renderings plus its
+    recent traces (the [Get_stats] wire op). *)

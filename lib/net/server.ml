@@ -1,3 +1,31 @@
+module Metrics = Mope_obs.Metrics
+module Trace = Mope_obs.Trace
+
+(* Registered at module init; all no-ops until Metrics.set_enabled true. *)
+let m_requests =
+  Metrics.counter ~help:"Requests decoded (admitted or shed)"
+    "mope_server_requests_total" ()
+
+let m_errors =
+  Metrics.counter ~help:"Requests answered with a Wire.Error"
+    "mope_server_errors_total" ()
+
+let m_shed =
+  Metrics.counter ~help:"Requests shed by admission control"
+    "mope_server_shed_total" ()
+
+let m_connections =
+  Metrics.counter ~help:"Connections accepted" "mope_server_connections_total"
+    ()
+
+let m_in_flight =
+  Metrics.gauge ~help:"Requests currently inside the handler"
+    "mope_server_in_flight" ()
+
+let m_latency =
+  Metrics.histogram ~help:"Request latency from decode start to response sent"
+    "mope_server_request_seconds" ()
+
 type config = {
   host : string;
   port : int;
@@ -73,6 +101,9 @@ let set_timeouts config fd =
 
 let record_request t ~started ~is_error =
   let elapsed = Unix.gettimeofday () -. started in
+  Metrics.inc m_requests;
+  if is_error then Metrics.inc m_errors;
+  Metrics.observe m_latency elapsed;
   locked t (fun () ->
       t.stats.requests <- t.stats.requests + 1;
       if is_error then t.stats.errors <- t.stats.errors + 1;
@@ -93,12 +124,16 @@ let try_admit t =
       then false
       else begin
         t.in_flight <- t.in_flight + 1;
+        Metrics.gauge_add m_in_flight 1;
         true
       end)
 
-let release t = locked t (fun () -> t.in_flight <- t.in_flight - 1)
+let release t =
+  Metrics.gauge_add m_in_flight (-1);
+  locked t (fun () -> t.in_flight <- t.in_flight - 1)
 
 let shed_response t =
+  Metrics.inc m_shed;
   locked t (fun () ->
       t.stats.shed <- t.stats.shed + 1;
       let avg =
@@ -137,24 +172,34 @@ let connection_loop t fd =
            is still trustworthy, so keep the connection. *)
         respond t io ~started (bad_frame msg);
         loop ()
-      | request ->
-        let response =
-          if not (try_admit t) then shed_response t
-          else
-            Fun.protect
-              ~finally:(fun () -> release t)
-              (fun () ->
-                try t.handler request with
-                | Mope_error.Error e ->
-                  Wire.Error
-                    { code = Wire.Exec_failed; message = e.Mope_error.msg;
-                      query = e.Mope_error.query; retry_after = None }
-                | exn ->
-                  Wire.Error
-                    { code = Wire.Internal; message = Mope_error.describe_exn exn;
-                      query = None; retry_after = None })
-        in
-        respond t io ~started response;
+      | trace_id, request ->
+        let decoded = Unix.gettimeofday () in
+        (* The span tree for this request roots here: decode is recorded
+           retroactively (it ran before the trace id was known), dispatch
+           wraps the handler, and everything the handler touches — service,
+           exec, OPE, storage — hangs off dispatch via the ambient
+           context. *)
+        Trace.run ~id:trace_id (fun () ->
+            Trace.record_span "decode" ~dur_us:((decoded -. started) *. 1e6);
+            let response =
+              if not (try_admit t) then shed_response t
+              else
+                Fun.protect
+                  ~finally:(fun () -> release t)
+                  (fun () ->
+                    Trace.with_span "dispatch" (fun () ->
+                        try t.handler request with
+                        | Mope_error.Error e ->
+                          Wire.Error
+                            { code = Wire.Exec_failed; message = e.Mope_error.msg;
+                              query = e.Mope_error.query; retry_after = None }
+                        | exn ->
+                          Wire.Error
+                            { code = Wire.Internal;
+                              message = Mope_error.describe_exn exn;
+                              query = None; retry_after = None }))
+            in
+            respond t io ~started response);
         loop ())
   in
   (try loop () with
@@ -196,6 +241,7 @@ let accept_loop t =
       | exception Unix.Unix_error (_, _, _) -> go ()
       | fd, _peer ->
         set_timeouts t.config fd;
+        Metrics.inc m_connections;
         let worker = Thread.create (connection_loop t) fd in
         locked t (fun () ->
             t.stats.connections_accepted <- t.stats.connections_accepted + 1;

@@ -1,4 +1,6 @@
 open Mope_system
+module Metrics = Mope_obs.Metrics
+module Trace = Mope_obs.Trace
 
 type t = { proxies : (string * (Mutex.t * Proxy.t)) list }
 
@@ -27,9 +29,16 @@ let counters t =
       server_requests = 0; rows_fetched = 0; rows_delivered = 0 }
     t.proxies
 
+let stats () =
+  Wire.Stats
+    { Wire.metrics_text = Metrics.render_prometheus ();
+      metrics_json = Metrics.render_json ();
+      traces = Trace.recent () }
+
 let handler t = function
   | Wire.Ping -> Wire.Pong
   | Wire.Get_counters -> Wire.Counters (counters t)
+  | Wire.Get_stats -> stats ()
   | Wire.Query { sql; date_column; date_lo; date_hi } -> begin
     match List.assoc_opt date_column t.proxies with
     | None ->
@@ -41,7 +50,10 @@ let handler t = function
     | Some (lock, proxy) ->
       let outcome =
         locked lock (fun () ->
-            match Proxy.execute proxy ~sql ~date_column ~date_lo ~date_hi with
+            match
+              Trace.with_span "exec" (fun () ->
+                  Proxy.execute proxy ~sql ~date_column ~date_lo ~date_hi)
+            with
             | result -> Ok result
             | exception e -> Error e)
       in

@@ -19,9 +19,14 @@ val create : proxies:(string * Proxy.t) list -> unit -> t
 
 val handler : t -> Wire.request -> Wire.response
 (** [Ping] → [Pong]; [Get_counters] → the field-wise sum over all proxies;
-    [Query] → [Rows] via {!Proxy.execute}, or a structured [Wire.Error]
-    ([Unsupported] for an unknown date column, [Exec_failed] with the query
-    attached when the pipeline raises). *)
+    [Get_stats] → the observability snapshot ({!stats}); [Query] → [Rows]
+    via {!Proxy.execute} (wrapped in an ["exec"] trace span), or a
+    structured [Wire.Error] ([Unsupported] for an unknown date column,
+    [Exec_failed] with the query attached when the pipeline raises). *)
+
+val stats : unit -> Wire.response
+(** The [Stats] response served for [Get_stats]: current
+    {!Mope_obs.Metrics} renderings plus {!Mope_obs.Trace.recent}. *)
 
 val counters : t -> Wire.counters
 (** The same aggregate [Get_counters] reports, for in-process callers. *)

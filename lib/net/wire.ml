@@ -4,9 +4,13 @@ exception Protocol_error of string
 
 let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
 
-let version = 2
+let version = 3
 
 let max_frame = 16 * 1024 * 1024
+
+(* Trace ids ride in every request header; bounding them keeps a hostile
+   header from smuggling bulk data into server-side trace storage. *)
+let max_trace_id = 64
 
 type counters = {
   client_queries : int;
@@ -15,6 +19,12 @@ type counters = {
   server_requests : int;
   rows_fetched : int;
   rows_delivered : int;
+}
+
+type stats = {
+  metrics_text : string;
+  metrics_json : string;
+  traces : Mope_obs.Trace.dump list;
 }
 
 type request =
@@ -26,6 +36,7 @@ type request =
       date_hi : Date.t;
     }
   | Get_counters
+  | Get_stats
 
 type error_code = Bad_frame | Unsupported | Exec_failed | Overloaded | Internal
 
@@ -33,6 +44,7 @@ type response =
   | Pong
   | Rows of Exec.result
   | Counters of counters
+  | Stats of stats
   | Error of {
       code : error_code;
       message : string;
@@ -162,9 +174,11 @@ let get_value cur =
 let tag_ping = 0x01
 let tag_query = 0x02
 let tag_get_counters = 0x03
+let tag_get_stats = 0x04
 let tag_pong = 0x81
 let tag_rows = 0x82
 let tag_counters = 0x83
+let tag_stats = 0x84
 let tag_error = 0xBF
 
 let error_code_tag = function
@@ -200,20 +214,36 @@ let close_payload cur =
   if cur.pos <> String.length cur.data then fail "trailing bytes after message"
 
 (* ------------------------------------------------------------------ *)
-(* Requests *)
+(* Requests. The v3 request header carries a trace id (possibly empty)
+   between the tag and the body, so every request kind can be correlated
+   with the server-side span tree it produces. Responses are unchanged —
+   the client already knows which trace it is awaiting. *)
 
-let encode_request = function
-  | Ping -> payload tag_ping (fun _ -> ())
+let check_trace_id tid =
+  if String.length tid > max_trace_id then
+    fail "trace id of %d bytes exceeds %d" (String.length tid) max_trace_id
+
+let payload_req trace_id tag body =
+  check_trace_id trace_id;
+  payload tag (fun buf ->
+      put_string buf trace_id;
+      body buf)
+
+let encode_request ?(trace_id = "") = function
+  | Ping -> payload_req trace_id tag_ping (fun _ -> ())
   | Query { sql; date_column; date_lo; date_hi } ->
-    payload tag_query (fun buf ->
+    payload_req trace_id tag_query (fun buf ->
         put_string buf sql;
         put_string buf date_column;
         put_int buf date_lo;
         put_int buf date_hi)
-  | Get_counters -> payload tag_get_counters (fun _ -> ())
+  | Get_counters -> payload_req trace_id tag_get_counters (fun _ -> ())
+  | Get_stats -> payload_req trace_id tag_get_stats (fun _ -> ())
 
 let decode_request data =
   let tag, cur = open_payload data in
+  let trace_id = get_string cur in
+  check_trace_id trace_id;
   let req =
     if tag = tag_ping then Ping
     else if tag = tag_query then begin
@@ -224,10 +254,11 @@ let decode_request data =
       Query { sql; date_column; date_lo; date_hi }
     end
     else if tag = tag_get_counters then Get_counters
+    else if tag = tag_get_stats then Get_stats
     else fail "unknown request tag 0x%02x" tag
   in
   close_payload cur;
-  req
+  (trace_id, req)
 
 (* ------------------------------------------------------------------ *)
 (* Responses *)
@@ -252,6 +283,29 @@ let encode_response = function
         put_int buf c.server_requests;
         put_int buf c.rows_fetched;
         put_int buf c.rows_delivered)
+  | Stats s ->
+    payload tag_stats (fun buf ->
+        put_string buf s.metrics_text;
+        put_string buf s.metrics_json;
+        put_int buf (List.length s.traces);
+        List.iter
+          (fun (d : Mope_obs.Trace.dump) ->
+            put_string buf d.Mope_obs.Trace.id;
+            put_int buf (List.length d.Mope_obs.Trace.spans);
+            List.iter
+              (fun (sp : Mope_obs.Trace.span) ->
+                put_string buf sp.Mope_obs.Trace.name;
+                put_int buf sp.Mope_obs.Trace.depth;
+                put_int64 buf (Int64.bits_of_float sp.Mope_obs.Trace.start_us);
+                put_int64 buf (Int64.bits_of_float sp.Mope_obs.Trace.dur_us);
+                put_int buf (List.length sp.Mope_obs.Trace.items);
+                List.iter
+                  (fun (k, n) ->
+                    put_string buf k;
+                    put_int buf n)
+                  sp.Mope_obs.Trace.items)
+              d.Mope_obs.Trace.spans)
+          s.traces)
   | Error { code; message; query; retry_after } ->
     payload tag_error (fun buf ->
         Buffer.add_char buf (Char.chr (error_code_tag code));
@@ -300,6 +354,36 @@ let decode_response data =
       Counters
         { client_queries; real_pieces; fake_queries; server_requests;
           rows_fetched; rows_delivered }
+    end
+    else if tag = tag_stats then begin
+      let metrics_text = get_string cur in
+      let metrics_json = get_string cur in
+      let n_traces = get_nat cur in
+      plausible "trace" n_traces 16;
+      let traces =
+        List.init n_traces (fun _ ->
+            let id = get_string cur in
+            let n_spans = get_nat cur in
+            plausible "span" n_spans 32;
+            let spans =
+              List.init n_spans (fun _ ->
+                  let name = get_string cur in
+                  let depth = get_int cur in
+                  let start_us = Int64.float_of_bits (get_int64 cur) in
+                  let dur_us = Int64.float_of_bits (get_int64 cur) in
+                  let n_items = get_nat cur in
+                  plausible "item" n_items 16;
+                  let items =
+                    List.init n_items (fun _ ->
+                        let k = get_string cur in
+                        let n = get_int cur in
+                        (k, n))
+                  in
+                  { Mope_obs.Trace.name; depth; start_us; dur_us; items })
+            in
+            { Mope_obs.Trace.id; spans })
+      in
+      Stats { metrics_text; metrics_json; traces }
     end
     else if tag = tag_error then begin
       let code = error_code_of_tag (get_byte cur) in

@@ -18,10 +18,13 @@ open Mope_db
 exception Protocol_error of string
 
 val version : int
-(** Current protocol version (2 — v2 added the [retry_after] field to
-    error responses). A decoder rejects frames whose version byte differs —
-    version bumps are breaking by design; additions that only define new
-    tags do not bump it. *)
+(** Current protocol version (3 — v3 added a trace-id field to the request
+    header; v2 added the [retry_after] field to error responses). A decoder
+    rejects frames whose version byte differs — version bumps are breaking
+    by design; additions that only define new tags do not bump it. *)
+
+val max_trace_id : int
+(** Upper bound on the length of a request's trace id (64 bytes). *)
 
 val max_frame : int
 (** Upper bound on a payload length (16 MiB). A length prefix above this is
@@ -39,6 +42,14 @@ type counters = {
   rows_delivered : int;
 }
 
+(** Observability snapshot served by {!Get_stats}: both metric renderings
+    plus the server's recent trace ring (see {!Mope_obs}). *)
+type stats = {
+  metrics_text : string;  (** Prometheus text exposition *)
+  metrics_json : string;
+  traces : Mope_obs.Trace.dump list;  (** newest first *)
+}
+
 type request =
   | Ping
   | Query of {
@@ -48,6 +59,7 @@ type request =
       date_hi : Date.t;         (** inclusive range end *)
     }
   | Get_counters
+  | Get_stats
 
 type error_code =
   | Bad_frame    (** the peer sent something the codec rejected *)
@@ -60,6 +72,7 @@ type response =
   | Pong
   | Rows of Exec.result
   | Counters of counters
+  | Stats of stats
   | Error of {
       code : error_code;
       message : string;
@@ -74,8 +87,14 @@ val error_code_to_string : error_code -> string
 (* Codecs: [encode_*] produce a payload (no length prefix); [decode_*]
    consume one and raise [Protocol_error] on any malformation. *)
 
-val encode_request : request -> string
-val decode_request : string -> request
+val encode_request : ?trace_id:string -> request -> string
+(** [trace_id] (default [""] = untraced) rides in the request header; it
+    must be at most {!max_trace_id} bytes. *)
+
+val decode_request : string -> string * request
+(** Returns [(trace_id, request)]; the trace id is [""] when the client
+    sent none. *)
+
 val encode_response : response -> string
 val decode_response : string -> response
 

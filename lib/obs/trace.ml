@@ -1,0 +1,245 @@
+(* Per-request tracing. A trace id minted by the client travels in the wire
+   header; the server installs an ambient trace context for the handling
+   thread ([run]) and instrumented code anywhere below it — service, exec,
+   OPE, storage, WAL — opens named spans ([with_span]) or attaches counts
+   ([add_item]) without any plumbing through intermediate signatures.
+
+   Cost model: when no trace is active anywhere in the process,
+   [with_span]/[add_item] are one atomic load plus a branch. Contexts are
+   keyed by thread id in a mutex-guarded table; an atomic count of live
+   contexts guards the fast path. Completed traces land in a fixed-size
+   ring buffer that the Stats wire op drains. *)
+
+type span = {
+  name : string;
+  depth : int;
+  start_us : float;
+  dur_us : float;
+  items : (string * int) list;
+}
+
+type dump = { id : string; spans : span list }
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* Live (still-open) span. *)
+type live = {
+  l_name : string;
+  l_depth : int;
+  l_start_us : float;
+  mutable l_items : (string * int) list;
+}
+
+type ctx = {
+  trace_id : string;
+  mutable stack : live list; (* open spans, innermost first *)
+  mutable finished : span list; (* completed spans, any order *)
+  mutable n_spans : int;
+  mutable dropped : int;
+}
+
+(* Per-process trace registry: thread id -> active context. [active] counts
+   live contexts so the common no-trace case never touches the mutex. *)
+let active = Atomic.make 0
+let contexts : (int, ctx) Hashtbl.t = Hashtbl.create 16
+let contexts_lock = Mutex.create ()
+
+let max_spans_per_trace = 512
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let current_ctx () =
+  if Atomic.get active = 0 then None
+  else begin
+    let tid = Thread.id (Thread.self ()) in
+    Mutex.lock contexts_lock;
+    let c = Hashtbl.find_opt contexts tid in
+    Mutex.unlock contexts_lock;
+    c
+  end
+
+(* ---------- ring buffer of completed traces ---------- *)
+
+let ring_capacity = 64
+let ring : dump option array = Array.make ring_capacity None
+let ring_next = ref 0
+let ring_lock = Mutex.create ()
+
+let ring_push d =
+  Mutex.lock ring_lock;
+  ring.(!ring_next mod ring_capacity) <- Some d;
+  incr ring_next;
+  Mutex.unlock ring_lock
+
+let recent () =
+  Mutex.lock ring_lock;
+  let n = !ring_next in
+  let out = ref [] in
+  (* Oldest-to-newest scan accumulates newest-first. *)
+  let first = if n > ring_capacity then n - ring_capacity else 0 in
+  for i = first to n - 1 do
+    match ring.(i mod ring_capacity) with
+    | Some d -> out := d :: !out
+    | None -> ()
+  done;
+  Mutex.unlock ring_lock;
+  !out
+
+let clear_recent () =
+  Mutex.lock ring_lock;
+  Array.fill ring 0 ring_capacity None;
+  ring_next := 0;
+  Mutex.unlock ring_lock
+
+(* ---------- span recording ---------- *)
+
+let finish_live c (l : live) ~end_us =
+  if c.n_spans >= max_spans_per_trace then c.dropped <- c.dropped + 1
+  else begin
+    c.n_spans <- c.n_spans + 1;
+    c.finished <-
+      { name = l.l_name; depth = l.l_depth; start_us = l.l_start_us;
+        dur_us = Float.max 0.0 (end_us -. l.l_start_us);
+        items = List.rev l.l_items }
+      :: c.finished
+  end
+
+let with_span name f =
+  match current_ctx () with
+  | None -> f ()
+  | Some c ->
+    let l =
+      { l_name = name; l_depth = List.length c.stack; l_start_us = now_us ();
+        l_items = [] }
+    in
+    c.stack <- l :: c.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match c.stack with
+         | top :: rest when top == l -> c.stack <- rest
+         | _ -> () (* unbalanced pops only happen on exotic control flow *));
+        finish_live c l ~end_us:(now_us ()))
+      f
+
+let record_span name ~dur_us =
+  match current_ctx () with
+  | None -> ()
+  | Some c ->
+    if c.n_spans >= max_spans_per_trace then c.dropped <- c.dropped + 1
+    else begin
+      c.n_spans <- c.n_spans + 1;
+      let end_us = now_us () in
+      c.finished <-
+        { name; depth = List.length c.stack; start_us = end_us -. dur_us;
+          dur_us = Float.max 0.0 dur_us; items = [] }
+        :: c.finished
+    end
+
+let add_item name n =
+  match current_ctx () with
+  | None -> ()
+  | Some c ->
+    (match c.stack with
+     | [] -> ()
+     | l :: _ ->
+       (match List.assoc_opt name l.l_items with
+        | Some prev ->
+          l.l_items <-
+            (name, prev + n) :: List.remove_assoc name l.l_items
+        | None -> l.l_items <- (name, n) :: l.l_items))
+
+let finalize c =
+  (* [record_span] back-dates already-measured work (e.g. frame decode, timed
+     before the trace id was known), which can start before [run] installed
+     the root. Stretch the root back over the earliest span so the root
+     still covers the whole request and sorts first. *)
+  let min_start =
+    List.fold_left (fun m s -> Float.min m s.start_us) Float.infinity c.finished
+  in
+  let finished =
+    List.map
+      (fun s ->
+        if s.depth = 0 && s.start_us > min_start then
+          { s with start_us = min_start;
+            dur_us = s.dur_us +. (s.start_us -. min_start) }
+        else s)
+      c.finished
+  in
+  (* Pre-order by start time; depth breaks ties so a parent sorts before a
+     child opened in the same clock tick. *)
+  let spans =
+    List.sort
+      (fun a b ->
+        match Float.compare a.start_us b.start_us with
+        | 0 -> Int.compare a.depth b.depth
+        | n -> n)
+      finished
+  in
+  let spans =
+    if c.dropped > 0 then
+      spans
+      @ [ { name = "dropped_spans"; depth = 1; start_us = 0.0; dur_us = 0.0;
+            items = [ ("count", c.dropped) ] } ]
+    else spans
+  in
+  { id = c.trace_id; spans }
+
+let run ~id f =
+  if (not (Atomic.get enabled_flag)) || String.length id = 0 then f ()
+  else begin
+    let tid = Thread.id (Thread.self ()) in
+    Mutex.lock contexts_lock;
+    let already = Hashtbl.mem contexts tid in
+    let c =
+      if already then None
+      else begin
+        let c =
+          { trace_id = id; stack = []; finished = []; n_spans = 0; dropped = 0 }
+        in
+        Hashtbl.replace contexts tid c;
+        Atomic.incr active;
+        Some c
+      end
+    in
+    Mutex.unlock contexts_lock;
+    match c with
+    | None -> f () (* nested run on the same thread: keep the outer trace *)
+    | Some c ->
+      let root =
+        { l_name = "request"; l_depth = 0; l_start_us = now_us ();
+          l_items = [] }
+      in
+      c.stack <- [ root ];
+      Fun.protect
+        ~finally:(fun () ->
+          c.stack <- [];
+          finish_live c root ~end_us:(now_us ());
+          Mutex.lock contexts_lock;
+          Hashtbl.remove contexts tid;
+          Atomic.decr active;
+          Mutex.unlock contexts_lock;
+          ring_push (finalize c))
+        f
+  end
+
+(* ---------- ids and rendering ---------- *)
+
+let mint_id rng =
+  let w = Mope_stats.Rng.int64 rng in
+  Printf.sprintf "%016Lx" w
+
+let render d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "trace %s\n" d.id);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (String.make (2 * s.depth) ' ');
+      Buffer.add_string buf (Printf.sprintf "%-16s %10.1fus" s.name s.dur_us);
+      List.iter
+        (fun (k, n) -> Buffer.add_string buf (Printf.sprintf "  %s=%d" k n))
+        s.items;
+      Buffer.add_char buf '\n')
+    d.spans;
+  Buffer.contents buf

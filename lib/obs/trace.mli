@@ -1,0 +1,65 @@
+(** Ambient per-request tracing.
+
+    The client mints a trace id ({!mint_id}) and sends it in the wire v3
+    request header; the server wraps the handler in {!run}, which installs a
+    trace context for the current thread. Any code on that thread — service
+    dispatch, query exec, OPE walks, storage, WAL — can then open named
+    spans with {!with_span} or attach counts with {!add_item}, without
+    threading a context value through every signature. Completed traces
+    (span trees with durations) land in a fixed-size ring buffer served by
+    the [Stats] wire op.
+
+    When tracing is disabled or no trace is active, {!with_span} and
+    {!add_item} cost one atomic load plus a branch.
+
+    Secret hygiene: span names and item keys are caller-chosen constants;
+    mope-lint registers this module as a secret-flow sink so secret-named
+    values cannot appear in any argument. *)
+
+type span = {
+  name : string;
+  depth : int;  (** 0 = the root ["request"] span *)
+  start_us : float;  (** wall-clock microseconds *)
+  dur_us : float;
+  items : (string * int) list;  (** e.g. [("hgd_draws", 12)] *)
+}
+
+type dump = { id : string; spans : span list }
+(** Spans in pre-order (sorted by start time, parents before children). A
+    trace that overflowed the per-trace span cap carries a trailing
+    [dropped_spans] span with the dropped count. *)
+
+val set_enabled : bool -> unit
+(** Off by default; {!run} is a transparent pass-through while disabled. *)
+
+val enabled : unit -> bool
+
+val run : id:string -> (unit -> 'a) -> 'a
+(** Execute the thunk under a fresh trace context rooted at a ["request"]
+    span. Pass-through when disabled, when [id] is empty, or when the
+    current thread already runs a trace (the outer trace wins). The
+    completed trace is pushed to the ring buffer even if the thunk
+    raises. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Open a child span around the thunk; no-op wrapper when no trace is
+    active on this thread. *)
+
+val record_span : string -> dur_us:float -> unit
+(** Record an already-measured span (e.g. frame decode, timed before the
+    trace id was known) ending now. *)
+
+val add_item : string -> int -> unit
+(** Add [n] to a named counter on the innermost open span. *)
+
+val recent : unit -> dump list
+(** Completed traces, newest first (ring buffer, capacity 64). *)
+
+val clear_recent : unit -> unit
+
+val mint_id : Mope_stats.Rng.t -> string
+(** 16 hex chars drawn from the caller's deterministic RNG. *)
+
+val render : dump -> string
+(** Human-readable tree: one line per span, indented by depth, with
+    duration and items. *)

@@ -1,5 +1,28 @@
 open Mope_crypto
 open Mope_stats
+module Metrics = Mope_obs.Metrics
+module Trace = Mope_obs.Trace
+
+(* Registered at module init; all no-ops until Metrics.set_enabled true.
+   Only call counts, HGD draw counts and walk depths are ever exported —
+   never keys, plaintexts or ciphertexts. *)
+let m_encrypts =
+  Metrics.counter ~help:"OPE encryptions (including cache hits)"
+    "mope_ope_encrypt_total" ()
+
+let m_decrypts =
+  Metrics.counter ~help:"OPE decryptions (including cache hits)"
+    "mope_ope_decrypt_total" ()
+
+let m_hgd_draws =
+  Metrics.counter ~help:"Hypergeometric gap draws (one per tree node visited)"
+    "mope_ope_hgd_draws_total" ()
+
+let depth_buckets = [| 1.0; 2.0; 4.0; 8.0; 12.0; 16.0; 24.0; 32.0; 48.0; 64.0 |]
+
+let m_walk_depth =
+  Metrics.histogram ~help:"Tree depth of uncached encrypt/decrypt walks"
+    ~buckets:depth_buckets "mope_ope_walk_depth" ()
 
 type t = {
   key : string;
@@ -38,6 +61,8 @@ let node_coins t tag dlo dhi rlo rhi =
    lower range half [rlo, rlo+half): an exact hypergeometric draw with coins
    bound to the node, hence identical on every revisit. *)
 let gap_draw t dlo dhi rlo rhi half =
+  Metrics.inc m_hgd_draws;
+  Trace.add_item "hgd_draws" 1;
   let coins = node_coins t "hgd" dlo dhi rlo rhi in
   let u = Drbg.float53 coins in
   Hypergeometric.sample
@@ -47,17 +72,24 @@ let leaf_ciphertext t dlo dhi rlo rhi =
   let coins = node_coins t "val" dlo dhi rlo rhi in
   rlo + Drbg.uniform coins (rhi - rlo)
 
-let rec encrypt_walk t dlo dhi rlo rhi m =
-  if dhi - dlo = 1 then leaf_ciphertext t dlo dhi rlo rhi
+let rec encrypt_walk_d t dlo dhi rlo rhi m ~depth =
+  if dhi - dlo = 1 then (leaf_ciphertext t dlo dhi rlo rhi, depth)
   else begin
     let half = (rhi - rlo) / 2 in
     let x = gap_draw t dlo dhi rlo rhi half in
-    if m < dlo + x then encrypt_walk t dlo (dlo + x) rlo (rlo + half) m
-    else encrypt_walk t (dlo + x) dhi (rlo + half) rhi m
+    if m < dlo + x then
+      encrypt_walk_d t dlo (dlo + x) rlo (rlo + half) m ~depth:(depth + 1)
+    else encrypt_walk_d t (dlo + x) dhi (rlo + half) rhi m ~depth:(depth + 1)
   end
+
+let encrypt_walk t dlo dhi rlo rhi m =
+  let c, walk_depth = encrypt_walk_d t dlo dhi rlo rhi m ~depth:1 in
+  Metrics.observe m_walk_depth (Float.of_int walk_depth);
+  c
 
 let encrypt t m =
   if m < 0 || m >= t.domain then invalid_arg "Ope.encrypt: plaintext out of domain";
+  Metrics.inc m_encrypts;
   match t.cache with
   | None -> encrypt_walk t 0 t.domain 0 t.range m
   | Some cache ->
@@ -68,25 +100,31 @@ let encrypt t m =
       c
     end
 
-let rec decrypt_walk t dlo dhi rlo rhi c =
+let rec decrypt_walk_d t dlo dhi rlo rhi c ~depth =
   if dhi - dlo = 1 then
-    if Int.equal (leaf_ciphertext t dlo dhi rlo rhi) c then dlo
+    if Int.equal (leaf_ciphertext t dlo dhi rlo rhi) c then (dlo, depth)
     else raise (Not_a_ciphertext c)
   else begin
     let half = (rhi - rlo) / 2 in
     let x = gap_draw t dlo dhi rlo rhi half in
     if c < rlo + half then begin
       if x = 0 then raise (Not_a_ciphertext c);
-      decrypt_walk t dlo (dlo + x) rlo (rlo + half) c
+      decrypt_walk_d t dlo (dlo + x) rlo (rlo + half) c ~depth:(depth + 1)
     end
     else begin
       if Int.equal x (dhi - dlo) then raise (Not_a_ciphertext c);
-      decrypt_walk t (dlo + x) dhi (rlo + half) rhi c
+      decrypt_walk_d t (dlo + x) dhi (rlo + half) rhi c ~depth:(depth + 1)
     end
   end
 
+let decrypt_walk t dlo dhi rlo rhi c =
+  let m, walk_depth = decrypt_walk_d t dlo dhi rlo rhi c ~depth:1 in
+  Metrics.observe m_walk_depth (Float.of_int walk_depth);
+  m
+
 let decrypt t c =
   if c < 0 || c >= t.range then invalid_arg "Ope.decrypt: ciphertext out of range";
+  Metrics.inc m_decrypts;
   match t.dec_cache with
   | None -> decrypt_walk t 0 t.domain 0 t.range c
   | Some memo ->

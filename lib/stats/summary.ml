@@ -28,6 +28,46 @@ let percentile xs p =
 
 let median xs = percentile xs 50.0
 
+(* Quantile estimation over pre-bucketed counts (the shape a log-bucketed
+   latency histogram accumulates): [bounds] are the ascending finite upper
+   bounds, [counts] has one extra trailing cell for the overflow bucket.
+   Linear interpolation inside a bucket, exactly like [percentile] does on
+   raw samples; the overflow bucket has no upper edge, so any rank landing
+   there reports the largest finite bound. *)
+let quantile_of_buckets ~bounds ~counts q =
+  let n_bounds = Array.length bounds in
+  if Array.length counts <> n_bounds + 1 then
+    invalid_arg "Summary.quantile_of_buckets: counts must be bounds+1 long";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.quantile_of_buckets: q";
+  for i = 1 to n_bounds - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Summary.quantile_of_buckets: bounds not increasing"
+  done;
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Summary.quantile_of_buckets: negative count")
+    counts;
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int total in
+    let rec find i cum =
+      if i > n_bounds then bounds.(n_bounds - 1)
+      else begin
+        let cum' = cum +. float_of_int counts.(i) in
+        if cum' >= rank && counts.(i) > 0 then
+          if i = n_bounds then bounds.(n_bounds - 1)
+          else begin
+            let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+            let hi = bounds.(i) in
+            let inside = (rank -. cum) /. float_of_int counts.(i) in
+            lo +. (Float.max 0.0 (Float.min 1.0 inside) *. (hi -. lo))
+          end
+        else find (i + 1) cum'
+      end
+    in
+    if n_bounds = 0 then 0.0 else find 0 0.0
+  end
+
 let chi_square ~observed ~expected =
   if Array.length observed <> Array.length expected then
     invalid_arg "Summary.chi_square: length mismatch";

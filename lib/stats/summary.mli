@@ -14,6 +14,17 @@ val percentile : float array -> float -> float
 
 val median : float array -> float
 
+val quantile_of_buckets : bounds:float array -> counts:int array -> float -> float
+(** [quantile_of_buckets ~bounds ~counts q] estimates the [q]-quantile
+    ([q ∈ [0,1]]) of samples accumulated into fixed buckets: [bounds] holds
+    the ascending finite upper bounds and [counts] one cell per bound plus a
+    trailing overflow cell. Interpolates linearly inside the bucket the rank
+    lands in; ranks in the overflow bucket report the largest finite bound.
+    Returns 0 when the histogram is empty. Raises [Invalid_argument] on
+    shape mismatch, non-increasing bounds, negative counts, or [q] out of
+    range. This is the shared quantile path for [Mope_obs] latency
+    histograms. *)
+
 val chi_square_uniform : int array -> float
 (** χ² statistic of observed counts against the uniform expectation —
     used to test flatness of the perceived query distribution (Fig. 2). *)

@@ -7,6 +7,31 @@ let log_src = Logs.Src.create "mope.proxy" ~doc:"Trusted proxy"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Metrics = Mope_obs.Metrics
+module Trace = Mope_obs.Trace
+
+(* Registered at module init; all no-ops until Metrics.set_enabled true.
+   Only volumes are exported — never dates, ciphertexts, or the offset. *)
+let m_queries =
+  Metrics.counter ~help:"Client queries through the proxy pipeline"
+    "mope_proxy_queries_total" ()
+
+let m_server_requests =
+  Metrics.counter ~help:"Batched fetches sent to the untrusted server"
+    "mope_proxy_server_requests_total" ()
+
+let m_fakes =
+  Metrics.counter ~help:"Fake (cover-traffic) queries issued"
+    "mope_proxy_fake_queries_total" ()
+
+let m_rows_fetched =
+  Metrics.counter ~help:"Encrypted rows fetched from the server"
+    "mope_proxy_rows_fetched_total" ()
+
+let m_rows_delivered =
+  Metrics.counter ~help:"Plaintext rows delivered to the client"
+    "mope_proxy_rows_delivered_total" ()
+
 type counters = {
   mutable client_queries : int;
   mutable real_pieces : int;
@@ -189,25 +214,42 @@ let execute t ~sql ~date_column ~date_lo ~date_hi =
   let pieces = Query_model.transform ~m ~k range in
   t.counters.client_queries <- t.counters.client_queries + 1;
   t.counters.real_pieces <- t.counters.real_pieces + List.length pieces;
+  Metrics.inc m_queries;
+  let fakes_before = t.counters.fake_queries in
   let executed = plan_executions t pieces in
+  Metrics.inc ~by:(t.counters.fake_queries - fakes_before) m_fakes;
   let piece_index_of plain =
     Modular.forward_distance ~m range.Query_model.lo plain / k
   in
   let accepted = ref [] in
   let process_batch batch =
     let segments =
-      List.concat_map
-        (fun (start, _) ->
-          let coverage = Query_model.coverage ~m ~k start in
-          Encrypted_db.plain_segments enc ~lo:coverage.Query_model.lo
-            ~hi:coverage.Query_model.hi)
-        batch
+      (* MOPE range → ciphertext segments: one encrypt walk per segment
+         endpoint, so this span carries the query's OPE encryption cost. *)
+      Trace.with_span "ope_segments" (fun () ->
+          let segs =
+            List.concat_map
+              (fun (start, _) ->
+                let coverage = Query_model.coverage ~m ~k start in
+                Encrypted_db.plain_segments enc ~lo:coverage.Query_model.lo
+                  ~hi:coverage.Query_model.hi)
+              batch
+          in
+          Trace.add_item "segments" (List.length segs);
+          segs)
     in
     let replacement = Rewrite.cipher_ranges_expr ~column:date_column ~segments in
     let fetch_ast =
       Rewrite.to_fetch (Rewrite.replace_date_predicates ast ~column:date_column ~replacement)
     in
-    let result = Database.query_ast (Encrypted_db.server enc) fetch_ast in
+    let result =
+      Trace.with_span "server_fetch" (fun () ->
+          let result = Database.query_ast (Encrypted_db.server enc) fetch_ast in
+          Trace.add_item "rows_fetched" (List.length result.Exec.rows);
+          result)
+    in
+    Metrics.inc m_server_requests;
+    Metrics.inc ~by:(List.length result.Exec.rows) m_rows_fetched;
     t.counters.server_requests <- t.counters.server_requests + 1;
     t.counters.rows_fetched <- t.counters.rows_fetched + List.length result.Exec.rows;
     Log.debug (fun m ->
@@ -231,30 +273,37 @@ let execute t ~sql ~date_column ~date_lo ~date_hi =
         ast.Sql_ast.from;
       if !date_offset < 0 then
         invalid_arg ("Proxy.execute: date column not found: " ^ date_column);
-      List.iter
-        (fun row ->
-          match row.(!date_offset) with
-          | Value.Int c ->
-            let plain = Mope.decrypt (Encrypted_db.mope enc) c in
-            if
-              Modular.mem ~m ~lo:range.Query_model.lo ~hi:range.Query_model.hi plain
-              && List.mem (piece_index_of plain) real_pieces
-            then accepted := decrypt_combined enc ast.Sql_ast.from row :: !accepted
-          | _ -> ())
-        result.Exec.rows
+      (* The span wraps only the row loop: its closure must not capture the
+         [offset] ref above (Trace.* are secret-flow sinks). *)
+      let date_at = !date_offset in
+      Trace.with_span "ope_decrypt" (fun () ->
+          List.iter
+            (fun row ->
+              match row.(date_at) with
+              | Value.Int c ->
+                let plain = Mope.decrypt (Encrypted_db.mope enc) c in
+                if
+                  Modular.mem ~m ~lo:range.Query_model.lo ~hi:range.Query_model.hi plain
+                  && List.mem (piece_index_of plain) real_pieces
+                then accepted := decrypt_combined enc ast.Sql_ast.from row :: !accepted
+              | _ -> ())
+            result.Exec.rows;
+          Trace.add_item "rows_kept" (List.length !accepted))
     end
   in
   List.iter process_batch (chunks t.batch_size executed);
   t.counters.rows_delivered <- t.counters.rows_delivered + List.length !accepted;
+  Metrics.inc ~by:(List.length !accepted) m_rows_delivered;
   Log.info (fun m ->
       m "client query [%s, %s]: %d pieces, %d executed starts, %d rows kept"
         (Date.to_string date_lo) (Date.to_string date_hi) (List.length pieces)
         (List.length executed) (List.length !accepted));
   (* Local re-evaluation of the client's original statement. *)
-  let local = Database.create () in
-  let fetched =
-    Database.create_table local ~name:"__fetched"
-      ~schema:(combined_schema enc ast.Sql_ast.from)
-  in
-  List.iter (fun row -> ignore (Table.insert fetched row)) (List.rev !accepted);
-  Database.query_ast local (local_statement ast)
+  Trace.with_span "local_eval" (fun () ->
+      let local = Database.create () in
+      let fetched =
+        Database.create_table local ~name:"__fetched"
+          ~schema:(combined_schema enc ast.Sql_ast.from)
+      in
+      List.iter (fun row -> ignore (Table.insert fetched row)) (List.rev !accepted);
+      Database.query_ast local (local_statement ast))

@@ -71,7 +71,20 @@ let query_instances seed =
 let run_instance client inst =
   Client.query client ~sql:inst.Tpch_queries.sql
     ~date_column:(Tpch_queries.date_column inst.Tpch_queries.template)
-    ~date_lo:inst.Tpch_queries.date_lo ~date_hi:inst.Tpch_queries.date_hi
+    ~date_lo:inst.Tpch_queries.date_lo ~date_hi:inst.Tpch_queries.date_hi ()
+
+(* Handles on the global metrics the serving path registers (registration is
+   idempotent, so this aliases the instances in lib/net). Enabled only inside
+   the tests that assert on them. *)
+let m_shed = Mope_obs.Metrics.counter "mope_server_shed_total" ()
+let m_in_flight = Mope_obs.Metrics.gauge "mope_server_in_flight" ()
+let m_requests = Mope_obs.Metrics.counter "mope_server_requests_total" ()
+let m_breaker_opens = Mope_obs.Metrics.counter "mope_client_breaker_open_total" ()
+let m_breaker_state = Mope_obs.Metrics.gauge "mope_client_breaker_state" ()
+
+let with_metrics f =
+  Mope_obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Mope_obs.Metrics.set_enabled false) f
 
 let chaotic_server ~wrap handler f =
   let server =
@@ -120,6 +133,8 @@ let test_slow_chaos () =
 let test_hostile_chaos () =
   let tb = Lazy.force testbed in
   let service = make_service () in
+  with_metrics @@ fun () ->
+  let requests0 = Mope_obs.Metrics.counter_value m_requests in
   for_each_seed (fun seed ->
       (* Each connection gets its own schedule derived from the parent seed
          (as Chaos.wrap's docs prescribe), and the storm can be switched
@@ -183,7 +198,19 @@ let test_hostile_chaos () =
                 (Printf.sprintf "seed %Ld: server healthy after the storm"
                    seed)
                 (result_fingerprint (Testbed.run_plain tb inst))
-                (result_fingerprint (run_instance clean inst)))))
+                (result_fingerprint (run_instance clean inst)))));
+  (* The registry rode out the storm: it still renders, the families are
+     intact, and the request counter moved (at least the clean post-mortem
+     pings landed). *)
+  let text = Mope_obs.Metrics.render_prometheus () in
+  List.iter
+    (fun family ->
+      Alcotest.(check bool) (family ^ " family survives chaos") true
+        (contains ~needle:family text))
+    [ "mope_server_requests_total"; "mope_server_errors_total";
+      "mope_client_retries_total"; "mope_server_request_seconds" ];
+  Alcotest.(check bool) "requests counted under chaos" true
+    (Mope_obs.Metrics.counter_value m_requests > requests0)
 
 (* ------------------------------------------------------------------ *)
 (* Seeded decoder fuzz: no mutation of a byte stream may escape the Wire
@@ -285,6 +312,9 @@ let raw_connect port =
   fd
 
 let test_load_shedding () =
+  Mope_obs.Metrics.set_enabled true;
+  let shed0 = Mope_obs.Metrics.counter_value m_shed in
+  let inflight0 = Mope_obs.Metrics.gauge_value m_in_flight in
   let gate = Mutex.create () in
   let released = ref false in
   let release_cond = Condition.create () in
@@ -312,7 +342,8 @@ let test_load_shedding () =
       released := true;
       Condition.broadcast release_cond;
       Mutex.unlock gate;
-      Server.shutdown server)
+      Server.shutdown server;
+      Mope_obs.Metrics.set_enabled false)
     (fun () ->
       let port = Server.port server in
       let conns = List.init 4 (fun _ -> raw_connect port) in
@@ -334,6 +365,8 @@ let test_load_shedding () =
               Thread.delay 0.01
             done;
             Alcotest.(check int) "budget full" 2 (Server.in_flight server);
+            Alcotest.(check int) "in-flight gauge agrees" 2
+              (Mope_obs.Metrics.gauge_value m_in_flight - inflight0);
             (* Requests beyond the budget are shed, not queued. *)
             List.iter
               (fun fd ->
@@ -352,6 +385,9 @@ let test_load_shedding () =
               [ c3; c4 ];
             Alcotest.(check int) "both sheds counted" 2
               (Server.stats server).Server.shed;
+            Alcotest.(check int) "shed metric agrees with server stats"
+              (Server.stats server).Server.shed
+              (Mope_obs.Metrics.counter_value m_shed - shed0);
             (* Drain the stuck requests; the parked clients get real
                answers... *)
             Mutex.lock gate;
@@ -384,16 +420,22 @@ let test_circuit_breaker () =
   in
   let server = Server.start ~handler () in
   let port = Server.port server in
+  Mope_obs.Metrics.set_enabled true;
+  let opens0 = Mope_obs.Metrics.counter_value m_breaker_opens in
   let client =
     Client.connect ~port ~timeout:1.0 ~retries:0 ~backoff:0.01
       ~request_retries:0 ~breaker_threshold:3 ~breaker_cooldown:0.4 ~seed:5L ()
   in
   Fun.protect
-    ~finally:(fun () -> Client.close client)
+    ~finally:(fun () ->
+      Client.close client;
+      Mope_obs.Metrics.set_enabled false)
     (fun () ->
       Client.ping client;
       Alcotest.(check bool) "closed while healthy" true
         (Client.breaker_state client = `Closed);
+      Alcotest.(check int) "state gauge closed" 0
+        (Mope_obs.Metrics.gauge_value m_breaker_state);
       Server.shutdown server;
       (* Consecutive transport failures trip the breaker at the threshold. *)
       for i = 1 to 3 do
@@ -414,6 +456,10 @@ let test_circuit_breaker () =
           (contains ~needle:"circuit breaker open" e.Mope_error.msg));
       Alcotest.(check bool) "failed fast" true
         (Unix.gettimeofday () -. t0 < 0.3);
+      Alcotest.(check int) "one open transition counted" 1
+        (Mope_obs.Metrics.counter_value m_breaker_opens - opens0);
+      Alcotest.(check int) "state gauge open" 1
+        (Mope_obs.Metrics.gauge_value m_breaker_state);
       (* Cooldown elapses: half-open; a failed probe re-opens. *)
       Thread.delay 0.5;
       Alcotest.(check bool) "half-open after cooldown" true
@@ -436,6 +482,12 @@ let test_circuit_breaker () =
           Client.ping client;
           Alcotest.(check bool) "closed after successful probe" true
             (Client.breaker_state client = `Closed);
+          Alcotest.(check int) "state gauge closed again" 0
+            (Mope_obs.Metrics.gauge_value m_breaker_state);
+          (* A failed half-open probe re-opened without a fresh closed->open
+             transition: the open counter still shows exactly one. *)
+          Alcotest.(check int) "open transitions still one" 1
+            (Mope_obs.Metrics.counter_value m_breaker_opens - opens0);
           Alcotest.(check bool) "reconnected" true (Client.is_connected client)))
 
 let () =

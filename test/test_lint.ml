@@ -33,7 +33,19 @@ let test_secret_flow_violation () =
     "secret into wire encoder";
   check_trips ~file:"lib/db/leak.ml"
     "let persist key = { Wire.payload = key }" "secret-flow"
-    "secret into sink record field"
+    "secret into sink record field";
+  (* The observability layer is a sink: a secret leaking into a metric or a
+     trace item would be exfiltrated by every Stats scrape. *)
+  check_trips ~file:"lib/ope/leak.ml"
+    "let leak c offset = Metrics.observe c (float_of_int offset)" "secret-flow"
+    "secret into a metric observation";
+  check_trips ~file:"lib/system/leak.ml"
+    "let leak plaintext = Trace.add_item \"value\" plaintext" "secret-flow"
+    "secret into a trace item";
+  check_trips ~file:"lib/ope/leak.ml"
+    "let label t = Mope_obs.Metrics.counter \"walks\" ~labels:[ (\"k\", \
+     t.secret_key) ] ()"
+    "secret-flow" "secret into a metric label value"
 
 let test_secret_flow_clean () =
   check_clean ~file:"lib/system/fine.ml"
@@ -41,7 +53,13 @@ let test_secret_flow_clean () =
     "non-secret printf is clean";
   check_clean ~file:"lib/system/fine.ml"
     "let derive t tbl = Hmac.mac ~key:t.master_key tbl"
-    "secret into non-sink call is clean"
+    "secret into non-sink call is clean";
+  check_clean ~file:"lib/ope/fine.ml"
+    "let count c draws = Metrics.observe c (float_of_int draws)"
+    "non-secret metric observation is clean";
+  check_clean ~file:"lib/system/fine.ml"
+    "let count rows = Trace.add_item \"rows_kept\" rows"
+    "non-secret trace item is clean"
 
 (* ---------- determinism ---------- *)
 

@@ -20,7 +20,7 @@ let sample_counters =
   { Wire.client_queries = 3; real_pieces = 5; fake_queries = 7;
     server_requests = 2; rows_fetched = 1234; rows_delivered = 99 }
 
-let roundtrip_request r = Wire.decode_request (Wire.encode_request r)
+let roundtrip_request r = snd (Wire.decode_request (Wire.encode_request r))
 
 let roundtrip_response r = Wire.decode_response (Wire.encode_response r)
 
@@ -28,6 +28,8 @@ let test_request_roundtrip () =
   Alcotest.(check bool) "ping" true (roundtrip_request Wire.Ping = Wire.Ping);
   Alcotest.(check bool) "counters" true
     (roundtrip_request Wire.Get_counters = Wire.Get_counters);
+  Alcotest.(check bool) "stats" true
+    (roundtrip_request Wire.Get_stats = Wire.Get_stats);
   let q =
     Wire.Query
       { sql = "SELECT sum(l_discount) FROM lineitem WHERE ...";
@@ -36,6 +38,24 @@ let test_request_roundtrip () =
         date_hi = Date.of_ymd 1994 12 31 }
   in
   Alcotest.(check bool) "query" true (roundtrip_request q = q)
+
+let test_trace_id_header () =
+  (* The v3 header carries the trace id between tag and body; the default
+     (empty) id means untraced. *)
+  let tid, req =
+    Wire.decode_request (Wire.encode_request ~trace_id:"a1b2c3d4e5f60718" Wire.Ping)
+  in
+  Alcotest.(check string) "trace id travels" "a1b2c3d4e5f60718" tid;
+  Alcotest.(check bool) "request intact" true (req = Wire.Ping);
+  let tid, _ = Wire.decode_request (Wire.encode_request Wire.Get_counters) in
+  Alcotest.(check string) "untraced by default" "" tid;
+  (* Oversized ids are rejected on both sides of the wire. *)
+  (match Wire.encode_request ~trace_id:(String.make 65 'x') Wire.Ping with
+  | _ -> Alcotest.fail "expected encode to reject an oversized trace id"
+  | exception Wire.Protocol_error _ -> ());
+  let at_cap = String.make Wire.max_trace_id 'y' in
+  let tid, _ = Wire.decode_request (Wire.encode_request ~trace_id:at_cap Wire.Ping) in
+  Alcotest.(check string) "cap-length id accepted" at_cap tid
 
 let test_response_roundtrip () =
   Alcotest.(check bool) "pong" true (roundtrip_response Wire.Pong = Wire.Pong);
@@ -76,6 +96,26 @@ let test_response_roundtrip () =
   Alcotest.(check bool) "error no query" true
     (roundtrip_response err_no_query = err_no_query)
 
+let test_stats_roundtrip () =
+  let open Mope_obs in
+  let dump =
+    { Trace.id = "00ff00ff00ff00ff";
+      spans =
+        [ { Trace.name = "request"; depth = 0; start_us = 1.0e12;
+            dur_us = 1234.5; items = [] };
+          { Trace.name = "exec"; depth = 1; start_us = 1.0e12 +. 10.0;
+            dur_us = 42.25; items = [ ("rows_scanned", 17); ("hgd_draws", 3) ] } ] }
+  in
+  let s =
+    { Wire.metrics_text = "# HELP x counts\n# TYPE x counter\nx 1\n";
+      metrics_json = "{\"counters\":[]}";
+      traces = [ dump; { Trace.id = "deadbeefdeadbeef"; spans = [] } ] }
+  in
+  match roundtrip_response (Wire.Stats s) with
+  | Wire.Stats got ->
+    Alcotest.(check bool) "stats roundtrip exact" true (got = s)
+  | _ -> Alcotest.fail "stats shape"
+
 let check_protocol_error name (f : unit -> unit) =
   match f () with
   | () -> Alcotest.fail (name ^ ": expected Protocol_error")
@@ -87,24 +127,28 @@ let test_decode_malformed () =
   let bad_version = "\x7F" ^ String.sub ping 1 (String.length ping - 1) in
   check_protocol_error "version" (fun () ->
       ignore (Wire.decode_request bad_version));
-  (* Unknown tag. *)
+  (* The previous protocol version (v2, no trace-id header) is rejected. *)
+  check_protocol_error "stale version" (fun () ->
+      ignore (Wire.decode_request "\x02\x01"));
+  (* Unknown tag (with a well-formed empty trace id after it). *)
   check_protocol_error "unknown tag" (fun () ->
-      ignore (Wire.decode_request "\x02\x6E"));
+      ignore
+        (Wire.decode_request "\x03\x6E\x00\x00\x00\x00\x00\x00\x00\x00"));
   (* A response tag is not a request. *)
   check_protocol_error "response as request" (fun () ->
       ignore (Wire.decode_request (Wire.encode_response Wire.Pong)));
   (* Truncated body: a Query missing everything after the tag. *)
   check_protocol_error "truncated" (fun () ->
-      ignore (Wire.decode_request "\x02\x02"));
+      ignore (Wire.decode_request "\x03\x02"));
   (* Trailing bytes after a complete message. *)
   check_protocol_error "trailing" (fun () ->
       ignore (Wire.decode_request (ping ^ "\x00")));
-  (* Negative / insane string length inside the body. *)
+  (* Negative / insane string length inside the body (here: the trace id). *)
   check_protocol_error "bad length" (fun () ->
-      ignore (Wire.decode_request "\x02\x02\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
+      ignore (Wire.decode_request "\x03\x02\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
   (* A 62-bit length that would overflow a naive bounds check. *)
   check_protocol_error "overflowing length" (fun () ->
-      ignore (Wire.decode_request "\x02\x02\x3F\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
+      ignore (Wire.decode_request "\x03\x02\x3F\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
   (* Empty payload. *)
   check_protocol_error "empty" (fun () -> ignore (Wire.decode_request ""))
 
@@ -156,7 +200,7 @@ let test_loopback_tpch () =
                   ~date_column:
                     (Tpch_queries.date_column inst.Tpch_queries.template)
                   ~date_lo:inst.Tpch_queries.date_lo
-                  ~date_hi:inst.Tpch_queries.date_hi
+                  ~date_hi:inst.Tpch_queries.date_hi ()
               in
               Alcotest.(check (list string))
                 "columns" plain.Exec.columns got.Exec.columns;
@@ -180,13 +224,97 @@ let test_loopback_tpch () =
       Alcotest.(check bool) "latency recorded" true (s.Server.total_latency > 0.0));
   Alcotest.(check bool) "loopback done" true true
 
+let test_trace_propagation () =
+  (* End-to-end observability: a client-minted trace id rides the v3 header,
+     the server's handler runs under it, and the Stats wire op brings back a
+     span tree for that id plus the metric families the request touched. *)
+  let open Mope_obs in
+  Metrics.set_enabled true;
+  Trace.set_enabled true;
+  Trace.clear_recent ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Metrics.set_enabled false;
+      Trace.clear_recent ())
+    (fun () ->
+      let tb = Lazy.force testbed in
+      let service = make_service () in
+      with_server (Service.handler service) (fun server ->
+          Client.with_client ~port:(Server.port server) (fun client ->
+              let rng = Mope_stats.Rng.create 91L in
+              let inst = Tpch_queries.random_instance rng Tpch_queries.Q6 in
+              let tid = Trace.mint_id rng in
+              let got =
+                Client.query client ~trace_id:tid ~sql:inst.Tpch_queries.sql
+                  ~date_column:
+                    (Tpch_queries.date_column inst.Tpch_queries.template)
+                  ~date_lo:inst.Tpch_queries.date_lo
+                  ~date_hi:inst.Tpch_queries.date_hi ()
+              in
+              (* Instrumentation must not disturb the result. *)
+              let plain = Testbed.run_plain tb inst in
+              Alcotest.(check (list (list string)))
+                "result intact under tracing" (result_fingerprint plain)
+                (result_fingerprint got);
+              let s = Client.stats client in
+              let dump =
+                match
+                  List.find_opt (fun d -> d.Trace.id = tid) s.Wire.traces
+                with
+                | Some d -> d
+                | None -> Alcotest.fail "server has no trace for our id"
+              in
+              let names = List.map (fun sp -> sp.Trace.name) dump.Trace.spans in
+              List.iter
+                (fun expected ->
+                  Alcotest.(check bool) (expected ^ " span present") true
+                    (List.mem expected names))
+                [ "request"; "decode"; "dispatch"; "exec"; "ope_segments";
+                  "server_fetch"; "storage_scan"; "ope_decrypt" ];
+              (match dump.Trace.spans with
+              | root :: rest ->
+                Alcotest.(check string) "root span" "request" root.Trace.name;
+                Alcotest.(check int) "root depth" 0 root.Trace.depth;
+                Alcotest.(check bool) "root spans the request" true
+                  (root.Trace.dur_us > 0.0);
+                Alcotest.(check bool) "tree has depth >= 3" true
+                  (List.exists (fun sp -> sp.Trace.depth >= 3) rest)
+              | [] -> Alcotest.fail "empty span tree");
+              (* The OPE walk exported draw counts somewhere in the tree. *)
+              let total_item key =
+                List.fold_left
+                  (fun acc sp ->
+                    List.fold_left
+                      (fun acc (k, v) -> if k = key then acc + v else acc)
+                      acc sp.Trace.items)
+                  0 dump.Trace.spans
+              in
+              (* hgd_draws can legitimately be 0 here (warm OPE caches skip
+                 the tree walk), but segment and scan counts always appear. *)
+              Alcotest.(check bool) "segment counts attached" true
+                (total_item "segments" > 0);
+              Alcotest.(check bool) "scan row counts attached" true
+                (total_item "rows_scanned" > 0);
+              (* Both metric renderings travelled and mention the families
+                 this request exercised. *)
+              List.iter
+                (fun family ->
+                  Alcotest.(check bool) (family ^ " in exposition") true
+                    (contains ~needle:family s.Wire.metrics_text))
+                [ "mope_server_requests_total"; "mope_server_request_seconds";
+                  "mope_exec_queries_total"; "mope_ope_encrypt_total";
+                  "mope_proxy_queries_total"; "mope_ope_hgd_draws_total" ];
+              Alcotest.(check bool) "json exposition renders" true
+                (contains ~needle:"\"histograms\"" s.Wire.metrics_json))))
+
 let test_unknown_column_is_structured () =
   let service = make_service () in
   with_server (Service.handler service) (fun server ->
       Client.with_client ~port:(Server.port server) (fun client ->
           match
             Client.query client ~sql:"SELECT 1" ~date_column:"no_such_column"
-              ~date_lo:(Date.of_ymd 1994 1 1) ~date_hi:(Date.of_ymd 1994 2 1)
+              ~date_lo:(Date.of_ymd 1994 1 1) ~date_hi:(Date.of_ymd 1994 2 1) ()
           with
           | _ -> Alcotest.fail "expected a structured error"
           | exception Mope_error.Error e ->
@@ -388,12 +516,16 @@ let () =
   Alcotest.run "net"
     [ ( "wire",
         [ Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "trace id header" `Quick test_trace_id_header;
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "stats roundtrip" `Quick test_stats_roundtrip;
           Alcotest.test_case "malformed payloads rejected" `Quick
             test_decode_malformed ] );
       ( "loopback",
         [ Alcotest.test_case "TPC-H through the encrypted pipeline" `Slow
             test_loopback_tpch;
+          Alcotest.test_case "trace propagation end to end" `Slow
+            test_trace_propagation;
           Alcotest.test_case "unknown column is a structured error" `Quick
             test_unknown_column_is_structured;
           Alcotest.test_case "malformed payload keeps the connection" `Quick
