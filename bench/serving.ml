@@ -1,0 +1,211 @@
+(* Macro-benchmark for the serving path: the full loopback pipeline
+   (client -> wire v4 -> server -> proxy -> encrypted store) with the
+   caching fast path on versus off.
+
+   Two configurations run the same workload of repeated TPC-H instances
+   (Q6 over l_shipdate, Q4 over o_orderdate) against a live TCP server:
+
+   - cached: the defaults — server-side plan cache, proxy segment cache,
+     OPE encrypt array + decrypt memo all enabled;
+   - uncached: plan caching off on the server database, segment caching
+     off in the proxy, and the encrypted twin built with [ope_cache:false]
+     so every OPE encrypt/decrypt pays the full lazy-tree walk.
+
+   The period is pinned to rho = m so the periodic completion has
+   alpha = 1 (no fake queries): the executed starts — and hence the fetch
+   statements — repeat exactly across rounds, which is the workload shape
+   the caches are built for. Results are checked byte for byte against the
+   plaintext baseline in both configurations before anything is reported.
+
+   Writes BENCH_serving.json: wall time, p50/p95/mean latency, rows/s and
+   cache hit rates per configuration, plus cached-vs-uncached speedups.
+
+   Usage: dune exec bench/serving.exe -- [--quick] [--out PATH] *)
+
+open Mope_workload
+open Mope_net
+open Mope_system
+module Summary = Mope_stats.Summary
+
+type measured = {
+  wall : float;            (* seconds over the timed query loop *)
+  latencies_ms : float array;
+  rows_delivered : int;
+  counters : Wire.counters;
+}
+
+let templates = [ Tpch_queries.Q6; Tpch_queries.Q4 ]
+
+(* The same instance list is replayed [rounds] times in both configs. *)
+let make_instances ~per_template =
+  let rng = Mope_stats.Rng.create 41L in
+  List.concat_map
+    (fun template ->
+      List.init per_template (fun _ ->
+          Tpch_queries.random_instance rng template))
+    templates
+
+let fingerprint r =
+  List.map
+    (fun row -> Array.to_list (Array.map Mope_db.Value.to_string row))
+    r.Mope_db.Exec.rows
+
+let query_instance client inst =
+  Client.query client ~sql:inst.Tpch_queries.sql
+    ~date_column:(Tpch_queries.date_column inst.Tpch_queries.template)
+    ~date_lo:inst.Tpch_queries.date_lo ~date_hi:inst.Tpch_queries.date_hi ()
+
+let run_config tb ~label ~caching ~instances ~rounds =
+  let rho = Some (Testbed.padded_domain ~rho:None) in
+  let make_proxy template seed =
+    Testbed.proxy tb ~template ~rho ~batch_size:25 ~caching ~ope_cache:caching
+      ~seed ()
+  in
+  let proxies =
+    [ (Tpch_queries.date_column Tpch_queries.Q6, make_proxy Tpch_queries.Q6 17L);
+      (Tpch_queries.date_column Tpch_queries.Q4, make_proxy Tpch_queries.Q4 19L)
+    ]
+  in
+  (* Both proxies share one encrypted twin, hence one server database. *)
+  (match proxies with
+  | (_, p) :: _ ->
+    Mope_db.Database.set_plan_caching (Proxy.server_database p) caching
+  | [] -> ());
+  let service = Service.create ~proxies () in
+  let server = Server.start ~handler:(Service.handler service) () in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown server)
+    (fun () ->
+      Client.with_client ~port:(Server.port server) (fun client ->
+          let lat = ref [] in
+          let rows = ref 0 in
+          let t0 = Unix.gettimeofday () in
+          for _round = 1 to rounds do
+            List.iter
+              (fun inst ->
+                let t = Unix.gettimeofday () in
+                let r = query_instance client inst in
+                lat := (1000.0 *. (Unix.gettimeofday () -. t)) :: !lat;
+                rows := !rows + List.length r.Mope_db.Exec.rows)
+              instances
+          done;
+          let wall = Unix.gettimeofday () -. t0 in
+          let counters = Client.counters client in
+          (* Post-timing correctness gate: every instance must still match
+             the plaintext baseline byte for byte. *)
+          List.iter
+            (fun inst ->
+              let baseline = Testbed.run_plain tb inst in
+              let served = query_instance client inst in
+              if fingerprint served <> fingerprint baseline then begin
+                Printf.eprintf
+                  "FAIL (%s): served result diverges from baseline for %s\n"
+                  label inst.Tpch_queries.sql;
+                exit 1
+              end)
+            instances;
+          { wall;
+            latencies_ms = Array.of_list (List.rev !lat);
+            rows_delivered = !rows;
+            counters }))
+
+let hit_rate hits misses =
+  if hits + misses = 0 then 0.0 else float hits /. float (hits + misses)
+
+let config_json b name m =
+  let lat = m.latencies_ms in
+  let c = m.counters in
+  Printf.bprintf b
+    "    \"%s\": {\n\
+    \      \"wall_seconds\": %.3f,\n\
+    \      \"queries\": %d,\n\
+    \      \"rows_delivered\": %d,\n\
+    \      \"rows_per_s\": %.1f,\n\
+    \      \"latency_ms\": { \"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, \
+     \"max\": %.3f },\n\
+    \      \"plan_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": \
+     %.4f },\n\
+    \      \"segment_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": \
+     %.4f }\n\
+    \    }"
+    name m.wall (Array.length lat) m.rows_delivered
+    (float m.rows_delivered /. Float.max m.wall 1e-9)
+    (Summary.mean lat) (Summary.percentile lat 50.0)
+    (Summary.percentile lat 95.0)
+    (Array.fold_left Float.max 0.0 lat)
+    c.Wire.plan_cache_hits c.Wire.plan_cache_misses
+    (hit_rate c.Wire.plan_cache_hits c.Wire.plan_cache_misses)
+    c.Wire.segment_cache_hits c.Wire.segment_cache_misses
+    (hit_rate c.Wire.segment_cache_hits c.Wire.segment_cache_misses)
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_serving.json" in
+  let spec =
+    [ ("--quick", Arg.Set quick, " small workload (CI smoke)");
+      ("--out", Arg.Set_string out, "PATH  output file (default \
+                                     BENCH_serving.json)") ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench/serving.exe [--quick] [--out PATH]";
+  let sf = if !quick then 0.002 else 0.005 in
+  let per_template = if !quick then 2 else 4 in
+  let rounds = if !quick then 3 else 6 in
+  Printf.printf
+    "serving macro-benchmark (%s): sf=%g, %d instances x %d rounds per \
+     config\n%!"
+    (if !quick then "quick" else "full")
+    sf (2 * per_template) rounds;
+  let tb = Testbed.load ~sf ~seed:21L () in
+  let instances = make_instances ~per_template in
+  let bench label caching =
+    Printf.printf "running %s config...\n%!" label;
+    let m = run_config tb ~label ~caching ~instances ~rounds in
+    Printf.printf
+      "  %s: %.2fs wall, p50 %.2f ms, p95 %.2f ms, %d rows (plan %d/%d, \
+       segment %d/%d hit/miss)\n%!"
+      label m.wall
+      (Summary.percentile m.latencies_ms 50.0)
+      (Summary.percentile m.latencies_ms 95.0)
+      m.rows_delivered m.counters.Wire.plan_cache_hits
+      m.counters.Wire.plan_cache_misses m.counters.Wire.segment_cache_hits
+      m.counters.Wire.segment_cache_misses;
+    m
+  in
+  let uncached = bench "uncached" false in
+  Mope_obs.Metrics.reset_all ();
+  let cached = bench "cached" true in
+  let ratio f = f uncached /. Float.max (f cached) 1e-9 in
+  let speedup_wall = ratio (fun m -> m.wall) in
+  let speedup_mean = ratio (fun m -> Summary.mean m.latencies_ms) in
+  let speedup_p50 = ratio (fun m -> Summary.percentile m.latencies_ms 50.0) in
+  let speedup_p95 = ratio (fun m -> Summary.percentile m.latencies_ms 95.0) in
+  let b = Buffer.create 2048 in
+  Printf.bprintf b
+    "{\n\
+    \  \"bench\": \"serving\",\n\
+    \  \"scale\": \"%s\",\n\
+    \  \"sf\": %g,\n\
+    \  \"distinct_instances\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"configs\": {\n"
+    (if !quick then "quick" else "full")
+    sf (List.length instances) rounds;
+  config_json b "uncached" uncached;
+  Buffer.add_string b ",\n";
+  config_json b "cached" cached;
+  Printf.bprintf b
+    "\n\
+    \  },\n\
+    \  \"speedup\": { \"wall\": %.2f, \"mean_latency\": %.2f, \
+     \"p50_latency\": %.2f, \"p95_latency\": %.2f }\n\
+     }\n"
+    speedup_wall speedup_mean speedup_p50 speedup_p95;
+  let oc = open_out !out in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf
+    "speedup cached vs uncached: %.1fx wall, %.1fx mean, %.1fx p50\n\
+     wrote %s\n"
+    speedup_wall speedup_mean speedup_p50 !out

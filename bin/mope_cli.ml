@@ -537,7 +537,11 @@ let serve_cmd =
       "proxy counters: %d client queries -> %d server requests (%d fakes), \
        %d rows fetched, %d delivered\n"
       c.Wire.client_queries c.Wire.server_requests c.Wire.fake_queries
-      c.Wire.rows_fetched c.Wire.rows_delivered
+      c.Wire.rows_fetched c.Wire.rows_delivered;
+    Printf.printf
+      "caches: plan %d hit / %d miss, segment %d hit / %d miss\n"
+      c.Wire.plan_cache_hits c.Wire.plan_cache_misses
+      c.Wire.segment_cache_hits c.Wire.segment_cache_misses
   in
   let doc = "Run the trusted proxy as a concurrent TCP service (Fig. 4)." in
   Cmd.v (Cmd.info "serve" ~doc)

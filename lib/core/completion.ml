@@ -10,15 +10,21 @@ type t = {
    at i is cap(i) − Q(i) ≥ 0, and α = 1 / Σ_i cap(i). *)
 let of_caps q cap =
   let m = Histogram.size q in
-  let total_cap = ref 0.0 in
+  (* The fake mass actually sampled is the clamped residual
+     Σ_i max(0, cap(i) − Q(i)): a cap undercutting Q(i) — possible with
+     periodic η on adaptive estimates — contributes nothing to the pmf, so
+     α must come from the same clamped total (real mass 1 over real+fake
+     mass 1+residual) or expected_fakes_per_real and perceived would
+     describe a different mix than the one drawn. When no cap undercuts,
+     1 + residual = Σ_i cap(i) and this reduces to the paper's 1/Σcap. *)
+  let residual = ref 0.0 in
   for i = 0 to m - 1 do
-    total_cap := !total_cap +. cap i
+    residual := !residual +. Float.max 0.0 (cap i -. Histogram.prob q i)
   done;
-  let alpha = 1.0 /. !total_cap in
-  (* Residual fake mass; within 1 ulp of (1/α − 1). *)
-  let residual = !total_cap -. 1.0 in
+  let residual = !residual in
   if residual <= 1e-12 then { alpha = 1.0; completion = None }
   else begin
+    let alpha = 1.0 /. (1.0 +. residual) in
     let pmf =
       Array.init m (fun i -> Float.max 0.0 (cap i -. Histogram.prob q i) /. residual)
     in

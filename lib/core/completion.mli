@@ -16,6 +16,15 @@ type t = {
       distribution already equals the target — no fakes ever needed). *)
 }
 
+val of_caps : Mope_stats.Histogram.t -> (int -> float) -> t
+(** Generalized construction: [cap i] is element [i]'s per-element target
+    mass (μ for uniform, η_{i mod ρ} for ρ-periodic). The fake mass at [i]
+    is [max 0 (cap i − Q(i))] — a cap undercutting [Q(i)] (possible when
+    caps come from adaptive estimates rather than exact maxima) contributes
+    nothing — and [α] is computed from the same clamped residual, so the
+    mix actually drawn matches the reported [α]. Reduces to [1/Σ cap] when
+    no cap undercuts. *)
+
 val uniform : Mope_stats.Histogram.t -> t
 (** Completion towards the uniform target:
     [Q̄(i) = (μ_Q − Q(i)) / (μ_Q·M − 1)], [α = 1/(μ_Q·M)]. *)

@@ -41,12 +41,21 @@ let queue_depth t = Queue.length t.queue
 
 let latency_stats events ~enqueued =
   let released = List.filter (fun e -> e.queued_real) events in
-  let latencies =
-    List.map2
-      (fun e (arrival, _) -> e.time -. arrival)
-      (List.filteri (fun i _ -> i < List.length enqueued) released)
-      (List.filteri (fun i _ -> i < List.length released) enqueued)
+  (* Pair releases with arrivals in FIFO order over the common prefix.
+     The two lists may disagree in length (a run can release entries
+     enqueued before this window, or leave arrivals still queued); walk
+     both explicitly instead of truncate-and-map2 so neither case raises
+     or silently pairs a release with the wrong arrival. A release that
+     departs before the head arrival belongs to an earlier, unlisted
+     enqueue — skip it rather than mispair it. *)
+  let rec pair acc rel enq =
+    match (rel, enq) with
+    | [], _ | _, [] -> List.rev acc
+    | e :: rel', (arrival, _) :: enq' ->
+      if arrival <= e.time then pair ((e.time -. arrival) :: acc) rel' enq'
+      else pair acc rel' enq
   in
+  let latencies = pair [] released enqueued in
   match latencies with
   | [] -> (0.0, 0.0)
   | _ ->

@@ -35,4 +35,7 @@ val queue_depth : t -> int
 
 val latency_stats : event list -> enqueued:(float * int) list -> float * float
 (** [(mean, max)] release latency (departure − arrival) of the enqueued
-    queries that appear in the event list, matched in FIFO order. *)
+    queries that appear in the event list, matched in FIFO order. Length
+    mismatches are handled, never mispaired: releases of entries enqueued
+    before [enqueued]'s window (departure earlier than the head arrival)
+    and arrivals still queued at the end of the event list are ignored. *)

@@ -1,15 +1,44 @@
+module Trace = Mope_obs.Trace
+
 type t = {
   catalog : (string, Table.t) Hashtbl.t;
   stats : Exec.stats;
+  mutable plan_cache : Plan_cache.t option;
+  mutable schema_epoch : int;
+      (* bumped on every DDL statement; stamps (and thereby invalidates)
+         plan-cache entries *)
 }
 
-let create () = { catalog = Hashtbl.create 8; stats = Exec.create_stats () }
+let create ?(plan_cache_capacity = Plan_cache.default_capacity) () =
+  { catalog = Hashtbl.create 8;
+    stats = Exec.create_stats ();
+    plan_cache =
+      (if plan_cache_capacity > 0 then
+         Some (Plan_cache.create ~capacity:plan_cache_capacity ())
+       else None);
+    schema_epoch = 0 }
+
+let set_plan_caching t enabled =
+  match (enabled, t.plan_cache) with
+  | true, Some _ | false, None -> ()
+  | true, None -> t.plan_cache <- Some (Plan_cache.create ())
+  | false, Some cache ->
+    Plan_cache.clear cache;
+    t.plan_cache <- None
+
+let plan_cache_stats t = Option.map Plan_cache.stats t.plan_cache
+
+let plan_cache_size t =
+  match t.plan_cache with None -> 0 | Some cache -> Plan_cache.size cache
+
+let bump_epoch t = t.schema_epoch <- t.schema_epoch + 1
 
 let create_table t ~name ~schema =
   if Hashtbl.mem t.catalog name then
     invalid_arg ("Database.create_table: table exists: " ^ name);
   let table = Table.create ~name ~schema in
   Hashtbl.replace t.catalog name table;
+  bump_epoch t;
   table
 
 let table t name = Hashtbl.find_opt t.catalog name
@@ -23,17 +52,52 @@ let tables t = Hashtbl.fold (fun name _ acc -> name :: acc) t.catalog [] |> List
 
 let insert t ~table row = Table.insert (table_exn t table) row
 
-let create_index t ~table ~column = Table.create_index (table_exn t table) column
+let create_index t ~table ~column =
+  Table.create_index (table_exn t table) column;
+  bump_epoch t
 
 let drop_table t name =
   if not (Hashtbl.mem t.catalog name) then
     invalid_arg ("Database.drop_table: unknown table " ^ name);
-  Hashtbl.remove t.catalog name
+  Hashtbl.remove t.catalog name;
+  bump_epoch t
+
+(* Parse (when needed) and plan a statement, through the plan cache when
+   one is enabled. [cache_key] must be canonical for the statement;
+   [parse] is only called on a miss. *)
+let plan_for t ~cache_key ~parse =
+  let catalog = Hashtbl.find_opt t.catalog in
+  match t.plan_cache with
+  | None ->
+    let ast = parse () in
+    (ast, Exec.plan_select ~catalog ast)
+  | Some cache ->
+    Trace.with_span "plan_cache" (fun () ->
+        match Plan_cache.find cache ~key:cache_key ~epoch:t.schema_epoch with
+        | Some (ast, plan) ->
+          Trace.add_item "hits" 1;
+          (ast, plan)
+        | None ->
+          Trace.add_item "misses" 1;
+          let ast = parse () in
+          let plan = Exec.plan_select ~catalog ast in
+          Plan_cache.store cache ~key:cache_key ~epoch:t.schema_epoch ast plan;
+          (ast, plan))
+
+let run_planned t (ast, plan) =
+  Exec.run ~plan ~catalog:(Hashtbl.find_opt t.catalog) ~stats:t.stats ast
 
 let query_ast t select =
-  Exec.run ~catalog:(Hashtbl.find_opt t.catalog) ~stats:t.stats select
+  (* Keyed by a canonical rendering: cheap relative to access-path choice,
+     and collision-free — two statements printing identically plan
+     identically. *)
+  run_planned t
+    (plan_for t ~cache_key:("ast:" ^ Sql_ast.select_to_string select)
+       ~parse:(fun () -> select))
 
-let query t sql = query_ast t (Sql_parser.parse sql)
+let query t sql =
+  run_planned t
+    (plan_for t ~cache_key:("sql:" ^ sql) ~parse:(fun () -> Sql_parser.parse sql))
 
 (* ------------------------------------------------------------------ *)
 (* DML / DDL statements *)

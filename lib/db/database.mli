@@ -8,7 +8,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?plan_cache_capacity:int -> unit -> t
+(** [plan_cache_capacity] (default {!Plan_cache.default_capacity}) bounds
+    the per-database plan/statement cache; [0] disables caching. *)
 
 val create_table : t -> name:string -> schema:Schema.t -> Table.t
 (** Raises [Invalid_argument] if the name is taken. *)
@@ -26,9 +28,23 @@ val create_index : t -> table:string -> column:string -> unit
 val drop_table : t -> string -> unit
 
 val query : t -> string -> Exec.result
-(** Parse, plan and execute one SELECT statement. *)
+(** Parse, plan and execute one SELECT statement. Parsing and access-path
+    selection go through the plan cache (keyed by the SQL text), so a
+    repeated statement skips both. *)
 
 val query_ast : t -> Sql_ast.select -> Exec.result
+(** Like {!query} for an already-parsed statement; the plan cache is keyed
+    by a canonical rendering of the AST. *)
+
+val set_plan_caching : t -> bool -> unit
+(** Enable (fresh, default capacity) or disable (dropping all entries) the
+    plan cache at runtime — benchmarks compare the two configurations. *)
+
+val plan_cache_stats : t -> Plan_cache.stats option
+(** Live hit/miss/eviction/invalidation counts; [None] when caching is
+    disabled. *)
+
+val plan_cache_size : t -> int
 
 type outcome =
   | Rows of Exec.result   (** SELECT *)

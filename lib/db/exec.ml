@@ -209,6 +209,8 @@ type access =
   | Seq_scan
   | Index_scan of { col : int; ranges : Ranges.t }
 
+type plan = { accesses : (string * access) list }
+
 (* Choose an access path for [source] given its single-source conjuncts: the
    indexed column constrained by the most selective (smallest) range set. *)
 let choose_access source conjuncts =
@@ -249,6 +251,49 @@ let choose_access source conjuncts =
         (List.hd candidates) (List.tl candidates)
     in
     Index_scan { col = fst best; ranges = snd best }
+
+(* Classify WHERE conjuncts against the bound sources: single-source
+   filters (keyed by alias), equi-join predicates, and residual (post-join)
+   checks. Pure function of (sources, conjuncts) — shared by planning and
+   execution so a cached plan describes exactly the classification the
+   executor will recompute. *)
+let classify_conjuncts sources conjuncts =
+  let per_source = Hashtbl.create 4 in
+  let joins = ref [] and residual = ref [] in
+  List.iter
+    (fun conjunct ->
+      let owners = List.filter (fun s -> refs_within [ s ] conjunct) sources in
+      match owners with
+      | s :: _ when refs_within [ s ] conjunct ->
+        Hashtbl.replace per_source s.alias
+          (conjunct :: Option.value ~default:[] (Hashtbl.find_opt per_source s.alias))
+      | _ -> begin
+        match conjunct with
+        | Cmp (Eq, a, b) -> begin
+          let owner e = List.find_opt (fun s -> refs_within [ s ] e) sources in
+          match (owner a, owner b) with
+          | Some sa, Some sb when sa.alias <> sb.alias ->
+            joins := (sa, a, sb, b) :: !joins
+          | _ -> residual := conjunct :: !residual
+        end
+        | _ -> residual := conjunct :: !residual
+      end)
+    conjuncts;
+  (per_source, !joins, !residual)
+
+let source_filters per_source s =
+  Option.value ~default:[] (Hashtbl.find_opt per_source s.alias)
+
+(* The access-path half of planning, split from execution so repeated
+   statements can skip it (see {!Plan_cache} / [Database.query]). *)
+let plan_select ~catalog select =
+  let sources = bind_sources ~catalog select.from in
+  let conjuncts = match select.where with None -> [] | Some w -> Sql_ast.conjuncts w in
+  let per_source, _, _ = classify_conjuncts sources conjuncts in
+  { accesses =
+      List.map
+        (fun s -> (s.alias, choose_access s (source_filters per_source s)))
+        sources }
 
 (* ------------------------------------------------------------------ *)
 (* Scanning and joining *)
@@ -407,10 +452,10 @@ let expand_projections sources projections =
 (* ------------------------------------------------------------------ *)
 (* The main pipeline *)
 
-let rec run ~catalog ~stats select =
+let rec run ?plan ~catalog ~stats select =
   stats.queries <- stats.queries + 1;
   Metrics.inc m_queries;
-  let result = run_select ~catalog ~stats select in
+  let result = run_select ?plan ~catalog ~stats select in
   stats.rows_returned <- stats.rows_returned + List.length result.rows;
   result
 
@@ -422,41 +467,28 @@ and subquery_values ~catalog ~stats select =
       row.(0))
     result.rows
 
-and run_select ~catalog ~stats select =
+and run_select ?plan ~catalog ~stats select =
   let sources = bind_sources ~catalog select.from in
   let subquery s = subquery_values ~catalog ~stats s in
   let conjuncts = match select.where with None -> [] | Some w -> Sql_ast.conjuncts w in
-  (* Classify conjuncts: single-source filters, equi-join predicates,
-     residual (post-join) filters. *)
-  let per_source = Hashtbl.create 4 in
-  let joins = ref [] and residual = ref [] in
-  List.iter
-    (fun conjunct ->
-      let owners =
-        List.filter (fun s -> refs_within [ s ] conjunct) sources
-      in
-      match owners with
-      | s :: _ when refs_within [ s ] conjunct ->
-        Hashtbl.replace per_source s.alias
-          (conjunct :: (Option.value ~default:[] (Hashtbl.find_opt per_source s.alias)))
-      | _ -> begin
-        match conjunct with
-        | Cmp (Eq, a, b) -> begin
-          let owner e = List.find_opt (fun s -> refs_within [ s ] e) sources in
-          match (owner a, owner b) with
-          | Some sa, Some sb when sa.alias <> sb.alias ->
-            joins := (sa, a, sb, b) :: !joins
-          | _ -> residual := conjunct :: !residual
-        end
-        | _ -> residual := conjunct :: !residual
-      end)
-    conjuncts;
-  (* Scan each source with its own filters and best access path. *)
+  let per_source, joins0, residual0 = classify_conjuncts sources conjuncts in
+  let joins = ref joins0 and residual = ref residual0 in
+  (* Scan each source with its own filters and best access path — the
+     cached one when a [plan] for this statement was supplied (subqueries
+     below always re-plan: a plan covers only the top-level FROM). *)
   let scanned =
     List.map
       (fun s ->
-        let filters = Option.value ~default:[] (Hashtbl.find_opt per_source s.alias) in
-        let access = choose_access s filters in
+        let filters = source_filters per_source s in
+        let access =
+          match plan with
+          | Some p -> begin
+            match List.assoc_opt s.alias p.accesses with
+            | Some access -> access
+            | None -> choose_access s filters
+          end
+          | None -> choose_access s filters
+        in
         let local = [ { s with offset = 0 } ] in
         let filter =
           match filters with
@@ -744,11 +776,11 @@ and compile_order_key ~columns ~compile_row e =
 let explain ~catalog select =
   let sources = bind_sources ~catalog select.from in
   let conjuncts = match select.where with None -> [] | Some w -> Sql_ast.conjuncts w in
+  let per_source, _, _ = classify_conjuncts sources conjuncts in
   let paths =
     List.map
       (fun s ->
-        let filters = List.filter (fun c -> refs_within [ s ] c) conjuncts in
-        match choose_access s filters with
+        match choose_access s (source_filters per_source s) with
         | Seq_scan -> Printf.sprintf "%s: seq scan" s.alias
         | Index_scan { col; ranges } ->
           let name = (Schema.column_at (Table.schema s.stable) col).Schema.name in

@@ -34,11 +34,36 @@ type plan_info = {
       ["lineitem: index scan on l_shipdate (2 ranges)"]. *)
 }
 
+(** {1 Planning}
+
+    The access-path half of query processing, split out so a repeated
+    statement can skip it entirely: [plan_select] binds the FROM sources,
+    classifies the WHERE conjuncts and chooses each source's access path;
+    [run ~plan] then executes without re-deriving any of it. Plans are pure
+    data keyed by the statement text — [Database] caches them in a bounded
+    LRU ({!Plan_cache}) invalidated on schema or index changes. *)
+
+type access =
+  | Seq_scan
+  | Index_scan of { col : int; ranges : Ranges.t }
+      (** [col] is the column position within the source's schema. *)
+
+type plan = { accesses : (string * access) list }
+(** Chosen access path per FROM item, keyed by alias (table name when
+    unaliased). Valid only for the exact statement it was planned from and
+    the catalog state it was planned against. *)
+
+val plan_select : catalog:(string -> Table.t option) -> Sql_ast.select -> plan
+
 val run :
+  ?plan:plan ->
   catalog:(string -> Table.t option) ->
   stats:stats ->
   Sql_ast.select ->
   result
+(** [plan] must come from {!plan_select} on the same statement against the
+    same catalog state; omit it to plan inline. Subqueries always plan
+    inline — a plan covers the top-level FROM only. *)
 
 val explain :
   catalog:(string -> Table.t option) ->

@@ -1,0 +1,116 @@
+module Metrics = Mope_obs.Metrics
+
+(* Registered at module init; all no-ops until Metrics.set_enabled true.
+   Only volumes are exported — never statement text or plan contents. *)
+let m_hits =
+  Metrics.counter ~help:"Plan/statement cache hits" "mope_plan_cache_hits_total" ()
+
+let m_misses =
+  Metrics.counter ~help:"Plan/statement cache misses"
+    "mope_plan_cache_misses_total" ()
+
+let m_evictions =
+  Metrics.counter ~help:"Plan cache LRU evictions"
+    "mope_plan_cache_evictions_total" ()
+
+let m_invalidations =
+  Metrics.counter ~help:"Plan cache entries dropped by schema/index changes"
+    "mope_plan_cache_invalidations_total" ()
+
+let m_entries =
+  Metrics.gauge ~help:"Live plan cache entries (summed over databases)"
+    "mope_plan_cache_entries" ()
+
+type entry = {
+  ast : Sql_ast.select;
+  plan : Exec.plan;
+  epoch : int;
+  mutable last_used : int;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  stats : stats;
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create 64; tick = 0;
+    stats = { hits = 0; misses = 0; evictions = 0; invalidations = 0 } }
+
+let size t = Hashtbl.length t.table
+
+let stats t = t.stats
+
+let capacity t = t.capacity
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_used <- t.tick
+
+let miss t =
+  t.stats.misses <- t.stats.misses + 1;
+  Metrics.inc m_misses;
+  None
+
+let find t ~key ~epoch =
+  match Hashtbl.find_opt t.table key with
+  | Some e when e.epoch = epoch ->
+    touch t e;
+    t.stats.hits <- t.stats.hits + 1;
+    Metrics.inc m_hits;
+    Some (e.ast, e.plan)
+  | Some _ ->
+    (* The catalog's schema/index epoch moved on: the plan may name a
+       dropped index or a reshaped table. Drop eagerly so stale entries do
+       not occupy capacity. *)
+    Hashtbl.remove t.table key;
+    Metrics.gauge_add m_entries (-1);
+    t.stats.invalidations <- t.stats.invalidations + 1;
+    Metrics.inc m_invalidations;
+    miss t
+  | None -> miss t
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= e.last_used -> acc
+        | Some _ | None -> Some (k, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, _) ->
+    Hashtbl.remove t.table k;
+    t.stats.evictions <- t.stats.evictions + 1;
+    Metrics.inc m_evictions;
+    Metrics.gauge_add m_entries (-1)
+
+let store t ~key ~epoch ast plan =
+  (match Hashtbl.find_opt t.table key with
+  | Some _ ->
+    Hashtbl.remove t.table key;
+    Metrics.gauge_add m_entries (-1)
+  | None -> ());
+  if Hashtbl.length t.table >= t.capacity then evict_lru t;
+  let e = { ast; plan; epoch; last_used = 0 } in
+  touch t e;
+  Hashtbl.replace t.table key e;
+  Metrics.gauge_add m_entries 1
+
+let clear t =
+  Metrics.gauge_add m_entries (-size t);
+  Hashtbl.reset t.table

@@ -1,0 +1,53 @@
+(** Bounded LRU plan/statement cache.
+
+    Keyed by canonical statement text: the raw SQL for [Database.query], a
+    canonical rendering ({!Sql_ast.select_to_string}) of the AST for
+    [Database.query_ast] callers such as the proxy's rewritten fetch
+    statements. An entry carries the parsed AST (so a text-keyed hit skips
+    [Sql_parser.parse]) plus the chosen {!Exec.plan} (so every hit skips
+    access-path selection), stamped with the owning database's schema/index
+    epoch — an epoch mismatch invalidates the entry on lookup, which is how
+    [CREATE INDEX] / [CREATE TABLE] / [DROP TABLE] flush stale plans.
+
+    Capacity is enforced by least-recently-used eviction (linear scan on
+    evict: capacities are small — default {!default_capacity} — and
+    eviction is off the hit path). Hit/miss/eviction/invalidated counts are
+    exported through [Mope_obs.Metrics]
+    ([mope_plan_cache_{hits,misses,evictions,invalidations}_total]) plus a
+    live-entry gauge ([mope_plan_cache_entries]) summed over all databases
+    in the process; per-cache numbers are available via {!stats}.
+
+    Secret hygiene: mope-lint registers this module as a secret-flow sink —
+    cache keys and cached statements travel to the untrusted server anyway,
+    but nothing key/offset/plaintext-named may be used to build them. *)
+
+type t
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;  (** entries dropped by an epoch mismatch *)
+}
+
+val default_capacity : int
+(** 256 entries. *)
+
+val create : ?capacity:int -> unit -> t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val find : t -> key:string -> epoch:int -> (Sql_ast.select * Exec.plan) option
+(** A hit refreshes the entry's recency. An entry stored under an older
+    [epoch] is removed and reported as a miss (counted in
+    [invalidations]). *)
+
+val store : t -> key:string -> epoch:int -> Sql_ast.select -> Exec.plan -> unit
+(** Insert or overwrite; evicts the least-recently-used entry when full. *)
+
+val size : t -> int
+
+val capacity : t -> int
+
+val stats : t -> stats
+
+val clear : t -> unit

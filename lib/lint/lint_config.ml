@@ -32,10 +32,12 @@ let secret_names =
 
 (* Mope_obs and its aliases are sinks: a metric label, counter name, or
    trace annotation is an exfiltration channel exactly like a log line, so
-   no secret-named value may reach Metrics.* / Trace.* either. *)
+   no secret-named value may reach Metrics.* / Trace.* either. Plan_cache
+   holds statement text destined for the untrusted server, so cache keys
+   must never be built from secret-named values. *)
 let sink_modules =
   [ "Printf"; "Format"; "Fmt"; "Logs"; "Wire"; "Storage"; "Wal";
-    "Obs"; "Mope_obs"; "Metrics"; "Trace" ]
+    "Obs"; "Mope_obs"; "Metrics"; "Trace"; "Plan_cache" ]
 
 let sink_values =
   [ "print_string"; "print_endline"; "print_int"; "print_float";

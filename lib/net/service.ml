@@ -16,18 +16,46 @@ let locked lock f =
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let counters t =
-  List.fold_left
-    (fun acc (_, (lock, proxy)) ->
-      let c = locked lock (fun () -> Proxy.counters proxy) in
-      { Wire.client_queries = acc.Wire.client_queries + c.Proxy.client_queries;
-        real_pieces = acc.Wire.real_pieces + c.Proxy.real_pieces;
-        fake_queries = acc.Wire.fake_queries + c.Proxy.fake_queries;
-        server_requests = acc.Wire.server_requests + c.Proxy.server_requests;
-        rows_fetched = acc.Wire.rows_fetched + c.Proxy.rows_fetched;
-        rows_delivered = acc.Wire.rows_delivered + c.Proxy.rows_delivered })
-    { Wire.client_queries = 0; real_pieces = 0; fake_queries = 0;
-      server_requests = 0; rows_fetched = 0; rows_delivered = 0 }
-    t.proxies
+  let base =
+    List.fold_left
+      (fun acc (_, (lock, proxy)) ->
+        let c = locked lock (fun () -> Proxy.counters proxy) in
+        { acc with
+          Wire.client_queries = acc.Wire.client_queries + c.Proxy.client_queries;
+          real_pieces = acc.Wire.real_pieces + c.Proxy.real_pieces;
+          fake_queries = acc.Wire.fake_queries + c.Proxy.fake_queries;
+          server_requests = acc.Wire.server_requests + c.Proxy.server_requests;
+          rows_fetched = acc.Wire.rows_fetched + c.Proxy.rows_fetched;
+          rows_delivered = acc.Wire.rows_delivered + c.Proxy.rows_delivered;
+          segment_cache_hits =
+            acc.Wire.segment_cache_hits + c.Proxy.segment_cache_hits;
+          segment_cache_misses =
+            acc.Wire.segment_cache_misses + c.Proxy.segment_cache_misses })
+      { Wire.client_queries = 0; real_pieces = 0; fake_queries = 0;
+        server_requests = 0; rows_fetched = 0; rows_delivered = 0;
+        plan_cache_hits = 0; plan_cache_misses = 0; segment_cache_hits = 0;
+        segment_cache_misses = 0 }
+      t.proxies
+  in
+  (* Proxies over the same encrypted database share one server database —
+     and hence one plan cache — so dedupe by physical identity before
+     summing, or shared stats would be counted once per proxy. *)
+  let server_dbs =
+    List.fold_left
+      (fun acc (_, (_, proxy)) ->
+        let db = Proxy.server_database proxy in
+        if List.exists (fun d -> d == db) acc then acc else db :: acc)
+      [] t.proxies
+  in
+  let plan_hits, plan_misses =
+    List.fold_left
+      (fun (h, m) db ->
+        match Mope_db.Database.plan_cache_stats db with
+        | None -> (h, m)
+        | Some s -> (h + s.Mope_db.Plan_cache.hits, m + s.Mope_db.Plan_cache.misses))
+      (0, 0) server_dbs
+  in
+  { base with Wire.plan_cache_hits = plan_hits; plan_cache_misses = plan_misses }
 
 let stats () =
   Wire.Stats

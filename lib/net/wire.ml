@@ -4,7 +4,7 @@ exception Protocol_error of string
 
 let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
 
-let version = 3
+let version = 4
 
 let max_frame = 16 * 1024 * 1024
 
@@ -19,6 +19,10 @@ type counters = {
   server_requests : int;
   rows_fetched : int;
   rows_delivered : int;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
+  segment_cache_hits : int;
+  segment_cache_misses : int;
 }
 
 type stats = {
@@ -282,7 +286,11 @@ let encode_response = function
         put_int buf c.fake_queries;
         put_int buf c.server_requests;
         put_int buf c.rows_fetched;
-        put_int buf c.rows_delivered)
+        put_int buf c.rows_delivered;
+        put_int buf c.plan_cache_hits;
+        put_int buf c.plan_cache_misses;
+        put_int buf c.segment_cache_hits;
+        put_int buf c.segment_cache_misses)
   | Stats s ->
     payload tag_stats (fun buf ->
         put_string buf s.metrics_text;
@@ -351,9 +359,14 @@ let decode_response data =
       let server_requests = get_int cur in
       let rows_fetched = get_int cur in
       let rows_delivered = get_int cur in
+      let plan_cache_hits = get_int cur in
+      let plan_cache_misses = get_int cur in
+      let segment_cache_hits = get_int cur in
+      let segment_cache_misses = get_int cur in
       Counters
         { client_queries; real_pieces; fake_queries; server_requests;
-          rows_fetched; rows_delivered }
+          rows_fetched; rows_delivered; plan_cache_hits; plan_cache_misses;
+          segment_cache_hits; segment_cache_misses }
     end
     else if tag = tag_stats then begin
       let metrics_text = get_string cur in

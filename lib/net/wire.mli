@@ -18,10 +18,11 @@ open Mope_db
 exception Protocol_error of string
 
 val version : int
-(** Current protocol version (3 — v3 added a trace-id field to the request
-    header; v2 added the [retry_after] field to error responses). A decoder
-    rejects frames whose version byte differs — version bumps are breaking
-    by design; additions that only define new tags do not bump it. *)
+(** Current protocol version (4 — v4 added the cache-counter fields to
+    {!counters}; v3 added a trace-id field to the request header; v2 added
+    the [retry_after] field to error responses). A decoder rejects frames
+    whose version byte differs — version bumps are breaking by design;
+    additions that only define new tags do not bump it. *)
 
 val max_trace_id : int
 (** Upper bound on the length of a request's trace id (64 bytes). *)
@@ -31,8 +32,10 @@ val max_frame : int
     rejected before any allocation, so a malicious or corrupt header cannot
     make either side allocate unbounded memory. *)
 
-(** Snapshot of the proxy-side obfuscation counters (see
-    {!Mope_system.Proxy.counters}), immutable for transport. *)
+(** Snapshot of the proxy-side obfuscation and cache counters (see
+    {!Mope_system.Proxy.counters}), immutable for transport. The cache
+    fields aggregate over the service: segment-cache numbers sum across
+    proxies, plan-cache numbers across distinct server databases. *)
 type counters = {
   client_queries : int;
   real_pieces : int;
@@ -40,6 +43,10 @@ type counters = {
   server_requests : int;
   rows_fetched : int;
   rows_delivered : int;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
+  segment_cache_hits : int;
+  segment_cache_misses : int;
 }
 
 (** Observability snapshot served by {!Get_stats}: both metric renderings

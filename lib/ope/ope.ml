@@ -24,17 +24,38 @@ let m_walk_depth =
   Metrics.histogram ~help:"Tree depth of uncached encrypt/decrypt walks"
     ~buckets:depth_buckets "mope_ope_walk_depth" ()
 
+(* The decrypt memo also remembers which ciphertext values decrypt to
+   nothing: repeated garbage (adversarial or corrupt) ciphertexts would
+   otherwise redo a full walk on every probe. Since the ciphertext space is
+   [range]-sized — far larger than the plaintext domain — the memo is
+   bounded and evicts its oldest entry once full. *)
+type dec_entry = Plain of int | Invalid
+
+type dec_memo = {
+  table : (int, dec_entry) Hashtbl.t;
+  order : int Queue.t; (* insertion order, for FIFO eviction *)
+  cap : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
 type t = {
   key : string;
   domain : int;
   range : int;
   cache : int array option; (* plaintext -> ciphertext, -1 = not yet computed *)
-  dec_cache : (int, int) Hashtbl.t option; (* ciphertext -> plaintext memo *)
+  dec_cache : dec_memo option; (* ciphertext -> plaintext/invalid memo *)
 }
 
 exception Not_a_ciphertext of int
 
 let cache_limit = 1 lsl 22
+
+(* Every valid ciphertext fits ([domain] of them) with headroom for
+   negative entries, while staying within the same budget that gates the
+   encrypt memo. *)
+let dec_cache_cap domain = Int.min cache_limit (8 * domain)
 
 let recommended_range domain = 16 * domain
 
@@ -44,7 +65,12 @@ let create ?(cache = true) ~key ~domain ~range () =
   let use_cache = cache && domain <= cache_limit in
   { key; domain; range;
     cache = (if use_cache then Some (Array.make domain (-1)) else None);
-    dec_cache = (if use_cache then Some (Hashtbl.create 1024) else None) }
+    dec_cache =
+      (if use_cache then
+         Some
+           { table = Hashtbl.create 1024; order = Queue.create ();
+             cap = dec_cache_cap domain; hits = 0; misses = 0; evictions = 0 }
+       else None) }
 
 let domain t = t.domain
 let range t = t.range
@@ -122,15 +148,50 @@ let decrypt_walk t dlo dhi rlo rhi c =
   Metrics.observe m_walk_depth (Float.of_int walk_depth);
   m
 
+let memo_insert memo c entry =
+  (* FIFO: drop the oldest insertion to stay within [cap]. *)
+  if Hashtbl.length memo.table >= memo.cap then
+    (match Queue.take_opt memo.order with
+    | Some oldest ->
+      Hashtbl.remove memo.table oldest;
+      memo.evictions <- memo.evictions + 1
+    | None -> ());
+  Hashtbl.replace memo.table c entry;
+  Queue.add c memo.order
+
 let decrypt t c =
   if c < 0 || c >= t.range then invalid_arg "Ope.decrypt: ciphertext out of range";
   Metrics.inc m_decrypts;
   match t.dec_cache with
   | None -> decrypt_walk t 0 t.domain 0 t.range c
   | Some memo ->
-    (match Hashtbl.find_opt memo c with
-    | Some m -> m
+    (match Hashtbl.find_opt memo.table c with
+    | Some (Plain m) ->
+      memo.hits <- memo.hits + 1;
+      m
+    | Some Invalid ->
+      memo.hits <- memo.hits + 1;
+      raise (Not_a_ciphertext c)
     | None ->
-      let m = decrypt_walk t 0 t.domain 0 t.range c in
-      Hashtbl.replace memo c m;
-      m)
+      memo.misses <- memo.misses + 1;
+      let entry =
+        match decrypt_walk t 0 t.domain 0 t.range c with
+        | m -> Plain m
+        | exception Not_a_ciphertext _ -> Invalid
+      in
+      memo_insert memo c entry;
+      (match entry with Plain m -> m | Invalid -> raise (Not_a_ciphertext c)))
+
+type dec_cache_stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let dec_cache_stats t =
+  match t.dec_cache with
+  | None -> { entries = 0; hits = 0; misses = 0; evictions = 0 }
+  | Some memo ->
+    { entries = Hashtbl.length memo.table; hits = memo.hits;
+      misses = memo.misses; evictions = memo.evictions }

@@ -38,4 +38,19 @@ val encrypt : t -> int -> int
 
 val decrypt : t -> int -> int
 (** Exact inverse of {!encrypt} on its image; raises {!Not_a_ciphertext}
-    elsewhere, and [Invalid_argument] outside [\[0, range)]. *)
+    elsewhere, and [Invalid_argument] outside [\[0, range)]. When caching is
+    on, results — including {!Not_a_ciphertext} outcomes, which would
+    otherwise redo a full walk per probe of the same garbage value — are
+    memoized in a bounded table (FIFO eviction at [8 × domain] entries,
+    clamped to the [2²²] cache budget). *)
+
+type dec_cache_stats = {
+  entries : int;    (** live memo entries (positive and negative) *)
+  hits : int;
+  misses : int;
+  evictions : int;  (** entries dropped by the FIFO bound *)
+}
+
+val dec_cache_stats : t -> dec_cache_stats
+(** Decrypt-memo statistics; all zero when the scheme was created with
+    [~cache:false]. *)

@@ -22,6 +22,7 @@ type t = {
   det_key : string;
   window_lo : Date.t;
   date_domain : int;
+  ope_cache : bool;
   plain_schemas : (string, Schema.t) Hashtbl.t;
   encryptions : (string * string, column_encryption) Hashtbl.t;
   specs : spec list;
@@ -67,7 +68,8 @@ let int_scheme t ~table ~column ~lo ~hi =
     let domain = hi - lo + 1 in
     let key = Hmac.mac ~key:t.master_key (Printf.sprintf "int:%s.%s" table column) in
     let scheme =
-      Mope.create ~key ~domain ~range:(Ope.recommended_range domain) ()
+      Mope.create ~cache:t.ope_cache ~key ~domain
+        ~range:(Ope.recommended_range domain) ()
     in
     Hashtbl.replace t.int_schemes (table, column) scheme;
     scheme
@@ -97,18 +99,22 @@ let decrypt_value t ~table ~column encryption value =
   | (Mope_date | Mope_int _ | Det_int), _ ->
     invalid_arg "Encrypted_db: unexpected ciphertext shape"
 
-let create ~key ~window_lo ~date_domain ?ope_range ~plain ~specs () =
+let create ~key ?(ope_cache = true) ~window_lo ~date_domain ?ope_range ~plain
+    ~specs () =
   let range =
     match ope_range with Some r -> r | None -> Ope.recommended_range date_domain
   in
   let t =
     { server = Database.create ();
-      mope = Mope.create ~key:(Hmac.mac ~key "mope") ~domain:date_domain ~range ();
+      mope =
+        Mope.create ~cache:ope_cache ~key:(Hmac.mac ~key "mope")
+          ~domain:date_domain ~range ();
       int_schemes = Hashtbl.create 4;
       master_key = key;
       det_key = Hmac.mac ~key "det";
       window_lo;
       date_domain;
+      ope_cache;
       plain_schemas = Hashtbl.create 8;
       encryptions = Hashtbl.create 16;
       specs }

@@ -26,6 +26,7 @@ type t
 
 val create :
   key:string ->
+  ?ope_cache:bool ->
   window_lo:Mope_db.Date.t ->
   date_domain:int ->
   ?ope_range:int ->
@@ -34,7 +35,9 @@ val create :
   unit ->
   t
 (** Encrypt every table named in [specs] into a fresh server database.
-    [ope_range] defaults to [Ope.recommended_range date_domain]. *)
+    [ope_range] defaults to [Ope.recommended_range date_domain]. [ope_cache]
+    (default true) enables the OPE schemes' encrypt/decrypt memo tables;
+    benchmarks disable it to measure the fully uncached walk cost. *)
 
 val server : t -> Mope_db.Database.t
 (** The untrusted server's database (encrypted twins only). *)

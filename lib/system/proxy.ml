@@ -32,6 +32,23 @@ let m_rows_delivered =
   Metrics.counter ~help:"Plaintext rows delivered to the client"
     "mope_proxy_rows_delivered_total" ()
 
+let m_seg_hits =
+  Metrics.counter ~help:"OPE segment cache hits"
+    "mope_segment_cache_hits_total" ()
+
+let m_seg_misses =
+  Metrics.counter ~help:"OPE segment cache misses"
+    "mope_segment_cache_misses_total" ()
+
+let m_seg_entries =
+  Metrics.gauge ~help:"Live OPE segment cache entries (summed over proxies)"
+    "mope_segment_cache_entries" ()
+
+let m_segments_coalesced =
+  Metrics.counter
+    ~help:"Redundant ciphertext segments merged away before the fetch"
+    "mope_proxy_segments_coalesced_total" ()
+
 type counters = {
   mutable client_queries : int;
   mutable real_pieces : int;
@@ -39,6 +56,8 @@ type counters = {
   mutable server_requests : int;
   mutable rows_fetched : int;
   mutable rows_delivered : int;
+  mutable segment_cache_hits : int;
+  mutable segment_cache_misses : int;
 }
 
 type mode =
@@ -52,29 +71,37 @@ type t = {
   batch_size : int;
   rng : Rng.t;
   counters : counters;
+  seg_cache : (int, (int * int) list) Hashtbl.t option;
+      (* coverage start -> encrypted plain_segments; the scheme is
+         deterministic for a fixed key, so entries never invalidate, and the
+         start domain [0, m) bounds the table. *)
 }
 
-let make ~enc ~mode ~k ~batch_size ~seed =
+let make ~enc ~mode ~k ~batch_size ~seed ~caching =
   if batch_size < 1 then invalid_arg "Proxy.create: batch_size";
   { enc; mode; k; batch_size;
     rng = Rng.create seed;
     counters =
       { client_queries = 0; real_pieces = 0; fake_queries = 0;
-        server_requests = 0; rows_fetched = 0; rows_delivered = 0 } }
+        server_requests = 0; rows_fetched = 0; rows_delivered = 0;
+        segment_cache_hits = 0; segment_cache_misses = 0 };
+    seg_cache = (if caching then Some (Hashtbl.create 256) else None) }
 
-let create ~enc ~scheduler ?(batch_size = 1) ~seed () =
+let create ~enc ~scheduler ?(batch_size = 1) ?(caching = true) ~seed () =
   if Scheduler.m scheduler <> Encrypted_db.date_domain enc then
     invalid_arg "Proxy.create: scheduler domain <> encrypted date domain";
   make ~enc ~mode:(Static scheduler) ~k:(Scheduler.k scheduler) ~batch_size ~seed
+    ~caching
 
-let create_adaptive ~enc ~k ?rho ?(batch_size = 1) ~seed () =
+let create_adaptive ~enc ~k ?rho ?(batch_size = 1) ?(caching = true) ~seed () =
   let m = Encrypted_db.date_domain enc in
   let amode =
     match rho with
     | None -> Adaptive.Uniform
     | Some rho -> Adaptive.Periodic rho
   in
-  make ~enc ~mode:(Learning (Adaptive.create ~m ~k ~mode:amode)) ~k ~batch_size ~seed
+  make ~enc ~mode:(Learning (Adaptive.create ~m ~k ~mode:amode)) ~k ~batch_size
+    ~seed ~caching
 
 let adaptive_state t =
   match t.mode with Learning a -> Some a | Static _ -> None
@@ -88,7 +115,39 @@ let reset_counters t =
   c.fake_queries <- 0;
   c.server_requests <- 0;
   c.rows_fetched <- 0;
-  c.rows_delivered <- 0
+  c.rows_delivered <- 0;
+  c.segment_cache_hits <- 0;
+  c.segment_cache_misses <- 0
+
+let segment_cache_size t =
+  match t.seg_cache with None -> 0 | Some tbl -> Hashtbl.length tbl
+
+let server_database t = Encrypted_db.server t.enc
+
+(* Coverage start -> ciphertext segments of its τ_k window, through the
+   memo when one is enabled (two encrypt walks per endpoint otherwise). *)
+let segments_for t ~m start =
+  let compute () =
+    let coverage = Query_model.coverage ~m ~k:t.k start in
+    Encrypted_db.plain_segments t.enc ~lo:coverage.Query_model.lo
+      ~hi:coverage.Query_model.hi
+  in
+  match t.seg_cache with
+  | None -> compute ()
+  | Some tbl -> begin
+    match Hashtbl.find_opt tbl start with
+    | Some segs ->
+      t.counters.segment_cache_hits <- t.counters.segment_cache_hits + 1;
+      Metrics.inc m_seg_hits;
+      segs
+    | None ->
+      t.counters.segment_cache_misses <- t.counters.segment_cache_misses + 1;
+      Metrics.inc m_seg_misses;
+      let segs = compute () in
+      Hashtbl.replace tbl start segs;
+      Metrics.gauge_add m_seg_entries 1;
+      segs
+  end
 
 (* Split a list into chunks of [size], preserving order. *)
 let chunks size items =
@@ -225,16 +284,30 @@ let execute t ~sql ~date_column ~date_lo ~date_hi =
   let process_batch batch =
     let segments =
       (* MOPE range → ciphertext segments: one encrypt walk per segment
-         endpoint, so this span carries the query's OPE encryption cost. *)
+         endpoint (memoized per start when caching is on), so this span
+         carries the query's OPE encryption cost. *)
       Trace.with_span "ope_segments" (fun () ->
-          let segs =
-            List.concat_map
-              (fun (start, _) ->
-                let coverage = Query_model.coverage ~m ~k start in
-                Encrypted_db.plain_segments enc ~lo:coverage.Query_model.lo
-                  ~hi:coverage.Query_model.hi)
-              batch
+          let raw =
+            Trace.with_span "segment_cache" (fun () ->
+                let hits0 = t.counters.segment_cache_hits
+                and misses0 = t.counters.segment_cache_misses in
+                let segs =
+                  List.concat_map (fun (start, _) -> segments_for t ~m start)
+                    batch
+                in
+                Trace.add_item "hits" (t.counters.segment_cache_hits - hits0);
+                Trace.add_item "misses"
+                  (t.counters.segment_cache_misses - misses0);
+                segs)
           in
+          (* Coalesce before building the fetch predicate: batched starts
+             overlap (adjacent τ_k pieces, repeated fakes), and merging
+             covers the same ciphertext set while the server walks each
+             index range — and scans each row — at most once. *)
+          let segs = Ranges.normalize raw in
+          Metrics.inc ~by:(List.length raw - List.length segs)
+            m_segments_coalesced;
+          Trace.add_item "segments_raw" (List.length raw);
           Trace.add_item "segments" (List.length segs);
           segs)
     in

@@ -26,6 +26,8 @@ type counters = {
   mutable server_requests : int; (** statements actually sent (after batching) *)
   mutable rows_fetched : int;    (** encrypted rows returned by the server *)
   mutable rows_delivered : int;  (** rows surviving the proxy's exact filter *)
+  mutable segment_cache_hits : int;
+  mutable segment_cache_misses : int;
 }
 
 type t
@@ -34,19 +36,24 @@ val create :
   enc:Encrypted_db.t ->
   scheduler:Mope_core.Scheduler.t ->
   ?batch_size:int ->
+  ?caching:bool ->
   seed:int64 ->
   unit ->
   t
 (** A proxy with the client distribution known a priori (QueryU / QueryP).
     [batch_size] (default 1) = number of executed query starts combined into
-    one server statement. The scheduler's domain must equal the encrypted
-    database's date domain. *)
+    one server statement. [caching] (default true) enables the OPE segment
+    cache: coverage start → ciphertext segments, at most one entry per start
+    in [\[0, m)], never invalidated (the scheme is deterministic for a fixed
+    key). The scheduler's domain must equal the encrypted database's date
+    domain. *)
 
 val create_adaptive :
   enc:Encrypted_db.t ->
   k:int ->
   ?rho:int ->
   ?batch_size:int ->
+  ?caching:bool ->
   seed:int64 ->
   unit ->
   t
@@ -63,6 +70,14 @@ val adaptive_state : t -> Mope_core.Adaptive.t option
 val counters : t -> counters
 
 val reset_counters : t -> unit
+
+val segment_cache_size : t -> int
+(** Live entries in the segment cache; [0] when caching is disabled. *)
+
+val server_database : t -> Database.t
+(** The untrusted server database this proxy fetches from (e.g. to read its
+    plan-cache statistics); proxies over the same {!Encrypted_db.t} share
+    it. *)
 
 val execute :
   t ->

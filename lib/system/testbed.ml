@@ -6,7 +6,8 @@ type t = {
   plain : Database.t;
   sizes : Tpch.sizes;
   key : string;
-  mutable encrypted : (int option * Encrypted_db.t) list; (* cache by rho *)
+  mutable encrypted : ((int option * bool) * Encrypted_db.t) list;
+      (* cache by (rho, ope_cache) *)
 }
 
 let load ?(sf = 0.01) ?(seed = 7L) () =
@@ -55,19 +56,19 @@ let specs =
       encrypted_columns = [ ("p_partkey", Encrypted_db.Det_int) ];
       index_columns = [ "p_partkey" ] } ]
 
-let encrypted_for t ~rho =
-  match List.assoc_opt rho t.encrypted with
+let encrypted_for ?(ope_cache = true) t ~rho =
+  match List.assoc_opt (rho, ope_cache) t.encrypted with
   | Some enc -> enc
   | None ->
     let enc =
-      Encrypted_db.create ~key:t.key ~window_lo:Tpch.window_lo
+      Encrypted_db.create ~key:t.key ~ope_cache ~window_lo:Tpch.window_lo
         ~date_domain:(padded_domain ~rho) ~plain:t.plain ~specs ()
     in
-    t.encrypted <- (rho, enc) :: t.encrypted;
+    t.encrypted <- ((rho, ope_cache), enc) :: t.encrypted;
     enc
 
-let proxy t ~template ~rho ?batch_size ?(seed = 99L) () =
-  let enc = encrypted_for t ~rho in
+let proxy t ~template ~rho ?batch_size ?caching ?ope_cache ?(seed = 99L) () =
+  let enc = encrypted_for ?ope_cache t ~rho in
   let m = Encrypted_db.date_domain enc in
   let q = Tpch_queries.start_distribution ~domain:m template in
   let mode =
@@ -78,7 +79,7 @@ let proxy t ~template ~rho ?batch_size ?(seed = 99L) () =
   let scheduler =
     Scheduler.create ~m ~k:(Tpch_queries.fixed_length template) ~mode ~q
   in
-  Proxy.create ~enc ~scheduler ?batch_size ~seed ()
+  Proxy.create ~enc ~scheduler ?batch_size ?caching ~seed ()
 
 let run_encrypted proxy instance =
   Proxy.execute proxy ~sql:instance.Tpch_queries.sql

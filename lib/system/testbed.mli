@@ -26,23 +26,29 @@ val sizes : t -> Tpch.sizes
 val run_plain : t -> Tpch_queries.instance -> Mope_db.Exec.result
 (** The unencrypted baseline: execute the instance directly. *)
 
-val encrypted_for : t -> rho:int option -> Encrypted_db.t
+val encrypted_for : ?ope_cache:bool -> t -> rho:int option -> Encrypted_db.t
 (** Build (and cache) the encrypted twin whose date domain is padded for
     [rho] ([None] = no padding, QueryU). Encrypts [l_shipdate] and
     [o_orderdate] with MOPE, the order/part keys with DET, and indexes the
-    encrypted date and key columns. *)
+    encrypted date and key columns. Twins are cached by
+    [(rho, ope_cache)]; [ope_cache] (default true) is forwarded to
+    {!Encrypted_db.create} — benchmarks pass [false] to price the fully
+    uncached OPE walks. *)
 
 val proxy :
   t ->
   template:Tpch_queries.template ->
   rho:int option ->
   ?batch_size:int ->
+  ?caching:bool ->
+  ?ope_cache:bool ->
   ?seed:int64 ->
   unit ->
   Proxy.t
 (** A proxy configured for one query template: k = the template's fixed
     length, Q = the template's (known) start distribution, QueryU when
-    [rho = None] and QueryP\[ρ\] otherwise. *)
+    [rho = None] and QueryP\[ρ\] otherwise. [caching] is forwarded to
+    {!Proxy.create}, [ope_cache] to {!encrypted_for}. *)
 
 val run_encrypted : Proxy.t -> Tpch_queries.instance -> Mope_db.Exec.result
 (** Execute one instance through the proxy. *)

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Serving-benchmark smoke test: run the loopback macro-benchmark at its
+# reduced --quick scale and assert the recorded BENCH_serving.json is
+# shaped as documented and shows the caching fast path actually winning.
+#
+# Exercised end to end:
+#   bench/serving.exe --quick   cached vs uncached over a live TCP loopback
+#   BENCH_serving.json          p50/p95 latency, rows/s, cache hit rates
+#
+# The committed BENCH_serving.json is generated at full scale; this smoke
+# job only gates on shape plus a loose speedup floor (CI machines are
+# noisy, the full run clears 2x with a wide margin).
+#
+# Usage: scripts/bench_smoke.sh
+set -euo pipefail
+
+WORKDIR="$(mktemp -d)"
+OUT="$WORKDIR/BENCH_serving.json"
+LOG="$WORKDIR/bench.log"
+
+cleanup() { rm -rf "$WORKDIR"; }
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- bench log ---" >&2
+  cat "$LOG" >&2 || true
+  echo "--- output ---" >&2
+  cat "$OUT" >&2 || true
+  exit 1
+}
+
+dune build bench/serving.exe
+
+echo "running bench/serving.exe --quick"
+dune exec --no-build bench/serving.exe -- --quick --out "$OUT" >"$LOG" 2>&1 \
+  || fail "benchmark run failed"
+[[ -s "$OUT" ]] || fail "BENCH_serving.json was never written"
+
+# Shape: every documented key is present.
+for key in \
+  '"bench": "serving"' '"scale": "quick"' '"configs"' '"uncached"' \
+  '"cached"' '"wall_seconds"' '"rows_per_s"' '"latency_ms"' '"p50"' \
+  '"p95"' '"plan_cache"' '"segment_cache"' '"hit_rate"' '"speedup"'; do
+  grep -qF "$key" "$OUT" || fail "output missing key $key"
+done
+
+# The caches lit up: the cached config recorded hits on both layers, the
+# uncached config recorded none anywhere.
+grep -A 20 '"cached"' "$OUT" | grep -E '"hits": [1-9]' >/dev/null \
+  || fail "cached config recorded no cache hits"
+grep -A 8 '"uncached"' "$OUT" | grep -E '"hits": 0, "misses": 0' >/dev/null \
+  || fail "uncached config unexpectedly consulted a cache"
+
+# Loose speedup floor for noisy CI boxes (the full run clears 2x easily).
+WALL_SPEEDUP=$(grep -o '"wall": [0-9.]*' "$OUT" | awk '{print $2}')
+awk -v s="$WALL_SPEEDUP" 'BEGIN { exit !(s >= 1.2) }' \
+  || fail "expected wall speedup >= 1.2, got $WALL_SPEEDUP"
+
+echo "bench smoke OK: wall speedup ${WALL_SPEEDUP}x, output shaped as documented"

@@ -229,7 +229,9 @@ let fuzz_corpus =
     Wire.encode_response
       (Wire.Counters
          { Wire.client_queries = 1; real_pieces = 2; fake_queries = 3;
-           server_requests = 4; rows_fetched = 5; rows_delivered = 6 });
+           server_requests = 4; rows_fetched = 5; rows_delivered = 6;
+           plan_cache_hits = 7; plan_cache_misses = 8; segment_cache_hits = 9;
+           segment_cache_misses = 10 });
     Wire.encode_response
       (Wire.Rows
          { Exec.columns = [ "a"; "b" ];

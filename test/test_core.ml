@@ -86,6 +86,30 @@ let test_completion_uniform_alpha () =
   Alcotest.(check (float 1e-12)) "alpha" 0.25 c.Completion.alpha;
   Alcotest.(check (float 1e-9)) "fakes" 3.0 (Completion.expected_fakes_per_real c)
 
+let test_completion_caps_undercut () =
+  (* A cap below Q(i) (possible when caps come from adaptive estimates)
+     contributes no fake mass; alpha must come from the clamped residual so
+     the reported mix matches the one actually drawn. Here cap(0) = 0.5
+     undercuts Q(0) = 0.7: residual = max(0, 0.5-0.7) + max(0, 0.5-0.3)
+     = 0.2, so alpha = 1/1.2 — not the naive 1/Σcap = 1. *)
+  let q = Histogram.of_pmf [| 0.7; 0.3 |] in
+  let c = Completion.of_caps q (fun _ -> 0.5) in
+  Alcotest.(check (float 1e-12)) "alpha from clamped mass" (1.0 /. 1.2)
+    c.Completion.alpha;
+  Alcotest.(check (float 1e-9)) "fakes per real" 0.2
+    (Completion.expected_fakes_per_real c);
+  (match c.Completion.completion with
+  | None -> Alcotest.fail "expected a completion distribution"
+  | Some fake ->
+    Alcotest.(check (float 1e-12)) "no mass where the cap undercuts" 0.0
+      (Histogram.prob fake 0);
+    Alcotest.(check (float 1e-12)) "all mass on the shortfall" 1.0
+      (Histogram.prob fake 1));
+  (* Without an undercut the construction is unchanged: 1/Σcap. *)
+  let ok = Completion.of_caps q (fun _ -> 0.7) in
+  Alcotest.(check (float 1e-12)) "reduces to 1/sum caps" (1.0 /. 1.4)
+    ok.Completion.alpha
+
 let test_completion_uniform_q_no_fakes () =
   let c = Completion.uniform (Histogram.uniform 16) in
   Alcotest.(check (float 1e-12)) "alpha 1" 1.0 c.Completion.alpha;
@@ -469,6 +493,32 @@ let test_pacer_latency () =
   Alcotest.(check (float 1e-9)) "mean latency" ((1.5 +. 3.4) /. 2.0) mean;
   Alcotest.(check (float 1e-9)) "max latency" 3.4 max
 
+let test_pacer_latency_more_releases () =
+  (* The event list can contain releases of enqueues the caller did not
+     list (entries queued before the measurement window). A release that
+     departs before the listed head arrival must be skipped, not paired
+     with the wrong arrival — and nothing raises despite the length
+     mismatch. *)
+  let p = Pacer.create ~interval:1.0 in
+  Pacer.enqueue p ~time:0.1 7;      (* released at t=1, unlisted below *)
+  Pacer.enqueue p ~time:2.5 8;      (* released at t=3 *)
+  let events = Pacer.run_until p ~until:4.0 ~idle_fake:(fun () -> 0) in
+  let mean, max = Pacer.latency_stats events ~enqueued:[ (2.5, 8) ] in
+  Alcotest.(check (float 1e-9)) "mean skips unlisted release" 0.5 mean;
+  Alcotest.(check (float 1e-9)) "max skips unlisted release" 0.5 max
+
+let test_pacer_latency_pending_arrivals () =
+  (* More arrivals than releases: the run ended while entries were still
+     queued. Only the released prefix is measured. *)
+  let p = Pacer.create ~interval:1.0 in
+  let enqueued = [ (0.1, 1); (0.2, 2); (0.3, 3) ] in
+  List.iter (fun (t, s) -> Pacer.enqueue p ~time:t s) enqueued;
+  let events = Pacer.run_until p ~until:1.0 ~idle_fake:(fun () -> 0) in
+  Alcotest.(check int) "still queued" 2 (Pacer.queue_depth p);
+  let mean, max = Pacer.latency_stats events ~enqueued in
+  Alcotest.(check (float 1e-9)) "mean over released prefix" 0.9 mean;
+  Alcotest.(check (float 1e-9)) "max over released prefix" 0.9 max
+
 let test_pacer_validation () =
   Alcotest.check_raises "bad interval" (Invalid_argument "Pacer.create: interval")
     (fun () -> ignore (Pacer.create ~interval:0.0));
@@ -495,6 +545,8 @@ let () =
           Alcotest.test_case "uniform alpha" `Quick test_completion_uniform_alpha;
           Alcotest.test_case "uniform Q needs no fakes" `Quick
             test_completion_uniform_q_no_fakes;
+          Alcotest.test_case "caps undercutting Q" `Quick
+            test_completion_caps_undercut;
           QCheck_alcotest.to_alcotest test_completion_periodic_identity;
           Alcotest.test_case "rho=1 equals uniform" `Quick
             test_completion_periodic_rho1_is_uniform;
@@ -535,6 +587,10 @@ let () =
         [ Alcotest.test_case "fixed departures" `Quick test_pacer_fixed_departures;
           Alcotest.test_case "fifo + idle fakes" `Quick test_pacer_fifo_and_idle_fakes;
           Alcotest.test_case "latency stats" `Quick test_pacer_latency;
+          Alcotest.test_case "latency: unlisted releases" `Quick
+            test_pacer_latency_more_releases;
+          Alcotest.test_case "latency: pending arrivals" `Quick
+            test_pacer_latency_pending_arrivals;
           Alcotest.test_case "validation" `Quick test_pacer_validation ] );
       ( "cost",
         [ Alcotest.test_case "bandwidth & requests" `Quick test_cost_bandwidth_requests;

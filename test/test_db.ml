@@ -1296,6 +1296,104 @@ let test_storage_roundtrip_property =
       let loaded = Storage.load_string (Storage.save_string db) in
       dump db = dump loaded)
 
+(* ------------------------------------------------------------------ *)
+(* Plan cache *)
+
+let plan_cache_db ?plan_cache_capacity () =
+  let db = Database.create ?plan_cache_capacity () in
+  let schema =
+    Schema.make
+      [ { Schema.name = "id"; ty = Value.TInt };
+        { Schema.name = "v"; ty = Value.TInt } ]
+  in
+  let t = Database.create_table db ~name:"t" ~schema in
+  for i = 0 to 99 do
+    ignore (Table.insert t [| Value.Int i; Value.Int (i * 3 mod 50) |])
+  done;
+  db
+
+let pc_stats db =
+  match Database.plan_cache_stats db with
+  | Some s -> s
+  | None -> Alcotest.fail "plan cache unexpectedly disabled"
+
+let sorted_ids result =
+  List.map
+    (function [| Value.Int id |] -> id | _ -> -1)
+    result.Exec.rows
+  |> List.sort Int.compare
+
+let test_plan_cache_hits () =
+  let db = plan_cache_db () in
+  let sql = "SELECT id FROM t WHERE v BETWEEN 5 AND 20" in
+  let r1 = Database.query db sql in
+  Alcotest.(check int) "first run misses" 1 (pc_stats db).Plan_cache.misses;
+  Alcotest.(check int) "no hit yet" 0 (pc_stats db).Plan_cache.hits;
+  let r2 = Database.query db sql in
+  Alcotest.(check int) "second run hits" 1 (pc_stats db).Plan_cache.hits;
+  Alcotest.(check (list int)) "same rows" (sorted_ids r1) (sorted_ids r2);
+  Alcotest.(check int) "one entry" 1 (Database.plan_cache_size db)
+
+let test_plan_cache_invalidation () =
+  let db = plan_cache_db () in
+  let sql = "SELECT id FROM t WHERE v BETWEEN 5 AND 20" in
+  let baseline = sorted_ids (Database.query db sql) in
+  Alcotest.(check int) "seq scan before index" 1 (Database.stats db).Exec.seq_scans;
+  Database.create_index db ~table:"t" ~column:"v";
+  let again = sorted_ids (Database.query db sql) in
+  (* The pre-index plan must not be reused: the epoch bump invalidates it
+     and the re-planned statement goes through the new index. *)
+  Alcotest.(check int) "index scan after CREATE INDEX" 1
+    (Database.stats db).Exec.index_scans;
+  Alcotest.(check int) "entry invalidated" 1 (pc_stats db).Plan_cache.invalidations;
+  Alcotest.(check (list int)) "same answer" baseline again;
+  (* CREATE TABLE bumps the epoch too. *)
+  ignore (Database.query db sql);
+  ignore
+    (Database.create_table db ~name:"u"
+       ~schema:(Schema.make [ { Schema.name = "x"; ty = Value.TInt } ]));
+  ignore (Database.query db sql);
+  Alcotest.(check int) "schema change invalidates" 2
+    (pc_stats db).Plan_cache.invalidations
+
+let test_plan_cache_eviction () =
+  let db = plan_cache_db ~plan_cache_capacity:2 () in
+  let q i = Printf.sprintf "SELECT id FROM t WHERE v = %d" i in
+  ignore (Database.query db (q 1));
+  ignore (Database.query db (q 2));
+  ignore (Database.query db (q 1)); (* refresh 1's recency *)
+  ignore (Database.query db (q 3)); (* evicts the LRU entry: 2 *)
+  Alcotest.(check int) "bounded" 2 (Database.plan_cache_size db);
+  Alcotest.(check int) "one eviction" 1 (pc_stats db).Plan_cache.evictions;
+  ignore (Database.query db (q 1));
+  Alcotest.(check int) "LRU kept the refreshed entry" 2
+    (pc_stats db).Plan_cache.hits
+
+let test_plan_cache_disabled_and_toggle () =
+  let db = plan_cache_db ~plan_cache_capacity:0 () in
+  ignore (Database.query db "SELECT id FROM t");
+  Alcotest.(check bool) "no stats when disabled" true
+    (Database.plan_cache_stats db = None);
+  Alcotest.(check int) "no entries" 0 (Database.plan_cache_size db);
+  Database.set_plan_caching db true;
+  ignore (Database.query db "SELECT id FROM t");
+  ignore (Database.query db "SELECT id FROM t");
+  Alcotest.(check int) "caching after enable" 1 (pc_stats db).Plan_cache.hits;
+  Database.set_plan_caching db false;
+  Alcotest.(check bool) "disabled again" true
+    (Database.plan_cache_stats db = None)
+
+let test_plan_cache_ast_key () =
+  let db = plan_cache_db () in
+  let sql = "SELECT id FROM t WHERE v = 7" in
+  ignore (Database.query_ast db (Sql_parser.parse sql));
+  (* A distinct AST value rendering identically shares the entry. *)
+  ignore (Database.query_ast db (Sql_parser.parse sql));
+  Alcotest.(check int) "canonical rendering hit" 1 (pc_stats db).Plan_cache.hits;
+  (* The raw-SQL and AST keyspaces are distinct (the text may normalize). *)
+  ignore (Database.query db sql);
+  Alcotest.(check int) "sql key is separate" 2 (pc_stats db).Plan_cache.misses
+
 let () =
   Alcotest.run "db"
     [ ( "date",
@@ -1384,4 +1482,11 @@ let () =
           Alcotest.test_case "group by expression" `Quick test_exec_group_by_expression;
           QCheck_alcotest.to_alcotest test_exec_join_property;
           Alcotest.test_case "JOIN ... ON syntax" `Quick test_join_on_syntax;
-          Alcotest.test_case "chained JOIN ... ON" `Quick test_join_on_three_way ] ) ]
+          Alcotest.test_case "chained JOIN ... ON" `Quick test_join_on_three_way ] );
+      ( "plan-cache",
+        [ Alcotest.test_case "hit skips parse and plan" `Quick test_plan_cache_hits;
+          Alcotest.test_case "DDL invalidates" `Quick test_plan_cache_invalidation;
+          Alcotest.test_case "LRU eviction" `Quick test_plan_cache_eviction;
+          Alcotest.test_case "disable / runtime toggle" `Quick
+            test_plan_cache_disabled_and_toggle;
+          Alcotest.test_case "AST canonical key" `Quick test_plan_cache_ast_key ] ) ]

@@ -45,7 +45,12 @@ let test_secret_flow_violation () =
   check_trips ~file:"lib/ope/leak.ml"
     "let label t = Mope_obs.Metrics.counter \"walks\" ~labels:[ (\"k\", \
      t.secret_key) ] ()"
-    "secret-flow" "secret into a metric label value"
+    "secret-flow" "secret into a metric label value";
+  (* The plan cache holds statement text bound for the untrusted server, so
+     it is a sink too: a cache key derived from a secret-named value leaks. *)
+  check_trips ~file:"lib/db/leak.ml"
+    "let lookup cache key = Plan_cache.find cache ~key ~epoch:0" "secret-flow"
+    "secret-named plan-cache key"
 
 let test_secret_flow_clean () =
   check_clean ~file:"lib/system/fine.ml"
@@ -59,7 +64,10 @@ let test_secret_flow_clean () =
     "non-secret metric observation is clean";
   check_clean ~file:"lib/system/fine.ml"
     "let count rows = Trace.add_item \"rows_kept\" rows"
-    "non-secret trace item is clean"
+    "non-secret trace item is clean";
+  check_clean ~file:"lib/db/fine.ml"
+    "let lookup cache cache_key = Plan_cache.find cache ~key:cache_key ~epoch:0"
+    "neutral-named plan-cache key is clean"
 
 (* ---------- determinism ---------- *)
 

@@ -18,7 +18,9 @@ let contains ~needle haystack =
 
 let sample_counters =
   { Wire.client_queries = 3; real_pieces = 5; fake_queries = 7;
-    server_requests = 2; rows_fetched = 1234; rows_delivered = 99 }
+    server_requests = 2; rows_fetched = 1234; rows_delivered = 99;
+    plan_cache_hits = 11; plan_cache_misses = 4; segment_cache_hits = 21;
+    segment_cache_misses = 6 }
 
 let roundtrip_request r = snd (Wire.decode_request (Wire.encode_request r))
 
@@ -223,6 +225,53 @@ let test_loopback_tpch () =
       Alcotest.(check int) "one connection" 1 s.Server.connections_accepted;
       Alcotest.(check bool) "latency recorded" true (s.Server.total_latency > 0.0));
   Alcotest.(check bool) "loopback done" true true
+
+let test_loopback_cache_counters () =
+  (* Repeating a statement over the wire must light up both cache layers —
+     and stay byte-identical to the plaintext baseline, cached or not. A
+     period of rho = m yields alpha = 1 (no fakes), so the executed starts
+     — and hence the fetch statements — repeat exactly across runs. *)
+  let tb = Lazy.force testbed in
+  let rho = Testbed.padded_domain ~rho:None in
+  let proxies =
+    [ ( Tpch_queries.date_column Tpch_queries.Q6,
+        Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho:(Some rho)
+          ~batch_size:25 ~seed:31L () ) ]
+  in
+  let service = Service.create ~proxies () in
+  with_server (Service.handler service) (fun server ->
+      Client.with_client ~port:(Server.port server) (fun client ->
+          let rng = Mope_stats.Rng.create 29L in
+          let inst = Tpch_queries.random_instance rng Tpch_queries.Q6 in
+          let plain = Testbed.run_plain tb inst in
+          let run () =
+            Client.query client ~sql:inst.Tpch_queries.sql
+              ~date_column:(Tpch_queries.date_column inst.Tpch_queries.template)
+              ~date_lo:inst.Tpch_queries.date_lo
+              ~date_hi:inst.Tpch_queries.date_hi ()
+          in
+          let r1 = run () in
+          let c1 = Client.counters client in
+          let r2 = run () in
+          let c2 = Client.counters client in
+          Alcotest.(check (list (list string))) "cold run matches baseline"
+            (result_fingerprint plain) (result_fingerprint r1);
+          Alcotest.(check (list (list string))) "cached run byte-identical"
+            (result_fingerprint plain) (result_fingerprint r2);
+          (* First run: only misses. Second run: every start and statement
+             repeats, so both layers hit. *)
+          Alcotest.(check bool) "cold segment misses" true
+            (c1.Wire.segment_cache_misses > 0);
+          Alcotest.(check int) "no cold segment hits"
+            0 c1.Wire.segment_cache_hits;
+          Alcotest.(check bool) "segment cache hits rose" true
+            (c2.Wire.segment_cache_hits > c1.Wire.segment_cache_hits);
+          Alcotest.(check bool) "plan cache hits rose" true
+            (c2.Wire.plan_cache_hits > c1.Wire.plan_cache_hits);
+          Alcotest.(check bool) "plan cache misses counted" true
+            (c2.Wire.plan_cache_misses >= 1);
+          Alcotest.(check int) "no new segment walks on repeat"
+            c1.Wire.segment_cache_misses c2.Wire.segment_cache_misses))
 
 let test_trace_propagation () =
   (* End-to-end observability: a client-minted trace id rides the v3 header,
@@ -524,6 +573,8 @@ let () =
       ( "loopback",
         [ Alcotest.test_case "TPC-H through the encrypted pipeline" `Slow
             test_loopback_tpch;
+          Alcotest.test_case "cache counters over the wire" `Slow
+            test_loopback_cache_counters;
           Alcotest.test_case "trace propagation end to end" `Slow
             test_trace_propagation;
           Alcotest.test_case "unknown column is a structured error" `Quick

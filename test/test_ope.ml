@@ -236,6 +236,50 @@ let test_ope_decrypt_cache_consistent () =
     Alcotest.(check int) "memo decrypt again" m (Ope.decrypt a c)
   done
 
+let test_ope_dec_memo_negative_cache () =
+  let domain = 8 in
+  let t = Ope.create ~key:"neg" ~domain ~range:(16 * domain) () in
+  let valid = List.init domain (fun m -> Ope.encrypt t m) in
+  let invalid =
+    let rec find c = if List.mem c valid then find (c + 1) else c in
+    find 0
+  in
+  let raises c =
+    match Ope.decrypt t c with
+    | _ -> false
+    | exception Ope.Not_a_ciphertext _ -> true
+  in
+  Alcotest.(check bool) "first probe raises" true (raises invalid);
+  (* The repeated invalid probe is served by the negative entry — it still
+     raises, but without redoing the walk. *)
+  Alcotest.(check bool) "second probe raises" true (raises invalid);
+  let s = Ope.dec_cache_stats t in
+  Alcotest.(check int) "one walk only" 1 s.Ope.misses;
+  Alcotest.(check int) "negative entry hit" 1 s.Ope.hits;
+  Alcotest.(check int) "one entry" 1 s.Ope.entries;
+  Alcotest.(check int) "no evictions" 0 s.Ope.evictions
+
+let test_ope_dec_memo_eviction () =
+  (* domain 2 -> memo cap = 8 * 2 = 16, range = 32: probing every range
+     value inserts 32 entries (2 valid + 30 negative) and must evict 16. *)
+  let domain = 2 in
+  let range = 16 * domain in
+  let t = Ope.create ~key:"evict" ~domain ~range () in
+  let decode c =
+    match Ope.decrypt t c with
+    | m -> Some m
+    | exception Ope.Not_a_ciphertext _ -> None
+  in
+  let first = List.init range decode in
+  let s = Ope.dec_cache_stats t in
+  Alcotest.(check int) "entries bounded by cap" 16 s.Ope.entries;
+  Alcotest.(check int) "evictions" 16 s.Ope.evictions;
+  Alcotest.(check int) "every first probe walked" range s.Ope.misses;
+  (* Evicted ciphertexts re-walk and still answer identically. *)
+  let again = List.init range decode in
+  Alcotest.(check bool) "stable across evictions" true (first = again);
+  Alcotest.(check int) "still bounded" 16 (Ope.dec_cache_stats t).Ope.entries
+
 let test_mope_segments_at_most_two =
   QCheck.Test.make ~name:"ciphertext_segments yields 1 or 2 ordered segments" ~count:200
     QCheck.(quad (int_range 2 60) (int_range 0 59) (int_range 0 59) (int_range 0 59))
@@ -287,5 +331,9 @@ let () =
           QCheck_alcotest.to_alcotest test_ope_cache_equivalence;
           Alcotest.test_case "decrypt memo consistent" `Quick
             test_ope_decrypt_cache_consistent;
+          Alcotest.test_case "decrypt memo negative cache" `Quick
+            test_ope_dec_memo_negative_cache;
+          Alcotest.test_case "decrypt memo eviction" `Quick
+            test_ope_dec_memo_eviction;
           QCheck_alcotest.to_alcotest test_mope_segments_at_most_two;
           Alcotest.test_case "recommended range" `Quick test_recommended_range ] ) ]

@@ -262,6 +262,76 @@ let test_batch_size_invariant_counters () =
         (result_fingerprint a) (result_fingerprint b))
     r1 r8
 
+let test_segment_cache_determinism () =
+  (* The segment cache must be invisible in results: same seed, same
+     instance, caches on and off, byte-identical rows — only the hit
+     counters differ. *)
+  let tb = Lazy.force testbed in
+  let rng = Mope_stats.Rng.create 61L in
+  let inst = Tpch_queries.random_instance rng Tpch_queries.Q6 in
+  let run caching =
+    let proxy =
+      Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho:(Some 31) ~batch_size:8
+        ~caching ~seed:13L ()
+    in
+    let r1 = Testbed.run_encrypted proxy inst in
+    let r2 = Testbed.run_encrypted proxy inst in
+    (proxy, r1, r2)
+  in
+  let cached, c1, c2 = run true in
+  let uncached, u1, u2 = run false in
+  Alcotest.(check (list (list string))) "first run identical"
+    (result_fingerprint u1) (result_fingerprint c1);
+  Alcotest.(check (list (list string))) "repeat identical"
+    (result_fingerprint u2) (result_fingerprint c2);
+  let cc = Proxy.counters cached and uc = Proxy.counters uncached in
+  Alcotest.(check bool) "repeated starts hit" true (cc.Proxy.segment_cache_hits > 0);
+  Alcotest.(check bool) "cold starts missed" true (cc.Proxy.segment_cache_misses > 0);
+  Alcotest.(check int) "uncached proxy never consults a cache" 0
+    (uc.Proxy.segment_cache_hits + uc.Proxy.segment_cache_misses);
+  Alcotest.(check int) "uncached proxy holds nothing" 0
+    (Proxy.segment_cache_size uncached);
+  (* The cache is bounded by the start domain. *)
+  Alcotest.(check bool) "entries bounded by m" true
+    (Proxy.segment_cache_size cached
+    <= Encrypted_db.date_domain (Testbed.encrypted_for tb ~rho:(Some 31)))
+
+let test_batch_coalescing_no_rescan () =
+  (* One fully-batched statement over many overlapping/adjacent coverage
+     windows: segments are coalesced before the fetch predicate, so the
+     server touches each lineitem row at most once even though the batch
+     carries many executed starts. *)
+  let tb = Lazy.force testbed in
+  let rng = Mope_stats.Rng.create 67L in
+  let inst = Tpch_queries.random_instance rng Tpch_queries.Q6 in
+  let proxy =
+    Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho:(Some 31)
+      ~batch_size:10_000 ~seed:15L ()
+  in
+  let m_scanned = Mope_obs.Metrics.counter "mope_exec_rows_scanned_total" () in
+  let server_stats = Database.stats (Proxy.server_database proxy) in
+  let server_before = server_stats.Exec.rows_scanned in
+  Mope_obs.Metrics.set_enabled true;
+  let metric_before = Mope_obs.Metrics.counter_value m_scanned in
+  let _ = Testbed.run_encrypted proxy inst in
+  Mope_obs.Metrics.set_enabled false;
+  let metric_delta = Mope_obs.Metrics.counter_value m_scanned - metric_before in
+  let server_delta = server_stats.Exec.rows_scanned - server_before in
+  let c = Proxy.counters proxy in
+  Alcotest.(check int) "single batched statement" 1 c.Proxy.server_requests;
+  Alcotest.(check bool) "batch had multiple starts" true
+    (c.Proxy.real_pieces + c.Proxy.fake_queries > 1);
+  let lineitems = (Testbed.sizes tb).Tpch.lineitems in
+  Alcotest.(check bool)
+    (Printf.sprintf "server scanned %d <= %d rows despite %d starts"
+       server_delta lineitems
+       (c.Proxy.real_pieces + c.Proxy.fake_queries))
+    true
+    (server_delta <= lineitems);
+  (* The Prometheus counter observed the same work (it also covers the
+     proxy's local re-evaluation over the fetched rows). *)
+  Alcotest.(check bool) "metric ticked" true (metric_delta >= server_delta)
+
 let test_padded_domain () =
   Alcotest.(check int) "no padding" 2557 (Testbed.padded_domain ~rho:None);
   Alcotest.(check int) "rho 92" 2576 (Testbed.padded_domain ~rho:(Some 92));
@@ -631,4 +701,8 @@ let () =
             test_batch_larger_than_pieces;
           Alcotest.test_case "batch size invariant counters" `Quick
             test_batch_size_invariant_counters;
+          Alcotest.test_case "segment cache determinism" `Quick
+            test_segment_cache_determinism;
+          Alcotest.test_case "batch coalescing never rescans" `Quick
+            test_batch_coalescing_no_rescan;
           Alcotest.test_case "padded domains" `Quick test_padded_domain ] ) ]
