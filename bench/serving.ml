@@ -19,8 +19,10 @@
 
    Writes BENCH_serving.json: wall time, p50/p95/mean latency, rows/s and
    cache hit rates per configuration, plus cached-vs-uncached speedups.
+   The instance-selection seed is recorded in the output so a run can be
+   reproduced exactly.
 
-   Usage: dune exec bench/serving.exe -- [--quick] [--out PATH] *)
+   Usage: dune exec bench/serving.exe -- [--quick] [--seed SEED] [--out PATH] *)
 
 open Mope_workload
 open Mope_net
@@ -37,8 +39,8 @@ type measured = {
 let templates = [ Tpch_queries.Q6; Tpch_queries.Q4 ]
 
 (* The same instance list is replayed [rounds] times in both configs. *)
-let make_instances ~per_template =
-  let rng = Mope_stats.Rng.create 41L in
+let make_instances ~seed ~per_template =
+  let rng = Mope_stats.Rng.create seed in
   List.concat_map
     (fun template ->
       List.init per_template (fun _ ->
@@ -141,24 +143,27 @@ let config_json b name m =
 let () =
   let quick = ref false in
   let out = ref "BENCH_serving.json" in
+  let seed = ref 41 in
   let spec =
     [ ("--quick", Arg.Set quick, " small workload (CI smoke)");
+      ("--seed", Arg.Set_int seed, "SEED  instance-selection seed (default \
+                                    41)");
       ("--out", Arg.Set_string out, "PATH  output file (default \
                                      BENCH_serving.json)") ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/serving.exe [--quick] [--out PATH]";
+    "bench/serving.exe [--quick] [--seed SEED] [--out PATH]";
   let sf = if !quick then 0.002 else 0.005 in
   let per_template = if !quick then 2 else 4 in
   let rounds = if !quick then 3 else 6 in
   Printf.printf
-    "serving macro-benchmark (%s): sf=%g, %d instances x %d rounds per \
-     config\n%!"
+    "serving macro-benchmark (%s): sf=%g, seed=%d, %d instances x %d rounds \
+     per config\n%!"
     (if !quick then "quick" else "full")
-    sf (2 * per_template) rounds;
+    sf !seed (2 * per_template) rounds;
   let tb = Testbed.load ~sf ~seed:21L () in
-  let instances = make_instances ~per_template in
+  let instances = make_instances ~seed:(Int64.of_int !seed) ~per_template in
   let bench label caching =
     Printf.printf "running %s config...\n%!" label;
     let m = run_config tb ~label ~caching ~instances ~rounds in
@@ -187,11 +192,12 @@ let () =
     \  \"bench\": \"serving\",\n\
     \  \"scale\": \"%s\",\n\
     \  \"sf\": %g,\n\
+    \  \"seed\": %d,\n\
     \  \"distinct_instances\": %d,\n\
     \  \"rounds\": %d,\n\
     \  \"configs\": {\n"
     (if !quick then "quick" else "full")
-    sf (List.length instances) rounds;
+    sf !seed (List.length instances) rounds;
   config_json b "uncached" uncached;
   Buffer.add_string b ",\n";
   config_json b "cached" cached;

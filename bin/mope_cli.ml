@@ -8,6 +8,7 @@
      demo       run the end-to-end encrypted TPC-H demo
      attack     mount the gap attack on naive vs protected query streams
      serve      run the trusted proxy as a TCP service over the testbed
+     cluster    launch a loopback sharded cluster and scatter-gather over it
      stats      scrape a running proxy's metrics and recent traces
      save       generate the TPC-H database and persist it to disk
      load       inspect a database file written by save / sql --db *)
@@ -550,6 +551,151 @@ let serve_cmd =
           $ timeout_arg $ metrics_dump_arg)
 
 (* ------------------------------------------------------------------ *)
+(* cluster: sharded, replicated loopback topology with scatter-gather *)
+
+let cluster_cmd =
+  let shards_arg =
+    let doc = "Shard primaries the ciphertext space is partitioned over." in
+    Arg.(value & opt int 3 & info [ "shards" ] ~docv:"K" ~doc)
+  in
+  let replicas_arg =
+    let doc = "WAL-shipping read replicas per shard (failover targets)." in
+    Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"R" ~doc)
+  in
+  let rho_arg =
+    let doc = "Period for QueryP fake-query scheduling (omit for QueryU)." in
+    Arg.(value & opt (some int) None & info [ "rho" ] ~docv:"RHO" ~doc)
+  in
+  let queries_arg =
+    let doc = "Random TPC-H query instances to run through the cluster." in
+    Arg.(value & opt int 9 & info [ "queries" ] ~docv:"N" ~doc)
+  in
+  let kill_arg =
+    let doc =
+      "Kill shard $(docv)'s primary halfway through the run: subsequent \
+       reads touching it must fail over to its replicas."
+    in
+    Arg.(value & opt (some int) None & info [ "kill-shard" ] ~docv:"SHARD" ~doc)
+  in
+  let batch_arg =
+    let doc = "Executed queries combined into one server statement (§5.1)." in
+    Arg.(value & opt int 25 & info [ "batch-size" ] ~docv:"N" ~doc)
+  in
+  let run shards replicas sf seed rho queries kill batch_size =
+    let open Mope_system in
+    let open Mope_workload in
+    let open Mope_cluster in
+    Mope_obs.Metrics.set_enabled true;
+    if shards < 1 then begin
+      Printf.eprintf "--shards must be >= 1\n";
+      exit 1
+    end;
+    (match kill with
+    | Some s when s < 0 || s >= shards ->
+      Printf.eprintf "--kill-shard %d out of range (0..%d)\n" s (shards - 1);
+      exit 1
+    | Some _ when replicas < 1 ->
+      Printf.eprintf "--kill-shard needs --replicas >= 1 to keep serving\n";
+      exit 1
+    | _ -> ());
+    Printf.printf "generating TPC-H at SF %g (seed %d)...\n%!" sf seed;
+    let tb = Testbed.load ~sf ~seed:(Int64.of_int seed) () in
+    let enc = Testbed.encrypted_for tb ~rho in
+    let wal_dir = Filename.temp_file "mope-cluster" "" in
+    Sys.remove wal_dir;
+    Unix.mkdir wal_dir 0o700;
+    let topo = Topology.launch ~enc ~shards ~replicas ~wal_dir () in
+    Fun.protect
+      ~finally:(fun () ->
+        Topology.shutdown topo;
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat wal_dir f))
+          (Sys.readdir wal_dir);
+        Unix.rmdir wal_dir)
+      (fun () ->
+        Printf.printf
+          "cluster up: %d shard(s) x %d replica(s) on 127.0.0.1 (primary \
+           ports %s); %s\n%!"
+          shards replicas
+          (String.concat ", "
+             (List.init shards (fun i ->
+                  string_of_int (Topology.primary_port topo ~shard:i))))
+          (match rho with
+          | None -> "QueryU"
+          | Some r -> Printf.sprintf "QueryP[%d]" r);
+        (* One proxy per MOPE date column, as serve builds them — but the
+           fetch seam scatter-gathers over the shard fleet. *)
+        let proxies =
+          [ ( Tpch_queries.date_column Tpch_queries.Q6,
+              Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho ~batch_size
+                ~fetch:(Topology.fetch topo) ~seed:(Int64.of_int (seed + 1)) () );
+            ( Tpch_queries.date_column Tpch_queries.Q4,
+              Testbed.proxy tb ~template:Tpch_queries.Q4 ~rho ~batch_size
+                ~fetch:(Topology.fetch topo) ~seed:(Int64.of_int (seed + 2)) () ) ]
+        in
+        let fingerprint r =
+          List.map
+            (fun row -> Array.to_list (Array.map Mope_db.Value.to_string row))
+            r.Mope_db.Exec.rows
+        in
+        let rng = Rng.create (Int64.of_int (seed + 1000)) in
+        let templates = [| Tpch_queries.Q6; Tpch_queries.Q14; Tpch_queries.Q4 |] in
+        let failures = ref 0 in
+        for q = 0 to queries - 1 do
+          (match kill with
+          | Some shard when q = (queries + 1) / 2 ->
+            Printf.printf "-- killing shard %d's primary --\n%!" shard;
+            Topology.kill_primary topo ~shard
+          | _ -> ());
+          let inst =
+            Tpch_queries.random_instance rng
+              templates.(q mod Array.length templates)
+          in
+          let name = Tpch_queries.template_name inst.Tpch_queries.template in
+          let col = Tpch_queries.date_column inst.Tpch_queries.template in
+          match Testbed.run_encrypted (List.assoc col proxies) inst with
+          | got ->
+            let ok =
+              fingerprint got = fingerprint (Testbed.run_plain tb inst)
+            in
+            if not ok then incr failures;
+            Printf.printf "%-4s %4d row(s)  %s\n%!" name
+              (List.length got.Mope_db.Exec.rows)
+              (if ok then "ok (matches plaintext)" else "MISMATCH")
+          | exception Mope_error.Error e ->
+            incr failures;
+            Printf.printf "%-4s FAILED: %s\n%!" name (Mope_error.to_string e)
+        done;
+        let failovers =
+          List.fold_left ( + ) 0
+            (List.init shards (fun i ->
+                 Mope_obs.Metrics.counter_value
+                   (Mope_obs.Metrics.counter "mope_cluster_failover_total"
+                      ~labels:[ ("shard", string_of_int i) ] ())))
+        in
+        Printf.printf "reads served by replicas after failover: %d\n" failovers;
+        if replicas > 0 then
+          List.iteri
+            (fun shard lags ->
+              Printf.printf "shard %d replica lag: %s byte(s)\n" shard
+                (String.concat ", " (List.map string_of_int lags)))
+            (List.init shards (fun i -> Topology.replica_lag topo ~shard:i));
+        if !failures > 0 then begin
+          Printf.eprintf "%d query(ies) failed or diverged\n" !failures;
+          exit 1
+        end)
+  in
+  let doc =
+    "Launch a loopback sharded cluster — $(b,K) primaries each holding one \
+     ciphertext slice, $(b,R) WAL-shipping replicas per shard — and run \
+     scatter-gather TPC-H queries through it, checking every answer \
+     against the plaintext baseline."
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(const run $ shards_arg $ replicas_arg $ sf_arg $ seed_arg $ rho_arg
+          $ queries_arg $ kill_arg $ batch_arg)
+
+(* ------------------------------------------------------------------ *)
 (* stats: scrape a running proxy *)
 
 let stats_cmd =
@@ -599,4 +745,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ encrypt_cmd; decrypt_cmd; ranges_cmd; schedule_cmd; demo_cmd;
-            attack_cmd; sql_cmd; serve_cmd; stats_cmd; save_cmd; load_cmd ]))
+            attack_cmd; sql_cmd; serve_cmd; cluster_cmd; stats_cmd; save_cmd;
+          load_cmd ]))

@@ -1,0 +1,293 @@
+open Mope_db
+module Client = Mope_net.Client
+module Metrics = Mope_obs.Metrics
+module Trace = Mope_obs.Trace
+
+type endpoint = { host : string; port : int }
+
+type shard_conf = { primary : endpoint; replicas : endpoint list }
+
+(* One connection target (primary or replica) of one shard. Clients are
+   dialed lazily and are not thread-safe, so each leg carries its own
+   lock; different shards never contend. *)
+type leg = {
+  endpoint : endpoint;
+  leg_lock : Mutex.t;
+  mutable client : Client.t option;
+}
+
+type shard_legs = {
+  legs : leg list;  (* primary first *)
+  m_fetch : Metrics.counter;
+  m_failover : Metrics.counter;
+}
+
+type client_opts = {
+  timeout : float;
+  request_retries : int;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  wrap : Mope_net.Transport.t -> Mope_net.Transport.t;
+}
+
+type t = {
+  map : Shard_map.t;
+  shards : shard_legs array;
+  opts : client_opts;
+  seed : int64;
+  subquery_cache : (string, Sql_ast.expr list) Hashtbl.t option;
+  cache_lock : Mutex.t;
+}
+
+let create ~map ~shards ?(timeout = 10.0) ?(request_retries = 1)
+    ?(breaker_threshold = 3) ?(breaker_cooldown = 1.0) ?(seed = 0x5eedL)
+    ?(wrap = Fun.id) ?(subquery_cache = true) () =
+  let n = Shard_map.shards map in
+  if List.length shards <> n then
+    invalid_arg "Coordinator.create: one shard_conf per shard required";
+  let shard_legs =
+    List.mapi
+      (fun i conf ->
+        let labels = [ ("shard", string_of_int i) ] in
+        { legs =
+            List.map
+              (fun endpoint ->
+                { endpoint; leg_lock = Mutex.create (); client = None })
+              (conf.primary :: conf.replicas);
+          m_fetch =
+            Metrics.counter ~help:"Sub-fetches sent to this shard"
+              "mope_cluster_shard_fetch_total" ~labels ();
+          m_failover =
+            Metrics.counter
+              ~help:"Reads served by a fallback leg after a failed one"
+              "mope_cluster_failover_total" ~labels () })
+      shards
+  in
+  { map;
+    shards = Array.of_list shard_legs;
+    opts = { timeout; request_retries; breaker_threshold; breaker_cooldown; wrap };
+    seed;
+    subquery_cache = (if subquery_cache then Some (Hashtbl.create 8) else None);
+    cache_lock = Mutex.create () }
+
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* Run [f] over the leg's client, dialing if needed. A dead client is
+   dropped so the next call redials. Must be called with the leg lock
+   held via [on_leg]. *)
+let leg_client t shard_idx leg_idx leg =
+  match leg.client with
+  | Some c when not (Client.is_closed c) -> c
+  | _ ->
+    let c =
+      Client.connect ~host:leg.endpoint.host ~port:leg.endpoint.port
+        ~timeout:t.opts.timeout ~retries:1 ~backoff:0.02
+        ~request_retries:t.opts.request_retries
+        ~breaker_threshold:t.opts.breaker_threshold
+        ~breaker_cooldown:t.opts.breaker_cooldown
+        ~seed:
+          (Int64.add t.seed (Int64.of_int ((shard_idx * 97) + (leg_idx * 13) + 1)))
+        ~wrap:t.opts.wrap ()
+    in
+    leg.client <- Some c;
+    c
+
+let on_leg t shard_idx leg_idx leg f =
+  locked leg.leg_lock (fun () -> f (leg_client t shard_idx leg_idx leg))
+
+(* Try the shard's legs in order — primary, then replicas. The client's
+   circuit breaker makes a dead leg fail fast after it trips, so the
+   primary-first policy costs little during an outage and heals
+   automatically once the breaker half-opens onto a revived primary. *)
+let on_shard t shard_idx f =
+  let shard = t.shards.(shard_idx) in
+  let rec go leg_idx last_err = function
+    | [] -> (
+      match last_err with
+      | Some e -> raise e
+      | None ->
+        Mope_error.failwithf "Coordinator: shard %d has no legs" shard_idx)
+    | leg :: rest -> (
+      match on_leg t shard_idx leg_idx leg f with
+      | v ->
+        if leg_idx > 0 then Metrics.inc shard.m_failover;
+        v
+      | exception (Mope_error.Error _ as e) ->
+        (* This leg is down or misbehaving; let the next one serve. The
+           dial inside [leg_client] can also raise here. *)
+        go (leg_idx + 1) (Some e) rest)
+  in
+  go 0 None shard.legs
+
+(* ------------------------------------------------------------------ *)
+(* IN (SELECT ...) pre-resolution *)
+
+(* Broadcast the inner select to every shard and union the value sets:
+   rows of a partitioned table live on exactly one shard and replicated
+   tables return identical sets, so sort_uniq of the concatenation is
+   exactly the single-node subquery result. *)
+let resolve_subquery t inner =
+  let sql = Sql_ast.select_to_string inner in
+  let compute () =
+    let n = Array.length t.shards in
+    let results = Array.make n [] in
+    let errors = Array.make n None in
+    let threads =
+      List.init n (fun i ->
+          Thread.create
+            (fun () ->
+              match on_shard t i (fun c -> Client.fetch c ~sql ()) with
+              | r -> results.(i) <- r.Exec.rows
+              | exception e -> errors.(i) <- Some e)
+            ())
+    in
+    List.iter Thread.join threads;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    let values =
+      Array.to_list results
+      |> List.concat_map
+           (List.filter_map (fun row ->
+                if Array.length row = 1 then Some row.(0) else None))
+      |> List.sort_uniq compare
+    in
+    List.map (fun v -> Sql_ast.Lit v) values
+  in
+  match t.subquery_cache with
+  | None -> compute ()
+  | Some cache -> (
+    match locked t.cache_lock (fun () -> Hashtbl.find_opt cache sql) with
+    | Some vs -> vs
+    | None ->
+      let vs = compute () in
+      locked t.cache_lock (fun () -> Hashtbl.replace cache sql vs);
+      vs)
+
+let rec resolve_expr t expr =
+  let r = resolve_expr t in
+  match expr with
+  | Sql_ast.Lit _ | Sql_ast.Col _ | Sql_ast.Agg (_, None) -> expr
+  | Sql_ast.Binop (op, a, b) -> Sql_ast.Binop (op, r a, r b)
+  | Sql_ast.Cmp (op, a, b) -> Sql_ast.Cmp (op, r a, r b)
+  | Sql_ast.And (a, b) -> Sql_ast.And (r a, r b)
+  | Sql_ast.Or (a, b) -> Sql_ast.Or (r a, r b)
+  | Sql_ast.Not e -> Sql_ast.Not (r e)
+  | Sql_ast.Between (e, lo, hi) -> Sql_ast.Between (r e, r lo, r hi)
+  | Sql_ast.In_list (e, es) -> Sql_ast.In_list (r e, List.map r es)
+  | Sql_ast.In_select (e, inner) ->
+    Sql_ast.In_list (r e, resolve_subquery t inner)
+  | Sql_ast.Like (e, pat) -> Sql_ast.Like (r e, pat)
+  | Sql_ast.Is_null e -> Sql_ast.Is_null (r e)
+  | Sql_ast.Case (arms, else_) ->
+    Sql_ast.Case
+      (List.map (fun (c, v) -> (r c, r v)) arms, Option.map r else_)
+  | Sql_ast.Agg (kind, Some e) -> Sql_ast.Agg (kind, Some (r e))
+
+let rec has_subquery = function
+  | Sql_ast.In_select _ -> true
+  | Sql_ast.Lit _ | Sql_ast.Col _ | Sql_ast.Agg (_, None) -> false
+  | Sql_ast.Binop (_, a, b) | Sql_ast.Cmp (_, a, b)
+  | Sql_ast.And (a, b) | Sql_ast.Or (a, b) ->
+    has_subquery a || has_subquery b
+  | Sql_ast.Not e | Sql_ast.Like (e, _) | Sql_ast.Is_null e
+  | Sql_ast.Agg (_, Some e) ->
+    has_subquery e
+  | Sql_ast.Between (e, lo, hi) ->
+    has_subquery e || has_subquery lo || has_subquery hi
+  | Sql_ast.In_list (e, es) -> has_subquery e || List.exists has_subquery es
+  | Sql_ast.Case (arms, else_) ->
+    List.exists (fun (c, v) -> has_subquery c || has_subquery v) arms
+    || (match else_ with Some e -> has_subquery e | None -> false)
+
+let resolve_template t (template : Sql_ast.select) =
+  match template.Sql_ast.where with
+  | Some w when has_subquery w ->
+    { template with Sql_ast.where = Some (resolve_expr t w) }
+  | _ -> template
+
+(* ------------------------------------------------------------------ *)
+(* The scatter-gather fetch *)
+
+let fetch t ~date_column ~segments ~template =
+  Trace.with_span "scatter_gather" (fun () ->
+      let template = resolve_template t template in
+      let routed = Shard_map.route t.map segments in
+      let n = Array.length t.shards in
+      let results = Array.make n None in
+      let errors = Array.make n None in
+      let shards_hit = ref 0 in
+      let workers =
+        List.concat
+          (List.init n (fun i ->
+               match routed.(i) with
+               | [] -> []
+               | segs ->
+                 incr shards_hit;
+                 Metrics.inc t.shards.(i).m_fetch;
+                 let ast =
+                   Mope_system.Rewrite.add_conjunct template
+                     (Mope_system.Rewrite.cipher_ranges_expr ~column:date_column
+                        ~segments:segs)
+                 in
+                 let sql = Sql_ast.select_to_string ast in
+                 [ Thread.create
+                     (fun () ->
+                       match
+                         on_shard t i (fun c -> Client.fetch c ~sql ())
+                       with
+                       | r -> results.(i) <- Some r
+                       | exception e -> errors.(i) <- Some e)
+                     () ]))
+      in
+      List.iter Thread.join workers;
+      Array.iter (function Some e -> raise e | None -> ()) errors;
+      (* Merge in shard order: the slices partition the ciphertext space in
+         ascending order, so concatenation reproduces a single node's
+         ascending index-scan order. *)
+      let merged =
+        Array.to_list results |> List.filter_map Fun.id
+        |> fun rs ->
+        match rs with
+        | [] -> { Exec.columns = []; rows = [] }
+        | first :: _ ->
+          { Exec.columns = first.Exec.columns;
+            rows = List.concat_map (fun r -> r.Exec.rows) rs }
+      in
+      Trace.add_item "shards_hit" !shards_hit;
+      Trace.add_item "rows_merged" (List.length merged.Exec.rows);
+      merged)
+
+let apply t ~shard ~sql =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Coordinator.apply: bad shard";
+  (* Writes go to the primary only — never failed over. *)
+  match t.shards.(shard).legs with
+  | [] -> Mope_error.failwithf "Coordinator: shard %d has no legs" shard
+  | leg :: _ -> on_leg t shard 0 leg (fun c -> Client.apply c ~sql ())
+
+let wal_pos t ~shard =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Coordinator.wal_pos: bad shard";
+  match t.shards.(shard).legs with
+  | [] -> Mope_error.failwithf "Coordinator: shard %d has no legs" shard
+  | leg :: _ ->
+    let chunk =
+      on_leg t shard 0 leg (fun c ->
+          Client.wal_since c ~from_pos:max_int ~max_bytes:1 ())
+    in
+    chunk.Wal.end_pos
+
+let close t =
+  Array.iter
+    (fun shard ->
+      List.iter
+        (fun leg ->
+          locked leg.leg_lock (fun () ->
+              match leg.client with
+              | Some c ->
+                leg.client <- None;
+                Client.close c
+              | None -> ()))
+        shard.legs)
+    t.shards

@@ -1,0 +1,67 @@
+(** Scatter-gather query coordinator over a sharded encrypted store.
+
+    Implements the proxy's {!Mope_system.Proxy.fetch} seam against a fleet
+    of shard stores: route the query's coalesced ciphertext segments over
+    the {!Shard_map}, specialize the date-less fetch template per shard,
+    fan the sub-fetches out concurrently over the wire, and merge the
+    (still encrypted) rows back in shard order — ascending ciphertext, the
+    same order a single node's index scan yields.
+
+    [IN (SELECT …)] conjuncts cannot be evaluated on one shard of a
+    partitioned table, so the coordinator {e pre-resolves} them: the inner
+    select is broadcast to every shard, the per-shard value sets are
+    unioned (each partitioned row lives on exactly one shard), and the
+    conjunct is rewritten to a literal [IN]-list before fan-out.
+
+    Failover: each shard lists its primary first, then its replicas. A
+    leg whose request fails (dead primary, tripped breaker, chaos) is
+    skipped and the next leg serves the read; the per-shard
+    [mope_cluster_failover_total] counter records it. Fetches are
+    idempotent reads, so retrying a different leg is always safe. *)
+
+type endpoint = { host : string; port : int }
+
+type shard_conf = {
+  primary : endpoint;
+  replicas : endpoint list;  (** failover order after the primary *)
+}
+
+type t
+
+val create :
+  map:Shard_map.t ->
+  shards:shard_conf list ->
+  ?timeout:float ->
+  ?request_retries:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown:float ->
+  ?seed:int64 ->
+  ?wrap:(Mope_net.Transport.t -> Mope_net.Transport.t) ->
+  ?subquery_cache:bool ->
+  unit ->
+  t
+(** [shards] must have exactly [Shard_map.shards map] entries. Connections
+    are dialed lazily, per leg, and redialed transparently. [wrap]
+    interposes on every dialed connection (e.g. {!Mope_net.Chaos.wrap});
+    [seed] makes the per-leg client jitter deterministic.
+    [subquery_cache] (default [true]) memoizes resolved [IN (SELECT …)]
+    value lists — sound while serving a read-only workload; disable it if
+    the stores are mutated between queries. The client-tuning parameters
+    are forwarded to {!Mope_net.Client.connect} (with failover-friendly
+    defaults: 1 request retry, breaker threshold 3). *)
+
+val fetch : t -> Mope_system.Proxy.fetch
+(** The scatter-gather fetch — pass to {!Mope_system.Proxy.create}. Raises
+    {!Mope_error.Error} when a touched shard has no live leg. *)
+
+val apply : t -> shard:int -> sql:string -> int
+(** Execute one mutating statement on a shard's primary (never failed over
+    to a replica — replicas are read-only). Returns the primary's WAL end
+    offset. *)
+
+val wal_pos : t -> shard:int -> int
+(** The shard primary's current WAL end offset (an [Apply] of a no-op is
+    not needed: asks via [Wal_since] with an empty pull). *)
+
+val close : t -> unit
+(** Close every dialed connection. *)

@@ -1,0 +1,70 @@
+open Mope_db
+module Client = Mope_net.Client
+module Metrics = Mope_obs.Metrics
+
+type t = {
+  shard : int;
+  client : Client.t;
+  max_bytes : int;
+  lag_gauge : Metrics.gauge;
+  mutable store : Store.t;
+  mutable from_pos : int;
+  mutable lag : int;
+}
+
+let lag_gauge_for shard =
+  Metrics.gauge
+    ~help:"Replication lag behind the shard primary's WAL, in bytes"
+    "mope_cluster_replica_lag_bytes"
+    ~labels:[ ("shard", string_of_int shard) ]
+    ()
+
+let create ~shard ?host ~port ?timeout ?seed ?wrap ?(max_bytes = 1 lsl 20) () =
+  { shard;
+    client = Client.connect ?host ~port ?timeout ?seed ?wrap ();
+    max_bytes;
+    lag_gauge = lag_gauge_for shard;
+    store = Store.create ();
+    from_pos = Wal.head_pos;
+    lag = 0 }
+
+let store t = t.store
+
+let lag_bytes t = t.lag
+
+let cursor t = t.from_pos
+
+let set_lag t chunk =
+  t.lag <- Int.max 0 (chunk.Wal.end_pos - t.from_pos);
+  Metrics.gauge_set t.lag_gauge t.lag
+
+let sync t =
+  let applied = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let chunk =
+      Client.wal_since t.client ~from_pos:t.from_pos ~max_bytes:t.max_bytes ()
+    in
+    if chunk.Wal.resync then begin
+      (* The primary's log was truncated under our cursor: our history has
+         diverged. Drop the slice and replay from the head — a cluster
+         primary's WAL holds its full history, so the head replay rebuilds
+         everything. *)
+      t.store <- Store.create ();
+      t.from_pos <- Wal.head_pos;
+      set_lag t chunk
+    end
+    else begin
+      List.iter
+        (fun sql ->
+          ignore (Store.apply t.store ~sql);
+          incr applied)
+        chunk.Wal.records;
+      t.from_pos <- chunk.Wal.next_pos;
+      set_lag t chunk;
+      if chunk.Wal.next_pos >= chunk.Wal.end_pos then continue := false
+    end
+  done;
+  !applied
+
+let close t = Client.close t.client

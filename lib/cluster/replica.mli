@@ -1,0 +1,53 @@
+(** WAL-shipping read replica of a shard primary.
+
+    A replica owns a WAL-less {!Store.t} and a {!Mope_net.Client} to the
+    primary. {!sync} pulls [Wal_since] chunks and replays the records until
+    the cursor reaches the primary's WAL end — the catch-up protocol after
+    a (re)connect — and records the remaining byte lag in the per-shard
+    gauge [mope_cluster_replica_lag_bytes{shard="i"}]. If the primary
+    answers [resync] (its WAL was truncated under the cursor, e.g. by a
+    checkpoint), the replica drops its database and replays the log from
+    the head; cluster primaries keep their full history in the WAL, so a
+    head replay rebuilds the complete slice.
+
+    Pull-based and synchronous by design: tests drive {!sync} explicitly,
+    so replication stays deterministic under seeded chaos; a deployment
+    calls it from a polling loop. *)
+
+type t
+
+val create :
+  shard:int ->
+  ?host:string ->
+  port:int ->
+  ?timeout:float ->
+  ?seed:int64 ->
+  ?wrap:(Mope_net.Transport.t -> Mope_net.Transport.t) ->
+  ?max_bytes:int ->
+  unit ->
+  t
+(** Connect to the primary serving shard [shard] on [host]:[port] (host
+    defaults to ["127.0.0.1"]). [max_bytes] (default 1 MiB) caps each
+    pulled chunk; [seed]/[wrap]/[timeout] are forwarded to
+    {!Mope_net.Client.connect}. *)
+
+val store : t -> Store.t
+(** The replica's store — serve it with {!Store.handler} to make this a
+    failover read target. *)
+
+val sync : t -> int
+(** Pull and replay chunks until the cursor reaches the primary's WAL end;
+    returns the number of records applied (counting any full head replay
+    after a [resync]). Updates the lag gauge. Raises {!Mope_error.Error}
+    if the primary is unreachable — the cursor is unchanged and the next
+    {!sync} resumes where this one stopped. *)
+
+val lag_bytes : t -> int
+(** Bytes of primary WAL not yet applied, as of the last {!sync} (or
+    chunk). 0 when fully caught up. *)
+
+val cursor : t -> int
+(** The replica's WAL cursor (primary file offset); {!Mope_db.Wal.head_pos}
+    before the first sync. *)
+
+val close : t -> unit

@@ -1,0 +1,167 @@
+open Mope_db
+
+type t = { bounds : int array; range : int }
+
+exception Corrupt of string
+
+let create ~shards ~range =
+  if shards < 1 then invalid_arg "Shard_map.create: shards < 1";
+  if range < shards then invalid_arg "Shard_map.create: range < shards";
+  (* Equal-width slices; the remainder spreads one extra ciphertext over
+     the first [range mod shards] slices so widths differ by at most 1. *)
+  let width = range / shards and extra = range mod shards in
+  let bounds = Array.make shards 0 in
+  for i = 1 to shards - 1 do
+    bounds.(i) <- (i * width) + Int.min i extra
+  done;
+  { bounds; range }
+
+let of_bounds ~bounds ~range =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Shard_map.of_bounds: empty";
+  if bounds.(0) <> 0 then invalid_arg "Shard_map.of_bounds: bounds.(0) <> 0";
+  for i = 1 to n - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Shard_map.of_bounds: bounds not strictly increasing"
+  done;
+  if bounds.(n - 1) >= range then
+    invalid_arg "Shard_map.of_bounds: last bound >= range";
+  { bounds = Array.copy bounds; range }
+
+let shards t = Array.length t.bounds
+
+let range t = t.range
+
+let bounds t = Array.copy t.bounds
+
+let shard_of t c =
+  if c < 0 || c >= t.range then invalid_arg "Shard_map.shard_of: out of range";
+  (* Largest i with bounds.(i) <= c. *)
+  let lo = ref 0 and hi = ref (Array.length t.bounds - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.bounds.(mid) <= c then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let slice t i =
+  let n = Array.length t.bounds in
+  if i < 0 || i >= n then invalid_arg "Shard_map.slice: bad shard";
+  let hi = if i = n - 1 then t.range - 1 else t.bounds.(i + 1) - 1 in
+  (t.bounds.(i), hi)
+
+let route t segments =
+  let n = Array.length t.bounds in
+  let out = Array.make n [] in
+  List.iter
+    (fun (lo, hi) ->
+      if lo < 0 || hi >= t.range || hi < lo then
+        invalid_arg "Shard_map.route: segment outside the ciphertext space";
+      (* Clip the segment against every slice it straddles. *)
+      let first = shard_of t lo and last = shard_of t hi in
+      for i = first to last do
+        let slice_lo, slice_hi = slice t i in
+        let a = Int.max lo slice_lo and b = Int.min hi slice_hi in
+        if a <= b then out.(i) <- (a, b) :: out.(i)
+      done)
+    segments;
+  Array.map List.rev out
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: magic, u32 body length, u32 CRC of body; body = u64
+   range, u64 shard count, u64 per bound. Same conventions as Storage. *)
+
+let magic = "MOPESHRD\x01\n"
+
+let put_u64 buf v =
+  for byte = 0 to 7 do
+    let shift = 8 * (7 - byte) in
+    Buffer.add_char buf
+      (Char.chr
+         (Int64.to_int
+            (Int64.logand (Int64.shift_right_logical (Int64.of_int v) shift) 0xFFL)))
+  done
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let rec write_all fd bytes pos len =
+  if len > 0 then
+    match Unix.write fd bytes pos len with
+    | n -> write_all fd bytes (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes pos len
+
+let save t ~path =
+  let body = Buffer.create 64 in
+  put_u64 body t.range;
+  put_u64 body (Array.length t.bounds);
+  Array.iter (fun b -> put_u64 body b) t.bounds;
+  let body = Buffer.contents body in
+  let buf = Buffer.create (String.length body + 32) in
+  Buffer.add_string buf magic;
+  put_u32 buf (String.length body);
+  put_u32 buf (Int32.to_int (Crc32.digest body) land 0xFFFFFFFF);
+  Buffer.add_string buf body;
+  let data = Buffer.contents buf in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
+  (try
+     write_all fd (Bytes.unsafe_of_string data) 0 (String.length data);
+     Unix.fsync fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.close fd;
+  Sys.rename tmp path;
+  Fsutil.fsync_dir path
+
+let load ~path =
+  let data =
+    match open_in_bin path with
+    | exception Sys_error msg -> raise (Corrupt msg)
+    | ic ->
+      let len = in_channel_length ic in
+      let d = really_input_string ic len in
+      close_in ic;
+      d
+  in
+  let mlen = String.length magic in
+  if String.length data < mlen + 8 || String.sub data 0 mlen <> magic then
+    raise (Corrupt "bad shard-map header");
+  let u32 at =
+    let byte i = Char.code data.[at + i] in
+    (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+  in
+  let body_len = u32 mlen in
+  let crc = Int32.of_int (u32 (mlen + 4)) in
+  if String.length data - (mlen + 8) <> body_len then
+    raise (Corrupt "shard-map body length mismatch");
+  let body = String.sub data (mlen + 8) body_len in
+  if Crc32.digest body <> crc then raise (Corrupt "shard-map checksum mismatch");
+  let pos = ref 0 in
+  let u64 () =
+    if body_len - !pos < 8 then raise (Corrupt "truncated shard-map body");
+    let v = ref 0L in
+    for _ = 1 to 8 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code body.[!pos]));
+      incr pos
+    done;
+    let i = Int64.to_int !v in
+    if Int64.of_int i <> !v || i < 0 then raise (Corrupt "shard-map integer out of range");
+    i
+  in
+  let range = u64 () in
+  let n = u64 () in
+  if n < 1 || n > body_len / 8 then raise (Corrupt "implausible shard count");
+  (* Explicit loop: Array.init's evaluation order is unspecified. *)
+  let bounds = Array.make n 0 in
+  for i = 0 to n - 1 do
+    bounds.(i) <- u64 ()
+  done;
+  if !pos <> body_len then raise (Corrupt "trailing bytes in shard map");
+  match of_bounds ~bounds ~range with
+  | t -> t
+  | exception Invalid_argument msg -> raise (Corrupt msg)

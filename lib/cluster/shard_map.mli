@@ -1,0 +1,58 @@
+(** Range partitioning of the MOPE ciphertext space across shards.
+
+    The proxy computes the exact ciphertext intervals every query touches
+    ([plain_segments]); a shard map splits the ciphertext space [\[0,
+    range)] into contiguous slices, one per shard, so routing a query is a
+    binary search of its coalesced segments over the slice boundaries.
+    MOPE ciphertexts are uniformly spread over the space by construction
+    (the secret offset is uniform), so equal-width slices balance rows in
+    expectation without any data-dependent tuning. *)
+
+type t
+
+val create : shards:int -> range:int -> t
+(** Equal-width partition of [\[0, range)] into [shards] slices (the first
+    [range mod shards] slices are one wider). Raises [Invalid_argument]
+    unless [1 <= shards <= range]. *)
+
+val of_bounds : bounds:int array -> range:int -> t
+(** Explicit slice starts: [bounds.(i)] is the first ciphertext owned by
+    shard [i]; [bounds.(0)] must be [0] and the array strictly increasing
+    below [range]. *)
+
+val shards : t -> int
+
+val range : t -> int
+(** Size of the ciphertext space this map partitions. *)
+
+val bounds : t -> int array
+(** The slice starts, ascending; [bounds t].(0) = 0. A fresh copy. *)
+
+val shard_of : t -> int -> int
+(** The shard owning ciphertext [c] — a binary search over the bounds.
+    Raises [Invalid_argument] when [c] is outside [\[0, range)]. *)
+
+val slice : t -> int -> int * int
+(** [slice t i] is shard [i]'s inclusive ciphertext interval
+    [(lo, hi)]. *)
+
+val route : t -> (int * int) list -> (int * int) list array
+(** Split normalized ciphertext segments over the shard boundaries: entry
+    [i] holds, in order, the sub-segments of the input that shard [i] must
+    scan (empty for shards the query does not touch). Segments must lie
+    inside [\[0, range)]. *)
+
+(** {1 Persistence}
+
+    The map is part of cluster topology state: it must survive restarts
+    byte-exactly, or routing would silently change under the data. The
+    codec follows {!Mope_db.Storage}: magic header, big-endian integers,
+    CRC-32 over the body. *)
+
+exception Corrupt of string
+
+val save : t -> path:string -> unit
+(** Atomic write-then-rename, fsynced (file and directory). *)
+
+val load : path:string -> t
+(** Raises {!Corrupt} on a damaged or foreign file. *)

@@ -1,0 +1,131 @@
+open Mope_db
+module Wire = Mope_net.Wire
+module Metrics = Mope_obs.Metrics
+module Trace = Mope_obs.Trace
+
+(* Registered at module init; all no-ops until Metrics.set_enabled true. *)
+let m_fetches =
+  Metrics.counter ~help:"Fetch statements served by cluster stores"
+    "mope_store_fetch_total" ()
+
+let m_applies =
+  Metrics.counter ~help:"Apply statements executed by cluster stores"
+    "mope_store_apply_total" ()
+
+let m_wal_chunks =
+  Metrics.counter ~help:"Replication chunks shipped by cluster stores"
+    "mope_store_wal_chunks_total" ()
+
+type t = {
+  db : Database.t;
+  wal : Wal.t option;
+  wal_sync : bool;
+  lock : Mutex.t;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let make ?wal_path ?(wal_sync = true) db =
+  { db;
+    wal = (match wal_path with None -> None | Some path -> Some (Wal.open_log ~path));
+    wal_sync;
+    lock = Mutex.create () }
+
+let create ?wal_path ?wal_sync () = make ?wal_path ?wal_sync (Database.create ())
+
+let recover ~wal_path ?wal_sync () =
+  let r = Wal.replay ~path:wal_path in
+  let db = Database.create () in
+  List.iter (fun sql -> ignore (Database.execute db sql)) r.Wal.statements;
+  make ~wal_path ?wal_sync db
+
+let database t = t.db
+
+let apply t ~sql =
+  locked t (fun () ->
+      Metrics.inc m_applies;
+      (* Execute first: a statement the engine rejects must not reach the
+         log, or replicas would diverge on replay. *)
+      ignore (Database.execute t.db sql);
+      match t.wal with
+      | None -> 0
+      | Some wal ->
+        Wal.append ~sync:t.wal_sync wal sql;
+        Wal.append_pos wal)
+
+let fetch t ~sql =
+  locked t (fun () ->
+      Metrics.inc m_fetches;
+      match Database.execute t.db sql with
+      | Database.Rows result -> result
+      | Database.Affected _ ->
+        Mope_error.raise_error ~query:sql "Store.fetch: not a SELECT")
+
+let wal_path_exn t =
+  match t.wal with
+  | Some wal -> Wal.path wal
+  | None -> Mope_error.raise_error "Store.wal_since: store has no WAL"
+
+let wal_since t ~from_pos ~max_bytes =
+  (* Stateless file rescan; take the lock only to order against an
+     in-flight append's write+fsync, so a shipped chunk never ends inside
+     a half-written record. *)
+  let path = wal_path_exn t in
+  locked t (fun () ->
+      Metrics.inc m_wal_chunks;
+      Wal.since ~max_bytes ~path ~from_pos ())
+
+let wal_pos t =
+  locked t (fun () ->
+      match t.wal with None -> 0 | Some wal -> Wal.append_pos wal)
+
+let close t =
+  locked t (fun () -> match t.wal with None -> () | Some wal -> Wal.close wal)
+
+(* ------------------------------------------------------------------ *)
+(* Wire adapter *)
+
+let unsupported ?sql message =
+  Wire.Error
+    { code = Wire.Unsupported; message; query = sql; retry_after = None }
+
+let guarded ?sql f =
+  match f () with
+  | resp -> resp
+  | exception e ->
+    Wire.Error
+      { code = Wire.Exec_failed;
+        message = Mope_error.describe_exn e;
+        query = sql;
+        retry_after = None }
+
+let handler t = function
+  | Wire.Ping -> Wire.Pong
+  | Wire.Fetch { sql } ->
+    guarded ~sql (fun () ->
+        Trace.with_span "store_fetch" (fun () ->
+            let result = fetch t ~sql in
+            Trace.add_item "rows" (List.length result.Exec.rows);
+            Wire.Rows result))
+  | Wire.Apply { sql } ->
+    guarded ~sql (fun () ->
+        Trace.with_span "store_apply" (fun () ->
+            Wire.Applied { wal_pos = apply t ~sql }))
+  | Wire.Wal_since { from_pos; max_bytes } ->
+    guarded (fun () ->
+        let c = wal_since t ~from_pos ~max_bytes in
+        Wire.Wal_chunk
+          { resync = c.Wal.resync;
+            records = c.Wal.records;
+            next_pos = c.Wal.next_pos;
+            end_pos = c.Wal.end_pos })
+  | Wire.Get_stats ->
+    Wire.Stats
+      { Wire.metrics_text = Metrics.render_prometheus ();
+        metrics_json = Metrics.render_json ();
+        traces = Trace.recent () }
+  | Wire.Query { sql; _ } ->
+    unsupported ~sql "query sent to a shard store (stores only serve Fetch)"
+  | Wire.Get_counters -> unsupported "no proxy counters on a shard store"

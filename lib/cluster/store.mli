@@ -1,0 +1,49 @@
+(** One shard server instance: a database slice plus an optional WAL.
+
+    A store is deliberately dumb — it executes the SQL it is handed and
+    never sees a key, a plaintext date, or a shard map. Everything it holds
+    is ciphertext: it plays the untrusted server of the paper's model, one
+    ciphertext slice at a time. {!handler} adapts it to {!Mope_net.Server},
+    answering the v5 store ops ([Fetch]/[Apply]/[Wal_since]); proxy query
+    ops are refused — a store is not a query frontend. *)
+
+type t
+
+val create : ?wal_path:string -> ?wal_sync:bool -> unit -> t
+(** An empty store. With [wal_path] every applied statement is logged, so
+    the store can feed read replicas ({!wal_since}) and recover its slice
+    after a restart ({!recover}). [wal_sync] (default [true]) fsyncs each
+    append. *)
+
+val recover : wal_path:string -> ?wal_sync:bool -> unit -> t
+(** Rebuild a store by replaying its WAL's longest valid prefix, then open
+    the log for appending (truncating any torn tail). *)
+
+val database : t -> Mope_db.Database.t
+(** The underlying database — direct access for in-process callers; remote
+    callers go through {!fetch}/{!apply}. *)
+
+val apply : t -> sql:string -> int
+(** Execute one mutating statement and append it to the WAL (in that
+    order, under the store lock, so the WAL never logs a statement the
+    database rejected). Returns the WAL end offset afterwards (0 without a
+    WAL). *)
+
+val fetch : t -> sql:string -> Mope_db.Exec.result
+(** Execute one SELECT and return the raw (encrypted) rows. *)
+
+val wal_since : t -> from_pos:int -> max_bytes:int -> Mope_db.Wal.chunk
+(** One replication chunk (see {!Mope_db.Wal.since}). Raises
+    {!Mope_error.Error} when the store has no WAL. *)
+
+val wal_pos : t -> int
+(** Current WAL end offset (0 without a WAL). *)
+
+val handler : t -> Mope_net.Wire.request -> Mope_net.Wire.response
+(** Request handler for {!Mope_net.Server.start}: [Ping], [Fetch],
+    [Apply], [Wal_since] and [Get_stats] are served; [Query] and
+    [Get_counters] answer [Unsupported]. Handler exceptions become
+    structured [Exec_failed]/[Unsupported] errors. Thread-safe. *)
+
+val close : t -> unit
+(** Close the WAL (idempotent). The database stays readable. *)

@@ -1,0 +1,141 @@
+open Mope_system
+module Server = Mope_net.Server
+module Mope = Mope_ope.Mope
+
+type node = {
+  store : Store.t;
+  server : Server.t;
+  node_port : int;
+  mutable killed : bool;
+}
+
+type shard_nodes = {
+  primary : node;
+  replicas : (node * Replica.t) list;
+}
+
+type t = {
+  topo_map : Shard_map.t;
+  shard_nodes : shard_nodes array;
+  coord : Coordinator.t;
+  mutable down : bool;
+}
+
+let server_config ?wrap port =
+  { Server.default_config with Server.port; wrap }
+
+let start_node ?wrap store =
+  let server =
+    Server.start ~config:(server_config ?wrap 0) ~handler:(Store.handler store) ()
+  in
+  { store; server; node_port = Server.port server; killed = false }
+
+let launch ~enc ~shards ~replicas ~wal_dir ?(wal_sync = false) ?wrap
+    ?(seed = 0xC10C5EEDL) ?subquery_cache () =
+  if shards < 1 then invalid_arg "Topology.launch: shards < 1";
+  if replicas < 0 then invalid_arg "Topology.launch: replicas < 0";
+  let topo_map =
+    Shard_map.create ~shards ~range:(Mope.range (Encrypted_db.mope enc))
+  in
+  (* Primaries first: load each slice through Store.apply so every
+     statement lands in the shard's WAL — the log the replicas replay. *)
+  let statements =
+    Encrypted_db.shard_statements enc ~shards
+      ~shard_of:(Shard_map.shard_of topo_map)
+  in
+  let primaries =
+    Array.mapi
+      (fun i stmts ->
+        let wal_path = Filename.concat wal_dir (Printf.sprintf "shard-%d.wal" i) in
+        let store = Store.create ~wal_path ~wal_sync () in
+        List.iter (fun sql -> ignore (Store.apply store ~sql)) stmts;
+        start_node ?wrap store)
+      statements
+  in
+  let shard_nodes =
+    Array.mapi
+      (fun i primary ->
+        let reps =
+          List.init replicas (fun r ->
+              let replica =
+                Replica.create ~shard:i ~port:primary.node_port ?wrap
+                  ~seed:(Int64.add seed (Int64.of_int ((i * 31) + r + 1)))
+                  ()
+              in
+              ignore (Replica.sync replica);
+              (start_node ?wrap (Replica.store replica), replica))
+            (* The replica's store is served like any primary: the
+               coordinator's failover just dials another port. *)
+        in
+        { primary; replicas = reps })
+      primaries
+  in
+  let coord =
+    Coordinator.create ~map:topo_map
+      ~shards:
+        (Array.to_list
+           (Array.map
+              (fun s ->
+                { Coordinator.primary =
+                    { Coordinator.host = "127.0.0.1"; port = s.primary.node_port };
+                  replicas =
+                    List.map
+                      (fun (n, _) ->
+                        { Coordinator.host = "127.0.0.1"; port = n.node_port })
+                      s.replicas })
+              shard_nodes))
+      ~seed:(Int64.add seed 0x7777L) ?wrap ?subquery_cache ()
+  in
+  { topo_map; shard_nodes; coord; down = false }
+
+let coordinator t = t.coord
+
+let fetch t = Coordinator.fetch t.coord
+
+let map t = t.topo_map
+
+let shards t = Array.length t.shard_nodes
+
+let check_shard t shard =
+  if shard < 0 || shard >= Array.length t.shard_nodes then
+    invalid_arg "Topology: bad shard index"
+
+let primary_port t ~shard =
+  check_shard t shard;
+  t.shard_nodes.(shard).primary.node_port
+
+let sync_replicas t =
+  Array.fold_left
+    (fun acc s ->
+      List.fold_left (fun acc (_, r) -> acc + Replica.sync r) acc s.replicas)
+    0 t.shard_nodes
+
+let replica_lag t ~shard =
+  check_shard t shard;
+  List.map (fun (_, r) -> Replica.lag_bytes r) t.shard_nodes.(shard).replicas
+
+let kill_node n =
+  if not n.killed then begin
+    n.killed <- true;
+    Server.shutdown n.server;
+    Store.close n.store
+  end
+
+let kill_primary t ~shard =
+  check_shard t shard;
+  kill_node t.shard_nodes.(shard).primary
+
+let shutdown t =
+  if not t.down then begin
+    t.down <- true;
+    Coordinator.close t.coord;
+    Array.iter
+      (fun s ->
+        List.iter
+          (fun (n, r) ->
+            (try Replica.close r with Mope_error.Error _ -> ());
+            kill_node n)
+          s.replicas;
+        kill_node s.primary)
+      t.shard_nodes
+  end

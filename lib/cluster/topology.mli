@@ -1,0 +1,56 @@
+(** Loopback cluster bootstrap: launch K shard primaries (each a
+    {!Store.t} behind a {!Mope_net.Server}), load each with its slice of
+    an encrypted database, spawn R WAL-shipping replicas per shard and
+    sync them, and wire a {!Coordinator} over the fleet.
+
+    Everything binds to 127.0.0.1 on ephemeral ports, and every byte still
+    crosses the full wire protocol — optionally through a [wrap] transport
+    (e.g. {!Mope_net.Chaos.wrap}), so chaos tests exercise the cluster
+    exactly like a remote deployment, deterministically and seeded. *)
+
+type t
+
+val launch :
+  enc:Mope_system.Encrypted_db.t ->
+  shards:int ->
+  replicas:int ->
+  wal_dir:string ->
+  ?wal_sync:bool ->
+  ?wrap:(Mope_net.Transport.t -> Mope_net.Transport.t) ->
+  ?seed:int64 ->
+  ?subquery_cache:bool ->
+  unit ->
+  t
+(** Partition [enc]'s ciphertext space over [shards] equal slices, load
+    each primary with its slice via {!Mope_system.Encrypted_db.shard_statements}
+    (WAL-logged, so replicas can catch up from the log alone), then bring
+    up [replicas] read replicas per shard and {!sync_replicas} them.
+    Primaries write WALs under [wal_dir] (shard [i] logs to
+    [shard-<i>.wal]); [wal_sync] (default [false] — a loopback harness
+    prioritizes load speed) controls per-append fsync. [wrap] interposes
+    on every connection — server side and client side both. *)
+
+val coordinator : t -> Coordinator.t
+
+val fetch : t -> Mope_system.Proxy.fetch
+(** Shorthand for [Coordinator.fetch (coordinator t)]. *)
+
+val map : t -> Shard_map.t
+
+val shards : t -> int
+
+val primary_port : t -> shard:int -> int
+
+val sync_replicas : t -> int
+(** Pull every replica to its primary's WAL end; returns records applied
+    across all replicas. *)
+
+val replica_lag : t -> shard:int -> int list
+(** Byte lag of each of the shard's replicas, as of their last sync. *)
+
+val kill_primary : t -> shard:int -> unit
+(** Shut the shard's primary server down (connections die, the port goes
+    dark) — reads must fail over to its replicas. Idempotent. *)
+
+val shutdown : t -> unit
+(** Stop every server and close every store and client. Idempotent. *)

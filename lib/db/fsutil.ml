@@ -1,0 +1,8 @@
+(* Make the directory entry for [path] durable. Best-effort: some
+   filesystems refuse O_RDONLY fsync on directories. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ O_RDONLY; O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())

@@ -1,0 +1,8 @@
+(** Small filesystem durability helpers shared by {!Storage} and {!Wal}. *)
+
+val fsync_dir : string -> unit
+(** [fsync_dir path] fsyncs the directory containing [path], making the
+    directory entry itself durable — an atomic rename or file creation is
+    only crash-safe once its parent directory has hit the disk. Best-effort:
+    some filesystems refuse [O_RDONLY] fsync on directories, in which case
+    this is a no-op. *)

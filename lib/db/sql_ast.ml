@@ -100,8 +100,13 @@ let lit_to_string = function
   | Value.Bool b -> if b then "TRUE" else "FALSE"
   | Value.Int i -> string_of_int i
   | Value.Float f ->
-    (* Keep a decimal point so the lexer reads it back as a float. *)
-    let s = Printf.sprintf "%.12g" f in
+    (* Prefer the short %.12g form, but fall back to %.17g when it does not
+       read back as exactly the same float: rendered statements are replayed
+       through the parser (WAL replication, plan-cache keys), so the
+       round-trip must be lossless bit-for-bit. Keep a decimal point so the
+       lexer reads it back as a float either way. *)
+    let short = Printf.sprintf "%.12g" f in
+    let s = if float_of_string short = f then short else Printf.sprintf "%.17g" f in
     if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
     then s
     else s ^ ".0"

@@ -254,15 +254,6 @@ let rec write_all fd bytes pos len =
     | n -> write_all fd bytes (pos + n) (len - n)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes pos len
 
-(* Make the directory entry for [path] durable. Best-effort: some
-   filesystems refuse O_RDONLY fsync on directories. *)
-let fsync_dir path =
-  match Unix.openfile (Filename.dirname path) [ O_RDONLY; O_CLOEXEC ] 0 with
-  | exception Unix.Unix_error _ -> ()
-  | fd ->
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ())
-
 let save db ~path =
   Trace.with_span "snapshot_save" (fun () ->
       Metrics.time m_save_seconds (fun () ->
@@ -282,7 +273,9 @@ let save db ~path =
              raise e);
           Unix.close fd;
           Sys.rename tmp path;
-          fsync_dir path))
+          (* fsync the parent directory too: the rename is only durable
+             once the directory entry pointing at the new inode is. *)
+          Fsutil.fsync_dir path))
 
 let load ~path =
   Trace.with_span "snapshot_load" (fun () ->

@@ -88,11 +88,17 @@ let open_log ~path =
       (* Drop the torn tail so new records extend the valid prefix. *)
       Unix.ftruncate fd r.valid_bytes;
     Unix.fsync fd;
+    (* O_CREAT may have made a new directory entry; make it durable. *)
+    Fsutil.fsync_dir path;
     ignore (Unix.lseek fd 0 Unix.SEEK_END);
     { fd; path; closed = false }
   with e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e
+
+let append_pos t =
+  if t.closed then invalid_arg "Wal.append_pos: log is closed";
+  Unix.lseek t.fd 0 Unix.SEEK_CUR
 
 let append ?(sync = true) t statement =
   if t.closed then invalid_arg "Wal.append: log is closed";
@@ -132,4 +138,70 @@ let reset ~path =
     (fun () ->
       Unix.ftruncate fd 0;
       write_all fd (Bytes.of_string magic) 0 (String.length magic);
-      Unix.fsync fd)
+      Unix.fsync fd);
+  (* The truncation (or O_CREAT creation) is only durable once the
+     directory entry is. *)
+  Fsutil.fsync_dir path
+
+(* ------------------------------------------------------------------ *)
+(* Streaming cursor for replication: read the records that follow a
+   previously returned position. Positions are plain file offsets on
+   valid record boundaries; [0] (or anything inside the header) means
+   "from the beginning". *)
+
+let head_pos = String.length magic
+
+type chunk = {
+  records : string list;
+  next_pos : int;
+  end_pos : int;
+  resync : bool;
+}
+
+let default_chunk_bytes = 1 lsl 20
+
+let since ?(max_bytes = default_chunk_bytes) ~path ~from_pos () =
+  let scanned =
+    match read_file path with
+    | None -> { statements = []; torn = false; valid_bytes = 0 }
+    | Some data -> scan data
+  in
+  if scanned.valid_bytes < head_pos then
+    (* Missing or still-header-torn log: nothing to ship. A follower that
+       had already consumed records must restart from scratch. *)
+    { records = []; next_pos = head_pos; end_pos = head_pos;
+      resync = from_pos > head_pos }
+  else begin
+    let end_pos = scanned.valid_bytes in
+    let start = if from_pos <= head_pos then head_pos else from_pos in
+    (* Walk the valid prefix, collecting the records whose boundaries start
+       at or after [start]; cap the chunk at [max_bytes] of payload, always
+       shipping at least one record so progress is guaranteed even when a
+       single record exceeds the cap. If [start] never lands exactly on a
+       record boundary the cursor is stale — a checkpoint [reset] truncated
+       the log under the follower, or a torn tail was cut — and the
+       follower's history has diverged: it must resync from scratch. *)
+    let records = ref [] and taken = ref 0 in
+    let cursor = ref head_pos and next = ref start and seen_start = ref false in
+    if start = head_pos then seen_start := true;
+    List.iter
+      (fun stmt ->
+        let rec_end = !cursor + 8 + String.length stmt in
+        if !cursor = start then seen_start := true;
+        if !seen_start && !next = !cursor
+           && (!taken = 0 || !taken + String.length stmt <= max_bytes)
+        then begin
+          records := stmt :: !records;
+          taken := !taken + String.length stmt;
+          next := rec_end
+        end;
+        cursor := rec_end)
+      scanned.statements;
+    if start = end_pos then seen_start := true;
+    if not !seen_start then
+      { records = []; next_pos = head_pos; end_pos; resync = true }
+    else
+      { records = List.rev !records; next_pos = !next; end_pos;
+        resync = false }
+  end
+

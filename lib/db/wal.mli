@@ -49,5 +49,37 @@ val replay : path:string -> replay
 
 val reset : path:string -> unit
 (** Truncate the log back to just its header (after a checkpoint has made
-    the records redundant), fsyncing the result. Creates the file if
+    the records redundant), fsyncing the result — including the parent
+    directory, so the truncation survives power loss. Creates the file if
     missing. *)
+
+val append_pos : t -> int
+(** The file offset where the next record will be appended — i.e. the
+    current end of the log. Usable as a {!since} cursor. *)
+
+val head_pos : int
+(** The offset of the first record boundary (just past the header): the
+    initial cursor for a follower that has consumed nothing. *)
+
+(** One batch of records shipped to a replication follower. *)
+type chunk = {
+  records : string list;  (** statements from the cursor on, oldest first *)
+  next_pos : int;  (** cursor for the next {!since} call *)
+  end_pos : int;  (** end of the log's valid prefix at scan time; the
+                      follower's lag is [end_pos - next_pos] bytes *)
+  resync : bool;
+      (** the cursor no longer names a record boundary (the log was reset
+          by a checkpoint, or a torn tail was truncated under it): the
+          follower's history has diverged and it must rebuild from a fresh
+          snapshot, then resume from {!head_pos}. When set, [records] is
+          empty and [next_pos] is {!head_pos}. *)
+}
+
+val since : ?max_bytes:int -> path:string -> from_pos:int -> unit -> chunk
+(** Read the records that begin at or after offset [from_pos] (clamped to
+    {!head_pos}). The chunk carries at most [max_bytes] (default 1 MiB) of
+    payload — always at least one record when any are pending, so progress
+    is guaranteed — and [next_pos] resumes exactly where it stopped. The
+    caller loops until [next_pos = end_pos]. Stateless: each call rescans
+    the file, so it needs no handle and tolerates the log being appended,
+    truncated or reset between calls. *)

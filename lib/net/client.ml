@@ -163,10 +163,14 @@ let record_failure t =
     Metrics.gauge_set m_breaker_state 1
   end
 
-(* All current requests are idempotent reads; a future mutating request
-   must be listed here as unsafe to retry. *)
+(* Reads are safe to retry; [Apply] mutates the remote store, so a retry
+   after an ambiguous failure (request sent, response lost) could apply
+   the statement twice. *)
 let idempotent = function
-  | Wire.Ping | Wire.Query _ | Wire.Get_counters | Wire.Get_stats -> true
+  | Wire.Ping | Wire.Query _ | Wire.Get_counters | Wire.Get_stats
+  | Wire.Fetch _ | Wire.Wal_since _ ->
+    true
+  | Wire.Apply _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* One request/response exchange. [query] is the SQL context attached to
@@ -274,6 +278,23 @@ let query t ?trace_id ~sql ~date_column ~date_lo ~date_hi () =
   match check_error ~query:sql (rpc t ~query:sql ?trace_id request) with
   | Wire.Rows result -> result
   | _ -> Mope_error.raise_error ~query:sql "Client.query: unexpected response"
+
+let fetch t ?trace_id ~sql () =
+  match check_error ~query:sql (rpc t ~query:sql ?trace_id (Wire.Fetch { sql })) with
+  | Wire.Rows result -> result
+  | _ -> Mope_error.raise_error ~query:sql "Client.fetch: unexpected response"
+
+let apply t ?trace_id ~sql () =
+  match check_error ~query:sql (rpc t ~query:sql ?trace_id (Wire.Apply { sql })) with
+  | Wire.Applied { wal_pos } -> wal_pos
+  | _ -> Mope_error.raise_error ~query:sql "Client.apply: unexpected response"
+
+let wal_since t ?trace_id ~from_pos ~max_bytes () =
+  let request = Wire.Wal_since { from_pos; max_bytes } in
+  match check_error (rpc t ?trace_id request) with
+  | Wire.Wal_chunk { resync; records; next_pos; end_pos } ->
+    { Mope_db.Wal.records; next_pos; end_pos; resync }
+  | _ -> Mope_error.raise_error "Client.wal_since: unexpected response"
 
 let counters t =
   match check_error (rpc t Wire.Get_counters) with

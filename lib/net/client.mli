@@ -13,10 +13,12 @@
       the next request (dialing retries transient failures with
       {e jittered} exponential backoff, so a fleet of clients that lost
       the same proxy does not reconnect in lockstep);
-    - idempotent requests (all current ones: [Ping], [Query],
-      [Get_counters]) are retried up to [request_retries] times with the
-      same jittered backoff; an [Overloaded] answer waits the server's
-      retry-after hint instead;
+    - idempotent requests (every read: [Ping], [Query], [Get_counters],
+      [Get_stats], [Fetch], [Wal_since]) are retried up to
+      [request_retries] times with the same jittered backoff; [Apply]
+      mutates the remote store and is never retried after an ambiguous
+      failure; an [Overloaded] answer waits the server's retry-after hint
+      instead;
     - a circuit breaker counts consecutive transport failures: at
       [breaker_threshold] it {e opens} and every request fails fast
       (no dialing, no timeout burn) until [breaker_cooldown] has passed;
@@ -101,6 +103,24 @@ val query :
     one is minted from the client's RNG whenever tracing
     ({!Mope_obs.Trace}) is enabled in this process, and the empty id
     (= untraced) is sent otherwise. *)
+
+val fetch : t -> ?trace_id:string -> sql:string -> unit -> Exec.result
+(** Run one SELECT directly against a cluster shard store
+    ({!Mope_cluster.Store}) and return the raw — still encrypted — rows.
+    The [Fetch] wire op; idempotent, so it retries like {!query}. *)
+
+val apply : t -> ?trace_id:string -> sql:string -> unit -> int
+(** Execute one mutating statement on a shard store and append it to the
+    shard's WAL; returns the WAL end offset afterwards (0 if the store has
+    no WAL). Not idempotent: never retried, so an ambiguous transport
+    failure surfaces as an error instead of a possible double-apply. *)
+
+val wal_since :
+  t -> ?trace_id:string -> from_pos:int -> max_bytes:int -> unit -> Wal.chunk
+(** Pull one replication chunk from a shard primary (the [Wal_since] wire
+    op): the WAL records from [from_pos] on, capped at [max_bytes] of
+    payload. See {!Mope_db.Wal.since} for cursor semantics, including the
+    [resync] signal after a checkpoint truncation. *)
 
 val counters : t -> Wire.counters
 (** The server's aggregate proxy counters. *)

@@ -67,6 +67,20 @@ let handler t = function
   | Wire.Ping -> Wire.Pong
   | Wire.Get_counters -> Wire.Counters (counters t)
   | Wire.Get_stats -> stats ()
+  | Wire.Fetch { sql } | Wire.Apply { sql } ->
+    (* Store ops are served by cluster shard stores (Mope_cluster.Store),
+       not by the query frontend. *)
+    Wire.Error
+      { code = Wire.Unsupported;
+        message = "store operation sent to a query frontend";
+        query = Some sql;
+        retry_after = None }
+  | Wire.Wal_since _ ->
+    Wire.Error
+      { code = Wire.Unsupported;
+        message = "replication pull sent to a query frontend";
+        query = None;
+        retry_after = None }
   | Wire.Query { sql; date_column; date_lo; date_hi } -> begin
     match List.assoc_opt date_column t.proxies with
     | None ->

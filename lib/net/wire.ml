@@ -4,7 +4,7 @@ exception Protocol_error of string
 
 let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
 
-let version = 4
+let version = 5
 
 let max_frame = 16 * 1024 * 1024
 
@@ -41,6 +41,9 @@ type request =
     }
   | Get_counters
   | Get_stats
+  | Fetch of { sql : string }
+  | Apply of { sql : string }
+  | Wal_since of { from_pos : int; max_bytes : int }
 
 type error_code = Bad_frame | Unsupported | Exec_failed | Overloaded | Internal
 
@@ -49,6 +52,13 @@ type response =
   | Rows of Exec.result
   | Counters of counters
   | Stats of stats
+  | Applied of { wal_pos : int }
+  | Wal_chunk of {
+      resync : bool;
+      records : string list;
+      next_pos : int;
+      end_pos : int;
+    }
   | Error of {
       code : error_code;
       message : string;
@@ -179,10 +189,15 @@ let tag_ping = 0x01
 let tag_query = 0x02
 let tag_get_counters = 0x03
 let tag_get_stats = 0x04
+let tag_fetch = 0x05
+let tag_apply = 0x06
+let tag_wal_since = 0x07
 let tag_pong = 0x81
 let tag_rows = 0x82
 let tag_counters = 0x83
 let tag_stats = 0x84
+let tag_applied = 0x85
+let tag_wal_chunk = 0x86
 let tag_error = 0xBF
 
 let error_code_tag = function
@@ -243,6 +258,12 @@ let encode_request ?(trace_id = "") = function
         put_int buf date_hi)
   | Get_counters -> payload_req trace_id tag_get_counters (fun _ -> ())
   | Get_stats -> payload_req trace_id tag_get_stats (fun _ -> ())
+  | Fetch { sql } -> payload_req trace_id tag_fetch (fun buf -> put_string buf sql)
+  | Apply { sql } -> payload_req trace_id tag_apply (fun buf -> put_string buf sql)
+  | Wal_since { from_pos; max_bytes } ->
+    payload_req trace_id tag_wal_since (fun buf ->
+        put_int buf from_pos;
+        put_int buf max_bytes)
 
 let decode_request data =
   let tag, cur = open_payload data in
@@ -259,6 +280,13 @@ let decode_request data =
     end
     else if tag = tag_get_counters then Get_counters
     else if tag = tag_get_stats then Get_stats
+    else if tag = tag_fetch then Fetch { sql = get_string cur }
+    else if tag = tag_apply then Apply { sql = get_string cur }
+    else if tag = tag_wal_since then begin
+      let from_pos = get_nat cur in
+      let max_bytes = get_nat cur in
+      Wal_since { from_pos; max_bytes }
+    end
     else fail "unknown request tag 0x%02x" tag
   in
   close_payload cur;
@@ -314,6 +342,14 @@ let encode_response = function
                   sp.Mope_obs.Trace.items)
               d.Mope_obs.Trace.spans)
           s.traces)
+  | Applied { wal_pos } -> payload tag_applied (fun buf -> put_int buf wal_pos)
+  | Wal_chunk { resync; records; next_pos; end_pos } ->
+    payload tag_wal_chunk (fun buf ->
+        Buffer.add_char buf (if resync then '\x01' else '\x00');
+        put_int buf (List.length records);
+        List.iter (put_string buf) records;
+        put_int buf next_pos;
+        put_int buf end_pos)
   | Error { code; message; query; retry_after } ->
     payload tag_error (fun buf ->
         Buffer.add_char buf (Char.chr (error_code_tag code));
@@ -397,6 +433,21 @@ let decode_response data =
             { Mope_obs.Trace.id; spans })
       in
       Stats { metrics_text; metrics_json; traces }
+    end
+    else if tag = tag_applied then Applied { wal_pos = get_nat cur }
+    else if tag = tag_wal_chunk then begin
+      let resync =
+        match get_byte cur with
+        | 0 -> false
+        | 1 -> true
+        | n -> fail "bad resync flag %d" n
+      in
+      let n_records = get_nat cur in
+      plausible "record" n_records 8;
+      let records = List.init n_records (fun _ -> get_string cur) in
+      let next_pos = get_nat cur in
+      let end_pos = get_nat cur in
+      Wal_chunk { resync; records; next_pos; end_pos }
     end
     else if tag = tag_error then begin
       let code = error_code_of_tag (get_byte cur) in

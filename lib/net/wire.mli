@@ -18,11 +18,13 @@ open Mope_db
 exception Protocol_error of string
 
 val version : int
-(** Current protocol version (4 — v4 added the cache-counter fields to
-    {!counters}; v3 added a trace-id field to the request header; v2 added
-    the [retry_after] field to error responses). A decoder rejects frames
-    whose version byte differs — version bumps are breaking by design;
-    additions that only define new tags do not bump it. *)
+(** Current protocol version (5 — v5 added the cluster store/replication
+    ops [Fetch]/[Apply]/[Wal_since] and their responses; v4 added the
+    cache-counter fields to {!counters}; v3 added a trace-id field to the
+    request header; v2 added the [retry_after] field to error responses).
+    A decoder rejects frames whose version byte differs — version bumps
+    are breaking by design; additions that only define new tags do not
+    bump it. *)
 
 val max_trace_id : int
 (** Upper bound on the length of a request's trace id (64 bytes). *)
@@ -67,6 +69,15 @@ type request =
     }
   | Get_counters
   | Get_stats
+  | Fetch of { sql : string }
+      (** cluster-store read: run one SELECT against the shard's database
+          and return the raw (still-encrypted) rows *)
+  | Apply of { sql : string }
+      (** cluster-store write: execute one mutating statement and append it
+          to the shard's WAL; answered with {!Applied} *)
+  | Wal_since of { from_pos : int; max_bytes : int }
+      (** replication pull: ship WAL records from [from_pos] on, at most
+          [max_bytes] of payload per chunk; answered with {!Wal_chunk} *)
 
 type error_code =
   | Bad_frame    (** the peer sent something the codec rejected *)
@@ -80,6 +91,17 @@ type response =
   | Rows of Exec.result
   | Counters of counters
   | Stats of stats
+  | Applied of { wal_pos : int }
+      (** the statement is applied and logged; [wal_pos] is the shard WAL's
+          end offset afterwards (0 when the store runs without a WAL) *)
+  | Wal_chunk of {
+      resync : bool;
+          (** the follower's cursor no longer names a record boundary; it
+              must rebuild from a fresh snapshot (see {!Mope_db.Wal.since}) *)
+      records : string list;  (** statements, oldest first *)
+      next_pos : int;  (** cursor for the next [Wal_since] *)
+      end_pos : int;  (** primary WAL end; lag = [end_pos - next_pos] *)
+    }
   | Error of {
       code : error_code;
       message : string;

@@ -183,6 +183,96 @@ let decrypt_row t ~table row =
       | None -> v)
     row
 
+let partition_column t ~table =
+  match List.find_opt (fun s -> s.table = table) t.specs with
+  | None -> None
+  | Some spec ->
+    List.find_map
+      (fun (col, enc) ->
+        match enc with Mope_date -> Some col | Mope_int _ | Det_int -> None)
+      spec.encrypted_columns
+
+(* Split [items] into chunks of [size], preserving order. *)
+let chunks size items =
+  let rec go acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+      if n = size then go (List.rev current :: acc) [ x ] 1 rest
+      else go acc (x :: current) (n + 1) rest
+  in
+  go [] [] 0 items
+
+let shard_statements ?(insert_batch = 256) t ~shards ~shard_of =
+  if shards < 1 then invalid_arg "Encrypted_db.shard_statements: shards";
+  if insert_batch < 1 then invalid_arg "Encrypted_db.shard_statements: insert_batch";
+  let per_shard = Array.make shards [] in
+  let push si stmt = per_shard.(si) <- stmt :: per_shard.(si) in
+  let push_all stmt =
+    for si = 0 to shards - 1 do
+      push si stmt
+    done
+  in
+  List.iter
+    (fun spec ->
+      let source = Database.table_exn t.server spec.table in
+      let schema = Table.schema source in
+      push_all
+        (Sql_ast.statement_to_string
+           (Sql_ast.Create_table_stmt
+              { table = spec.table;
+                columns =
+                  List.map
+                    (fun c -> (c.Schema.name, c.Schema.ty))
+                    (Schema.columns schema) }));
+      let route =
+        (* Rows of a table with a MOPE date column land on the shard owning
+           their ciphertext; tables without one (reference/join tables) are
+           replicated everywhere, so any shard can evaluate a join or
+           subquery over them locally. *)
+        match partition_column t ~table:spec.table with
+        | None -> fun _ -> None
+        | Some col ->
+          let at = Schema.index_of schema col in
+          fun row ->
+            (match row.(at) with
+            | Value.Int c ->
+              let si = shard_of c in
+              if si < 0 || si >= shards then
+                invalid_arg "Encrypted_db.shard_statements: shard_of out of range";
+              Some si
+            | _ -> None)
+      in
+      let buckets = Array.make shards [] in
+      Table.iter source (fun _ row ->
+          match route row with
+          | Some si -> buckets.(si) <- row :: buckets.(si)
+          | None ->
+            Array.iteri (fun si rows -> buckets.(si) <- row :: rows) buckets);
+      Array.iteri
+        (fun si rows_rev ->
+          let rows =
+            List.rev_map
+              (fun row ->
+                Array.to_list (Array.map (fun v -> Sql_ast.Lit v) row))
+              rows_rev
+          in
+          List.iter
+            (fun batch ->
+              push si
+                (Sql_ast.statement_to_string
+                   (Sql_ast.Insert_stmt
+                      { table = spec.table; columns = None; rows = batch })))
+            (chunks insert_batch rows))
+        buckets;
+      List.iter
+        (fun col ->
+          push_all
+            (Sql_ast.statement_to_string
+               (Sql_ast.Create_index_stmt { table = spec.table; column = col })))
+        spec.index_columns)
+    t.specs;
+  Array.map List.rev per_shard
+
 let int_segments t ~table ~column ~lo ~hi =
   match Hashtbl.find_opt t.encryptions (table, column) with
   | Some (Mope_int { lo = base; hi = top }) ->

@@ -83,3 +83,19 @@ val decrypt_row :
   t -> table:string -> Mope_db.Value.t array -> Mope_db.Value.t array
 (** Decrypt one fetched row of an encrypted table back to its plaintext
     schema (dates and DET ints restored, other columns passed through). *)
+
+val partition_column : t -> table:string -> string option
+(** The column a cluster range-shards this table by: its first [Mope_date]
+    column, or [None] for tables without one (those are replicated to every
+    shard instead). *)
+
+val shard_statements :
+  ?insert_batch:int -> t -> shards:int -> shard_of:(int -> int) -> string list array
+(** Render the SQL that builds each shard's slice of the encrypted server
+    database: per shard a [CREATE TABLE] per spec, batched multi-row
+    [INSERT]s ([insert_batch] rows each, default 256), then the spec's
+    [CREATE INDEX]es. Rows of a table with a {!partition_column} land on
+    [shard_of c] where [c] is the column's MOPE ciphertext; rows of other
+    tables (and [NULL] partition keys) are replicated to every shard so
+    joins and subqueries over them stay local. Only ciphertexts ever appear
+    in the statements — they are safe to ship to untrusted stores. *)

@@ -64,11 +64,18 @@ type mode =
   | Static of Scheduler.t
   | Learning of Adaptive.t
 
+type fetch =
+  date_column:string ->
+  segments:(int * int) list ->
+  template:Sql_ast.select ->
+  Exec.result
+
 type t = {
   enc : Encrypted_db.t;
   mode : mode;
   k : int;
   batch_size : int;
+  fetch : fetch;
   rng : Rng.t;
   counters : counters;
   seg_cache : (int, (int * int) list) Hashtbl.t option;
@@ -77,9 +84,21 @@ type t = {
          start domain [0, m) bounds the table. *)
 }
 
-let make ~enc ~mode ~k ~batch_size ~seed ~caching =
+(* The single-node fetch: specialize the date-less template with the
+   ciphertext ranges and run it on the local server database. A cluster
+   coordinator substitutes its scatter-gather here; [add_conjunct] keeps the
+   AST — and hence the plan-cache key — identical on both paths. *)
+let local_fetch enc ~date_column ~segments ~template =
+  let fetch_ast =
+    Rewrite.add_conjunct template
+      (Rewrite.cipher_ranges_expr ~column:date_column ~segments)
+  in
+  Database.query_ast (Encrypted_db.server enc) fetch_ast
+
+let make ~enc ~mode ~k ~batch_size ~seed ~caching ~fetch =
   if batch_size < 1 then invalid_arg "Proxy.create: batch_size";
-  { enc; mode; k; batch_size;
+  let fetch = match fetch with Some f -> f | None -> local_fetch enc in
+  { enc; mode; k; batch_size; fetch;
     rng = Rng.create seed;
     counters =
       { client_queries = 0; real_pieces = 0; fake_queries = 0;
@@ -87,13 +106,14 @@ let make ~enc ~mode ~k ~batch_size ~seed ~caching =
         segment_cache_hits = 0; segment_cache_misses = 0 };
     seg_cache = (if caching then Some (Hashtbl.create 256) else None) }
 
-let create ~enc ~scheduler ?(batch_size = 1) ?(caching = true) ~seed () =
+let create ~enc ~scheduler ?(batch_size = 1) ?(caching = true) ?fetch ~seed () =
   if Scheduler.m scheduler <> Encrypted_db.date_domain enc then
     invalid_arg "Proxy.create: scheduler domain <> encrypted date domain";
   make ~enc ~mode:(Static scheduler) ~k:(Scheduler.k scheduler) ~batch_size ~seed
-    ~caching
+    ~caching ~fetch
 
-let create_adaptive ~enc ~k ?rho ?(batch_size = 1) ?(caching = true) ~seed () =
+let create_adaptive ~enc ~k ?rho ?(batch_size = 1) ?(caching = true) ?fetch
+    ~seed () =
   let m = Encrypted_db.date_domain enc in
   let amode =
     match rho with
@@ -101,7 +121,7 @@ let create_adaptive ~enc ~k ?rho ?(batch_size = 1) ?(caching = true) ~seed () =
     | Some rho -> Adaptive.Periodic rho
   in
   make ~enc ~mode:(Learning (Adaptive.create ~m ~k ~mode:amode)) ~k ~batch_size
-    ~seed ~caching
+    ~seed ~caching ~fetch
 
 let adaptive_state t =
   match t.mode with Learning a -> Some a | Static _ -> None
@@ -271,6 +291,11 @@ let execute t ~sql ~date_column ~date_lo ~date_hi =
     Query_model.make ~m ~lo:(date_lo - window_lo) ~hi:(date_hi - window_lo)
   in
   let pieces = Query_model.transform ~m ~k range in
+  (* The date-less fetch template: every batch (and, in a cluster, every
+     shard) specializes it with its own ciphertext-range conjunct. *)
+  let template =
+    Rewrite.to_fetch (Rewrite.strip_date_predicates ast ~column:date_column)
+  in
   t.counters.client_queries <- t.counters.client_queries + 1;
   t.counters.real_pieces <- t.counters.real_pieces + List.length pieces;
   Metrics.inc m_queries;
@@ -311,13 +336,9 @@ let execute t ~sql ~date_column ~date_lo ~date_hi =
           Trace.add_item "segments" (List.length segs);
           segs)
     in
-    let replacement = Rewrite.cipher_ranges_expr ~column:date_column ~segments in
-    let fetch_ast =
-      Rewrite.to_fetch (Rewrite.replace_date_predicates ast ~column:date_column ~replacement)
-    in
     let result =
       Trace.with_span "server_fetch" (fun () ->
-          let result = Database.query_ast (Encrypted_db.server enc) fetch_ast in
+          let result = t.fetch ~date_column ~segments ~template in
           Trace.add_item "rows_fetched" (List.length result.Exec.rows);
           result)
     in

@@ -32,11 +32,26 @@ type counters = {
 
 type t
 
+type fetch =
+  date_column:string ->
+  segments:(int * int) list ->
+  template:Sql_ast.select ->
+  Exec.result
+(** The proxy's server-fetch seam. [template] is the client statement
+    stripped to a fetch ([SELECT * …]) with every [date_column] predicate
+    removed; the implementation must return the (still encrypted) rows
+    matching [template] with [column BETWEEN a AND b OR …] over [segments]
+    conjoined — what {!Rewrite.add_conjunct} of
+    {!Rewrite.cipher_ranges_expr} expresses. The default runs exactly that
+    against the local {!Encrypted_db.server}; a cluster coordinator
+    substitutes its scatter-gather fan-out here. *)
+
 val create :
   enc:Encrypted_db.t ->
   scheduler:Mope_core.Scheduler.t ->
   ?batch_size:int ->
   ?caching:bool ->
+  ?fetch:fetch ->
   seed:int64 ->
   unit ->
   t
@@ -54,6 +69,7 @@ val create_adaptive :
   ?rho:int ->
   ?batch_size:int ->
   ?caching:bool ->
+  ?fetch:fetch ->
   seed:int64 ->
   unit ->
   t

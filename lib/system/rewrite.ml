@@ -30,16 +30,33 @@ let cipher_ranges_expr ~column ~segments =
          Between (Col (None, column), Lit (Value.Int a), Lit (Value.Int b)))
        segments)
 
+let kept_conjuncts select ~column =
+  match select.where with
+  | None -> []
+  | Some w ->
+    List.filter
+      (fun conjunct -> not (references_column conjunct ~column))
+      (conjuncts w)
+
 let replace_date_predicates select ~column ~replacement =
-  let kept =
-    match select.where with
-    | None -> []
-    | Some w ->
-      List.filter
-        (fun conjunct -> not (references_column conjunct ~column))
-        (conjuncts w)
+  { select with
+    where = Some (and_of_list (replacement :: kept_conjuncts select ~column)) }
+
+let strip_date_predicates select ~column =
+  let where =
+    match kept_conjuncts select ~column with
+    | [] -> None
+    | kept -> Some (and_of_list kept)
   in
-  { select with where = Some (and_of_list (replacement :: kept)) }
+  { select with where }
+
+(* Conjoining in front keeps the AST byte-identical to what
+   [replace_date_predicates] builds — [add_conjunct (strip_date_predicates s)
+   r = replace_date_predicates s ~replacement:r] — so renderings stay stable
+   as plan-cache keys whichever path built them. *)
+let add_conjunct select conjunct =
+  let rest = match select.where with None -> [] | Some w -> conjuncts w in
+  { select with where = Some (and_of_list (conjunct :: rest)) }
 
 let to_fetch select =
   { select with

@@ -16,6 +16,17 @@ val replace_date_predicates :
 (** Drop every WHERE conjunct referencing [column] and conjoin
     [replacement] instead. *)
 
+val strip_date_predicates : Sql_ast.select -> column:string -> Sql_ast.select
+(** Drop every WHERE conjunct referencing [column]; [where] becomes [None]
+    when nothing else remains. The date-less fetch {e template} a cluster
+    coordinator specializes per shard. *)
+
+val add_conjunct : Sql_ast.select -> Sql_ast.expr -> Sql_ast.select
+(** Conjoin one predicate in front of the existing WHERE clause.
+    [add_conjunct (strip_date_predicates s ~column) r] builds the same AST
+    as [replace_date_predicates s ~column ~replacement:r] — important
+    because renderings of these ASTs serve as plan-cache keys. *)
+
 val to_fetch : Sql_ast.select -> Sql_ast.select
 (** Strip projections/grouping/ordering down to [SELECT * FROM … WHERE …]:
     the server returns raw (encrypted) rows; the proxy post-processes. *)

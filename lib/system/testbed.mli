@@ -42,13 +42,15 @@ val proxy :
   ?batch_size:int ->
   ?caching:bool ->
   ?ope_cache:bool ->
+  ?fetch:Proxy.fetch ->
   ?seed:int64 ->
   unit ->
   Proxy.t
 (** A proxy configured for one query template: k = the template's fixed
     length, Q = the template's (known) start distribution, QueryU when
-    [rho = None] and QueryP\[ρ\] otherwise. [caching] is forwarded to
-    {!Proxy.create}, [ope_cache] to {!encrypted_for}. *)
+    [rho = None] and QueryP\[ρ\] otherwise. [caching] and [fetch] (e.g. a
+    cluster coordinator's scatter-gather) are forwarded to {!Proxy.create},
+    [ope_cache] to {!encrypted_for}. *)
 
 val run_encrypted : Proxy.t -> Tpch_queries.instance -> Mope_db.Exec.result
 (** Execute one instance through the proxy. *)

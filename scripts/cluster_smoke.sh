@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Cluster smoke test: bring up the loopback sharded topology end to end
+# and assert the scatter-gather path holds its core guarantees.
+#
+# Exercised:
+#   mope cluster --shards 3 --replicas 1      3x1 loopback fleet over wire v5,
+#                                             every answer checked against the
+#                                             plaintext baseline (the command
+#                                             exits non-zero on any mismatch)
+#   --kill-shard 1                            primary killed mid-run; reads
+#                                             must fail over to its replica
+#   mope cluster --shards 1 --replicas 0      single-node degenerate case:
+#                                             same checks, no fan-out
+#   bench/cluster.exe --quick                 K in {1,2,4} sweep writes a
+#                                             well-shaped BENCH_cluster.json
+#   dune build @lint                          static analysis stays green
+#
+# Usage: scripts/cluster_smoke.sh
+set -euo pipefail
+
+WORKDIR="$(mktemp -d)"
+LOG="$WORKDIR/cluster.log"
+OUT="$WORKDIR/BENCH_cluster.json"
+
+cleanup() { rm -rf "$WORKDIR"; }
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- log ---" >&2
+  cat "$LOG" >&2 || true
+  exit 1
+}
+
+dune build bin/mope_cli.exe bench/cluster.exe
+
+echo "running mope cluster --shards 3 --replicas 1 --kill-shard 1"
+dune exec --no-build bin/mope_cli.exe -- cluster --shards 3 --replicas 1 \
+  --sf 0.002 --queries 6 --kill-shard 1 >"$LOG" 2>&1 \
+  || fail "3x1 cluster run failed (a query diverged or a failover broke)"
+
+# Every query matched the plaintext baseline...
+MATCHES=$(grep -c "ok (matches plaintext)" "$LOG" || true)
+[[ "$MATCHES" -eq 6 ]] || fail "expected 6 matching queries, got $MATCHES"
+# ...the primary really was killed mid-run...
+grep -q "killing shard 1's primary" "$LOG" || fail "kill never happened"
+# ...and the replica actually served reads afterwards.
+grep -E "reads served by replicas after failover: [1-9]" "$LOG" >/dev/null \
+  || fail "no failover reads recorded after the primary was killed"
+
+echo "running mope cluster --shards 1 --replicas 0 (single-node equality)"
+dune exec --no-build bin/mope_cli.exe -- cluster --shards 1 --replicas 0 \
+  --sf 0.002 --queries 3 >"$LOG" 2>&1 || fail "single-node cluster run failed"
+MATCHES=$(grep -c "ok (matches plaintext)" "$LOG" || true)
+[[ "$MATCHES" -eq 3 ]] || fail "expected 3 matching queries, got $MATCHES"
+
+echo "running bench/cluster.exe --quick"
+dune exec --no-build bench/cluster.exe -- --quick --out "$OUT" >"$LOG" 2>&1 \
+  || fail "cluster benchmark failed (it gates on baseline equality)"
+[[ -s "$OUT" ]] || fail "BENCH_cluster.json was never written"
+for key in \
+  '"bench": "cluster"' '"scale": "quick"' '"configs"' '"K=1"' '"K=2"' \
+  '"K=4"' '"rows_per_s"' '"latency_ms"' '"p95"' '"speedup_vs_single"'; do
+  grep -qF "$key" "$OUT" || fail "bench output missing key $key"
+done
+
+echo "running dune build @lint"
+dune build @lint >"$LOG" 2>&1 || fail "mope-lint found problems"
+
+echo "cluster smoke OK: 3x1 failover served, results byte-identical, bench shaped, lint green"

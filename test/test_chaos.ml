@@ -242,7 +242,15 @@ let fuzz_corpus =
     Wire.encode_response
       (Wire.Error
          { code = Wire.Overloaded; message = "busy"; query = Some "SELECT 1";
-           retry_after = Some 0.25 }) ]
+           retry_after = Some 0.25 });
+    Wire.encode_request (Wire.Fetch { sql = "SELECT k FROM kv" });
+    Wire.encode_request (Wire.Apply { sql = "INSERT INTO kv VALUES (1, 'x')" });
+    Wire.encode_request (Wire.Wal_since { from_pos = 10; max_bytes = 4096 });
+    Wire.encode_response (Wire.Applied { wal_pos = 99 });
+    Wire.encode_response
+      (Wire.Wal_chunk
+         { resync = false; records = [ "CREATE TABLE kv (k INTEGER)"; "x" ];
+           next_pos = 77; end_pos = 142 }) ]
 
 let mutate rng s =
   let s = Bytes.of_string s in

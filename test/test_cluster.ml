@@ -1,0 +1,602 @@
+(* Cluster suite: shard-map routing and persistence, the shard store and
+   its WAL-shipping replication, and the scatter-gather coordinator —
+   ending in a loopback 3-shard/1-replica topology whose merged results
+   must be byte-identical to the single-node pipeline and to the plaintext
+   baseline, including after a shard primary is killed mid-storm under
+   seeded chaos. *)
+
+open Mope_db
+open Mope_workload
+open Mope_system
+open Mope_net
+open Mope_cluster
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "mope_cluster_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> Sys.remove (Filename.concat dir name))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  data
+
+let with_metrics f =
+  Mope_obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Mope_obs.Metrics.set_enabled false) f
+
+(* ------------------------------------------------------------------ *)
+(* Shard map: partitioning *)
+
+let test_map_partition () =
+  let m = Shard_map.create ~shards:4 ~range:10 in
+  Alcotest.(check (list int)) "bounds" [ 0; 3; 6; 8 ]
+    (Array.to_list (Shard_map.bounds m));
+  Alcotest.(check (list (pair int int))) "slices tile the space"
+    [ (0, 2); (3, 5); (6, 7); (8, 9) ]
+    (List.init 4 (Shard_map.slice m));
+  for c = 0 to 9 do
+    let i = Shard_map.shard_of m c in
+    let lo, hi = Shard_map.slice m i in
+    Alcotest.(check bool)
+      (Printf.sprintf "c=%d inside its slice" c)
+      true
+      (lo <= c && c <= hi)
+  done;
+  (* Exhaustively over small spaces: slices tile [0, range) and widths
+     differ by at most one, so a uniform MOPE offset balances rows. *)
+  for range = 1 to 40 do
+    for shards = 1 to range do
+      let m = Shard_map.create ~shards ~range in
+      let widths =
+        List.init shards (fun i ->
+            let lo, hi = Shard_map.slice m i in
+            hi - lo + 1)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%d/%d covers the space" shards range)
+        range
+        (List.fold_left ( + ) 0 widths);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d/%d near-equal widths" shards range)
+        true
+        (List.fold_left Int.max 0 widths
+         - List.fold_left Int.min max_int widths
+        <= 1)
+    done
+  done
+
+let expect_invalid label f =
+  match f () with
+  | _ -> Alcotest.fail ("accepted invalid input: " ^ label)
+  | exception Invalid_argument _ -> ()
+
+let test_map_validation () =
+  expect_invalid "0 shards" (fun () -> Shard_map.create ~shards:0 ~range:5);
+  expect_invalid "shards > range" (fun () ->
+      Shard_map.create ~shards:6 ~range:5);
+  expect_invalid "bounds not starting at 0" (fun () ->
+      Shard_map.of_bounds ~bounds:[| 1; 4 |] ~range:10);
+  expect_invalid "bounds not increasing" (fun () ->
+      Shard_map.of_bounds ~bounds:[| 0; 5; 5 |] ~range:10);
+  expect_invalid "bound beyond range" (fun () ->
+      Shard_map.of_bounds ~bounds:[| 0; 10 |] ~range:10);
+  expect_invalid "empty bounds" (fun () ->
+      Shard_map.of_bounds ~bounds:[||] ~range:10);
+  let m = Shard_map.create ~shards:2 ~range:10 in
+  expect_invalid "ciphertext below the space" (fun () ->
+      Shard_map.shard_of m (-1));
+  expect_invalid "ciphertext beyond the space" (fun () ->
+      Shard_map.shard_of m 10);
+  expect_invalid "segment beyond the space" (fun () ->
+      Shard_map.route m [ (8, 10) ])
+
+(* Routing as a property: every ciphertext of the input segments lands in
+   exactly the sub-segment list of its owning shard, and nothing else. *)
+let route_universe = 60
+
+let segments_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 6)
+      (map2
+         (fun a b -> (Int.min a b, Int.max a b))
+         (int_range 0 (route_universe - 1))
+         (int_range 0 (route_universe - 1))))
+
+let arb_route_case =
+  QCheck.make
+    QCheck.Gen.(pair (int_range 1 7) segments_gen)
+    ~print:(fun (shards, segs) ->
+      Printf.sprintf "shards=%d segments=%s" shards
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "[%d,%d]" a b) segs)))
+
+let test_map_route_property =
+  QCheck.Test.make ~name:"route clips segments exactly onto slices" ~count:300
+    arb_route_case
+    (fun (shards, raw) ->
+      let m = Shard_map.create ~shards ~range:route_universe in
+      let segments = Ranges.intervals (Ranges.normalize raw) in
+      let routed = Shard_map.route m segments in
+      let member segs x = List.exists (fun (lo, hi) -> lo <= x && x <= hi) segs in
+      List.for_all
+        (fun x ->
+          let owner = Shard_map.shard_of m x in
+          let in_owner = member routed.(owner) x in
+          let elsewhere =
+            List.exists
+              (fun i -> i <> owner && member routed.(i) x)
+              (List.init shards Fun.id)
+          in
+          in_owner = member segments x && not elsewhere)
+        (List.init route_universe Fun.id))
+
+(* A single segment straddling every boundary of the map must split into
+   one clip per shard, in shard order, recombining to the original. *)
+let test_map_route_straddle () =
+  let m = Shard_map.create ~shards:3 ~range:30 in
+  let routed = Shard_map.route m [ (5, 27) ] in
+  Alcotest.(check (list (pair int int))) "first clip" [ (5, 9) ] routed.(0);
+  Alcotest.(check (list (pair int int))) "middle slice whole" [ (10, 19) ]
+    routed.(1);
+  Alcotest.(check (list (pair int int))) "last clip" [ (20, 27) ] routed.(2);
+  (* A segment entirely inside one slice touches only that shard. *)
+  let routed = Shard_map.route m [ (12, 14) ] in
+  Alcotest.(check (list (pair int int))) "only owner" [ (12, 14) ] routed.(1);
+  Alcotest.(check (list (pair int int))) "shard 0 untouched" [] routed.(0);
+  Alcotest.(check (list (pair int int))) "shard 2 untouched" [] routed.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Shard map: persistence *)
+
+let test_map_codec_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "map.bin" in
+      List.iter
+        (fun m ->
+          Shard_map.save m ~path;
+          let loaded = Shard_map.load ~path in
+          Alcotest.(check int) "range" (Shard_map.range m)
+            (Shard_map.range loaded);
+          Alcotest.(check (list int)) "bounds"
+            (Array.to_list (Shard_map.bounds m))
+            (Array.to_list (Shard_map.bounds loaded)))
+        [ Shard_map.create ~shards:1 ~range:1;
+          Shard_map.create ~shards:4 ~range:10;
+          Shard_map.create ~shards:7 ~range:33851;
+          Shard_map.of_bounds ~bounds:[| 0; 1; 2; 100 |] ~range:101 ];
+      Alcotest.(check bool) "no stray tmp" false
+        (Sys.file_exists (path ^ ".tmp")))
+
+let expect_map_corrupt label data =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "map.bin" in
+      write_file path data;
+      match Shard_map.load ~path with
+      | _ -> Alcotest.fail ("accepted corrupt shard map: " ^ label)
+      | exception Shard_map.Corrupt _ -> ()
+      | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "%s: escaped as %s instead of Corrupt" label
+             (Printexc.to_string e)))
+
+let test_map_codec_corruption () =
+  (match Shard_map.load ~path:"/definitely/not/there.bin" with
+  | _ -> Alcotest.fail "loaded a missing file"
+  | exception Shard_map.Corrupt _ -> ());
+  expect_map_corrupt "empty" "";
+  expect_map_corrupt "wrong magic" "MOPEDB\x02\nxxxxxxxxxxxx";
+  expect_map_corrupt "future version" "MOPESHRD\x02\n\x00\x00\x00\x00";
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "map.bin" in
+      Shard_map.save (Shard_map.create ~shards:3 ~range:100) ~path;
+      let good = read_file path in
+      (* Every truncation is rejected. *)
+      for n = 0 to String.length good - 1 do
+        expect_map_corrupt
+          (Printf.sprintf "truncated to %d" n)
+          (String.sub good 0 n)
+      done;
+      (* Every single-bit flip is rejected (CRC-32 catches them all). *)
+      let mangled = Bytes.of_string good in
+      for i = 0 to String.length good - 1 do
+        let orig = Bytes.get mangled i in
+        Bytes.set mangled i (Char.chr (Char.code orig lxor 0x10));
+        expect_map_corrupt
+          (Printf.sprintf "bit flip at %d" i)
+          (Bytes.to_string mangled);
+        Bytes.set mangled i orig
+      done;
+      expect_map_corrupt "trailing garbage" (good ^ "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Store: apply / fetch / wal_since over the WAL *)
+
+let store_statements =
+  [ "CREATE TABLE kv (k INTEGER, v TEXT)";
+    "INSERT INTO kv VALUES (1, 'one')";
+    "INSERT INTO kv VALUES (2, 'two')";
+    "INSERT INTO kv VALUES (3, 'three')" ]
+
+let fetch_ks store =
+  let r = Store.fetch store ~sql:"SELECT k FROM kv" in
+  List.sort compare
+    (List.map (fun row -> Value.to_string row.(0)) r.Exec.rows)
+
+let test_store_apply_fetch () =
+  with_tmp_dir (fun dir ->
+      let wal_path = Filename.concat dir "s.wal" in
+      let store = Store.create ~wal_path () in
+      let positions = List.map (fun sql -> Store.apply store ~sql) store_statements in
+      (* Each apply lands in the log: strictly growing end offsets. *)
+      List.iteri
+        (fun i pos ->
+          Alcotest.(check bool)
+            (Printf.sprintf "wal grows at %d" i)
+            true
+            (pos > if i = 0 then Wal.head_pos else List.nth positions (i - 1)))
+        positions;
+      Alcotest.(check int) "wal_pos is the last apply"
+        (List.nth positions (List.length positions - 1))
+        (Store.wal_pos store);
+      Alcotest.(check (list string)) "rows" [ "1"; "2"; "3" ] (fetch_ks store);
+      (* A non-SELECT through fetch is a structured error. *)
+      (match Store.fetch store ~sql:"INSERT INTO kv VALUES (9, 'x')" with
+      | _ -> Alcotest.fail "fetch accepted a mutation"
+      | exception Mope_error.Error _ -> ());
+      (* Recovery replays the WAL back to the same state. *)
+      Store.close store;
+      let recovered = Store.recover ~wal_path () in
+      Alcotest.(check (list string)) "recovered rows" [ "1"; "2"; "3" ]
+        (fetch_ks recovered);
+      Store.close recovered;
+      (* A WAL-less store applies fine but cannot feed replication. *)
+      let bare = Store.create () in
+      Alcotest.(check int) "no wal, position 0" 0
+        (Store.apply bare ~sql:"CREATE TABLE t (x INTEGER)");
+      match Store.wal_since bare ~from_pos:Wal.head_pos ~max_bytes:1024 with
+      | _ -> Alcotest.fail "wal_since without a WAL"
+      | exception Mope_error.Error _ -> ())
+
+let test_store_wal_since_chunking () =
+  with_tmp_dir (fun dir ->
+      let wal_path = Filename.concat dir "s.wal" in
+      let store = Store.create ~wal_path () in
+      List.iter (fun sql -> ignore (Store.apply store ~sql)) store_statements;
+      (* One big chunk: everything, cursor parked at the end. *)
+      let c = Store.wal_since store ~from_pos:Wal.head_pos ~max_bytes:(1 lsl 20) in
+      Alcotest.(check (list string)) "all records" store_statements c.Wal.records;
+      Alcotest.(check bool) "no resync" false c.Wal.resync;
+      Alcotest.(check int) "cursor at the end" c.Wal.end_pos c.Wal.next_pos;
+      Alcotest.(check int) "end is wal_pos" (Store.wal_pos store) c.Wal.end_pos;
+      (* max_bytes:1 still guarantees progress: one record per chunk. *)
+      let collected = ref [] in
+      let pos = ref Wal.head_pos in
+      let rounds = ref 0 in
+      let continue = ref true in
+      while !continue do
+        incr rounds;
+        if !rounds > 100 then Alcotest.fail "chunk walk does not terminate";
+        let c = Store.wal_since store ~from_pos:!pos ~max_bytes:1 in
+        Alcotest.(check int)
+          (Printf.sprintf "round %d ships one record" !rounds)
+          1
+          (List.length c.Wal.records);
+        collected := !collected @ c.Wal.records;
+        pos := c.Wal.next_pos;
+        if c.Wal.next_pos >= c.Wal.end_pos then continue := false
+      done;
+      Alcotest.(check (list string)) "chunk walk covers the log"
+        store_statements !collected;
+      (* Caught up: an empty chunk, no resync. *)
+      let c = Store.wal_since store ~from_pos:!pos ~max_bytes:1024 in
+      Alcotest.(check (list string)) "idle" [] c.Wal.records;
+      Alcotest.(check bool) "idle no resync" false c.Wal.resync;
+      (* A cursor off any record boundary demands a resync from the head. *)
+      let c = Store.wal_since store ~from_pos:(Wal.head_pos + 1) ~max_bytes:1024 in
+      Alcotest.(check bool) "resync flagged" true c.Wal.resync;
+      Alcotest.(check int) "resync rewinds to head" Wal.head_pos c.Wal.next_pos;
+      Alcotest.(check (list string)) "resync ships nothing" [] c.Wal.records;
+      Store.close store)
+
+let test_store_handler () =
+  with_tmp_dir (fun dir ->
+      let store = Store.create ~wal_path:(Filename.concat dir "s.wal") () in
+      let h = Store.handler store in
+      Alcotest.(check bool) "ping" true (h Wire.Ping = Wire.Pong);
+      (match h (Wire.Apply { sql = "CREATE TABLE kv (k INTEGER, v TEXT)" }) with
+      | Wire.Applied { wal_pos } ->
+        Alcotest.(check bool) "applied past the header" true
+          (wal_pos > Wal.head_pos)
+      | _ -> Alcotest.fail "expected Applied");
+      ignore (h (Wire.Apply { sql = "INSERT INTO kv VALUES (1, 'one')" }));
+      (match h (Wire.Fetch { sql = "SELECT v FROM kv" }) with
+      | Wire.Rows r ->
+        Alcotest.(check int) "one row" 1 (List.length r.Exec.rows)
+      | _ -> Alcotest.fail "expected Rows");
+      (* Engine rejections surface as structured Exec_failed, not raises. *)
+      (match h (Wire.Fetch { sql = "SELECT nope FROM missing" }) with
+      | Wire.Error { code = Wire.Exec_failed; _ } -> ()
+      | _ -> Alcotest.fail "expected a structured Exec_failed");
+      (match h (Wire.Wal_since { from_pos = Wal.head_pos; max_bytes = 1024 }) with
+      | Wire.Wal_chunk { records; resync = false; _ } ->
+        Alcotest.(check int) "both records shipped" 2 (List.length records)
+      | _ -> Alcotest.fail "expected Wal_chunk");
+      (* Proxy query ops are refused: a store is not a query frontend. *)
+      (match
+         h (Wire.Query
+              { sql = "SELECT 1"; date_column = "l_shipdate";
+                date_lo = Date.of_ymd 1994 1 1; date_hi = Date.of_ymd 1994 2 1 })
+       with
+      | Wire.Error { code = Wire.Unsupported; _ } -> ()
+      | _ -> Alcotest.fail "Query must be unsupported on a store");
+      (match h Wire.Get_counters with
+      | Wire.Error { code = Wire.Unsupported; _ } -> ()
+      | _ -> Alcotest.fail "Get_counters must be unsupported on a store");
+      Store.close store)
+
+(* ------------------------------------------------------------------ *)
+(* Replication: catch-up, incremental sync, lag gauge, resync *)
+
+let serve store = Server.start ~handler:(Store.handler store) ()
+
+let test_replica_sync () =
+  with_metrics @@ fun () ->
+  with_tmp_dir (fun dir ->
+      let store = Store.create ~wal_path:(Filename.concat dir "p.wal") () in
+      List.iter (fun sql -> ignore (Store.apply store ~sql)) store_statements;
+      let server = serve store in
+      let replica = Replica.create ~shard:0 ~port:(Server.port server) () in
+      Fun.protect
+        ~finally:(fun () ->
+          Replica.close replica;
+          Server.shutdown server;
+          Store.close store)
+        (fun () ->
+          (* Initial catch-up applies the whole log. *)
+          Alcotest.(check int) "initial catch-up"
+            (List.length store_statements)
+            (Replica.sync replica);
+          Alcotest.(check (list string)) "replica state" [ "1"; "2"; "3" ]
+            (fetch_ks (Replica.store replica));
+          Alcotest.(check int) "caught up" 0 (Replica.lag_bytes replica);
+          Alcotest.(check int) "cursor at the primary's end"
+            (Store.wal_pos store) (Replica.cursor replica);
+          let lag_gauge =
+            Mope_obs.Metrics.gauge "mope_cluster_replica_lag_bytes"
+              ~labels:[ ("shard", "0") ] ()
+          in
+          Alcotest.(check int) "lag gauge caught up" 0
+            (Mope_obs.Metrics.gauge_value lag_gauge);
+          (* Incremental: only the delta travels on the next sync. *)
+          ignore (Store.apply store ~sql:"INSERT INTO kv VALUES (4, 'four')");
+          ignore (Store.apply store ~sql:"DELETE FROM kv WHERE k = 1");
+          Alcotest.(check int) "delta applied" 2 (Replica.sync replica);
+          Alcotest.(check (list string)) "replica follows" [ "2"; "3"; "4" ]
+            (fetch_ks (Replica.store replica));
+          (* Idle sync is a no-op. *)
+          Alcotest.(check int) "idle sync" 0 (Replica.sync replica)))
+
+(* The primary restarts with a shorter history (its WAL was reset under the
+   replica's cursor): the primary answers resync and the replica rebuilds
+   its whole slice from the head of the new log. *)
+let test_replica_resync () =
+  with_tmp_dir (fun dir ->
+      let store1 = Store.create ~wal_path:(Filename.concat dir "p1.wal") () in
+      List.iter (fun sql -> ignore (Store.apply store1 ~sql)) store_statements;
+      let server1 = serve store1 in
+      let port = Server.port server1 in
+      let replica = Replica.create ~shard:1 ~port () in
+      Fun.protect
+        ~finally:(fun () -> Replica.close replica)
+        (fun () ->
+          ignore (Replica.sync replica);
+          Alcotest.(check (list string)) "synced to the first primary"
+            [ "1"; "2"; "3" ]
+            (fetch_ks (Replica.store replica));
+          (* Unreachable primary: sync fails structurally, cursor intact. *)
+          Server.shutdown server1;
+          Store.close store1;
+          let cursor = Replica.cursor replica in
+          (match Replica.sync replica with
+          | _ -> Alcotest.fail "sync against a dead primary must fail"
+          | exception Mope_error.Error _ -> ());
+          Alcotest.(check int) "cursor unchanged after the failure" cursor
+            (Replica.cursor replica);
+          (* A new primary on the same port with a shorter WAL. *)
+          let store2 = Store.create ~wal_path:(Filename.concat dir "p2.wal") () in
+          ignore (Store.apply store2 ~sql:"CREATE TABLE kv (k INTEGER, v TEXT)");
+          ignore (Store.apply store2 ~sql:"INSERT INTO kv VALUES (100, 'fresh')");
+          let server2 =
+            Server.start
+              ~config:{ Server.default_config with Server.port }
+              ~handler:(Store.handler store2) ()
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Server.shutdown server2;
+              Store.close store2)
+            (fun () ->
+              let applied = Replica.sync replica in
+              Alcotest.(check int) "full head replay after resync" 2 applied;
+              Alcotest.(check (list string)) "replica rebuilt, old rows gone"
+                [ "100" ]
+                (fetch_ks (Replica.store replica));
+              Alcotest.(check int) "caught up on the new history" 0
+                (Replica.lag_bytes replica))))
+
+(* ------------------------------------------------------------------ *)
+(* The loopback cluster: scatter-gather equality and failover *)
+
+let testbed = lazy (Testbed.load ~sf:0.002 ~seed:21L ())
+
+let result_fingerprint r =
+  List.map (fun row -> Array.to_list (Array.map Value.to_string row)) r.Exec.rows
+
+let with_topology ?wrap ?(shards = 3) ?(replicas = 1) f =
+  let tb = Lazy.force testbed in
+  let enc = Testbed.encrypted_for tb ~rho:(Some 92) in
+  with_tmp_dir (fun dir ->
+      let topo = Topology.launch ~enc ~shards ~replicas ~wal_dir:dir ?wrap () in
+      Fun.protect ~finally:(fun () -> Topology.shutdown topo) (fun () ->
+          f tb topo))
+
+(* One proxy per date column, exactly as `mope serve` builds them — but
+   fetching through the coordinator instead of the local encrypted twin. *)
+let cluster_proxies tb topo =
+  [ ( Tpch_queries.date_column Tpch_queries.Q6,
+      Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho:(Some 92) ~batch_size:25
+        ~fetch:(Topology.fetch topo) ~seed:17L () );
+    ( Tpch_queries.date_column Tpch_queries.Q4,
+      Testbed.proxy tb ~template:Tpch_queries.Q4 ~rho:(Some 92) ~batch_size:25
+        ~fetch:(Topology.fetch topo) ~seed:19L () ) ]
+
+let single_node_proxies tb =
+  [ ( Tpch_queries.date_column Tpch_queries.Q6,
+      Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho:(Some 92) ~batch_size:25
+        ~seed:17L () );
+    ( Tpch_queries.date_column Tpch_queries.Q4,
+      Testbed.proxy tb ~template:Tpch_queries.Q4 ~rho:(Some 92) ~batch_size:25
+        ~seed:19L () ) ]
+
+let run_via proxies inst =
+  let col = Tpch_queries.date_column inst.Tpch_queries.template in
+  Testbed.run_encrypted (List.assoc col proxies) inst
+
+let query_instances seed =
+  let rng = Mope_stats.Rng.create seed in
+  [ Tpch_queries.random_instance rng Tpch_queries.Q6;
+    Tpch_queries.random_instance rng Tpch_queries.Q14;
+    Tpch_queries.random_instance rng Tpch_queries.Q4;
+    Tpch_queries.random_instance rng Tpch_queries.Q4 ]
+
+let check_instance ~msg tb cluster single inst =
+  let plain = Testbed.run_plain tb inst in
+  let got = run_via cluster inst in
+  let name = Tpch_queries.template_name inst.Tpch_queries.template in
+  Alcotest.(check (list (list string)))
+    (Printf.sprintf "%s: %s matches the plaintext baseline" msg name)
+    (result_fingerprint plain) (result_fingerprint got);
+  match single with
+  | None -> ()
+  | Some proxies ->
+    Alcotest.(check (list (list string)))
+      (Printf.sprintf "%s: %s byte-identical to the single node" msg name)
+      (result_fingerprint (run_via proxies inst))
+      (result_fingerprint got)
+
+let test_scatter_gather_equality () =
+  List.iter
+    (fun shards ->
+      with_topology ~shards ~replicas:0 (fun tb topo ->
+          let cluster = cluster_proxies tb topo in
+          let single = single_node_proxies tb in
+          List.iter
+            (check_instance
+               ~msg:(Printf.sprintf "%d shards" shards)
+               tb cluster (Some single))
+            (query_instances 23L)))
+    [ 1; 3 ]
+
+let test_failover_to_replica () =
+  with_metrics @@ fun () ->
+  with_topology ~shards:3 ~replicas:1 (fun tb topo ->
+      let cluster = cluster_proxies tb topo in
+      (* Replicas start caught up (Topology.launch syncs them). *)
+      for shard = 0 to Topology.shards topo - 1 do
+        Alcotest.(check (list int))
+          (Printf.sprintf "shard %d replica caught up" shard)
+          [ 0 ]
+          (Topology.replica_lag topo ~shard)
+      done;
+      let insts = query_instances 29L in
+      check_instance ~msg:"healthy cluster" tb cluster None (List.hd insts);
+      (* Kill every primary: each sub-fetch must fail over to the shard's
+         replica, and the answers must not change by a byte. *)
+      let failover_counters =
+        List.init (Topology.shards topo) (fun i ->
+            Mope_obs.Metrics.counter "mope_cluster_failover_total"
+              ~labels:[ ("shard", string_of_int i) ] ())
+      in
+      let failovers0 =
+        List.fold_left
+          (fun acc c -> acc + Mope_obs.Metrics.counter_value c)
+          0 failover_counters
+      in
+      for shard = 0 to Topology.shards topo - 1 do
+        Topology.kill_primary topo ~shard
+      done;
+      List.iter
+        (check_instance ~msg:"all primaries dead" tb cluster None)
+        (List.tl insts);
+      let failovers =
+        List.fold_left
+          (fun acc c -> acc + Mope_obs.Metrics.counter_value c)
+          0 failover_counters
+      in
+      Alcotest.(check bool) "failovers counted" true (failovers > failovers0))
+
+(* The acceptance storm: a seeded chaos schedule on every connection, and a
+   shard primary killed mid-run. Chaos.slow is lossless, so every query
+   must still complete — through the replica — byte-identical. *)
+let test_chaos_kill_primary_mid_storm () =
+  List.iter
+    (fun seed ->
+      let wrap io = Chaos.wrap ~config:Chaos.slow ~seed io in
+      with_topology ~wrap ~shards:3 ~replicas:1 (fun tb topo ->
+          let cluster = cluster_proxies tb topo in
+          let msg = Printf.sprintf "seed %Ld" seed in
+          match query_instances (Int64.add 1000L seed) with
+          | before :: after ->
+            check_instance ~msg:(msg ^ " before the kill") tb cluster None
+              before;
+            (* The storm is on and queries are flowing; now a primary dies. *)
+            Topology.kill_primary topo ~shard:1;
+            List.iter
+              (check_instance ~msg:(msg ^ " after the kill") tb cluster None)
+              after
+          | [] -> assert false))
+    [ 3L; 11L ]
+
+let () =
+  Alcotest.run "cluster"
+    [ ( "shard-map",
+        [ Alcotest.test_case "equal-width partition" `Quick test_map_partition;
+          Alcotest.test_case "invalid maps rejected" `Quick test_map_validation;
+          QCheck_alcotest.to_alcotest test_map_route_property;
+          Alcotest.test_case "straddling segments split per shard" `Quick
+            test_map_route_straddle;
+          Alcotest.test_case "codec roundtrip" `Quick test_map_codec_roundtrip;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_map_codec_corruption ] );
+      ( "store",
+        [ Alcotest.test_case "apply, fetch, recover" `Quick
+            test_store_apply_fetch;
+          Alcotest.test_case "wal_since chunk walk" `Quick
+            test_store_wal_since_chunking;
+          Alcotest.test_case "wire handler" `Quick test_store_handler ] );
+      ( "replication",
+        [ Alcotest.test_case "catch-up, incremental, lag gauge" `Quick
+            test_replica_sync;
+          Alcotest.test_case "resync after primary history loss" `Quick
+            test_replica_resync ] );
+      ( "scatter-gather",
+        [ Alcotest.test_case "merged results byte-identical" `Slow
+            test_scatter_gather_equality;
+          Alcotest.test_case "failover routes reads to replicas" `Slow
+            test_failover_to_replica;
+          Alcotest.test_case "kill primary mid-storm under seeded chaos" `Slow
+            test_chaos_kill_primary_mid_storm ] ) ]

@@ -280,6 +280,36 @@ let test_ranges_cardinal () =
     (List.length (Ranges.intervals (Ranges.normalize [ (1, 3); (4, 9) ])));
   Alcotest.(check int) "empty" 0 (Ranges.cardinal Ranges.empty)
 
+let test_ranges_edges () =
+  let intervals l = Ranges.intervals (Ranges.normalize l) in
+  (* Adjacent but not overlapping: [1,3] touches [4,9] end-to-end and must
+     merge into one interval; a one-point gap must stay two. *)
+  Alcotest.(check (list (pair int int))) "adjacent merge" [ (1, 9) ]
+    (intervals [ (1, 3); (4, 9) ]);
+  Alcotest.(check (list (pair int int))) "gap preserved" [ (1, 3); (5, 9) ]
+    (intervals [ (1, 3); (5, 9) ]);
+  (* Single-point intervals: duplicates collapse; a chain of adjacent
+     points merges into one run regardless of input order. *)
+  Alcotest.(check (list (pair int int))) "single point" [ (5, 5) ]
+    (intervals [ (5, 5); (5, 5) ]);
+  Alcotest.(check (list (pair int int))) "point chain" [ (5, 7) ]
+    (intervals [ (7, 7); (5, 5); (6, 6) ]);
+  Alcotest.(check (list (pair int int))) "point bridges two runs" [ (1, 7) ]
+    (intervals [ (1, 3); (5, 7); (4, 4) ]);
+  (* A segment straddling a shard boundary (30, in a 60-wide space split in
+     two): normalization keeps it whole, and the per-shard clips recombine
+     to exactly the original — what Shard_map.route relies on. *)
+  let n = Ranges.normalize [ (25, 34) ] in
+  Alcotest.(check (list (pair int int))) "straddles the boundary" [ (25, 34) ]
+    (Ranges.intervals n);
+  Alcotest.(check (list (pair int int))) "left clip" [ (25, 29) ]
+    (Ranges.intervals (Ranges.intersect n (Ranges.normalize [ (0, 29) ])));
+  Alcotest.(check (list (pair int int))) "right clip" [ (30, 34) ]
+    (Ranges.intervals (Ranges.intersect n (Ranges.normalize [ (30, 59) ])));
+  Alcotest.(check int) "clips cover every point" (Ranges.cardinal n)
+    (Ranges.cardinal (Ranges.intersect n (Ranges.normalize [ (0, 29) ]))
+    + Ranges.cardinal (Ranges.intersect n (Ranges.normalize [ (30, 59) ])))
+
 (* ------------------------------------------------------------------ *)
 (* Lexer / parser *)
 
@@ -1421,7 +1451,9 @@ let () =
       ( "ranges",
         [ QCheck_alcotest.to_alcotest test_ranges_normalize;
           QCheck_alcotest.to_alcotest test_ranges_union_intersect;
-          Alcotest.test_case "cardinal & merge" `Quick test_ranges_cardinal ] );
+          Alcotest.test_case "cardinal & merge" `Quick test_ranges_cardinal;
+          Alcotest.test_case "adjacency, points, shard-boundary straddles"
+            `Quick test_ranges_edges ] );
       ( "sql-frontend",
         [ Alcotest.test_case "lexer" `Quick test_lexer_basics;
           Alcotest.test_case "lexer errors" `Quick test_lexer_errors;

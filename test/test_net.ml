@@ -39,7 +39,16 @@ let test_request_roundtrip () =
         date_lo = Date.of_ymd 1994 1 1;
         date_hi = Date.of_ymd 1994 12 31 }
   in
-  Alcotest.(check bool) "query" true (roundtrip_request q = q)
+  Alcotest.(check bool) "query" true (roundtrip_request q = q);
+  (* The v5 store ops. *)
+  let f = Wire.Fetch { sql = "SELECT l_partkey FROM lineitem WHERE ..." } in
+  Alcotest.(check bool) "fetch" true (roundtrip_request f = f);
+  let a = Wire.Apply { sql = "INSERT INTO lineitem VALUES (1, 'x')" } in
+  Alcotest.(check bool) "apply" true (roundtrip_request a = a);
+  let w = Wire.Wal_since { from_pos = 424242; max_bytes = 1 lsl 20 } in
+  Alcotest.(check bool) "wal_since" true (roundtrip_request w = w);
+  let w0 = Wire.Wal_since { from_pos = 0; max_bytes = 1 } in
+  Alcotest.(check bool) "wal_since minimal" true (roundtrip_request w0 = w0)
 
 let test_trace_id_header () =
   (* The v3 header carries the trace id between tag and body; the default
@@ -96,7 +105,23 @@ let test_response_roundtrip () =
         retry_after = Some 0.25 }
   in
   Alcotest.(check bool) "error no query" true
-    (roundtrip_response err_no_query = err_no_query)
+    (roundtrip_response err_no_query = err_no_query);
+  (* The v5 store responses. *)
+  let applied = Wire.Applied { wal_pos = 123456 } in
+  Alcotest.(check bool) "applied" true (roundtrip_response applied = applied);
+  let chunk =
+    Wire.Wal_chunk
+      { resync = false;
+        records =
+          [ "CREATE TABLE kv (k INTEGER)"; ""; "INSERT INTO kv VALUES (1)" ];
+        next_pos = 77;
+        end_pos = 142 }
+  in
+  Alcotest.(check bool) "wal chunk" true (roundtrip_response chunk = chunk);
+  let resync =
+    Wire.Wal_chunk { resync = true; records = []; next_pos = 9; end_pos = 9 }
+  in
+  Alcotest.(check bool) "resync chunk" true (roundtrip_response resync = resync)
 
 let test_stats_roundtrip () =
   let open Mope_obs in

@@ -139,6 +139,37 @@ let test_save_atomic () =
       Alcotest.(check (list string)) "replaced" [ "only" ]
         (Database.tables (Storage.load ~path)))
 
+(* Torn rename: a crash can leave the temp file in any state — empty, a
+   torn header, half a body, or even a complete snapshot that was never
+   published by the rename. Whatever the stray .tmp holds, the canonical
+   path stays authoritative for load and recover, and the next save
+   consumes the stray atomically. *)
+let test_torn_rename () =
+  with_tmp (fun path ->
+      let db = small_database () in
+      Storage.save db ~path;
+      let good = Storage.save_string db in
+      List.iteri
+        (fun i stray ->
+          write_file (path ^ ".tmp") stray;
+          let loaded = Storage.load ~path in
+          Alcotest.(check (list (list string)))
+            (Printf.sprintf "canonical path wins over stray %d" i)
+            (dump db) (dump loaded);
+          let r = Storage.recover ~snapshot:path ~wal:(path ^ ".wal") () in
+          Alcotest.(check (list (list string)))
+            (Printf.sprintf "recover ignores stray %d" i)
+            (dump db) (dump r.Storage.db);
+          Storage.save db ~path;
+          Alcotest.(check bool)
+            (Printf.sprintf "stray %d consumed by the next save" i)
+            false
+            (Sys.file_exists (path ^ ".tmp")))
+        [ "";
+          "MOPEDB\x02\n";
+          String.sub good 0 (String.length good / 2);
+          Storage.save_string (Database.create ()) ])
+
 (* ------------------------------------------------------------------ *)
 (* WAL *)
 
@@ -425,7 +456,9 @@ let () =
             test_bit_flip_sweep;
           Alcotest.test_case "trailing garbage rejected" `Quick
             test_trailing_garbage;
-          Alcotest.test_case "atomic save" `Quick test_save_atomic ] );
+          Alcotest.test_case "atomic save" `Quick test_save_atomic;
+          Alcotest.test_case "torn rename leaves the old snapshot" `Quick
+            test_torn_rename ] );
       ( "wal",
         [ Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "missing file is empty" `Quick
