@@ -581,7 +581,32 @@ let cluster_cmd =
     let doc = "Executed queries combined into one server statement (§5.1)." in
     Arg.(value & opt int 25 & info [ "batch-size" ] ~docv:"N" ~doc)
   in
-  let run shards replicas sf seed rho queries kill batch_size =
+  let supervise_arg =
+    let doc =
+      "Run the failover supervisor: probe every leg, sync replicas under \
+       the staleness bound, and auto-promote a replica (under a new \
+       fencing epoch) when a primary dies."
+    in
+    Arg.(value & flag & info [ "supervise" ] ~doc)
+  in
+  let writes_arg =
+    let doc =
+      "Retryable writes (client-minted request ids) to storm the killed \
+       shard with while the supervisor promotes; afterwards every \
+       acknowledged write must be present exactly once. Needs \
+       $(b,--supervise) when combined with $(b,--kill-shard)."
+    in
+    Arg.(value & opt int 0 & info [ "writes" ] ~docv:"W" ~doc)
+  in
+  let chaos_arg =
+    let doc =
+      "Wrap every cluster connection in seeded 'slow' chaos (partial I/O \
+       and latency) with this seed."
+    in
+    Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED" ~doc)
+  in
+  let run shards replicas sf seed rho queries kill batch_size supervise writes
+      chaos =
     let open Mope_system in
     let open Mope_workload in
     let open Mope_cluster in
@@ -598,15 +623,37 @@ let cluster_cmd =
       Printf.eprintf "--kill-shard needs --replicas >= 1 to keep serving\n";
       exit 1
     | _ -> ());
+    if writes > 0 && kill <> None && not supervise then begin
+      Printf.eprintf "--writes with --kill-shard needs --supervise\n";
+      exit 1
+    end;
     Printf.printf "generating TPC-H at SF %g (seed %d)...\n%!" sf seed;
     let tb = Testbed.load ~sf ~seed:(Int64.of_int seed) () in
     let enc = Testbed.encrypted_for tb ~rho in
     let wal_dir = Filename.temp_file "mope-cluster" "" in
     Sys.remove wal_dir;
     Unix.mkdir wal_dir 0o700;
-    let topo = Topology.launch ~enc ~shards ~replicas ~wal_dir () in
+    let wrap =
+      Option.map
+        (fun cs io ->
+          Mope_net.Chaos.wrap ~config:Mope_net.Chaos.slow
+            ~seed:(Int64.of_int cs) io)
+        chaos
+    in
+    let topo = Topology.launch ~enc ~shards ~replicas ~wal_dir ?wrap () in
+    let sup =
+      if supervise then begin
+        let s =
+          Topology.supervisor topo ~seed:(Int64.of_int (seed + 7)) ()
+        in
+        Supervisor.start s;
+        Some s
+      end
+      else None
+    in
     Fun.protect
       ~finally:(fun () ->
+        Option.iter Supervisor.stop sup;
         Topology.shutdown topo;
         Array.iter
           (fun f -> Sys.remove (Filename.concat wal_dir f))
@@ -641,11 +688,96 @@ let cluster_cmd =
         let rng = Rng.create (Int64.of_int (seed + 1000)) in
         let templates = [| Tpch_queries.Q6; Tpch_queries.Q14; Tpch_queries.Q4 |] in
         let failures = ref 0 in
-        for q = 0 to queries - 1 do
-          (match kill with
-          | Some shard when q = (queries + 1) / 2 ->
+        let killed = ref false in
+        let do_kill shard =
+          if not !killed then begin
+            killed := true;
             Printf.printf "-- killing shard %d's primary --\n%!" shard;
             Topology.kill_primary topo ~shard
+          end
+        in
+        if writes > 0 then begin
+          let coord = Topology.coordinator topo in
+          let shard = match kill with Some s -> s | None -> 0 in
+          Printf.printf
+            "write storm: %d retryable write(s) against shard %d%s\n%!" writes
+            shard
+            (if kill <> None then " (killing its primary mid-storm)" else "");
+          ignore
+            (Coordinator.apply coord ~request_id:"demo:create" ~retries:100
+               ~shard ~sql:"CREATE TABLE failover_log (w INTEGER, v TEXT)");
+          let acked = ref [] and refused = ref [] in
+          for w = 0 to writes - 1 do
+            (match kill with
+            | Some s when w = writes / 2 -> do_kill s
+            | _ -> ());
+            let sql =
+              Printf.sprintf "INSERT INTO failover_log VALUES (%d, 'w%d')" w w
+            in
+            match
+              Coordinator.apply coord
+                ~request_id:(Printf.sprintf "demo:%d" w)
+                ~retries:100 ~retry_backoff:0.05 ~shard ~sql
+            with
+            | _ -> acked := w :: !acked
+            | exception Mope_error.Error _ -> refused := w :: !refused
+          done;
+          (* Let the supervisor finish promoting before auditing. *)
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while
+            Coordinator.is_read_only coord ~shard
+            && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.05
+          done;
+          let leg = Coordinator.primary_leg coord ~shard in
+          let port =
+            if leg = 0 then Topology.primary_port topo ~shard
+            else Topology.replica_port topo ~shard ~index:(leg - 1)
+          in
+          let epoch = Coordinator.epoch coord ~shard in
+          let audit =
+            Mope_net.Client.with_client ~port (fun c ->
+                Mope_net.Client.fetch c ~epoch
+                  ~sql:"SELECT w FROM failover_log ORDER BY w" ())
+          in
+          let counts = Hashtbl.create 64 in
+          List.iter
+            (fun row ->
+              match int_of_string_opt (Mope_db.Value.to_string row.(0)) with
+              | Some w ->
+                Hashtbl.replace counts w
+                  (1 + (try Hashtbl.find counts w with Not_found -> 0))
+              | None -> ())
+            audit.Mope_db.Exec.rows;
+          let count w = try Hashtbl.find counts w with Not_found -> 0 in
+          List.iter
+            (fun w ->
+              if count w <> 1 then begin
+                incr failures;
+                Printf.printf
+                  "LOST/DUPLICATED: write %d acknowledged but present %d \
+                   time(s)\n"
+                  w (count w)
+              end)
+            !acked;
+          List.iter
+            (fun w ->
+              if count w <> 0 then begin
+                incr failures;
+                Printf.printf "PHANTOM: write %d refused but present\n" w
+              end)
+            !refused;
+          Printf.printf
+            "write storm: %d acked, %d refused; every acknowledged write \
+             present exactly once: %s (serving leg %d, epoch %d)\n%!"
+            (List.length !acked) (List.length !refused)
+            (if !failures = 0 then "yes" else "NO")
+            leg epoch
+        end;
+        for q = 0 to queries - 1 do
+          (match kill with
+          | Some shard when q = (queries + 1) / 2 -> do_kill shard
           | _ -> ());
           let inst =
             Tpch_queries.random_instance rng
@@ -680,6 +812,17 @@ let cluster_cmd =
               Printf.printf "shard %d replica lag: %s byte(s)\n" shard
                 (String.concat ", " (List.map string_of_int lags)))
             (List.init shards (fun i -> Topology.replica_lag topo ~shard:i));
+        if supervise then
+          List.iter
+            (fun i ->
+              let labels = [ ("shard", string_of_int i) ] in
+              Printf.printf "shard %d: promotions %d, fencing epoch %d\n" i
+                (Mope_obs.Metrics.counter_value
+                   (Mope_obs.Metrics.counter "mope_cluster_promotions_total"
+                      ~labels ()))
+                (Mope_obs.Metrics.gauge_value
+                   (Mope_obs.Metrics.gauge "mope_cluster_epoch" ~labels ())))
+            (List.init shards (fun i -> i));
         if !failures > 0 then begin
           Printf.eprintf "%d query(ies) failed or diverged\n" !failures;
           exit 1
@@ -689,11 +832,16 @@ let cluster_cmd =
     "Launch a loopback sharded cluster — $(b,K) primaries each holding one \
      ciphertext slice, $(b,R) WAL-shipping replicas per shard — and run \
      scatter-gather TPC-H queries through it, checking every answer \
-     against the plaintext baseline."
+     against the plaintext baseline. With $(b,--supervise), a failover \
+     supervisor health-checks every leg and auto-promotes a replica under \
+     a new fencing epoch when a primary dies; $(b,--writes) storms the \
+     killed shard with retryable writes and audits that every \
+     acknowledged write survives exactly once."
   in
   Cmd.v (Cmd.info "cluster" ~doc)
     Term.(const run $ shards_arg $ replicas_arg $ sf_arg $ seed_arg $ rho_arg
-          $ queries_arg $ kill_arg $ batch_arg)
+          $ queries_arg $ kill_arg $ batch_arg $ supervise_arg $ writes_arg
+          $ chaos_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats: scrape a running proxy *)

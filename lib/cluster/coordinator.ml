@@ -16,8 +16,23 @@ type leg = {
   mutable client : Client.t option;
 }
 
+(* Mutable routing state of one shard, maintained by the failover
+   supervisor: which leg is primary, the fencing epoch stamped on every
+   request, which replica legs are within the staleness bound (and hence
+   eligible failover-read targets), and whether the shard has degraded to
+   read-only because no replica is in bound. *)
+type shard_state = {
+  st_lock : Mutex.t;
+  mutable epoch : int;
+  mutable primary_idx : int;
+  mutable read_only : bool;
+  mutable retry_after : float;  (* write hint while read-only *)
+  eligible : bool array;  (* per leg; the primary leg is always tried *)
+}
+
 type shard_legs = {
-  legs : leg list;  (* primary first *)
+  legs : leg array;  (* configuration order: configured primary first *)
+  state : shard_state;
   m_fetch : Metrics.counter;
   m_failover : Metrics.counter;
 }
@@ -49,11 +64,20 @@ let create ~map ~shards ?(timeout = 10.0) ?(request_retries = 1)
     List.mapi
       (fun i conf ->
         let labels = [ ("shard", string_of_int i) ] in
+        let endpoints = conf.primary :: conf.replicas in
         { legs =
-            List.map
-              (fun endpoint ->
-                { endpoint; leg_lock = Mutex.create (); client = None })
-              (conf.primary :: conf.replicas);
+            Array.of_list
+              (List.map
+                 (fun endpoint ->
+                   { endpoint; leg_lock = Mutex.create (); client = None })
+                 endpoints);
+          state =
+            { st_lock = Mutex.create ();
+              epoch = Shard_map.epoch map i;
+              primary_idx = 0;
+              read_only = false;
+              retry_after = 0.5;
+              eligible = Array.make (List.length endpoints) true };
           m_fetch =
             Metrics.counter ~help:"Sub-fetches sent to this shard"
               "mope_cluster_shard_fetch_total" ~labels ();
@@ -97,29 +121,49 @@ let leg_client t shard_idx leg_idx leg =
 let on_leg t shard_idx leg_idx leg f =
   locked leg.leg_lock (fun () -> f (leg_client t shard_idx leg_idx leg))
 
-(* Try the shard's legs in order — primary, then replicas. The client's
-   circuit breaker makes a dead leg fail fast after it trips, so the
-   primary-first policy costs little during an outage and heals
-   automatically once the breaker half-opens onto a revived primary. *)
+let current_epoch shard =
+  locked shard.state.st_lock (fun () -> shard.state.epoch)
+
+(* Try the shard's legs in order — current primary first, then every
+   replica leg still within the staleness bound. The client's circuit
+   breaker makes a dead leg fail fast after it trips, so the primary-first
+   policy costs little during an outage and heals automatically once the
+   breaker half-opens onto a revived primary. The fencing epoch is
+   re-read per attempt, so a promotion landing mid-loop is picked up by
+   the remaining legs instead of cascading Fenced refusals. *)
 let on_shard t shard_idx f =
   let shard = t.shards.(shard_idx) in
-  let rec go leg_idx last_err = function
+  let primary_idx, order =
+    locked shard.state.st_lock (fun () ->
+        let n = Array.length shard.legs in
+        let p = shard.state.primary_idx in
+        ( p,
+          p
+          :: List.filter
+               (fun i -> i <> p && shard.state.eligible.(i))
+               (List.init n Fun.id) ))
+  in
+  let rec go last_err = function
     | [] -> (
       match last_err with
       | Some e -> raise e
       | None ->
         Mope_error.failwithf "Coordinator: shard %d has no legs" shard_idx)
-    | leg :: rest -> (
-      match on_leg t shard_idx leg_idx leg f with
+    | leg_idx :: rest -> (
+      match
+        on_leg t shard_idx leg_idx shard.legs.(leg_idx) (fun c ->
+            f c ~epoch:(current_epoch shard))
+      with
       | v ->
-        if leg_idx > 0 then Metrics.inc shard.m_failover;
+        if leg_idx <> primary_idx then Metrics.inc shard.m_failover;
         v
       | exception (Mope_error.Error _ as e) ->
-        (* This leg is down or misbehaving; let the next one serve. The
-           dial inside [leg_client] can also raise here. *)
-        go (leg_idx + 1) (Some e) rest)
+        (* This leg is down, fenced behind a promotion, or misbehaving;
+           let the next one serve. The dial inside [leg_client] can also
+           raise here. *)
+        go (Some e) rest)
   in
-  go 0 None shard.legs
+  go None order
 
 (* ------------------------------------------------------------------ *)
 (* IN (SELECT ...) pre-resolution *)
@@ -138,7 +182,9 @@ let resolve_subquery t inner =
       List.init n (fun i ->
           Thread.create
             (fun () ->
-              match on_shard t i (fun c -> Client.fetch c ~sql ()) with
+              match
+                on_shard t i (fun c ~epoch -> Client.fetch c ~epoch ~sql ())
+              with
               | r -> results.(i) <- r.Exec.rows
               | exception e -> errors.(i) <- Some e)
             ())
@@ -234,7 +280,8 @@ let fetch t ~date_column ~segments ~template =
                  [ Thread.create
                      (fun () ->
                        match
-                         on_shard t i (fun c -> Client.fetch c ~sql ())
+                         on_shard t i (fun c ~epoch ->
+                             Client.fetch c ~epoch ~sql ())
                        with
                        | r -> results.(i) <- Some r
                        | exception e -> errors.(i) <- Some e)
@@ -258,30 +305,119 @@ let fetch t ~date_column ~segments ~template =
       Trace.add_item "rows_merged" (List.length merged.Exec.rows);
       merged)
 
-let apply t ~shard ~sql =
-  if shard < 0 || shard >= Array.length t.shards then
-    invalid_arg "Coordinator.apply: bad shard";
-  (* Writes go to the primary only — never failed over. *)
-  match t.shards.(shard).legs with
-  | [] -> Mope_error.failwithf "Coordinator: shard %d has no legs" shard
-  | leg :: _ -> on_leg t shard 0 leg (fun c -> Client.apply c ~sql ())
+let check_shard t shard name =
+  if shard < 0 || shard >= Array.length t.shards then invalid_arg name
+
+let apply ?(request_id = "") ?(retries = 2) ?(retry_backoff = 0.05) t ~shard
+    ~sql =
+  check_shard t shard "Coordinator.apply: bad shard";
+  let s = t.shards.(shard) in
+  (* Writes go to the current primary only — the failover here is not a
+     different leg but a different moment: wait out the backoff and ask
+     again, by which time the supervisor may have promoted a replica. Only
+     a request id makes that retry safe (the store dedups it), so without
+     one a single attempt is made and an ambiguous failure surfaces. *)
+  let attempts = if request_id = "" then 1 else retries + 1 in
+  let rec go attempt last_err =
+    if attempt >= attempts then
+      match last_err with
+      | Some e -> raise e
+      | None -> Mope_error.failwithf "Coordinator: shard %d has no legs" shard
+    else begin
+      if attempt > 0 then Thread.delay retry_backoff;
+      let epoch, primary_idx, read_only, retry_after =
+        locked s.state.st_lock (fun () ->
+            ( s.state.epoch,
+              s.state.primary_idx,
+              s.state.read_only,
+              s.state.retry_after ))
+      in
+      if read_only then
+        (* Degraded: no failover target within the staleness bound. Shed
+           the write with a retry hint, the Overloaded idiom. *)
+        Mope_error.failwithf
+          "shard %d is read-only: no replica within the staleness bound; \
+           retry after %gs"
+          shard retry_after
+      else
+        match
+          on_leg t shard primary_idx s.legs.(primary_idx) (fun c ->
+              Client.apply c ~epoch ~request_id ~sql ())
+        with
+        | v -> v
+        | exception (Mope_error.Error _ as e) -> go (attempt + 1) (Some e)
+    end
+  in
+  go 0 None
 
 let wal_pos t ~shard =
-  if shard < 0 || shard >= Array.length t.shards then
-    invalid_arg "Coordinator.wal_pos: bad shard";
-  match t.shards.(shard).legs with
-  | [] -> Mope_error.failwithf "Coordinator: shard %d has no legs" shard
-  | leg :: _ ->
-    let chunk =
-      on_leg t shard 0 leg (fun c ->
-          Client.wal_since c ~from_pos:max_int ~max_bytes:1 ())
-    in
-    chunk.Wal.end_pos
+  check_shard t shard "Coordinator.wal_pos: bad shard";
+  let s = t.shards.(shard) in
+  let primary_idx =
+    locked s.state.st_lock (fun () -> s.state.primary_idx)
+  in
+  let chunk =
+    on_leg t shard primary_idx s.legs.(primary_idx) (fun c ->
+        Client.wal_since c ~from_pos:max_int ~max_bytes:1 ())
+  in
+  chunk.Wal.end_pos
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor control surface *)
+
+let with_state t shard name f =
+  check_shard t shard name;
+  let s = t.shards.(shard) in
+  locked s.state.st_lock (fun () -> f s.state)
+
+let epoch t ~shard =
+  with_state t shard "Coordinator.epoch: bad shard" (fun st -> st.epoch)
+
+let set_epoch t ~shard e =
+  with_state t shard "Coordinator.set_epoch: bad shard" (fun st ->
+      st.epoch <- e)
+
+let primary_leg t ~shard =
+  with_state t shard "Coordinator.primary_leg: bad shard" (fun st ->
+      st.primary_idx)
+
+let leg_count t ~shard =
+  check_shard t shard "Coordinator.leg_count: bad shard";
+  Array.length t.shards.(shard).legs
+
+let is_read_only t ~shard =
+  with_state t shard "Coordinator.is_read_only: bad shard" (fun st ->
+      st.read_only)
+
+let set_read_only t ~shard ?retry_after on =
+  with_state t shard "Coordinator.set_read_only: bad shard" (fun st ->
+      st.read_only <- on;
+      match retry_after with
+      | Some hint when on -> st.retry_after <- hint
+      | _ -> ())
+
+let set_leg_eligible t ~shard ~leg on =
+  check_shard t shard "Coordinator.set_leg_eligible: bad shard";
+  let s = t.shards.(shard) in
+  if leg < 0 || leg >= Array.length s.legs then
+    invalid_arg "Coordinator.set_leg_eligible: bad leg";
+  locked s.state.st_lock (fun () -> s.state.eligible.(leg) <- on)
+
+let promote t ~shard ~leg ~epoch =
+  check_shard t shard "Coordinator.promote: bad shard";
+  let s = t.shards.(shard) in
+  if leg < 0 || leg >= Array.length s.legs then
+    invalid_arg "Coordinator.promote: bad leg";
+  locked s.state.st_lock (fun () ->
+      s.state.primary_idx <- leg;
+      s.state.epoch <- epoch;
+      s.state.eligible.(leg) <- true;
+      s.state.read_only <- false)
 
 let close t =
   Array.iter
     (fun shard ->
-      List.iter
+      Array.iter
         (fun leg ->
           locked leg.leg_lock (fun () ->
               match leg.client with

@@ -14,10 +14,18 @@
     conjunct is rewritten to a literal [IN]-list before fan-out.
 
     Failover: each shard lists its primary first, then its replicas. A
-    leg whose request fails (dead primary, tripped breaker, chaos) is
-    skipped and the next leg serves the read; the per-shard
-    [mope_cluster_failover_total] counter records it. Fetches are
-    idempotent reads, so retrying a different leg is always safe. *)
+    leg whose request fails (dead primary, tripped breaker, fencing
+    refusal, chaos) is skipped and the next leg serves the read; the
+    per-shard [mope_cluster_failover_total] counter records it. Fetches
+    are idempotent reads, so retrying a different leg is always safe.
+
+    The coordinator also carries the {e routing state} the failover
+    supervisor maintains: per shard, the current primary leg, the fencing
+    epoch stamped on every [Fetch]/[Apply] (initialized from the
+    {!Shard_map}'s persisted epochs), per-leg read eligibility (a replica
+    beyond the staleness bound is skipped), and a read-only bit for the
+    degraded no-replica-in-bound state, in which writes are shed with a
+    retry-after hint. *)
 
 type endpoint = { host : string; port : int }
 
@@ -54,10 +62,58 @@ val fetch : t -> Mope_system.Proxy.fetch
 (** The scatter-gather fetch — pass to {!Mope_system.Proxy.create}. Raises
     {!Mope_error.Error} when a touched shard has no live leg. *)
 
-val apply : t -> shard:int -> sql:string -> int
-(** Execute one mutating statement on a shard's primary (never failed over
-    to a replica — replicas are read-only). Returns the primary's WAL end
-    offset. *)
+val apply :
+  ?request_id:string ->
+  ?retries:int ->
+  ?retry_backoff:float ->
+  t ->
+  shard:int ->
+  sql:string ->
+  int
+(** Execute one mutating statement on the shard's {e current} primary
+    (replica legs never serve writes). Returns the primary's WAL end
+    offset.
+
+    Without [request_id] (default): one attempt, and an ambiguous failure
+    surfaces as {!Mope_error.Error} — retrying could double-apply. With a
+    [request_id] the store dedups repeats, so up to [retries] (default 2)
+    extra attempts are made, [retry_backoff] (default 50 ms) apart, each
+    re-reading the current primary and epoch — which is what carries a
+    write across a mid-flight promotion: the retry lands on the promoted
+    replica, exactly once. While the shard is read-only, raises
+    immediately with a "retry after" hint in the message. *)
+
+(** {1 Supervisor control surface}
+
+    Routing-state accessors for the failover supervisor
+    ({!Supervisor}); all thread-safe. Leg indices follow [shards] order:
+    leg 0 is the configured primary, leg [i >= 1] is [replicas.(i-1)]. *)
+
+val epoch : t -> shard:int -> int
+(** The fencing epoch currently stamped on the shard's requests. *)
+
+val set_epoch : t -> shard:int -> int -> unit
+
+val primary_leg : t -> shard:int -> int
+(** The leg currently serving the shard's writes. *)
+
+val leg_count : t -> shard:int -> int
+
+val is_read_only : t -> shard:int -> bool
+
+val set_read_only : t -> shard:int -> ?retry_after:float -> bool -> unit
+(** Enter/leave degraded read-only mode; [retry_after] (kept from the
+    last entry, initially 0.5 s) is the hint quoted to shed writes. *)
+
+val set_leg_eligible : t -> shard:int -> leg:int -> bool -> unit
+(** Mark a replica leg in/out of the failover-read rotation — out when
+    its staleness exceeds the supervisor's bound. The primary leg is
+    always tried regardless. *)
+
+val promote : t -> shard:int -> leg:int -> epoch:int -> unit
+(** Atomically switch the shard's writes (and first-choice reads) to
+    [leg] under the new fencing [epoch], restore the leg's eligibility,
+    and clear read-only mode. *)
 
 val wal_pos : t -> shard:int -> int
 (** The shard primary's current WAL end offset (an [Apply] of a no-op is

@@ -1,12 +1,18 @@
 open Mope_db
 module Client = Mope_net.Client
+module Transport = Mope_net.Transport
 module Metrics = Mope_obs.Metrics
 
 type t = {
   shard : int;
-  client : Client.t;
+  host : string option;
+  timeout : float option;
+  seed : int64 option;
+  wrap : (Transport.t -> Transport.t) option;
+  wal_path : string option;
   max_bytes : int;
   lag_gauge : Metrics.gauge;
+  mutable client : Client.t;
   mutable store : Store.t;
   mutable from_pos : int;
   mutable lag : int;
@@ -19,12 +25,27 @@ let lag_gauge_for shard =
     ~labels:[ ("shard", string_of_int shard) ]
     ()
 
-let create ~shard ?host ~port ?timeout ?seed ?wrap ?(max_bytes = 1 lsl 20) () =
+(* A replica's slice is always rebuilt from the primary, never recovered
+   from its own log — so any leftover WAL at [path] is stale history that
+   would desynchronize the byte-for-byte mirror. Start clean. *)
+let fresh_store wal_path =
+  (match wal_path with
+  | Some path when Sys.file_exists path -> Sys.remove path
+  | _ -> ());
+  Store.create ?wal_path ()
+
+let create ~shard ?host ~port ?timeout ?seed ?wrap ?wal_path
+    ?(max_bytes = 1 lsl 20) () =
   { shard;
-    client = Client.connect ?host ~port ?timeout ?seed ?wrap ();
+    host;
+    timeout;
+    seed;
+    wrap;
+    wal_path;
     max_bytes;
     lag_gauge = lag_gauge_for shard;
-    store = Store.create ();
+    client = Client.connect ?host ~port ?timeout ?seed ?wrap ();
+    store = fresh_store wal_path;
     from_pos = Wal.head_pos;
     lag = 0 }
 
@@ -50,14 +71,15 @@ let sync t =
          diverged. Drop the slice and replay from the head — a cluster
          primary's WAL holds its full history, so the head replay rebuilds
          everything. *)
-      t.store <- Store.create ();
+      Store.close t.store;
+      t.store <- fresh_store t.wal_path;
       t.from_pos <- Wal.head_pos;
       set_lag t chunk
     end
     else begin
       List.iter
-        (fun sql ->
-          ignore (Store.apply t.store ~sql);
+        (fun record ->
+          Store.apply_record t.store record;
           incr applied)
         chunk.Wal.records;
       t.from_pos <- chunk.Wal.next_pos;
@@ -66,5 +88,18 @@ let sync t =
     end
   done;
   !applied
+
+let repoint t ~port =
+  let old = t.client in
+  t.client <-
+    Client.connect ?host:t.host ~port ?timeout:t.timeout ?seed:t.seed
+      ?wrap:t.wrap ();
+  (* Close last: if the redial raises, the replica still holds a usable
+     (if doomed) client rather than a closed one. *)
+  Client.close old
+
+let mark_promoted t =
+  t.lag <- 0;
+  Metrics.gauge_set t.lag_gauge 0
 
 let close t = Client.close t.client

@@ -1,18 +1,28 @@
 (** WAL-shipping read replica of a shard primary.
 
-    A replica owns a WAL-less {!Store.t} and a {!Mope_net.Client} to the
-    primary. {!sync} pulls [Wal_since] chunks and replays the records until
-    the cursor reaches the primary's WAL end — the catch-up protocol after
-    a (re)connect — and records the remaining byte lag in the per-shard
-    gauge [mope_cluster_replica_lag_bytes{shard="i"}]. If the primary
-    answers [resync] (its WAL was truncated under the cursor, e.g. by a
+    A replica owns a {!Store.t} and a {!Mope_net.Client} to the primary.
+    {!sync} pulls [Wal_since] chunks and applies the raw records
+    ({!Store.apply_record}) until the cursor reaches the primary's WAL
+    end — the catch-up protocol after a (re)connect — and records the
+    remaining byte lag in the per-shard gauge
+    [mope_cluster_replica_lag_bytes{shard="i"}]. If the primary answers
+    [resync] (its WAL was truncated under the cursor, e.g. by a
     checkpoint), the replica drops its database and replays the log from
     the head; cluster primaries keep their full history in the WAL, so a
     head replay rebuilds the complete slice.
 
+    With [wal_path] the replica's store logs every applied record
+    {e verbatim}, which makes its WAL byte-identical to a prefix of the
+    primary's. That identity is what failover leans on: when the
+    supervisor promotes this replica, (a) the dead primary's WAL offsets
+    are valid cursors into the promoted store's log, so a final drain can
+    start exactly where the replica stopped, and (b) the {e other}
+    replicas' cursors stay valid too — they just repoint ({!repoint}) at
+    the new primary and keep pulling.
+
     Pull-based and synchronous by design: tests drive {!sync} explicitly,
     so replication stays deterministic under seeded chaos; a deployment
-    calls it from a polling loop. *)
+    calls it from a polling loop (the supervisor's sync loop). *)
 
 type t
 
@@ -23,12 +33,15 @@ val create :
   ?timeout:float ->
   ?seed:int64 ->
   ?wrap:(Mope_net.Transport.t -> Mope_net.Transport.t) ->
+  ?wal_path:string ->
   ?max_bytes:int ->
   unit ->
   t
 (** Connect to the primary serving shard [shard] on [host]:[port] (host
-    defaults to ["127.0.0.1"]). [max_bytes] (default 1 MiB) caps each
-    pulled chunk; [seed]/[wrap]/[timeout] are forwarded to
+    defaults to ["127.0.0.1"]). [wal_path] makes the store WAL-backed (see
+    above); any existing file there is removed first — a replica rebuilds
+    from the primary, never from its own log. [max_bytes] (default 1 MiB)
+    caps each pulled chunk; [seed]/[wrap]/[timeout] are forwarded to
     {!Mope_net.Client.connect}. *)
 
 val store : t -> Store.t
@@ -36,11 +49,23 @@ val store : t -> Store.t
     failover read target. *)
 
 val sync : t -> int
-(** Pull and replay chunks until the cursor reaches the primary's WAL end;
+(** Pull and apply chunks until the cursor reaches the primary's WAL end;
     returns the number of records applied (counting any full head replay
-    after a [resync]). Updates the lag gauge. Raises {!Mope_error.Error}
-    if the primary is unreachable — the cursor is unchanged and the next
-    {!sync} resumes where this one stopped. *)
+    after a [resync]). Updates the lag gauge — including after a [resync]
+    rebuild, so the gauge never reports the torn-down slice's last value.
+    Raises {!Mope_error.Error} if the primary is unreachable — the cursor
+    is unchanged and the next {!sync} resumes where this one stopped. *)
+
+val repoint : t -> port:int -> unit
+(** Reconnect this replica to a new primary port after a promotion,
+    keeping the WAL cursor: byte-identical replica WALs make the old
+    offset a valid cursor into the promoted primary's log. The old
+    connection is closed. *)
+
+val mark_promoted : t -> unit
+(** This replica just became the primary: zero its lag and reset the
+    per-shard lag gauge, so the gauge does not keep reporting the lag the
+    store had as a follower. *)
 
 val lag_bytes : t -> int
 (** Bytes of primary WAL not yet applied, as of the last {!sync} (or

@@ -1,6 +1,6 @@
 open Mope_db
 
-type t = { bounds : int array; range : int }
+type t = { bounds : int array; epochs : int array; range : int }
 
 exception Corrupt of string
 
@@ -14,7 +14,7 @@ let create ~shards ~range =
   for i = 1 to shards - 1 do
     bounds.(i) <- (i * width) + Int.min i extra
   done;
-  { bounds; range }
+  { bounds; epochs = Array.make shards 1; range }
 
 let of_bounds ~bounds ~range =
   let n = Array.length bounds in
@@ -26,7 +26,21 @@ let of_bounds ~bounds ~range =
   done;
   if bounds.(n - 1) >= range then
     invalid_arg "Shard_map.of_bounds: last bound >= range";
-  { bounds = Array.copy bounds; range }
+  { bounds = Array.copy bounds; epochs = Array.make n 1; range }
+
+let epoch t i =
+  if i < 0 || i >= Array.length t.epochs then
+    invalid_arg "Shard_map.epoch: bad shard";
+  t.epochs.(i)
+
+let set_epoch t i e =
+  if i < 0 || i >= Array.length t.epochs then
+    invalid_arg "Shard_map.set_epoch: bad shard";
+  if e < t.epochs.(i) then
+    invalid_arg "Shard_map.set_epoch: epochs only move forward";
+  t.epochs.(i) <- e
+
+let epochs t = Array.copy t.epochs
 
 let shards t = Array.length t.bounds
 
@@ -69,9 +83,12 @@ let route t segments =
 
 (* ------------------------------------------------------------------ *)
 (* Persistence: magic, u32 body length, u32 CRC of body; body = u64
-   range, u64 shard count, u64 per bound. Same conventions as Storage. *)
+   range, u64 shard count, u64 per bound, then (v2) u64 per fencing
+   epoch. Same conventions as Storage. v1 files (no epochs) still load —
+   every epoch defaults to 1, the launch epoch. *)
 
-let magic = "MOPESHRD\x01\n"
+let magic = "MOPESHRD\x02\n"
+let magic_prefix = "MOPESHRD"
 
 let put_u64 buf v =
   for byte = 0 to 7 do
@@ -99,6 +116,7 @@ let save t ~path =
   put_u64 body t.range;
   put_u64 body (Array.length t.bounds);
   Array.iter (fun b -> put_u64 body b) t.bounds;
+  Array.iter (fun e -> put_u64 body e) t.epochs;
   let body = Buffer.contents body in
   let buf = Buffer.create (String.length body + 32) in
   Buffer.add_string buf magic;
@@ -129,8 +147,17 @@ let load ~path =
       d
   in
   let mlen = String.length magic in
-  if String.length data < mlen + 8 || String.sub data 0 mlen <> magic then
-    raise (Corrupt "bad shard-map header");
+  if String.length data < mlen + 8
+     || String.sub data 0 (String.length magic_prefix) <> magic_prefix
+     || data.[mlen - 1] <> '\n'
+  then raise (Corrupt "bad shard-map header");
+  let file_version = Char.code data.[mlen - 2] in
+  if file_version < 1 then raise (Corrupt "bad shard-map header");
+  if file_version > 2 then
+    raise
+      (Corrupt
+         (Printf.sprintf "shard map written by a future version (%d)"
+            file_version));
   let u32 at =
     let byte i = Char.code data.[at + i] in
     (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
@@ -161,7 +188,22 @@ let load ~path =
   for i = 0 to n - 1 do
     bounds.(i) <- u64 ()
   done;
+  let epochs =
+    if file_version < 2 then None
+    else begin
+      let e = Array.make n 0 in
+      for i = 0 to n - 1 do
+        e.(i) <- u64 ();
+        if e.(i) < 1 then raise (Corrupt "shard-map epoch below 1")
+      done;
+      Some e
+    end
+  in
   if !pos <> body_len then raise (Corrupt "trailing bytes in shard map");
   match of_bounds ~bounds ~range with
-  | t -> t
+  | t ->
+    (match epochs with
+    | None -> ()
+    | Some e -> Array.blit e 0 t.epochs 0 n);
+    t
   | exception Invalid_argument msg -> raise (Corrupt msg)

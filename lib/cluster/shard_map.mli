@@ -18,7 +18,21 @@ val create : shards:int -> range:int -> t
 val of_bounds : bounds:int array -> range:int -> t
 (** Explicit slice starts: [bounds.(i)] is the first ciphertext owned by
     shard [i]; [bounds.(0)] must be [0] and the array strictly increasing
-    below [range]. *)
+    below [range]. Every fencing epoch starts at 1. *)
+
+val epoch : t -> int -> int
+(** [epoch t i] is shard [i]'s current fencing epoch — 1 at creation,
+    bumped by every promotion ({!set_epoch}). *)
+
+val set_epoch : t -> int -> int -> unit
+(** [set_epoch t i e] records shard [i]'s fencing epoch. Epochs are
+    monotonic: [e] below the current value raises [Invalid_argument]. The
+    supervisor persists the map ({!save}) {e before} activating the new
+    primary, so an epoch never repeats across a restart — the write-ahead
+    rule that keeps fencing sound. *)
+
+val epochs : t -> int array
+(** All per-shard fencing epochs, index = shard. A fresh copy. *)
 
 val shards : t -> int
 
@@ -47,7 +61,8 @@ val route : t -> (int * int) list -> (int * int) list array
     The map is part of cluster topology state: it must survive restarts
     byte-exactly, or routing would silently change under the data. The
     codec follows {!Mope_db.Storage}: magic header, big-endian integers,
-    CRC-32 over the body. *)
+    CRC-32 over the body. Codec v2 appends the per-shard fencing epochs to
+    the body; v1 files still load with every epoch defaulting to 1. *)
 
 exception Corrupt of string
 

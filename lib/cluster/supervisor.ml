@@ -1,0 +1,352 @@
+open Mope_db
+module Client = Mope_net.Client
+module Transport = Mope_net.Transport
+module Metrics = Mope_obs.Metrics
+module Rng = Mope_stats.Rng
+
+type target = {
+  port : int;
+  wal_path : string;
+  replica : Replica.t option;  (* None for the configured primary leg *)
+}
+
+type config = {
+  probe_interval : float;
+  probe_jitter : float;
+  probe_timeout : float;
+  miss_threshold : int;
+  staleness_bound : int;
+  sync_interval : float;
+}
+
+let default_config =
+  { probe_interval = 0.2;
+    probe_jitter = 0.5;
+    probe_timeout = 0.25;
+    miss_threshold = 3;
+    staleness_bound = 1 lsl 16;
+    sync_interval = 0.1 }
+
+(* Per-leg failure-detector state. [deposed] marks an ex-primary that a
+   promotion left behind: the next successful probe of that leg answers
+   with a [Fence] — the supervisor's last word to a zombie. *)
+type leg_state = {
+  target : target;
+  mutable misses : int;
+  mutable deposed : bool;
+  mutable probe_client : Client.t option;
+}
+
+type shard_sup = {
+  shard : int;
+  legs : leg_state array;
+  mutable primary : int;  (* mirrors the coordinator's primary leg *)
+  m_promotions : Metrics.counter;
+  m_probe_failures : Metrics.counter;
+  m_epoch : Metrics.gauge;
+}
+
+type t = {
+  host : string;
+  config : config;
+  coordinator : Coordinator.t;
+  map : Shard_map.t;
+  map_path : string option;
+  wrap : (Transport.t -> Transport.t) option;
+  shards : shard_sup array;
+  rng : Rng.t;
+  lock : Mutex.t;  (* serializes ticks against the background loops *)
+  mutable running : bool;
+  mutable threads : Thread.t list;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?(host = "127.0.0.1") ?(config = default_config)
+    ?(seed = 0x5afe5eedL) ?wrap ?map_path ~map ~coordinator ~targets () =
+  if List.length targets <> Shard_map.shards map then
+    invalid_arg "Supervisor.create: one target list per shard required";
+  if config.miss_threshold < 1 then
+    invalid_arg "Supervisor.create: miss_threshold < 1";
+  let shards =
+    Array.of_list
+      (List.mapi
+         (fun i legs ->
+           if legs = [] then
+             invalid_arg "Supervisor.create: shard with no targets";
+           let labels = [ ("shard", string_of_int i) ] in
+           let sup =
+             { shard = i;
+               legs =
+                 Array.of_list
+                   (List.map
+                      (fun target ->
+                        { target;
+                          misses = 0;
+                          deposed = false;
+                          probe_client = None })
+                      legs);
+               primary = 0;
+               m_promotions =
+                 Metrics.counter
+                   ~help:"Replica promotions performed for this shard"
+                   "mope_cluster_promotions_total" ~labels ();
+               m_probe_failures =
+                 Metrics.counter
+                   ~help:"Health probes that timed out or failed"
+                   "mope_cluster_probe_failures_total" ~labels ();
+               m_epoch =
+                 Metrics.gauge
+                   ~help:"Current fencing epoch of the shard"
+                   "mope_cluster_epoch" ~labels () }
+           in
+           Metrics.gauge_set sup.m_epoch (Shard_map.epoch map i);
+           sup)
+         targets)
+  in
+  { host;
+    config;
+    coordinator;
+    map;
+    map_path;
+    wrap;
+    shards;
+    rng = Rng.create seed;
+    lock = Mutex.create ();
+    running = false;
+    threads = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Probing *)
+
+(* One dedicated client per probed leg: clients are not thread-safe, and
+   sharing the coordinator's legs would let a slow query stall — or be
+   stalled by — a health probe. *)
+let probe_client t leg =
+  match leg.probe_client with
+  | Some c when not (Client.is_closed c) -> c
+  | _ ->
+    let c =
+      Client.connect ~host:t.host ~port:leg.target.port
+        ~timeout:t.config.probe_timeout ~retries:0 ~request_retries:0
+        ~breaker_threshold:max_int ?wrap:t.wrap ()
+    in
+    leg.probe_client <- Some c;
+    c
+
+let fence_deposed t sup leg =
+  (* Best-effort: the zombie adopts the current epoch and seals. Raises
+     if it is (still) unreachable; the caller treats that as a miss. *)
+  let epoch = Shard_map.epoch t.map sup.shard in
+  ignore (Client.fence (probe_client t leg) ~epoch ())
+
+let probe_leg t sup leg =
+  match
+    if leg.deposed then fence_deposed t sup leg
+    else Client.ping ~timeout:t.config.probe_timeout (probe_client t leg)
+  with
+  | () -> leg.misses <- 0
+  | exception Mope_error.Error _ ->
+    leg.misses <- leg.misses + 1;
+    Metrics.inc sup.m_probe_failures
+
+let leg_dead t leg = leg.misses >= t.config.miss_threshold
+
+(* ------------------------------------------------------------------ *)
+(* Promotion *)
+
+(* Drain the records the dead primary logged but never shipped: its WAL
+   file outlives the process (the shared-storage failover model), and the
+   candidate's WAL is byte-identical to a prefix of it, so the
+   candidate's own append position is a valid cursor into the dead
+   primary's log. Whatever lies beyond it is exactly the un-replicated
+   tail — apply it and no acknowledged write is lost. *)
+let drain_into ~wal_path store =
+  let continue = ref true in
+  while !continue do
+    let from_pos = Store.wal_pos store in
+    match Wal.since ~max_bytes:(1 lsl 20) ~path:wal_path ~from_pos () with
+    | chunk ->
+      if chunk.Wal.resync then
+        (* The dead primary checkpointed under us; the cursor no longer
+           names a boundary. Nothing safe to drain. *)
+        continue := false
+      else begin
+        List.iter (Store.apply_record store) chunk.Wal.records;
+        if Store.wal_pos store >= chunk.Wal.end_pos then continue := false
+      end
+    | exception Mope_error.Error _ -> continue := false
+    | exception Sys_error _ -> continue := false
+  done
+
+let in_bound t leg =
+  match leg.target.replica with
+  | None -> false
+  | Some r -> Replica.lag_bytes r <= t.config.staleness_bound
+
+(* Promote the most-caught-up in-bound replica of [sup] under a fresh
+   fencing epoch. Returns [false] — leaving the shard read-only — when no
+   replica is within the staleness bound. *)
+let try_promote t sup =
+  let old_primary = sup.primary in
+  let candidates = ref [] in
+  Array.iteri
+    (fun i leg ->
+      if i <> old_primary && (not leg.deposed) && in_bound t leg then
+        match leg.target.replica with
+        | Some r -> candidates := (i, leg, Replica.store r, r) :: !candidates
+        | None -> ())
+    sup.legs;
+  let best =
+    List.fold_left
+      (fun acc ((_, _, store, _) as cand) ->
+        match acc with
+        | None -> Some cand
+        | Some (_, _, best_store, _) ->
+          if Store.wal_pos store > Store.wal_pos best_store then Some cand
+          else acc)
+      None !candidates
+  in
+  match best with
+  | None ->
+    Coordinator.set_read_only t.coordinator ~shard:sup.shard
+      ~retry_after:t.config.sync_interval true;
+    false
+  | Some (leg_idx, leg, store, replica) ->
+    let dead = sup.legs.(old_primary) in
+    drain_into ~wal_path:dead.target.wal_path store;
+    let epoch = Shard_map.epoch t.map sup.shard + 1 in
+    (* Write-ahead: persist the bumped epoch before the new primary
+       serves under it, so a crash-restart can never mint it twice. *)
+    Shard_map.set_epoch t.map sup.shard epoch;
+    (match t.map_path with
+    | Some path -> Shard_map.save t.map ~path
+    | None -> ());
+    Store.set_epoch store epoch;
+    Replica.mark_promoted replica;
+    Coordinator.promote t.coordinator ~shard:sup.shard ~leg:leg_idx ~epoch;
+    Coordinator.set_leg_eligible t.coordinator ~shard:sup.shard
+      ~leg:old_primary false;
+    dead.deposed <- true;
+    sup.primary <- leg_idx;
+    leg.misses <- 0;
+    (* Followers keep their cursors — byte-identical WALs make the old
+       offsets valid against the promoted primary's log. *)
+    Array.iteri
+      (fun i other ->
+        if i <> leg_idx && i <> old_primary then
+          match other.target.replica with
+          | Some r -> (
+            try Replica.repoint r ~port:leg.target.port
+            with Mope_error.Error _ -> ())
+          | None -> ())
+      sup.legs;
+    Metrics.inc sup.m_promotions;
+    Metrics.gauge_set sup.m_epoch epoch;
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Rounds *)
+
+let probe_round_locked t =
+  Array.iter
+    (fun sup ->
+      Array.iter (fun leg -> probe_leg t sup leg) sup.legs;
+      let primary = sup.legs.(sup.primary) in
+      if leg_dead t primary then ignore (try_promote t sup)
+      else if
+        primary.misses = 0
+        && Coordinator.is_read_only t.coordinator ~shard:sup.shard
+      then
+        (* The primary survived after all (or came back before any
+           replica qualified): writes may flow again. *)
+        Coordinator.set_read_only t.coordinator ~shard:sup.shard false)
+    t.shards
+
+let sync_round_locked t =
+  Array.iter
+    (fun sup ->
+      Array.iteri
+        (fun i leg ->
+          match leg.target.replica with
+          | Some r when i <> sup.primary ->
+            (* A sync failure (dead or partitioned primary) keeps the
+               last known lag; the staleness bound judges that. *)
+            (try ignore (Replica.sync r) with Mope_error.Error _ -> ());
+            Coordinator.set_leg_eligible t.coordinator ~shard:sup.shard
+              ~leg:i (in_bound t leg)
+          (* The promoted leg is the source of truth now — never pull it
+             from anywhere (a revived zombie included). *)
+          | Some _ | None -> ())
+        sup.legs;
+      (* A shard parked read-only re-attempts promotion here: the next
+         sync may have pulled a replica back inside the bound. *)
+      if
+        Coordinator.is_read_only t.coordinator ~shard:sup.shard
+        && leg_dead t sup.legs.(sup.primary)
+      then ignore (try_promote t sup))
+    t.shards
+
+let probe_round t = locked t (fun () -> probe_round_locked t)
+let sync_round t = locked t (fun () -> sync_round_locked t)
+
+let tick t =
+  locked t (fun () ->
+      sync_round_locked t;
+      probe_round_locked t)
+
+let primary_leg t ~shard =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Supervisor.primary_leg: bad shard";
+  locked t (fun () -> t.shards.(shard).primary)
+
+(* ------------------------------------------------------------------ *)
+(* Background loops *)
+
+let jittered t base =
+  (* Sampled under [t.lock] — the rng is not thread-safe. *)
+  let j = t.config.probe_jitter in
+  if j <= 0.0 then base
+  else base *. (1.0 -. j +. (2.0 *. j *. locked t (fun () -> Rng.float t.rng)))
+
+let rec loop_while t interval round =
+  if t.running then begin
+    Thread.delay (jittered t interval);
+    if t.running then begin
+      (try round t with Mope_error.Error _ -> ());
+      loop_while t interval round
+    end
+  end
+
+let start t =
+  locked t (fun () ->
+      if not t.running then begin
+        t.running <- true;
+        t.threads <-
+          [ Thread.create (fun () -> loop_while t t.config.probe_interval probe_round) ();
+            Thread.create (fun () -> loop_while t t.config.sync_interval sync_round) ()
+          ]
+      end)
+
+let stop t =
+  let threads =
+    locked t (fun () ->
+        let th = t.threads in
+        t.running <- false;
+        t.threads <- [];
+        th)
+  in
+  List.iter Thread.join threads;
+  Array.iter
+    (fun sup ->
+      Array.iter
+        (fun leg ->
+          match leg.probe_client with
+          | Some c ->
+            leg.probe_client <- None;
+            (try Client.close c with Mope_error.Error _ -> ())
+          | None -> ())
+        sup.legs)
+    t.shards

@@ -1,0 +1,116 @@
+(** Write-path fault tolerance for the sharded cluster: failure detection,
+    replica promotion under fencing epochs, and bounded-staleness reads.
+
+    The supervisor watches every shard leg over the wire protocol's [Ping]
+    health check and keeps two loops going:
+
+    - a {e probe loop}: each leg is probed with a hard per-probe timeout
+      ({!Mope_net.Client.ping}'s probe mode); [miss_threshold] consecutive
+      misses declare a leg dead. The probe interval is jittered from a
+      seeded {!Mope_stats.Rng}, so a fleet of supervisors never probes in
+      lockstep yet replays identically under a fixed seed — the same
+      discipline as the client's backoff, and the reason the failure
+      detector composes with seeded {!Mope_net.Chaos} tests.
+    - a {e sync loop}: every replica is pulled ({!Replica.sync}) and its
+      byte lag compared against [staleness_bound]; out-of-bound replicas
+      are taken out of the coordinator's failover-read rotation
+      ({!Coordinator.set_leg_eligible}) until they catch back up. The
+      [mope_cluster_replica_lag_bytes{shard}] gauge tracks the shedding.
+
+    When the current primary is declared dead, the supervisor promotes the
+    {e most-caught-up in-bound} replica:
+
+    + drain the dead primary's WAL {e file} into the candidate — replica
+      WALs are byte-identical prefixes of the primary's, so the
+      candidate's own append position is a valid cursor and the tail
+      beyond it is exactly the writes never shipped; no acknowledged write
+      is lost;
+    + mint the next fencing epoch and {e persist it first}
+      ({!Shard_map.set_epoch} + save when [map_path] is given) — the
+      write-ahead rule that keeps epochs unique across supervisor
+      restarts;
+    + stamp the epoch into the candidate ({!Store.set_epoch}, which also
+      logs an epoch mark for the remaining followers to adopt), reset its
+      lag gauge, and switch the coordinator ({!Coordinator.promote});
+    + mark the dead leg {e deposed}: the next probe that reaches it
+      answers with [Fence], so a zombie that returns from a partition
+      seals itself instead of double-applying late writes;
+    + repoint the surviving replicas at the new primary — their cursors
+      stay valid, again by WAL byte-identity.
+
+    If {e no} replica is within the staleness bound, the shard degrades to
+    read-only ({!Coordinator.set_read_only}): reads keep flowing from the
+    primary-ordered legs, writes are shed with a retry-after hint, and
+    every subsequent round re-attempts the promotion.
+
+    Metrics: [mope_cluster_promotions_total{shard}],
+    [mope_cluster_epoch{shard}], [mope_cluster_probe_failures_total{shard}].
+
+    Deterministic by construction: {!tick} runs one sync round plus one
+    probe round synchronously, so tests drive the whole failover state
+    machine without a single background thread; {!start}/{!stop} run the
+    same rounds from two threads for deployments. *)
+
+type target = {
+  port : int;  (** where the leg's store serves {!Store.handler} *)
+  wal_path : string;  (** the leg's WAL file — read directly for drains *)
+  replica : Replica.t option;
+      (** the replication handle for replica legs; [None] for the
+          configured primary (leg 0) *)
+}
+
+type config = {
+  probe_interval : float;  (** base seconds between probe rounds (0.2) *)
+  probe_jitter : float;
+      (** fractional jitter applied to both loop intervals (0.5 — each
+          wait is uniform in [±50%] of the base) *)
+  probe_timeout : float;  (** per-probe budget in seconds (0.25) *)
+  miss_threshold : int;
+      (** consecutive missed probes before a leg is declared dead (3) *)
+  staleness_bound : int;
+      (** max replica byte lag tolerated for failover reads and
+          promotion candidacy (64 KiB) *)
+  sync_interval : float;  (** base seconds between sync rounds (0.1) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?host:string ->
+  ?config:config ->
+  ?seed:int64 ->
+  ?wrap:(Mope_net.Transport.t -> Mope_net.Transport.t) ->
+  ?map_path:string ->
+  map:Shard_map.t ->
+  coordinator:Coordinator.t ->
+  targets:target list list ->
+  unit ->
+  t
+(** One target list per shard, in the coordinator's leg order (configured
+    primary first). [map] carries the persisted fencing epochs; with
+    [map_path] every epoch bump is saved there before the promotion takes
+    effect. [seed] fixes the probe-jitter schedule; [wrap] interposes on
+    probe connections (e.g. {!Mope_net.Chaos.wrap}). *)
+
+val tick : t -> unit
+(** One synchronous sync round + probe round — the deterministic driver:
+    probes every leg, updates lag and eligibility, and performs any
+    promotion or degradation the new state calls for. *)
+
+val probe_round : t -> unit
+(** Just the probe half of {!tick}. *)
+
+val sync_round : t -> unit
+(** Just the sync half of {!tick}. *)
+
+val primary_leg : t -> shard:int -> int
+(** The leg the supervisor currently considers primary. *)
+
+val start : t -> unit
+(** Launch the two background loops (idempotent). *)
+
+val stop : t -> unit
+(** Stop the loops, join them, and close every probe connection.
+    Idempotent; safe without {!start}. *)

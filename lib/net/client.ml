@@ -28,6 +28,7 @@ type t = {
   wrap : Transport.t -> Transport.t;
   rng : Rng.t;
   mutable conn : Transport.t option;
+  mutable fd : Unix.file_descr option;  (* raw socket under [conn]'s wraps *)
   mutable closed : bool;
   mutable failures : int;     (* consecutive transport failures *)
   mutable open_until : float; (* 0 = breaker closed; else open/half-open *)
@@ -48,16 +49,18 @@ let jittered t d = d *. (0.5 +. Rng.float t.rng)
 (* ------------------------------------------------------------------ *)
 (* Connecting *)
 
-let dial t =
+let dial ?timeout t =
+  let timeout = match timeout with Some d -> d | None -> t.timeout in
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   try
-    if t.timeout > 0.0 then begin
+    if timeout > 0.0 then begin
       (* SO_SNDTIMEO also bounds connect(2) on Linux. *)
-      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
-      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
     end;
     Unix.setsockopt fd Unix.TCP_NODELAY true;
     Unix.connect fd (Unix.ADDR_INET (t.addr, t.port));
+    t.fd <- Some fd;
     t.wrap (Transport.of_fd fd)
   with e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -86,6 +89,7 @@ let drop_conn t =
   | None -> ()
   | Some io ->
     t.conn <- None;
+    t.fd <- None;
     io.Transport.close ()
 
 let connect ?(host = "127.0.0.1") ~port ?(timeout = 10.0) ?(retries = 3)
@@ -114,6 +118,7 @@ let connect ?(host = "127.0.0.1") ~port ?(timeout = 10.0) ?(retries = 3)
       wrap;
       rng = Rng.create seed;
       conn = None;
+      fd = None;
       closed = false;
       failures = 0;
       open_until = 0.0 }
@@ -163,14 +168,16 @@ let record_failure t =
     Metrics.gauge_set m_breaker_state 1
   end
 
-(* Reads are safe to retry; [Apply] mutates the remote store, so a retry
+(* Reads are safe to retry. [Apply] mutates the remote store, so a retry
    after an ambiguous failure (request sent, response lost) could apply
-   the statement twice. *)
+   the statement twice — unless it carries a request id, which the store
+   dedups, making the retry exact-once. [Fence] only moves the epoch
+   forward to the given value, so replaying it is a no-op. *)
 let idempotent = function
   | Wire.Ping | Wire.Query _ | Wire.Get_counters | Wire.Get_stats
-  | Wire.Fetch _ | Wire.Wal_since _ ->
+  | Wire.Fetch _ | Wire.Wal_since _ | Wire.Fence _ ->
     true
-  | Wire.Apply _ -> false
+  | Wire.Apply { request_id; _ } -> request_id <> ""
 
 (* ------------------------------------------------------------------ *)
 (* One request/response exchange. [query] is the SQL context attached to
@@ -268,10 +275,108 @@ let check_error ?query = function
          message)
   | resp -> resp
 
-let ping t =
-  match check_error (rpc t Wire.Ping) with
-  | Wire.Pong -> ()
-  | _ -> Mope_error.raise_error "Client.ping: unexpected response"
+(* A [Fenced] refusal surfaces through [check_error] with a stable prefix;
+   failover logic (the cluster coordinator) needs to tell it apart from
+   transport failures without a second error channel. *)
+let fenced_prefix = "server error (fenced)"
+
+let is_fenced (e : Mope_error.t) =
+  String.starts_with ~prefix:fenced_prefix e.Mope_error.msg
+
+(* ------------------------------------------------------------------ *)
+(* Health probing. A failure detector cannot afford the general request
+   timeout (seconds): one slow probe would stall the whole probe round.
+   [ping ~timeout] bounds a single attempt two ways: the raw socket's
+   SO_RCVTIMEO/SO_SNDTIMEO cut short a silent peer parked in read(2), and
+   a deadline check between transport operations cuts short a peer that
+   trickles bytes (or a chaos transport injecting delays) — each chunk
+   lands, but the probe still misses its budget. *)
+
+let with_deadline ~deadline (io : Transport.t) =
+  let check op =
+    if Unix.gettimeofday () > deadline then
+      raise (Unix.Unix_error (Unix.ETIMEDOUT, op, "probe deadline exceeded"))
+  in
+  { Transport.read =
+      (fun buf pos len ->
+        check "read";
+        let n = io.Transport.read buf pos len in
+        check "read";
+        n);
+    write =
+      (fun buf pos len ->
+        check "write";
+        let n = io.Transport.write buf pos len in
+        check "write";
+        n);
+    close = io.Transport.close }
+
+let set_socket_timeouts t d =
+  match t.fd with
+  | None -> ()
+  | Some fd -> (
+    try
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO d;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO d
+    with Unix.Unix_error _ -> ())
+
+let probe_ping t budget =
+  if t.closed then
+    Mope_error.failwithf "Client: connection to %s:%d is closed" t.host t.port;
+  (* One dial attempt, bounded by the probe budget — never the general
+     connect-retry/backoff schedule. *)
+  let io =
+    match t.conn with
+    | Some io -> io
+    | None -> (
+      match dial ~timeout:budget t with
+      | io ->
+        t.conn <- Some io;
+        io
+      | exception e ->
+        record_failure t;
+        Mope_error.failwithf ~cause:e "Client.ping: %s:%d unreachable" t.host
+          t.port)
+  in
+  let deadline = Unix.gettimeofday () +. budget in
+  set_socket_timeouts t budget;
+  let outcome =
+    match
+      let io = with_deadline ~deadline io in
+      Wire.write_frame_t io (Wire.encode_request Wire.Ping);
+      Wire.decode_response (Wire.read_frame_t io)
+    with
+    | resp -> Ok resp
+    | exception e -> Error e
+  in
+  match outcome with
+  | Ok resp -> (
+    set_socket_timeouts t t.timeout;
+    record_success t;
+    match check_error resp with
+    | Wire.Pong -> ()
+    | _ -> Mope_error.raise_error "Client.ping: unexpected response")
+  | Error e ->
+    (* The probe's socket may hold a late Pong that would desynchronize the
+       next request's framing: drop the connection rather than restore it. *)
+    drop_conn t;
+    record_failure t;
+    let detail =
+      match e with
+      | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) ->
+        Printf.sprintf "probe timed out after %.3gs" budget
+      | _ -> "probe failed"
+    in
+    Mope_error.failwithf ~cause:e "Client.ping: %s (%s:%d)" detail t.host
+      t.port
+
+let ping ?timeout t =
+  match timeout with
+  | Some budget when budget > 0.0 -> probe_ping t budget
+  | _ -> (
+    match check_error (rpc t Wire.Ping) with
+    | Wire.Pong -> ()
+    | _ -> Mope_error.raise_error "Client.ping: unexpected response")
 
 let query t ?trace_id ~sql ~date_column ~date_lo ~date_hi () =
   let request = Wire.Query { sql; date_column; date_lo; date_hi } in
@@ -279,15 +384,25 @@ let query t ?trace_id ~sql ~date_column ~date_lo ~date_hi () =
   | Wire.Rows result -> result
   | _ -> Mope_error.raise_error ~query:sql "Client.query: unexpected response"
 
-let fetch t ?trace_id ~sql () =
-  match check_error ~query:sql (rpc t ~query:sql ?trace_id (Wire.Fetch { sql })) with
+let fetch t ?trace_id ?(epoch = 0) ~sql () =
+  match
+    check_error ~query:sql (rpc t ~query:sql ?trace_id (Wire.Fetch { sql; epoch }))
+  with
   | Wire.Rows result -> result
   | _ -> Mope_error.raise_error ~query:sql "Client.fetch: unexpected response"
 
-let apply t ?trace_id ~sql () =
-  match check_error ~query:sql (rpc t ~query:sql ?trace_id (Wire.Apply { sql })) with
+let apply t ?trace_id ?(epoch = 0) ?(request_id = "") ~sql () =
+  match
+    check_error ~query:sql
+      (rpc t ~query:sql ?trace_id (Wire.Apply { sql; epoch; request_id }))
+  with
   | Wire.Applied { wal_pos } -> wal_pos
   | _ -> Mope_error.raise_error ~query:sql "Client.apply: unexpected response"
+
+let fence t ?trace_id ~epoch () =
+  match check_error (rpc t ?trace_id (Wire.Fence { epoch })) with
+  | Wire.Epoch_state { epoch } -> epoch
+  | _ -> Mope_error.raise_error "Client.fence: unexpected response"
 
 let wal_since t ?trace_id ~from_pos ~max_bytes () =
   let request = Wire.Wal_since { from_pos; max_bytes } in

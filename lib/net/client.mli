@@ -14,11 +14,13 @@
       {e jittered} exponential backoff, so a fleet of clients that lost
       the same proxy does not reconnect in lockstep);
     - idempotent requests (every read: [Ping], [Query], [Get_counters],
-      [Get_stats], [Fetch], [Wal_since]) are retried up to
-      [request_retries] times with the same jittered backoff; [Apply]
-      mutates the remote store and is never retried after an ambiguous
-      failure; an [Overloaded] answer waits the server's retry-after hint
-      instead;
+      [Get_stats], [Fetch], [Wal_since], plus the [Fence] control op) are
+      retried up to [request_retries] times with the same jittered
+      backoff; [Apply] mutates the remote store and is retried only when
+      it carries a [request_id] — the store's dedup table then makes the
+      retry exactly-once; without one an ambiguous failure surfaces as an
+      error instead of a possible double-apply; an [Overloaded] answer
+      waits the server's retry-after hint instead;
     - a circuit breaker counts consecutive transport failures: at
       [breaker_threshold] it {e opens} and every request fails fast
       (no dialing, no timeout burn) until [breaker_cooldown] has passed;
@@ -82,8 +84,18 @@ val with_client :
   ?wrap:(Transport.t -> Transport.t) -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exception). *)
 
-val ping : t -> unit
-(** Round-trip a [Ping] frame — the wire protocol's health check. *)
+val ping : ?timeout:float -> t -> unit
+(** Round-trip a [Ping] frame — the wire protocol's health check.
+
+    Without [timeout], the ping behaves like any other request (general
+    socket timeout, retries, breaker). With [timeout] it becomes a
+    {e failure-detector probe}: exactly one attempt (one dial if needed,
+    no retry/backoff schedule), bounded by [timeout] both at the socket
+    level and by a deadline checked between transport operations — so a
+    peer that trickles bytes (or a chaos transport injecting delays)
+    still cannot stretch the probe past its budget. A failed or late
+    probe drops the connection (a late [Pong] left in the socket would
+    desynchronize framing) and raises {!Mope_error.Error}. *)
 
 val query :
   t ->
@@ -104,16 +116,37 @@ val query :
     ({!Mope_obs.Trace}) is enabled in this process, and the empty id
     (= untraced) is sent otherwise. *)
 
-val fetch : t -> ?trace_id:string -> sql:string -> unit -> Exec.result
+val fetch : t -> ?trace_id:string -> ?epoch:int -> sql:string -> unit -> Exec.result
 (** Run one SELECT directly against a cluster shard store
     ({!Mope_cluster.Store}) and return the raw — still encrypted — rows.
-    The [Fetch] wire op; idempotent, so it retries like {!query}. *)
+    The [Fetch] wire op; idempotent, so it retries like {!query}.
+    [epoch] (default 0 = unfenced) is the caller's fencing epoch for the
+    shard; a store whose epoch differs refuses with [Fenced]
+    (see {!is_fenced}). *)
 
-val apply : t -> ?trace_id:string -> sql:string -> unit -> int
+val apply :
+  t -> ?trace_id:string -> ?epoch:int -> ?request_id:string -> sql:string ->
+  unit -> int
 (** Execute one mutating statement on a shard store and append it to the
     shard's WAL; returns the WAL end offset afterwards (0 if the store has
-    no WAL). Not idempotent: never retried, so an ambiguous transport
-    failure surfaces as an error instead of a possible double-apply. *)
+    no WAL). [epoch] fences as for {!fetch}. Without a [request_id] the
+    request is not idempotent — never retried, so an ambiguous transport
+    failure surfaces as an error instead of a possible double-apply. With
+    a [request_id] (at most {!Wire.max_request_id} bytes) the store dedups
+    repeats, so the request retries like a read and a cross-failover retry
+    applies exactly once. *)
+
+val fence : t -> ?trace_id:string -> epoch:int -> unit -> int
+(** Seal a shard store at [epoch] (the [Fence] wire op): the store adopts
+    the epoch and refuses all subsequent [Fetch]/[Apply] with [Fenced]
+    until rebuilt — how the supervisor neutralizes a deposed primary that
+    returns from a partition. [epoch = 0] only queries. Returns the
+    store's resulting epoch. *)
+
+val is_fenced : Mope_error.t -> bool
+(** [true] when the error wraps a server [Fenced] refusal — the caller's
+    (or the store's) fencing epoch is stale. Failover logic uses this to
+    separate "refresh the epoch and re-route" from transport failure. *)
 
 val wal_since :
   t -> ?trace_id:string -> from_pos:int -> max_bytes:int -> unit -> Wal.chunk

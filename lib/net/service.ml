@@ -67,7 +67,7 @@ let handler t = function
   | Wire.Ping -> Wire.Pong
   | Wire.Get_counters -> Wire.Counters (counters t)
   | Wire.Get_stats -> stats ()
-  | Wire.Fetch { sql } | Wire.Apply { sql } ->
+  | Wire.Fetch { sql; _ } | Wire.Apply { sql; _ } ->
     (* Store ops are served by cluster shard stores (Mope_cluster.Store),
        not by the query frontend. *)
     Wire.Error
@@ -75,10 +75,10 @@ let handler t = function
         message = "store operation sent to a query frontend";
         query = Some sql;
         retry_after = None }
-  | Wire.Wal_since _ ->
+  | Wire.Wal_since _ | Wire.Fence _ ->
     Wire.Error
       { code = Wire.Unsupported;
-        message = "replication pull sent to a query frontend";
+        message = "cluster control operation sent to a query frontend";
         query = None;
         retry_after = None }
   | Wire.Query { sql; date_column; date_lo; date_hi } -> begin

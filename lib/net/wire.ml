@@ -4,13 +4,17 @@ exception Protocol_error of string
 
 let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
 
-let version = 5
+let version = 6
 
 let max_frame = 16 * 1024 * 1024
 
 (* Trace ids ride in every request header; bounding them keeps a hostile
    header from smuggling bulk data into server-side trace storage. *)
 let max_trace_id = 64
+
+(* Client-minted request ids (v6) bound [Apply] dedup-table entries the
+   same way. *)
+let max_request_id = 64
 
 type counters = {
   client_queries : int;
@@ -41,11 +45,18 @@ type request =
     }
   | Get_counters
   | Get_stats
-  | Fetch of { sql : string }
-  | Apply of { sql : string }
+  | Fetch of { sql : string; epoch : int }
+  | Apply of { sql : string; epoch : int; request_id : string }
   | Wal_since of { from_pos : int; max_bytes : int }
+  | Fence of { epoch : int }
 
-type error_code = Bad_frame | Unsupported | Exec_failed | Overloaded | Internal
+type error_code =
+  | Bad_frame
+  | Unsupported
+  | Exec_failed
+  | Overloaded
+  | Internal
+  | Fenced
 
 type response =
   | Pong
@@ -59,6 +70,7 @@ type response =
       next_pos : int;
       end_pos : int;
     }
+  | Epoch_state of { epoch : int }
   | Error of {
       code : error_code;
       message : string;
@@ -72,6 +84,7 @@ let error_code_to_string = function
   | Exec_failed -> "exec-failed"
   | Overloaded -> "overloaded"
   | Internal -> "internal"
+  | Fenced -> "fenced"
 
 (* ------------------------------------------------------------------ *)
 (* Primitive encoders (big-endian, same conventions as Storage). *)
@@ -192,12 +205,14 @@ let tag_get_stats = 0x04
 let tag_fetch = 0x05
 let tag_apply = 0x06
 let tag_wal_since = 0x07
+let tag_fence = 0x08
 let tag_pong = 0x81
 let tag_rows = 0x82
 let tag_counters = 0x83
 let tag_stats = 0x84
 let tag_applied = 0x85
 let tag_wal_chunk = 0x86
+let tag_epoch_state = 0x87
 let tag_error = 0xBF
 
 let error_code_tag = function
@@ -206,6 +221,7 @@ let error_code_tag = function
   | Exec_failed -> 3
   | Overloaded -> 4
   | Internal -> 5
+  | Fenced -> 6
 
 let error_code_of_tag = function
   | 1 -> Bad_frame
@@ -213,6 +229,7 @@ let error_code_of_tag = function
   | 3 -> Exec_failed
   | 4 -> Overloaded
   | 5 -> Internal
+  | 6 -> Fenced
   | n -> fail "unknown error code %d" n
 
 let payload tag body =
@@ -242,6 +259,14 @@ let check_trace_id tid =
   if String.length tid > max_trace_id then
     fail "trace id of %d bytes exceeds %d" (String.length tid) max_trace_id
 
+let check_request_id rid =
+  if String.length rid > max_request_id then
+    fail "request id of %d bytes exceeds %d" (String.length rid) max_request_id
+
+(* Fencing epochs are small positive integers; 0 means "unfenced". A
+   negative epoch can only be malice or corruption. *)
+let check_epoch epoch = if epoch < 0 then fail "negative epoch %d" epoch
+
 let payload_req trace_id tag body =
   check_trace_id trace_id;
   payload tag (fun buf ->
@@ -258,12 +283,25 @@ let encode_request ?(trace_id = "") = function
         put_int buf date_hi)
   | Get_counters -> payload_req trace_id tag_get_counters (fun _ -> ())
   | Get_stats -> payload_req trace_id tag_get_stats (fun _ -> ())
-  | Fetch { sql } -> payload_req trace_id tag_fetch (fun buf -> put_string buf sql)
-  | Apply { sql } -> payload_req trace_id tag_apply (fun buf -> put_string buf sql)
+  | Fetch { sql; epoch } ->
+    check_epoch epoch;
+    payload_req trace_id tag_fetch (fun buf ->
+        put_string buf sql;
+        put_int buf epoch)
+  | Apply { sql; epoch; request_id } ->
+    check_epoch epoch;
+    check_request_id request_id;
+    payload_req trace_id tag_apply (fun buf ->
+        put_string buf sql;
+        put_int buf epoch;
+        put_string buf request_id)
   | Wal_since { from_pos; max_bytes } ->
     payload_req trace_id tag_wal_since (fun buf ->
         put_int buf from_pos;
         put_int buf max_bytes)
+  | Fence { epoch } ->
+    check_epoch epoch;
+    payload_req trace_id tag_fence (fun buf -> put_int buf epoch)
 
 let decode_request data =
   let tag, cur = open_payload data in
@@ -280,13 +318,24 @@ let decode_request data =
     end
     else if tag = tag_get_counters then Get_counters
     else if tag = tag_get_stats then Get_stats
-    else if tag = tag_fetch then Fetch { sql = get_string cur }
-    else if tag = tag_apply then Apply { sql = get_string cur }
+    else if tag = tag_fetch then begin
+      let sql = get_string cur in
+      let epoch = get_nat cur in
+      Fetch { sql; epoch }
+    end
+    else if tag = tag_apply then begin
+      let sql = get_string cur in
+      let epoch = get_nat cur in
+      let request_id = get_string cur in
+      check_request_id request_id;
+      Apply { sql; epoch; request_id }
+    end
     else if tag = tag_wal_since then begin
       let from_pos = get_nat cur in
       let max_bytes = get_nat cur in
       Wal_since { from_pos; max_bytes }
     end
+    else if tag = tag_fence then Fence { epoch = get_nat cur }
     else fail "unknown request tag 0x%02x" tag
   in
   close_payload cur;
@@ -343,6 +392,8 @@ let encode_response = function
               d.Mope_obs.Trace.spans)
           s.traces)
   | Applied { wal_pos } -> payload tag_applied (fun buf -> put_int buf wal_pos)
+  | Epoch_state { epoch } ->
+    payload tag_epoch_state (fun buf -> put_int buf epoch)
   | Wal_chunk { resync; records; next_pos; end_pos } ->
     payload tag_wal_chunk (fun buf ->
         Buffer.add_char buf (if resync then '\x01' else '\x00');
@@ -435,6 +486,7 @@ let decode_response data =
       Stats { metrics_text; metrics_json; traces }
     end
     else if tag = tag_applied then Applied { wal_pos = get_nat cur }
+    else if tag = tag_epoch_state then Epoch_state { epoch = get_nat cur }
     else if tag = tag_wal_chunk then begin
       let resync =
         match get_byte cur with

@@ -18,16 +18,24 @@ open Mope_db
 exception Protocol_error of string
 
 val version : int
-(** Current protocol version (5 — v5 added the cluster store/replication
-    ops [Fetch]/[Apply]/[Wal_since] and their responses; v4 added the
-    cache-counter fields to {!counters}; v3 added a trace-id field to the
-    request header; v2 added the [retry_after] field to error responses).
-    A decoder rejects frames whose version byte differs — version bumps
-    are breaking by design; additions that only define new tags do not
-    bump it. *)
+(** Current protocol version (6 — v6 added cluster fault tolerance: a
+    fencing [epoch] field on [Fetch]/[Apply], a client-minted [request_id]
+    on [Apply] for exactly-once retries, the [Fence] request with its
+    [Epoch_state] response, and the [Fenced] error code; v5 added the
+    cluster store/replication ops [Fetch]/[Apply]/[Wal_since] and their
+    responses; v4 added the cache-counter fields to {!counters}; v3 added
+    a trace-id field to the request header; v2 added the [retry_after]
+    field to error responses). A decoder rejects frames whose version byte
+    differs — version bumps are breaking by design; additions that only
+    define new tags do not bump it. *)
 
 val max_trace_id : int
 (** Upper bound on the length of a request's trace id (64 bytes). *)
+
+val max_request_id : int
+(** Upper bound on the length of an [Apply] request id (64 bytes) — the
+    key of the store-side dedup table, so bounding it bounds that table's
+    memory alongside its entry cap. *)
 
 val max_frame : int
 (** Upper bound on a payload length (16 MiB). A length prefix above this is
@@ -69,15 +77,28 @@ type request =
     }
   | Get_counters
   | Get_stats
-  | Fetch of { sql : string }
+  | Fetch of { sql : string; epoch : int }
       (** cluster-store read: run one SELECT against the shard's database
-          and return the raw (still-encrypted) rows *)
-  | Apply of { sql : string }
+          and return the raw (still-encrypted) rows. [epoch] is the
+          caller's fencing epoch for the shard (0 = unfenced: skip the
+          check); a store whose epoch differs answers {!Fenced} so a
+          deposed primary can never serve stale reads *)
+  | Apply of { sql : string; epoch : int; request_id : string }
       (** cluster-store write: execute one mutating statement and append it
-          to the shard's WAL; answered with {!Applied} *)
+          to the shard's WAL; answered with {!Applied}. [epoch] fences as
+          for [Fetch]. [request_id] (at most {!max_request_id} bytes; [""]
+          = none) keys the store's bounded dedup table: retrying the same
+          id is answered from the table instead of double-applying, which
+          is what makes [Apply] safely retryable across a failover *)
   | Wal_since of { from_pos : int; max_bytes : int }
       (** replication pull: ship WAL records from [from_pos] on, at most
           [max_bytes] of payload per chunk; answered with {!Wal_chunk} *)
+  | Fence of { epoch : int }
+      (** control-plane: seal the store at [epoch] — it adopts the epoch
+          and refuses every subsequent [Fetch]/[Apply] with {!Fenced} until
+          it is re-pointed or rebuilt. [epoch = 0] only queries. Answered
+          with {!Epoch_state}. Sent by the supervisor to a deposed primary
+          that comes back from a partition *)
 
 type error_code =
   | Bad_frame    (** the peer sent something the codec rejected *)
@@ -85,6 +106,10 @@ type error_code =
   | Exec_failed  (** the proxy pipeline raised while executing the query *)
   | Overloaded   (** the server is shedding load *)
   | Internal     (** anything else; the message carries the details *)
+  | Fenced
+      (** the request's fencing epoch does not match the store's — either
+          the requester is behind a promotion, or the store is a sealed or
+          stale ex-primary; the message names both epochs *)
 
 type response =
   | Pong
@@ -102,6 +127,8 @@ type response =
       next_pos : int;  (** cursor for the next [Wal_since] *)
       end_pos : int;  (** primary WAL end; lag = [end_pos - next_pos] *)
     }
+  | Epoch_state of { epoch : int }
+      (** the store's fencing epoch after a {!Fence} request *)
   | Error of {
       code : error_code;
       message : string;

@@ -9,6 +9,12 @@
 #                                             exits non-zero on any mismatch)
 #   --kill-shard 1                            primary killed mid-run; reads
 #                                             must fail over to its replica
+#   --supervise --writes 30 --kill-shard 0    primary killed mid-write-storm
+#     --chaos SEED (two seeds)                under seeded chaos; the
+#                                             supervisor must auto-promote a
+#                                             replica and the exactly-once
+#                                             audit must hold (no lost,
+#                                             duplicated, or phantom writes)
 #   mope cluster --shards 1 --replicas 0      single-node degenerate case:
 #                                             same checks, no fan-out
 #   bench/cluster.exe --quick                 K in {1,2,4} sweep writes a
@@ -48,6 +54,23 @@ grep -q "killing shard 1's primary" "$LOG" || fail "kill never happened"
 grep -E "reads served by replicas after failover: [1-9]" "$LOG" >/dev/null \
   || fail "no failover reads recorded after the primary was killed"
 
+for SEED in 11 42; do
+  echo "running mope cluster --supervise --writes 30 --kill-shard 0 --chaos $SEED"
+  dune exec --no-build bin/mope_cli.exe -- cluster --shards 2 --replicas 1 \
+    --sf 0.002 --queries 2 --kill-shard 0 --supervise --writes 30 \
+    --chaos "$SEED" >"$LOG" 2>&1 \
+    || fail "supervised failover run failed under chaos seed $SEED"
+  # The primary really was killed mid-storm...
+  grep -q "killing shard 0's primary" "$LOG" \
+    || fail "seed $SEED: kill never happened"
+  # ...the exactly-once audit held (no lost/duplicated/phantom writes)...
+  grep -q "every acknowledged write present exactly once: yes" "$LOG" \
+    || fail "seed $SEED: exactly-once write audit did not pass"
+  # ...and the supervisor promoted a replica under a bumped fencing epoch.
+  grep -E "shard 0: promotions [1-9][0-9]*, fencing epoch [2-9]" "$LOG" \
+    >/dev/null || fail "seed $SEED: no promotion recorded for the killed shard"
+done
+
 echo "running mope cluster --shards 1 --replicas 0 (single-node equality)"
 dune exec --no-build bin/mope_cli.exe -- cluster --shards 1 --replicas 0 \
   --sf 0.002 --queries 3 >"$LOG" 2>&1 || fail "single-node cluster run failed"
@@ -67,4 +90,4 @@ done
 echo "running dune build @lint"
 dune build @lint >"$LOG" 2>&1 || fail "mope-lint found problems"
 
-echo "cluster smoke OK: 3x1 failover served, results byte-identical, bench shaped, lint green"
+echo "cluster smoke OK: 3x1 failover served, supervised promotion exactly-once under two chaos seeds, results byte-identical, bench shaped, lint green"

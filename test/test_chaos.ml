@@ -243,10 +243,16 @@ let fuzz_corpus =
       (Wire.Error
          { code = Wire.Overloaded; message = "busy"; query = Some "SELECT 1";
            retry_after = Some 0.25 });
-    Wire.encode_request (Wire.Fetch { sql = "SELECT k FROM kv" });
-    Wire.encode_request (Wire.Apply { sql = "INSERT INTO kv VALUES (1, 'x')" });
+    Wire.encode_request (Wire.Fetch { sql = "SELECT k FROM kv"; epoch = 2 });
+    Wire.encode_request
+      (Wire.Apply
+         { sql = "INSERT INTO kv VALUES (1, 'x')";
+           epoch = 1;
+           request_id = "w0:7" });
     Wire.encode_request (Wire.Wal_since { from_pos = 10; max_bytes = 4096 });
+    Wire.encode_request (Wire.Fence { epoch = 4 });
     Wire.encode_response (Wire.Applied { wal_pos = 99 });
+    Wire.encode_response (Wire.Epoch_state { epoch = 4 });
     Wire.encode_response
       (Wire.Wal_chunk
          { resync = false; records = [ "CREATE TABLE kv (k INTEGER)"; "x" ];
@@ -416,6 +422,126 @@ let test_load_shedding () =
           | _ -> assert false)))
 
 (* ------------------------------------------------------------------ *)
+(* Ping as a failure-detector probe: with an explicit [timeout] a ping is
+   one bounded attempt — it must come back (structurally) within the
+   budget even when the server stalls or the transport injects latency,
+   and it must drop the connection so a late Pong can never desync the
+   framing of later requests. *)
+
+let test_ping_probe_timeout () =
+  (* A server whose Ping handler parks until released: the probe's socket
+     timeouts are what must save the client, not the server's goodwill. *)
+  let gate = Mutex.create () in
+  let released = ref false in
+  let release_cond = Condition.create () in
+  let handler = function
+    | Wire.Ping ->
+      Mutex.lock gate;
+      while not !released do
+        Condition.wait release_cond gate
+      done;
+      Mutex.unlock gate;
+      Wire.Pong
+    | _ ->
+      Wire.Error
+        { code = Wire.Unsupported; message = "test handler"; query = None;
+          retry_after = None }
+  in
+  let server = Server.start ~handler () in
+  let release () =
+    Mutex.lock gate;
+    released := true;
+    Condition.broadcast release_cond;
+    Mutex.unlock gate
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      release ();
+      Server.shutdown server)
+    (fun () ->
+      (* Generous general timeout, no retries: any quick failure below is
+         the probe timeout's doing. *)
+      let client =
+        Client.connect ~port:(Server.port server) ~timeout:30.0 ~retries:0
+          ~request_retries:0 ~breaker_threshold:max_int ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          (match Client.ping ~timeout:0.2 client with
+          | () -> Alcotest.fail "probe of a stalled server succeeded"
+          | exception Mope_error.Error _ -> ()
+          | exception e ->
+            Alcotest.fail
+              ("unstructured probe failure: " ^ Printexc.to_string e));
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "probe bounded by its budget (took %.3fs)" elapsed)
+            true (elapsed < 1.5);
+          (* The probe dropped the stalled connection — the parked Pong
+             cannot leak into the next exchange. *)
+          Alcotest.(check bool) "stalled connection dropped" false
+            (Client.is_connected client);
+          (* Once the server behaves, the same client probes fine again
+             (fresh dial) — the failure was the probe's, not the client's. *)
+          release ();
+          Client.ping ~timeout:1.0 client;
+          Alcotest.(check bool) "probe redialed" true
+            (Client.is_connected client)))
+
+let test_ping_probe_timeout_under_chaos () =
+  (* Latency injected by the transport itself, between socket operations:
+     the deadline check inside the probe must bound the total, because no
+     socket timeout ever fires during a user-space sleep. *)
+  let handler = function
+    | Wire.Ping -> Wire.Pong
+    | _ ->
+      Wire.Error
+        { code = Wire.Unsupported; message = "test handler"; query = None;
+          retry_after = None }
+  in
+  let server = Server.start ~handler () in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown server)
+    (fun () ->
+      for_each_seed (fun seed ->
+          let molasses =
+            { Chaos.none with Chaos.delay = 1.0; max_delay = 0.25 }
+          in
+          let client =
+            Client.connect ~port:(Server.port server) ~timeout:30.0
+              ~retries:0 ~request_retries:0 ~breaker_threshold:max_int
+              ~wrap:(Chaos.wrap ~config:molasses ~seed) ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Client.close client)
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let outcome =
+                match Client.ping ~timeout:0.1 client with
+                | () -> `Fast_enough
+                | exception Mope_error.Error _ -> `Timed_out
+              in
+              let elapsed = Unix.gettimeofday () -. t0 in
+              (* Either the schedule happened to stay inside the budget, or
+                 the probe gave up — but never an unbounded stall: one
+                 in-flight op can overshoot, a whole ping's worth cannot. *)
+              Alcotest.(check bool)
+                (Printf.sprintf
+                   "seed %Ld: probe bounded under injected latency \
+                    (took %.3fs, %s)"
+                   seed elapsed
+                   (match outcome with
+                   | `Fast_enough -> "succeeded"
+                   | `Timed_out -> "timed out"))
+                true (elapsed < 1.0);
+              (* The probe-mode budget must not linger: without a timeout
+                 the same client completes the ping through the molasses
+                 (lossless, merely slow). *)
+              Client.ping client)))
+
+(* ------------------------------------------------------------------ *)
 (* Circuit breaker: closed -> open after consecutive transport failures,
    fail-fast while open, half-open after the cooldown, closed again on a
    successful probe — all over a real loopback socket. *)
@@ -509,7 +635,11 @@ let () =
         [ Alcotest.test_case "load shedding beyond the in-flight budget"
             `Quick test_load_shedding;
           Alcotest.test_case "circuit breaker state machine over loopback"
-            `Quick test_circuit_breaker ] );
+            `Quick test_circuit_breaker;
+          Alcotest.test_case "ping probe timeout bounds a stalled server"
+            `Quick test_ping_probe_timeout;
+          Alcotest.test_case "ping probe timeout under injected latency"
+            `Quick test_ping_probe_timeout_under_chaos ] );
       ( "storm",
         [ Alcotest.test_case "slow chaos is lossless" `Slow test_slow_chaos;
           Alcotest.test_case "hostile chaos: correct or structured, server survives"

@@ -38,6 +38,11 @@ let with_metrics f =
   Mope_obs.Metrics.set_enabled true;
   Fun.protect ~finally:(fun () -> Mope_obs.Metrics.set_enabled false) f
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 (* ------------------------------------------------------------------ *)
 (* Shard map: partitioning *)
 
@@ -199,7 +204,8 @@ let test_map_codec_corruption () =
   | exception Shard_map.Corrupt _ -> ());
   expect_map_corrupt "empty" "";
   expect_map_corrupt "wrong magic" "MOPEDB\x02\nxxxxxxxxxxxx";
-  expect_map_corrupt "future version" "MOPESHRD\x02\n\x00\x00\x00\x00";
+  expect_map_corrupt "future version" "MOPESHRD\x03\n\x00\x00\x00\x00";
+  expect_map_corrupt "version zero" "MOPESHRD\x00\n\x00\x00\x00\x00";
   with_tmp_dir (fun dir ->
       let path = Filename.concat dir "map.bin" in
       Shard_map.save (Shard_map.create ~shards:3 ~range:100) ~path;
@@ -221,6 +227,76 @@ let test_map_codec_corruption () =
         Bytes.set mangled i orig
       done;
       expect_map_corrupt "trailing garbage" (good ^ "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Shard map: fencing epochs *)
+
+let test_map_epochs () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "map.bin" in
+      let m = Shard_map.create ~shards:3 ~range:100 in
+      Alcotest.(check (list int)) "launch epochs" [ 1; 1; 1 ]
+        (Array.to_list (Shard_map.epochs m));
+      Shard_map.set_epoch m 1 4;
+      Shard_map.set_epoch m 1 4;
+      Alcotest.(check int) "epoch readable per shard" 4 (Shard_map.epoch m 1);
+      expect_invalid "epoch going backwards" (fun () ->
+          Shard_map.set_epoch m 1 3);
+      expect_invalid "epoch of a bad shard" (fun () ->
+          Shard_map.set_epoch m 9 2);
+      expect_invalid "reading a bad shard's epoch" (fun () ->
+          Shard_map.epoch m (-1));
+      (* v2 roundtrip carries the epochs. *)
+      Shard_map.save m ~path;
+      let loaded = Shard_map.load ~path in
+      Alcotest.(check (list int)) "epochs survive the roundtrip" [ 1; 4; 1 ]
+        (Array.to_list (Shard_map.epochs loaded)))
+
+(* A v1 file — bounds only, written before epochs existed — must still
+   load, every epoch defaulting to 1, the launch value. Build the bytes by
+   hand against the documented codec. *)
+let test_map_v1_compat () =
+  let u64 buf v =
+    for byte = 0 to 7 do
+      Buffer.add_char buf (Char.chr ((v lsr (8 * (7 - byte))) land 0xFF))
+    done
+  in
+  let u32 buf v =
+    for byte = 0 to 3 do
+      Buffer.add_char buf (Char.chr ((v lsr (8 * (3 - byte))) land 0xFF))
+    done
+  in
+  let file ~version body =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (Printf.sprintf "MOPESHRD%c\n" (Char.chr version));
+    u32 buf (String.length body);
+    u32 buf (Int32.to_int (Crc32.digest body) land 0xFFFFFFFF);
+    Buffer.add_string buf body;
+    Buffer.contents buf
+  in
+  let body values =
+    let buf = Buffer.create 64 in
+    List.iter (u64 buf) values;
+    Buffer.contents buf
+  in
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "map.bin" in
+      (* range 100, 2 shards at bounds 0 and 50, no epochs: v1. *)
+      write_file path (file ~version:1 (body [ 100; 2; 0; 50 ]));
+      let loaded = Shard_map.load ~path in
+      Alcotest.(check (list int)) "v1 bounds" [ 0; 50 ]
+        (Array.to_list (Shard_map.bounds loaded));
+      Alcotest.(check (list int)) "v1 epochs default to 1" [ 1; 1 ]
+        (Array.to_list (Shard_map.epochs loaded));
+      (* Saving it back upgrades to v2; epochs then persist. *)
+      Shard_map.set_epoch loaded 0 7;
+      Shard_map.save loaded ~path;
+      Alcotest.(check (list int)) "upgraded file keeps the bump" [ 7; 1 ]
+        (Array.to_list (Shard_map.epochs (Shard_map.load ~path))));
+  (* A v2 body with an epoch below the launch value is corrupt, as is a
+     v1 body dragging epoch-looking trailing bytes. *)
+  expect_map_corrupt "v2 zero epoch" (file ~version:2 (body [ 100; 2; 0; 50; 1; 0 ]));
+  expect_map_corrupt "v1 with trailing epochs" (file ~version:1 (body [ 100; 2; 0; 50; 1; 1 ]))
 
 (* ------------------------------------------------------------------ *)
 (* Store: apply / fetch / wal_since over the WAL *)
@@ -317,18 +393,27 @@ let test_store_handler () =
       let store = Store.create ~wal_path:(Filename.concat dir "s.wal") () in
       let h = Store.handler store in
       Alcotest.(check bool) "ping" true (h Wire.Ping = Wire.Pong);
-      (match h (Wire.Apply { sql = "CREATE TABLE kv (k INTEGER, v TEXT)" }) with
+      (match
+         h (Wire.Apply
+              { sql = "CREATE TABLE kv (k INTEGER, v TEXT)";
+                epoch = 0;
+                request_id = "" })
+       with
       | Wire.Applied { wal_pos } ->
         Alcotest.(check bool) "applied past the header" true
           (wal_pos > Wal.head_pos)
       | _ -> Alcotest.fail "expected Applied");
-      ignore (h (Wire.Apply { sql = "INSERT INTO kv VALUES (1, 'one')" }));
-      (match h (Wire.Fetch { sql = "SELECT v FROM kv" }) with
+      ignore
+        (h (Wire.Apply
+              { sql = "INSERT INTO kv VALUES (1, 'one')";
+                epoch = 0;
+                request_id = "" }));
+      (match h (Wire.Fetch { sql = "SELECT v FROM kv"; epoch = 0 }) with
       | Wire.Rows r ->
         Alcotest.(check int) "one row" 1 (List.length r.Exec.rows)
       | _ -> Alcotest.fail "expected Rows");
       (* Engine rejections surface as structured Exec_failed, not raises. *)
-      (match h (Wire.Fetch { sql = "SELECT nope FROM missing" }) with
+      (match h (Wire.Fetch { sql = "SELECT nope FROM missing"; epoch = 0 }) with
       | Wire.Error { code = Wire.Exec_failed; _ } -> ()
       | _ -> Alcotest.fail "expected a structured Exec_failed");
       (match h (Wire.Wal_since { from_pos = Wal.head_pos; max_bytes = 1024 }) with
@@ -347,6 +432,143 @@ let test_store_handler () =
       | Wire.Error { code = Wire.Unsupported; _ } -> ()
       | _ -> Alcotest.fail "Get_counters must be unsupported on a store");
       Store.close store)
+
+(* ------------------------------------------------------------------ *)
+(* Store: fencing epochs and retry dedup *)
+
+let count_rows store sql =
+  List.length (Store.fetch store ~sql).Exec.rows
+
+let test_store_fencing () =
+  with_tmp_dir (fun dir ->
+      let wal_path = Filename.concat dir "s.wal" in
+      let store = Store.create ~wal_path () in
+      Alcotest.(check int) "born unfenced" 0 (Store.epoch store);
+      ignore (Store.apply store ~sql:"CREATE TABLE kv (k INTEGER, v TEXT)");
+      Store.set_epoch store 3;
+      Alcotest.(check int) "stamped" 3 (Store.epoch store);
+      (* Epoch-0 requests (local/replication traffic) always pass; a
+         matching epoch passes; a mismatch — stale or future — is Fenced
+         and reports both sides. *)
+      ignore (Store.apply ~epoch:0 store ~sql:"INSERT INTO kv VALUES (1, 'one')");
+      ignore (Store.apply ~epoch:3 store ~sql:"INSERT INTO kv VALUES (2, 'two')");
+      (match Store.apply ~epoch:2 store ~sql:"INSERT INTO kv VALUES (9, 'x')" with
+      | _ -> Alcotest.fail "stale-epoch apply accepted"
+      | exception Store.Fenced { request_epoch = 2; store_epoch = 3; sealed = false }
+        -> ()
+      | exception Store.Fenced _ -> Alcotest.fail "wrong Fenced payload");
+      (match Store.fetch ~epoch:4 store ~sql:"SELECT k FROM kv" with
+      | _ -> Alcotest.fail "future-epoch fetch accepted"
+      | exception Store.Fenced _ -> ());
+      Alcotest.(check int) "refused write never executed" 2
+        (count_rows store "SELECT k FROM kv");
+      (* Epochs only move forward. *)
+      (match Store.set_epoch store 2 with
+      | () -> Alcotest.fail "epoch moved backwards"
+      | exception Mope_error.Error _ -> ());
+      (* The epoch mark rides the WAL: recovery and replicas adopt it. *)
+      Store.close store;
+      let recovered = Store.recover ~wal_path () in
+      Alcotest.(check int) "epoch survives recovery" 3 (Store.epoch recovered);
+      Alcotest.(check int) "rows survive recovery" 2
+        (count_rows recovered "SELECT k FROM kv");
+      (* Sealing refuses everything — even the matching epoch. *)
+      Alcotest.(check int) "fence adopts and reports the epoch" 5
+        (Store.fence recovered ~epoch:5);
+      Alcotest.(check bool) "sealed" true (Store.is_sealed recovered);
+      (match Store.apply ~epoch:5 recovered ~sql:"INSERT INTO kv VALUES (7, 'z')" with
+      | _ -> Alcotest.fail "sealed store accepted a write"
+      | exception Store.Fenced { sealed = true; _ } -> ());
+      (match Store.fetch recovered ~sql:"SELECT k FROM kv" with
+      | _ -> Alcotest.fail "sealed store served a read"
+      | exception Store.Fenced { sealed = true; _ } -> ());
+      Store.close recovered)
+
+(* The wire adapter turns Fenced into a structured error frame, never a
+   raise — chaos clients depend on that. *)
+let test_store_handler_fencing () =
+  let store = Store.create () in
+  Store.set_epoch store 2;
+  let h = Store.handler store in
+  (match
+     h (Wire.Apply { sql = "CREATE TABLE t (x INTEGER)"; epoch = 1; request_id = "" })
+   with
+  | Wire.Error { code = Wire.Fenced; message; _ } ->
+    Alcotest.(check bool) "message names both epochs" true
+      (contains_sub message "request epoch 1" && contains_sub message "store epoch 2")
+  | _ -> Alcotest.fail "expected a Fenced error frame");
+  (match h (Wire.Fence { epoch = 9 }) with
+  | Wire.Epoch_state { epoch = 9 } -> ()
+  | _ -> Alcotest.fail "expected Epoch_state 9");
+  (match h (Wire.Fetch { sql = "SELECT 1"; epoch = 9 }) with
+  | Wire.Error { code = Wire.Fenced; message; _ } ->
+    Alcotest.(check bool) "sealed message" true (contains_sub message "sealed")
+  | _ -> Alcotest.fail "sealed store must refuse over the wire");
+  Store.close store
+
+let test_store_dedup () =
+  with_tmp_dir (fun dir ->
+      let wal_path = Filename.concat dir "s.wal" in
+      let store = Store.create ~wal_path () in
+      ignore (Store.apply store ~sql:"CREATE TABLE kv (k INTEGER, v TEXT)");
+      (* The same request id applies once; the retry is acknowledged at
+         the current log position without re-executing. *)
+      let p1 =
+        Store.apply ~request_id:"w:1" store
+          ~sql:"INSERT INTO kv VALUES (1, 'one')"
+      in
+      let p2 =
+        Store.apply ~request_id:"w:1" store
+          ~sql:"INSERT INTO kv VALUES (1, 'one')"
+      in
+      Alcotest.(check int) "retry acked at the same position" p1 p2;
+      Alcotest.(check int) "retry did not re-execute" 1
+        (count_rows store "SELECT k FROM kv WHERE k = 1");
+      (* Dedup state rides the WAL: a recovered store still refuses the
+         replay — the exactly-once guarantee survives a crash. *)
+      Store.close store;
+      let recovered = Store.recover ~wal_path () in
+      ignore
+        (Store.apply ~request_id:"w:1" recovered
+           ~sql:"INSERT INTO kv VALUES (1, 'one')");
+      Alcotest.(check int) "retry refused after recovery too" 1
+        (count_rows recovered "SELECT k FROM kv WHERE k = 1");
+      (* Malformed request ids are rejected before execution. *)
+      (match
+         Store.apply ~request_id:(String.make 65 'a') recovered ~sql:"SELECT 1"
+       with
+      | _ -> Alcotest.fail "oversized request id accepted"
+      | exception Mope_error.Error _ -> ());
+      (match Store.apply ~request_id:"a\x00b" recovered ~sql:"SELECT 1" with
+      | _ -> Alcotest.fail "NUL request id accepted"
+      | exception Mope_error.Error _ -> ());
+      Store.close recovered)
+
+let test_store_dedup_eviction () =
+  (* The table is bounded FIFO: old ids fall out once the cap is passed,
+     so an ancient retry can double-apply — the documented trade for a
+     bounded memory footprint. cap=2 makes the horizon visible. *)
+  let store = Store.create ~dedup_cap:2 () in
+  ignore (Store.apply store ~sql:"CREATE TABLE kv (k INTEGER, v TEXT)");
+  let insert rid k =
+    ignore
+      (Store.apply ~request_id:rid store
+         ~sql:(Printf.sprintf "INSERT INTO kv VALUES (%d, 'v')" k))
+  in
+  insert "w:1" 1;
+  insert "w:2" 2;
+  insert "w:1" 1;
+  Alcotest.(check int) "still remembered inside the cap" 1
+    (count_rows store "SELECT k FROM kv WHERE k = 1");
+  insert "w:3" 3;
+  (* w:1 was the oldest of the three distinct ids — evicted. *)
+  insert "w:1" 1;
+  Alcotest.(check int) "evicted id re-applies" 2
+    (count_rows store "SELECT k FROM kv WHERE k = 1");
+  insert "w:3" 3;
+  Alcotest.(check int) "recent ids still dedup" 1
+    (count_rows store "SELECT k FROM kv WHERE k = 3");
+  Store.close store
 
 (* ------------------------------------------------------------------ *)
 (* Replication: catch-up, incremental sync, lag gauge, resync *)
@@ -571,6 +793,260 @@ let test_chaos_kill_primary_mid_storm () =
           | [] -> assert false))
     [ 3L; 11L ]
 
+(* ------------------------------------------------------------------ *)
+(* Failover: supervised promotion, fencing, exactly-once writes *)
+
+(* Ticks needed for the failure detector to declare a leg dead. *)
+let miss_threshold = Supervisor.default_config.Supervisor.miss_threshold
+
+let audit_rows topo coord ~shard sql =
+  let leg = Coordinator.primary_leg coord ~shard in
+  let port =
+    if leg = 0 then Topology.primary_port topo ~shard
+    else Topology.replica_port topo ~shard ~index:(leg - 1)
+  in
+  let epoch = Coordinator.epoch coord ~shard in
+  Client.with_client ~port (fun c -> Client.fetch c ~epoch ~sql ())
+
+(* Kill a primary under a deterministic supervisor (tick, no threads):
+   the most-caught-up replica must take over under a bumped, persisted
+   epoch, with no acknowledged write lost and the lag gauge reset. *)
+let test_supervised_promotion () =
+  with_metrics @@ fun () ->
+  with_topology ~shards:2 ~replicas:2 (fun _tb topo ->
+      let coord = Topology.coordinator topo in
+      let sup = Topology.supervisor topo () in
+      Fun.protect
+        ~finally:(fun () -> Supervisor.stop sup)
+        (fun () ->
+          let shard = 0 in
+          let labels = [ ("shard", string_of_int shard) ] in
+          let promotions =
+            Mope_obs.Metrics.counter "mope_cluster_promotions_total" ~labels ()
+          in
+          let promotions0 = Mope_obs.Metrics.counter_value promotions in
+          Supervisor.tick sup;
+          Alcotest.(check int) "healthy shard keeps leg 0" 0
+            (Supervisor.primary_leg sup ~shard);
+          ignore
+            (Coordinator.apply coord ~request_id:"p:create" ~shard
+               ~sql:"CREATE TABLE f (w INTEGER)");
+          for w = 0 to 9 do
+            ignore
+              (Coordinator.apply coord
+                 ~request_id:(Printf.sprintf "p:%d" w)
+                 ~shard
+                 ~sql:(Printf.sprintf "INSERT INTO f VALUES (%d)" w))
+          done;
+          Supervisor.tick sup;
+          Topology.kill_primary topo ~shard;
+          for _ = 1 to miss_threshold do
+            Supervisor.tick sup
+          done;
+          let leg = Supervisor.primary_leg sup ~shard in
+          Alcotest.(check bool) "promoted off the dead leg" true (leg > 0);
+          Alcotest.(check int) "coordinator follows" leg
+            (Coordinator.primary_leg coord ~shard);
+          Alcotest.(check int) "epoch bumped and persisted in the map" 2
+            (Shard_map.epoch (Topology.map topo) shard);
+          Alcotest.(check int) "coordinator carries the epoch" 2
+            (Coordinator.epoch coord ~shard);
+          Alcotest.(check int) "untouched shard keeps its epoch" 1
+            (Coordinator.epoch coord ~shard:1);
+          Alcotest.(check int) "promotion counted" (promotions0 + 1)
+            (Mope_obs.Metrics.counter_value promotions);
+          Alcotest.(check int) "epoch gauge follows" 2
+            (Mope_obs.Metrics.gauge_value
+               (Mope_obs.Metrics.gauge "mope_cluster_epoch" ~labels ()));
+          Alcotest.(check int) "promoted leg's lag gauge reset" 0
+            (Mope_obs.Metrics.gauge_value
+               (Mope_obs.Metrics.gauge "mope_cluster_replica_lag_bytes"
+                  ~labels ()));
+          Alcotest.(check bool) "shard is writable" false
+            (Coordinator.is_read_only coord ~shard);
+          (* Every pre-kill write survived, and new writes flow under the
+             new epoch. *)
+          ignore
+            (Coordinator.apply coord ~request_id:"p:after" ~shard
+               ~sql:"INSERT INTO f VALUES (100)");
+          Alcotest.(check int) "no acknowledged write lost" 11
+            (List.length
+               (audit_rows topo coord ~shard "SELECT w FROM f").Exec.rows)))
+
+(* The acceptance storm: supervisor threads running, every connection
+   under seeded chaos, primary killed mid-write-storm. Every acknowledged
+   write must land exactly once; every refused write must be absent. *)
+let test_supervised_storm_exactly_once () =
+  with_metrics @@ fun () ->
+  List.iter
+    (fun seed ->
+      let wrap io = Chaos.wrap ~config:Chaos.slow ~seed io in
+      with_topology ~wrap ~shards:2 ~replicas:1 (fun _tb topo ->
+          let coord = Topology.coordinator topo in
+          let sup =
+            Topology.supervisor topo ~seed:(Int64.add 400L seed) ()
+          in
+          Supervisor.start sup;
+          Fun.protect
+            ~finally:(fun () -> Supervisor.stop sup)
+            (fun () ->
+              let shard = 0 in
+              let msg m = Printf.sprintf "seed %Ld: %s" seed m in
+              ignore
+                (Coordinator.apply coord ~request_id:"s:create" ~retries:300
+                   ~retry_backoff:0.02 ~shard
+                   ~sql:"CREATE TABLE f (w INTEGER)");
+              let acked = ref [] and refused = ref [] in
+              for w = 0 to 39 do
+                if w = 20 then Topology.kill_primary topo ~shard;
+                match
+                  Coordinator.apply coord
+                    ~request_id:(Printf.sprintf "s:%d" w)
+                    ~retries:300 ~retry_backoff:0.02 ~shard
+                    ~sql:(Printf.sprintf "INSERT INTO f VALUES (%d)" w)
+                with
+                | _ -> acked := w :: !acked
+                | exception Mope_error.Error _ -> refused := w :: !refused
+              done;
+              (* Give the supervisor until a deadline to finish promoting
+                 (writes above already waited out the detection window). *)
+              let deadline = Unix.gettimeofday () +. 10.0 in
+              while
+                Coordinator.is_read_only coord ~shard
+                && Unix.gettimeofday () < deadline
+              do
+                Thread.delay 0.02
+              done;
+              Alcotest.(check int)
+                (msg "promoted to the only replica")
+                1
+                (Coordinator.primary_leg coord ~shard);
+              Alcotest.(check int) (msg "epoch bumped") 2
+                (Coordinator.epoch coord ~shard);
+              let rows =
+                (audit_rows topo coord ~shard "SELECT w FROM f").Exec.rows
+              in
+              let count w =
+                List.length
+                  (List.filter
+                     (fun row -> Value.to_string row.(0) = string_of_int w)
+                     rows)
+              in
+              List.iter
+                (fun w ->
+                  Alcotest.(check int)
+                    (msg (Printf.sprintf "acknowledged write %d exactly once" w))
+                    1 (count w))
+                !acked;
+              List.iter
+                (fun w ->
+                  Alcotest.(check int)
+                    (msg (Printf.sprintf "refused write %d absent" w))
+                    0 (count w))
+                !refused;
+              Alcotest.(check int) (msg "every write accounted for") 40
+                (List.length !acked + List.length !refused))))
+    [ 5L; 23L ]
+
+(* A deposed primary that comes back from the dead must not serve: new-
+   epoch traffic is refused by exact-match fencing, and the supervisor's
+   next probe seals it outright. *)
+let test_zombie_fenced () =
+  with_metrics @@ fun () ->
+  with_topology ~shards:1 ~replicas:1 (fun _tb topo ->
+      let coord = Topology.coordinator topo in
+      let sup = Topology.supervisor topo () in
+      Fun.protect
+        ~finally:(fun () -> Supervisor.stop sup)
+        (fun () ->
+          let shard = 0 in
+          ignore
+            (Coordinator.apply coord ~request_id:"z:create" ~shard
+               ~sql:"CREATE TABLE f (w INTEGER)");
+          ignore
+            (Coordinator.apply coord ~request_id:"z:1" ~shard
+               ~sql:"INSERT INTO f VALUES (1)");
+          Supervisor.tick sup;
+          Topology.kill_primary topo ~shard;
+          for _ = 1 to miss_threshold do
+            Supervisor.tick sup
+          done;
+          Alcotest.(check int) "promoted to the replica" 1
+            (Supervisor.primary_leg sup ~shard);
+          (* The old primary rises again on its old port, stale epoch and
+             all. A late write carrying the new epoch is refused — the
+             zombie is still at epoch 1. *)
+          let zport = Topology.revive_primary topo ~shard in
+          let late epoch =
+            Client.with_client ~port:zport (fun c ->
+                Client.apply c ~epoch ~request_id:"z:late"
+                  ~sql:"INSERT INTO f VALUES (666)" ())
+          in
+          (match late 2 with
+          | _ -> Alcotest.fail "zombie accepted a new-epoch write"
+          | exception Mope_error.Error e ->
+            Alcotest.(check bool) "structured Fenced error" true
+              (Client.is_fenced e));
+          (* The next probe finds the deposed leg alive and seals it: now
+             even its own stale epoch is refused. *)
+          Supervisor.tick sup;
+          (match late 1 with
+          | _ -> Alcotest.fail "sealed zombie accepted its own stale epoch"
+          | exception Mope_error.Error e ->
+            Alcotest.(check bool) "sealed error is Fenced too" true
+              (Client.is_fenced e));
+          (* And none of the refused writes ever landed anywhere. *)
+          Alcotest.(check int) "refused writes absent" 0
+            (List.length
+               (audit_rows topo coord ~shard
+                  "SELECT w FROM f WHERE w = 666").Exec.rows)))
+
+(* With no replica to promote, the shard degrades to read-only: writes
+   shed with a retry-after hint, reads keep flowing — and the primary
+   coming back lifts the degradation without an epoch bump. *)
+let test_read_only_degradation () =
+  with_metrics @@ fun () ->
+  with_topology ~shards:1 ~replicas:0 (fun _tb topo ->
+      let coord = Topology.coordinator topo in
+      let sup = Topology.supervisor topo () in
+      Fun.protect
+        ~finally:(fun () -> Supervisor.stop sup)
+        (fun () ->
+          let shard = 0 in
+          ignore
+            (Coordinator.apply coord ~request_id:"r:create" ~shard
+               ~sql:"CREATE TABLE f (w INTEGER)");
+          Topology.kill_primary topo ~shard;
+          for _ = 1 to miss_threshold do
+            Supervisor.tick sup
+          done;
+          Alcotest.(check bool) "parked read-only" true
+            (Coordinator.is_read_only coord ~shard);
+          (match
+             Coordinator.apply coord ~request_id:"r:1" ~retries:0 ~shard
+               ~sql:"INSERT INTO f VALUES (1)"
+           with
+          | _ -> Alcotest.fail "read-only shard accepted a write"
+          | exception Mope_error.Error e ->
+            let m = Mope_error.to_string e in
+            Alcotest.(check bool) "read-only error with a retry hint" true
+              (contains_sub m "read-only" && contains_sub m "retry after"));
+          (* The primary returns (same store, same port, epoch 1 — it was
+             never deposed, no promotion happened): the next clean probe
+             reopens writes. *)
+          ignore (Topology.revive_primary topo ~shard);
+          Supervisor.tick sup;
+          Alcotest.(check bool) "writes flow again" false
+            (Coordinator.is_read_only coord ~shard);
+          Alcotest.(check int) "epoch never bumped" 1
+            (Coordinator.epoch coord ~shard);
+          ignore
+            (Coordinator.apply coord ~request_id:"r:2" ~shard
+               ~sql:"INSERT INTO f VALUES (2)");
+          Alcotest.(check int) "write landed" 1
+            (List.length
+               (audit_rows topo coord ~shard "SELECT w FROM f").Exec.rows)))
+
 let () =
   Alcotest.run "cluster"
     [ ( "shard-map",
@@ -581,13 +1057,24 @@ let () =
             test_map_route_straddle;
           Alcotest.test_case "codec roundtrip" `Quick test_map_codec_roundtrip;
           Alcotest.test_case "corruption rejected" `Quick
-            test_map_codec_corruption ] );
+            test_map_codec_corruption;
+          Alcotest.test_case "fencing epochs persist" `Quick test_map_epochs;
+          Alcotest.test_case "v1 files load with launch epochs" `Quick
+            test_map_v1_compat ] );
       ( "store",
         [ Alcotest.test_case "apply, fetch, recover" `Quick
             test_store_apply_fetch;
           Alcotest.test_case "wal_since chunk walk" `Quick
             test_store_wal_since_chunking;
-          Alcotest.test_case "wire handler" `Quick test_store_handler ] );
+          Alcotest.test_case "wire handler" `Quick test_store_handler;
+          Alcotest.test_case "fencing epochs and sealing" `Quick
+            test_store_fencing;
+          Alcotest.test_case "fenced as a structured wire error" `Quick
+            test_store_handler_fencing;
+          Alcotest.test_case "request-id dedup, exactly once" `Quick
+            test_store_dedup;
+          Alcotest.test_case "dedup horizon is bounded FIFO" `Quick
+            test_store_dedup_eviction ] );
       ( "replication",
         [ Alcotest.test_case "catch-up, incremental, lag gauge" `Quick
             test_replica_sync;
@@ -599,4 +1086,13 @@ let () =
           Alcotest.test_case "failover routes reads to replicas" `Slow
             test_failover_to_replica;
           Alcotest.test_case "kill primary mid-storm under seeded chaos" `Slow
-            test_chaos_kill_primary_mid_storm ] ) ]
+            test_chaos_kill_primary_mid_storm ] );
+      ( "failover",
+        [ Alcotest.test_case "supervised promotion under a new epoch" `Slow
+            test_supervised_promotion;
+          Alcotest.test_case "write storm exactly-once under chaos" `Slow
+            test_supervised_storm_exactly_once;
+          Alcotest.test_case "revived zombie is fenced" `Slow
+            test_zombie_fenced;
+          Alcotest.test_case "no candidate degrades to read-only" `Slow
+            test_read_only_degradation ] ) ]

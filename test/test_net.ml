@@ -40,15 +40,43 @@ let test_request_roundtrip () =
         date_hi = Date.of_ymd 1994 12 31 }
   in
   Alcotest.(check bool) "query" true (roundtrip_request q = q);
-  (* The v5 store ops. *)
-  let f = Wire.Fetch { sql = "SELECT l_partkey FROM lineitem WHERE ..." } in
+  (* The store ops (v5, with the v6 fencing/dedup fields). *)
+  let f =
+    Wire.Fetch { sql = "SELECT l_partkey FROM lineitem WHERE ..."; epoch = 0 }
+  in
   Alcotest.(check bool) "fetch" true (roundtrip_request f = f);
-  let a = Wire.Apply { sql = "INSERT INTO lineitem VALUES (1, 'x')" } in
+  let f7 = Wire.Fetch { sql = "SELECT 1 FROM t"; epoch = 7 } in
+  Alcotest.(check bool) "fetch with epoch" true (roundtrip_request f7 = f7);
+  let a =
+    Wire.Apply
+      { sql = "INSERT INTO lineitem VALUES (1, 'x')";
+        epoch = 0;
+        request_id = "" }
+  in
   Alcotest.(check bool) "apply" true (roundtrip_request a = a);
+  let ar =
+    Wire.Apply
+      { sql = "INSERT INTO lineitem VALUES (2, 'y')";
+        epoch = 3;
+        request_id = "writer-1:42" }
+  in
+  Alcotest.(check bool) "apply with epoch and rid" true
+    (roundtrip_request ar = ar);
+  (* Oversized request ids are rejected at encode time, like trace ids. *)
+  (match
+     Wire.encode_request
+       (Wire.Apply
+          { sql = "INSERT"; epoch = 0; request_id = String.make 65 'r' })
+   with
+  | _ -> Alcotest.fail "expected encode to reject an oversized request id"
+  | exception Wire.Protocol_error _ -> ());
   let w = Wire.Wal_since { from_pos = 424242; max_bytes = 1 lsl 20 } in
   Alcotest.(check bool) "wal_since" true (roundtrip_request w = w);
   let w0 = Wire.Wal_since { from_pos = 0; max_bytes = 1 } in
-  Alcotest.(check bool) "wal_since minimal" true (roundtrip_request w0 = w0)
+  Alcotest.(check bool) "wal_since minimal" true (roundtrip_request w0 = w0);
+  (* The v6 fencing control op. *)
+  let fe = Wire.Fence { epoch = 9 } in
+  Alcotest.(check bool) "fence" true (roundtrip_request fe = fe)
 
 let test_trace_id_header () =
   (* The v3 header carries the trace id between tag and body; the default
@@ -121,7 +149,19 @@ let test_response_roundtrip () =
   let resync =
     Wire.Wal_chunk { resync = true; records = []; next_pos = 9; end_pos = 9 }
   in
-  Alcotest.(check bool) "resync chunk" true (roundtrip_response resync = resync)
+  Alcotest.(check bool) "resync chunk" true (roundtrip_response resync = resync);
+  (* The v6 fencing responses. *)
+  let es = Wire.Epoch_state { epoch = 41 } in
+  Alcotest.(check bool) "epoch state" true (roundtrip_response es = es);
+  let fenced =
+    Wire.Error
+      { code = Wire.Fenced;
+        message = "fencing epoch mismatch: request epoch 2, store epoch 3";
+        query = Some "INSERT INTO kv VALUES (1, 'x')";
+        retry_after = None }
+  in
+  Alcotest.(check bool) "fenced error" true
+    (roundtrip_response fenced = fenced)
 
 let test_stats_roundtrip () =
   let open Mope_obs in

@@ -372,6 +372,89 @@ let test_checkpoint_resets_wal () =
           Alcotest.(check (list (list string))) "state preserved"
             (dump r.Storage.db) (dump r'.Storage.db)))
 
+(* A replication follower's cursor races a checkpoint: the cursor is taken
+   against the old log, then [reset] truncates the log under it, then the
+   cursor is consumed. Every such stale cursor must come back as a resync
+   demand — never as records from the dead history — while the head cursor
+   stays valid throughout, and the post-resync head replay must ship
+   exactly the new history. *)
+let test_since_cursor_races_reset () =
+  with_tmp (fun wal ->
+      Sys.remove wal;
+      write_wal wal sample_statements;
+      (* Chunked catch-up parks mid-log: max_bytes:1 ships one record. *)
+      let mid = Wal.since ~max_bytes:1 ~path:wal ~from_pos:Wal.head_pos () in
+      Alcotest.(check int) "one record consumed" 1
+        (List.length mid.Wal.records);
+      let parked = mid.Wal.next_pos and old_end = mid.Wal.end_pos in
+      Alcotest.(check bool) "parked strictly inside the log" true
+        (parked > Wal.head_pos && parked < old_end);
+      (* The checkpoint truncates the log under both cursors. *)
+      Wal.reset ~path:wal;
+      List.iter
+        (fun (label, from_pos) ->
+          let c = Wal.since ~path:wal ~from_pos () in
+          Alcotest.(check bool) (label ^ ": resync demanded") true c.Wal.resync;
+          Alcotest.(check (list string))
+            (label ^ ": nothing from the dead history")
+            [] c.Wal.records;
+          Alcotest.(check int) (label ^ ": rewound to head") Wal.head_pos
+            c.Wal.next_pos)
+        [ ("mid-log cursor", parked); ("old-end cursor", old_end) ];
+      (* The head cursor is always a boundary — empty log included. *)
+      let c = Wal.since ~path:wal ~from_pos:Wal.head_pos () in
+      Alcotest.(check bool) "head cursor valid after reset" false c.Wal.resync;
+      Alcotest.(check (list string)) "empty log ships nothing" [] c.Wal.records;
+      (* New history grows after the checkpoint. The stale cursors still
+         resync (they name no boundary of the new log), and the head
+         replay ships exactly the new records. *)
+      let fresh = [ "INSERT INTO kv VALUES (9, 'nine')"; "DELETE FROM kv" ] in
+      write_wal wal fresh;
+      let c = Wal.since ~path:wal ~from_pos:parked () in
+      Alcotest.(check bool) "stale cursor still resyncs over new history"
+        true c.Wal.resync;
+      let c = Wal.since ~path:wal ~from_pos:Wal.head_pos () in
+      Alcotest.(check (list string)) "head replay is the new history" fresh
+        c.Wal.records;
+      Alcotest.(check bool) "head replay is clean" false c.Wal.resync;
+      Alcotest.(check int) "head replay lands at the end" c.Wal.end_pos
+        c.Wal.next_pos)
+
+(* The same race through [Storage.checkpoint] — the call a real primary
+   makes — and a consumer that follows the documented protocol: resync
+   from the snapshot, resume from head. The rebuilt state must equal the
+   primary's exactly. *)
+let test_since_cursor_races_storage_checkpoint () =
+  with_tmp (fun snapshot ->
+      with_tmp (fun wal ->
+          Sys.remove snapshot;
+          Sys.remove wal;
+          write_wal wal sample_statements;
+          (* The follower consumes part of the log... *)
+          let mid = Wal.since ~max_bytes:40 ~path:wal ~from_pos:Wal.head_pos () in
+          let parked = mid.Wal.next_pos in
+          (* ...the primary checkpoints (snapshot + truncate) and keeps
+             writing... *)
+          let r = Storage.recover ~snapshot ~wal () in
+          Storage.checkpoint r.Storage.db ~path:snapshot ~wal;
+          let post = "INSERT INTO kv VALUES (7, 'seven')" in
+          (let log = Wal.open_log ~path:wal in
+           Wal.append log post;
+           Wal.close log;
+           ignore (Database.execute r.Storage.db post));
+          (* ...and only then is the parked cursor consumed. *)
+          let c = Wal.since ~path:wal ~from_pos:parked () in
+          Alcotest.(check bool) "checkpoint invalidated the cursor" true
+            c.Wal.resync;
+          (* Follow the protocol: rebuild from the snapshot, then replay
+             from the head. The result matches the primary byte for
+             byte. *)
+          let rebuilt = Storage.recover ~snapshot ~wal () in
+          Alcotest.(check int) "head replay applied the post-checkpoint tail"
+            1 rebuilt.Storage.wal_applied;
+          Alcotest.(check (list (list string))) "follower state rebuilt"
+            (dump r.Storage.db) (dump rebuilt.Storage.db)))
+
 (* The real thing: a child process appends WAL records in a tight loop and
    is SIGKILLed mid-stream. Replay must recover a clean prefix of what the
    child wrote — however far it got — and recovery must build a database
@@ -479,6 +562,10 @@ let () =
             test_recover_without_snapshot;
           Alcotest.test_case "checkpoint resets the wal" `Quick
             test_checkpoint_resets_wal;
+          Alcotest.test_case "since cursor races a reset" `Quick
+            test_since_cursor_races_reset;
+          Alcotest.test_case "since cursor races a checkpoint" `Quick
+            test_since_cursor_races_storage_checkpoint;
           Alcotest.test_case "kill -9 mid-append" `Quick
             test_recover_after_sigkill;
           Alcotest.test_case "kill -9 mid-save" `Quick
