@@ -140,7 +140,7 @@ let on_shard t shard_idx f =
         ( p,
           p
           :: List.filter
-               (fun i -> i <> p && shard.state.eligible.(i))
+               (fun i -> (not (Int.equal i p)) && shard.state.eligible.(i))
                (List.init n Fun.id) ))
   in
   let rec go last_err = function
@@ -155,7 +155,8 @@ let on_shard t shard_idx f =
             f c ~epoch:(current_epoch shard))
       with
       | v ->
-        if leg_idx <> primary_idx then Metrics.inc shard.m_failover;
+        if not (Int.equal leg_idx primary_idx) then
+          Metrics.inc shard.m_failover;
         v
       | exception (Mope_error.Error _ as e) ->
         (* This leg is down, fenced behind a promotion, or misbehaving;
@@ -196,7 +197,7 @@ let resolve_subquery t inner =
       |> List.concat_map
            (List.filter_map (fun row ->
                 if Array.length row = 1 then Some row.(0) else None))
-      |> List.sort_uniq compare
+      |> List.sort_uniq Value.compare
     in
     List.map (fun v -> Sql_ast.Lit v) values
   in

@@ -148,7 +148,10 @@ let load ~path =
   in
   let mlen = String.length magic in
   if String.length data < mlen + 8
-     || String.sub data 0 (String.length magic_prefix) <> magic_prefix
+     || not
+          (String.equal
+             (String.sub data 0 (String.length magic_prefix))
+             magic_prefix)
      || data.[mlen - 1] <> '\n'
   then raise (Corrupt "bad shard-map header");
   let file_version = Char.code data.[mlen - 2] in
@@ -167,7 +170,8 @@ let load ~path =
   if String.length data - (mlen + 8) <> body_len then
     raise (Corrupt "shard-map body length mismatch");
   let body = String.sub data (mlen + 8) body_len in
-  if Crc32.digest body <> crc then raise (Corrupt "shard-map checksum mismatch");
+  if not (Int32.equal (Crc32.digest body) crc) then
+    raise (Corrupt "shard-map checksum mismatch");
   let pos = ref 0 in
   let u64 () =
     if body_len - !pos < 8 then raise (Corrupt "truncated shard-map body");
@@ -199,7 +203,8 @@ let load ~path =
       Some e
     end
   in
-  if !pos <> body_len then raise (Corrupt "trailing bytes in shard map");
+  if not (Int.equal !pos body_len) then
+    raise (Corrupt "trailing bytes in shard map");
   match of_bounds ~bounds ~range with
   | t ->
     (match epochs with

@@ -144,7 +144,8 @@ let database t = t.db
 
 let check_epoch_locked t ~request_epoch =
   if t.sealed
-     || (request_epoch > 0 && t.epoch > 0 && request_epoch <> t.epoch)
+     || (request_epoch > 0 && t.epoch > 0
+         && not (Int.equal request_epoch t.epoch))
   then begin
     Metrics.inc m_fenced;
     raise
@@ -214,7 +215,7 @@ let set_epoch t e =
       if e < t.epoch then
         Mope_error.failwithf "Store.set_epoch: %d is behind current epoch %d"
           e t.epoch;
-      if e <> t.epoch then begin
+      if not (Int.equal e t.epoch) then begin
         t.epoch <- e;
         ignore (log_record_locked t (encode_epoch e))
       end)

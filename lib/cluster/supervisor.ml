@@ -194,7 +194,8 @@ let try_promote t sup =
   let candidates = ref [] in
   Array.iteri
     (fun i leg ->
-      if i <> old_primary && (not leg.deposed) && in_bound t leg then
+      if (not (Int.equal i old_primary)) && (not leg.deposed) && in_bound t leg
+      then
         match leg.target.replica with
         | Some r -> candidates := (i, leg, Replica.store r, r) :: !candidates
         | None -> ())
@@ -236,7 +237,7 @@ let try_promote t sup =
        offsets valid against the promoted primary's log. *)
     Array.iteri
       (fun i other ->
-        if i <> leg_idx && i <> old_primary then
+        if (not (Int.equal i leg_idx)) && not (Int.equal i old_primary) then
           match other.target.replica with
           | Some r -> (
             try Replica.repoint r ~port:leg.target.port
@@ -271,7 +272,7 @@ let sync_round_locked t =
       Array.iteri
         (fun i leg ->
           match leg.target.replica with
-          | Some r when i <> sup.primary ->
+          | Some r when not (Int.equal i sup.primary) ->
             (* A sync failure (dead or partitioned primary) keeps the
                last known lag; the staleness bound judges that. *)
             (try ignore (Replica.sync r) with Mope_error.Error _ -> ());

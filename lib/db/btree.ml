@@ -244,4 +244,4 @@ let check_invariants t =
     match leaf.next with Some next -> walk next | None -> ()
   in
   walk (leftmost t.root);
-  if !seen <> t.size then fail "size mismatch"
+  if not (Int.equal !seen t.size) then fail "size mismatch"

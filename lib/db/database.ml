@@ -48,7 +48,9 @@ let table_exn t name =
   | Some tbl -> tbl
   | None -> invalid_arg ("Database: unknown table " ^ name)
 
-let tables t = Hashtbl.fold (fun name _ acc -> name :: acc) t.catalog [] |> List.sort compare
+let tables t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.catalog []
+  |> List.sort String.compare
 
 let insert t ~table row = Table.insert (table_exn t table) row
 
@@ -134,7 +136,7 @@ let table_env table =
   { Eval.resolve =
       (fun (qualifier, name) ->
         (match qualifier with
-        | Some q when q <> Table.name table ->
+        | Some q when not (String.equal q (Table.name table)) ->
           raise (Eval.Eval_error ("unknown table alias " ^ q))
         | Some _ | None -> ());
         match Schema.find schema name with

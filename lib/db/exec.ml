@@ -90,7 +90,7 @@ let bind_sources ~catalog from =
 let resolve_in sources (qualifier, name) =
   match qualifier with
   | Some q -> begin
-    match List.find_opt (fun s -> s.alias = q) sources with
+    match List.find_opt (fun s -> String.equal s.alias q) sources with
     | None -> raise (Eval.Eval_error (Printf.sprintf "unknown table alias %s" q))
     | Some s -> begin
       match Schema.find (Table.schema s.stable) name with
@@ -195,12 +195,14 @@ let rec range_form source expr =
   end
   | Or (a, b) -> begin
     match (range_form source a, range_form source b) with
-    | Some (ca, ra), Some (cb, rb) when ca = cb -> Some (ca, Ranges.union ra rb)
+    | Some (ca, ra), Some (cb, rb) when Int.equal ca cb ->
+      Some (ca, Ranges.union ra rb)
     | _ -> None
   end
   | And (a, b) -> begin
     match (range_form source a, range_form source b) with
-    | Some (ca, ra), Some (cb, rb) when ca = cb -> Some (ca, Ranges.intersect ra rb)
+    | Some (ca, ra), Some (cb, rb) when Int.equal ca cb ->
+      Some (ca, Ranges.intersect ra rb)
     | _ -> None
   end
   | _ -> None
@@ -230,9 +232,11 @@ let choose_access source conjuncts =
     conjuncts;
   let candidates = Hashtbl.fold (fun col r acc -> (col, r) :: acc) constraints [] in
   let bounded =
-    List.filter (fun (_, r) -> r <> Ranges.full && r <> Ranges.empty) candidates
+    List.filter
+      (fun (_, r) -> (not (Ranges.equal r Ranges.full)) && not (Ranges.is_empty r))
+      candidates
   in
-  let unbounded_empty = List.filter (fun (_, r) -> r = Ranges.empty) candidates in
+  let unbounded_empty = List.filter (fun (_, r) -> Ranges.is_empty r) candidates in
   match (unbounded_empty, bounded) with
   | (col, _) :: _, _ -> Index_scan { col; ranges = Ranges.empty }
   | [], [] -> Seq_scan
@@ -272,7 +276,7 @@ let classify_conjuncts sources conjuncts =
         | Cmp (Eq, a, b) -> begin
           let owner e = List.find_opt (fun s -> refs_within [ s ] e) sources in
           match (owner a, owner b) with
-          | Some sa, Some sb when sa.alias <> sb.alias ->
+          | Some sa, Some sb when not (String.equal sa.alias sb.alias) ->
             joins := (sa, a, sb, b) :: !joins
           | _ -> residual := conjunct :: !residual
         end
@@ -512,9 +516,11 @@ and run_select ?plan ~catalog ~stats select =
         let pick =
           List.find_opt
             (fun (sa, _, sb, _) ->
-              let placed_has s = List.exists (fun p -> p.alias = s.alias) !placed in
+              let placed_has s =
+                List.exists (fun p -> String.equal p.alias s.alias) !placed
+              in
               let pending_has s =
-                List.exists (fun (p, _) -> p.alias = s.alias) !remaining
+                List.exists (fun (p, _) -> String.equal p.alias s.alias) !remaining
               in
               (placed_has sa && pending_has sb) || (placed_has sb && pending_has sa))
             !unused_joins
@@ -522,7 +528,9 @@ and run_select ?plan ~catalog ~stats select =
         match pick with
         | Some ((sa, ea, sb, eb) as j) ->
           unused_joins := List.filter (fun j' -> j' != j) !unused_joins;
-          let placed_has s = List.exists (fun p -> p.alias = s.alias) !placed in
+          let placed_has s =
+            List.exists (fun p -> String.equal p.alias s.alias) !placed
+          in
           let outer_expr, inner_src, inner_expr =
             if placed_has sa then (ea, sb, eb) else (eb, sa, ea)
           in
@@ -531,12 +539,17 @@ and run_select ?plan ~catalog ~stats select =
             | Some rows -> rows
             | None ->
               (match
-                 List.find_opt (fun (p, _) -> p.alias = inner_src.alias) !remaining
+                 List.find_opt
+                   (fun (p, _) -> String.equal p.alias inner_src.alias)
+                   !remaining
                with
               | Some (_, rows) -> rows
               | None -> error "join planning inconsistency")
           in
-          remaining := List.filter (fun (p, _) -> p.alias <> inner_src.alias) !remaining;
+          remaining :=
+            List.filter
+              (fun (p, _) -> not (String.equal p.alias inner_src.alias))
+              !remaining;
           let outer_key =
             Eval.compile ~subquery (env_of !placed) outer_expr
           in
@@ -759,7 +772,7 @@ and alias_index ~columns e =
   | Col (None, name) -> begin
     let rec find i = function
       | [] -> None
-      | c :: rest -> if c = name then Some i else find (i + 1) rest
+      | c :: rest -> if String.equal c name then Some i else find (i + 1) rest
     in
     find 0 columns
   end

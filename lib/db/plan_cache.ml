@@ -66,7 +66,7 @@ let miss t =
 
 let find t ~key ~epoch =
   match Hashtbl.find_opt t.table key with
-  | Some e when e.epoch = epoch ->
+  | Some e when Int.equal e.epoch epoch ->
     touch t e;
     t.stats.hits <- t.stats.hits + 1;
     Metrics.inc m_hits;

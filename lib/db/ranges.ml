@@ -6,6 +6,13 @@ let full = [ (min_int, max_int) ]
 
 let singleton ~lo ~hi = if lo > hi then [] else [ (lo, hi) ]
 
+let is_empty = function [] -> true | _ :: _ -> false
+
+let equal a b =
+  List.equal
+    (fun (alo, ahi) (blo, bhi) -> Int.equal alo blo && Int.equal ahi bhi)
+    a b
+
 let normalize intervals =
   let sorted =
     List.filter (fun (lo, hi) -> lo <= hi) intervals

@@ -18,6 +18,11 @@ val full : t
 val singleton : lo:int -> hi:int -> t
 (** Empty when [lo > hi]. *)
 
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality on normal forms (monomorphic, lint-clean). *)
+
 val normalize : (int * int) list -> t
 (** Sort, drop empties, merge overlapping/adjacent intervals. *)
 

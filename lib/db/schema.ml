@@ -37,7 +37,7 @@ let check_row t row =
       (fun i v ->
         match Value.type_of v with
         | None -> ()
-        | Some ty -> if ty <> t.cols.(i).ty then ok := false)
+        | Some ty -> if not (Value.ty_equal ty t.cols.(i).ty) then ok := false)
       row;
     !ok
   end

@@ -106,7 +106,10 @@ let lit_to_string = function
        round-trip must be lossless bit-for-bit. Keep a decimal point so the
        lexer reads it back as a float either way. *)
     let short = Printf.sprintf "%.12g" f in
-    let s = if float_of_string short = f then short else Printf.sprintf "%.17g" f in
+    let s =
+      if Float.equal (float_of_string short) f then short
+      else Printf.sprintf "%.17g" f
+    in
     if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
     then s
     else s ^ ".0"

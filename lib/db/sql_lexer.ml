@@ -77,15 +77,15 @@ let tokenize input =
       while not !closed do
         if !pos >= n then raise (Lex_error ("unterminated string", start));
         let ch = input.[!pos] in
-        if ch = '\'' then
-          if peek 1 = Some '\'' then begin
+        if ch = '\'' then begin
+          match peek 1 with
+          | Some '\'' ->
             Buffer.add_char buf '\'';
             pos := !pos + 2
-          end
-          else begin
+          | Some _ | None ->
             closed := true;
             incr pos
-          end
+        end
         else begin
           Buffer.add_char buf ch;
           incr pos

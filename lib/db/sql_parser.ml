@@ -30,7 +30,7 @@ let advance st = st.pos <- st.pos + 1
 
 let accept_keyword st kw =
   match peek st with
-  | KEYWORD k when k = kw ->
+  | KEYWORD k when String.equal k kw ->
     advance st;
     true
   | _ -> false
@@ -38,9 +38,12 @@ let accept_keyword st kw =
 let expect_keyword st kw =
   if not (accept_keyword st kw) then fail st (Printf.sprintf "expected %s" kw)
 
+let peek_is_keyword st kw =
+  match peek st with KEYWORD k -> String.equal k kw | _ -> false
+
 let accept_symbol st sym =
   match peek st with
-  | SYMBOL s when s = sym ->
+  | SYMBOL s when String.equal s sym ->
     advance st;
     true
   | _ -> false
@@ -143,7 +146,7 @@ and parse_from_items st =
   let conjuncts = ref [] in
   let rec joins item =
     let inner = accept_keyword st "INNER" in
-    if inner || peek st = KEYWORD "JOIN" then begin
+    if inner || peek_is_keyword st "JOIN" then begin
       expect_keyword st "JOIN";
       let right = parse_one () in
       expect_keyword st "ON";
@@ -226,7 +229,7 @@ and parse_predicate st =
     advance st;
     expect_symbol st "(";
     let e =
-      if peek st = KEYWORD "SELECT" then begin
+      if peek_is_keyword st "SELECT" then begin
         let sub = parse_select st in
         In_select (lhs, sub)
       end

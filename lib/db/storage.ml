@@ -147,7 +147,7 @@ let body_string db =
         List.map
           (fun col -> (Schema.column_at schema col).Schema.name)
           (Table.indexed_columns table)
-        |> List.sort compare
+        |> List.sort String.compare
       in
       put_int buf (List.length indexed);
       List.iter (put_string buf) indexed)
@@ -216,7 +216,7 @@ let parse_body cur =
 
 let starts_with prefix data =
   String.length data >= String.length prefix
-  && String.sub data 0 (String.length prefix) = prefix
+  && String.equal (String.sub data 0 (String.length prefix)) prefix
 
 let get_u32 cur =
   need cur 4;
@@ -239,7 +239,7 @@ let load_string data =
     let crc = Int32.of_int (get_u32 cur) in
     if String.length data - cur.pos <> body_len then
       raise (Corrupt "body length mismatch");
-    if Crc32.sub data ~pos:cur.pos ~len:body_len <> crc then
+    if not (Int32.equal (Crc32.sub data ~pos:cur.pos ~len:body_len) crc) then
       raise (Corrupt "checksum mismatch");
     guarded (fun () -> parse_body cur)
   end

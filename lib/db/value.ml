@@ -16,6 +16,12 @@ let type_of = function
   | Str _ -> Some TStr
   | Date _ -> Some TDate
 
+let ty_equal (a : ty) (b : ty) =
+  match (a, b) with
+  | TBool, TBool | TInt, TInt | TFloat, TFloat | TStr, TStr | TDate, TDate ->
+    true
+  | (TBool | TInt | TFloat | TStr | TDate), _ -> false
+
 let ty_to_string = function
   | TBool -> "bool"
   | TInt -> "int"
@@ -74,7 +80,7 @@ let to_int = function
 let like_match text pattern =
   let n = String.length text and m = String.length pattern in
   let rec go ti pi star_p star_t =
-    if ti = n && pi = m then true
+    if Int.equal ti n && Int.equal pi m then true
     else if pi < m && pattern.[pi] = '%' then go ti (pi + 1) (pi + 1) ti
     else if ti < n && pi < m && (pattern.[pi] = '_' || pattern.[pi] = text.[ti]) then
       go (ti + 1) (pi + 1) star_p star_t

@@ -15,6 +15,8 @@ val type_of : t -> ty option
 
 val ty_to_string : ty -> string
 
+val ty_equal : ty -> ty -> bool
+
 val compare : t -> t -> int
 (** SQL-flavoured ordering: numerics compare across [Int]/[Float]; [Null]
     sorts first; distinct non-comparable types order by a fixed type rank

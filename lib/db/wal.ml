@@ -36,11 +36,11 @@ let scan data =
   let mlen = String.length magic in
   let n = String.length data in
   if n < mlen then
-    if data = String.sub magic 0 n then
+    if String.equal data (String.sub magic 0 n) then
       (* A crash during the very first write tore the header itself. *)
       { statements = []; torn = n > 0; valid_bytes = 0 }
     else raise (Corrupt "bad wal header")
-  else if String.sub data 0 mlen <> magic then
+  else if not (String.equal (String.sub data 0 mlen) magic) then
     raise (Corrupt "bad wal header")
   else begin
     let u32 at =
@@ -55,7 +55,7 @@ let scan data =
         if len <= 0 || len > max_record || len > n - (pos + 8) then (acc, pos)
         else
           let payload = String.sub data (pos + 8) len in
-          if Crc32.digest payload <> crc then (acc, pos)
+          if not (Int32.equal (Crc32.digest payload) crc) then (acc, pos)
           else go (pos + 8 + len) (payload :: acc)
     in
     let rev_statements, valid_bytes = go mlen [] in
@@ -183,12 +183,13 @@ let since ?(max_bytes = default_chunk_bytes) ~path ~from_pos () =
        follower's history has diverged: it must resync from scratch. *)
     let records = ref [] and taken = ref 0 in
     let cursor = ref head_pos and next = ref start and seen_start = ref false in
-    if start = head_pos then seen_start := true;
+    if Int.equal start head_pos then seen_start := true;
     List.iter
       (fun stmt ->
         let rec_end = !cursor + 8 + String.length stmt in
-        if !cursor = start then seen_start := true;
-        if !seen_start && !next = !cursor
+        if Int.equal !cursor start then seen_start := true;
+        if !seen_start
+           && Int.equal !next !cursor
            && (!taken = 0 || !taken + String.length stmt <= max_bytes)
         then begin
           records := stmt :: !records;
@@ -197,7 +198,7 @@ let since ?(max_bytes = default_chunk_bytes) ~path ~from_pos () =
         end;
         cursor := rec_end)
       scanned.statements;
-    if start = end_pos then seen_start := true;
+    if Int.equal start end_pos then seen_start := true;
     if not !seen_start then
       { records = []; next_pos = head_pos; end_pos; resync = true }
     else

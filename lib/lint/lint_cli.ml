@@ -1,0 +1,109 @@
+(* The mope-lint command line, as a library function so the exit-code and
+   formatting contract is unit-testable. The executable in tools/lint is a
+   two-line shim over [main].
+
+   Exit codes: 0 clean, 1 findings remain, 2 usage error. *)
+
+let usage =
+  "usage: mope-lint [--root DIR] [--suppressions FILE] \
+   [--format text|json|sarif] [--only RULE[,RULE...]] [--list-rules] \
+   [DIR...]\n\
+   Lints every .ml/.mli under the given directories (default: lib bin \
+   bench)\n\
+   and exits non-zero when any unsuppressed finding remains.\n"
+
+type options = {
+  root : string;
+  suppressions : string option;
+  format : Lint_format.format;
+  only : string list option;
+  list_rules : bool;
+  dirs : string list;
+}
+
+let default_options =
+  {
+    root = ".";
+    suppressions = None;
+    format = Lint_format.Text;
+    only = None;
+    list_rules = false;
+    dirs = [];
+  }
+
+let parse_args argv =
+  let n = Array.length argv in
+  let rec go i opts =
+    if i >= n then Ok opts
+    else
+      let value flag k =
+        if i + 1 >= n then Error (Printf.sprintf "%s needs a value" flag)
+        else k argv.(i + 1)
+      in
+      match argv.(i) with
+      | "--root" -> value "--root" (fun v -> go (i + 2) { opts with root = v })
+      | "--suppressions" ->
+        value "--suppressions" (fun v ->
+            go (i + 2) { opts with suppressions = Some v })
+      | "--format" ->
+        value "--format" (fun v ->
+            match Lint_format.of_string v with
+            | Some format -> go (i + 2) { opts with format }
+            | None ->
+              Error
+                (Printf.sprintf
+                   "unknown format %S; expected text, json or sarif" v))
+      | "--only" ->
+        value "--only" (fun v ->
+            let ids = String.split_on_char ',' v |> List.map String.trim in
+            match List.find_opt (fun id -> not (Lint_config.is_rule id)) ids with
+            | Some bad ->
+              Error (Printf.sprintf "unknown rule id %S; see --list-rules" bad)
+            | None -> go (i + 2) { opts with only = Some ids })
+      | "--list-rules" -> go (i + 1) { opts with list_rules = true }
+      | "--help" | "-h" -> Error ""
+      | s when String.length s > 0 && s.[0] = '-' ->
+        Error (Printf.sprintf "unknown option %s" s)
+      | dir -> go (i + 1) { opts with dirs = opts.dirs @ [ dir ] }
+  in
+  go 1 default_options
+
+let main ~argv ~out ~err =
+  match parse_args argv with
+  | Error msg ->
+    if msg <> "" then err ("mope-lint: " ^ msg ^ "\n");
+    err usage;
+    2
+  | Ok opts ->
+    if opts.list_rules then begin
+      List.iter
+        (fun (id, doc) -> out (Printf.sprintf "%-24s %s\n" id doc))
+        Lint_config.rules;
+      0
+    end
+    else begin
+      let dirs =
+        match opts.dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds
+      in
+      let report =
+        Lint_driver.run ~root:opts.root ?suppressions:opts.suppressions dirs
+      in
+      let report =
+        match opts.only with
+        | None -> report
+        | Some ids ->
+          { report with
+            diagnostics =
+              List.filter
+                (fun (d : Lint_diagnostic.t) -> List.mem d.rule ids)
+                report.diagnostics }
+      in
+      out (Lint_format.render opts.format report);
+      let n = List.length report.diagnostics in
+      if opts.format = Lint_format.Text then
+        err
+          (Printf.sprintf
+             "mope-lint: %d file(s) scanned, %d finding(s), %d suppressed\n"
+             report.files_scanned n report.suppressed);
+      if n = 0 then 0 else 1
+    end

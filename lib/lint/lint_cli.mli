@@ -1,0 +1,17 @@
+(** The mope-lint command line as a testable library function.
+
+    The executable in [tools/lint] is a shim over {!main}; unit tests drive
+    the same code with captured output, so the exit-code contract (0 clean,
+    1 findings, 2 usage error) and the [--format] renderings are pinned by
+    tests rather than by convention. *)
+
+val main :
+  argv:string array -> out:(string -> unit) -> err:(string -> unit) -> int
+(** [main ~argv ~out ~err] parses [argv] (a full argv; index 0 is the
+    program name), runs the lint pass, writes the rendered report to [out]
+    and the human summary / usage errors to [err], and returns the exit
+    code: [0] no findings, [1] findings remain after suppression, [2]
+    usage error (unknown flag, bad [--format], unknown rule in [--only]).
+
+    [--list-rules] prints the rule table to [out] and returns [0] without
+    scanning. *)

@@ -1,5 +1,6 @@
 (** Repo-specific policy for mope-lint: which directories each rule covers,
-    which identifiers count as secret material, and which calls are sinks.
+    which identifiers count as secret material, which calls are sinks or
+    block the calling thread, and which files hold wire codecs.
 
     Paths are matched on the normalized relative path from the scan root
     (e.g. ["lib/net/server.ml"]), so the same policy applies no matter where
@@ -14,16 +15,30 @@ val in_lib : string -> bool
 val in_serving : string -> bool
 (** Under [lib/net/] or [lib/db/] — error-discipline rules apply here. *)
 
-val in_crypto_sensitive : string -> bool
-(** Under [lib/ope/] or [lib/crypto/] — polymorphic-compare rules apply. *)
+val in_poly_compare : string -> bool
+(** Under [lib/ope/], [lib/crypto/], [lib/cluster/] or [lib/db/] —
+    polymorphic-compare rules apply (ciphertexts, keys, shard bounds and
+    WAL cursors all live here). *)
 
-val in_net : string -> bool
-(** Under [lib/net/] — lock-discipline rules apply here. *)
+val in_lock_scope : string -> bool
+(** Under [lib/net/] or [lib/cluster/] — lock-discipline rules
+    (lock-unprotected, lock-order, lock-blocking) apply here. *)
+
+val wire_files : string list
+(** Files holding a versioned wire codec, checked by [wire-symmetry]. *)
 
 val secret_names : string list
 (** Identifier / record-field names treated as secret material. An ident or
     field whose last path component is in this list may not appear inside an
     argument to a sink. *)
+
+val secret_constructors : string list list
+(** Call paths whose return value is secret regardless of naming
+    ([Drbg.create], ...) — interprocedural taint seeds. *)
+
+val taint_sanitizers : string list list
+(** Call paths whose return value is never secret even when an argument is
+    ([String.length], ...) — they terminate a taint walk. *)
 
 val sink_modules : string list
 (** Module heads whose calls (and constructors / record labels) are sinks:
@@ -32,11 +47,25 @@ val sink_modules : string list
 val sink_values : string list
 (** Unqualified functions that are sinks ([print_endline], ...). *)
 
+val blocking_paths : (string list * string) list
+(** Path prefixes of calls that park the calling thread, with a short
+    human label ("sleep", "client RPC", ...) for diagnostics. *)
+
+val thread_escape_paths : string list list
+(** Calls whose lambda arguments run on another thread ([Thread.create],
+    [Domain.spawn]): lock contexts do not propagate into them. *)
+
 val generic_exceptions : string list
 (** Built-in exception constructors that serving code may not [raise]
     directly; domain exceptions ([Corrupt], [Protocol_error], ...) and
     re-raises of caught values stay legal. *)
 
+val max_call_depth : int
+(** Bound on every cross-module walk in phase 2. *)
+
 val rules : (string * string) list
 (** [rule-id, one-line description] for every rule the pass implements,
     including the meta diagnostics the driver can emit. *)
+
+val is_rule : string -> bool
+(** Whether the id names a known rule. *)

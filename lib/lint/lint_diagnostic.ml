@@ -3,14 +3,18 @@ type t = {
   line : int;
   col : int;
   rule : string;
+  def : string;
+  witness : string list;
   message : string;
 }
 
-let v ~file ~line ~col ~rule message = { file; line; col; rule; message }
+let v ?(def = "") ?(witness = []) ~file ~line ~col ~rule message =
+  { file; line; col; rule; def; witness; message }
 
-let of_location ~file (loc : Location.t) ~rule message =
+let of_location ?def ?witness ~file (loc : Location.t) ~rule message =
   let p = loc.loc_start in
-  v ~file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) ~rule message
+  v ?def ?witness ~file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) ~rule
+    message
 
 let compare a b =
   let c = String.compare a.file b.file in
@@ -20,7 +24,15 @@ let compare a b =
     if c <> 0 then c
     else
       let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
 
-let to_string { file; line; col; rule; message } =
-  Printf.sprintf "%s:%d:%d %s %s" file line col rule message
+let to_string { file; line; col; rule; message; witness; _ } =
+  let w =
+    match witness with
+    | [] -> ""
+    | chain -> Printf.sprintf " [witness: %s]" (String.concat " -> " chain)
+  in
+  Printf.sprintf "%s:%d:%d %s %s%s" file line col rule message w

@@ -1,19 +1,43 @@
-(** A single lint finding: location, rule id, human-readable message.
+(** A single lint finding: location, rule id, enclosing definition,
+    human-readable message, and (for whole-program rules) the witness chain
+    that carries the flow from cause to sink.
 
-    Rendered as [file:line:col rule-id message] — the format CI greps and
-    the suppression file keys on. *)
+    Rendered as [file:line:col rule-id message [witness: a -> b -> c]] —
+    the format CI greps; the suppression file keys on [file]/[line]/[rule]
+    (legacy entries) or [file]/[def]/[rule] (content-anchored entries). *)
 
 type t = {
   file : string;  (** path relative to the scan root, ['/']-separated *)
   line : int;     (** 1-based *)
   col : int;      (** 0-based, as in compiler locations *)
   rule : string;  (** kebab-case rule id, e.g. ["secret-flow"] *)
+  def : string;
+      (** name of the enclosing top-level definition, [""] when the finding
+          is not inside one — anchors content-addressed suppressions *)
+  witness : string list;
+      (** call chain from the flagged site to the sink / cycle, outermost
+          first; empty for purely local findings *)
   message : string;
 }
 
-val v : file:string -> line:int -> col:int -> rule:string -> string -> t
+val v :
+  ?def:string ->
+  ?witness:string list ->
+  file:string ->
+  line:int ->
+  col:int ->
+  rule:string ->
+  string ->
+  t
 
-val of_location : file:string -> Location.t -> rule:string -> string -> t
+val of_location :
+  ?def:string ->
+  ?witness:string list ->
+  file:string ->
+  Location.t ->
+  rule:string ->
+  string ->
+  t
 (** Take line/col from the location's start position. *)
 
 val compare : t -> t -> int

@@ -26,25 +26,68 @@ let source_files ~root dirs =
   List.iter walk dirs;
   List.sort_uniq String.compare !acc
 
-let run ~root ?suppressions dirs =
-  let files = source_files ~root dirs in
-  let raw =
-    List.concat_map (fun rel -> Lint_rules.check_file ~root rel) files
+(* Parse each file once; the tree feeds both the per-file rules and the
+   phase-1 summary, then phase 2 runs over the merged summaries. *)
+let analyze ?suppress sources =
+  let summaries = ref [] in
+  let per_file =
+    List.concat_map
+      (fun (file, contents) ->
+        let file = Lint_config.normalize file in
+        if Filename.check_suffix file ".mli" then
+          Lint_rules.check_source ~file contents
+        else begin
+          let lexbuf = Lexing.from_string contents in
+          Lexing.set_filename lexbuf file;
+          match Parse.implementation lexbuf with
+          | structure ->
+            summaries := Lint_summary.of_structure ~file structure :: !summaries;
+            Lint_rules.check_impl ~file structure
+          | exception _ ->
+            let p = lexbuf.lex_curr_p in
+            [ Lint_diagnostic.v ~file ~line:p.pos_lnum
+                ~col:(p.pos_cnum - p.pos_bol) ~rule:"parse-error"
+                "file does not parse; see dune build for the real error" ]
+        end)
+      sources
   in
+  let global = Lint_global.check (List.rev !summaries) in
+  let raw = per_file @ global in
   let diagnostics, suppressed =
-    match suppressions with
+    match suppress with
     | None -> (raw, 0)
-    | Some path ->
-      let sup = Lint_suppress.load ~root path in
+    | Some sup ->
       let remaining, unused = Lint_suppress.apply sup raw in
       let meta =
         Lint_suppress.diagnostics sup
-        @ Lint_suppress.unused_diagnostics ~file:path unused
+        @ Lint_suppress.unused_diagnostics ~file:(Lint_suppress.source sup)
+            unused
       in
       (remaining @ meta, List.length raw - List.length remaining)
   in
   {
-    diagnostics = List.sort Lint_diagnostic.compare diagnostics;
-    files_scanned = List.length files;
+    diagnostics = List.sort_uniq Lint_diagnostic.compare diagnostics;
+    files_scanned = List.length sources;
     suppressed;
   }
+
+let check_sources sources = (analyze sources).diagnostics
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run ~root ?suppressions dirs =
+  let files = source_files ~root dirs in
+  let sources =
+    List.filter_map
+      (fun rel ->
+        match read_file (Filename.concat root rel) with
+        | contents -> Some (rel, contents)
+        | exception Sys_error _ -> None)
+      files
+  in
+  let suppress = Option.map (Lint_suppress.load ~root) suppressions in
+  analyze ?suppress sources

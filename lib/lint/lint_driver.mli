@@ -1,4 +1,6 @@
-(** Walk source directories, lint every [.ml]/[.mli], apply suppressions.
+(** Walk source directories, parse every [.ml]/[.mli] once, run both rule
+    phases (per-file {!Lint_rules}, whole-program {!Lint_summary} +
+    {!Lint_global}), apply suppressions.
 
     Deterministic: files are visited in sorted path order and diagnostics come
     back sorted, so CI output is stable across machines. *)
@@ -15,6 +17,14 @@ val source_files : root:string -> string list -> string list
 (** [source_files ~root dirs] is every [.ml] and [.mli] under the given
     directories (relative to [root]), as sorted normalized relative paths.
     [_build], [.git], and hidden directories are skipped. *)
+
+val analyze : ?suppress:Lint_suppress.t -> (string * string) list -> report
+(** [analyze sources] lints in-memory [(path, contents)] pairs: per-file
+    rules on each, then the whole-program rules over all of them together.
+    The unit tests build multi-file fixtures with this. *)
+
+val check_sources : (string * string) list -> Lint_diagnostic.t list
+(** [analyze] without suppressions, returning just the diagnostics. *)
 
 val run : root:string -> ?suppressions:string -> string list -> report
 (** Lint all sources under [dirs]. [suppressions] is a path relative to

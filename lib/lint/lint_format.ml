@@ -1,0 +1,83 @@
+(* Render a lint report as plain text, JSON, or SARIF 2.1.0. All JSON is
+   hand-rolled (no dependencies); strings go through one escaper that
+   covers quotes, backslashes and control characters. *)
+
+type format = Text | Json | Sarif
+
+let of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | "sarif" -> Some Sarif
+  | _ -> None
+
+let json_string s =
+  let b = Buffer.create (String.length s + 8) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_list f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
+
+let text (r : Lint_driver.report) =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string b (Lint_diagnostic.to_string d);
+      Buffer.add_char b '\n')
+    r.diagnostics;
+  Buffer.contents b
+
+let diag_json (d : Lint_diagnostic.t) =
+  Printf.sprintf
+    "{\"file\":%s,\"line\":%d,\"col\":%d,\"rule\":%s,\"def\":%s,\
+     \"message\":%s,\"witness\":%s}"
+    (json_string d.file) d.line d.col (json_string d.rule)
+    (json_string d.def) (json_string d.message)
+    (json_list json_string d.witness)
+
+let json (r : Lint_driver.report) =
+  Printf.sprintf
+    "{\"files_scanned\":%d,\"suppressed\":%d,\"findings\":%s}\n"
+    r.files_scanned r.suppressed
+    (json_list diag_json r.diagnostics)
+
+let sarif_rule (id, doc) =
+  Printf.sprintf "{\"id\":%s,\"shortDescription\":{\"text\":%s}}"
+    (json_string id) (json_string doc)
+
+let sarif_result (d : Lint_diagnostic.t) =
+  let message =
+    match d.witness with
+    | [] -> d.message
+    | chain -> d.message ^ " [witness: " ^ String.concat " -> " chain ^ "]"
+  in
+  Printf.sprintf
+    "{\"ruleId\":%s,\"level\":\"error\",\"message\":{\"text\":%s},\
+     \"locations\":[{\"physicalLocation\":{\"artifactLocation\":\
+     {\"uri\":%s},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+    (json_string d.rule) (json_string message) (json_string d.file)
+    (max 1 d.line) (d.col + 1)
+
+let sarif (r : Lint_driver.report) =
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+     \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+     \"name\":\"mope-lint\",\"informationUri\":\
+     \"https://example.invalid/mope-lint\",\"rules\":%s}},\"results\":%s}]}\n"
+    (json_list sarif_rule Lint_config.rules)
+    (json_list sarif_result r.diagnostics)
+
+let render fmt r =
+  match fmt with Text -> text r | Json -> json r | Sarif -> sarif r

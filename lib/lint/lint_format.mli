@@ -1,0 +1,13 @@
+(** Render a {!Lint_driver.report} for the CLI: human text (one finding per
+    line, the format CI greps), machine JSON, or SARIF 2.1.0 for code-scanning
+    upload. All JSON is emitted without dependencies and with full string
+    escaping. *)
+
+type format = Text | Json | Sarif
+
+val of_string : string -> format option
+(** Recognizes ["text"], ["json"], ["sarif"]. *)
+
+val render : format -> Lint_driver.report -> string
+(** The rendered report, newline-terminated (empty for an empty text
+    report). *)

@@ -1,0 +1,622 @@
+(* Phase 2 of the whole-program pass: merge the per-file summaries from
+   {!Lint_summary} and run the three cross-module rule families —
+   interprocedural secret taint ([secret-flow-interproc]), lock discipline
+   across call chains ([lock-order], [lock-blocking]), and wire codec
+   symmetry ([wire-symmetry]).
+
+   Every walk here is bounded by {!Lint_config.max_call_depth} and memoized,
+   so the pass stays linear-ish in the number of call events even with
+   recursive call graphs. Results are deterministic: summaries arrive in
+   sorted file order and every accumulation below either preserves that
+   order or sorts before reporting. *)
+
+open Lint_summary
+
+type t = {
+  index : (string * string, fn) Hashtbl.t;  (* (module, fn name) -> fn *)
+  files : file_summary list;
+}
+
+let build files =
+  let index = Hashtbl.create 256 in
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun f -> Hashtbl.replace index (f.fn_module, f.fn_name) f)
+        fs.fs_fns)
+    files;
+  { index; files }
+
+let qual f = f.fn_module ^ "." ^ f.fn_name
+let join = String.concat "."
+
+let starts_with ~prefix s =
+  let lp = String.length prefix in
+  String.length s >= lp && String.sub s 0 lp = prefix
+
+(* Cross-library references go through the wrapper module
+   ([Mope_net.Client.fetch]); drop the wrapper so [Client.fetch] and the
+   qualified form resolve identically. Single-module wrappers
+   ([Mope_obs.log]) keep their head — stripping would orphan them. *)
+let strip_wrapper = function
+  | head :: (_ :: _ as rest) when starts_with ~prefix:"Mope_" head -> rest
+  | parts -> parts
+
+let resolve t ~module_ path =
+  let candidates =
+    match path with
+    | [ f ] -> [ (module_, f) ]
+    | [ m; f ] -> [ (module_, m ^ "." ^ f); (m, f) ]
+    | [ m; sub; f ] -> [ (m, sub ^ "." ^ f) ]
+    | _ -> []
+  in
+  List.find_map (fun key -> Hashtbl.find_opt t.index key) candidates
+
+let is_sink = function
+  | [ v ] -> List.mem v Lint_config.sink_values
+  | head :: _ :: _ -> List.mem head Lint_config.sink_modules
+  | _ -> false
+
+let is_sanitizer path = List.mem path Lint_config.taint_sanitizers
+let is_secret_ctor path = List.mem path Lint_config.secret_constructors
+
+let blocking_label path =
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | x :: a', y :: b' -> String.equal x y && is_prefix a' b'
+    | _ :: _, [] -> false
+  in
+  List.find_map
+    (fun (prefix, label) -> if is_prefix prefix path then Some label else None)
+    Lint_config.blocking_paths
+
+let emit diags ~file ~line ~col ~def ~witness ~rule msg =
+  diags :=
+    Lint_diagnostic.v ~def ~witness ~file ~line ~col ~rule msg :: !diags
+
+(* ---------- interprocedural secret taint ---------- *)
+
+(* Is this source secret, and if so what should the diagnostic call it?
+   [param_secret.(i)] carries the verdict for parameter [i] in the current
+   evaluation context (set when descending into a callee's return sources).
+   [skip_direct] is true exactly when the value flows straight into a sink
+   at the site being checked: a lexically visible secret there is the
+   per-file [secret-flow] rule's finding, not ours. *)
+let rec secret_of_source t ~module_ ~param_secret ~skip_direct ~depth src =
+  if depth <= 0 then None
+  else
+    match src with
+    | Sparam i -> (
+      match List.nth_opt param_secret i with Some v -> v | None -> None)
+    | Ssecret { name; direct } ->
+      if direct && skip_direct then None else Some name
+    | Scall { callee; args } -> (
+      let callee = strip_wrapper callee in
+      if is_sanitizer callee then None
+      else if is_secret_ctor callee then Some (join callee)
+      else
+        let arg_secret =
+          List.map
+            (fun srcs ->
+              List.find_map
+                (secret_of_source t ~module_ ~param_secret ~skip_direct
+                   ~depth:(depth - 1))
+                srcs)
+            args
+        in
+        match resolve t ~module_ callee with
+        | Some g ->
+          List.find_map
+            (secret_of_source t ~module_:g.fn_module ~param_secret:arg_secret
+               ~skip_direct:false ~depth:(depth - 1))
+            g.fn_ret
+        | None ->
+          (* Unresolved call: conservatively assume it forwards taint. *)
+          List.find_map Fun.id arg_secret)
+
+(* Does this source carry the function's parameter [idx]? *)
+let rec carries ~idx = function
+  | Sparam i -> i = idx
+  | Ssecret _ -> false
+  | Scall { callee; args } ->
+    (not (is_sanitizer (strip_wrapper callee)))
+    && List.exists (List.exists (carries ~idx)) args
+
+(* [param_sink g idx]: if a value arriving as parameter [idx] of [g] can
+   reach a sink (possibly through further calls), the witness chain from
+   [g] to the sink. Memoized per (fn, idx); the pre-seeded [None] breaks
+   recursion cycles. *)
+let make_param_sink t =
+  let memo = Hashtbl.create 64 in
+  let rec param_sink g idx depth =
+    if depth <= 0 then None
+    else
+      let key = (g.fn_module, g.fn_name, idx) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+        Hashtbl.add memo key None;
+        let r =
+          List.find_map
+            (fun ev ->
+              let callee = strip_wrapper ev.ev_callee in
+              if is_sink callee then
+                if List.exists (List.exists (carries ~idx)) ev.ev_args then
+                  Some [ qual g; join callee ]
+                else None
+              else
+                match resolve t ~module_:g.fn_module callee with
+                | Some h ->
+                  let rec scan j = function
+                    | [] -> None
+                    | srcs :: tl ->
+                      if List.exists (carries ~idx) srcs then
+                        match param_sink h j (depth - 1) with
+                        | Some chain -> Some (qual g :: chain)
+                        | None -> scan (j + 1) tl
+                      else scan (j + 1) tl
+                  in
+                  scan 0 ev.ev_args
+                | None -> None)
+            g.fn_events
+        in
+        Hashtbl.replace memo key r;
+        r
+  in
+  param_sink
+
+let check_taint t diags =
+  let param_sink = make_param_sink t in
+  let depth = Lint_config.max_call_depth in
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun f ->
+          (* A parameter whose own name marks it secret ([key], [offset],
+             ...) seeds the walk when handed to a callee; used directly in
+             a sink it is lexically visible and the per-file rule's find. *)
+          let named_params =
+            List.map
+              (fun p ->
+                if List.mem p Lint_config.secret_names then Some p else None)
+              f.fn_params
+          in
+          List.iter
+            (fun ev ->
+              let callee = strip_wrapper ev.ev_callee in
+              if is_sink callee then
+                (* Indirect flow into a sink: through a let-binding or a
+                   callee's return value. Lexically visible secrets are the
+                   per-file rule's findings and are skipped here. *)
+                List.iter
+                  (fun srcs ->
+                    match
+                      List.find_map
+                        (secret_of_source t ~module_:f.fn_module
+                           ~param_secret:[] ~skip_direct:true ~depth)
+                        srcs
+                    with
+                    | Some name ->
+                      emit diags ~file:fs.fs_file ~line:ev.ev_line
+                        ~col:ev.ev_col ~def:f.fn_name
+                        ~witness:[ qual f; join callee ]
+                        ~rule:"secret-flow-interproc"
+                        (Printf.sprintf
+                           "secret value %S reaches sink %s through data \
+                            flow; log a digest or redact it"
+                           name (join callee))
+                    | None -> ())
+                  ev.ev_args
+              else
+                match resolve t ~module_:f.fn_module callee with
+                | Some g ->
+                  List.iteri
+                    (fun j srcs ->
+                      match
+                        List.find_map
+                          (secret_of_source t ~module_:f.fn_module
+                             ~param_secret:named_params ~skip_direct:false
+                             ~depth)
+                          srcs
+                      with
+                      | Some name -> (
+                        match param_sink g j depth with
+                        | Some chain ->
+                          emit diags ~file:fs.fs_file ~line:ev.ev_line
+                            ~col:ev.ev_col ~def:f.fn_name
+                            ~witness:(qual f :: chain)
+                            ~rule:"secret-flow-interproc"
+                            (Printf.sprintf
+                               "secret value %S passed to %s flows to sink \
+                                %s; log a digest or redact it"
+                               name (qual g)
+                               (match List.rev chain with
+                                | s :: _ -> s
+                                | [] -> "?"))
+                        | None -> ())
+                      | None -> ())
+                    ev.ev_args
+                | None -> ())
+            f.fn_events)
+        fs.fs_fns)
+    t.files
+
+(* ---------- lock discipline ---------- *)
+
+let subst_lock arg_locks = function
+  | Lparam i -> (
+    match List.nth_opt arg_locks i with Some (Some l) -> Some l | _ -> None)
+  | l -> Some l
+
+let union_locks a b =
+  List.fold_left
+    (fun acc l -> if List.exists (lock_equal l) acc then acc else acc @ [ l ])
+    a b
+
+let is_concrete = function Lconc _ -> true | Lparam _ -> false
+
+(* [wraps g idx]: locks held whenever [g] invokes its parameter [idx]
+   (directly, or by forwarding it to another function that does).
+   [held g ev]: locks held at event [ev] inside [g], resolving lambda
+   contexts through [wraps]. Mutually recursive fixpoint, memoized. *)
+let make_lock_oracle t =
+  let memo = Hashtbl.create 64 in
+  let rec wraps g idx depth =
+    if depth <= 0 then []
+    else
+      let key = (g.fn_module, g.fn_name, idx) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+        Hashtbl.add memo key [];
+        let r =
+          List.fold_left
+            (fun acc ev ->
+              let acc =
+                if ev.ev_param = Some idx then
+                  union_locks acc (held g ev (depth - 1))
+                else acc
+              in
+              match
+                resolve t ~module_:g.fn_module (strip_wrapper ev.ev_callee)
+              with
+              | Some h ->
+                let rec fwd j acc = function
+                  | [] -> acc
+                  | p :: tl ->
+                    let acc =
+                      if p = Some idx then
+                        let inner =
+                          wraps h j (depth - 1)
+                          |> List.filter_map (subst_lock ev.ev_arg_locks)
+                        in
+                        if inner = [] then acc
+                        else
+                          union_locks (union_locks acc (held g ev (depth - 1)))
+                            inner
+                      else acc
+                    in
+                    fwd (j + 1) acc tl
+                in
+                fwd 0 acc ev.ev_arg_params
+              | None -> acc)
+            [] g.fn_events
+        in
+        Hashtbl.replace memo key r;
+        r
+  and held g ev depth =
+    if depth <= 0 then []
+    else
+      (* [ev_under] is innermost-first. A lambda handed to Thread.create /
+         Domain.spawn runs on another thread, so the first escaping context
+         severs every lock context outside it. *)
+      let rec up acc = function
+        | [] -> acc
+        | Udirect l :: rest -> up (union_locks acc [ l ]) rest
+        | Ulam { callee; arg_idx; arg_locks } :: rest ->
+          let callee = strip_wrapper callee in
+          if List.mem callee Lint_config.thread_escape_paths then acc
+          else
+            let acc =
+              match resolve t ~module_:g.fn_module callee with
+              | Some h ->
+                union_locks acc
+                  (wraps h arg_idx (depth - 1)
+                  |> List.filter_map (subst_lock arg_locks))
+              | None -> acc
+            in
+            up acc rest
+      in
+      up [] ev.ev_under
+  in
+  (wraps, held)
+
+(* [acquires g]: locks [g] takes, directly or through calls; [Lparam]
+   entries are resolved by the caller via [subst_lock]. *)
+let escapes_thread ev =
+  List.exists
+    (function
+      | Ulam { callee; _ } ->
+        List.mem (strip_wrapper callee) Lint_config.thread_escape_paths
+      | Udirect _ -> false)
+    ev.ev_under
+
+let make_acquires t =
+  let memo = Hashtbl.create 64 in
+  let rec acquires g depth =
+    if depth <= 0 then []
+    else
+      let key = (g.fn_module, g.fn_name) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+        Hashtbl.add memo key [];
+        let r =
+          List.fold_left
+            (fun acc ev ->
+              if escapes_thread ev then acc
+              else if ev.ev_callee = [ "Mutex"; "lock" ] then
+                match ev.ev_arg_locks with
+                | Some l :: _ -> union_locks acc [ l ]
+                | _ -> acc
+              else
+                match
+                  resolve t ~module_:g.fn_module (strip_wrapper ev.ev_callee)
+                with
+                | Some h ->
+                  union_locks acc
+                    (acquires h (depth - 1)
+                    |> List.filter_map (subst_lock ev.ev_arg_locks))
+                | None -> acc)
+            [] g.fn_events
+        in
+        Hashtbl.replace memo key r;
+        r
+  in
+  acquires
+
+(* [blocks g]: a blocking call reachable from [g]'s own body (not inside a
+   lambda handed to someone else), as (witness chain, label). *)
+let make_blocks t =
+  let memo = Hashtbl.create 64 in
+  let rec blocks g depth =
+    if depth <= 0 then None
+    else
+      let key = (g.fn_module, g.fn_name) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+        Hashtbl.add memo key None;
+        let r =
+          List.find_map
+            (fun ev ->
+              let inline =
+                List.for_all
+                  (function Ulam _ -> false | Udirect _ -> true)
+                  ev.ev_under
+              in
+              if not inline then None
+              else
+                let callee = strip_wrapper ev.ev_callee in
+                match blocking_label callee with
+                | Some label -> Some ([ join callee ], label)
+                | None -> (
+                  match resolve t ~module_:g.fn_module callee with
+                  | Some h ->
+                    blocks h (depth - 1)
+                    |> Option.map (fun (chain, label) ->
+                           (qual h :: chain, label))
+                  | None -> None))
+            g.fn_events
+        in
+        Hashtbl.replace memo key r;
+        r
+  in
+  blocks
+
+let check_locks t diags =
+  let _, held = make_lock_oracle t in
+  let acquires = make_acquires t in
+  let blocks = make_blocks t in
+  let depth = Lint_config.max_call_depth in
+  (* One representative site per ordered lock pair, in scan order. *)
+  let edges = ref [] in
+  let add_edge l1 l2 site =
+    let key = (lock_name l1, lock_name l2) in
+    if not (List.mem_assoc key !edges) then edges := (key, site) :: !edges
+  in
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun f ->
+          List.iter
+            (fun ev ->
+              let held_here =
+                held f ev depth |> List.filter is_concrete
+              in
+              if held_here <> [] then begin
+                let callee = strip_wrapper ev.ev_callee in
+                (if Lint_config.in_lock_scope fs.fs_file then
+                   match blocking_label callee with
+                   | Some label ->
+                     emit diags ~file:fs.fs_file ~line:ev.ev_line
+                       ~col:ev.ev_col ~def:f.fn_name
+                       ~witness:[ qual f; join callee ]
+                       ~rule:"lock-blocking"
+                       (Printf.sprintf
+                          "blocking call %s (%s) while holding %s; every \
+                           thread needing the lock stalls behind it"
+                          (join callee) label
+                          (String.concat ", "
+                             (List.map lock_name held_here)))
+                   | None -> (
+                     match resolve t ~module_:f.fn_module callee with
+                     | Some h -> (
+                       match blocks h (depth - 1) with
+                       | Some (chain, label) ->
+                         emit diags ~file:fs.fs_file ~line:ev.ev_line
+                           ~col:ev.ev_col ~def:f.fn_name
+                           ~witness:(qual f :: qual h :: chain)
+                           ~rule:"lock-blocking"
+                           (Printf.sprintf
+                              "call to %s reaches blocking %s (%s) while \
+                               holding %s"
+                              (qual h)
+                              (match List.rev chain with
+                               | s :: _ -> s
+                               | [] -> "?")
+                              label
+                              (String.concat ", "
+                                 (List.map lock_name held_here)))
+                       | None -> ())
+                     | None -> ()));
+                (* lock-order edges: held -> acquired at this event *)
+                let acq =
+                  if ev.ev_callee = [ "Mutex"; "lock" ] then
+                    match ev.ev_arg_locks with
+                    | Some l :: _ -> [ l ]
+                    | _ -> []
+                  else
+                    match resolve t ~module_:f.fn_module callee with
+                    | Some h ->
+                      acquires h depth
+                      |> List.filter_map (subst_lock ev.ev_arg_locks)
+                    | None -> []
+                in
+                let acq = List.filter is_concrete acq in
+                List.iter
+                  (fun l1 ->
+                    List.iter
+                      (fun l2 ->
+                        if not (lock_equal l1 l2) then
+                          add_edge l1 l2
+                            (fs.fs_file, ev.ev_line, ev.ev_col, f.fn_name,
+                             qual f))
+                      acq)
+                  held_here
+              end)
+            f.fn_events)
+        fs.fs_fns)
+    t.files;
+  let edges = List.rev !edges in
+  let succs a =
+    List.filter_map
+      (fun ((x, y), _) -> if String.equal x a then Some y else None)
+      edges
+  in
+  let path_exists src dst =
+    let seen = Hashtbl.create 16 in
+    let rec dfs n =
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        List.exists (fun m -> String.equal m dst || dfs m) (succs n)
+      end
+    in
+    dfs src
+  in
+  let reported = Hashtbl.create 8 in
+  List.iter
+    (fun ((a, b), (file, line, col, def, via)) ->
+      if path_exists b a then begin
+        let ckey = if String.compare a b <= 0 then (a, b) else (b, a) in
+        if not (Hashtbl.mem reported ckey) then begin
+          Hashtbl.add reported ckey ();
+          let witness =
+            [ Printf.sprintf "%s -> %s at %s:%d (%s)" a b file line via ]
+            @ (match List.assoc_opt (b, a) edges with
+              | Some (f2, l2, _, _, via2) ->
+                [ Printf.sprintf "%s -> %s at %s:%d (%s)" b a f2 l2 via2 ]
+              | None ->
+                [ Printf.sprintf "%s reaches %s through intermediate locks" b
+                    a ])
+          in
+          emit diags ~file ~line ~col ~def ~witness ~rule:"lock-order"
+            (Printf.sprintf
+               "acquiring %s while holding %s forms a lock-order cycle \
+                (%s is elsewhere held when %s is acquired); pick one global \
+                order"
+               b a b a)
+        end
+      end)
+    edges
+
+(* ---------- wire codec symmetry ---------- *)
+
+let check_wire t diags =
+  List.iter
+    (fun fs ->
+      if List.mem fs.fs_file Lint_config.wire_files && fs.fs_tags <> [] then begin
+        (* Tags referenced by functions reachable (within this module, a few
+           local hops) from each side of the codec. *)
+        let refs_from pred =
+          let seen = Hashtbl.create 16 in
+          let tags = ref [] in
+          let version = ref false in
+          let rec visit f depth =
+            if not (Hashtbl.mem seen f.fn_name) then begin
+              Hashtbl.add seen f.fn_name ();
+              List.iter
+                (fun tname ->
+                  if not (List.mem tname !tags) then tags := tname :: !tags)
+                f.fn_tag_refs;
+              if f.fn_refs_version then version := true;
+              if depth > 0 then
+                List.iter
+                  (fun ev ->
+                    match
+                      resolve t ~module_:fs.fs_module
+                        (strip_wrapper ev.ev_callee)
+                    with
+                    | Some h when String.equal h.fn_module fs.fs_module ->
+                      visit h (depth - 1)
+                    | _ -> ())
+                  f.fn_events
+            end
+          in
+          List.iter (fun f -> if pred f.fn_name then visit f 3) fs.fs_fns;
+          (!tags, !version)
+        in
+        let enc_refs, _ = refs_from (starts_with ~prefix:"encode_") in
+        let dec_refs, dec_version = refs_from (starts_with ~prefix:"decode_") in
+        List.iter
+          (fun (name, value, line) ->
+            let in_enc = List.mem name enc_refs in
+            let in_dec = List.mem name dec_refs in
+            if not (in_enc && in_dec) then
+              emit diags ~file:fs.fs_file ~line ~col:0 ~def:name
+                ~witness:
+                  [ Printf.sprintf "encode:%b decode:%b" in_enc in_dec ]
+                ~rule:"wire-symmetry"
+                (if (not in_enc) && not in_dec then
+                   Printf.sprintf
+                     "tag %s (0x%02X) is referenced by no encode_* or \
+                      decode_* function; dead tag or missing codec arms"
+                     name value
+                 else if in_enc then
+                   Printf.sprintf
+                     "tag %s (0x%02X) has an encode arm but no decode arm; \
+                      peers cannot parse frames carrying it"
+                     name value
+                 else
+                   Printf.sprintf
+                     "tag %s (0x%02X) has a decode arm but no encode arm; \
+                      the decoder branch is unreachable from this codec"
+                     name value))
+          fs.fs_tags;
+        if not dec_version then
+          emit diags ~file:fs.fs_file ~line:1 ~col:0 ~def:""
+            ~witness:[] ~rule:"wire-symmetry"
+            "no function reachable from decode_* checks [version]; gate \
+             decoding on the protocol version before dispatching on tags"
+      end)
+    t.files
+
+let check summaries =
+  let t = build summaries in
+  let diags = ref [] in
+  check_taint t diags;
+  check_locks t diags;
+  check_wire t diags;
+  List.sort_uniq Lint_diagnostic.compare !diags

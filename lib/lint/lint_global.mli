@@ -1,0 +1,21 @@
+(** Phase 2 of the whole-program pass: cross-module rules over the merged
+    {!Lint_summary} summaries.
+
+    Three rule families live here:
+    - [secret-flow-interproc] — secret-named values and {!Lint_config}
+      secret-constructor results reaching a sink through let-bindings,
+      argument passing and returns, across module boundaries; diagnostics
+      carry the witness call chain.
+    - [lock-order] / [lock-blocking] — the mutex acquisition graph: cycles
+      in acquisition order, and blocking calls (sleeps, socket I/O, client
+      RPCs) reachable while a lock is held.
+    - [wire-symmetry] — every op tag defined in a {!Lint_config.wire_files}
+      codec must be referenced from both an [encode_*] and a [decode_*]
+      function, and some function on the decode path must check [version].
+
+    All walks are bounded by {!Lint_config.max_call_depth} and memoized;
+    output is deterministic given deterministically ordered summaries. *)
+
+val check : Lint_summary.file_summary list -> Lint_diagnostic.t list
+(** Run every cross-module rule over the merged summaries. Results are
+    sorted and de-duplicated with {!Lint_diagnostic.compare}. *)

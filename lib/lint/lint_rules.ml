@@ -4,8 +4,11 @@ type ctx = {
   file : string;
   lib : bool;              (* determinism rules *)
   serving : bool;          (* error-discipline rules: lib/net + lib/db *)
-  crypto : bool;           (* poly-compare rules: lib/ope + lib/crypto *)
-  net : bool;              (* lock-discipline rules *)
+  poly : bool;             (* poly-compare rules: ope/crypto/cluster/db *)
+  lock_scope : bool;       (* lock-discipline rules: lib/net + lib/cluster *)
+  local_compare : bool;    (* file defines its own [compare] — exempts
+                              unqualified compare uses from poly-compare *)
+  cur_def : string ref;    (* enclosing top-level binding, for anchoring *)
   diags : Lint_diagnostic.t list ref;
   (* [Mutex.lock] applications sanctioned by an immediately following
      [Fun.protect ~finally:unlock], keyed by (line, col). *)
@@ -13,7 +16,10 @@ type ctx = {
 }
 
 let emit ctx loc rule message =
-  ctx.diags := Lint_diagnostic.of_location ~file:ctx.file loc ~rule message :: !(ctx.diags)
+  ctx.diags :=
+    Lint_diagnostic.of_location ~def:!(ctx.cur_def) ~file:ctx.file loc ~rule
+      message
+    :: !(ctx.diags)
 
 (* ---------- path helpers ---------- *)
 
@@ -88,12 +94,35 @@ let is_sink_path = function
 let is_sink_fn e =
   match path_of_expr e with Some p -> is_sink_path p | None -> false
 
-(* Operands that make a polymorphic compare obviously harmless: literal
-   scalars and bare constant constructors (None, true, [], ...). *)
+(* Operands that make a polymorphic compare obviously harmless: literals,
+   bare constant constructors (None, true, [], ...), known scalar idents,
+   and applications whose result is syntactically scalar — lengths,
+   character/byte reads, arithmetic, int conversions. One benign operand
+   pins the compare to a scalar type, so it cannot be a structural compare
+   over ciphertext/key-shaped data. *)
+let scalar_fns =
+  [ "length"; "get"; "code"; "chr"; "to_int"; "of_int"; "size"; "abs";
+    "succ"; "pred"; "int_of_string"; "int_of_char"; "int_of_float";
+    "char_of_int"; "compare" ]
+
+let scalar_ops =
+  [ "+"; "-"; "*"; "/"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr";
+    "+."; "-."; "*."; "/." ]
+
 let is_benign_operand e =
   match e.pexp_desc with
-  | Pexp_constant (Pconst_integer _ | Pconst_char _ | Pconst_float _) -> true
+  | Pexp_constant
+      (Pconst_integer _ | Pconst_char _ | Pconst_float _ | Pconst_string _) ->
+    true
   | Pexp_construct (_, None) -> true
+  | Pexp_ident { txt = Longident.Lident ("min_int" | "max_int"); _ } -> true
+  | Pexp_apply (fn, _) ->
+    (match path_of_expr fn with
+     | Some parts ->
+       (match last parts with
+        | Some f -> List.mem f scalar_fns || List.mem f scalar_ops
+        | None -> false)
+     | None -> false)
   | _ -> false
 
 let is_lock_app e =
@@ -186,19 +215,35 @@ let check_apply ctx e fn args =
             | None -> ())
          | _ -> ())
        args
-   | Some [ ("=" | "<>" | "compare") ] when ctx.crypto ->
+   | Some [ ("=" | "<>" | "compare") as op ] when ctx.poly ->
      (* poly-compare: both operands non-literal means the compare is
-        structural over ciphertext/key-shaped data. *)
-     let operands = List.filter_map (fun (l, a) -> if l = Asttypes.Nolabel then Some a else None) args in
-     (match operands with
-      | [ a; b ] when not (is_benign_operand a || is_benign_operand b) ->
-        emit ctx e.pexp_loc "poly-compare"
-          "polymorphic compare on crypto-sensitive values; use a monomorphic \
-           equal/compare (String.equal, Int.equal, ...)"
-      | _ -> ())
+        structural over ciphertext/key/cursor-shaped data. A file that
+        defines its own monomorphic [compare] may use it unqualified. *)
+     if not (op = "compare" && ctx.local_compare) then begin
+       let operands = List.filter_map (fun (l, a) -> if l = Asttypes.Nolabel then Some a else None) args in
+       match operands with
+       | [ a; b ] when not (is_benign_operand a || is_benign_operand b) ->
+         emit ctx e.pexp_loc "poly-compare"
+           "polymorphic compare on crypto-sensitive values; use a monomorphic \
+            equal/compare (String.equal, Int.equal, ...)"
+       | _ -> ()
+     end
    | _ -> ());
+  (* poly-compare: bare [compare] handed to a sort/dedup as the ordering —
+     [List.sort_uniq compare xs] is still a structural compare over whatever
+     the list holds. *)
+  if ctx.poly && not ctx.local_compare then
+    List.iter
+      (fun (_, arg) ->
+        match arg.pexp_desc with
+        | Pexp_ident { txt = Longident.Lident "compare"; _ } ->
+          emit ctx arg.pexp_loc "poly-compare"
+            "bare polymorphic compare passed as an ordering; pass the \
+             element type's compare (Value.compare, String.compare, ...)"
+        | _ -> ())
+      args;
   (* lock-unprotected: Mutex.lock not sanctioned by a following Fun.protect *)
-  if ctx.net && is_path fn [ "Mutex"; "lock" ]
+  if ctx.lock_scope && is_path fn [ "Mutex"; "lock" ]
      && not (Hashtbl.mem ctx.sanctioned_locks (loc_key e))
   then
     emit ctx e.pexp_loc "lock-unprotected"
@@ -235,6 +280,13 @@ let check_record ctx fields =
 
 (* ---------- the iterator ---------- *)
 
+let rec binding_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_alias (_, { txt; _ }) -> Some txt
+  | Ppat_constraint (inner, _) -> binding_name inner
+  | _ -> None
+
 let iterator ctx =
   let default = Ast_iterator.default_iterator in
   let expr self e =
@@ -251,14 +303,52 @@ let iterator ctx =
      | Pexp_apply (fn, args) -> check_apply ctx e fn args
      | Pexp_record (fields, _) -> check_record ctx fields
      | Pexp_sequence (e1, e2)
-       when ctx.net && is_lock_app e1 && is_protect_with_unlock e2 ->
+       when ctx.lock_scope && is_lock_app e1 && is_protect_with_unlock e2 ->
        (* Parents are visited before children, so the sanction is recorded
           before [check_apply] sees the lock. *)
        Hashtbl.replace ctx.sanctioned_locks (loc_key e1) ()
      | _ -> ());
     default.expr self e
   in
-  { default with expr }
+  (* Track the enclosing binding so diagnostics carry a [def] anchor for
+     content-addressed suppressions. Submodule bindings recurse through the
+     default iterator and land here too. *)
+  let structure_item self item =
+    match item.pstr_desc with
+    | Pstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          (match binding_name vb.pvb_pat with
+           | Some n -> ctx.cur_def := n
+           | None -> ());
+          default.value_binding self vb)
+        vbs
+    | _ -> default.structure_item self item
+  in
+  { default with expr; structure_item }
+
+(* Does the structure define a top-level (or submodule-level) [compare]? *)
+let defines_compare structure =
+  let found = ref false in
+  let rec scan items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match binding_name vb.pvb_pat with
+              | Some "compare" -> found := true
+              | _ -> ())
+            vbs
+        | Pstr_module
+            { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } ->
+          scan sub
+        | _ -> ())
+      items
+  in
+  scan structure;
+  !found
 
 let make_ctx file =
   let file = Lint_config.normalize file in
@@ -266,34 +356,43 @@ let make_ctx file =
     file;
     lib = Lint_config.in_lib file;
     serving = Lint_config.in_serving file;
-    crypto = Lint_config.in_crypto_sensitive file;
-    net = Lint_config.in_net file;
+    poly = Lint_config.in_poly_compare file;
+    lock_scope = Lint_config.in_lock_scope file;
+    local_compare = false;
+    cur_def = ref "";
     diags = ref [];
     sanctioned_locks = Hashtbl.create 8;
   }
 
-let check_source ~file contents =
-  let ctx = make_ctx file in
-  let lexbuf = Lexing.from_string contents in
-  Lexing.set_filename lexbuf ctx.file;
-  (match
-     if Filename.check_suffix ctx.file ".mli" then
-       `Intf (Parse.interface lexbuf)
-     else `Impl (Parse.implementation lexbuf)
-   with
-  | `Impl structure ->
-    let it = iterator ctx in
-    it.structure it structure
-  | `Intf signature ->
-    let it = iterator ctx in
-    it.signature it signature
-  | exception _ ->
-    let p = lexbuf.lex_curr_p in
-    ctx.diags :=
-      [ Lint_diagnostic.v ~file:ctx.file ~line:p.pos_lnum
-          ~col:(p.pos_cnum - p.pos_bol) ~rule:"parse-error"
-          "file does not parse; see dune build for the real error" ]);
+let check_impl ~file structure =
+  let ctx = { (make_ctx file) with local_compare = defines_compare structure } in
+  let it = iterator ctx in
+  it.structure it structure;
   List.sort_uniq Lint_diagnostic.compare !(ctx.diags)
+
+let check_intf ~file signature =
+  let ctx = make_ctx file in
+  let it = iterator ctx in
+  it.signature it signature;
+  List.sort_uniq Lint_diagnostic.compare !(ctx.diags)
+
+let parse_error_diag ~file (lexbuf : Lexing.lexbuf) =
+  let p = lexbuf.lex_curr_p in
+  Lint_diagnostic.v ~file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol)
+    ~rule:"parse-error" "file does not parse; see dune build for the real error"
+
+let check_source ~file contents =
+  let file = Lint_config.normalize file in
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf file;
+  if Filename.check_suffix file ".mli" then
+    match Parse.interface lexbuf with
+    | signature -> check_intf ~file signature
+    | exception _ -> [ parse_error_diag ~file lexbuf ]
+  else
+    match Parse.implementation lexbuf with
+    | structure -> check_impl ~file structure
+    | exception _ -> [ parse_error_diag ~file lexbuf ]
 
 let check_file ~root rel =
   let path = Filename.concat root rel in

@@ -1,17 +1,26 @@
-(** The mope-lint analysis pass proper: parse one source file with
-    compiler-libs and walk the parsetree with {!Ast_iterator}, emitting
-    {!Lint_diagnostic.t}s for every rule violation.
+(** The per-file half of the mope-lint pass: walk one parsetree with
+    {!Ast_iterator}, emitting {!Lint_diagnostic.t}s for every local rule
+    violation (banned nondeterminism, error discipline, poly-compare,
+    direct secret-flow, unprotected locks).
 
     The pass is purely syntactic — it sees names and shapes, not types — so
     rules are scoped by path ({!Lint_config}) and written to over-approximate;
-    deliberate exceptions go in the suppression file with a justification. *)
+    deliberate exceptions go in the suppression file with a justification.
+    Cross-module rules live in {!Lint_global}; the driver parses each file
+    once and feeds the same tree to both halves. *)
+
+val check_impl : file:string -> Parsetree.structure -> Lint_diagnostic.t list
+(** Run every per-file rule over an already-parsed implementation. [file]
+    is the normalized path relative to the scan root and selects the rule
+    scopes. Results are sorted with {!Lint_diagnostic.compare}. *)
+
+val check_intf : file:string -> Parsetree.signature -> Lint_diagnostic.t list
+(** Same for an interface. *)
 
 val check_source : file:string -> string -> Lint_diagnostic.t list
-(** [check_source ~file contents] lints one file. [file] is the normalized
-    path relative to the scan root and selects both the parser
-    ([.mli] → interface) and the rule scopes. Unparseable input yields a
-    single [parse-error] diagnostic rather than an exception. Results are
-    sorted with {!Lint_diagnostic.compare}. *)
+(** [check_source ~file contents] parses and lints one file ([.mli] →
+    interface parser). Unparseable input yields a single [parse-error]
+    diagnostic rather than an exception. Per-file rules only. *)
 
 val check_file : root:string -> string -> Lint_diagnostic.t list
 (** [check_file ~root rel] reads [root ^ "/" ^ rel] and runs

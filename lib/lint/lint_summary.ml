@@ -1,0 +1,622 @@
+(* Phase 1 of the whole-program pass: reduce every implementation file to a
+   module-qualified summary — which functions it defines, which calls each
+   one makes (with an abstract-source description of every argument), which
+   locks wrap which function parameters, and which wire tags it defines and
+   references. Phase 2 ({!Lint_global}) merges the summaries and runs the
+   cross-module rules; nothing here emits diagnostics.
+
+   The summary is syntactic and deliberately approximate: arguments are
+   matched to parameters positionally, nested lambdas are assumed to run
+   where they are written unless passed to a callee (then the callee's
+   summary decides), and unresolvable calls are treated as opaque. Rules in
+   phase 2 over-approximate on top of this, with the suppression file as
+   the escape hatch. *)
+
+open Parsetree
+
+(* A mutex identity. [Lconc (module, name)] names a lock by the module that
+   takes it and the last path component of the lock expression ([t.lock] in
+   store.ml -> [Lconc ("Store", "lock")]); two instances of one module
+   unify, which is what a static order check wants. [Lparam i] is "whatever
+   lock arrives as parameter [i]" — resolved against the argument at each
+   call site. *)
+type lock = Lconc of string * string | Lparam of int
+
+let lock_name = function
+  | Lconc (m, n) -> m ^ ":" ^ n
+  | Lparam i -> Printf.sprintf "<param %d>" i
+
+let lock_equal a b =
+  match (a, b) with
+  | Lconc (m1, n1), Lconc (m2, n2) -> String.equal m1 m2 && String.equal n1 n2
+  | Lparam i, Lparam j -> Int.equal i j
+  | _ -> false
+
+(* Where a value may have come from, for the taint walk. [direct] on a
+   secret marks that the name occurs lexically inside the expression being
+   summarized — those are the per-file secret-flow rule's findings, and the
+   interprocedural rule skips them to avoid double-reporting. *)
+type source =
+  | Sparam of int
+  | Ssecret of { name : string; direct : bool }
+  | Scall of { callee : string list; args : source list list }
+
+(* Why a call site executes with a lock held: it sits inside a lambda
+   passed as argument [arg_idx] to [callee] (phase 2 asks the callee's
+   summary which locks wrap that parameter), or inside the body of the
+   sanctioned [Mutex.lock l; Fun.protect ~finally:unlock body] shape. *)
+type under =
+  | Ulam of {
+      callee : string list;
+      arg_idx : int;
+      arg_locks : lock option list;  (* the enclosing call's own args *)
+    }
+  | Udirect of lock
+
+type event = {
+  ev_callee : string list;
+  ev_param : int option;  (* [Some i]: the callee is parameter [i] *)
+  ev_args : source list list;
+  ev_arg_locks : lock option list;
+  ev_arg_params : int option list;  (* arg [j] is exactly parameter [i] *)
+  ev_under : under list;
+  ev_line : int;
+  ev_col : int;
+}
+
+type fn = {
+  fn_name : string;  (* unqualified; ["M.f"] for a submodule definition *)
+  fn_module : string;
+  fn_file : string;
+  fn_line : int;
+  fn_params : string list;
+  fn_events : event list;
+  fn_ret : source list;  (* sources flowing into the function's result *)
+  fn_tag_refs : string list;  (* [tag_*] idents referenced anywhere *)
+  fn_refs_version : bool;  (* references the bare ident [version] *)
+}
+
+type file_summary = {
+  fs_file : string;
+  fs_module : string;
+  fs_fns : fn list;
+  fs_tags : (string * int * int) list;  (* name, value, line *)
+}
+
+(* ---------- small helpers ---------- *)
+
+let module_of_file file =
+  let base = Filename.remove_extension (Filename.basename file) in
+  String.capitalize_ascii base
+
+let flatten_longident lid =
+  match Longident.flatten lid with
+  | parts -> Some parts
+  | exception _ -> None
+
+let strip_stdlib = function
+  | "Stdlib" :: (_ :: _ as rest) -> rest
+  | parts -> parts
+
+let path_of_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+    (match flatten_longident txt with
+     | Some parts -> Some (strip_stdlib parts)
+     | None -> None)
+  | _ -> None
+
+let rec last = function [] -> None | [ x ] -> Some x | _ :: tl -> last tl
+
+let is_secret_name n = List.mem n Lint_config.secret_names
+
+let rec pattern_vars p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> [ txt ]
+  | Ppat_alias (inner, { txt; _ }) -> txt :: pattern_vars inner
+  | Ppat_tuple ps -> List.concat_map pattern_vars ps
+  | Ppat_construct (_, Some (_, inner)) -> pattern_vars inner
+  | Ppat_variant (_, Some inner) -> pattern_vars inner
+  | Ppat_record (fields, _) ->
+    List.concat_map (fun (_, p) -> pattern_vars p) fields
+  | Ppat_array ps -> List.concat_map pattern_vars ps
+  | Ppat_or (a, b) -> pattern_vars a @ pattern_vars b
+  | Ppat_constraint (inner, _) -> pattern_vars inner
+  | Ppat_open (_, inner) -> pattern_vars inner
+  | Ppat_lazy inner -> pattern_vars inner
+  | _ -> []
+
+let param_name_of_pattern p =
+  match pattern_vars p with name :: _ -> name | [] -> "_"
+
+(* Split a [fun a b -> body] chain into named parameters and the body. *)
+let rec split_params e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, pat, body) ->
+    let params, inner = split_params body in
+    (param_name_of_pattern pat :: params, inner)
+  | Pexp_newtype (_, body) -> split_params body
+  | Pexp_constraint (inner, _) -> split_params inner
+  | _ -> ([], e)
+
+(* ---------- per-function summarization ---------- *)
+
+type env = (string * source list) list
+
+let lookup env name = List.assoc_opt name env
+
+(* Re-binding a name severs its connection to outer sources. *)
+let shadow env names =
+  List.fold_left (fun env n -> (n, []) :: env) env names
+
+let indirect =
+  List.map (function
+    | Ssecret { name; _ } -> Ssecret { name; direct = false }
+    | s -> s)
+
+let dedup_sources srcs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | s :: tl -> if List.mem s acc then go acc tl else go (s :: acc) tl
+  in
+  go [] srcs
+
+(* Cap the breadth of a source set; a handful is plenty for a witness. *)
+let bound srcs = dedup_sources srcs |> fun l ->
+  if List.length l > 8 then List.filteri (fun i _ -> i < 8) l else l
+
+(* Abstract sources of an expression's value. [depth] bounds recursion
+   through nested applications. *)
+let rec sources ?(depth = 5) (env : env) e : source list =
+  if depth <= 0 then []
+  else
+    let sources_d env e = sources ~depth:(depth - 1) env e in
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+      match flatten_longident txt with
+      | None -> []
+      | Some parts -> (
+        match strip_stdlib parts with
+        | [ x ] -> (
+          match lookup env x with
+          | Some srcs -> indirect srcs
+          | None ->
+            if is_secret_name x then [ Ssecret { name = x; direct = true } ]
+            else [])
+        | parts -> (
+          match last parts with
+          | Some x when is_secret_name x ->
+            [ Ssecret { name = x; direct = true } ]
+          | _ -> [])))
+    | Pexp_field (inner, { txt; _ }) ->
+      let own =
+        match flatten_longident txt with
+        | Some parts -> (
+          match last parts with
+          | Some x when is_secret_name x ->
+            [ Ssecret { name = x; direct = true } ]
+          | _ -> [])
+        | None -> []
+      in
+      bound (own @ sources_d env inner)
+    | Pexp_apply (fn, args) -> (
+      let argss = List.map (fun (_, a) -> sources_d env a) args in
+      match path_of_expr fn with
+      | Some callee -> [ Scall { callee; args = argss } ]
+      | None -> bound (List.concat argss))
+    | Pexp_constant _ -> []
+    | Pexp_construct (_, Some inner) | Pexp_variant (_, Some inner) ->
+      sources_d env inner
+    | Pexp_construct (_, None) | Pexp_variant (_, None) -> []
+    | Pexp_tuple es | Pexp_array es ->
+      bound (List.concat_map (sources_d env) es)
+    | Pexp_record (fields, base) ->
+      let base_s = match base with Some b -> sources_d env b | None -> [] in
+      bound (base_s @ List.concat_map (fun (_, v) -> sources_d env v) fields)
+    | Pexp_let (_, vbs, body) ->
+      let env' =
+        List.fold_left
+          (fun acc vb ->
+            let srcs = sources_d env vb.pvb_expr in
+            List.fold_left
+              (fun acc n -> (n, srcs) :: acc)
+              acc (pattern_vars vb.pvb_pat))
+          env vbs
+      in
+      sources_d env' body
+    | Pexp_sequence (_, e2) -> sources_d env e2
+    | Pexp_ifthenelse (_, e1, e2) ->
+      bound
+        (sources_d env e1
+        @ (match e2 with Some e2 -> sources_d env e2 | None -> []))
+    | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      bound
+        (List.concat_map
+           (fun c ->
+             let env' = shadow env (pattern_vars c.pc_lhs) in
+             sources_d env' c.pc_rhs)
+           cases)
+    | Pexp_constraint (inner, _) | Pexp_coerce (inner, _, _)
+    | Pexp_open (_, inner) | Pexp_letmodule (_, _, inner)
+    | Pexp_lazy inner ->
+      sources_d env inner
+    | Pexp_fun _ | Pexp_function _ -> []
+    | _ -> []
+
+(* Lock identity of an argument expression, if it is lock-shaped. *)
+let lock_of_expr ~module_ env e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    match flatten_longident txt with
+    | Some parts -> (
+      match strip_stdlib parts with
+      | [ x ] -> (
+        match lookup env x with
+        | Some [ Sparam i ] -> Some (Lparam i)
+        | _ -> Some (Lconc (module_, x)))
+      | parts -> (
+        match last parts with
+        | Some x -> Some (Lconc (module_, x))
+        | None -> None))
+    | None -> None)
+  | Pexp_field (_, { txt; _ }) -> (
+    match flatten_longident txt with
+    | Some parts -> (
+      match last parts with
+      | Some x -> Some (Lconc (module_, x))
+      | None -> None)
+    | None -> None)
+  | _ -> None
+
+let arg_param env e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> (
+    match lookup env x with Some [ Sparam i ] -> Some i | _ -> None)
+  | _ -> None
+
+let is_path e parts = path_of_expr e = Some parts
+
+let is_lock_app e =
+  match e.pexp_desc with
+  | Pexp_apply (fn, (_, arg) :: _) when is_path fn [ "Mutex"; "lock" ] ->
+    Some arg
+  | _ -> None
+
+let expr_contains pred e0 =
+  let found = ref false in
+  let it =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          if pred e then found := true;
+          if not !found then Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e0;
+  !found
+
+let is_unlock_ident e = is_path e [ "Mutex"; "unlock" ]
+
+let protect_parts e =
+  match e.pexp_desc with
+  | Pexp_apply (fn, args) when is_path fn [ "Fun"; "protect" ] ->
+    let finally =
+      List.find_opt
+        (fun (label, arg) ->
+          label = Asttypes.Labelled "finally"
+          && expr_contains is_unlock_ident arg)
+        args
+    in
+    let body =
+      List.find_opt (fun (label, _) -> label = Asttypes.Nolabel) args
+    in
+    Some (finally, body)
+  | _ -> None
+
+(* State shared by one function's walk. *)
+type walk = {
+  w_module : string;
+  w_events : event list ref;
+  w_tags : string list ref;
+  w_version : bool ref;
+}
+
+let note_ident w parts =
+  (match parts with
+   | [ x ] ->
+     if String.length x > 4 && String.sub x 0 4 = "tag_" then
+       (if not (List.mem x !(w.w_tags)) then w.w_tags := x :: !(w.w_tags));
+     if String.equal x "version" then w.w_version := true
+   | _ -> ())
+
+let emit_event w ~env ~under ~callee ~args_exprs loc =
+  let p = loc.Location.loc_start in
+  let ev_param =
+    match callee with
+    | [ x ] -> (
+      match lookup env x with Some [ Sparam i ] -> Some i | _ -> None)
+    | _ -> None
+  in
+  w.w_events :=
+    { ev_callee = callee;
+      ev_param;
+      ev_args = List.map (fun a -> bound (sources env a)) args_exprs;
+      ev_arg_locks = List.map (lock_of_expr ~module_:w.w_module env) args_exprs;
+      ev_arg_params = List.map (arg_param env) args_exprs;
+      ev_under = under;
+      ev_line = p.pos_lnum;
+      ev_col = p.pos_cnum - p.pos_bol;
+    }
+    :: !(w.w_events)
+
+(* Walk an expression, emitting one event per application. [under] is the
+   stack of lock contexts the expression executes beneath. *)
+let rec go w (env : env) under e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+    (match flatten_longident txt with
+     | Some parts -> note_ident w (strip_stdlib parts)
+     | None -> ())
+  | Pexp_sequence (e1, e2) -> (
+    (* The sanctioned lock shape: everything inside the protect body (and
+       its finally) runs with the lock held. *)
+    match (is_lock_app e1, protect_parts e2) with
+    | Some lock_arg, Some (finally, body) ->
+      go w env under e1;
+      let lock = lock_of_expr ~module_:w.w_module env lock_arg in
+      let under' =
+        match lock with Some l -> Udirect l :: under | None -> under
+      in
+      (match finally with Some (_, f) -> go w env under' f | None -> ());
+      (match body with
+       | Some (_, b) -> go_called_here w env under' b
+       | None -> ())
+    | _ ->
+      go w env under e1;
+      go w env under e2)
+  | Pexp_apply (fn, args) -> (
+    match protect_parts e with
+    | Some (finally, body) ->
+      (* Fun.protect with no preceding lock still runs both closures
+         here. *)
+      (match finally with Some (_, f) -> go w env under f | None -> ());
+      (match body with Some (_, b) -> go_called_here w env under b | None -> ())
+    | None ->
+      go w env under fn;
+      let callee = path_of_expr fn in
+      let arg_exprs = List.map snd args in
+      let arg_locks =
+        List.map (lock_of_expr ~module_:w.w_module env) arg_exprs
+      in
+      List.iteri
+        (fun idx (_, a) ->
+          match a.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ ->
+            let params, body = split_params a in
+            let env' = shadow env params in
+            let ctx =
+              match callee with
+              | Some c -> [ Ulam { callee = c; arg_idx = idx; arg_locks } ]
+              | None -> []
+            in
+            (match a.pexp_desc with
+             | Pexp_function cases ->
+               List.iter
+                 (fun c ->
+                   let env'' = shadow env' (pattern_vars c.pc_lhs) in
+                   go w env'' (ctx @ under) c.pc_rhs)
+                 cases
+             | _ -> go w env' (ctx @ under) body)
+          | _ -> go w env under a)
+        args;
+      (match callee with
+       | Some c -> emit_event w ~env ~under ~callee:c ~args_exprs:arg_exprs fn.pexp_loc
+       | None -> ()))
+  | Pexp_let (rec_flag, vbs, body) ->
+    List.iter (fun vb -> go w env under vb.pvb_expr) vbs;
+    let env' =
+      List.fold_left
+        (fun acc vb ->
+          let srcs =
+            match vb.pvb_expr.pexp_desc with
+            | Pexp_fun _ | Pexp_function _ -> []
+            | _ -> bound (sources env vb.pvb_expr)
+          in
+          List.fold_left
+            (fun acc n -> (n, srcs) :: acc)
+            acc (pattern_vars vb.pvb_pat))
+        env vbs
+    in
+    ignore rec_flag;
+    go w env' under body
+  | Pexp_fun _ | Pexp_function _ ->
+    (* A lambda not passed anywhere: assume it runs in the current
+       context (local helper idiom). *)
+    let params, body = split_params e in
+    let env' = shadow env params in
+    (match e.pexp_desc with
+     | Pexp_function cases ->
+       List.iter
+         (fun c ->
+           let env'' = shadow env' (pattern_vars c.pc_lhs) in
+           go w env'' under c.pc_rhs)
+         cases
+     | _ -> go w env' under body)
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+    go w env under scrut;
+    List.iter
+      (fun c ->
+        let env' = shadow env (pattern_vars c.pc_lhs) in
+        (match c.pc_guard with Some g -> go w env' under g | None -> ());
+        go w env' under c.pc_rhs)
+      cases
+  | Pexp_ifthenelse (c, t, f) ->
+    go w env under c;
+    go w env under t;
+    (match f with Some f -> go w env under f | None -> ())
+  | Pexp_tuple es | Pexp_array es -> List.iter (go w env under) es
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+    (match arg with Some a -> go w env under a | None -> ())
+  | Pexp_record (fields, base) ->
+    (match base with Some b -> go w env under b | None -> ());
+    List.iter (fun (_, v) -> go w env under v) fields
+  | Pexp_field (inner, _) -> go w env under inner
+  | Pexp_setfield (a, _, b) ->
+    go w env under a;
+    go w env under b
+  | Pexp_while (c, body) ->
+    go w env under c;
+    go w env under body
+  | Pexp_for (pat, lo, hi, _, body) ->
+    go w env under lo;
+    go w env under hi;
+    let env' = shadow env (pattern_vars pat) in
+    go w env' under body
+  | Pexp_constraint (inner, _) | Pexp_coerce (inner, _, _)
+  | Pexp_lazy inner | Pexp_assert inner
+  | Pexp_open (_, inner) | Pexp_letmodule (_, _, inner)
+  | Pexp_newtype (_, inner) | Pexp_letexception (_, inner) ->
+    go w env under inner
+  | _ -> ()
+
+(* A function-shaped value in "called here" position (Fun.protect body):
+   a lambda's interior runs now; a named value is applied now. *)
+and go_called_here w env under e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ ->
+    let params, body = split_params e in
+    let env' = shadow env params in
+    (match e.pexp_desc with
+     | Pexp_function cases ->
+       List.iter
+         (fun c ->
+           let env'' = shadow env' (pattern_vars c.pc_lhs) in
+           go w env'' under c.pc_rhs)
+         cases
+     | _ -> go w env' under body)
+  | Pexp_ident _ -> (
+    match path_of_expr e with
+    | Some callee -> emit_event w ~env ~under ~callee ~args_exprs:[] e.pexp_loc
+    | None -> ())
+  | _ -> go w env under e
+
+(* Sources flowing into the function's result: the tail positions. *)
+let rec tails (env : env) e : source list =
+  match e.pexp_desc with
+  | Pexp_let (_, vbs, body) ->
+    let env' =
+      List.fold_left
+        (fun acc vb ->
+          let srcs = bound (sources env vb.pvb_expr) in
+          List.fold_left
+            (fun acc n -> (n, srcs) :: acc)
+            acc (pattern_vars vb.pvb_pat))
+        env vbs
+    in
+    tails env' body
+  | Pexp_sequence (_, e2) -> tails env e2
+  | Pexp_ifthenelse (_, t, f) ->
+    bound (tails env t @ (match f with Some f -> tails env f | None -> []))
+  | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+    bound
+      (List.concat_map
+         (fun c ->
+           let env' = shadow env (pattern_vars c.pc_lhs) in
+           tails env' c.pc_rhs)
+         cases)
+  | Pexp_constraint (inner, _) | Pexp_open (_, inner) ->
+    tails env inner
+  | Pexp_fun _ | Pexp_function _ -> []
+  | _ -> bound (sources env e)
+
+let summarize_binding ~file ~module_ vb acc =
+  match pattern_vars vb.pvb_pat with
+  | [] -> acc
+  | name :: _ ->
+    let params, body = split_params vb.pvb_expr in
+    let env = List.mapi (fun i p -> (p, [ Sparam i ])) params in
+    let w =
+      { w_module = module_;
+        w_events = ref [];
+        w_tags = ref [];
+        w_version = ref false }
+    in
+    (match body.pexp_desc with
+     | Pexp_function cases ->
+       List.iter
+         (fun c ->
+           let env' = shadow env (pattern_vars c.pc_lhs) in
+           go w env' [] c.pc_rhs)
+         cases
+     | _ -> go w env [] body);
+    let ret =
+      match body.pexp_desc with
+      | Pexp_function cases ->
+        bound
+          (List.concat_map
+             (fun c ->
+               let env' = shadow env (pattern_vars c.pc_lhs) in
+               tails env' c.pc_rhs)
+             cases)
+      | _ -> tails env body
+    in
+    let p = vb.pvb_loc.Location.loc_start in
+    { fn_name = name;
+      fn_module = module_;
+      fn_file = file;
+      fn_line = p.pos_lnum;
+      fn_params = params;
+      fn_events = List.rev !(w.w_events);
+      fn_ret = ret;
+      fn_tag_refs = !(w.w_tags);
+      fn_refs_version = !(w.w_version);
+    }
+    :: acc
+
+let tag_of_binding vb =
+  match (pattern_vars vb.pvb_pat, vb.pvb_expr.pexp_desc) with
+  | [ name ], Pexp_constant (Pconst_integer (repr, _))
+    when String.length name > 4 && String.sub name 0 4 = "tag_" -> (
+    match int_of_string_opt repr with
+    | Some v -> Some (name, v, vb.pvb_loc.Location.loc_start.pos_lnum)
+    | None -> None)
+  | _ -> None
+
+let rec summarize_structure ~file ~module_ ~prefix items (fns, tags) =
+  List.fold_left
+    (fun (fns, tags) item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.fold_left
+          (fun (fns, tags) vb ->
+            let tags =
+              match tag_of_binding vb with
+              | Some t when prefix = "" -> t :: tags
+              | _ -> tags
+            in
+            let fns' =
+              summarize_binding ~file ~module_ vb []
+              |> List.map (fun f ->
+                     if prefix = "" then f
+                     else { f with fn_name = prefix ^ "." ^ f.fn_name })
+            in
+            (fns' @ fns, tags))
+          (fns, tags) vbs
+      | Pstr_module { pmb_name = { txt = Some sub; _ };
+                      pmb_expr = { pmod_desc = Pmod_structure sub_items; _ };
+                      _ } ->
+        let prefix' = if prefix = "" then sub else prefix ^ "." ^ sub in
+        summarize_structure ~file ~module_ ~prefix:prefix' sub_items (fns, tags)
+      | _ -> (fns, tags))
+    (fns, tags) items
+
+let of_structure ~file structure =
+  let file = Lint_config.normalize file in
+  let module_ = module_of_file file in
+  let fns, tags =
+    summarize_structure ~file ~module_ ~prefix:"" structure ([], [])
+  in
+  { fs_file = file;
+    fs_module = module_;
+    fs_fns = List.rev fns;
+    fs_tags = List.rev tags }

@@ -1,0 +1,72 @@
+(** Phase 1 of the whole-program pass: one {!file_summary} per parsed
+    implementation file. The summary records, for every top-level function,
+    its parameters, every call it makes (with abstract sources for each
+    argument and the lock contexts the call executes under), the sources
+    flowing into its return value, and which wire tags it references.
+    {!Lint_global} merges the summaries and runs the cross-module rules. *)
+
+type lock =
+  | Lconc of string * string
+      (** [Lconc (module, name)]: a concrete lock, named by defining module
+          and the last path component of the lock expression. *)
+  | Lparam of int  (** the lock arriving as parameter [i] of the summarized
+                       function, resolved per call site in phase 2 *)
+
+val lock_name : lock -> string
+val lock_equal : lock -> lock -> bool
+
+type source =
+  | Sparam of int  (** the function's parameter [i] *)
+  | Ssecret of { name : string; direct : bool }
+      (** a secret-named ident or field; [direct] when the name occurs
+          lexically in the expression (per-file rule's territory) *)
+  | Scall of { callee : string list; args : source list list }
+      (** result of calling [callee] with arguments drawn from [args] *)
+
+type under =
+  | Ulam of {
+      callee : string list;
+      arg_idx : int;
+      arg_locks : lock option list;
+    }
+      (** inside a lambda passed as argument [arg_idx] to [callee];
+          [arg_locks] are the lock identities of the call's own arguments,
+          used to substitute the callee's [Lparam] locks *)
+  | Udirect of lock
+      (** inside the body of [Mutex.lock l; Fun.protect ~finally:... f] *)
+
+type event = {
+  ev_callee : string list;
+  ev_param : int option;  (** [Some i] when the callee is parameter [i] *)
+  ev_args : source list list;
+  ev_arg_locks : lock option list;
+  ev_arg_params : int option list;
+  ev_under : under list;
+  ev_line : int;
+  ev_col : int;
+}
+
+type fn = {
+  fn_name : string;  (** unqualified; ["Sub.f"] for submodule definitions *)
+  fn_module : string;
+  fn_file : string;
+  fn_line : int;
+  fn_params : string list;
+  fn_events : event list;
+  fn_ret : source list;
+  fn_tag_refs : string list;
+  fn_refs_version : bool;
+}
+
+type file_summary = {
+  fs_file : string;
+  fs_module : string;  (** capitalized basename, e.g. ["Wire"] *)
+  fs_fns : fn list;
+  fs_tags : (string * int * int) list;  (** tag name, value, line *)
+}
+
+val module_of_file : string -> string
+
+val of_structure : file:string -> Parsetree.structure -> file_summary
+(** Summarize one parsed implementation. [file] is the path relative to the
+    scan root; it determines [fs_module]. *)

@@ -1,6 +1,10 @@
+type anchor =
+  | At_line of int
+  | In_def of string
+
 type entry = {
   file : string;
-  line : int;
+  anchor : anchor;
   rule : string;
   justification : string;
   src_line : int;
@@ -13,7 +17,14 @@ let is_comment s =
   let s = String.trim s in
   String.length s > 0 && s.[0] = '#'
 
-(* First whitespace run splits "path:line:rule" from the justification. *)
+let anchor_to_string = function
+  | At_line l -> string_of_int l
+  | In_def d -> "@" ^ d
+
+let token_of_entry e =
+  Printf.sprintf "%s:%s:%s" e.file (anchor_to_string e.anchor) e.rule
+
+(* First whitespace run splits "path:anchor:rule" from the justification. *)
 let split_token line =
   let n = String.length line in
   let rec find i = if i >= n then n else if line.[i] = ' ' || line.[i] = '\t' then i else find (i + 1) in
@@ -22,32 +33,41 @@ let split_token line =
 
 let parse_line ~file ~src_line raw =
   let token, justification = split_token (String.trim raw) in
+  let err rule msg = Error (Lint_diagnostic.v ~file ~line:src_line ~col:0 ~rule msg) in
   match String.split_on_char ':' token with
-  | [ path; line_s; rule ] when path <> "" && rule <> "" -> begin
-    match int_of_string_opt line_s with
-    | Some line when line > 0 ->
-      if justification = "" then
-        Error
-          (Lint_diagnostic.v ~file ~line:src_line ~col:0
-             ~rule:"missing-justification"
-             (Printf.sprintf
-                "suppression for %s:%d:%s has no justification; say why the \
-                 finding is acceptable"
-                path line rule))
+  | [ path; spec; rule ] when path <> "" && rule <> "" -> begin
+    let anchor =
+      if String.length spec > 1 && spec.[0] = '@' then
+        Some (In_def (String.sub spec 1 (String.length spec - 1)))
       else
-        Ok { file = Lint_config.normalize path; line; rule; justification; src_line }
-    | _ ->
-      Error
-        (Lint_diagnostic.v ~file ~line:src_line ~col:0 ~rule:"bad-suppression"
-           (Printf.sprintf "bad line number %S; expected path:line:rule-id"
-              line_s))
+        match int_of_string_opt spec with
+        | Some line when line > 0 -> Some (At_line line)
+        | _ -> None
+    in
+    match anchor with
+    | None ->
+      err "bad-suppression"
+        (Printf.sprintf
+           "bad anchor %S; expected a line number or @definition-name" spec)
+    | Some anchor ->
+      if not (Lint_config.is_rule rule) then
+        err "bad-suppression"
+          (Printf.sprintf "unknown rule id %S; see --list-rules" rule)
+      else if justification = "" then
+        err "missing-justification"
+          (Printf.sprintf
+             "suppression for %s:%s:%s has no justification; say why the \
+              finding is acceptable"
+             path (anchor_to_string anchor) rule)
+      else
+        Ok { file = Lint_config.normalize path; anchor; rule; justification; src_line }
   end
   | _ ->
-    Error
-      (Lint_diagnostic.v ~file ~line:src_line ~col:0 ~rule:"bad-suppression"
-         (Printf.sprintf
-            "cannot parse %S; expected \"path:line:rule-id  justification\""
-            token))
+    err "bad-suppression"
+      (Printf.sprintf
+         "cannot parse %S; expected \"path:line:rule-id  justification\" or \
+          \"path:@def:rule-id  justification\""
+         token)
 
 let parse ~file contents =
   let lines = String.split_on_char '\n' contents in
@@ -82,9 +102,14 @@ let load ~root path =
 
 let entries t = t.items
 let diagnostics t = t.parse_diags
+let source t = t.src
 
 let matches (e : entry) (d : Lint_diagnostic.t) =
-  String.equal e.file d.file && e.line = d.line && String.equal e.rule d.rule
+  String.equal e.file d.file
+  && String.equal e.rule d.rule
+  && (match e.anchor with
+     | At_line l -> d.line = l
+     | In_def name -> d.def <> "" && String.equal d.def name)
 
 let apply t diags =
   let used = Hashtbl.create 16 in
@@ -106,6 +131,6 @@ let unused_diagnostics ~file unused =
     (fun e ->
       Lint_diagnostic.v ~file ~line:e.src_line ~col:0 ~rule:"unused-suppression"
         (Printf.sprintf
-           "suppression %s:%d:%s matched no finding; delete the stale entry"
-           e.file e.line e.rule))
+           "suppression %s matched no finding; delete the stale entry"
+           (token_of_entry e)))
     unused

@@ -1,14 +1,25 @@
 (** The checked-in suppression file.
 
-    One entry per line: [path:line:rule-id  justification]. The justification
-    is mandatory — an entry without one is itself a finding
-    ([missing-justification]), as is a malformed line ([bad-suppression]) or
-    an entry that no longer matches anything ([unused-suppression]); stale
-    suppressions must be deleted, not accumulated. [#] starts a comment. *)
+    One entry per line, two anchor forms:
+    - [path:@def:rule-id  justification] — content-anchored: matches any
+      finding of [rule-id] in [path] whose enclosing top-level definition
+      is [def]. Survives unrelated edits above the site; preferred.
+    - [path:line:rule-id  justification] — legacy line-anchored form, still
+      accepted for findings outside any definition.
+
+    The justification is mandatory — an entry without one is itself a
+    finding ([missing-justification]), as is a malformed line or an unknown
+    rule id ([bad-suppression]) or an entry that no longer matches anything
+    ([unused-suppression]); stale suppressions must be deleted, not
+    accumulated. [#] starts a comment. *)
+
+type anchor =
+  | At_line of int      (** finding is on this exact source line *)
+  | In_def of string    (** finding's enclosing definition has this name *)
 
 type entry = {
   file : string;         (** normalized path relative to the scan root *)
-  line : int;            (** source line the finding is on *)
+  anchor : anchor;
   rule : string;
   justification : string;
   src_line : int;        (** line in the suppression file, for meta diags *)
@@ -27,13 +38,17 @@ val load : root:string -> string -> t
 
 val entries : t -> entry list
 
+val source : t -> string
+(** The suppression file's own path, as given to {!parse} / {!load}. *)
+
 val diagnostics : t -> Lint_diagnostic.t list
 (** Parse-time findings: [bad-suppression] and [missing-justification]. *)
 
 val apply : t -> Lint_diagnostic.t list -> Lint_diagnostic.t list * entry list
 (** [apply t diags] is [(remaining, unused)]: [remaining] drops every
-    diagnostic matched by an entry (same file, line and rule); [unused] is
-    the entries that matched nothing. *)
+    diagnostic matched by an entry (same file and rule, and the anchor
+    agrees — exact line for [At_line], enclosing definition name for
+    [In_def]); [unused] is the entries that matched nothing. *)
 
 val unused_diagnostics : file:string -> entry list -> Lint_diagnostic.t list
 (** Render [unused] entries from {!apply} as [unused-suppression] findings

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Lint smoke test: run the whole-program pass over the real tree, emit the
+# SARIF log CI uploads as an artifact, sanity-check both machine formats,
+# and enforce a wall-clock budget so a quadratic blow-up in the phase-2
+# fixpoints (taint walk, lock closure) fails the build instead of slowly
+# rotting CI.
+#
+# Exercised end to end:
+#   mope-lint --format sarif    SARIF 2.1.0 artifact for code-scanning UIs
+#   mope-lint --format json     machine-readable findings
+#   mope-lint (text)            the @lint gate, timed against the budget
+#
+# Usage: scripts/lint_smoke.sh [SARIF_OUT]
+#   BASELINE_MS   expected wall time in milliseconds (default 2000);
+#                 the run fails when the pass takes more than 3x this.
+set -euo pipefail
+
+SARIF_OUT="${1:-mope-lint.sarif}"
+BASELINE_MS="${BASELINE_MS:-2000}"
+BUDGET_MS=$((BASELINE_MS * 3))
+LINT="./_build/default/tools/lint/mope_lint_cli.exe"
+ARGS=(--root . --suppressions mope-lint.suppressions lib bin bench)
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+dune build tools/lint/mope_lint_cli.exe
+
+# SARIF artifact. A lint failure must still leave the log behind for the
+# upload step, so capture the exit code instead of dying on it.
+sarif_status=0
+"$LINT" --format sarif "${ARGS[@]}" >"$SARIF_OUT" || sarif_status=$?
+[[ $sarif_status -le 1 ]] || fail "lint exited $sarif_status (usage error)"
+grep -q '"version":"2.1.0"' "$SARIF_OUT" || fail "SARIF log missing version"
+grep -q '"name":"mope-lint"' "$SARIF_OUT" || fail "SARIF log missing tool name"
+grep -q '"id":"wire-symmetry"' "$SARIF_OUT" \
+  || fail "SARIF log missing rule metadata"
+echo "SARIF log written to $SARIF_OUT"
+
+# JSON format parses and reports the same verdict.
+json_status=0
+json="$("$LINT" --format json "${ARGS[@]}")" || json_status=$?
+[[ $json_status -eq $sarif_status ]] \
+  || fail "json exit $json_status != sarif exit $sarif_status"
+[[ $json == *'"findings":'* ]] || fail "json output missing findings array"
+
+# Wall-clock budget: 3x the recorded baseline. The pass currently scans
+# the full tree (~170 files, two phases) well under a second on CI-class
+# hardware; tripling the baseline leaves room for noisy neighbours while
+# still catching an accidental exponential walk.
+start_ns=$(date +%s%N)
+lint_status=0
+"$LINT" "${ARGS[@]}" >/dev/null 2>&1 || lint_status=$?
+end_ns=$(date +%s%N)
+elapsed_ms=$(((end_ns - start_ns) / 1000000))
+echo "lint pass: ${elapsed_ms}ms (budget ${BUDGET_MS}ms), exit $lint_status"
+[[ $elapsed_ms -le $BUDGET_MS ]] \
+  || fail "lint took ${elapsed_ms}ms, over the ${BUDGET_MS}ms budget \
+(baseline ${BASELINE_MS}ms x3) — profile the phase-2 fixpoints"
+[[ $lint_status -eq 0 ]] || fail "unsuppressed findings remain (exit $lint_status)"
+
+echo "PASS: lint clean, formats well-formed, runtime within budget"

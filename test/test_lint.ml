@@ -167,15 +167,28 @@ let test_poly_compare_violation () =
     "poly-compare" "polymorphic compare in lib/crypto";
   check_trips ~file:"lib/crypto/cmp.ml"
     "let verify tag expected = tag = expected" "poly-compare"
-    "string-shaped digest compare is flagged"
+    "string-shaped digest compare is flagged";
+  (* Scope now includes the cluster and storage layers: shard bounds and
+     WAL cursors are ciphertext-adjacent. *)
+  check_trips ~file:"lib/cluster/cmp.ml" "let eq a b = a = b" "poly-compare"
+    "polymorphic = in lib/cluster";
+  check_trips ~file:"lib/db/cmp.ml" "let eq a b = a = b" "poly-compare"
+    "polymorphic = in lib/db";
+  (* A bare [compare] handed to sort is the same bug spelled differently. *)
+  check_trips ~file:"lib/db/ord.ml" "let f xs = List.sort_uniq compare xs"
+    "poly-compare" "bare compare passed as an ordering"
 
 let test_poly_compare_clean () =
   check_clean ~file:"lib/ope/cmp.ml" "let eq a b = Int.equal a b"
     "monomorphic equal is clean";
   check_clean ~file:"lib/ope/cmp.ml" "let zero x = x = 0"
     "compare against an int literal is clean";
-  check_clean ~file:"lib/db/cmp.ml" "let eq a b = a = b"
-    "poly compare outside crypto scope is out of scope"
+  check_clean ~file:"lib/system/cmp.ml" "let eq a b = a = b"
+    "poly compare outside the covered layers is out of scope";
+  check_clean ~file:"lib/db/ord.ml" "let f xs = List.sort_uniq Value.compare xs"
+    "a named monomorphic ordering is clean";
+  check_clean ~file:"lib/db/cmp.ml" "let full l = List.length l = 8"
+    "scalar-returning application against a literal is clean"
 
 let test_obj_magic_violation () =
   check_flags ~file:"bench/cast.ml" "let f x = Obj.magic x"
@@ -190,7 +203,10 @@ let test_obj_magic_clean () =
 let test_lock_violation () =
   check_flags ~file:"lib/net/locks.ml"
     "let f l work = Mutex.lock l; let r = work () in Mutex.unlock l; r"
-    [ "lock-unprotected" ] "manual unlock leaks on exception"
+    [ "lock-unprotected" ] "manual unlock leaks on exception";
+  check_flags ~file:"lib/cluster/locks.ml"
+    "let f l work = Mutex.lock l; let r = work () in Mutex.unlock l; r"
+    [ "lock-unprotected" ] "lock discipline covers lib/cluster too"
 
 let test_lock_clean () =
   check_clean ~file:"lib/net/locks.ml"
@@ -199,7 +215,194 @@ let test_lock_clean () =
     "lock + Fun.protect ~finally is the sanctioned idiom";
   check_clean ~file:"lib/db/locks.ml"
     "let f l work = Mutex.lock l; let r = work () in Mutex.unlock l; r"
-    "lock discipline is scoped to lib/net"
+    "lock discipline is scoped to lib/net and lib/cluster"
+
+(* ---------- whole-program: interprocedural taint ---------- *)
+
+(* Multi-file fixtures run through the same two-phase driver as the real
+   tree: phase 1 summarizes every file, phase 2 resolves calls across the
+   fixture "modules" (module name = capitalized basename). *)
+
+let global_diags sources = Lint_driver.check_sources sources
+
+let global_rules sources =
+  List.map (fun d -> d.Lint_diagnostic.rule) (global_diags sources)
+
+let check_global_trips sources rule msg =
+  Alcotest.(check bool) msg true (List.mem rule (global_rules sources))
+
+let check_global_no sources rule msg =
+  Alcotest.(check bool) msg false (List.mem rule (global_rules sources))
+
+(* A sink two call hops away from the secret, across three modules. *)
+let taint_sink_mod = ("lib/ope/sink_mod.ml", "let log_it v = print_endline v\n")
+let taint_mid = ("lib/ope/mid.ml", "let emit v = Sink_mod.log_it v\n")
+
+let test_interproc_taint_violation () =
+  let sources =
+    [ taint_sink_mod; taint_mid;
+      ("lib/ope/top.ml", "let go key = Mid.emit key\n") ]
+  in
+  check_global_trips sources "secret-flow-interproc"
+    "secret reaches a sink through two call hops";
+  let witness =
+    match
+      List.find_opt
+        (fun d -> d.Lint_diagnostic.rule = "secret-flow-interproc")
+        (global_diags sources)
+    with
+    | Some d -> d.Lint_diagnostic.witness
+    | None -> []
+  in
+  Alcotest.(check bool) "diagnostic carries a multi-hop witness chain" true
+    (List.length witness >= 3)
+
+let test_interproc_taint_constructor_seed () =
+  check_global_trips
+    [ taint_sink_mod; taint_mid;
+      ("lib/ope/top.ml", "let go () = let k = Drbg.create 42 in Mid.emit k\n") ]
+    "secret-flow-interproc"
+    "Drbg.create return value is secret regardless of its name"
+
+let test_interproc_taint_clean () =
+  check_global_no
+    [ taint_sink_mod; taint_mid;
+      ("lib/ope/top.ml", "let go key = Mid.emit (String.length key)\n") ]
+    "secret-flow-interproc" "a length measurement sanitizes the taint";
+  check_global_no
+    [ taint_sink_mod; taint_mid;
+      ("lib/ope/top.ml", "let go rows = Mid.emit rows\n") ]
+    "secret-flow-interproc" "neutral-named values flow freely"
+
+(* ---------- whole-program: lock order ---------- *)
+
+let test_lock_order_violation () =
+  check_global_trips
+    [ ( "lib/cluster/lo.ml",
+        "let ab t =\n\
+        \  Mutex.lock t.a;\n\
+        \  Fun.protect ~finally:(fun () -> Mutex.unlock t.a) (fun () ->\n\
+        \      Mutex.lock t.b;\n\
+        \      Fun.protect ~finally:(fun () -> Mutex.unlock t.b) (fun () -> \
+         ()))\n\n\
+         let ba t =\n\
+        \  Mutex.lock t.b;\n\
+        \  Fun.protect ~finally:(fun () -> Mutex.unlock t.b) (fun () ->\n\
+        \      Mutex.lock t.a;\n\
+        \      Fun.protect ~finally:(fun () -> Mutex.unlock t.a) (fun () -> \
+         ()))\n" ) ]
+    "lock-order" "a-then-b on one path, b-then-a on another is a cycle"
+
+let test_lock_order_clean () =
+  check_global_no
+    [ ( "lib/cluster/lo.ml",
+        "let ab t =\n\
+        \  Mutex.lock t.a;\n\
+        \  Fun.protect ~finally:(fun () -> Mutex.unlock t.a) (fun () ->\n\
+        \      Mutex.lock t.b;\n\
+        \      Fun.protect ~finally:(fun () -> Mutex.unlock t.b) (fun () -> \
+         ()))\n\n\
+         let ab2 t =\n\
+        \  Mutex.lock t.a;\n\
+        \  Fun.protect ~finally:(fun () -> Mutex.unlock t.a) (fun () ->\n\
+        \      Mutex.lock t.b;\n\
+        \      Fun.protect ~finally:(fun () -> Mutex.unlock t.b) (fun () -> \
+         ()))\n" ) ]
+    "lock-order" "the same order on every path is fine"
+
+(* ---------- whole-program: blocking under a lock ---------- *)
+
+let test_lock_blocking_direct () =
+  check_global_trips
+    [ ( "lib/net/lb.ml",
+        "let f t =\n\
+        \  Mutex.lock t.m;\n\
+        \  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) (fun () -> \
+         Unix.sleepf 0.1)\n" ) ]
+    "lock-blocking" "a sleep while holding a mutex stalls every waiter"
+
+let test_lock_blocking_through_wrapper () =
+  check_global_trips
+    [ ( "lib/net/lb.ml",
+        "let with_lock t f =\n\
+        \  Mutex.lock t.lock;\n\
+        \  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f\n\n\
+         let tick t = with_lock t (fun () -> Unix.sleepf 0.1)\n" ) ]
+    "lock-blocking"
+    "the lock is taken by a wrapper; the blocking call sits in its lambda"
+
+let test_lock_blocking_clean () =
+  check_global_no
+    [ ( "lib/net/lb.ml",
+        "let f t =\n\
+        \  Mutex.lock t.m;\n\
+        \  Fun.protect ~finally:(fun () -> Mutex.unlock t.m)\n\
+        \    (fun () -> ignore (Thread.create (fun () -> Unix.sleepf 0.1) \
+         ()))\n" ) ]
+    "lock-blocking" "a lambda handed to Thread.create runs without the lock";
+  check_global_no
+    [ ( "lib/db/lb.ml",
+        "let f t =\n\
+        \  Mutex.lock t.m;\n\
+        \  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) (fun () -> \
+         Unix.sleepf 0.1)\n" ) ]
+    "lock-blocking" "lock rules are scoped to lib/net and lib/cluster"
+
+(* ---------- whole-program: wire codec symmetry ---------- *)
+
+let wire_symmetric =
+  "let version = 1\n\
+   let tag_ping = 0x01\n\
+   let encode_request b = ignore b; ignore tag_ping\n\
+   let decode_request s = ignore s; ignore version; ignore tag_ping\n"
+
+let test_wire_symmetry_violation () =
+  (* tag_data has an encode arm and no decode arm: a frame the peer can
+     produce but nobody can read. This is the injected-encoder-only-tag
+     check from the issue. *)
+  let sources =
+    [ ( "lib/net/wire.ml",
+        "let version = 1\n\
+         let tag_ping = 0x01\n\
+         let tag_data = 0x02\n\
+         let encode_request b = ignore b; ignore tag_ping; ignore tag_data\n\
+         let decode_request s = ignore s; ignore version; ignore tag_ping\n" )
+    ]
+  in
+  check_global_trips sources "wire-symmetry" "encoder-only tag is caught";
+  let mentions_tag =
+    List.exists
+      (fun d ->
+        d.Lint_diagnostic.rule = "wire-symmetry"
+        && String.length d.Lint_diagnostic.message >= 8
+        &&
+        let msg = d.Lint_diagnostic.message in
+        let rec find i =
+          i + 8 <= String.length msg
+          && (String.equal (String.sub msg i 8) "tag_data" || find (i + 1))
+        in
+        find 0)
+      (global_diags sources)
+  in
+  Alcotest.(check bool) "diagnostic names the asymmetric tag" true mentions_tag
+
+let test_wire_version_gate () =
+  check_global_trips
+    [ ( "lib/net/wire.ml",
+        "let tag_ping = 0x01\n\
+         let encode_request b = ignore b; ignore tag_ping\n\
+         let decode_request s = ignore s; ignore tag_ping\n" ) ]
+    "wire-symmetry" "a decode path that never checks the version is flagged"
+
+let test_wire_symmetry_clean () =
+  check_global_no
+    [ ("lib/net/wire.ml", wire_symmetric) ]
+    "wire-symmetry" "matching encode/decode arms plus a version gate pass";
+  check_global_no
+    [ ( "lib/net/other.ml",
+        "let tag_solo = 0x09\nlet encode_request b = ignore b; ignore tag_solo\n"
+      ) ]
+    "wire-symmetry" "only declared wire files are held to codec symmetry"
 
 (* ---------- meta: parsing, interfaces ---------- *)
 
@@ -260,6 +463,56 @@ let test_suppress_unused () =
     [ "unused-suppression" ]
     (List.map (fun d -> d.Lint_diagnostic.rule) diags)
 
+let test_suppress_anchored_match () =
+  let t =
+    Lint_suppress.parse ~file:sup
+      "lib/net/wire.ml:@read_exact:error-raise-generic  clean EOF is \
+       deliberate\n"
+  in
+  Alcotest.(check (list string)) "anchored entry parses" []
+    (List.map (fun d -> d.Lint_diagnostic.rule) (Lint_suppress.diagnostics t));
+  let in_def def line =
+    Lint_diagnostic.v ~def ~file:"lib/net/wire.ml" ~line ~col:2
+      ~rule:"error-raise-generic" "msg"
+  in
+  let remaining, unused =
+    Lint_suppress.apply t [ in_def "read_exact" 550; in_def "write_frame" 60 ]
+  in
+  Alcotest.(check int) "matches by definition, at any line" 1
+    (List.length remaining);
+  Alcotest.(check string) "the other definition's finding survives"
+    "write_frame" (List.hd remaining).Lint_diagnostic.def;
+  Alcotest.(check int) "anchored entry counts as used" 0 (List.length unused)
+
+let test_suppress_anchored_drift () =
+  (* The point of content anchoring: adding comments or code above the
+     suppressed site must not break the build. *)
+  let t =
+    Lint_suppress.parse ~file:sup
+      "lib/db/f.ml:@bad:error-failwith  fixture: deliberate\n"
+  in
+  let check_run msg src =
+    let r = Lint_driver.analyze ~suppress:t [ ("lib/db/f.ml", src) ] in
+    Alcotest.(check (list string)) msg []
+      (List.map (fun d -> d.Lint_diagnostic.rule) r.Lint_driver.diagnostics)
+  in
+  check_run "suppressed at the original position"
+    "let bad () = failwith \"x\"\n";
+  check_run "still suppressed after lines shift above the site"
+    "(* a freshly written comment block\n\
+    \   pushed everything down three lines *)\n\n\
+     let ok x = x + 1\n\
+     let bad () = failwith \"x\"\n"
+
+let test_suppress_unknown_rule () =
+  let t =
+    Lint_suppress.parse ~file:sup
+      "lib/a.ml:@f:no-such-rule  this rule id does not exist\n"
+  in
+  Alcotest.(check (list string)) "unknown rule id is a bad suppression"
+    [ "bad-suppression" ]
+    (List.map (fun d -> d.Lint_diagnostic.rule) (Lint_suppress.diagnostics t))
+
 (* ---------- driver round-trip on a real directory tree ---------- *)
 
 let with_tree f =
@@ -306,6 +559,88 @@ let test_driver_end_to_end () =
         [ "unused-suppression" ]
         (List.map (fun d -> d.Lint_diagnostic.rule) r.Lint_driver.diagnostics))
 
+(* ---------- CLI: exit codes and output formats ---------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_contains msg haystack needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (looking for %S)" msg needle)
+    true (contains haystack needle)
+
+let run_cli args =
+  let out = Buffer.create 256 and err = Buffer.create 256 in
+  let code =
+    Lint_cli.main
+      ~argv:(Array.of_list ("mope-lint" :: args))
+      ~out:(Buffer.add_string out) ~err:(Buffer.add_string err)
+  in
+  (code, Buffer.contents out, Buffer.contents err)
+
+let test_cli_exit_codes () =
+  with_tree (fun root ->
+      write ~root "lib/net/good.ml" "let f x = x + 1\n";
+      let code, _, err = run_cli [ "--root"; root; "lib" ] in
+      Alcotest.(check int) "clean tree exits 0" 0 code;
+      check_contains "text mode prints a summary to stderr" err "1 file(s)";
+      write ~root "lib/net/bad.ml" "let f () = failwith \"boom\"\n";
+      let code, out, _ = run_cli [ "--root"; root; "lib" ] in
+      Alcotest.(check int) "findings exit 1" 1 code;
+      check_contains "finding is printed" out "error-failwith")
+
+let test_cli_usage_errors () =
+  let code, _, err = run_cli [ "--format"; "bogus" ] in
+  Alcotest.(check int) "unknown format exits 2" 2 code;
+  check_contains "format error names the value" err "bogus";
+  let code, _, err = run_cli [ "--only"; "no-such-rule" ] in
+  Alcotest.(check int) "unknown rule id exits 2" 2 code;
+  check_contains "rule error points at --list-rules" err "--list-rules";
+  let code, _, err = run_cli [ "--frobnicate" ] in
+  Alcotest.(check int) "unknown flag exits 2" 2 code;
+  check_contains "usage text is printed" err "usage: mope-lint"
+
+let test_cli_list_rules () =
+  let code, out, _ = run_cli [ "--list-rules" ] in
+  Alcotest.(check int) "list-rules exits 0" 0 code;
+  List.iter
+    (check_contains "every rule family is listed" out)
+    [ "secret-flow-interproc"; "lock-order"; "lock-blocking"; "wire-symmetry" ]
+
+let test_cli_json () =
+  with_tree (fun root ->
+      write ~root "lib/net/bad.ml" "let f () = failwith \"boom\"\n";
+      let code, out, err = run_cli [ "--root"; root; "--format"; "json"; "lib" ] in
+      Alcotest.(check int) "findings exit 1 in json mode too" 1 code;
+      Alcotest.(check string) "json mode keeps stderr quiet" "" err;
+      List.iter
+        (check_contains "json carries the structured finding" out)
+        [ "{\"files_scanned\":1,\"suppressed\":0,\"findings\":[";
+          "\"rule\":\"error-failwith\"";
+          "\"file\":\"lib/net/bad.ml\"";
+          "\"def\":\"f\"" ])
+
+let test_cli_sarif () =
+  with_tree (fun root ->
+      write ~root "lib/net/bad.ml" "let f () = failwith \"boom\"\n";
+      let code, out, _ =
+        run_cli [ "--root"; root; "--format"; "sarif"; "lib" ]
+      in
+      Alcotest.(check int) "findings exit 1 in sarif mode" 1 code;
+      List.iter
+        (check_contains "sarif log has the required structure" out)
+        [ "\"version\":\"2.1.0\"";
+          "\"name\":\"mope-lint\"";
+          "\"ruleId\":\"error-failwith\"";
+          "\"uri\":\"lib/net/bad.ml\"";
+          "\"startLine\":1" ];
+      (* every rule id ships in the tool metadata, so SARIF viewers can
+         show descriptions for suppressed-in-the-future findings too *)
+      check_contains "rule metadata is embedded" out
+        "\"id\":\"wire-symmetry\"")
+
 let () =
   Alcotest.run "lint"
     [ ( "secret-flow",
@@ -342,6 +677,26 @@ let () =
       ( "lock-discipline",
         [ Alcotest.test_case "violation" `Quick test_lock_violation;
           Alcotest.test_case "clean" `Quick test_lock_clean ] );
+      ( "interproc-taint",
+        [ Alcotest.test_case "two-hop violation" `Quick
+            test_interproc_taint_violation;
+          Alcotest.test_case "constructor seed" `Quick
+            test_interproc_taint_constructor_seed;
+          Alcotest.test_case "clean" `Quick test_interproc_taint_clean ] );
+      ( "lock-order",
+        [ Alcotest.test_case "cycle" `Quick test_lock_order_violation;
+          Alcotest.test_case "consistent order" `Quick test_lock_order_clean ]
+      );
+      ( "lock-blocking",
+        [ Alcotest.test_case "direct" `Quick test_lock_blocking_direct;
+          Alcotest.test_case "through wrapper" `Quick
+            test_lock_blocking_through_wrapper;
+          Alcotest.test_case "clean" `Quick test_lock_blocking_clean ] );
+      ( "wire-symmetry",
+        [ Alcotest.test_case "encoder-only tag" `Quick
+            test_wire_symmetry_violation;
+          Alcotest.test_case "version gate" `Quick test_wire_version_gate;
+          Alcotest.test_case "clean" `Quick test_wire_symmetry_clean ] );
       ( "meta",
         [ Alcotest.test_case "parse error" `Quick test_parse_error;
           Alcotest.test_case "interface" `Quick test_interface_scanned ] );
@@ -350,6 +705,18 @@ let () =
           Alcotest.test_case "missing justification" `Quick
             test_suppress_missing_justification;
           Alcotest.test_case "malformed line" `Quick test_suppress_malformed;
-          Alcotest.test_case "unused entry" `Quick test_suppress_unused ] );
+          Alcotest.test_case "unused entry" `Quick test_suppress_unused;
+          Alcotest.test_case "anchored match" `Quick
+            test_suppress_anchored_match;
+          Alcotest.test_case "anchored survives drift" `Quick
+            test_suppress_anchored_drift;
+          Alcotest.test_case "unknown rule id" `Quick
+            test_suppress_unknown_rule ] );
       ( "driver",
-        [ Alcotest.test_case "end to end" `Quick test_driver_end_to_end ] ) ]
+        [ Alcotest.test_case "end to end" `Quick test_driver_end_to_end ] );
+      ( "cli",
+        [ Alcotest.test_case "exit codes" `Quick test_cli_exit_codes;
+          Alcotest.test_case "usage errors" `Quick test_cli_usage_errors;
+          Alcotest.test_case "list rules" `Quick test_cli_list_rules;
+          Alcotest.test_case "json output" `Quick test_cli_json;
+          Alcotest.test_case "sarif output" `Quick test_cli_sarif ] ) ]

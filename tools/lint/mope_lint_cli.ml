@@ -1,40 +1,7 @@
-(* mope-lint driver: parse flags, run the pass, render findings, set the
-   exit status CI keys on. *)
-
-open Mope_lint
-
-let usage =
-  "mope-lint [--root DIR] [--suppressions FILE] [--list-rules] [DIR...]\n\
-   Lints every .ml/.mli under the given directories (default: lib bin bench)\n\
-   and exits non-zero when any unsuppressed finding remains."
+(* Thin shim over the testable CLI in Mope_lint.Lint_cli: parse flags, run
+   the two-phase pass, render findings, set the exit status CI keys on. *)
 
 let () =
-  let root = ref "." in
-  let suppressions = ref None in
-  let list_rules = ref false in
-  let dirs = ref [] in
-  let spec =
-    [ ("--root", Arg.Set_string root, "DIR repository root to scan from (default .)");
-      ( "--suppressions",
-        Arg.String (fun s -> suppressions := Some s),
-        "FILE suppression file, relative to --root" );
-      ("--list-rules", Arg.Set list_rules, " print the rule set and exit") ]
-  in
-  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
-  if !list_rules then begin
-    List.iter
-      (fun (id, doc) -> Printf.printf "%-22s %s\n" id doc)
-      Lint_config.rules;
-    exit 0
-  end;
-  let dirs =
-    match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds
-  in
-  let report = Lint_driver.run ~root:!root ?suppressions:!suppressions dirs in
-  List.iter
-    (fun d -> print_endline (Lint_diagnostic.to_string d))
-    report.diagnostics;
-  let n = List.length report.diagnostics in
-  Printf.eprintf "mope-lint: %d file(s) scanned, %d finding(s), %d suppressed\n"
-    report.files_scanned n report.suppressed;
-  exit (if n = 0 then 0 else 1)
+  exit
+    (Mope_lint.Lint_cli.main ~argv:Sys.argv ~out:print_string
+       ~err:prerr_string)
