@@ -8,6 +8,8 @@
      demo       run the end-to-end encrypted TPC-H demo
      attack     mount the gap attack on naive vs protected query streams
      serve      run the trusted proxy as a TCP service over the testbed
+                (--tenants FILE serves many tenants behind wire sessions)
+     rotate     drive an online key rotation on a multi-tenant proxy
      cluster    launch a loopback sharded cluster and scatter-gather over it
      stats      scrape a running proxy's metrics and recent traces
      save       generate the TPC-H database and persist it to disk
@@ -436,8 +438,25 @@ let serve_cmd =
     Arg.(value & opt (some string) None
          & info [ "metrics-dump" ] ~docv:"PATH" ~doc)
   in
+  let tenants_arg =
+    let doc =
+      "Multi-tenant mode: serve the tenants listed in $(docv) (one \
+       $(i,id:secret) per line, $(b,#) comments allowed). Each tenant gets \
+       its own derived master key — hence its own secret offsets — and its \
+       own encrypted twin; clients must open an authenticated wire v7 \
+       session ($(b,mope rotate) shows the handshake) before querying."
+    in
+    Arg.(value & opt (some string) None & info [ "tenants" ] ~docv:"FILE" ~doc)
+  in
+  let root_key_arg =
+    let doc =
+      "Root key tenant keys are derived from in $(b,--tenants) mode (a \
+       real deployment uses random bytes from a KMS)."
+    in
+    Arg.(value & opt string "serve-root-key" & info [ "root-key" ] ~docv:"KEY" ~doc)
+  in
   let run port host db wal sf seed rho batch_size max_connections max_in_flight
-      timeout metrics_dump =
+      timeout metrics_dump tenants root_key =
     let open Mope_system in
     let open Mope_net in
     (* Observability is on for the lifetime of the server process: the
@@ -483,32 +502,80 @@ let serve_cmd =
     let open Mope_workload in
     (* One proxy per MOPE-encrypted date column: l_shipdate takes Q6/Q14
        traffic, o_orderdate takes Q4. Service serializes per column. *)
-    let proxies =
-      [ ( Tpch_queries.date_column Tpch_queries.Q6,
-          Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho ~batch_size
-            ~seed:(Int64.of_int seed) () );
-        ( Tpch_queries.date_column Tpch_queries.Q4,
-          Testbed.proxy tb ~template:Tpch_queries.Q4 ~rho ~batch_size
-            ~seed:(Int64.of_int seed) () ) ]
+    let proxies_over enc =
+      List.map
+        (fun template ->
+          ( Tpch_queries.date_column template,
+            Testbed.proxy_over enc ~template ~rho ~batch_size
+              ~seed:(Int64.of_int seed) () ))
+        [ Tpch_queries.Q6; Tpch_queries.Q4 ]
     in
-    let service = Service.create ~proxies () in
+    let mode =
+      match tenants with
+      | None ->
+        let proxies = proxies_over (Testbed.encrypted_for tb ~rho) in
+        `Single (Service.create ~proxies (), proxies)
+      | Some file ->
+        let configs =
+          try Mope_tenant.Registry.load_tenants_file file with
+          | Sys_error msg | Invalid_argument msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 1
+        in
+        let make_enc ~key =
+          Encrypted_db.create ~key ~window_lo:Tpch.window_lo
+            ~date_domain:(Testbed.padded_domain ~rho)
+            ~plain:(Testbed.plain tb) ~specs:Testbed.specs ()
+        in
+        Printf.printf "building %d tenant twin(s)...\n%!" (List.length configs);
+        let registry =
+          Mope_tenant.Registry.create ~master_key:root_key ~make_enc
+            ~make_proxies:proxies_over ~configs ()
+        in
+        let tenant_service =
+          Mope_tenant.Tenant_service.create ~registry
+            ?max_inflight:(if max_in_flight > 0 then Some max_in_flight else None)
+            ()
+        in
+        `Tenant (registry, tenant_service)
+    in
+    let handler =
+      match mode with
+      | `Single (service, _) -> Service.handler service
+      | `Tenant (_, tenant_service) ->
+        Mope_tenant.Tenant_service.handler tenant_service
+    in
     let config =
       { Server.default_config with
         host; port; max_connections; max_in_flight;
         read_timeout = timeout; write_timeout = timeout }
     in
     let server =
-      try Server.start ~config ~handler:(Service.handler service) ()
+      try Server.start ~config ~handler ()
       with Mope_error.Error e ->
         Printf.eprintf "%s\n" (Mope_error.to_string e);
         exit 1
     in
-    Printf.printf
-      "mope proxy listening on %s:%d (columns: %s; %s, batch %d)\n%!" host
-      (Server.port server)
-      (String.concat ", " (List.map fst proxies))
-      (match rho with None -> "QueryU" | Some r -> Printf.sprintf "QueryP[%d]" r)
-      batch_size;
+    (match mode with
+    | `Single (_, proxies) ->
+      Printf.printf
+        "mope proxy listening on %s:%d (columns: %s; %s, batch %d)\n%!" host
+        (Server.port server)
+        (String.concat ", " (List.map fst proxies))
+        (match rho with
+        | None -> "QueryU"
+        | Some r -> Printf.sprintf "QueryP[%d]" r)
+        batch_size
+    | `Tenant (registry, _) ->
+      Printf.printf
+        "mope multi-tenant proxy listening on %s:%d (tenants: %s; %s, batch \
+         %d; sessions required)\n%!"
+        host (Server.port server)
+        (String.concat ", " (Mope_tenant.Registry.ids registry))
+        (match rho with
+        | None -> "QueryU"
+        | Some r -> Printf.sprintf "QueryP[%d]" r)
+        batch_size);
     let stop = Atomic.make false in
     let request_stop _ = Atomic.set stop true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -525,7 +592,6 @@ let serve_cmd =
     Server.shutdown server;
     Option.iter write_metrics_dump metrics_dump;
     let s = Server.stats server in
-    let c = Service.counters service in
     Printf.printf
       "served %d request(s) over %d connection(s), %d error(s), %d shed; \
        avg latency %.1f ms, max %.1f ms\n"
@@ -534,21 +600,41 @@ let serve_cmd =
       (if s.Server.requests = 0 then 0.0
        else 1000.0 *. s.Server.total_latency /. float_of_int s.Server.requests)
       (1000.0 *. s.Server.max_latency);
-    Printf.printf
-      "proxy counters: %d client queries -> %d server requests (%d fakes), \
-       %d rows fetched, %d delivered\n"
-      c.Wire.client_queries c.Wire.server_requests c.Wire.fake_queries
-      c.Wire.rows_fetched c.Wire.rows_delivered;
-    Printf.printf
-      "caches: plan %d hit / %d miss, segment %d hit / %d miss\n"
-      c.Wire.plan_cache_hits c.Wire.plan_cache_misses
-      c.Wire.segment_cache_hits c.Wire.segment_cache_misses
+    (match mode with
+    | `Single (service, _) ->
+      let c = Service.counters service in
+      Printf.printf
+        "proxy counters: %d client queries -> %d server requests (%d fakes), \
+         %d rows fetched, %d delivered\n"
+        c.Wire.client_queries c.Wire.server_requests c.Wire.fake_queries
+        c.Wire.rows_fetched c.Wire.rows_delivered;
+      Printf.printf
+        "caches: plan %d hit / %d miss, segment %d hit / %d miss\n"
+        c.Wire.plan_cache_hits c.Wire.plan_cache_misses
+        c.Wire.segment_cache_hits c.Wire.segment_cache_misses
+    | `Tenant (registry, tenant_service) ->
+      Mope_tenant.Tenant_service.join_workers tenant_service;
+      List.iter
+        (fun id ->
+          match Mope_tenant.Registry.find registry id with
+          | None -> ()
+          | Some tn ->
+            Printf.printf
+              "tenant %s: key generation %d, %d query(ies), %d shed\n" id
+              tn.Mope_tenant.Registry.generation
+              (Mope_obs.Metrics.counter_value
+                 (Mope_obs.Metrics.counter "mope_tenant_queries_total"
+                    ~labels:[ ("tenant", id) ] ()))
+              (Mope_obs.Metrics.counter_value
+                 (Mope_obs.Metrics.counter "mope_tenant_shed_total"
+                    ~labels:[ ("tenant", id) ] ())))
+        (Mope_tenant.Registry.ids registry))
   in
   let doc = "Run the trusted proxy as a concurrent TCP service (Fig. 4)." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ port_arg $ host_arg $ db_arg $ wal_arg $ sf_arg
           $ seed_arg $ rho_arg $ batch_arg $ max_conn_arg $ max_in_flight_arg
-          $ timeout_arg $ metrics_dump_arg)
+          $ timeout_arg $ metrics_dump_arg $ tenants_arg $ root_key_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cluster: sharded, replicated loopback topology with scatter-gather *)
@@ -886,6 +972,79 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(const run $ host_arg $ port_arg $ json_arg $ traces_arg)
 
+(* ------------------------------------------------------------------ *)
+(* rotate: drive an online key rotation on a multi-tenant proxy *)
+
+let rotate_cmd =
+  let port_arg =
+    let doc = "Port the multi-tenant proxy listens on." in
+    Arg.(value & opt int 7070 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Proxy address." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let tenant_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TENANT" ~doc:"Tenant id to rotate.")
+  in
+  let secret_arg =
+    let doc = "The tenant's session-handshake secret (as in the tenants file)." in
+    Arg.(required & opt (some string) None & info [ "secret" ] ~docv:"SECRET" ~doc)
+  in
+  let status_arg =
+    let doc = "Only poll the rotation state; do not start one." in
+    Arg.(value & flag & info [ "status" ] ~doc)
+  in
+  let no_wait_arg =
+    let doc = "Return after starting instead of polling until cutover." in
+    Arg.(value & flag & info [ "no-wait" ] ~doc)
+  in
+  let run host port tenant secret status no_wait =
+    let open Mope_net in
+    let show (st : Client.rotation_status) =
+      Printf.printf "%s: %s, key generation %d" tenant st.Client.state
+        st.Client.generation;
+      if st.Client.state = "rotating" then
+        Printf.printf " -> %d (%d/%d rows moved)" (st.Client.generation + 1)
+          st.Client.rows_moved st.Client.rows_total;
+      print_newline ()
+    in
+    match
+      Client.with_client ~host ~port (fun c ->
+          (* Authenticated session first: rotation is a tenant-scoped op. *)
+          ignore (Client.open_session c ~tenant ~secret ());
+          if status then show (Client.rotate c ~status_only:true ~tenant ())
+          else begin
+            show (Client.rotate c ~tenant ());
+            if not no_wait then begin
+              let rec poll () =
+                let st = Client.rotate c ~status_only:true ~tenant () in
+                show st;
+                if st.Client.state = "rotating" then begin
+                  Unix.sleepf 0.1;
+                  poll ()
+                end
+              in
+              poll ()
+            end
+          end)
+    with
+    | () -> ()
+    | exception Mope_error.Error e ->
+      Printf.eprintf "%s\n" (Mope_error.to_string e);
+      exit 1
+  in
+  let doc =
+    "Start (or poll, with $(b,--status)) an online key rotation for one \
+     tenant of a $(b,serve --tenants) proxy. The tenant keeps serving \
+     throughout: rows move to the new key in bounded chunks and queries \
+     read both generations until the atomic cutover."
+  in
+  Cmd.v (Cmd.info "rotate" ~doc)
+    Term.(const run $ host_arg $ port_arg $ tenant_arg $ secret_arg
+          $ status_arg $ no_wait_arg)
+
 let () =
   let doc = "Modular order-preserving encryption (SIGMOD'15 reproduction)." in
   let info = Cmd.info "mope" ~version:"1.0.0" ~doc in
@@ -894,4 +1053,4 @@ let () =
        (Cmd.group info
           [ encrypt_cmd; decrypt_cmd; ranges_cmd; schedule_cmd; demo_cmd;
             attack_cmd; sql_cmd; serve_cmd; cluster_cmd; stats_cmd; save_cmd;
-          load_cmd ]))
+            load_cmd; rotate_cmd ]))

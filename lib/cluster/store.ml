@@ -278,7 +278,7 @@ let guarded ?sql f =
         query = sql;
         retry_after = None }
 
-let handler t = function
+let handler t (_header : Wire.header) = function
   | Wire.Ping -> Wire.Pong
   | Wire.Fetch { sql; epoch } ->
     guarded ~sql (fun () ->
@@ -308,3 +308,5 @@ let handler t = function
   | Wire.Query { sql; _ } ->
     unsupported ~sql "query sent to a shard store (stores only serve Fetch)"
   | Wire.Get_counters -> unsupported "no proxy counters on a shard store"
+  | Wire.Open_session _ | Wire.Authenticate _ | Wire.Rotate _ ->
+    unsupported "tenant operation sent to a shard store"

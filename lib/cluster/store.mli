@@ -105,7 +105,8 @@ val wal_since : t -> from_pos:int -> max_bytes:int -> Mope_db.Wal.chunk
 val wal_pos : t -> int
 (** Current WAL end offset (0 without a WAL). *)
 
-val handler : t -> Mope_net.Wire.request -> Mope_net.Wire.response
+val handler :
+  t -> Mope_net.Wire.header -> Mope_net.Wire.request -> Mope_net.Wire.response
 (** Request handler for {!Mope_net.Server.start}: [Ping], [Fetch],
     [Apply], [Wal_since], [Fence] and [Get_stats] are served; [Query] and
     [Get_counters] answer [Unsupported]. A fencing refusal becomes a

@@ -28,7 +28,9 @@ let in_poly_compare path =
 (* Lock-discipline rules (lock-unprotected, lock-order, lock-blocking)
    cover every layer that takes mutexes on the serving path. *)
 let in_lock_scope path =
-  has_prefix ~prefix:"lib/net/" path || has_prefix ~prefix:"lib/cluster/" path
+  has_prefix ~prefix:"lib/net/" path
+  || has_prefix ~prefix:"lib/cluster/" path
+  || has_prefix ~prefix:"lib/tenant/" path
 
 (* Files holding a versioned wire codec; every op tag defined there must
    have matching encode and decode arms (wire-symmetry). *)
@@ -40,17 +42,24 @@ let wire_files = [ "lib/net/wire.ml" ]
 let secret_names =
   [ "key"; "keys"; "secret"; "secret_key"; "master_key"; "old_key"; "new_key";
     "mope_key"; "ope_key"; "offset"; "secret_offset"; "old_offset";
-    "new_offset"; "plaintext"; "plaintexts" ]
+    "new_offset"; "plaintext"; "plaintexts";
+    (* tenant-layer secrets: the per-tenant session-handshake secret and
+       derived generation keys must never reach a log, metric or frame *)
+    "auth_secret"; "tenant_secret"; "cfg_secret"; "generation_key" ]
 
 (* Functions whose return value is key material no matter what it is
    named: calling one of these seeds the interprocedural taint walk. *)
 let secret_constructors = [ [ "Drbg"; "create" ]; [ "Drbg"; "derive" ] ]
 
 (* Calls that erase taint: structural measurements of a secret are not the
-   secret. Anything else unresolved conservatively keeps the taint. *)
+   secret, and neither is an HMAC computed under it (the MAC is exactly
+   what the session handshake sends over the wire — one-way by
+   construction). Anything else unresolved conservatively keeps the
+   taint. *)
 let taint_sanitizers =
   [ [ "String"; "length" ]; [ "Bytes"; "length" ]; [ "List"; "length" ];
-    [ "Array"; "length" ]; [ "Hashtbl"; "length" ] ]
+    [ "Array"; "length" ]; [ "Hashtbl"; "length" ];
+    [ "Hmac"; "mac" ]; [ "Hmac"; "mac_hex" ] ]
 
 (* Mope_obs and its aliases are sinks: a metric label, counter name, or
    trace annotation is an exfiltration channel exactly like a log line, so
@@ -93,7 +102,9 @@ let blocking_paths =
     ([ "Client"; "fence" ], "client RPC");
     ([ "Client"; "wal_since" ], "client RPC");
     ([ "Client"; "counters" ], "client RPC");
-    ([ "Client"; "stats" ], "client RPC") ]
+    ([ "Client"; "stats" ], "client RPC");
+    ([ "Client"; "open_session" ], "client RPC");
+    ([ "Client"; "rotate" ], "client RPC") ]
 
 (* A lambda handed to one of these runs on another thread: lock contexts
    from the spawning side do not apply inside it. *)

@@ -32,6 +32,14 @@ type t = {
   mutable closed : bool;
   mutable failures : int;     (* consecutive transport failures *)
   mutable open_until : float; (* 0 = breaker closed; else open/half-open *)
+  mutable session : string;   (* token from Session_ok; "" = no session *)
+}
+
+type rotation_status = {
+  state : string;
+  generation : int;
+  rows_moved : int;
+  rows_total : int;
 }
 
 let transient = function
@@ -121,7 +129,8 @@ let connect ?(host = "127.0.0.1") ~port ?(timeout = 10.0) ?(retries = 3)
       fd = None;
       closed = false;
       failures = 0;
-      open_until = 0.0 }
+      open_until = 0.0;
+      session = "" }
   in
   ignore (establish t);
   t
@@ -172,12 +181,18 @@ let record_failure t =
    after an ambiguous failure (request sent, response lost) could apply
    the statement twice — unless it carries a request id, which the store
    dedups, making the retry exact-once. [Fence] only moves the epoch
-   forward to the given value, so replaying it is a no-op. *)
+   forward to the given value, so replaying it is a no-op. [Open_session]
+   only mints a fresh challenge; [Authenticate] consumes its nonce on
+   success, so a retry whose first answer was lost would fail auth —
+   one shot, the caller redoes the whole handshake. [Rotate] starts a new
+   rotation unless it is a pure status poll. *)
 let idempotent = function
   | Wire.Ping | Wire.Query _ | Wire.Get_counters | Wire.Get_stats
-  | Wire.Fetch _ | Wire.Wal_since _ | Wire.Fence _ ->
+  | Wire.Fetch _ | Wire.Wal_since _ | Wire.Fence _ | Wire.Open_session _ ->
     true
   | Wire.Apply { request_id; _ } -> request_id <> ""
+  | Wire.Authenticate _ -> false
+  | Wire.Rotate { status_only; _ } -> status_only
 
 (* ------------------------------------------------------------------ *)
 (* One request/response exchange. [query] is the SQL context attached to
@@ -220,7 +235,8 @@ let rpc t ?query ?trace_id request =
     let outcome =
       match
         let io = match t.conn with Some io -> io | None -> establish t in
-        Wire.write_frame_t io (Wire.encode_request ~trace_id:tid request);
+        Wire.write_frame_t io
+          (Wire.encode_request ~trace_id:tid ~session:t.session request);
         Wire.decode_response (Wire.read_frame_t io)
       with
       | resp -> Ok resp
@@ -273,6 +289,12 @@ let check_error ?query = function
     Mope_error.raise_error ?query
       (Printf.sprintf "server error (%s): %s" (Wire.error_code_to_string code)
          message)
+  | Wire.Unsupported_version { server_version } ->
+    Mope_error.raise_error ?query
+      (Printf.sprintf
+         "server speaks protocol version %d, this client speaks %d; upgrade \
+          the older side"
+         server_version Wire.version)
   | resp -> resp
 
 (* A [Fenced] refusal surfaces through [check_error] with a stable prefix;
@@ -420,3 +442,32 @@ let stats t =
   match check_error (rpc t Wire.Get_stats) with
   | Wire.Stats s -> s
   | _ -> Mope_error.raise_error "Client.stats: unexpected response"
+
+(* ------------------------------------------------------------------ *)
+(* Tenant sessions (wire v7). The shared secret never leaves this
+   function: only its HMAC over the server-minted nonce goes on the
+   wire. *)
+
+let session t = if t.session = "" then None else Some t.session
+
+let clear_session t = t.session <- ""
+
+let open_session t ?trace_id ~tenant ~secret () =
+  let nonce =
+    match check_error (rpc t ?trace_id (Wire.Open_session { tenant })) with
+    | Wire.Session_challenge { nonce } -> nonce
+    | _ ->
+      Mope_error.raise_error "Client.open_session: unexpected response"
+  in
+  let mac = Mope_crypto.Hmac.mac_hex ~key:secret nonce in
+  match check_error (rpc t ?trace_id (Wire.Authenticate { tenant; nonce; mac })) with
+  | Wire.Session_ok { token } ->
+    t.session <- token;
+    token
+  | _ -> Mope_error.raise_error "Client.open_session: unexpected response"
+
+let rotate t ?trace_id ?(status_only = false) ~tenant () =
+  match check_error (rpc t ?trace_id (Wire.Rotate { tenant; status_only })) with
+  | Wire.Rotation { state; generation; rows_moved; rows_total } ->
+    { state; generation; rows_moved; rows_total }
+  | _ -> Mope_error.raise_error "Client.rotate: unexpected response"

@@ -161,3 +161,37 @@ val counters : t -> Wire.counters
 val stats : t -> Wire.stats
 (** The server's observability snapshot: both metric renderings plus its
     recent traces (the [Get_stats] wire op). *)
+
+(** Progress of a tenant's online key rotation (see {!rotate}). *)
+type rotation_status = {
+  state : string;  (** ["serving"] or ["rotating"] *)
+  generation : int;  (** key generation currently serving reads *)
+  rows_moved : int;
+  rows_total : int;
+}
+
+val open_session :
+  t -> ?trace_id:string -> tenant:string -> secret:string -> unit -> string
+(** Run the v7 session handshake against a multi-tenant service: request a
+    challenge nonce for [tenant] ([Open_session]), answer it with the hex
+    HMAC of the nonce under [secret] ([Authenticate]), and store the
+    returned token — every subsequent request on this client carries it in
+    the header. Returns the token. The secret itself never goes on the
+    wire. Raises {!Mope_error.Error} on [Unknown_tenant] or [Auth_failed];
+    the handshake is not retried as a whole (a half-done handshake's nonce
+    is consumed), so redo {!open_session} after a failure. *)
+
+val session : t -> string option
+(** The session token sent with every request, if a handshake succeeded. *)
+
+val clear_session : t -> unit
+(** Forget the session token (subsequent requests go unauthenticated). *)
+
+val rotate :
+  t -> ?trace_id:string -> ?status_only:bool -> tenant:string -> unit ->
+  rotation_status
+(** Start an online key rotation for [tenant] (or, with
+    [status_only = true], poll the one in progress — only the poll is
+    retried on transport failure). Requires an authenticated session for
+    that same tenant ({!open_session}); rotating anyone else's keys is
+    refused with [Auth_failed]. *)

@@ -58,7 +58,7 @@ type stats = {
 
 type t = {
   config : config;
-  handler : Wire.request -> Wire.response;
+  handler : Wire.header -> Wire.request -> Wire.response;
   listen_fd : Unix.file_descr;
   bound_port : int;
   stats : stats;
@@ -172,14 +172,20 @@ let connection_loop t fd =
            is still trustworthy, so keep the connection. *)
         respond t io ~started (bad_frame msg);
         loop ()
-      | trace_id, request ->
+      | exception Wire.Version_mismatch _ ->
+        (* A peer speaking another protocol version: answer with the one
+           version-independent message and drop the link — every further
+           frame would mismatch the same way. *)
+        respond t io ~started
+          (Wire.Unsupported_version { server_version = Wire.version })
+      | header, request ->
         let decoded = Unix.gettimeofday () in
         (* The span tree for this request roots here: decode is recorded
            retroactively (it ran before the trace id was known), dispatch
            wraps the handler, and everything the handler touches — service,
            exec, OPE, storage — hangs off dispatch via the ambient
            context. *)
-        Trace.run ~id:trace_id (fun () ->
+        Trace.run ~id:header.Wire.trace_id (fun () ->
             Trace.record_span "decode" ~dur_us:((decoded -. started) *. 1e6);
             let response =
               if not (try_admit t) then shed_response t
@@ -188,7 +194,7 @@ let connection_loop t fd =
                   ~finally:(fun () -> release t)
                   (fun () ->
                     Trace.with_span "dispatch" (fun () ->
-                        try t.handler request with
+                        try t.handler header request with
                         | Mope_error.Error e ->
                           Wire.Error
                             { code = Wire.Exec_failed; message = e.Mope_error.msg;

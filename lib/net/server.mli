@@ -10,12 +10,14 @@
     thread to drain.
 
     The server is transport only: a [handler] turns each decoded
-    {!Wire.request} into a {!Wire.response}. Handler exceptions become
-    structured [Wire.Error] responses, never crashes; malformed frames get
-    a [Bad_frame] error reply and the connection is closed (the stream
-    offset can no longer be trusted). The handler runs on connection
-    threads concurrently — it must do its own locking (see
-    {!Service}). *)
+    {!Wire.request} (with its {!Wire.header} — trace id and session token)
+    into a {!Wire.response}. Handler exceptions become structured
+    [Wire.Error] responses, never crashes; malformed frames get a
+    [Bad_frame] error reply and the connection is closed (the stream
+    offset can no longer be trusted); frames from a peer speaking another
+    protocol version get the structured {!Wire.Unsupported_version}
+    answer before the drop. The handler runs on connection threads
+    concurrently — it must do its own locking (see {!Service}). *)
 
 type config = {
   host : string;           (** bind address, default ["127.0.0.1"] *)
@@ -48,7 +50,11 @@ type stats = {
 
 type t
 
-val start : ?config:config -> handler:(Wire.request -> Wire.response) -> unit -> t
+val start :
+  ?config:config ->
+  handler:(Wire.header -> Wire.request -> Wire.response) ->
+  unit ->
+  t
 (** Bind, listen, and spawn the accept thread. Raises
     {!Mope_error.Error} if the address cannot be bound. Ignores [SIGPIPE]
     process-wide so peer disconnects surface as [EPIPE]. *)

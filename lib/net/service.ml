@@ -63,7 +63,7 @@ let stats () =
       metrics_json = Metrics.render_json ();
       traces = Trace.recent () }
 
-let handler t = function
+let handler t (_header : Wire.header) = function
   | Wire.Ping -> Wire.Pong
   | Wire.Get_counters -> Wire.Counters (counters t)
   | Wire.Get_stats -> stats ()
@@ -79,6 +79,15 @@ let handler t = function
     Wire.Error
       { code = Wire.Unsupported;
         message = "cluster control operation sent to a query frontend";
+        query = None;
+        retry_after = None }
+  | Wire.Open_session _ | Wire.Authenticate _ | Wire.Rotate _ ->
+    (* Sessions exist only on the multi-tenant frontend
+       (Mope_tenant.Tenant_service); this single-tenant service has no
+       registry to authenticate against. *)
+    Wire.Error
+      { code = Wire.Unsupported;
+        message = "tenant operation sent to a single-tenant service";
         query = None;
         retry_after = None }
   | Wire.Query { sql; date_column; date_lo; date_hi } -> begin

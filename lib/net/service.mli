@@ -17,12 +17,15 @@ val create : proxies:(string * Proxy.t) list -> unit -> t
     proxy serving it. Raises [Invalid_argument] on an empty or duplicated
     mapping. *)
 
-val handler : t -> Wire.request -> Wire.response
+val handler : t -> Wire.header -> Wire.request -> Wire.response
 (** [Ping] → [Pong]; [Get_counters] → the field-wise sum over all proxies;
     [Get_stats] → the observability snapshot ({!stats}); [Query] → [Rows]
     via {!Proxy.execute} (wrapped in an ["exec"] trace span), or a
     structured [Wire.Error] ([Unsupported] for an unknown date column,
-    [Exec_failed] with the query attached when the pipeline raises). *)
+    [Exec_failed] with the query attached when the pipeline raises).
+    The header is ignored: this frontend is single-tenant, so session
+    ops answer [Unsupported] (see {!Mope_tenant.Tenant_service} for the
+    session-aware dispatcher). *)
 
 val stats : unit -> Wire.response
 (** The [Stats] response served for [Get_stats]: current

@@ -2,9 +2,11 @@ open Mope_db
 
 exception Protocol_error of string
 
+exception Version_mismatch of { peer_version : int }
+
 let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
 
-let version = 6
+let version = 7
 
 let max_frame = 16 * 1024 * 1024
 
@@ -15,6 +17,16 @@ let max_trace_id = 64
 (* Client-minted request ids (v6) bound [Apply] dedup-table entries the
    same way. *)
 let max_request_id = 64
+
+(* Session tokens (v7) ride in the request header next to the trace id;
+   tenant ids key registry lookups and metric labels. Both are bounded so
+   a hostile header cannot smuggle bulk data into session or label
+   storage. Nonces and MACs are hex renderings of at most 32 bytes. *)
+let max_session = 64
+
+let max_tenant_id = 64
+
+let max_mac = 128
 
 type counters = {
   client_queries : int;
@@ -35,6 +47,10 @@ type stats = {
   traces : Mope_obs.Trace.dump list;
 }
 
+type header = { trace_id : string; session : string }
+
+let no_header = { trace_id = ""; session = "" }
+
 type request =
   | Ping
   | Query of {
@@ -49,6 +65,9 @@ type request =
   | Apply of { sql : string; epoch : int; request_id : string }
   | Wal_since of { from_pos : int; max_bytes : int }
   | Fence of { epoch : int }
+  | Open_session of { tenant : string }
+  | Authenticate of { tenant : string; nonce : string; mac : string }
+  | Rotate of { tenant : string; status_only : bool }
 
 type error_code =
   | Bad_frame
@@ -57,6 +76,8 @@ type error_code =
   | Overloaded
   | Internal
   | Fenced
+  | Auth_failed
+  | Unknown_tenant
 
 type response =
   | Pong
@@ -71,6 +92,15 @@ type response =
       end_pos : int;
     }
   | Epoch_state of { epoch : int }
+  | Session_challenge of { nonce : string }
+  | Session_ok of { token : string }
+  | Rotation of {
+      state : string;
+      generation : int;
+      rows_moved : int;
+      rows_total : int;
+    }
+  | Unsupported_version of { server_version : int }
   | Error of {
       code : error_code;
       message : string;
@@ -85,6 +115,8 @@ let error_code_to_string = function
   | Overloaded -> "overloaded"
   | Internal -> "internal"
   | Fenced -> "fenced"
+  | Auth_failed -> "auth-failed"
+  | Unknown_tenant -> "unknown-tenant"
 
 (* ------------------------------------------------------------------ *)
 (* Primitive encoders (big-endian, same conventions as Storage). *)
@@ -206,6 +238,9 @@ let tag_fetch = 0x05
 let tag_apply = 0x06
 let tag_wal_since = 0x07
 let tag_fence = 0x08
+let tag_open_session = 0x09
+let tag_authenticate = 0x0A
+let tag_rotate = 0x0B
 let tag_pong = 0x81
 let tag_rows = 0x82
 let tag_counters = 0x83
@@ -213,6 +248,10 @@ let tag_stats = 0x84
 let tag_applied = 0x85
 let tag_wal_chunk = 0x86
 let tag_epoch_state = 0x87
+let tag_session_challenge = 0x88
+let tag_session_ok = 0x89
+let tag_rotation = 0x8A
+let tag_unsupported_version = 0xBE
 let tag_error = 0xBF
 
 let error_code_tag = function
@@ -222,6 +261,8 @@ let error_code_tag = function
   | Overloaded -> 4
   | Internal -> 5
   | Fenced -> 6
+  | Auth_failed -> 7
+  | Unknown_tenant -> 8
 
 let error_code_of_tag = function
   | 1 -> Bad_frame
@@ -230,6 +271,8 @@ let error_code_of_tag = function
   | 4 -> Overloaded
   | 5 -> Internal
   | 6 -> Fenced
+  | 7 -> Auth_failed
+  | 8 -> Unknown_tenant
   | n -> fail "unknown error code %d" n
 
 let payload tag body =
@@ -239,21 +282,31 @@ let payload tag body =
   body buf;
   Buffer.contents buf
 
+(* [tag_unsupported_version] is the one version-independent message: it is
+   exactly what a peer speaking the wrong version needs to be able to read,
+   so its decode is admitted under any version byte and its body layout
+   (a single integer) is frozen forever. Every other tag is gated on an
+   exact version match; the mismatch raises [Version_mismatch] — not
+   [Protocol_error] — so a server can answer with the structured response
+   instead of a generic [Bad_frame]. *)
 let open_payload data =
   let cur = { data; pos = 0 } in
   let v = get_byte cur in
-  if v <> version then fail "unsupported protocol version %d (expected %d)" v version;
   let tag = get_byte cur in
+  if v <> version && tag <> tag_unsupported_version then
+    raise (Version_mismatch { peer_version = v });
   (tag, cur)
 
 let close_payload cur =
   if cur.pos <> String.length cur.data then fail "trailing bytes after message"
 
 (* ------------------------------------------------------------------ *)
-(* Requests. The v3 request header carries a trace id (possibly empty)
-   between the tag and the body, so every request kind can be correlated
-   with the server-side span tree it produces. Responses are unchanged —
-   the client already knows which trace it is awaiting. *)
+(* Requests. The request header rides between the tag and the body: the
+   v3 trace id (possibly empty), then the v7 session token (empty until
+   the client has completed the [Open_session]/[Authenticate] handshake),
+   so every request kind can be correlated with the server-side span tree
+   it produces and attributed to the tenant it runs as. Responses carry
+   no header — the client already knows which trace it is awaiting. *)
 
 let check_trace_id tid =
   if String.length tid > max_trace_id then
@@ -263,50 +316,84 @@ let check_request_id rid =
   if String.length rid > max_request_id then
     fail "request id of %d bytes exceeds %d" (String.length rid) max_request_id
 
+let check_session tok =
+  if String.length tok > max_session then
+    fail "session token of %d bytes exceeds %d" (String.length tok) max_session
+
+let check_tenant tid =
+  if String.length tid > max_tenant_id then
+    fail "tenant id of %d bytes exceeds %d" (String.length tid) max_tenant_id
+
+let check_mac label s =
+  if String.length s > max_mac then
+    fail "%s of %d bytes exceeds %d" label (String.length s) max_mac
+
 (* Fencing epochs are small positive integers; 0 means "unfenced". A
    negative epoch can only be malice or corruption. *)
 let check_epoch epoch = if epoch < 0 then fail "negative epoch %d" epoch
 
-let payload_req trace_id tag body =
-  check_trace_id trace_id;
+let payload_req header tag body =
+  check_trace_id header.trace_id;
+  check_session header.session;
   payload tag (fun buf ->
-      put_string buf trace_id;
+      put_string buf header.trace_id;
+      put_string buf header.session;
       body buf)
 
-let encode_request ?(trace_id = "") = function
-  | Ping -> payload_req trace_id tag_ping (fun _ -> ())
+let encode_request ?(trace_id = "") ?(session = "") req =
+  let header = { trace_id; session } in
+  match req with
+  | Ping -> payload_req header tag_ping (fun _ -> ())
   | Query { sql; date_column; date_lo; date_hi } ->
-    payload_req trace_id tag_query (fun buf ->
+    payload_req header tag_query (fun buf ->
         put_string buf sql;
         put_string buf date_column;
         put_int buf date_lo;
         put_int buf date_hi)
-  | Get_counters -> payload_req trace_id tag_get_counters (fun _ -> ())
-  | Get_stats -> payload_req trace_id tag_get_stats (fun _ -> ())
+  | Get_counters -> payload_req header tag_get_counters (fun _ -> ())
+  | Get_stats -> payload_req header tag_get_stats (fun _ -> ())
   | Fetch { sql; epoch } ->
     check_epoch epoch;
-    payload_req trace_id tag_fetch (fun buf ->
+    payload_req header tag_fetch (fun buf ->
         put_string buf sql;
         put_int buf epoch)
   | Apply { sql; epoch; request_id } ->
     check_epoch epoch;
     check_request_id request_id;
-    payload_req trace_id tag_apply (fun buf ->
+    payload_req header tag_apply (fun buf ->
         put_string buf sql;
         put_int buf epoch;
         put_string buf request_id)
   | Wal_since { from_pos; max_bytes } ->
-    payload_req trace_id tag_wal_since (fun buf ->
+    payload_req header tag_wal_since (fun buf ->
         put_int buf from_pos;
         put_int buf max_bytes)
   | Fence { epoch } ->
     check_epoch epoch;
-    payload_req trace_id tag_fence (fun buf -> put_int buf epoch)
+    payload_req header tag_fence (fun buf -> put_int buf epoch)
+  | Open_session { tenant } ->
+    check_tenant tenant;
+    payload_req header tag_open_session (fun buf -> put_string buf tenant)
+  | Authenticate { tenant; nonce; mac } ->
+    check_tenant tenant;
+    check_mac "nonce" nonce;
+    check_mac "mac" mac;
+    payload_req header tag_authenticate (fun buf ->
+        put_string buf tenant;
+        put_string buf nonce;
+        put_string buf mac)
+  | Rotate { tenant; status_only } ->
+    check_tenant tenant;
+    payload_req header tag_rotate (fun buf ->
+        put_string buf tenant;
+        Buffer.add_char buf (if status_only then '\x01' else '\x00'))
 
 let decode_request data =
   let tag, cur = open_payload data in
   let trace_id = get_string cur in
   check_trace_id trace_id;
+  let session = get_string cur in
+  check_session session;
   let req =
     if tag = tag_ping then Ping
     else if tag = tag_query then begin
@@ -336,10 +423,35 @@ let decode_request data =
       Wal_since { from_pos; max_bytes }
     end
     else if tag = tag_fence then Fence { epoch = get_nat cur }
+    else if tag = tag_open_session then begin
+      let tenant = get_string cur in
+      check_tenant tenant;
+      Open_session { tenant }
+    end
+    else if tag = tag_authenticate then begin
+      let tenant = get_string cur in
+      check_tenant tenant;
+      let nonce = get_string cur in
+      check_mac "nonce" nonce;
+      let mac = get_string cur in
+      check_mac "mac" mac;
+      Authenticate { tenant; nonce; mac }
+    end
+    else if tag = tag_rotate then begin
+      let tenant = get_string cur in
+      check_tenant tenant;
+      let status_only =
+        match get_byte cur with
+        | 0 -> false
+        | 1 -> true
+        | n -> fail "bad status_only flag %d" n
+      in
+      Rotate { tenant; status_only }
+    end
     else fail "unknown request tag 0x%02x" tag
   in
   close_payload cur;
-  (trace_id, req)
+  ({ trace_id; session }, req)
 
 (* ------------------------------------------------------------------ *)
 (* Responses *)
@@ -394,6 +506,18 @@ let encode_response = function
   | Applied { wal_pos } -> payload tag_applied (fun buf -> put_int buf wal_pos)
   | Epoch_state { epoch } ->
     payload tag_epoch_state (fun buf -> put_int buf epoch)
+  | Session_challenge { nonce } ->
+    payload tag_session_challenge (fun buf -> put_string buf nonce)
+  | Session_ok { token } ->
+    payload tag_session_ok (fun buf -> put_string buf token)
+  | Rotation { state; generation; rows_moved; rows_total } ->
+    payload tag_rotation (fun buf ->
+        put_string buf state;
+        put_int buf generation;
+        put_int buf rows_moved;
+        put_int buf rows_total)
+  | Unsupported_version { server_version } ->
+    payload tag_unsupported_version (fun buf -> put_int buf server_version)
   | Wal_chunk { resync; records; next_pos; end_pos } ->
     payload tag_wal_chunk (fun buf ->
         Buffer.add_char buf (if resync then '\x01' else '\x00');
@@ -487,6 +611,25 @@ let decode_response data =
     end
     else if tag = tag_applied then Applied { wal_pos = get_nat cur }
     else if tag = tag_epoch_state then Epoch_state { epoch = get_nat cur }
+    else if tag = tag_session_challenge then begin
+      let nonce = get_string cur in
+      check_mac "nonce" nonce;
+      Session_challenge { nonce }
+    end
+    else if tag = tag_session_ok then begin
+      let token = get_string cur in
+      check_session token;
+      Session_ok { token }
+    end
+    else if tag = tag_rotation then begin
+      let state = get_string cur in
+      let generation = get_nat cur in
+      let rows_moved = get_nat cur in
+      let rows_total = get_nat cur in
+      Rotation { state; generation; rows_moved; rows_total }
+    end
+    else if tag = tag_unsupported_version then
+      Unsupported_version { server_version = get_nat cur }
     else if tag = tag_wal_chunk then begin
       let resync =
         match get_byte cur with

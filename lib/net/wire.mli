@@ -17,20 +17,44 @@ open Mope_db
 
 exception Protocol_error of string
 
+exception Version_mismatch of { peer_version : int }
+(** The payload's version byte differs from {!version} (and the message is
+    not the version-independent [Unsupported_version] escape hatch).
+    Distinct from {!Protocol_error} so a server can answer the structured
+    {!Unsupported_version} response instead of a generic [Bad_frame]. *)
+
 val version : int
-(** Current protocol version (6 — v6 added cluster fault tolerance: a
-    fencing [epoch] field on [Fetch]/[Apply], a client-minted [request_id]
-    on [Apply] for exactly-once retries, the [Fence] request with its
-    [Epoch_state] response, and the [Fenced] error code; v5 added the
-    cluster store/replication ops [Fetch]/[Apply]/[Wal_since] and their
-    responses; v4 added the cache-counter fields to {!counters}; v3 added
-    a trace-id field to the request header; v2 added the [retry_after]
-    field to error responses). A decoder rejects frames whose version byte
-    differs — version bumps are breaking by design; additions that only
-    define new tags do not bump it. *)
+(** Current protocol version (7 — v7 added multi-tenancy: a session-token
+    field in the request header, the [Open_session]/[Authenticate]/
+    [Rotate] requests with their [Session_challenge]/[Session_ok]/
+    [Rotation] responses, the [Auth_failed]/[Unknown_tenant] error codes,
+    and the version-independent [Unsupported_version] response; v6 added
+    cluster fault tolerance: a fencing [epoch] field on [Fetch]/[Apply], a
+    client-minted [request_id] on [Apply] for exactly-once retries, the
+    [Fence] request with its [Epoch_state] response, and the [Fenced]
+    error code; v5 added the cluster store/replication ops
+    [Fetch]/[Apply]/[Wal_since] and their responses; v4 added the
+    cache-counter fields to {!counters}; v3 added a trace-id field to the
+    request header; v2 added the [retry_after] field to error responses).
+    A decoder rejects frames whose version byte differs — version bumps
+    are breaking by design; additions that only define new tags do not
+    bump it. The one exception is [Unsupported_version] (tag 0xBE), whose
+    frozen single-integer body decodes under any version byte: it exists
+    precisely to tell a mismatched peer which version the server speaks. *)
 
 val max_trace_id : int
 (** Upper bound on the length of a request's trace id (64 bytes). *)
+
+val max_session : int
+(** Upper bound on the length of a header session token (64 bytes). *)
+
+val max_tenant_id : int
+(** Upper bound on the length of a tenant id (64 bytes) — also bounds the
+    tenant metric-label values derived from it. *)
+
+val max_mac : int
+(** Upper bound on the length of a handshake nonce or MAC (128 bytes, hex
+    renderings of at most 32 raw bytes). *)
 
 val max_request_id : int
 (** Upper bound on the length of an [Apply] request id (64 bytes) — the
@@ -67,6 +91,16 @@ type stats = {
   traces : Mope_obs.Trace.dump list;  (** newest first *)
 }
 
+type header = { trace_id : string; session : string }
+(** The v7 request header, carried between the tag byte and the body of
+    every request: the client-minted trace id (v3, [""] = untraced) and
+    the session token minted by a successful [Authenticate] (v7, [""] =
+    unauthenticated — sufficient for [Ping]/[Open_session]/[Authenticate]
+    and for single-tenant services that predate sessions). *)
+
+val no_header : header
+(** [{ trace_id = ""; session = "" }]. *)
+
 type request =
   | Ping
   | Query of {
@@ -99,6 +133,21 @@ type request =
           it is re-pointed or rebuilt. [epoch = 0] only queries. Answered
           with {!Epoch_state}. Sent by the supervisor to a deposed primary
           that comes back from a partition *)
+  | Open_session of { tenant : string }
+      (** first half of the session handshake: ask the server for a fresh
+          challenge nonce for [tenant]; answered with {!Session_challenge}
+          (or {!Unknown_tenant}) *)
+  | Authenticate of { tenant : string; nonce : string; mac : string }
+      (** second half: [mac] is the hex HMAC of the challenge [nonce]
+          under the tenant's shared auth secret. A correct MAC is answered
+          with {!Session_ok} carrying the token to put in every subsequent
+          request header; anything else gets {!Auth_failed} *)
+  | Rotate of { tenant : string; status_only : bool }
+      (** start an online key rotation for the session's own tenant
+          ([status_only = false]; idempotent while one is running), or
+          poll the current rotation state ([status_only = true]). Requires
+          an authenticated session for [tenant] — rotating someone else's
+          keys is {!Auth_failed}. Answered with {!Rotation} *)
 
 type error_code =
   | Bad_frame    (** the peer sent something the codec rejected *)
@@ -110,6 +159,11 @@ type error_code =
       (** the request's fencing epoch does not match the store's — either
           the requester is behind a promotion, or the store is a sealed or
           stale ex-primary; the message names both epochs *)
+  | Auth_failed
+      (** bad MAC, unknown/expired session token, or a session used for a
+          tenant it was not opened for; the message never says which *)
+  | Unknown_tenant
+      (** [Open_session] named a tenant the registry does not know *)
 
 type response =
   | Pong
@@ -129,6 +183,22 @@ type response =
     }
   | Epoch_state of { epoch : int }
       (** the store's fencing epoch after a {!Fence} request *)
+  | Session_challenge of { nonce : string }
+      (** the server-minted challenge to MAC in {!request.Authenticate} *)
+  | Session_ok of { token : string }
+      (** the session is open; put [token] in every subsequent request
+          header ({!header.session}) *)
+  | Rotation of {
+      state : string;  (** ["serving"] or ["rotating"] *)
+      generation : int;  (** key generation currently serving reads *)
+      rows_moved : int;  (** rows re-encrypted so far in this rotation *)
+      rows_total : int;  (** rows to move (0 when idle) *)
+    }  (** rotation progress after a {!request.Rotate} *)
+  | Unsupported_version of { server_version : int }
+      (** the request's version byte differs from the server's. The one
+          message decodable under any version byte (frozen body layout),
+          so a pre-v7 client fails with a structured error instead of a
+          codec crash *)
   | Error of {
       code : error_code;
       message : string;
@@ -143,13 +213,15 @@ val error_code_to_string : error_code -> string
 (* Codecs: [encode_*] produce a payload (no length prefix); [decode_*]
    consume one and raise [Protocol_error] on any malformation. *)
 
-val encode_request : ?trace_id:string -> request -> string
-(** [trace_id] (default [""] = untraced) rides in the request header; it
-    must be at most {!max_trace_id} bytes. *)
+val encode_request : ?trace_id:string -> ?session:string -> request -> string
+(** [trace_id] (default [""] = untraced) and [session] (default [""] =
+    unauthenticated) ride in the request header; they must be at most
+    {!max_trace_id} and {!max_session} bytes respectively. *)
 
-val decode_request : string -> string * request
-(** Returns [(trace_id, request)]; the trace id is [""] when the client
-    sent none. *)
+val decode_request : string -> header * request
+(** Returns the request with its header; header fields are [""] when the
+    client sent none. Raises {!Version_mismatch} (never [Protocol_error])
+    when the version byte differs from {!version}. *)
 
 val encode_response : response -> string
 val decode_response : string -> response

@@ -90,6 +90,58 @@ let default_buckets =
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 let registry_lock = Mutex.create ()
 
+(* ---------- label-cardinality guard ----------
+
+   A label whose values come from the outside world (tenant ids above all)
+   can mint unbounded metric instances and blow up every scrape. The
+   registry therefore caps the number of DISTINCT label-value sets per
+   family: registering a fresh labeled instance beyond the cap evicts the
+   family's oldest labeled instance from the registry (its handle keeps
+   working but no longer renders) and bumps
+   [mope_metrics_labels_dropped_total]. Unlabeled instances are never
+   subject to the cap. *)
+
+let max_label_sets_cap = Atomic.make 64
+
+let set_max_label_sets n =
+  if n < 1 then invalid_arg "Metrics.set_max_label_sets";
+  Atomic.set max_label_sets_cap n
+
+let max_label_sets () = Atomic.get max_label_sets_cap
+
+(* family name -> labeled instance keys, oldest registration first *)
+let family_label_sets : (string, string Queue.t) Hashtbl.t = Hashtbl.create 16
+
+(* The drop counter is itself a registered metric, created at module end
+   (after [counter] exists); evictions before that land in the raw atomic
+   the counter is later seeded from. Drops are counted even while the
+   registry is disabled: they are registry hygiene, not a hot path. *)
+let dropped_counter : int Atomic.t option ref = ref None
+let dropped_before_init = Atomic.make 0
+
+let note_dropped () =
+  match !dropped_counter with
+  | Some cell -> ignore (Atomic.fetch_and_add cell 1)
+  | None -> ignore (Atomic.fetch_and_add dropped_before_init 1)
+
+(* Called under [registry_lock] just before inserting a fresh labeled
+   instance. *)
+let admit_label_set name ikey =
+  let q =
+    match Hashtbl.find_opt family_label_sets name with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace family_label_sets name q;
+      q
+  in
+  if Queue.length q >= Atomic.get max_label_sets_cap then begin
+    let oldest = Queue.pop q in
+    Hashtbl.remove registry oldest;
+    note_dropped ()
+  end;
+  Queue.push ikey q
+
 let instance_key name labels =
   match labels with
   | [] -> name
@@ -127,6 +179,7 @@ let register name labels build match_existing =
                 (kind_name existing)))
       | None ->
         let v, m = build labels in
+        if labels <> [] then admit_label_set name ikey;
         Hashtbl.replace registry ikey m;
         v)
 
@@ -395,3 +448,16 @@ let render_json () =
     (String.concat "," (List.rev !counters))
     (String.concat "," (List.rev !gauges))
     (String.concat "," (List.rev !histograms))
+
+(* ---------- cardinality-guard drop counter ---------- *)
+
+let labels_dropped_total =
+  counter
+    ~help:"Labeled metric instances evicted by the per-family label-cardinality cap"
+    "mope_metrics_labels_dropped_total" ()
+
+let () =
+  Atomic.set labels_dropped_total.c_value (Atomic.get dropped_before_init);
+  dropped_counter := Some labels_dropped_total.c_value
+
+let labels_dropped () = counter_value labels_dropped_total

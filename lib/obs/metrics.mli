@@ -12,7 +12,14 @@
     denylist of secret-ish names (key/offset/plaintext/...); the static
     mope-lint secret-flow rule additionally treats this module as a sink, so
     secret-named values cannot reach a metric either statically or at
-    runtime. *)
+    runtime.
+
+    Cardinality hygiene: labels whose values come from the outside world
+    (tenant ids above all) could mint unbounded metric instances. The
+    registry caps the distinct label-value sets per family
+    ({!set_max_label_sets}); registering beyond the cap evicts the family's
+    oldest labeled instance — its handle keeps working but no longer
+    renders — and bumps [mope_metrics_labels_dropped_total]. *)
 
 type counter
 type gauge
@@ -47,6 +54,18 @@ val histogram :
   histogram
 (** [buckets] are ascending finite upper bounds (default
     {!default_buckets}); an implicit overflow bucket is appended. *)
+
+(** {1 Label-cardinality guard} *)
+
+val set_max_label_sets : int -> unit
+(** Cap (≥ 1) on distinct label-value sets per metric family; default 64.
+    Lowering the cap affects future registrations only. *)
+
+val max_label_sets : unit -> int
+
+val labels_dropped : unit -> int
+(** Evictions so far, also exported as
+    [mope_metrics_labels_dropped_total]. *)
 
 (** {1 Hot-path mutation} *)
 

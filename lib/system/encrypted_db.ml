@@ -99,8 +99,24 @@ let decrypt_value t ~table ~column encryption value =
   | (Mope_date | Mope_int _ | Det_int), _ ->
     invalid_arg "Encrypted_db: unexpected ciphertext shape"
 
-let create ~key ?(ope_cache = true) ~window_lo ~date_domain ?ope_range ~plain
-    ~specs () =
+(* Encrypt one plaintext row into its encrypted-twin shape (inverse of
+   [decrypt_row]). Schemas must already be registered for [table]. *)
+let encrypt_row t ~table row =
+  let schema =
+    match Hashtbl.find_opt t.plain_schemas table with
+    | Some s -> s
+    | None -> invalid_arg ("Encrypted_db.encrypt_row: unknown table " ^ table)
+  in
+  Array.mapi
+    (fun i v ->
+      let col = (Schema.column_at schema i).Schema.name in
+      match Hashtbl.find_opt t.encryptions (table, col) with
+      | Some enc -> encrypt_value t ~table ~column:col enc v
+      | None -> v)
+    row
+
+let create ~key ?(ope_cache = true) ?(populate = true) ~window_lo ~date_domain
+    ?ope_range ~plain ~specs () =
   let range =
     match ope_range with Some r -> r | None -> Ope.recommended_range date_domain
   in
@@ -135,23 +151,9 @@ let create ~key ?(ope_cache = true) ~window_lo ~date_domain ?ope_range ~plain
         spec.encrypted_columns;
       let enc_schema = encrypted_schema plain_schema spec.encrypted_columns in
       let dest = Database.create_table t.server ~name:spec.table ~schema:enc_schema in
-      let positions =
-        List.map
-          (fun (col, enc) -> (Schema.index_of plain_schema col, enc))
-          spec.encrypted_columns
-      in
-      let names =
-        List.map
-          (fun (col, _) -> (Schema.index_of plain_schema col, col))
-          spec.encrypted_columns
-      in
-      Table.iter source (fun _ row ->
-          let out = Array.copy row in
-          List.iter2
-            (fun (pos, enc) (_, col) ->
-              out.(pos) <- encrypt_value t ~table:spec.table ~column:col enc row.(pos))
-            positions names;
-          ignore (Table.insert dest out));
+      if populate then
+        Table.iter source (fun _ row ->
+            ignore (Table.insert dest (encrypt_row t ~table:spec.table row)));
       List.iter (fun col -> Table.create_index dest col) spec.index_columns)
     specs;
   t

@@ -27,6 +27,7 @@ type t
 val create :
   key:string ->
   ?ope_cache:bool ->
+  ?populate:bool ->
   window_lo:Mope_db.Date.t ->
   date_domain:int ->
   ?ope_range:int ->
@@ -37,7 +38,12 @@ val create :
 (** Encrypt every table named in [specs] into a fresh server database.
     [ope_range] defaults to [Ope.recommended_range date_domain]. [ope_cache]
     (default true) enables the OPE schemes' encrypt/decrypt memo tables;
-    benchmarks disable it to measure the fully uncached walk cost. *)
+    benchmarks disable it to measure the fully uncached walk cost.
+    [populate] (default true) controls whether the plaintext rows are
+    bulk-encrypted into the twin; [populate:false] builds only the schemas,
+    empty tables and indexes — the shape an online key rotation starts
+    from, filling the twin row by row with {!encrypt_row} while the old
+    generation keeps serving. *)
 
 val server : t -> Mope_db.Database.t
 (** The untrusted server's database (encrypted twins only). *)
@@ -83,6 +89,12 @@ val decrypt_row :
   t -> table:string -> Mope_db.Value.t array -> Mope_db.Value.t array
 (** Decrypt one fetched row of an encrypted table back to its plaintext
     schema (dates and DET ints restored, other columns passed through). *)
+
+val encrypt_row :
+  t -> table:string -> Mope_db.Value.t array -> Mope_db.Value.t array
+(** Encrypt one plaintext row into the encrypted twin's shape — the
+    inverse of {!decrypt_row}, and the unit of work of an online key
+    rotation's re-encryption stream. *)
 
 val partition_column : t -> table:string -> string option
 (** The column a cluster range-shards this table by: its first [Mope_date]

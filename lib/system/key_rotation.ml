@@ -40,3 +40,103 @@ let rotate ~enc ~new_key =
 
 let offsets_differ a b =
   Mope.offset (Encrypted_db.mope a) <> Mope.offset (Encrypted_db.mope b)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming row move (online rotation).
+
+   [rotate] above is offline: nothing may query the handle while the twin
+   is rebuilt. The move API instead re-encrypts in bounded chunks, each
+   chunk MOVING rows (insert into the new generation, delete from the
+   old) so that at every instant each logical row lives in exactly one
+   generation. A reader that fetches through BOTH generations and pools
+   the surviving plaintext rows (Proxy.fetch_decrypted / eval_over) then
+   sees every row exactly once at any point of the move — the dual-key
+   read window. The caller serializes [move_chunk] against its readers
+   (per-tenant lock); crash recovery restarts the whole rotation, which
+   is idempotent because the source of truth (old ∪ new) never loses a
+   row. *)
+
+type move = {
+  source : Encrypted_db.t;
+  target : Encrypted_db.t;
+  mutable remaining : string list;  (* tables not yet fully moved *)
+  mutable rows_moved : int;
+  rows_total : int;
+}
+
+(* An empty plaintext shell carrying just the schemas, so the target
+   generation can be built unpopulated without the original plain DB. *)
+let plain_shell enc =
+  let db = Database.create () in
+  List.iter
+    (fun spec ->
+      ignore
+        (Database.create_table db ~name:spec.Encrypted_db.table
+           ~schema:(Encrypted_db.plain_schema enc spec.Encrypted_db.table)))
+    (Encrypted_db.specs enc);
+  db
+
+let start_move ~enc ~new_key =
+  let target =
+    Encrypted_db.create ~key:new_key ~populate:false
+      ~window_lo:(Encrypted_db.window_lo enc)
+      ~date_domain:(Encrypted_db.date_domain enc) ~plain:(plain_shell enc)
+      ~specs:(Encrypted_db.specs enc) ()
+  in
+  let tables =
+    List.map (fun s -> s.Encrypted_db.table) (Encrypted_db.specs enc)
+  in
+  let rows_total =
+    List.fold_left
+      (fun acc table ->
+        let n = ref 0 in
+        Table.iter (Database.table_exn (Encrypted_db.server enc) table)
+          (fun _ _ -> incr n);
+        acc + !n)
+      0 tables
+  in
+  { source = enc; target; remaining = tables; rows_moved = 0; rows_total }
+
+let move_target mv = mv.target
+
+let move_progress mv = (mv.rows_moved, mv.rows_total)
+
+let move_done mv = mv.remaining = []
+
+(* Move up to [max_rows] rows; returns how many actually moved (0 only
+   when the move is complete). Runs under the caller's lock: each chunk
+   is atomic with respect to readers. *)
+let move_chunk mv ~max_rows =
+  if max_rows < 1 then invalid_arg "Key_rotation.move_chunk: max_rows";
+  let rec table_chunk budget =
+    match mv.remaining with
+    | [] -> 0
+    | table :: rest ->
+      let src = Database.table_exn (Encrypted_db.server mv.source) table in
+      let dst = Database.table_exn (Encrypted_db.server mv.target) table in
+      (* Collect the ids first: deleting while iterating would shift the
+         walk under our feet. *)
+      let ids = ref [] and n = ref 0 in
+      Table.iter src (fun id _ ->
+          if !n < budget then begin
+            ids := id :: !ids;
+            incr n
+          end);
+      if !n = 0 then begin
+        mv.remaining <- rest;
+        table_chunk budget
+      end
+      else begin
+        List.iter
+          (fun id ->
+            let row = Table.get src id in
+            let plain = Encrypted_db.decrypt_row mv.source ~table row in
+            ignore
+              (Table.insert dst (Encrypted_db.encrypt_row mv.target ~table plain));
+            ignore (Table.delete src id))
+          (List.rev !ids);
+        mv.rows_moved <- mv.rows_moved + !n;
+        !n
+      end
+  in
+  table_chunk max_rows

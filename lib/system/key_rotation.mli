@@ -25,3 +25,38 @@ val rotate : enc:Encrypted_db.t -> new_key:string -> Encrypted_db.t * report
 val offsets_differ : Encrypted_db.t -> Encrypted_db.t -> bool
 (** Whether two handles use different secret offsets (what rotation is
     meant to refresh; true with probability 1 − 1/M for random keys). *)
+
+(** {2 Streaming row move (online rotation)}
+
+    {!rotate} is offline: nothing may query the handle while the twin is
+    rebuilt. A {!move} instead re-encrypts in bounded chunks, each chunk
+    {e moving} rows — insert into the new generation, delete from the old
+    — so at every instant each logical row lives in exactly one
+    generation. A reader that fetches through both generations and pools
+    the plaintext rows ({!Proxy.fetch_decrypted} + {!Proxy.eval_over})
+    sees every row exactly once at any point of the move. The caller must
+    serialize {!move_chunk} against those readers (the tenant layer's
+    per-tenant lock); after a crash the rotation simply restarts — no row
+    is ever lost because old ∪ new is always complete. *)
+
+type move
+
+val start_move : enc:Encrypted_db.t -> new_key:string -> move
+(** Build the target generation under [new_key] (same window, domain and
+    specs; schemas, empty tables and indexes only) and count the rows to
+    move. The source handle keeps serving. *)
+
+val move_target : move -> Encrypted_db.t
+(** The new generation being filled (serve it alongside the source during
+    the window; it becomes the only generation at cutover). *)
+
+val move_chunk : move -> max_rows:int -> int
+(** Move up to [max_rows] rows (decrypt old, encrypt new, insert, delete).
+    Returns the number of rows actually moved; [0] means the move is
+    complete. Must run under the same lock as concurrent readers of the
+    two generations. *)
+
+val move_progress : move -> int * int
+(** [(rows_moved, rows_total)]. *)
+
+val move_done : move -> bool

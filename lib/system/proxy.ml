@@ -281,7 +281,13 @@ let plan_executions t pieces =
     done;
     List.rev !out
 
-let execute t ~sql ~date_column ~date_lo ~date_hi =
+(* The fetch half of the pipeline: parse, transform, schedule fakes, fetch
+   and decrypt — everything up to (but not including) the local
+   re-evaluation. Exposed separately so a caller holding {e two} handles
+   over the same plaintext (the dual-key window of an online rotation) can
+   pool the surviving plaintext rows of both generations and evaluate the
+   client's statement once over the union. *)
+let fetch_decrypted t ~sql ~date_column ~date_lo ~date_hi =
   let ast = Sql_parser.parse sql in
   let enc = t.enc in
   let m = Encrypted_db.date_domain enc in
@@ -392,12 +398,20 @@ let execute t ~sql ~date_column ~date_lo ~date_hi =
       m "client query [%s, %s]: %d pieces, %d executed starts, %d rows kept"
         (Date.to_string date_lo) (Date.to_string date_hi) (List.length pieces)
         (List.length executed) (List.length !accepted));
-  (* Local re-evaluation of the client's original statement. *)
+  (ast, List.rev !accepted)
+
+(* Local re-evaluation of the client's original statement over surviving
+   plaintext rows (possibly pooled from several fetch_decrypted calls). *)
+let eval_over t ~ast rows =
   Trace.with_span "local_eval" (fun () ->
       let local = Database.create () in
       let fetched =
         Database.create_table local ~name:"__fetched"
-          ~schema:(combined_schema enc ast.Sql_ast.from)
+          ~schema:(combined_schema t.enc ast.Sql_ast.from)
       in
-      List.iter (fun row -> ignore (Table.insert fetched row)) (List.rev !accepted);
+      List.iter (fun row -> ignore (Table.insert fetched row)) rows;
       Database.query_ast local (local_statement ast))
+
+let execute t ~sql ~date_column ~date_lo ~date_hi =
+  let ast, rows = fetch_decrypted t ~sql ~date_column ~date_lo ~date_hi in
+  eval_over t ~ast rows

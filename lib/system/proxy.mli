@@ -106,3 +106,27 @@ val execute :
     spans [\[date_lo, date_hi\]] (both dates inside the encryption window).
     Returns exactly what the plaintext database would return for [sql]
     (up to row order within equal sort keys). *)
+
+val fetch_decrypted :
+  t ->
+  sql:string ->
+  date_column:string ->
+  date_lo:Date.t ->
+  date_hi:Date.t ->
+  Sql_ast.select * Mope_db.Value.t array list
+(** The fetch half of {!execute}: transform, schedule fakes, fetch and
+    decrypt, returning the parsed statement and the surviving plaintext
+    rows {e before} local re-evaluation. {!execute} is
+    [fetch_decrypted] composed with {!eval_over}; the split exists for
+    callers that hold two proxies over the same plaintext — the dual-key
+    read window of an online key rotation — and must evaluate the
+    client's statement once over the union of both generations' rows
+    (an aggregate evaluated per-generation and then merged would be
+    wrong). *)
+
+val eval_over :
+  t -> ast:Sql_ast.select -> Mope_db.Value.t array list -> Exec.result
+(** Evaluate a client statement (as returned by {!fetch_decrypted}) locally
+    over the given plaintext rows — aggregates, GROUP BY, ORDER BY and any
+    residual predicates. Row pooling across generations is the caller's
+    business; pass rows in a deterministic order. *)

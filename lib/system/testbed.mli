@@ -35,6 +35,25 @@ val encrypted_for : ?ope_cache:bool -> t -> rho:int option -> Encrypted_db.t
     {!Encrypted_db.create} — benchmarks pass [false] to price the fully
     uncached OPE walks. *)
 
+val specs : Encrypted_db.spec list
+(** The TPC-H column specs the encrypted twins are built with — exposed so
+    multi-tenant frontends can build per-tenant twins of the same shape
+    under their own keys. *)
+
+val proxy_over :
+  Encrypted_db.t ->
+  template:Tpch_queries.template ->
+  rho:int option ->
+  ?batch_size:int ->
+  ?caching:bool ->
+  ?fetch:Proxy.fetch ->
+  ?seed:int64 ->
+  unit ->
+  Proxy.t
+(** Like {!proxy}, but over a caller-supplied encrypted handle (e.g. a
+    tenant's own generation, or a rotation's incoming one) instead of the
+    testbed's cached twin. *)
+
 val proxy :
   t ->
   template:Tpch_queries.template ->

@@ -1,0 +1,40 @@
+(** Challenge–response session layer for the multi-tenant frontend.
+
+    Wire v7 handshake: [Open_session{tenant}] returns a fresh server nonce
+    ([Session_challenge]); the client proves knowledge of the tenant's
+    shared secret by returning [Authenticate{tenant; nonce; mac}] with
+    [mac = Hmac.mac_hex ~key:secret nonce], and receives a bearer token
+    ([Session_ok]) it then carries in every request header. The secret
+    itself never crosses the wire, and a recorded handshake cannot be
+    replayed: each nonce is single-use and bound to the tenant it was
+    minted for.
+
+    Both the outstanding-nonce table and the live-session table are
+    bounded (oldest evicted first), so an unauthenticated peer hammering
+    [Open_session] cannot grow server memory. *)
+
+type t
+
+val create : ?max_pending:int -> ?max_sessions:int -> seed:int64 -> unit -> t
+(** [max_pending] (default 256) bounds outstanding challenges,
+    [max_sessions] (default 1024) bounds live tokens. [seed] drives the
+    nonce/token generator — deterministic for tests, and fine here because
+    nonces only need freshness (single-use), not secrecy. *)
+
+val challenge : t -> tenant:string -> string
+(** Mint a nonce for [tenant] and remember it (evicting the oldest pending
+    challenge when full). *)
+
+val authenticate : t -> tenant:string -> nonce:string -> mac:string -> secret:string -> string option
+(** Consume [nonce] (whether or not the proof verifies — one attempt per
+    challenge) and check [mac] against [Hmac.mac_hex ~key:secret nonce] in
+    constant time. [Some token] on success; [None] for an unknown/expired/
+    foreign nonce or a wrong mac. *)
+
+val tenant_of : t -> token:string -> string option
+(** The tenant a live session token belongs to. *)
+
+val revoke : t -> token:string -> unit
+
+val pending : t -> int
+val live : t -> int

@@ -1,0 +1,274 @@
+open Mope_system
+module Wire = Mope_net.Wire
+module Metrics = Mope_obs.Metrics
+module Trace = Mope_obs.Trace
+
+type t = {
+  registry : Registry.t;
+  sessions : Session.t;
+  max_inflight : int;
+  chunk_rows : int;
+  workers_lock : Mutex.t;
+  workers : (string, Thread.t) Hashtbl.t;  (* tenant id → live rotation worker *)
+}
+
+let create ~registry ?(max_inflight = 8) ?(chunk_rows = 64)
+    ?(session_seed = 0x7e4a47L) () =
+  if max_inflight < 1 then invalid_arg "Tenant_service.create: max_inflight";
+  if chunk_rows < 1 then invalid_arg "Tenant_service.create: chunk_rows";
+  { registry;
+    sessions = Session.create ~seed:session_seed ();
+    max_inflight;
+    chunk_rows;
+    workers_lock = Mutex.create ();
+    workers = Hashtbl.create 8 }
+
+let sessions t = t.sessions
+
+(* ---------- per-tenant metrics (idempotent registration) ---------- *)
+
+let m_queries id =
+  Metrics.counter "mope_tenant_queries_total" ~help:"Queries served per tenant"
+    ~labels:[ ("tenant", id) ] ()
+
+let m_shed id =
+  Metrics.counter "mope_tenant_shed_total"
+    ~help:"Requests shed by the per-tenant in-flight budget"
+    ~labels:[ ("tenant", id) ] ()
+
+let m_latency id =
+  Metrics.histogram "mope_tenant_query_seconds"
+    ~help:"Per-tenant query latency" ~labels:[ ("tenant", id) ] ()
+
+(* ---------- plumbing ---------- *)
+
+let err ?query ?retry_after code message =
+  Wire.Error { code; message; query; retry_after }
+
+(* Deliberately unspecific: an attacker probing sessions learns nothing
+   about which check failed (mirrors the Auth_failed doc in wire.mli). *)
+let auth_failed () = err Wire.Auth_failed "authentication failed"
+
+let locked (tenant : Registry.tenant) f =
+  Mutex.lock tenant.Registry.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock tenant.Registry.lock) f
+
+(* Resolve the header's session token to its tenant. Every tenant-scoped
+   request goes through here: the token names the tenant, so a session can
+   never reach another tenant's registry entry. *)
+let with_tenant t (header : Wire.header) k =
+  match Session.tenant_of t.sessions ~token:header.Wire.session with
+  | None -> auth_failed ()
+  | Some id ->
+    (match Registry.find t.registry id with
+    | None -> auth_failed ()
+    | Some tenant -> k tenant)
+
+(* In-flight budget, trace span and latency accounting around one
+   tenant-scoped request. Shedding happens before the tenant lock is
+   touched, so a storm queues on its own budget, not on the mutex. *)
+let guarded t (tenant : Registry.tenant) f =
+  let inflight = tenant.Registry.inflight in
+  let prior = Atomic.fetch_and_add inflight 1 in
+  if prior >= t.max_inflight then begin
+    ignore (Atomic.fetch_and_add inflight (-1));
+    Metrics.inc (m_shed tenant.Registry.id);
+    err Wire.Overloaded ~retry_after:0.05 "tenant in-flight budget exhausted"
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> ignore (Atomic.fetch_and_add inflight (-1)))
+      (fun () ->
+        Trace.with_span ("tenant:" ^ tenant.Registry.id) f)
+
+(* ---------- query path ---------- *)
+
+let proxy_for (gen : Registry.generation) column =
+  List.assoc_opt column gen.Registry.proxies
+
+(* Serving: straight through the current generation. Rotating: fetch and
+   decrypt through BOTH generations, then evaluate the client statement
+   once over the pooled rows. Each chunk of the move is atomic under the
+   same lock, so old ∪ new holds every row exactly once and the pooled
+   evaluation is byte-identical to a never-rotated tenant (for the
+   order-insensitive statements the proxy contract covers). *)
+let run_query (tenant : Registry.tenant) ~sql ~date_column ~date_lo ~date_hi =
+  locked tenant (fun () ->
+      match tenant.Registry.move with
+      | None ->
+        (match proxy_for tenant.Registry.current date_column with
+        | None ->
+          err Wire.Unsupported ~query:sql
+            ("no proxy serves date column " ^ date_column)
+        | Some proxy ->
+          Wire.Rows (Proxy.execute proxy ~sql ~date_column ~date_lo ~date_hi))
+      | Some (_, incoming) ->
+        (match
+           ( proxy_for tenant.Registry.current date_column,
+             proxy_for incoming date_column )
+         with
+        | Some p_old, Some p_new ->
+          let ast, rows_old =
+            Proxy.fetch_decrypted p_old ~sql ~date_column ~date_lo ~date_hi
+          in
+          let _, rows_new =
+            Proxy.fetch_decrypted p_new ~sql ~date_column ~date_lo ~date_hi
+          in
+          Wire.Rows (Proxy.eval_over p_old ~ast (rows_old @ rows_new))
+        | _ ->
+          err Wire.Unsupported ~query:sql
+            ("no proxy serves date column " ^ date_column)))
+
+let query t tenant ~sql ~date_column ~date_lo ~date_hi =
+  guarded t tenant (fun () ->
+      Metrics.inc (m_queries tenant.Registry.id);
+      match
+        Metrics.time (m_latency tenant.Registry.id) (fun () ->
+            Trace.with_span "exec" (fun () ->
+                run_query tenant ~sql ~date_column ~date_lo ~date_hi))
+      with
+      | resp -> resp
+      | exception e ->
+        err Wire.Exec_failed ~query:sql (Mope_error.describe_exn e))
+
+(* ---------- per-tenant counters ---------- *)
+
+let counters (tenant : Registry.tenant) =
+  locked tenant (fun () ->
+      let base =
+        List.fold_left
+          (fun acc (_, proxy) ->
+            let c = Proxy.counters proxy in
+            { acc with
+              Wire.client_queries =
+                acc.Wire.client_queries + c.Proxy.client_queries;
+              real_pieces = acc.Wire.real_pieces + c.Proxy.real_pieces;
+              fake_queries = acc.Wire.fake_queries + c.Proxy.fake_queries;
+              server_requests =
+                acc.Wire.server_requests + c.Proxy.server_requests;
+              rows_fetched = acc.Wire.rows_fetched + c.Proxy.rows_fetched;
+              rows_delivered =
+                acc.Wire.rows_delivered + c.Proxy.rows_delivered;
+              segment_cache_hits =
+                acc.Wire.segment_cache_hits + c.Proxy.segment_cache_hits;
+              segment_cache_misses =
+                acc.Wire.segment_cache_misses + c.Proxy.segment_cache_misses })
+          { Wire.client_queries = 0; real_pieces = 0; fake_queries = 0;
+            server_requests = 0; rows_fetched = 0; rows_delivered = 0;
+            plan_cache_hits = 0; plan_cache_misses = 0; segment_cache_hits = 0;
+            segment_cache_misses = 0 }
+          tenant.Registry.current.Registry.proxies
+      in
+      match
+        Mope_db.Database.plan_cache_stats
+          (Encrypted_db.server tenant.Registry.current.Registry.enc)
+      with
+      | None -> base
+      | Some s ->
+        { base with
+          Wire.plan_cache_hits = s.Mope_db.Plan_cache.hits;
+          plan_cache_misses = s.Mope_db.Plan_cache.misses })
+
+(* ---------- rotation ---------- *)
+
+let rotation_response (st : Rotation.status) =
+  Wire.Rotation
+    { state = st.Rotation.state;
+      generation = st.Rotation.generation;
+      rows_moved = st.Rotation.rows_moved;
+      rows_total = st.Rotation.rows_total }
+
+(* At most one background worker per tenant; a worker unregisters itself
+   when its rotation cuts over (or was already over). *)
+let spawn_worker t (tenant : Registry.tenant) =
+  let id = tenant.Registry.id in
+  Mutex.lock t.workers_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.workers_lock)
+    (fun () ->
+      if not (Hashtbl.mem t.workers id) then begin
+        let thread =
+          Thread.create
+            (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  Mutex.lock t.workers_lock;
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock t.workers_lock)
+                    (fun () -> Hashtbl.remove t.workers id))
+                (fun () ->
+                  let rec drive () =
+                    if not (Rotation.step t.registry tenant
+                              ~chunk_rows:t.chunk_rows)
+                    then begin
+                      Thread.yield ();
+                      drive ()
+                    end
+                  in
+                  drive ()))
+            ()
+        in
+        Hashtbl.replace t.workers id thread
+      end)
+
+let join_workers t =
+  let snapshot () =
+    Mutex.lock t.workers_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.workers_lock)
+      (fun () -> Hashtbl.fold (fun _ th acc -> th :: acc) t.workers [])
+  in
+  let rec drain () =
+    match snapshot () with
+    | [] -> ()
+    | threads ->
+      List.iter Thread.join threads;
+      drain ()
+  in
+  drain ()
+
+let rotate t (tenant : Registry.tenant) ~target ~status_only =
+  guarded t tenant (fun () ->
+      if tenant.Registry.id <> target then auth_failed ()
+      else if status_only then rotation_response (Rotation.status tenant)
+      else begin
+        let st = Rotation.start t.registry tenant in
+        spawn_worker t tenant;
+        rotation_response st
+      end)
+
+(* ---------- dispatch ---------- *)
+
+let handler t (header : Wire.header) = function
+  | Wire.Ping -> Wire.Pong
+  | Wire.Open_session { tenant } ->
+    (match Registry.find t.registry tenant with
+    | None -> err Wire.Unknown_tenant ("unknown tenant " ^ tenant)
+    | Some _ ->
+      Wire.Session_challenge { nonce = Session.challenge t.sessions ~tenant })
+  | Wire.Authenticate { tenant; nonce; mac } ->
+    (match Registry.find t.registry tenant with
+    | None -> auth_failed ()
+    | Some entry ->
+      (match
+         Session.authenticate t.sessions ~tenant ~nonce ~mac
+           ~secret:entry.Registry.auth_secret
+       with
+      | Some token -> Wire.Session_ok { token }
+      | None -> auth_failed ()))
+  | Wire.Query { sql; date_column; date_lo; date_hi } ->
+    with_tenant t header (fun tenant ->
+        query t tenant ~sql ~date_column ~date_lo ~date_hi)
+  | Wire.Rotate { tenant = target; status_only } ->
+    with_tenant t header (fun tenant ->
+        rotate t tenant ~target ~status_only)
+  | Wire.Get_counters ->
+    with_tenant t header (fun tenant ->
+        guarded t tenant (fun () -> Wire.Counters (counters tenant)))
+  | Wire.Get_stats ->
+    with_tenant t header (fun tenant ->
+        guarded t tenant (fun () -> Mope_net.Service.stats ()))
+  | Wire.Fetch { sql; _ } | Wire.Apply { sql; _ } ->
+    err Wire.Unsupported ~query:sql "store operation sent to a tenant frontend"
+  | Wire.Wal_since _ | Wire.Fence _ ->
+    err Wire.Unsupported "cluster control operation sent to a tenant frontend"

@@ -1,0 +1,51 @@
+(** Multi-tenant request dispatcher: wire v7 sessions in front of the
+    {!Registry}.
+
+    The single-tenant {!Mope_net.Service} trusts every connection; this
+    frontend authenticates first. [Open_session]/[Authenticate] run the
+    {!Session} handshake; every other request (except [Ping]) must carry a
+    live session token in its header and is served against the token's own
+    tenant — there is no way to name another tenant's data, so isolation
+    is by construction, not by filtering.
+
+    Per-tenant isolation on the serving path:
+    - every request runs inside a ["tenant:<id>"] trace span and counts
+      into [mope_tenant_*{tenant="<id>"}] metrics (the registry's label
+      cap bounds the cardinality);
+    - each tenant has an in-flight budget; beyond it the request is shed
+      with [Overloaded] + [retry_after] {e before} touching the tenant
+      lock, so one tenant's storm queues on its own budget instead of
+      camping on the mutex every other request of that tenant needs;
+    - queries serialize on the tenant's lock (proxies are
+      single-threaded), never on another tenant's.
+
+    During an online rotation a query fetches through {e both}
+    generations' proxies and evaluates the client statement once over the
+    pooled plaintext rows — the dual-key read window — so results are
+    identical to a never-rotated tenant at every point of the move. *)
+
+type t
+
+val create :
+  registry:Registry.t ->
+  ?max_inflight:int ->
+  ?chunk_rows:int ->
+  ?session_seed:int64 ->
+  unit ->
+  t
+(** [max_inflight] (default 8) is the per-tenant concurrent-request
+    budget; [chunk_rows] (default 64) the rotation worker's chunk size;
+    [session_seed] (default [0x7e4a47L]) seeds the session-token
+    generator. *)
+
+val sessions : t -> Session.t
+
+val handler : t -> Mope_net.Wire.header -> Mope_net.Wire.request -> Mope_net.Wire.response
+(** Dispatch one request. [Rotate{status_only = false}] starts the
+    rotation and spawns (at most one) background worker for the tenant;
+    [Rotate{status_only = true}] polls. Store and cluster ops are
+    [Unsupported]. *)
+
+val join_workers : t -> unit
+(** Wait for every background rotation worker spawned by {!handler} to
+    finish (test/shutdown helper). *)

@@ -306,6 +306,8 @@ let test_decoder_fuzz () =
           match decode !payload with
           | (_ : unit) -> ()
           | exception Wire.Protocol_error _ -> ()
+          (* A mutated version byte is a sanctioned, typed outcome too. *)
+          | exception Wire.Version_mismatch _ -> ()
           | exception e ->
             Alcotest.fail
               (Printf.sprintf
@@ -334,7 +336,7 @@ let test_load_shedding () =
   let gate = Mutex.create () in
   let released = ref false in
   let release_cond = Condition.create () in
-  let handler = function
+  let handler (_ : Wire.header) = function
     | Wire.Ping ->
       Mutex.lock gate;
       while not !released do
@@ -434,7 +436,7 @@ let test_ping_probe_timeout () =
   let gate = Mutex.create () in
   let released = ref false in
   let release_cond = Condition.create () in
-  let handler = function
+  let handler (_ : Wire.header) = function
     | Wire.Ping ->
       Mutex.lock gate;
       while not !released do
@@ -494,7 +496,7 @@ let test_ping_probe_timeout_under_chaos () =
   (* Latency injected by the transport itself, between socket operations:
      the deadline check inside the probe must bound the total, because no
      socket timeout ever fires during a user-space sleep. *)
-  let handler = function
+  let handler (_ : Wire.header) = function
     | Wire.Ping -> Wire.Pong
     | _ ->
       Wire.Error
@@ -547,7 +549,7 @@ let test_ping_probe_timeout_under_chaos () =
    successful probe — all over a real loopback socket. *)
 
 let test_circuit_breaker () =
-  let handler = function
+  let handler (_ : Wire.header) = function
     | Wire.Ping -> Wire.Pong
     | _ ->
       Wire.Error

@@ -391,7 +391,7 @@ let test_store_wal_since_chunking () =
 let test_store_handler () =
   with_tmp_dir (fun dir ->
       let store = Store.create ~wal_path:(Filename.concat dir "s.wal") () in
-      let h = Store.handler store in
+      let h = Store.handler store Wire.no_header in
       Alcotest.(check bool) "ping" true (h Wire.Ping = Wire.Pong);
       (match
          h (Wire.Apply
@@ -489,7 +489,7 @@ let test_store_fencing () =
 let test_store_handler_fencing () =
   let store = Store.create () in
   Store.set_epoch store 2;
-  let h = Store.handler store in
+  let h = Store.handler store Wire.no_header in
   (match
      h (Wire.Apply { sql = "CREATE TABLE t (x INTEGER)"; epoch = 1; request_id = "" })
    with

@@ -274,6 +274,23 @@ let test_interproc_taint_clean () =
       ("lib/ope/top.ml", "let go rows = Mid.emit rows\n") ]
     "secret-flow-interproc" "neutral-named values flow freely"
 
+let test_interproc_taint_tenant_names () =
+  check_global_trips
+    [ taint_sink_mod; taint_mid;
+      ("lib/tenant/top.ml", "let go auth_secret = Mid.emit auth_secret\n") ]
+    "secret-flow-interproc"
+    "the tenant session secret is secret-named like any key"
+
+let test_interproc_taint_hmac_sanitizer () =
+  check_global_no
+    [ taint_sink_mod; taint_mid;
+      ("lib/tenant/top.ml",
+       "let go auth_secret nonce = Mid.emit (Hmac.mac_hex auth_secret nonce)\n")
+    ]
+    "secret-flow-interproc"
+    "the MAC computed under a secret is what the handshake sends; one-way, \
+     so it sanitizes"
+
 (* ---------- whole-program: lock order ---------- *)
 
 let test_lock_order_violation () =
@@ -347,6 +364,23 @@ let test_lock_blocking_clean () =
         \  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) (fun () -> \
          Unix.sleepf 0.1)\n" ) ]
     "lock-blocking" "lock rules are scoped to lib/net and lib/cluster"
+
+let test_lock_blocking_tenant_scope () =
+  check_global_trips
+    [ ( "lib/tenant/lb.ml",
+        "let f t =\n\
+        \  Mutex.lock t.m;\n\
+        \  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) (fun () -> \
+         Unix.sleepf 0.1)\n" ) ]
+    "lock-blocking" "the tenant layer takes serving-path locks too";
+  check_global_trips
+    [ ( "lib/tenant/lb.ml",
+        "let f t =\n\
+        \  Mutex.lock t.m;\n\
+        \  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) (fun () -> \
+         Client.open_session t.c)\n" ) ]
+    "lock-blocking"
+    "the session-handshake RPC is two round trips; never under a lock"
 
 (* ---------- whole-program: wire codec symmetry ---------- *)
 
@@ -682,7 +716,11 @@ let () =
             test_interproc_taint_violation;
           Alcotest.test_case "constructor seed" `Quick
             test_interproc_taint_constructor_seed;
-          Alcotest.test_case "clean" `Quick test_interproc_taint_clean ] );
+          Alcotest.test_case "clean" `Quick test_interproc_taint_clean;
+          Alcotest.test_case "tenant secret names" `Quick
+            test_interproc_taint_tenant_names;
+          Alcotest.test_case "hmac sanitizer" `Quick
+            test_interproc_taint_hmac_sanitizer ] );
       ( "lock-order",
         [ Alcotest.test_case "cycle" `Quick test_lock_order_violation;
           Alcotest.test_case "consistent order" `Quick test_lock_order_clean ]
@@ -691,7 +729,9 @@ let () =
         [ Alcotest.test_case "direct" `Quick test_lock_blocking_direct;
           Alcotest.test_case "through wrapper" `Quick
             test_lock_blocking_through_wrapper;
-          Alcotest.test_case "clean" `Quick test_lock_blocking_clean ] );
+          Alcotest.test_case "clean" `Quick test_lock_blocking_clean;
+          Alcotest.test_case "tenant scope" `Quick
+            test_lock_blocking_tenant_scope ] );
       ( "wire-symmetry",
         [ Alcotest.test_case "encoder-only tag" `Quick
             test_wire_symmetry_violation;

@@ -81,20 +81,113 @@ let test_request_roundtrip () =
 let test_trace_id_header () =
   (* The v3 header carries the trace id between tag and body; the default
      (empty) id means untraced. *)
-  let tid, req =
+  let hdr, req =
     Wire.decode_request (Wire.encode_request ~trace_id:"a1b2c3d4e5f60718" Wire.Ping)
   in
-  Alcotest.(check string) "trace id travels" "a1b2c3d4e5f60718" tid;
+  Alcotest.(check string) "trace id travels" "a1b2c3d4e5f60718" hdr.Wire.trace_id;
   Alcotest.(check bool) "request intact" true (req = Wire.Ping);
-  let tid, _ = Wire.decode_request (Wire.encode_request Wire.Get_counters) in
-  Alcotest.(check string) "untraced by default" "" tid;
+  let hdr, _ = Wire.decode_request (Wire.encode_request Wire.Get_counters) in
+  Alcotest.(check string) "untraced by default" "" hdr.Wire.trace_id;
   (* Oversized ids are rejected on both sides of the wire. *)
   (match Wire.encode_request ~trace_id:(String.make 65 'x') Wire.Ping with
   | _ -> Alcotest.fail "expected encode to reject an oversized trace id"
   | exception Wire.Protocol_error _ -> ());
   let at_cap = String.make Wire.max_trace_id 'y' in
-  let tid, _ = Wire.decode_request (Wire.encode_request ~trace_id:at_cap Wire.Ping) in
-  Alcotest.(check string) "cap-length id accepted" at_cap tid
+  let hdr, _ =
+    Wire.decode_request (Wire.encode_request ~trace_id:at_cap Wire.Ping)
+  in
+  Alcotest.(check string) "cap-length id accepted" at_cap hdr.Wire.trace_id
+
+let test_session_header () =
+  (* The v7 header also carries the session token; both fields travel
+     together and independently default to empty. *)
+  let hdr, req =
+    Wire.decode_request
+      (Wire.encode_request ~trace_id:"00aa00aa00aa00aa" ~session:"tok-42"
+         Wire.Get_counters)
+  in
+  Alcotest.(check string) "session travels" "tok-42" hdr.Wire.session;
+  Alcotest.(check string) "trace id alongside" "00aa00aa00aa00aa"
+    hdr.Wire.trace_id;
+  Alcotest.(check bool) "request intact" true (req = Wire.Get_counters);
+  let hdr, _ = Wire.decode_request (Wire.encode_request Wire.Ping) in
+  Alcotest.(check string) "unauthenticated by default" "" hdr.Wire.session;
+  (match
+     Wire.encode_request ~session:(String.make (Wire.max_session + 1) 's')
+       Wire.Ping
+   with
+  | _ -> Alcotest.fail "expected encode to reject an oversized session token"
+  | exception Wire.Protocol_error _ -> ());
+  let at_cap = String.make Wire.max_session 't' in
+  let hdr, _ =
+    Wire.decode_request (Wire.encode_request ~session:at_cap Wire.Ping)
+  in
+  Alcotest.(check string) "cap-length token accepted" at_cap hdr.Wire.session
+
+let test_session_ops_roundtrip () =
+  (* The v7 handshake and rotation ops. *)
+  let os = Wire.Open_session { tenant = "acme" } in
+  Alcotest.(check bool) "open_session" true (roundtrip_request os = os);
+  let au =
+    Wire.Authenticate
+      { tenant = "acme"; nonce = String.make 32 'a'; mac = String.make 64 'b' }
+  in
+  Alcotest.(check bool) "authenticate" true (roundtrip_request au = au);
+  let ro = Wire.Rotate { tenant = "acme"; status_only = false } in
+  Alcotest.(check bool) "rotate" true (roundtrip_request ro = ro);
+  let rs = Wire.Rotate { tenant = "acme"; status_only = true } in
+  Alcotest.(check bool) "rotate status" true (roundtrip_request rs = rs);
+  (* Oversized tenant ids and MACs are rejected at encode time. *)
+  (match
+     Wire.encode_request
+       (Wire.Open_session { tenant = String.make (Wire.max_tenant_id + 1) 'x' })
+   with
+  | _ -> Alcotest.fail "expected encode to reject an oversized tenant id"
+  | exception Wire.Protocol_error _ -> ());
+  (match
+     Wire.encode_request
+       (Wire.Authenticate
+          { tenant = "acme"; nonce = "n"; mac = String.make (Wire.max_mac + 1) 'm' })
+   with
+  | _ -> Alcotest.fail "expected encode to reject an oversized mac"
+  | exception Wire.Protocol_error _ -> ());
+  (* And the responses they are answered with. *)
+  let ch = Wire.Session_challenge { nonce = String.make 32 'c' } in
+  Alcotest.(check bool) "challenge" true (roundtrip_response ch = ch);
+  let ok = Wire.Session_ok { token = "tok" } in
+  Alcotest.(check bool) "session ok" true (roundtrip_response ok = ok);
+  let rot =
+    Wire.Rotation { state = "rotating"; generation = 3; rows_moved = 120;
+                    rows_total = 480 }
+  in
+  Alcotest.(check bool) "rotation" true (roundtrip_response rot = rot);
+  let uv = Wire.Unsupported_version { server_version = 7 } in
+  Alcotest.(check bool) "unsupported version" true (roundtrip_response uv = uv);
+  let af =
+    Wire.Error
+      { code = Wire.Auth_failed; message = "authentication failed";
+        query = None; retry_after = None }
+  in
+  Alcotest.(check bool) "auth failed" true (roundtrip_response af = af);
+  let ut =
+    Wire.Error
+      { code = Wire.Unknown_tenant; message = "unknown tenant"; query = None;
+        retry_after = None }
+  in
+  Alcotest.(check bool) "unknown tenant" true (roundtrip_response ut = ut)
+
+let test_unsupported_version_is_version_independent () =
+  (* The one frozen message: whatever version byte the peer stamped on it,
+     [Unsupported_version] must still decode, because it exists precisely
+     to be readable across a version gap. *)
+  let encoded =
+    Wire.encode_response (Wire.Unsupported_version { server_version = 7 })
+  in
+  let stamped = "\x02" ^ String.sub encoded 1 (String.length encoded - 1) in
+  match Wire.decode_response stamped with
+  | Wire.Unsupported_version { server_version } ->
+    Alcotest.(check int) "body decodes under a foreign version" 7 server_version
+  | _ -> Alcotest.fail "expected Unsupported_version"
 
 let test_response_roundtrip () =
   Alcotest.(check bool) "pong" true (roundtrip_response Wire.Pong = Wire.Pong);
@@ -188,34 +281,46 @@ let check_protocol_error name (f : unit -> unit) =
   | () -> Alcotest.fail (name ^ ": expected Protocol_error")
   | exception Wire.Protocol_error _ -> ()
 
+let check_version_mismatch name expected (f : unit -> unit) =
+  match f () with
+  | () -> Alcotest.fail (name ^ ": expected Version_mismatch")
+  | exception Wire.Version_mismatch { peer_version } ->
+    Alcotest.(check int) (name ^ " peer version") expected peer_version
+
 let test_decode_malformed () =
   let ping = Wire.encode_request Wire.Ping in
-  (* Wrong version byte. *)
+  (* Wrong version byte: a distinct exception, so the server can answer
+     with the structured [Unsupported_version] instead of [Bad_frame]. *)
   let bad_version = "\x7F" ^ String.sub ping 1 (String.length ping - 1) in
-  check_protocol_error "version" (fun () ->
+  check_version_mismatch "version" 0x7F (fun () ->
       ignore (Wire.decode_request bad_version));
-  (* The previous protocol version (v2, no trace-id header) is rejected. *)
-  check_protocol_error "stale version" (fun () ->
+  (* Stale peers are reported with the version they actually speak. *)
+  check_version_mismatch "stale version" 2 (fun () ->
       ignore (Wire.decode_request "\x02\x01"));
-  (* Unknown tag (with a well-formed empty trace id after it). *)
+  check_version_mismatch "pre-session version" 6 (fun () ->
+      ignore (Wire.decode_request "\x06\x01"));
+  (* Unknown tag (with a well-formed empty header after it). *)
   check_protocol_error "unknown tag" (fun () ->
       ignore
-        (Wire.decode_request "\x03\x6E\x00\x00\x00\x00\x00\x00\x00\x00"));
+        (Wire.decode_request
+           ("\x07\x6E"
+           ^ "\x00\x00\x00\x00\x00\x00\x00\x00"
+           ^ "\x00\x00\x00\x00\x00\x00\x00\x00")));
   (* A response tag is not a request. *)
   check_protocol_error "response as request" (fun () ->
       ignore (Wire.decode_request (Wire.encode_response Wire.Pong)));
   (* Truncated body: a Query missing everything after the tag. *)
   check_protocol_error "truncated" (fun () ->
-      ignore (Wire.decode_request "\x03\x02"));
+      ignore (Wire.decode_request "\x07\x02"));
   (* Trailing bytes after a complete message. *)
   check_protocol_error "trailing" (fun () ->
       ignore (Wire.decode_request (ping ^ "\x00")));
   (* Negative / insane string length inside the body (here: the trace id). *)
   check_protocol_error "bad length" (fun () ->
-      ignore (Wire.decode_request "\x03\x02\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
+      ignore (Wire.decode_request "\x07\x02\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
   (* A 62-bit length that would overflow a naive bounds check. *)
   check_protocol_error "overflowing length" (fun () ->
-      ignore (Wire.decode_request "\x03\x02\x3F\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
+      ignore (Wire.decode_request "\x07\x02\x3F\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
   (* Empty payload. *)
   check_protocol_error "empty" (fun () -> ignore (Wire.decode_request ""))
 
@@ -458,13 +563,49 @@ let test_malformed_payload_keeps_connection () =
       let fd = raw_connect (Server.port server) in
       Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
-          (* Framing is intact but the payload has a bogus version byte: the
-             server must answer Bad_frame and keep the connection usable. *)
-          Wire.write_frame fd "\x63\x01";
-          expect_bad_frame "bad version" (Wire.read_frame fd);
+          (* Framing is intact but the payload is garbage under the right
+             version byte: the server answers Bad_frame and the next frame
+             boundary is still trustworthy, so the connection survives. *)
+          Wire.write_frame fd "\x07\xF1";
+          expect_bad_frame "unknown tag" (Wire.read_frame fd);
           Wire.write_frame fd (Wire.encode_request Wire.Ping);
           Alcotest.(check bool) "still serving" true
             (Wire.decode_response (Wire.read_frame fd) = Wire.Pong)))
+
+let test_version_handshake_structured () =
+  (* Satellite: a client speaking yesterday's protocol gets the structured
+     [Unsupported_version] answer, which the driver surfaces as a readable
+     error naming both versions — not a codec crash, not a hung socket. *)
+  let service = make_service () in
+  with_server (Service.handler service) (fun server ->
+      let fd = raw_connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* A well-formed v6 Ping: version byte, tag, empty trace id —
+             exactly what last release's client would send. *)
+          let ping = Wire.encode_request Wire.Ping in
+          let stale = "\x06" ^ String.sub ping 1 (String.length ping - 1) in
+          Wire.write_frame fd stale;
+          (match Wire.decode_response (Wire.read_frame fd) with
+          | Wire.Unsupported_version { server_version } ->
+            Alcotest.(check int) "server version in the answer" Wire.version
+              server_version;
+            (* The client driver turns it into a structured error that
+               names both sides of the gap. *)
+            (match ignore (Wire.decode_request stale) with
+            | () -> Alcotest.fail "client codec must also refuse the frame"
+            | exception Wire.Version_mismatch { peer_version } ->
+              Alcotest.(check int) "peer version preserved" 6 peer_version)
+          | _ -> Alcotest.fail "expected Unsupported_version");
+          (* Every further frame would mismatch the same way, so the
+             server hangs up after answering. *)
+          Wire.write_frame fd stale;
+          match Wire.read_frame fd with
+          | _ -> Alcotest.fail "expected the server to close the connection"
+          | exception End_of_file -> ()
+          | exception Wire.Protocol_error _ -> ()
+          | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> ()))
 
 let test_bad_length_prefix_closes_connection () =
   let service = make_service () in
@@ -524,7 +665,7 @@ let test_corrupted_frame_rejected () =
 
 let test_client_timeout_is_structured () =
   (* A handler that stalls longer than the client is willing to wait. *)
-  let handler = function
+  let handler (_ : Wire.header) = function
     | Wire.Ping ->
       Thread.delay 1.5;
       Wire.Pong
@@ -631,6 +772,11 @@ let () =
     [ ( "wire",
         [ Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "trace id header" `Quick test_trace_id_header;
+          Alcotest.test_case "session header" `Quick test_session_header;
+          Alcotest.test_case "session ops roundtrip" `Quick
+            test_session_ops_roundtrip;
+          Alcotest.test_case "unsupported_version is version-independent"
+            `Quick test_unsupported_version_is_version_independent;
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
           Alcotest.test_case "stats roundtrip" `Quick test_stats_roundtrip;
           Alcotest.test_case "malformed payloads rejected" `Quick
@@ -646,6 +792,8 @@ let () =
             test_unknown_column_is_structured;
           Alcotest.test_case "malformed payload keeps the connection" `Quick
             test_malformed_payload_keeps_connection;
+          Alcotest.test_case "version handshake is structured" `Quick
+            test_version_handshake_structured;
           Alcotest.test_case "bad length prefix closes the connection" `Quick
             test_bad_length_prefix_closes_connection;
           Alcotest.test_case "oversized length prefix rejected" `Quick

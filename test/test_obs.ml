@@ -75,6 +75,65 @@ let test_disabled_is_noop () =
   Alcotest.(check int) "histogram untouched while disabled" n0
     (Metrics.histogram_count h)
 
+let test_label_cardinality_guard () =
+  (* Per-family cap on distinct label-value sets: the oldest instance is
+     evicted from the exposition (its handle keeps counting, harmlessly)
+     and every eviction ticks [mope_metrics_labels_dropped_total] — so an
+     unbounded label source (say, tenant ids from the wire) cannot grow
+     the registry without bound or silently. *)
+  let prev = Metrics.max_label_sets () in
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_max_label_sets prev)
+    (fun () ->
+      Metrics.set_max_label_sets 3;
+      Alcotest.(check int) "cap readable" 3 (Metrics.max_label_sets ());
+      let fam = "test_obs_card_total" in
+      let unlabeled = Metrics.counter ~help:"guard" fam () in
+      let labeled v = Metrics.counter fam ~labels:[ ("tenant", v) ] () in
+      let t1 = labeled "t1" in
+      let _t2 = labeled "t2" and _t3 = labeled "t3" in
+      let dropped0 = Metrics.labels_dropped () in
+      with_metrics (fun () ->
+          Metrics.inc unlabeled;
+          Metrics.inc t1;
+          (* A fourth distinct label set breaches the cap: t1 (oldest) is
+             evicted, the drop is counted. *)
+          let t4 = labeled "t4" in
+          Metrics.inc t4;
+          Alcotest.(check int) "one eviction counted" (dropped0 + 1)
+            (Metrics.labels_dropped ());
+          let text = Metrics.render_prometheus () in
+          Alcotest.(check bool) "evicted instance gone from exposition" false
+            (contains ~needle:"tenant=\"t1\"" text);
+          List.iter
+            (fun v ->
+              Alcotest.(check bool) (v ^ " still rendered") true
+                (contains ~needle:("tenant=\"" ^ v ^ "\"") text))
+            [ "t2"; "t3"; "t4" ];
+          Alcotest.(check bool) "drop counter itself rendered" true
+            (contains ~needle:"mope_metrics_labels_dropped_total" text);
+          (* The unlabeled instance of the family is never evicted. *)
+          Alcotest.(check bool) "unlabeled instance immune" true
+            (contains ~needle:fam text);
+          (* The evicted handle stays safe to use — it just no longer
+             renders. *)
+          Metrics.inc t1;
+          Alcotest.(check bool) "evicted handle still counts" true
+            (Metrics.counter_value t1 >= 2);
+          (* Re-registering an evicted label set re-admits it (evicting the
+             then-oldest), so a bursty label source degrades to LRU-ish
+             churn rather than permanent loss. *)
+          let t1' = labeled "t1" in
+          Metrics.inc t1';
+          Alcotest.(check int) "readmission evicts the next oldest"
+            (dropped0 + 2)
+            (Metrics.labels_dropped ());
+          let text' = Metrics.render_prometheus () in
+          Alcotest.(check bool) "readmitted instance renders" true
+            (contains ~needle:"tenant=\"t1\"" text');
+          Alcotest.(check bool) "t2 evicted in its place" false
+            (contains ~needle:"tenant=\"t2\"" text')))
+
 (* ------------------------------------------------------------------ *)
 (* Metrics: concurrent hammering matches sequential totals *)
 
@@ -304,6 +363,8 @@ let () =
         [ Alcotest.test_case "registration discipline" `Quick test_registration;
           Alcotest.test_case "disabled mutations are no-ops" `Quick
             test_disabled_is_noop;
+          Alcotest.test_case "label cardinality guard" `Quick
+            test_label_cardinality_guard;
           Alcotest.test_case "concurrent hammering is exact" `Slow
             test_concurrent_hammering;
           Alcotest.test_case "prometheus + json exposition" `Quick
