@@ -65,7 +65,7 @@ let run_config tb ~shards ~instances ~rounds =
         (fun () ->
           let make_proxy template seed =
             Testbed.proxy tb ~template ~rho ~batch_size:25
-              ~fetch:(Topology.fetch topo) ~seed ()
+              ~fetch:(Topology.fetch topo) ~fetch_many:(Topology.fetch_many topo) ~seed ()
           in
           let proxies =
             [ ( Tpch_queries.date_column Tpch_queries.Q6,

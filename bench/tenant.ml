@@ -69,7 +69,8 @@ let open_session h ~tenant ~secret =
       h Wire.no_header
         (Wire.Authenticate { tenant; nonce; mac = Hmac.mac_hex ~key:secret nonce })
     with
-    | Wire.Session_ok { token } -> { Wire.trace_id = ""; session = token }
+    | Wire.Session_ok { token } ->
+      { Wire.trace_id = ""; session = token; req_id = 0 }
     | _ -> failwith "handshake: expected Session_ok")
   | _ -> failwith "handshake: expected Session_challenge"
 

@@ -761,10 +761,10 @@ let cluster_cmd =
         let proxies =
           [ ( Tpch_queries.date_column Tpch_queries.Q6,
               Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho ~batch_size
-                ~fetch:(Topology.fetch topo) ~seed:(Int64.of_int (seed + 1)) () );
+                ~fetch:(Topology.fetch topo) ~fetch_many:(Topology.fetch_many topo) ~seed:(Int64.of_int (seed + 1)) () );
             ( Tpch_queries.date_column Tpch_queries.Q4,
               Testbed.proxy tb ~template:Tpch_queries.Q4 ~rho ~batch_size
-                ~fetch:(Topology.fetch topo) ~seed:(Int64.of_int (seed + 2)) () ) ]
+                ~fetch:(Topology.fetch topo) ~fetch_many:(Topology.fetch_many topo) ~seed:(Int64.of_int (seed + 2)) () ) ]
         in
         let fingerprint r =
           List.map

@@ -306,6 +306,88 @@ let fetch t ~date_column ~segments ~template =
       Trace.add_item "rows_merged" (List.length merged.Exec.rows);
       merged)
 
+(* The batched fetch seam ({!Mope_system.Proxy.fetch_many}): the whole
+   fake+real batch plan of one client query at once. Each shard still gets
+   one worker thread, but all the batches routed to it travel down its one
+   connection as a single pipelined flight ([Client.fetch_batch]) instead
+   of one scatter-gather round per batch. Per shard the flight is
+   all-or-nothing: any failed item raises, so [on_shard] replays the whole
+   list on the next leg (reads are idempotent). *)
+let fetch_many t ~date_column ~batches ~template =
+  match batches with
+  | [] -> []
+  | [ segments ] -> [ fetch t ~date_column ~segments ~template ]
+  | batches ->
+    Trace.with_span "scatter_gather" (fun () ->
+        let template = resolve_template t template in
+        let n = Array.length t.shards in
+        let batch_arr = Array.of_list batches in
+        let nb = Array.length batch_arr in
+        (* Per shard, the (batch index, specialized SQL) it must serve. *)
+        let per_shard = Array.make n [] in
+        Array.iteri
+          (fun bi segments ->
+            let routed = Shard_map.route t.map segments in
+            Array.iteri
+              (fun si segs ->
+                match segs with
+                | [] -> ()
+                | segs ->
+                  let ast =
+                    Mope_system.Rewrite.add_conjunct template
+                      (Mope_system.Rewrite.cipher_ranges_expr
+                         ~column:date_column ~segments:segs)
+                  in
+                  per_shard.(si) <-
+                    (bi, Sql_ast.select_to_string ast) :: per_shard.(si))
+              routed)
+          batch_arr;
+        let results = Array.init n (fun _ -> Array.make nb None) in
+        let errors = Array.make n None in
+        let shards_hit = ref 0 in
+        let workers =
+          List.concat
+            (List.init n (fun si ->
+                 match List.rev per_shard.(si) with
+                 | [] -> []
+                 | items ->
+                   incr shards_hit;
+                   Metrics.inc ~by:(List.length items) t.shards.(si).m_fetch;
+                   [ Thread.create
+                       (fun () ->
+                         match
+                           on_shard t si (fun c ~epoch ->
+                               List.map
+                                 (function
+                                   | Ok r -> r
+                                   | Error err -> raise (Mope_error.Error err))
+                                 (Client.fetch_batch c ~epoch
+                                    ~sqls:(List.map snd items) ()))
+                         with
+                         | rs ->
+                           List.iter2
+                             (fun (bi, _) r -> results.(si).(bi) <- Some r)
+                             items rs
+                         | exception e -> errors.(si) <- Some e)
+                       () ]))
+        in
+        List.iter Thread.join workers;
+        Array.iter (function Some e -> raise e | None -> ()) errors;
+        Trace.add_item "shards_hit" !shards_hit;
+        Trace.add_item "batches" nb;
+        (* Merge each batch in shard order, exactly as {!fetch} does. *)
+        List.init nb (fun bi ->
+            let rs =
+              List.filter_map
+                (fun si -> results.(si).(bi))
+                (List.init n Fun.id)
+            in
+            match rs with
+            | [] -> { Exec.columns = []; rows = [] }
+            | first :: _ ->
+              { Exec.columns = first.Exec.columns;
+                rows = List.concat_map (fun r -> r.Exec.rows) rs }))
+
 let check_shard t shard name =
   if shard < 0 || shard >= Array.length t.shards then invalid_arg name
 

@@ -62,6 +62,16 @@ val fetch : t -> Mope_system.Proxy.fetch
 (** The scatter-gather fetch — pass to {!Mope_system.Proxy.create}. Raises
     {!Mope_error.Error} when a touched shard has no live leg. *)
 
+val fetch_many : t -> Mope_system.Proxy.fetch_many
+(** The batched fetch seam — pass as [?fetch_many] to
+    {!Mope_system.Proxy.create}. One worker per shard, but all the
+    batches routed to a shard travel down its connection as a single
+    pipelined flight ({!Mope_net.Client.fetch_batch}) instead of one
+    scatter-gather round trip per batch; per-batch results are merged in
+    shard order exactly as {!fetch} merges. A shard's flight fails over
+    as a unit — any failed item replays the whole list on the next leg
+    (reads are idempotent). *)
+
 val apply :
   ?request_id:string ->
   ?retries:int ->

@@ -107,6 +107,8 @@ let coordinator t = t.coord
 
 let fetch t = Coordinator.fetch t.coord
 
+let fetch_many t = Coordinator.fetch_many t.coord
+
 let map t = t.topo_map
 
 let shards t = Array.length t.shard_nodes

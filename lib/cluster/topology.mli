@@ -40,6 +40,10 @@ val coordinator : t -> Coordinator.t
 val fetch : t -> Mope_system.Proxy.fetch
 (** Shorthand for [Coordinator.fetch (coordinator t)]. *)
 
+val fetch_many : t -> Mope_system.Proxy.fetch_many
+(** Shorthand for [Coordinator.fetch_many (coordinator t)] — the
+    pipelined batch plan fetch. *)
+
 val map : t -> Shard_map.t
 
 val shards : t -> int

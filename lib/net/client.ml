@@ -33,6 +33,7 @@ type t = {
   mutable failures : int;     (* consecutive transport failures *)
   mutable open_until : float; (* 0 = breaker closed; else open/half-open *)
   mutable session : string;   (* token from Session_ok; "" = no session *)
+  mutable next_id : int;      (* last v8 request id minted; ids start at 1 *)
 }
 
 type rotation_status = {
@@ -55,6 +56,30 @@ let transient = function
 let jittered t d = d *. (0.5 +. Rng.float t.rng)
 
 (* ------------------------------------------------------------------ *)
+(* Circuit breaker: closed -> open (after [breaker_threshold] consecutive
+   transport failures) -> half-open (cooldown elapsed; one probe) ->
+   closed on success / open again on failure. *)
+
+let breaker_state t =
+  if t.open_until = 0.0 then `Closed
+  else if Unix.gettimeofday () < t.open_until then `Open
+  else `Half_open
+
+let record_success t =
+  t.failures <- 0;
+  t.open_until <- 0.0;
+  Metrics.gauge_set m_breaker_state 0
+
+let record_failure t =
+  t.failures <- t.failures + 1;
+  if t.failures >= t.breaker_threshold || t.open_until > 0.0 then begin
+    (* Tripped, or a half-open probe failed: (re)open for a full cooldown. *)
+    if t.open_until = 0.0 then Metrics.inc m_breaker_opens;
+    t.open_until <- Unix.gettimeofday () +. t.breaker_cooldown;
+    Metrics.gauge_set m_breaker_state 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Connecting *)
 
 let dial ?timeout t =
@@ -74,7 +99,12 @@ let dial ?timeout t =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e
 
-(* Dial with jittered exponential backoff over transient failures. *)
+(* Dial with jittered exponential backoff over transient failures. The
+   breaker must see dial exhaustion: a dead server that refuses every
+   connect is exactly the condition it exists for, and before v8 this
+   raised without recording the failure — so a caller reconnecting
+   through [rpc] burned the full dial-retry schedule on every request and
+   the breaker never opened. *)
 let establish t =
   let rec attempt n delay =
     match dial t with
@@ -85,6 +115,7 @@ let establish t =
       Thread.delay (jittered t delay);
       attempt (n + 1) (delay *. 2.0)
     | exception e ->
+      record_failure t;
       Mope_error.failwithf ~cause:e
         "Client.connect: %s:%d unreachable after %d attempt%s" t.host t.port
         (n + 1)
@@ -130,7 +161,8 @@ let connect ?(host = "127.0.0.1") ~port ?(timeout = 10.0) ?(retries = 3)
       closed = false;
       failures = 0;
       open_until = 0.0;
-      session = "" }
+      session = "";
+      next_id = 0 }
   in
   ignore (establish t);
   t
@@ -153,30 +185,6 @@ let with_client ?host ~port ?timeout ?retries ?backoff ?request_retries
   in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
-(* ------------------------------------------------------------------ *)
-(* Circuit breaker: closed -> open (after [breaker_threshold] consecutive
-   transport failures) -> half-open (cooldown elapsed; one probe) ->
-   closed on success / open again on failure. *)
-
-let breaker_state t =
-  if t.open_until = 0.0 then `Closed
-  else if Unix.gettimeofday () < t.open_until then `Open
-  else `Half_open
-
-let record_success t =
-  t.failures <- 0;
-  t.open_until <- 0.0;
-  Metrics.gauge_set m_breaker_state 0
-
-let record_failure t =
-  t.failures <- t.failures + 1;
-  if t.failures >= t.breaker_threshold || t.open_until > 0.0 then begin
-    (* Tripped, or a half-open probe failed: (re)open for a full cooldown. *)
-    if t.open_until = 0.0 then Metrics.inc m_breaker_opens;
-    t.open_until <- Unix.gettimeofday () +. t.breaker_cooldown;
-    Metrics.gauge_set m_breaker_state 1
-  end
-
 (* Reads are safe to retry. [Apply] mutates the remote store, so a retry
    after an ambiguous failure (request sent, response lost) could apply
    the statement twice — unless it carries a request id, which the store
@@ -195,17 +203,41 @@ let idempotent = function
   | Wire.Rotate { status_only; _ } -> status_only
 
 (* ------------------------------------------------------------------ *)
-(* One request/response exchange. [query] is the SQL context attached to
-   any error raised. *)
+(* The pipelined request engine. One call tracks a batch of requests on
+   this client's single connection, keeping up to [depth] of them in
+   flight at once; responses are matched to requests by the echoed v8
+   request id, so a slow request does not head-of-line block the others
+   and completions may arrive in any order. Retry, breaker and
+   idempotency bookkeeping is per request — a mid-pipeline disconnect
+   re-queues the idempotent in-flight requests (their attempt budget
+   permitting) and fails only the ones that cannot be safely resent.
+   [rpc] is the depth-1 special case. *)
 
-let rpc t ?query ?trace_id request =
+type slot = {
+  s_request : Wire.request;
+  s_tid : string;  (* one trace id for all attempts of this request *)
+  s_max_attempts : int;
+  mutable s_attempts : int;  (* send attempts used *)
+  mutable s_req_id : int;  (* id of the in-flight send; 0 = not in flight *)
+  mutable s_not_before : float;  (* earliest resend (backoff / shed hint) *)
+  mutable s_delay : float;  (* next backoff delay *)
+  mutable s_outcome : (Wire.response, Mope_error.t) result option;
+}
+
+let next_req_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let run_pipeline t ?query ?trace_id ~depth requests =
   if t.closed then
     Mope_error.failwithf ?query "Client: connection to %s:%d is closed" t.host
       t.port;
-  (* One id for all attempts of this rpc, so server-side traces correlate
-     retries of the same logical request. Minting is gated on tracing being
-     enabled in this process to keep the common path allocation-free. *)
-  let tid =
+  let depth = Int.max 1 depth in
+  (* Trace ids are stable across the attempts of one request, so
+     server-side traces correlate its retries. Minting is gated on tracing
+     being enabled in this process to keep the common path
+     allocation-free. *)
+  let mint () =
     match trace_id with
     | Some s -> s
     | None -> if Trace.enabled () then Trace.mint_id t.rng else ""
@@ -222,66 +254,216 @@ let rpc t ?query ?trace_id request =
       true
     | `Closed -> false
   in
-  let max_attempts =
-    (* A half-open probe gets exactly one shot; so does anything that is
-       not idempotent. *)
-    if probing || not (idempotent request) then 1 else 1 + t.request_retries
+  let slots =
+    Array.of_list
+      (List.map
+         (fun r ->
+           { s_request = r;
+             s_tid = mint ();
+             (* A half-open probe gets exactly one shot; so does anything
+                that is not idempotent. *)
+             s_max_attempts =
+               (if probing || not (idempotent r) then 1
+                else 1 + t.request_retries);
+             s_attempts = 0;
+             s_req_id = 0;
+             s_not_before = 0.0;
+             s_delay = t.backoff;
+             s_outcome = None })
+         requests)
   in
-  let fail_transport ?cause n msg =
-    Mope_error.failwithf ?query ?cause "Client: %s (%s:%d, attempt %d)" msg
-      t.host t.port (n + 1)
-  in
-  let rec attempt n delay =
-    let outcome =
-      match
-        let io = match t.conn with Some io -> io | None -> establish t in
-        Wire.write_frame_t io
-          (Wire.encode_request ~trace_id:tid ~session:t.session request);
-        Wire.decode_response (Wire.read_frame_t io)
-      with
-      | resp -> Ok resp
-      | exception e ->
-        drop_conn t;
-        record_failure t;
-        Error
-          (match e with
-          | Wire.Protocol_error msg ->
-            fun () -> fail_transport n ("malformed frame: " ^ msg)
-          | End_of_file ->
-            fun () -> fail_transport n "server closed the connection"
-          | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) ->
-            fun () ->
-              fail_transport ~cause:e n
-                (Printf.sprintf "request timed out after %.3gs" t.timeout)
-          | Unix.Unix_error _ ->
-            fun () -> fail_transport ~cause:e n "I/O error"
-          | Mope_error.Error _ -> fun () -> raise e
-          | e -> fun () -> fail_transport ~cause:e n "unexpected failure")
+  let inflight : (int, slot) Hashtbl.t = Hashtbl.create 16 in
+  let unfinished () = Array.exists (fun s -> s.s_outcome = None) slots in
+  let transport_error slot e =
+    let fail ?cause msg =
+      Mope_error.create ?query ?cause
+        (Printf.sprintf "Client: %s (%s:%d, attempt %d)" msg t.host t.port
+           slot.s_attempts)
     in
-    match outcome with
-    | Ok resp -> begin
-      record_success t;
-      (* An [Overloaded] answer is the server shedding load, not a broken
-         transport: honour its retry-after hint, don't count it against
-         the breaker. *)
-      match resp with
-      | Wire.Error { code = Wire.Overloaded; retry_after; _ }
-        when n + 1 < max_attempts ->
-        Metrics.inc m_retries;
-        let d = match retry_after with Some d -> d | None -> delay in
-        Thread.delay (jittered t d);
-        attempt (n + 1) (delay *. 2.0)
-      | resp -> resp
-    end
-    | Error raise_it ->
-      if n + 1 < max_attempts && breaker_state t <> `Open then begin
-        Metrics.inc m_retries;
-        Thread.delay (jittered t delay);
-        attempt (n + 1) (delay *. 2.0)
-      end
-      else raise_it ()
+    match e with
+    | Wire.Protocol_error msg -> fail ("malformed frame: " ^ msg)
+    | End_of_file -> fail "server closed the connection"
+    | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) ->
+      fail ~cause:e
+        (Printf.sprintf "request timed out after %.3gs" t.timeout)
+    | Unix.Unix_error _ -> fail ~cause:e "I/O error"
+    | Mope_error.Error err -> err
+    | e -> fail ~cause:e "unexpected failure"
   in
-  attempt 0 t.backoff
+  (* Put a slot back in the pending pool behind a jittered delay — or, out
+     of attempts (or with the breaker now open), settle its outcome. *)
+  let retry_or_fail slot ~blown ~delay err =
+    if slot.s_attempts < slot.s_max_attempts && not blown then begin
+      Metrics.inc m_retries;
+      slot.s_not_before <- Unix.gettimeofday () +. jittered t delay;
+      slot.s_delay <- slot.s_delay *. 2.0
+    end
+    else slot.s_outcome <- Some (Error err)
+  in
+  (* A transport failure poisons the connection and every request on it:
+     the response stream is gone, so nothing in flight can complete. *)
+  let on_transport_failure e =
+    drop_conn t;
+    (match e with
+    | Mope_error.Error _ -> () (* [establish] already recorded the failure *)
+    | _ -> record_failure t);
+    let blown = breaker_state t = `Open in
+    Hashtbl.iter
+      (fun _ slot ->
+        slot.s_req_id <- 0;
+        retry_or_fail slot ~blown ~delay:slot.s_delay (transport_error slot e))
+      inflight;
+    Hashtbl.reset inflight
+  in
+  (* [establish] can only fail with nothing in flight (a live connection
+     implies an established one): charge a connect attempt to every
+     pending request — each would have been sent on that connection. *)
+  let on_establish_failure err =
+    let blown = breaker_state t = `Open in
+    Array.iter
+      (fun slot ->
+        if slot.s_outcome = None && slot.s_req_id = 0 then begin
+          slot.s_attempts <- slot.s_attempts + 1;
+          retry_or_fail slot ~blown ~delay:slot.s_delay err
+        end)
+      slots
+  in
+  let fail_pending_fast msg =
+    Array.iter
+      (fun slot ->
+        if slot.s_outcome = None && slot.s_req_id = 0 then
+          slot.s_outcome <- Some (Error (Mope_error.create ?query msg)))
+      slots
+  in
+  let rec step () =
+    if unfinished () then begin
+      (match breaker_state t with
+      | `Open ->
+        (* The breaker opened mid-batch (in-flight requests were already
+           settled by the failure that opened it): fail the rest fast. *)
+        fail_pending_fast
+          (Printf.sprintf "Client: circuit breaker open for %s:%d (retry in %.3gs)"
+             t.host t.port
+             (t.open_until -. Unix.gettimeofday ()))
+      | _ -> ());
+      (* While half-open, the window narrows to the single probe. *)
+      let window = if t.open_until > 0.0 then 1 else depth in
+      let now = Unix.gettimeofday () in
+      (try
+         Array.iter
+           (fun slot ->
+             if
+               slot.s_outcome = None && slot.s_req_id = 0
+               && slot.s_not_before <= now
+               && Hashtbl.length inflight < window
+             then begin
+               let io = match t.conn with Some io -> io | None -> establish t in
+               let id = next_req_id t in
+               slot.s_req_id <- id;
+               slot.s_attempts <- slot.s_attempts + 1;
+               Hashtbl.replace inflight id slot;
+               Wire.write_frame_t io
+                 (Wire.encode_request ~trace_id:slot.s_tid ~session:t.session
+                    ~req_id:id slot.s_request)
+             end)
+           slots
+       with
+      | Mope_error.Error err when Hashtbl.length inflight = 0 ->
+        on_establish_failure err
+      | e -> on_transport_failure e);
+      if Hashtbl.length inflight = 0 then begin
+        (* Nothing in flight: everything still unfinished is backing off.
+           Sleep until the earliest slot becomes sendable. *)
+        let next =
+          Array.fold_left
+            (fun acc s ->
+              if s.s_outcome = None then Float.min acc s.s_not_before else acc)
+            infinity slots
+        in
+        if next > now && next < infinity then Thread.delay (next -. now)
+      end
+      else begin
+        (match t.conn with
+        | None ->
+          (* Unreachable: in-flight requests hold a live connection. *)
+          on_transport_failure End_of_file
+        | Some io -> (
+          match Wire.decode_response (Wire.read_frame_t io) with
+          | exception e -> on_transport_failure e
+          | rid, resp -> (
+            match Hashtbl.find_opt inflight rid with
+            | Some slot -> begin
+              Hashtbl.remove inflight rid;
+              slot.s_req_id <- 0;
+              record_success t;
+              (* An [Overloaded] answer is the server shedding load, not a
+                 broken transport: honour its retry-after hint, don't
+                 count it against the breaker. *)
+              match resp with
+              | Wire.Error { code = Wire.Overloaded; retry_after; _ }
+                when slot.s_attempts < slot.s_max_attempts ->
+                Metrics.inc m_retries;
+                let d =
+                  match retry_after with Some d -> d | None -> slot.s_delay
+                in
+                slot.s_not_before <- Unix.gettimeofday () +. jittered t d;
+                slot.s_delay <- slot.s_delay *. 2.0
+              | resp -> slot.s_outcome <- Some (Ok resp)
+            end
+            | None -> (
+              match resp with
+              | Wire.Unsupported_version _ when rid = 0 ->
+                (* Version mismatch is deterministic: the server answers
+                   every request the same way and then drops the link, so
+                   settle the whole batch with the structured answer and
+                   drop our side too (in-flight responses will never
+                   arrive). *)
+                record_success t;
+                drop_conn t;
+                Hashtbl.reset inflight;
+                Array.iter
+                  (fun slot ->
+                    if slot.s_outcome = None then begin
+                      slot.s_req_id <- 0;
+                      slot.s_outcome <- Some (Ok resp)
+                    end)
+                  slots
+              | _ ->
+                (* An answer for a request id we are not awaiting — id 0
+                   means the server could not decode one of our frames
+                   (it cannot say which): the stream is ambiguous either
+                   way, so treat it as a transport failure. *)
+                on_transport_failure
+                  (Wire.Protocol_error
+                     (Printf.sprintf "response for unexpected request id %d"
+                        rid))))))
+      end;
+      step ()
+    end
+  in
+  step ();
+  List.map
+    (fun slot ->
+      match slot.s_outcome with
+      | Some outcome -> outcome
+      | None ->
+        Error (Mope_error.create ?query "Client: request left unresolved"))
+    (Array.to_list slots)
+
+(* ------------------------------------------------------------------ *)
+(* One request/response exchange — the depth-1 pipeline. [query] is the
+   SQL context attached to any error raised. *)
+
+let rpc t ?query ?trace_id request =
+  match run_pipeline t ?query ?trace_id ~depth:1 [ request ] with
+  | [ Ok resp ] -> resp
+  | [ Error err ] -> raise (Mope_error.Error err)
+  | _ -> Mope_error.failwithf ?query "Client: pipeline arity mismatch"
+
+let pipeline t ?trace_id ?(depth = 8) requests =
+  match requests with
+  | [] -> []
+  | requests -> run_pipeline t ?trace_id ~depth requests
 
 let check_error ?query = function
   | Wire.Error { code; message; query = server_query; retry_after = _ } ->
@@ -368,7 +550,7 @@ let probe_ping t budget =
       Wire.write_frame_t io (Wire.encode_request Wire.Ping);
       Wire.decode_response (Wire.read_frame_t io)
     with
-    | resp -> Ok resp
+    | _id, resp -> Ok resp
     | exception e -> Error e
   in
   match outcome with
@@ -406,12 +588,59 @@ let query t ?trace_id ~sql ~date_column ~date_lo ~date_hi () =
   | Wire.Rows result -> result
   | _ -> Mope_error.raise_error ~query:sql "Client.query: unexpected response"
 
+let query_batch t ?trace_id ?depth ~date_column ~queries () =
+  let requests =
+    List.map
+      (fun (sql, date_lo, date_hi) ->
+        Wire.Query { sql; date_column; date_lo; date_hi })
+      queries
+  in
+  List.map2
+    (fun (sql, _, _) outcome ->
+      match outcome with
+      | Error err ->
+        Error
+          (match err.Mope_error.query with
+          | Some _ -> err
+          | None -> { err with Mope_error.query = Some sql })
+      | Ok resp -> (
+        match check_error ~query:sql resp with
+        | Wire.Rows result -> Ok result
+        | _ ->
+          Error
+            (Mope_error.create ~query:sql
+               "Client.query_batch: unexpected response")
+        | exception Mope_error.Error err -> Error err))
+    queries
+    (pipeline t ?trace_id ?depth requests)
+
 let fetch t ?trace_id ?(epoch = 0) ~sql () =
   match
     check_error ~query:sql (rpc t ~query:sql ?trace_id (Wire.Fetch { sql; epoch }))
   with
   | Wire.Rows result -> result
   | _ -> Mope_error.raise_error ~query:sql "Client.fetch: unexpected response"
+
+let fetch_batch t ?trace_id ?depth ?(epoch = 0) ~sqls () =
+  let requests = List.map (fun sql -> Wire.Fetch { sql; epoch }) sqls in
+  List.map2
+    (fun sql outcome ->
+      match outcome with
+      | Error err ->
+        Error
+          (match err.Mope_error.query with
+          | Some _ -> err
+          | None -> { err with Mope_error.query = Some sql })
+      | Ok resp -> (
+        match check_error ~query:sql resp with
+        | Wire.Rows result -> Ok result
+        | _ ->
+          Error
+            (Mope_error.create ~query:sql
+               "Client.fetch_batch: unexpected response")
+        | exception Mope_error.Error err -> Error err))
+    sqls
+    (pipeline t ?trace_id ?depth requests)
 
 let apply t ?trace_id ?(epoch = 0) ?(request_id = "") ~sql () =
   match

@@ -27,6 +27,15 @@
       the next request then {e half-opens} the breaker as a single probe —
       success closes it, failure re-opens it for another cooldown.
 
+    The driver can also {e pipeline}: {!pipeline} and {!query_batch} keep
+    up to [depth] requests in flight on the one connection, matching
+    responses to requests by the v8 request id echoed in every response
+    header — so a slow request does not head-of-line block the rest, and
+    the server may complete them out of order. Retry, breaker and
+    idempotency accounting stays per request: a mid-pipeline disconnect
+    re-queues the idempotent in-flight requests (attempt budget
+    permitting) and fails only those that cannot be safely resent.
+
     A [t] is not thread-safe: requests interleave frames on one socket, so
     share a client across threads only behind a lock (or open one per
     thread — the server is happy to oblige). *)
@@ -116,6 +125,44 @@ val query :
     ({!Mope_obs.Trace}) is enabled in this process, and the empty id
     (= untraced) is sent otherwise. *)
 
+val pipeline :
+  t ->
+  ?trace_id:string ->
+  ?depth:int ->
+  Wire.request list ->
+  (Wire.response, Mope_error.t) result list
+(** Issue a batch of requests on the one connection, keeping up to
+    [depth] (default 8, min 1) in flight at once; returns one outcome per
+    request, in request order, after the whole batch settles. Responses
+    are matched by the v8 request id, so the server may complete them out
+    of order without head-of-line blocking.
+
+    Each request carries its own retry budget ([request_retries] if
+    idempotent, none otherwise) and its own trace id ([trace_id], when
+    given, overrides all of them). A transport failure mid-batch drops
+    the connection, counts once against the breaker, re-queues in-flight
+    idempotent requests with jittered backoff and fails the rest; an
+    [Overloaded] answer re-queues just that request after the server's
+    retry-after hint. Server [Wire.Error] responses are returned as
+    [Ok (Error _)] payloads — mapping them to {!Mope_error.t} is the
+    caller's (or {!query_batch}'s) job. Raises {!Mope_error.Error} only
+    if the client is closed or the breaker is already open on entry. *)
+
+val query_batch :
+  t ->
+  ?trace_id:string ->
+  ?depth:int ->
+  date_column:string ->
+  queries:(string * Date.t * Date.t) list ->
+  unit ->
+  (Exec.result, Mope_error.t) result list
+(** {!query} over {!pipeline}: execute a batch of client statements —
+    [(sql, date_lo, date_hi)] triples ranging over [date_column] —
+    keeping up to [depth] in flight, and return per-statement outcomes in
+    order, server errors included as [Error] results rather than raised
+    (one bad statement must not discard its siblings' rows). This is how
+    the proxy ships a MakeQueries fake+real batch in one round trip. *)
+
 val fetch : t -> ?trace_id:string -> ?epoch:int -> sql:string -> unit -> Exec.result
 (** Run one SELECT directly against a cluster shard store
     ({!Mope_cluster.Store}) and return the raw — still encrypted — rows.
@@ -123,6 +170,20 @@ val fetch : t -> ?trace_id:string -> ?epoch:int -> sql:string -> unit -> Exec.re
     [epoch] (default 0 = unfenced) is the caller's fencing epoch for the
     shard; a store whose epoch differs refuses with [Fenced]
     (see {!is_fenced}). *)
+
+val fetch_batch :
+  t ->
+  ?trace_id:string ->
+  ?depth:int ->
+  ?epoch:int ->
+  sqls:string list ->
+  unit ->
+  (Exec.result, Mope_error.t) result list
+(** {!fetch} over {!pipeline}: run several shard SELECTs down the one
+    connection with up to [depth] in flight, under one fencing [epoch],
+    returning per-statement outcomes in order. The cluster coordinator
+    uses this to ship a client query's whole fake+real batch plan to a
+    shard in one round trip. *)
 
 val apply :
   t -> ?trace_id:string -> ?epoch:int -> ?request_id:string -> sql:string ->

@@ -7,7 +7,7 @@ let m_requests =
     "mope_server_requests_total" ()
 
 let m_errors =
-  Metrics.counter ~help:"Requests answered with a Wire.Error"
+  Metrics.counter ~help:"Requests answered with a Wire.Error or Unsupported_version"
     "mope_server_errors_total" ()
 
 let m_shed =
@@ -23,7 +23,8 @@ let m_in_flight =
     "mope_server_in_flight" ()
 
 let m_latency =
-  Metrics.histogram ~help:"Request latency from decode start to response sent"
+  Metrics.histogram
+    ~help:"Request latency from decode start to response write completion"
     "mope_server_request_seconds" ()
 
 type config = {
@@ -54,6 +55,44 @@ type stats = {
   mutable shed : int;
   mutable total_latency : float;
   mutable max_latency : float;
+  mutable admitted : int;
+  mutable admitted_latency : float;
+}
+
+(* One queued response: everything the connection's writer needs to frame
+   it, and what the bookkeeping needs once it is on the wire. *)
+type out_item = {
+  o_req_id : int;  (* echoed v8 request id (0 = unassigned) *)
+  o_started : float;  (* decode start, for the latency metric *)
+  o_admitted : bool;  (* false for shed / codec-error answers *)
+  o_response : Wire.response;
+}
+
+(* Per-connection state shared by its reader thread, its writer thread and
+   the worker pool. The writer is the response sequencer: it is the only
+   thread that ever writes to [io], so concurrently completing requests
+   cannot interleave frames; it exits — and closes the socket — once the
+   reader is done, no admitted request is still executing ([executing])
+   and the queue is drained. *)
+type conn = {
+  fd : Unix.file_descr;
+  io : Transport.t;
+  c_lock : Mutex.t;
+  c_state : Condition.t;
+  out : out_item Queue.t;
+  mutable executing : int;  (* admitted requests not yet queued on [out] *)
+  mutable reader_done : bool;
+  mutable write_failed : bool;
+}
+
+(* One admitted request travelling from a connection reader to the worker
+   pool. *)
+type job = {
+  j_conn : conn;
+  j_header : Wire.header;
+  j_request : Wire.request;
+  j_started : float;  (* frame read complete = decode start *)
+  j_decoded : float;
 }
 
 type t = {
@@ -63,10 +102,13 @@ type t = {
   bound_port : int;
   stats : stats;
   lock : Mutex.t;
-  state_changed : Condition.t;  (* slot freed, connection drained, or stopping *)
+  state_changed : Condition.t;  (* job queued, conn drained, or stopping *)
+  jobs : job Queue.t;  (* admitted requests awaiting a pool worker *)
   mutable active : Unix.file_descr list;  (* live connection sockets *)
-  mutable workers : Thread.t list;
-  mutable in_flight : int;  (* requests currently inside the handler *)
+  mutable readers : Thread.t list;
+  mutable writers : Thread.t list;
+  mutable pool : Thread.t list;  (* the shared worker pool *)
+  mutable in_flight : int;  (* admitted requests not yet handled *)
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
 }
@@ -74,6 +116,10 @@ type t = {
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let locked_conn c f =
+  Mutex.lock c.c_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.c_lock) f
 
 let port t = t.bound_port
 
@@ -86,12 +132,14 @@ let stats t =
         errors = t.stats.errors;
         shed = t.stats.shed;
         total_latency = t.stats.total_latency;
-        max_latency = t.stats.max_latency })
+        max_latency = t.stats.max_latency;
+        admitted = t.stats.admitted;
+        admitted_latency = t.stats.admitted_latency })
 
 let in_flight t = locked t (fun () -> t.in_flight)
 
 (* ------------------------------------------------------------------ *)
-(* Per-connection loop *)
+(* Bookkeeping *)
 
 let set_timeouts config fd =
   if config.read_timeout > 0.0 then
@@ -99,25 +147,31 @@ let set_timeouts config fd =
   if config.write_timeout > 0.0 then
     Unix.setsockopt_float fd Unix.SO_SNDTIMEO config.write_timeout
 
-let record_request t ~started ~is_error =
-  let elapsed = Unix.gettimeofday () -. started in
+(* Counters are recorded before the response frame goes out (so an
+   in-process caller that just received its answer already sees the
+   request counted), the latency after the write completes — the metric
+   is "decode start to response write completion", and serialization +
+   socket write is the part pipelining changes most. *)
+let record_counts t ~is_error =
   Metrics.inc m_requests;
   if is_error then Metrics.inc m_errors;
-  Metrics.observe m_latency elapsed;
   locked t (fun () ->
       t.stats.requests <- t.stats.requests + 1;
-      if is_error then t.stats.errors <- t.stats.errors + 1;
-      t.stats.total_latency <- t.stats.total_latency +. elapsed;
-      if elapsed > t.stats.max_latency then t.stats.max_latency <- elapsed)
+      if is_error then t.stats.errors <- t.stats.errors + 1)
 
-let respond t io ~started response =
-  let is_error = match response with Wire.Error _ -> true | _ -> false in
-  record_request t ~started ~is_error;
-  Wire.write_frame_t io (Wire.encode_response response)
+let record_latency t ~started ~admitted =
+  let elapsed = Unix.gettimeofday () -. started in
+  Metrics.observe m_latency elapsed;
+  locked t (fun () ->
+      t.stats.total_latency <- t.stats.total_latency +. elapsed;
+      if elapsed > t.stats.max_latency then t.stats.max_latency <- elapsed;
+      if admitted then begin
+        t.stats.admitted <- t.stats.admitted + 1;
+        t.stats.admitted_latency <- t.stats.admitted_latency +. elapsed
+      end)
 
 (* Admission control: reserve an in-flight slot, or shed with a structured
-   [Overloaded] answer carrying a retry-after hint (twice the observed mean
-   latency — long enough for a slot to drain in the common case). *)
+   [Overloaded] answer carrying a retry-after hint. *)
 let try_admit t =
   locked t (fun () ->
       if t.config.max_in_flight > 0 && t.in_flight >= t.config.max_in_flight
@@ -132,13 +186,19 @@ let release t =
   Metrics.gauge_add m_in_flight (-1);
   locked t (fun () -> t.in_flight <- t.in_flight - 1)
 
+(* The retry-after hint is twice the observed mean latency of *admitted*
+   requests — long enough for a slot to drain in the common case. Shed
+   answers themselves complete in microseconds, so folding them into the
+   mean (as the pre-v8 server did via the all-requests mean) would drag
+   the hint toward its floor under sustained overload and synchronize the
+   retry stampede the hint exists to spread out. *)
 let shed_response t =
   Metrics.inc m_shed;
   locked t (fun () ->
       t.stats.shed <- t.stats.shed + 1;
       let avg =
-        if t.stats.requests = 0 then 0.0
-        else t.stats.total_latency /. float_of_int t.stats.requests
+        if t.stats.admitted = 0 then 0.025
+        else t.stats.admitted_latency /. float_of_int t.stats.admitted
       in
       Wire.Error
         { code = Wire.Overloaded;
@@ -148,79 +208,168 @@ let shed_response t =
           query = None;
           retry_after = Some (Float.max 0.01 (2.0 *. avg)) })
 
-(* Serve one client until it disconnects, times out, or desynchronizes. *)
-let connection_loop t fd =
-  let io =
-    let base = Transport.of_fd fd in
-    match t.config.wrap with None -> base | Some wrap -> wrap base
-  in
+(* ------------------------------------------------------------------ *)
+(* Per-connection reader: read + decode frames, shed or enqueue *)
+
+let enqueue_out conn item =
+  locked_conn conn (fun () ->
+      if item.o_admitted then conn.executing <- conn.executing - 1;
+      Queue.push item conn.out;
+      Condition.broadcast conn.c_state)
+
+let reader_loop t conn =
   let bad_frame msg =
     Wire.Error
       { code = Wire.Bad_frame; message = msg; query = None; retry_after = None }
   in
+  let answer ?(req_id = 0) ~started response =
+    enqueue_out conn
+      { o_req_id = req_id; o_started = started; o_admitted = false;
+        o_response = response }
+  in
   let rec loop () =
-    match Wire.read_frame_t io with
+    match Wire.read_frame_t conn.io with
     | exception End_of_file -> ()
     | exception Wire.Protocol_error msg ->
       (* The length prefix itself was bad: answer, then drop the link. *)
-      respond t io ~started:(Unix.gettimeofday ()) (bad_frame msg)
+      answer ~started:(Unix.gettimeofday ()) (bad_frame msg)
     | payload ->
       let started = Unix.gettimeofday () in
       (match Wire.decode_request payload with
       | exception Wire.Protocol_error msg ->
         (* Framing held but the payload is garbage; the next frame boundary
-           is still trustworthy, so keep the connection. *)
-        respond t io ~started (bad_frame msg);
+           is still trustworthy, so keep the connection. The answer carries
+           request id 0 — the server cannot know which request it was. *)
+        answer ~started (bad_frame msg);
         loop ()
       | exception Wire.Version_mismatch _ ->
         (* A peer speaking another protocol version: answer with the one
            version-independent message and drop the link — every further
            frame would mismatch the same way. *)
-        respond t io ~started
+        answer ~started
           (Wire.Unsupported_version { server_version = Wire.version })
       | header, request ->
         let decoded = Unix.gettimeofday () in
-        (* The span tree for this request roots here: decode is recorded
-           retroactively (it ran before the trace id was known), dispatch
-           wraps the handler, and everything the handler touches — service,
-           exec, OPE, storage — hangs off dispatch via the ambient
-           context. *)
-        Trace.run ~id:header.Wire.trace_id (fun () ->
-            Trace.record_span "decode" ~dur_us:((decoded -. started) *. 1e6);
-            let response =
-              if not (try_admit t) then shed_response t
-              else
-                Fun.protect
-                  ~finally:(fun () -> release t)
-                  (fun () ->
-                    Trace.with_span "dispatch" (fun () ->
-                        try t.handler header request with
-                        | Mope_error.Error e ->
-                          Wire.Error
-                            { code = Wire.Exec_failed; message = e.Mope_error.msg;
-                              query = e.Mope_error.query; retry_after = None }
-                        | exn ->
-                          Wire.Error
-                            { code = Wire.Internal;
-                              message = Mope_error.describe_exn exn;
-                              query = None; retry_after = None }))
-            in
-            respond t io ~started response);
+        if try_admit t then begin
+          locked_conn conn (fun () -> conn.executing <- conn.executing + 1);
+          locked t (fun () ->
+              Queue.push
+                { j_conn = conn; j_header = header; j_request = request;
+                  j_started = started; j_decoded = decoded }
+                t.jobs;
+              Condition.broadcast t.state_changed)
+        end
+        else
+          answer ~req_id:header.Wire.req_id ~started (shed_response t);
         loop ())
   in
   (try loop () with
   | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT | ECONNRESET | EPIPE | EBADF), _, _) ->
-    (* Read/write timeout, peer drop, chaos-injected disconnect, or
-       shutdown under our feet. *)
+    (* Read timeout, peer drop, chaos-injected disconnect, or shutdown
+       under our feet. *)
     ()
   | Wire.Protocol_error _ | End_of_file -> ());
-  io.Transport.close ();
-  (try Unix.close fd with Unix.Unix_error _ -> ());
+  locked_conn conn (fun () ->
+      conn.reader_done <- true;
+      Condition.broadcast conn.c_state);
   let self = Thread.id (Thread.self ()) in
   locked t (fun () ->
-      t.active <- List.filter (fun fd' -> fd' != fd) t.active;
-      t.workers <- List.filter (fun th -> Thread.id th <> self) t.workers;
+      t.readers <- List.filter (fun th -> Thread.id th <> self) t.readers)
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection writer: the response sequencer *)
+
+let writer_loop t conn =
+  let next () =
+    locked_conn conn (fun () ->
+        while
+          Queue.is_empty conn.out
+          && not (conn.reader_done && conn.executing = 0)
+        do
+          Condition.wait conn.c_state conn.c_lock
+        done;
+        if Queue.is_empty conn.out then None else Some (Queue.pop conn.out))
+  in
+  let rec drain () =
+    match next () with
+    | None -> ()
+    | Some item ->
+      let is_error =
+        match item.o_response with
+        | Wire.Error _ | Wire.Unsupported_version _ -> true
+        | _ -> false
+      in
+      record_counts t ~is_error;
+      let failed = locked_conn conn (fun () -> conn.write_failed) in
+      (if not failed then
+         try
+           Wire.write_frame_t conn.io
+             (Wire.encode_response ~req_id:item.o_req_id item.o_response)
+         with
+         | Unix.Unix_error _ | Sys_error _ ->
+           (* The peer is gone (or chaos cut the link): stop writing, and
+              kick the reader out of its blocking read so the connection
+              tears down instead of idling until the read timeout. *)
+           locked_conn conn (fun () -> conn.write_failed <- true);
+           (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ()));
+      record_latency t ~started:item.o_started ~admitted:item.o_admitted;
+      drain ()
+  in
+  drain ();
+  conn.io.Transport.close ();
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  let self = Thread.id (Thread.self ()) in
+  locked t (fun () ->
+      t.active <- List.filter (fun fd' -> fd' != conn.fd) t.active;
+      t.writers <- List.filter (fun th -> Thread.id th <> self) t.writers;
       Condition.broadcast t.state_changed)
+
+(* ------------------------------------------------------------------ *)
+(* The shared worker pool *)
+
+let pool_worker t =
+  let next () =
+    locked t (fun () ->
+        while Queue.is_empty t.jobs && not t.stopping do
+          Condition.wait t.state_changed t.lock
+        done;
+        (* Drain queued work even when stopping: each queued job holds an
+           [executing] count its connection writer is waiting on. *)
+        if Queue.is_empty t.jobs then None else Some (Queue.pop t.jobs))
+  in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some job ->
+      (* The span tree for this request roots here: decode is recorded
+         retroactively (it ran on the reader thread, before the trace id
+         was known), dispatch wraps the handler, and everything the
+         handler touches — service, exec, OPE, storage — hangs off
+         dispatch via the ambient context. *)
+      let response =
+        Trace.run ~id:job.j_header.Wire.trace_id (fun () ->
+            Trace.record_span "decode"
+              ~dur_us:((job.j_decoded -. job.j_started) *. 1e6);
+            Trace.with_span "dispatch" (fun () ->
+                try t.handler job.j_header job.j_request with
+                | Mope_error.Error e ->
+                  Wire.Error
+                    { code = Wire.Exec_failed; message = e.Mope_error.msg;
+                      query = e.Mope_error.query; retry_after = None }
+                | exn ->
+                  Wire.Error
+                    { code = Wire.Internal;
+                      message = Mope_error.describe_exn exn;
+                      query = None; retry_after = None }))
+      in
+      release t;
+      enqueue_out job.j_conn
+        { o_req_id = job.j_header.Wire.req_id; o_started = job.j_started;
+          o_admitted = true; o_response = response };
+      go ()
+  in
+  go ()
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop with backpressure *)
@@ -247,17 +396,39 @@ let accept_loop t =
       | exception Unix.Unix_error (_, _, _) -> go ()
       | fd, _peer ->
         set_timeouts t.config fd;
+        (* Pipelined responses go out as a train of small frames; without
+           this, Nagle holds each one for the peer's delayed ACK and a
+           depth-8 window serves slower than lockstep. *)
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
         Metrics.inc m_connections;
-        let worker = Thread.create (connection_loop t) fd in
+        let io =
+          let base = Transport.of_fd fd in
+          match t.config.wrap with None -> base | Some wrap -> wrap base
+        in
+        let conn =
+          { fd; io;
+            c_lock = Mutex.create ();
+            c_state = Condition.create ();
+            out = Queue.create ();
+            executing = 0;
+            reader_done = false;
+            write_failed = false }
+        in
+        let reader = Thread.create (reader_loop t) conn in
+        let writer = Thread.create (writer_loop t) conn in
         locked t (fun () ->
             t.stats.connections_accepted <- t.stats.connections_accepted + 1;
             t.active <- fd :: t.active;
-            t.workers <- worker :: t.workers);
+            t.readers <- reader :: t.readers;
+            t.writers <- writer :: t.writers);
         go ()
   in
   go ()
 
 (* ------------------------------------------------------------------ *)
+
+let pool_size config = if config.max_in_flight > 0 then config.max_in_flight else 32
 
 let start ?(config = default_config) ~handler () =
   (* Without this, a client disconnecting mid-response kills the process. *)
@@ -289,15 +460,20 @@ let start ?(config = default_config) ~handler () =
     { config; handler; listen_fd; bound_port;
       stats =
         { connections_accepted = 0; requests = 0; errors = 0; shed = 0;
-          total_latency = 0.0; max_latency = 0.0 };
+          total_latency = 0.0; max_latency = 0.0;
+          admitted = 0; admitted_latency = 0.0 };
       lock = Mutex.create ();
       state_changed = Condition.create ();
+      jobs = Queue.create ();
       active = [];
-      workers = [];
+      readers = [];
+      writers = [];
+      pool = [];
       in_flight = 0;
       stopping = false;
       accept_thread = None }
   in
+  t.pool <- List.init (pool_size config) (fun _ -> Thread.create pool_worker t);
   t.accept_thread <- Some (Thread.create accept_loop t);
   t
 
@@ -315,12 +491,23 @@ let shutdown t =
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (* Unblock connection threads parked in read(2). *)
+    (* Unblock connection readers parked in read(2) (and writers wedged
+       in write(2) against a stalled peer), then join in dependency
+       order: readers stop producing jobs, the pool drains what remains,
+       writers flush and close the sockets. *)
     let live = locked t (fun () -> t.active) in
     List.iter
       (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       live;
-    let workers = locked t (fun () -> t.workers) in
-    List.iter Thread.join workers;
-    locked t (fun () -> t.workers <- [])
+    let readers = locked t (fun () -> t.readers) in
+    List.iter Thread.join readers;
+    locked t (fun () -> Condition.broadcast t.state_changed);
+    let pool = locked t (fun () -> t.pool) in
+    List.iter Thread.join pool;
+    let writers = locked t (fun () -> t.writers) in
+    List.iter Thread.join writers;
+    locked t (fun () ->
+        t.readers <- [];
+        t.writers <- [];
+        t.pool <- [])
   end

@@ -1,23 +1,32 @@
-(** Concurrent TCP front-end for the trusted proxy.
+(** Concurrent, pipelined TCP front-end for the trusted proxy.
 
-    A thread-per-connection server over [Unix] sockets: one accept thread
-    plus one thread per live client, suiting the paper's deployment shape
-    (few long-lived client connections funnelling many queries through the
-    proxy). The accept loop applies backpressure — when
-    [max_connections] clients are live it stops accepting and lets the
-    kernel backlog absorb the burst — and a graceful {!shutdown} stops
-    accepting, unblocks in-flight readers, and waits for every connection
-    thread to drain.
+    A pooled executor over [Unix] sockets (the Throttle/Sequencer idiom:
+    serialize per-handle, parallelize across handles). Each accepted
+    connection gets a {e reader} thread — read a frame, decode it, admit
+    or shed — and a {e writer} thread, the response sequencer: the only
+    thread that writes to that socket, so responses from concurrently
+    completing requests never interleave frames. Admitted requests go to
+    one shared worker pool of [max_in_flight] threads (32 when
+    unlimited), so requests from one connection execute concurrently and
+    may complete out of order; the wire v8 request id echoed in each
+    response is what lets a pipelining client match them (lockstep
+    clients send id 0 and are answered in order, one at a time). The
+    accept loop applies backpressure — when [max_connections] clients
+    are live it stops accepting and lets the kernel backlog absorb the
+    burst — and a graceful {!shutdown} stops accepting, unblocks
+    readers, drains queued work through the pool, and joins every
+    thread.
 
     The server is transport only: a [handler] turns each decoded
-    {!Wire.request} (with its {!Wire.header} — trace id and session token)
-    into a {!Wire.response}. Handler exceptions become structured
-    [Wire.Error] responses, never crashes; malformed frames get a
-    [Bad_frame] error reply and the connection is closed (the stream
-    offset can no longer be trusted); frames from a peer speaking another
-    protocol version get the structured {!Wire.Unsupported_version}
-    answer before the drop. The handler runs on connection threads
-    concurrently — it must do its own locking (see {!Service}). *)
+    {!Wire.request} (with its {!Wire.header} — trace id, session token
+    and request id) into a {!Wire.response}. Handler exceptions become
+    structured [Wire.Error] responses, never crashes; malformed frames
+    get a [Bad_frame] error reply and the connection is closed (the
+    stream offset can no longer be trusted); frames from a peer speaking
+    another protocol version get the structured
+    {!Wire.Unsupported_version} answer before the drop. The handler runs
+    on pool threads concurrently — it must do its own locking (see
+    {!Service}). *)
 
 type config = {
   host : string;           (** bind address, default ["127.0.0.1"] *)
@@ -25,10 +34,11 @@ type config = {
   backlog : int;           (** listen(2) backlog, default 16 *)
   max_connections : int;   (** live-connection cap, default 64 *)
   max_in_flight : int;
-      (** in-flight request budget, default 32; once this many requests are
-          inside the handler, further requests are shed with a structured
-          [Overloaded] error (carrying a retry-after hint) instead of
-          queueing behind the busy handlers. 0 = unlimited. *)
+      (** in-flight request budget — and the worker-pool size — default
+          32; once this many admitted requests are executing, further
+          requests are shed with a structured [Overloaded] error
+          (carrying a retry-after hint) instead of queueing behind the
+          busy handlers. 0 = unlimited (a pool of 32 with no shedding). *)
   read_timeout : float;    (** per-read seconds, 0 = no timeout *)
   write_timeout : float;   (** per-write seconds, 0 = no timeout *)
   wrap : (Transport.t -> Transport.t) option;
@@ -38,14 +48,23 @@ type config = {
 
 val default_config : config
 
-(** Aggregate request metrics, updated under the server's lock. *)
+(** Aggregate request metrics, updated under the server's lock. Latency
+    is measured from decode start to response write completion; request
+    and error counts are recorded just before the response frame goes
+    out. *)
 type stats = {
   mutable connections_accepted : int;
   mutable requests : int;         (** frames decoded and answered *)
-  mutable errors : int;           (** responses that were [Wire.Error] *)
+  mutable errors : int;
+      (** responses that were [Wire.Error] or [Unsupported_version] *)
   mutable shed : int;             (** requests refused by the load shedder *)
-  mutable total_latency : float;  (** seconds summed over requests *)
+  mutable total_latency : float;  (** seconds summed over all requests *)
   mutable max_latency : float;    (** slowest single request, seconds *)
+  mutable admitted : int;         (** requests that reached the handler *)
+  mutable admitted_latency : float;
+      (** seconds summed over admitted requests only — the basis of the
+          shed retry-after hint, so near-instant shed answers cannot drag
+          the hint toward its floor under sustained overload *)
 }
 
 type t

@@ -2,35 +2,91 @@ open Mope_system
 module Metrics = Mope_obs.Metrics
 module Trace = Mope_obs.Trace
 
-type t = { proxies : (string * (Mutex.t * Proxy.t)) list }
+(* A checkout/checkin freelist of proxies for one date column. The pooled
+   server runs the handler on many workers at once; a worker checks a
+   proxy out, executes with no lock held, and checks it back in — so the
+   pool mutex guards only the freelist, never a query execution. With one
+   member (the default) same-column queries serialize exactly as the old
+   one-mutex-per-proxy design did, but parked on a condition instead of a
+   held mutex. *)
+type pool = {
+  lock : Mutex.t;
+  free_nonempty : Condition.t;
+  mutable free : Proxy.t list;
+  all : Proxy.t list;  (* immutable member list, for counter sweeps *)
+}
+
+type t = { proxies : (string * pool) list }
+
+let make_pool members =
+  { lock = Mutex.create ();
+    free_nonempty = Condition.create ();
+    free = members;
+    all = members }
+
+let validate columns =
+  if List.length (List.sort_uniq compare columns) <> List.length columns then
+    invalid_arg "Service.create: duplicate date column"
+
+let create_pooled ~proxies () =
+  if proxies = [] then invalid_arg "Service.create: no proxies";
+  validate (List.map fst proxies);
+  { proxies =
+      List.map
+        (fun (col, members) ->
+          if members = [] then
+            invalid_arg ("Service.create: no proxies for column " ^ col);
+          (col, make_pool members))
+        proxies }
 
 let create ~proxies () =
-  if proxies = [] then invalid_arg "Service.create: no proxies";
-  let columns = List.map fst proxies in
-  if List.length (List.sort_uniq compare columns) <> List.length columns then
-    invalid_arg "Service.create: duplicate date column";
-  { proxies = List.map (fun (col, p) -> (col, (Mutex.create (), p))) proxies }
+  create_pooled
+    ~proxies:(List.map (fun (col, p) -> (col, [ p ])) proxies)
+    ()
 
 let locked lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+let checkout pool =
+  locked pool.lock (fun () ->
+      while pool.free = [] do
+        Condition.wait pool.free_nonempty pool.lock
+      done;
+      match pool.free with
+      | p :: rest ->
+        pool.free <- rest;
+        p
+      | [] ->
+        Mope_error.raise_error
+          "Service.checkout: internal invariant: empty freelist after wait")
+
+let checkin pool p =
+  locked pool.lock (fun () ->
+      pool.free <- p :: pool.free;
+      Condition.signal pool.free_nonempty)
+
 let counters t =
   let base =
     List.fold_left
-      (fun acc (_, (lock, proxy)) ->
-        let c = locked lock (fun () -> Proxy.counters proxy) in
-        { acc with
-          Wire.client_queries = acc.Wire.client_queries + c.Proxy.client_queries;
-          real_pieces = acc.Wire.real_pieces + c.Proxy.real_pieces;
-          fake_queries = acc.Wire.fake_queries + c.Proxy.fake_queries;
-          server_requests = acc.Wire.server_requests + c.Proxy.server_requests;
-          rows_fetched = acc.Wire.rows_fetched + c.Proxy.rows_fetched;
-          rows_delivered = acc.Wire.rows_delivered + c.Proxy.rows_delivered;
-          segment_cache_hits =
-            acc.Wire.segment_cache_hits + c.Proxy.segment_cache_hits;
-          segment_cache_misses =
-            acc.Wire.segment_cache_misses + c.Proxy.segment_cache_misses })
+      (fun acc (_, pool) ->
+        List.fold_left
+          (fun acc proxy ->
+            let c = Proxy.counters proxy in
+            { acc with
+              Wire.client_queries =
+                acc.Wire.client_queries + c.Proxy.client_queries;
+              real_pieces = acc.Wire.real_pieces + c.Proxy.real_pieces;
+              fake_queries = acc.Wire.fake_queries + c.Proxy.fake_queries;
+              server_requests =
+                acc.Wire.server_requests + c.Proxy.server_requests;
+              rows_fetched = acc.Wire.rows_fetched + c.Proxy.rows_fetched;
+              rows_delivered = acc.Wire.rows_delivered + c.Proxy.rows_delivered;
+              segment_cache_hits =
+                acc.Wire.segment_cache_hits + c.Proxy.segment_cache_hits;
+              segment_cache_misses =
+                acc.Wire.segment_cache_misses + c.Proxy.segment_cache_misses })
+          acc pool.all)
       { Wire.client_queries = 0; real_pieces = 0; fake_queries = 0;
         server_requests = 0; rows_fetched = 0; rows_delivered = 0;
         plan_cache_hits = 0; plan_cache_misses = 0; segment_cache_hits = 0;
@@ -42,9 +98,12 @@ let counters t =
      summing, or shared stats would be counted once per proxy. *)
   let server_dbs =
     List.fold_left
-      (fun acc (_, (_, proxy)) ->
-        let db = Proxy.server_database proxy in
-        if List.exists (fun d -> d == db) acc then acc else db :: acc)
+      (fun acc (_, pool) ->
+        List.fold_left
+          (fun acc proxy ->
+            let db = Proxy.server_database proxy in
+            if List.exists (fun d -> d == db) acc then acc else db :: acc)
+          acc pool.all)
       [] t.proxies
   in
   let plan_hits, plan_misses =
@@ -98,9 +157,12 @@ let handler t (_header : Wire.header) = function
           message = "no proxy serves date column " ^ date_column;
           query = Some sql;
           retry_after = None }
-    | Some (lock, proxy) ->
+    | Some pool ->
+      let proxy = checkout pool in
       let outcome =
-        locked lock (fun () ->
+        Fun.protect
+          ~finally:(fun () -> checkin pool proxy)
+          (fun () ->
             match
               Trace.with_span "exec" (fun () ->
                   Proxy.execute proxy ~sql ~date_column ~date_lo ~date_hi)

@@ -1,12 +1,16 @@
 (** Request handler bridging the wire protocol to the proxy pipeline.
 
-    A service owns one {!Mope_system.Proxy.t} per served date column
-    (e.g. [l_shipdate] and [o_orderdate] for the TPC-H testbed) and
-    dispatches each [Wire.Query] to the proxy for its column.
+    A service owns a checkout/checkin pool of {!Mope_system.Proxy.t}s per
+    served date column (e.g. [l_shipdate] and [o_orderdate] for the TPC-H
+    testbed) and dispatches each [Wire.Query] to a proxy for its column.
     {!Mope_system.Proxy.t} is single-threaded (mutable counters, one RNG,
-    one adaptive learner), so each proxy sits behind its own mutex —
-    queries on different columns run concurrently, queries on the same
-    column serialize. *)
+    one adaptive learner), so a server worker checks one out of the
+    column's freelist, executes with no lock held, and checks it back in;
+    workers wanting a busy column park on the pool's condition variable.
+    With the default one-proxy pools, queries on different columns run
+    concurrently and queries on the same column serialize — the handler
+    never blocks a worker while {e holding} a lock, which is what the
+    pooled {!Server} needs from its handlers. *)
 
 open Mope_system
 
@@ -14,8 +18,17 @@ type t
 
 val create : proxies:(string * Proxy.t) list -> unit -> t
 (** [create ~proxies] with [proxies] mapping a date-column name to the
-    proxy serving it. Raises [Invalid_argument] on an empty or duplicated
-    mapping. *)
+    proxy serving it (a pool of one). Raises [Invalid_argument] on an
+    empty or duplicated mapping. *)
+
+val create_pooled : proxies:(string * Proxy.t list) list -> unit -> t
+(** Like {!create} with several interchangeable proxies per column:
+    same-column queries then execute concurrently, one per member. The
+    members must not share mutable state — build each over its own
+    {!Mope_system.Encrypted_db.t} handle (they may target the same
+    underlying server database; the counter sweep already dedupes the
+    shared plan cache by physical identity). Raises [Invalid_argument] if
+    any column's list is empty. *)
 
 val handler : t -> Wire.header -> Wire.request -> Wire.response
 (** [Ping] → [Pong]; [Get_counters] → the field-wise sum over all proxies;

@@ -6,7 +6,7 @@ exception Version_mismatch of { peer_version : int }
 
 let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
 
-let version = 7
+let version = 8
 
 let max_frame = 16 * 1024 * 1024
 
@@ -47,9 +47,9 @@ type stats = {
   traces : Mope_obs.Trace.dump list;
 }
 
-type header = { trace_id : string; session : string }
+type header = { trace_id : string; session : string; req_id : int }
 
-let no_header = { trace_id = ""; session = "" }
+let no_header = { trace_id = ""; session = ""; req_id = 0 }
 
 type request =
   | Ping
@@ -304,9 +304,13 @@ let close_payload cur =
 (* Requests. The request header rides between the tag and the body: the
    v3 trace id (possibly empty), then the v7 session token (empty until
    the client has completed the [Open_session]/[Authenticate] handshake),
-   so every request kind can be correlated with the server-side span tree
-   it produces and attributed to the tenant it runs as. Responses carry
-   no header — the client already knows which trace it is awaiting. *)
+   then the v8 request id, so every request kind can be correlated with
+   the server-side span tree it produces, attributed to the tenant it
+   runs as, and — when pipelined — matched with its response. A request
+   id of 0 means "unassigned" (a lockstep client awaiting one response
+   at a time); pipelining clients assign ids starting from 1. Since v8
+   every response except the frozen [Unsupported_version] echoes the
+   request id between its tag and body. *)
 
 let check_trace_id tid =
   if String.length tid > max_trace_id then
@@ -332,16 +336,21 @@ let check_mac label s =
    negative epoch can only be malice or corruption. *)
 let check_epoch epoch = if epoch < 0 then fail "negative epoch %d" epoch
 
+(* Request ids are client-minted correlation numbers; 0 = unassigned. *)
+let check_req_id id = if id < 0 then fail "negative request id %d" id
+
 let payload_req header tag body =
   check_trace_id header.trace_id;
   check_session header.session;
+  check_req_id header.req_id;
   payload tag (fun buf ->
       put_string buf header.trace_id;
       put_string buf header.session;
+      put_int buf header.req_id;
       body buf)
 
-let encode_request ?(trace_id = "") ?(session = "") req =
-  let header = { trace_id; session } in
+let encode_request ?(trace_id = "") ?(session = "") ?(req_id = 0) req =
+  let header = { trace_id; session; req_id } in
   match req with
   | Ping -> payload_req header tag_ping (fun _ -> ())
   | Query { sql; date_column; date_lo; date_hi } ->
@@ -394,6 +403,7 @@ let decode_request data =
   check_trace_id trace_id;
   let session = get_string cur in
   check_session session;
+  let req_id = get_nat cur in
   let req =
     if tag = tag_ping then Ping
     else if tag = tag_query then begin
@@ -451,15 +461,28 @@ let decode_request data =
     else fail "unknown request tag 0x%02x" tag
   in
   close_payload cur;
-  ({ trace_id; session }, req)
+  ({ trace_id; session; req_id }, req)
 
 (* ------------------------------------------------------------------ *)
-(* Responses *)
+(* Responses. Since v8 every response carries a one-field header — the
+   echoed request id — between its tag and body, so a pipelining client
+   can match out-of-order completions to the requests it has in flight.
+   [Unsupported_version] is the lone exception: its body layout is frozen
+   at the v7 shape (a bare integer) so peers of any version can read it,
+   and it answers a request whose header the server could not necessarily
+   decode anyway. *)
 
-let encode_response = function
-  | Pong -> payload tag_pong (fun _ -> ())
+let payload_resp req_id tag body =
+  check_req_id req_id;
+  payload tag (fun buf ->
+      put_int buf req_id;
+      body buf)
+
+let encode_response ?(req_id = 0) resp =
+  match resp with
+  | Pong -> payload_resp req_id tag_pong (fun _ -> ())
   | Rows result ->
-    payload tag_rows (fun buf ->
+    payload_resp req_id tag_rows (fun buf ->
         put_int buf (List.length result.Exec.columns);
         List.iter (put_string buf) result.Exec.columns;
         put_int buf (List.length result.Exec.rows);
@@ -469,7 +492,7 @@ let encode_response = function
             Array.iter (put_value buf) row)
           result.Exec.rows)
   | Counters c ->
-    payload tag_counters (fun buf ->
+    payload_resp req_id tag_counters (fun buf ->
         put_int buf c.client_queries;
         put_int buf c.real_pieces;
         put_int buf c.fake_queries;
@@ -481,7 +504,7 @@ let encode_response = function
         put_int buf c.segment_cache_hits;
         put_int buf c.segment_cache_misses)
   | Stats s ->
-    payload tag_stats (fun buf ->
+    payload_resp req_id tag_stats (fun buf ->
         put_string buf s.metrics_text;
         put_string buf s.metrics_json;
         put_int buf (List.length s.traces);
@@ -503,30 +526,32 @@ let encode_response = function
                   sp.Mope_obs.Trace.items)
               d.Mope_obs.Trace.spans)
           s.traces)
-  | Applied { wal_pos } -> payload tag_applied (fun buf -> put_int buf wal_pos)
+  | Applied { wal_pos } ->
+    payload_resp req_id tag_applied (fun buf -> put_int buf wal_pos)
   | Epoch_state { epoch } ->
-    payload tag_epoch_state (fun buf -> put_int buf epoch)
+    payload_resp req_id tag_epoch_state (fun buf -> put_int buf epoch)
   | Session_challenge { nonce } ->
-    payload tag_session_challenge (fun buf -> put_string buf nonce)
+    payload_resp req_id tag_session_challenge (fun buf -> put_string buf nonce)
   | Session_ok { token } ->
-    payload tag_session_ok (fun buf -> put_string buf token)
+    payload_resp req_id tag_session_ok (fun buf -> put_string buf token)
   | Rotation { state; generation; rows_moved; rows_total } ->
-    payload tag_rotation (fun buf ->
+    payload_resp req_id tag_rotation (fun buf ->
         put_string buf state;
         put_int buf generation;
         put_int buf rows_moved;
         put_int buf rows_total)
   | Unsupported_version { server_version } ->
+    (* Frozen v7 shape: no response header, readable under any version. *)
     payload tag_unsupported_version (fun buf -> put_int buf server_version)
   | Wal_chunk { resync; records; next_pos; end_pos } ->
-    payload tag_wal_chunk (fun buf ->
+    payload_resp req_id tag_wal_chunk (fun buf ->
         Buffer.add_char buf (if resync then '\x01' else '\x00');
         put_int buf (List.length records);
         List.iter (put_string buf) records;
         put_int buf next_pos;
         put_int buf end_pos)
   | Error { code; message; query; retry_after } ->
-    payload tag_error (fun buf ->
+    payload_resp req_id tag_error (fun buf ->
         Buffer.add_char buf (Char.chr (error_code_tag code));
         put_string buf message;
         put_string_opt buf query;
@@ -534,6 +559,10 @@ let encode_response = function
 
 let decode_response data =
   let tag, cur = open_payload data in
+  (* The echoed request id (v8). [Unsupported_version] predates it and
+     stays header-less so any-version peers can read it; report it as
+     id 0, the "unassigned" id. *)
+  let req_id = if tag = tag_unsupported_version then 0 else get_nat cur in
   let resp =
     (* A count must be plausible for the bytes that remain — each column
        name and each row costs at least an 8-byte length prefix, each value
@@ -654,7 +683,7 @@ let decode_response data =
     else fail "unknown response tag 0x%02x" tag
   in
   close_payload cur;
-  resp
+  (req_id, resp)
 
 (* ------------------------------------------------------------------ *)
 (* Framed I/O over a Transport (short reads/writes handled here). *)

@@ -24,7 +24,11 @@ exception Version_mismatch of { peer_version : int }
     {!Unsupported_version} response instead of a generic [Bad_frame]. *)
 
 val version : int
-(** Current protocol version (7 — v7 added multi-tenancy: a session-token
+(** Current protocol version (8 — v8 added request pipelining: a
+    client-minted numeric request id in the request header, echoed
+    between the tag and body of every response except the frozen
+    [Unsupported_version], so responses on one connection may complete
+    out of order and the client can match them; v7 added multi-tenancy: a session-token
     field in the request header, the [Open_session]/[Authenticate]/
     [Rotate] requests with their [Session_challenge]/[Session_ok]/
     [Rotation] responses, the [Auth_failed]/[Unknown_tenant] error codes,
@@ -91,15 +95,18 @@ type stats = {
   traces : Mope_obs.Trace.dump list;  (** newest first *)
 }
 
-type header = { trace_id : string; session : string }
-(** The v7 request header, carried between the tag byte and the body of
-    every request: the client-minted trace id (v3, [""] = untraced) and
-    the session token minted by a successful [Authenticate] (v7, [""] =
+type header = { trace_id : string; session : string; req_id : int }
+(** The v8 request header, carried between the tag byte and the body of
+    every request: the client-minted trace id (v3, [""] = untraced), the
+    session token minted by a successful [Authenticate] (v7, [""] =
     unauthenticated — sufficient for [Ping]/[Open_session]/[Authenticate]
-    and for single-tenant services that predate sessions). *)
+    and for single-tenant services that predate sessions), and the
+    request id (v8, [0] = unassigned). A pipelining client assigns each
+    in-flight request a distinct positive id and matches responses by the
+    echoed id; a lockstep client sends 0 and gets 0 back. *)
 
 val no_header : header
-(** [{ trace_id = ""; session = "" }]. *)
+(** [{ trace_id = ""; session = ""; req_id = 0 }]. *)
 
 type request =
   | Ping
@@ -213,18 +220,28 @@ val error_code_to_string : error_code -> string
 (* Codecs: [encode_*] produce a payload (no length prefix); [decode_*]
    consume one and raise [Protocol_error] on any malformation. *)
 
-val encode_request : ?trace_id:string -> ?session:string -> request -> string
-(** [trace_id] (default [""] = untraced) and [session] (default [""] =
-    unauthenticated) ride in the request header; they must be at most
-    {!max_trace_id} and {!max_session} bytes respectively. *)
+val encode_request :
+  ?trace_id:string -> ?session:string -> ?req_id:int -> request -> string
+(** [trace_id] (default [""] = untraced), [session] (default [""] =
+    unauthenticated) and [req_id] (default [0] = unassigned) ride in the
+    request header; the strings must be at most {!max_trace_id} and
+    {!max_session} bytes respectively and [req_id] must be non-negative. *)
 
 val decode_request : string -> header * request
 (** Returns the request with its header; header fields are [""] when the
     client sent none. Raises {!Version_mismatch} (never [Protocol_error])
     when the version byte differs from {!version}. *)
 
-val encode_response : response -> string
-val decode_response : string -> response
+val encode_response : ?req_id:int -> response -> string
+(** [req_id] (default [0]) is the id echoed from the request being
+    answered; it rides between the response tag and body. Ignored for
+    [Unsupported_version], whose body layout is frozen at the header-less
+    v7 shape so any-version peers can read it. *)
+
+val decode_response : string -> int * response
+(** Returns the echoed request id with the response ([0] for
+    [Unsupported_version] and for servers answering unassigned-id
+    requests). *)
 
 (* Framed I/O over a {!Transport.t} — the seam where {!Chaos} interposes. *)
 

@@ -175,14 +175,22 @@ let plain_schema t table =
 
 let encryption_of t ~table ~column = Hashtbl.find_opt t.encryptions (table, column)
 
-let decrypt_row t ~table row =
+let decrypt_row t ~table ?keep row =
   let schema = plain_schema t table in
   Array.mapi
     (fun i v ->
       let col = (Schema.column_at schema i).Schema.name in
       match Hashtbl.find_opt t.encryptions (table, col) with
-      | Some enc -> decrypt_value t ~table ~column:col enc v
-      | None -> v)
+      | None -> v
+      | Some enc -> (
+        match keep with
+        | Some keep when not (keep col) ->
+          (* A ciphertext must never pass as plaintext (a [Mope_date]
+             cipher is an [Int] where the plain schema says [Date]), so an
+             elided column becomes [Null] — the one value every schema
+             slot admits — rather than staying encrypted. *)
+          Value.Null
+        | _ -> decrypt_value t ~table ~column:col enc v))
     row
 
 let partition_column t ~table =

@@ -86,9 +86,20 @@ val encrypt_int : t -> int -> int
 val decrypt_int : t -> int -> int
 
 val decrypt_row :
-  t -> table:string -> Mope_db.Value.t array -> Mope_db.Value.t array
+  t ->
+  table:string ->
+  ?keep:(string -> bool) ->
+  Mope_db.Value.t array ->
+  Mope_db.Value.t array
 (** Decrypt one fetched row of an encrypted table back to its plaintext
-    schema (dates and DET ints restored, other columns passed through). *)
+    schema (dates and DET ints restored, other columns passed through).
+
+    [keep] elides work: an encrypted column whose name fails the predicate
+    is not decrypted — its slot becomes [Value.Null] (never the raw
+    ciphertext, whose type may not even match the plain schema) — while
+    unencrypted columns pass through regardless. The proxy uses this to
+    skip the per-row OPE/PRP walks of columns its re-evaluation never
+    reads; callers that deliver whole rows must not pass [keep]. *)
 
 val encrypt_row :
   t -> table:string -> Mope_db.Value.t array -> Mope_db.Value.t array

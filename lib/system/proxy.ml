@@ -70,12 +70,18 @@ type fetch =
   template:Sql_ast.select ->
   Exec.result
 
+type fetch_many =
+  date_column:string ->
+  batches:(int * int) list list ->
+  template:Sql_ast.select ->
+  Exec.result list
+
 type t = {
   enc : Encrypted_db.t;
   mode : mode;
   k : int;
   batch_size : int;
-  fetch : fetch;
+  fetch_many : fetch_many;
   rng : Rng.t;
   counters : counters;
   seg_cache : (int, (int * int) list) Hashtbl.t option;
@@ -95,10 +101,18 @@ let local_fetch enc ~date_column ~segments ~template =
   in
   Database.query_ast (Encrypted_db.server enc) fetch_ast
 
-let make ~enc ~mode ~k ~batch_size ~seed ~caching ~fetch =
+let make ~enc ~mode ~k ~batch_size ~seed ~caching ~fetch ~fetch_many =
   if batch_size < 1 then invalid_arg "Proxy.create: batch_size";
-  let fetch = match fetch with Some f -> f | None -> local_fetch enc in
-  { enc; mode; k; batch_size; fetch;
+  let fetch_many =
+    match fetch_many with
+    | Some f -> f
+    | None ->
+      let fetch = match fetch with Some f -> f | None -> local_fetch enc in
+      fun ~date_column ~batches ~template ->
+        List.map (fun segments -> fetch ~date_column ~segments ~template)
+          batches
+  in
+  { enc; mode; k; batch_size; fetch_many;
     rng = Rng.create seed;
     counters =
       { client_queries = 0; real_pieces = 0; fake_queries = 0;
@@ -106,14 +120,15 @@ let make ~enc ~mode ~k ~batch_size ~seed ~caching ~fetch =
         segment_cache_hits = 0; segment_cache_misses = 0 };
     seg_cache = (if caching then Some (Hashtbl.create 256) else None) }
 
-let create ~enc ~scheduler ?(batch_size = 1) ?(caching = true) ?fetch ~seed () =
+let create ~enc ~scheduler ?(batch_size = 1) ?(caching = true) ?fetch
+    ?fetch_many ~seed () =
   if Scheduler.m scheduler <> Encrypted_db.date_domain enc then
     invalid_arg "Proxy.create: scheduler domain <> encrypted date domain";
   make ~enc ~mode:(Static scheduler) ~k:(Scheduler.k scheduler) ~batch_size ~seed
-    ~caching ~fetch
+    ~caching ~fetch ~fetch_many
 
 let create_adaptive ~enc ~k ?rho ?(batch_size = 1) ?(caching = true) ?fetch
-    ~seed () =
+    ?fetch_many ~seed () =
   let m = Encrypted_db.date_domain enc in
   let amode =
     match rho with
@@ -121,7 +136,7 @@ let create_adaptive ~enc ~k ?rho ?(batch_size = 1) ?(caching = true) ?fetch
     | Some rho -> Adaptive.Periodic rho
   in
   make ~enc ~mode:(Learning (Adaptive.create ~m ~k ~mode:amode)) ~k ~batch_size
-    ~seed ~caching ~fetch
+    ~seed ~caching ~fetch ~fetch_many
 
 let adaptive_state t =
   match t.mode with Learning a -> Some a | Static _ -> None
@@ -187,7 +202,7 @@ let combined_schema enc from =
          Schema.columns (Encrypted_db.plain_schema enc table))
        from)
 
-let decrypt_combined enc from row =
+let decrypt_combined enc ?keep from row =
   let out = Array.copy row in
   let offset = ref 0 in
   List.iter
@@ -195,7 +210,7 @@ let decrypt_combined enc from row =
       let schema = Encrypted_db.plain_schema enc table in
       let arity = Schema.arity schema in
       let slice = Array.sub row !offset arity in
-      let plain = Encrypted_db.decrypt_row enc ~table slice in
+      let plain = Encrypted_db.decrypt_row enc ~table ?keep slice in
       Array.blit plain 0 out !offset arity;
       offset := !offset + arity)
     from;
@@ -234,6 +249,62 @@ let local_statement ast =
   { ast with
     Sql_ast.from = [ { Sql_ast.table = "__fetched"; alias = None } ];
     where }
+
+(* Column names the local re-evaluation of a statement can read — [None]
+   when a [Star] projection forces every column. Qualifiers are dropped
+   and nested selects walked too: over-collection across same-named
+   columns of different tables costs a decryption, never correctness. *)
+let referenced_columns select =
+  let star = ref false in
+  let names = Hashtbl.create 16 in
+  let rec walk_expr = function
+    | Sql_ast.Col (_, name) -> Hashtbl.replace names name ()
+    | Sql_ast.Lit _ | Sql_ast.Agg (_, None) -> ()
+    | Sql_ast.Binop (_, a, b) | Sql_ast.Cmp (_, a, b)
+    | Sql_ast.And (a, b) | Sql_ast.Or (a, b) ->
+      walk_expr a;
+      walk_expr b
+    | Sql_ast.Not e | Sql_ast.Like (e, _) | Sql_ast.Is_null e
+    | Sql_ast.Agg (_, Some e) ->
+      walk_expr e
+    | Sql_ast.Between (e, lo, hi) ->
+      walk_expr e;
+      walk_expr lo;
+      walk_expr hi
+    | Sql_ast.In_list (e, es) ->
+      walk_expr e;
+      List.iter walk_expr es
+    | Sql_ast.In_select (e, s) ->
+      walk_expr e;
+      walk_select s
+    | Sql_ast.Case (arms, else_) ->
+      List.iter
+        (fun (c, v) ->
+          walk_expr c;
+          walk_expr v)
+        arms;
+      Option.iter walk_expr else_
+  and walk_select s =
+    List.iter
+      (function Sql_ast.Star -> star := true | Sql_ast.Proj (e, _) -> walk_expr e)
+      s.Sql_ast.projections;
+    Option.iter walk_expr s.Sql_ast.where;
+    List.iter walk_expr s.Sql_ast.group_by;
+    Option.iter walk_expr s.Sql_ast.having;
+    List.iter (fun (e, _) -> walk_expr e) s.Sql_ast.order_by
+  in
+  walk_select select;
+  if !star then None else Some names
+
+(* The decryption-elision predicate for a client statement: only columns
+   its local re-evaluation reads are worth decrypting; anything else in
+   the combined row may surface as [Null] ([Encrypted_db.decrypt_row]'s
+   [keep]). The biggest win on the TPC-H templates is the DET join keys —
+   fetched with every row, read by no re-evaluated expression. *)
+let keep_for ast =
+  match referenced_columns (local_statement ast) with
+  | None -> None
+  | Some names -> Some (fun col -> Hashtbl.mem names col)
 
 (* The executed start sequence for one client query: (start, Some piece_idx)
    for a real tau_k piece, (start, None) for a fake. *)
@@ -311,43 +382,60 @@ let fetch_decrypted t ~sql ~date_column ~date_lo ~date_hi =
   let piece_index_of plain =
     Modular.forward_distance ~m range.Query_model.lo plain / k
   in
+  let keep = keep_for ast in
   let accepted = ref [] in
-  let process_batch batch =
-    let segments =
-      (* MOPE range → ciphertext segments: one encrypt walk per segment
-         endpoint (memoized per start when caching is on), so this span
-         carries the query's OPE encryption cost. *)
-      Trace.with_span "ope_segments" (fun () ->
-          let raw =
-            Trace.with_span "segment_cache" (fun () ->
-                let hits0 = t.counters.segment_cache_hits
-                and misses0 = t.counters.segment_cache_misses in
-                let segs =
-                  List.concat_map (fun (start, _) -> segments_for t ~m start)
-                    batch
-                in
-                Trace.add_item "hits" (t.counters.segment_cache_hits - hits0);
-                Trace.add_item "misses"
-                  (t.counters.segment_cache_misses - misses0);
-                segs)
-          in
-          (* Coalesce before building the fetch predicate: batched starts
-             overlap (adjacent τ_k pieces, repeated fakes), and merging
-             covers the same ciphertext set while the server walks each
-             index range — and scans each row — at most once. *)
-          let segs = Ranges.normalize raw in
-          Metrics.inc ~by:(List.length raw - List.length segs)
-            m_segments_coalesced;
-          Trace.add_item "segments_raw" (List.length raw);
-          Trace.add_item "segments" (List.length segs);
-          segs)
-    in
-    let result =
-      Trace.with_span "server_fetch" (fun () ->
-          let result = t.fetch ~date_column ~segments ~template in
-          Trace.add_item "rows_fetched" (List.length result.Exec.rows);
-          result)
-    in
+  (* Phase 1 — every batch's ciphertext segments, before any fetch: the
+     whole fake+real execution plan is known up front, so the fetch seam
+     receives it in one call and a remote implementation can ship the
+     batches down one pipelined connection instead of one round trip
+     each. *)
+  let batches = chunks t.batch_size executed in
+  let segments_of batch =
+    (* MOPE range → ciphertext segments: one encrypt walk per segment
+       endpoint (memoized per start when caching is on), so this span
+       carries the query's OPE encryption cost. *)
+    Trace.with_span "ope_segments" (fun () ->
+        let raw =
+          Trace.with_span "segment_cache" (fun () ->
+              let hits0 = t.counters.segment_cache_hits
+              and misses0 = t.counters.segment_cache_misses in
+              let segs =
+                List.concat_map (fun (start, _) -> segments_for t ~m start)
+                  batch
+              in
+              Trace.add_item "hits" (t.counters.segment_cache_hits - hits0);
+              Trace.add_item "misses"
+                (t.counters.segment_cache_misses - misses0);
+              segs)
+        in
+        (* Coalesce before building the fetch predicate: batched starts
+           overlap (adjacent τ_k pieces, repeated fakes), and merging
+           covers the same ciphertext set while the server walks each
+           index range — and scans each row — at most once. *)
+        let segs = Ranges.normalize raw in
+        Metrics.inc ~by:(List.length raw - List.length segs)
+          m_segments_coalesced;
+        Trace.add_item "segments_raw" (List.length raw);
+        Trace.add_item "segments" (List.length segs);
+        segs)
+  in
+  let batch_segments = List.map segments_of batches in
+  (* Phase 2 — one fetch-seam call for the whole plan. *)
+  let results =
+    Trace.with_span "server_fetch" (fun () ->
+        let results =
+          t.fetch_many ~date_column ~batches:batch_segments ~template
+        in
+        if List.length results <> List.length batches then
+          invalid_arg "Proxy: fetch_many arity mismatch";
+        Trace.add_item "rows_fetched"
+          (List.fold_left
+             (fun acc r -> acc + List.length r.Exec.rows)
+             0 results);
+        results)
+  in
+  (* Phase 3 — MOPE-filter and decrypt each batch's rows. *)
+  let process_batch batch segments result =
     Metrics.inc m_server_requests;
     Metrics.inc ~by:(List.length result.Exec.rows) m_rows_fetched;
     t.counters.server_requests <- t.counters.server_requests + 1;
@@ -385,13 +473,18 @@ let fetch_decrypted t ~sql ~date_column ~date_lo ~date_hi =
                 if
                   Modular.mem ~m ~lo:range.Query_model.lo ~hi:range.Query_model.hi plain
                   && List.mem (piece_index_of plain) real_pieces
-                then accepted := decrypt_combined enc ast.Sql_ast.from row :: !accepted
+                then
+                  accepted :=
+                    decrypt_combined enc ?keep ast.Sql_ast.from row :: !accepted
               | _ -> ())
             result.Exec.rows;
           Trace.add_item "rows_kept" (List.length !accepted))
     end
   in
-  List.iter process_batch (chunks t.batch_size executed);
+  List.iter2
+    (fun (batch, segments) result -> process_batch batch segments result)
+    (List.combine batches batch_segments)
+    results;
   t.counters.rows_delivered <- t.counters.rows_delivered + List.length !accepted;
   Metrics.inc ~by:(List.length !accepted) m_rows_delivered;
   Log.info (fun m ->

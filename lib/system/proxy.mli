@@ -46,12 +46,27 @@ type fetch =
     against the local {!Encrypted_db.server}; a cluster coordinator
     substitutes its scatter-gather fan-out here. *)
 
+type fetch_many =
+  date_column:string ->
+  batches:(int * int) list list ->
+  template:Sql_ast.select ->
+  Exec.result list
+(** The batched form of the fetch seam: one client query's whole execution
+    plan — every MakeQueries fake+real batch, each already reduced to its
+    coalesced ciphertext segments — in a single call, answered positionally
+    (one {!Exec.result} per batch, same order). The proxy always goes
+    through this seam; the default wraps [fetch] in a sequential map, while
+    a remote implementation can ship all batches down one pipelined
+    connection ({!Mope_net.Client.pipeline}) in a single round trip instead
+    of one per batch. *)
+
 val create :
   enc:Encrypted_db.t ->
   scheduler:Mope_core.Scheduler.t ->
   ?batch_size:int ->
   ?caching:bool ->
   ?fetch:fetch ->
+  ?fetch_many:fetch_many ->
   seed:int64 ->
   unit ->
   t
@@ -70,6 +85,7 @@ val create_adaptive :
   ?batch_size:int ->
   ?caching:bool ->
   ?fetch:fetch ->
+  ?fetch_many:fetch_many ->
   seed:int64 ->
   unit ->
   t
@@ -122,7 +138,14 @@ val fetch_decrypted :
     read window of an online key rotation — and must evaluate the
     client's statement once over the union of both generations' rows
     (an aggregate evaluated per-generation and then merged would be
-    wrong). *)
+    wrong).
+
+    Decryption is projection-aware: encrypted columns the statement's
+    local re-evaluation never reads (typically the DET join keys of a
+    statement that aggregates other columns) are returned as [Null]
+    instead of being decrypted — the dominant per-row cost on the TPC-H
+    templates. The rows are an internal hand-off shape for {!eval_over},
+    not whole table rows. *)
 
 val eval_over :
   t -> ast:Sql_ast.select -> Mope_db.Value.t array list -> Exec.result

@@ -67,8 +67,8 @@ let encrypted_for ?(ope_cache = true) t ~rho =
     t.encrypted <- ((rho, ope_cache), enc) :: t.encrypted;
     enc
 
-let proxy_over enc ~template ~rho ?batch_size ?caching ?fetch ?(seed = 99L) ()
-    =
+let proxy_over enc ~template ~rho ?batch_size ?caching ?fetch ?fetch_many
+    ?(seed = 99L) () =
   let m = Encrypted_db.date_domain enc in
   let q = Tpch_queries.start_distribution ~domain:m template in
   let mode =
@@ -79,12 +79,12 @@ let proxy_over enc ~template ~rho ?batch_size ?caching ?fetch ?(seed = 99L) ()
   let scheduler =
     Scheduler.create ~m ~k:(Tpch_queries.fixed_length template) ~mode ~q
   in
-  Proxy.create ~enc ~scheduler ?batch_size ?caching ?fetch ~seed ()
+  Proxy.create ~enc ~scheduler ?batch_size ?caching ?fetch ?fetch_many ~seed ()
 
-let proxy t ~template ~rho ?batch_size ?caching ?ope_cache ?fetch ?(seed = 99L)
-    () =
+let proxy t ~template ~rho ?batch_size ?caching ?ope_cache ?fetch ?fetch_many
+    ?(seed = 99L) () =
   proxy_over (encrypted_for ?ope_cache t ~rho) ~template ~rho ?batch_size
-    ?caching ?fetch ~seed ()
+    ?caching ?fetch ?fetch_many ~seed ()
 
 let run_encrypted proxy instance =
   Proxy.execute proxy ~sql:instance.Tpch_queries.sql

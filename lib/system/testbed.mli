@@ -47,6 +47,7 @@ val proxy_over :
   ?batch_size:int ->
   ?caching:bool ->
   ?fetch:Proxy.fetch ->
+  ?fetch_many:Proxy.fetch_many ->
   ?seed:int64 ->
   unit ->
   Proxy.t
@@ -62,6 +63,7 @@ val proxy :
   ?caching:bool ->
   ?ope_cache:bool ->
   ?fetch:Proxy.fetch ->
+  ?fetch_many:Proxy.fetch_many ->
   ?seed:int64 ->
   unit ->
   Proxy.t

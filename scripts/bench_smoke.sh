@@ -57,4 +57,23 @@ WALL_SPEEDUP=$(grep -o '"wall": [0-9.]*' "$OUT" | awk '{print $2}')
 awk -v s="$WALL_SPEEDUP" 'BEGIN { exit !(s >= 1.2) }' \
   || fail "expected wall speedup >= 1.2, got $WALL_SPEEDUP"
 
-echo "bench smoke OK: wall speedup ${WALL_SPEEDUP}x, output shaped as documented"
+# Pipelined sweep (wire v8): present, and sane against the same-run warm
+# lockstep reference. Throughput parity is the bar, not a speedup — on a
+# single-core box the pipelined path cannot beat handler CPU, but it must
+# not regress below 0.7x lockstep either (a Nagle/ordering bug shows up
+# exactly here). The byte-identity gate inside the bench already aborted
+# the run on any wrong answer.
+for key in '"pipelined"' '"lockstep_warm"' '"sweep"' '"depth"' \
+  '"connections"' '"amortized_ms"' '"vs_lockstep"' '"best"'; do
+  grep -qF "$key" "$OUT" || fail "output missing pipelined key $key"
+done
+RATIOS=$(grep -o '"vs_lockstep": { "rows_per_s": [0-9.]*' "$OUT" \
+  | awk '{print $4}')
+[[ -n "$RATIOS" ]] || fail "no pipelined vs_lockstep ratios recorded"
+for r in $RATIOS; do
+  awk -v r="$r" 'BEGIN { exit !(r >= 0.7) }' \
+    || fail "pipelined point fell below 0.7x lockstep throughput (got ${r}x)"
+done
+
+echo "bench smoke OK: wall speedup ${WALL_SPEEDUP}x, pipelined within" \
+  "[$(echo "$RATIOS" | sort -n | head -1), $(echo "$RATIOS" | sort -n | tail -1)]x of lockstep"

@@ -681,10 +681,10 @@ let with_topology ?wrap ?(shards = 3) ?(replicas = 1) f =
 let cluster_proxies tb topo =
   [ ( Tpch_queries.date_column Tpch_queries.Q6,
       Testbed.proxy tb ~template:Tpch_queries.Q6 ~rho:(Some 92) ~batch_size:25
-        ~fetch:(Topology.fetch topo) ~seed:17L () );
+        ~fetch:(Topology.fetch topo) ~fetch_many:(Topology.fetch_many topo) ~seed:17L () );
     ( Tpch_queries.date_column Tpch_queries.Q4,
       Testbed.proxy tb ~template:Tpch_queries.Q4 ~rho:(Some 92) ~batch_size:25
-        ~fetch:(Topology.fetch topo) ~seed:19L () ) ]
+        ~fetch:(Topology.fetch topo) ~fetch_many:(Topology.fetch_many topo) ~seed:19L () ) ]
 
 let single_node_proxies tb =
   [ ( Tpch_queries.date_column Tpch_queries.Q6,

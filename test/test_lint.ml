@@ -428,6 +428,25 @@ let test_wire_version_gate () =
          let decode_request s = ignore s; ignore tag_ping\n" ) ]
     "wire-symmetry" "a decode path that never checks the version is flagged"
 
+let test_wire_response_header_symmetric () =
+  (* The v8 response layout: every arm routes through helpers that write
+     (and read back) the echoed request id between tag and body. The
+     reachability walk must still see the tag from both codec sides
+     through those helper hops, and the version gate anywhere on the
+     decode side. *)
+  check_global_no
+    [ ( "lib/net/wire.ml",
+        "let version = 8\n\
+         let tag_pong = 0x81\n\
+         let put_req_id b id = ignore b; ignore id\n\
+         let encode_pong b req_id = put_req_id b req_id; ignore tag_pong\n\
+         let encode_response b req_id = encode_pong b req_id\n\
+         let get_req_id s = ignore s\n\
+         let decode_pong s = get_req_id s; ignore tag_pong\n\
+         let decode_response s = ignore version; decode_pong s\n" ) ]
+    "wire-symmetry"
+    "v8 response tags behind the request-id header helpers are symmetric"
+
 let test_wire_symmetry_clean () =
   check_global_no
     [ ("lib/net/wire.ml", wire_symmetric) ]
@@ -736,6 +755,8 @@ let () =
         [ Alcotest.test_case "encoder-only tag" `Quick
             test_wire_symmetry_violation;
           Alcotest.test_case "version gate" `Quick test_wire_version_gate;
+          Alcotest.test_case "v8 response header" `Quick
+            test_wire_response_header_symmetric;
           Alcotest.test_case "clean" `Quick test_wire_symmetry_clean ] );
       ( "meta",
         [ Alcotest.test_case "parse error" `Quick test_parse_error;

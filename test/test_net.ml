@@ -24,7 +24,7 @@ let sample_counters =
 
 let roundtrip_request r = snd (Wire.decode_request (Wire.encode_request r))
 
-let roundtrip_response r = Wire.decode_response (Wire.encode_response r)
+let roundtrip_response r = snd (Wire.decode_response (Wire.encode_response r))
 
 let test_request_roundtrip () =
   Alcotest.(check bool) "ping" true (roundtrip_request Wire.Ping = Wire.Ping);
@@ -185,7 +185,7 @@ let test_unsupported_version_is_version_independent () =
   in
   let stamped = "\x02" ^ String.sub encoded 1 (String.length encoded - 1) in
   match Wire.decode_response stamped with
-  | Wire.Unsupported_version { server_version } ->
+  | 0, Wire.Unsupported_version { server_version } ->
     Alcotest.(check int) "body decodes under a foreign version" 7 server_version
   | _ -> Alcotest.fail "expected Unsupported_version"
 
@@ -299,11 +299,15 @@ let test_decode_malformed () =
       ignore (Wire.decode_request "\x02\x01"));
   check_version_mismatch "pre-session version" 6 (fun () ->
       ignore (Wire.decode_request "\x06\x01"));
-  (* Unknown tag (with a well-formed empty header after it). *)
+  check_version_mismatch "pre-pipelining version" 7 (fun () ->
+      ignore (Wire.decode_request "\x07\x01"));
+  (* Unknown tag (with a well-formed empty header after it: empty trace id,
+     empty session, request id 0). *)
   check_protocol_error "unknown tag" (fun () ->
       ignore
         (Wire.decode_request
-           ("\x07\x6E"
+           ("\x08\x6E"
+           ^ "\x00\x00\x00\x00\x00\x00\x00\x00"
            ^ "\x00\x00\x00\x00\x00\x00\x00\x00"
            ^ "\x00\x00\x00\x00\x00\x00\x00\x00")));
   (* A response tag is not a request. *)
@@ -311,16 +315,16 @@ let test_decode_malformed () =
       ignore (Wire.decode_request (Wire.encode_response Wire.Pong)));
   (* Truncated body: a Query missing everything after the tag. *)
   check_protocol_error "truncated" (fun () ->
-      ignore (Wire.decode_request "\x07\x02"));
+      ignore (Wire.decode_request "\x08\x02"));
   (* Trailing bytes after a complete message. *)
   check_protocol_error "trailing" (fun () ->
       ignore (Wire.decode_request (ping ^ "\x00")));
   (* Negative / insane string length inside the body (here: the trace id). *)
   check_protocol_error "bad length" (fun () ->
-      ignore (Wire.decode_request "\x07\x02\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
+      ignore (Wire.decode_request "\x08\x02\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
   (* A 62-bit length that would overflow a naive bounds check. *)
   check_protocol_error "overflowing length" (fun () ->
-      ignore (Wire.decode_request "\x07\x02\x3F\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
+      ignore (Wire.decode_request "\x08\x02\x3F\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
   (* Empty payload. *)
   check_protocol_error "empty" (fun () -> ignore (Wire.decode_request ""))
 
@@ -553,9 +557,9 @@ let raw_connect port =
 
 let expect_bad_frame name payload =
   match Wire.decode_response payload with
-  | Wire.Error { code = Wire.Bad_frame; message; _ } ->
+  | 0, Wire.Error { code = Wire.Bad_frame; message; _ } ->
     Alcotest.(check bool) (name ^ " has reason") true (String.length message > 0)
-  | _ -> Alcotest.fail (name ^ ": expected a Bad_frame error response")
+  | _ -> Alcotest.fail (name ^ ": expected an id-0 Bad_frame error response")
 
 let test_malformed_payload_keeps_connection () =
   let service = make_service () in
@@ -566,11 +570,11 @@ let test_malformed_payload_keeps_connection () =
           (* Framing is intact but the payload is garbage under the right
              version byte: the server answers Bad_frame and the next frame
              boundary is still trustworthy, so the connection survives. *)
-          Wire.write_frame fd "\x07\xF1";
+          Wire.write_frame fd "\x08\xF1";
           expect_bad_frame "unknown tag" (Wire.read_frame fd);
           Wire.write_frame fd (Wire.encode_request Wire.Ping);
           Alcotest.(check bool) "still serving" true
-            (Wire.decode_response (Wire.read_frame fd) = Wire.Pong)))
+            (Wire.decode_response (Wire.read_frame fd) = (0, Wire.Pong))))
 
 let test_version_handshake_structured () =
   (* Satellite: a client speaking yesterday's protocol gets the structured
@@ -588,7 +592,7 @@ let test_version_handshake_structured () =
           let stale = "\x06" ^ String.sub ping 1 (String.length ping - 1) in
           Wire.write_frame fd stale;
           (match Wire.decode_response (Wire.read_frame fd) with
-          | Wire.Unsupported_version { server_version } ->
+          | 0, Wire.Unsupported_version { server_version } ->
             Alcotest.(check int) "server version in the answer" Wire.version
               server_version;
             (* The client driver turns it into a structured error that

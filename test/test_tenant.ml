@@ -175,7 +175,7 @@ let open_session h ~tenant ~secret =
     | _ -> Alcotest.fail "expected Session_ok")
   | _ -> Alcotest.fail "expected Session_challenge"
 
-let with_session token = { Wire.trace_id = ""; session = token }
+let with_session token = { Wire.trace_id = ""; session = token; req_id = 0 }
 
 let query_via h header inst =
   match
